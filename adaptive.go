@@ -1,0 +1,82 @@
+package cep
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// Extension algorithms beyond the paper's evaluated set (see internal/core):
+// KBZ is the polynomial optimal planner for acyclic query graphs enabled by
+// the ASI property (Section 4.3 / Appendix A); SIM-ANNEAL is the randomized
+// family from the related work; AUTO picks by topology and size.
+const (
+	AlgKBZ       = core.AlgKBZ
+	AlgSimAnneal = core.AlgSimAnneal
+	AlgAuto      = core.AlgAuto
+)
+
+// AdaptiveRuntime is a pattern runtime that re-optimises its plan online
+// when the stream statistics drift (Section 6.3 of the paper).
+type AdaptiveRuntime struct {
+	ctrl *adaptive.Controller
+}
+
+// AdaptiveConfig tunes the re-optimisation loop; zero values select
+// sensible defaults (check every 512 events, 25% improvement threshold).
+type AdaptiveConfig struct {
+	Algorithm    string
+	Strategy     Strategy
+	CheckEvery   int
+	Threshold    float64
+	WarmupEvents int
+}
+
+// NewAdaptive builds an adaptive runtime; initial may be nil, in which case
+// the first plan is generated under neutral statistics and refined online.
+func NewAdaptive(p *Pattern, initial *Stats, cfg AdaptiveConfig) (*AdaptiveRuntime, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgGreedy
+	}
+	planner := &core.Planner{Algorithm: cfg.Algorithm, Strategy: cfg.Strategy}
+	ctrl, err := adaptive.New(p, initial, adaptive.Config{
+		Planner:      planner,
+		CheckEvery:   cfg.CheckEvery,
+		Threshold:    cfg.Threshold,
+		WarmupEvents: cfg.WarmupEvents,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveRuntime{ctrl: ctrl}, nil
+}
+
+// Process consumes one event and returns emitted matches.
+func (a *AdaptiveRuntime) Process(e *Event) ([]*Match, error) { return a.ctrl.Process(e) }
+
+// Flush releases pending matches at end of stream.
+func (a *AdaptiveRuntime) Flush() []*Match { return a.ctrl.Flush() }
+
+// Replans returns how many times the plan was regenerated.
+func (a *AdaptiveRuntime) Replans() int64 { return a.ctrl.Stats().Replans }
+
+// Matches returns the number of matches emitted so far.
+func (a *AdaptiveRuntime) Matches() int64 { return a.ctrl.Stats().Matches }
+
+// QueryTopology classifies the pattern's query graph (chain, star, tree,
+// clique, general or disconnected) under the given statistics — the
+// Section 4.3 taxonomy that decides when polynomial planning applies. For
+// nested patterns the first DNF disjunct is classified.
+func QueryTopology(p *Pattern, st *Stats) (string, error) {
+	disjuncts, err := pattern.ToDNF(p)
+	if err != nil {
+		return "", err
+	}
+	if st == nil {
+		return graph.FromPattern(disjuncts[0]).Classify().String(), nil
+	}
+	ps := stats.For(disjuncts[0], st)
+	return graph.FromStats(ps).Classify().String(), nil
+}

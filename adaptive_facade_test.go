@@ -1,0 +1,79 @@
+package cep
+
+import "testing"
+
+func TestAdaptiveRuntimeBasics(t *testing.T) {
+	p := demoPattern(t)
+	// CheckEvery is larger than the stream so no mid-match plan swap occurs
+	// (swaps discard in-flight partial matches by design).
+	rt, err := NewAdaptive(p, nil, AdaptiveConfig{Algorithm: AlgDPLD, CheckEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ev := range demoEvents() {
+		ms, err := rt.Process(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ms)
+	}
+	total += len(rt.Flush())
+	if total != 1 || rt.Matches() != 1 {
+		t.Fatalf("matches = %d / %d", total, rt.Matches())
+	}
+	if rt.Replans() < 0 {
+		t.Fatal("negative replans")
+	}
+}
+
+func TestExtensionAlgorithmsViaFacade(t *testing.T) {
+	p := demoPattern(t)
+	st := Measure(demoEvents(), p)
+	for _, alg := range []string{AlgKBZ, AlgSimAnneal, AlgAuto} {
+		rt, err := New(p, st, WithAlgorithm(alg))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if got := len(rt.ProcessAll(demoEvents())); got != 1 {
+			t.Fatalf("%s: %d matches", alg, got)
+		}
+	}
+}
+
+func TestQueryTopology(t *testing.T) {
+	// Login—Trade—Alert equality chain: a chain graph.
+	p := demoPattern(t)
+	topo, err := QueryTopology(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo != "chain" {
+		t.Fatalf("topology = %q, want chain", topo)
+	}
+	// No predicates at all: disconnected.
+	q := And(10*Second, E("Login", "l"), E("Trade", "t"), E("Alert", "a"))
+	topo, err = QueryTopology(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo != "disconnected" {
+		t.Fatalf("topology = %q, want disconnected", topo)
+	}
+	// Star: one hub with predicates to three others (a three-vertex "star"
+	// is also a path and classifies as a chain).
+	s := And(10*Second,
+		E("Login", "l"), E("Trade", "t"), E("Alert", "a"), E("Trade", "t2"),
+	).Where(
+		AttrCmp("l", "user", Eq, "t", "user"),
+		AttrCmp("l", "user", Eq, "a", "user"),
+		AttrCmp("l", "user", Eq, "t2", "user"),
+	)
+	topo, err = QueryTopology(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo != "star" {
+		t.Fatalf("topology = %q, want star", topo)
+	}
+}

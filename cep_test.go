@@ -1,0 +1,228 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+)
+
+var (
+	loginSchema = NewSchema("Login", "user")
+	tradeSchema = NewSchema("Trade", "user", "amount")
+	alertSchema = NewSchema("Alert", "user")
+)
+
+func demoEvents() []*Event {
+	return Stamp([]*Event{
+		NewEvent(loginSchema, 1000, 7),
+		NewEvent(tradeSchema, 2000, 7, 100),
+		NewEvent(tradeSchema, 2500, 9, 50),
+		NewEvent(alertSchema, 3000, 7),
+		NewEvent(loginSchema, 4000, 9),
+		NewEvent(alertSchema, 5000, 9),
+	})
+}
+
+func demoPattern(t *testing.T) *Pattern {
+	t.Helper()
+	p, err := ParsePattern(`PATTERN SEQ(Login l, Trade t, Alert a)
+	                        WHERE l.user = t.user AND t.user = a.user
+	                        WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	p := demoPattern(t)
+	events := demoEvents()
+	st := Measure(events, p)
+	for _, alg := range append(OrderAlgorithms(), TreeAlgorithms()...) {
+		rt, err := New(p, st, WithAlgorithm(alg))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		ms := rt.ProcessAll(Stamp(events))
+		if len(ms) != 1 {
+			t.Fatalf("%s: got %d matches, want 1", alg, len(ms))
+		}
+		if rt.Matches() != 1 {
+			t.Fatalf("%s: Matches() = %d", alg, rt.Matches())
+		}
+		if rt.PlanCost() <= 0 {
+			t.Fatalf("%s: PlanCost = %g", alg, rt.PlanCost())
+		}
+	}
+}
+
+func TestProgrammaticPatternConstruction(t *testing.T) {
+	p := Seq(10*Second,
+		E("Login", "l"), E("Trade", "t"),
+	).Where(AttrCmp("l", "user", Eq, "t", "user"))
+	rt, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// login@1000 user7 → trade@2000 user7 matches; login@4000 user9 has no
+	// later trade, so exactly one match.
+	ms := rt.ProcessAll(demoEvents())
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1", len(ms))
+	}
+}
+
+func TestOnMatchCallbackAndState(t *testing.T) {
+	p := demoPattern(t)
+	var seen int
+	rt, err := New(p, nil, WithOnMatch(func(*Match) { seen++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProcessAll(demoEvents())
+	if seen != 1 {
+		t.Fatalf("callback fired %d times", seen)
+	}
+	partial, buffered := rt.State()
+	if partial < 0 || buffered <= 0 {
+		t.Fatalf("State = %d, %d", partial, buffered)
+	}
+}
+
+func TestDescribePlans(t *testing.T) {
+	p := demoPattern(t)
+	st := Measure(demoEvents(), p)
+	rt, err := New(p, st, WithAlgorithm(AlgDPLD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := rt.Describe()
+	if !strings.Contains(desc, "order plan") || !strings.Contains(desc, "cost") {
+		t.Fatalf("Describe() = %q", desc)
+	}
+	rt, err = New(p, st, WithAlgorithm(AlgDPB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc = rt.Describe()
+	if !strings.Contains(desc, "tree plan") || !strings.Contains(desc, "(") {
+		t.Fatalf("Describe() = %q", desc)
+	}
+}
+
+func TestDisjunctionRuntime(t *testing.T) {
+	p, err := ParsePattern(`PATTERN OR(SEQ(Login l, Alert a), SEQ(Trade t, Alert b))
+	                        WHERE l.user = a.user AND t.user = b.user
+	                        WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rt.ProcessAll(demoEvents())
+	// login7→alert7, login9→alert9, trade7→alert7, trade9→alert9: 4 matches.
+	if len(ms) != 4 {
+		t.Fatalf("got %d matches, want 4", len(ms))
+	}
+	if !strings.Contains(rt.Describe(), "disjunct") {
+		t.Fatal("Describe should list disjuncts")
+	}
+}
+
+func TestLatencyWeightChangesPlan(t *testing.T) {
+	st := NewStats()
+	st.SetRate("Login", 10)
+	st.SetRate("Trade", 5)
+	st.SetRate("Alert", 0.1)
+	p := Seq(10*Second, E("Login", "l"), E("Trade", "t"), E("Alert", "a"))
+	fast, err := New(p, st, WithAlgorithm(AlgDPLD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowLat, err := New(p, st, WithAlgorithm(AlgDPLD), WithLatencyWeight(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput-optimal starts with the rare Alert; the latency-dominated
+	// plan must end with it instead (Alert is the temporally last event).
+	if !strings.Contains(fast.Describe(), "[a ") {
+		t.Fatalf("throughput plan = %s", fast.Describe())
+	}
+	if !strings.Contains(lowLat.Describe(), " a]") {
+		t.Fatalf("latency plan = %s", lowLat.Describe())
+	}
+}
+
+func TestStrategyOption(t *testing.T) {
+	p := demoPattern(t)
+	rt, err := New(p, nil, WithStrategy(SkipTillNextMatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := demoEvents()
+	ms := rt.ProcessAll(events)
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches", len(ms))
+	}
+	Stamp(events) // no-op sanity: events remain ordered
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	p := demoPattern(t)
+	if _, err := New(p, nil, WithAlgorithm("NOPE")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestContiguityOnConjunctionRejected(t *testing.T) {
+	// Contiguity strategies require a sequence; the compile error must
+	// surface through the facade.
+	p := And(10*Second, E("Login", "l"), E("Trade", "t"))
+	if _, err := New(p, nil, WithStrategy(StrictContiguity)); err == nil {
+		t.Fatal("strict contiguity on AND accepted")
+	}
+}
+
+func TestMaxKleeneBasePropagates(t *testing.T) {
+	p := Seq(10*Second, E("Login", "l"), KL("Trade", "t"))
+	rt, err := New(p, nil, WithMaxKleeneBase(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Stamp([]*Event{
+		NewEvent(loginSchema, 1000, 1),
+		NewEvent(tradeSchema, 2000, 1, 1),
+		NewEvent(tradeSchema, 3000, 1, 2),
+		NewEvent(tradeSchema, 4000, 1, 3),
+		NewEvent(tradeSchema, 5000, 1, 4),
+	})
+	got := len(rt.ProcessAll(events))
+	// With an uncapped base there would be 2^4−1 = 15 matches; the cap of 2
+	// bounds the subsets enumerable per arrival.
+	if got >= 15 {
+		t.Fatalf("cap did not bind: %d matches", got)
+	}
+	if got == 0 {
+		t.Fatal("cap killed all matches")
+	}
+}
+
+func TestProcessStream(t *testing.T) {
+	p := demoPattern(t)
+	rt, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	rt.ProcessStream(NewStream(demoEvents()), func(*Match) { got++ })
+	if got != 1 {
+		t.Fatalf("stream matches = %d, want 1", got)
+	}
+	// nil callback must not panic.
+	rt2, _ := New(p, nil)
+	rt2.ProcessStream(NewStream(demoEvents()), nil)
+	if rt2.Matches() != 1 {
+		t.Fatalf("Matches() = %d", rt2.Matches())
+	}
+}

@@ -1,0 +1,92 @@
+// Command cepdemo runs an arbitrary pattern (SASE-style syntax) over a
+// generated stock-tick stream and reports the chosen plan, match count and
+// engine state — a scriptable playground for the optimizer.
+//
+//	cepdemo -pattern 'PATTERN SEQ(S000 a, S001 b) WHERE a.difference < b.difference WITHIN 5 s' \
+//	        -alg DP-B -events 20000
+//
+// Event types are the generated symbols S000..Snnn with attributes price,
+// difference and bucket.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cep "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		patternSrc = flag.String("pattern",
+			`PATTERN SEQ(S000 a, S001 b, S002 c) WHERE a.difference < c.difference WITHIN 5 s`,
+			"pattern specification")
+		alg     = flag.String("alg", cep.AlgGreedy, "plan-generation algorithm")
+		events  = flag.Int("events", 10000, "events to generate")
+		symbols = flag.Int("symbols", 16, "stock symbols")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		strat   = flag.String("strategy", "any", "selection strategy: any|next|contiguity|partition")
+		alpha   = flag.Float64("alpha", 0, "latency weight of the hybrid cost model")
+		show    = flag.Int("show", 3, "matches to print")
+		jsonl   = flag.String("jsonl", "", "read events from this JSON Lines file instead of generating")
+	)
+	flag.Parse()
+
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: *symbols, Events: *events, Seed: *seed,
+		MinRate: 0.3, MaxRate: 3,
+	})
+	var ticks []*cep.Event
+	if *jsonl != "" {
+		f, err := os.Open(*jsonl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cepdemo:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		ticks, err = cep.ReadJSONL(f, stocks.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cepdemo:", err)
+			os.Exit(1)
+		}
+	} else {
+		ticks = stocks.Generate()
+	}
+
+	p, err := cep.ParsePatternWith(*patternSrc, stocks.Registry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cepdemo:", err)
+		os.Exit(2)
+	}
+	strategy := map[string]cep.Strategy{
+		"any": cep.SkipTillAnyMatch, "next": cep.SkipTillNextMatch,
+		"contiguity": cep.StrictContiguity, "partition": cep.PartitionContiguity,
+	}[*strat]
+
+	st := cep.Measure(ticks, p)
+	rt, err := cep.New(p, st,
+		cep.WithAlgorithm(*alg),
+		cep.WithStrategy(strategy),
+		cep.WithLatencyWeight(*alpha),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cepdemo:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rt.Describe())
+
+	matches := rt.ProcessAll(ticks)
+	fmt.Printf("\n%d events → %d matches (plan cost %.1f)\n", len(ticks), len(matches), rt.PlanCost())
+	for i, m := range matches {
+		if i >= *show {
+			fmt.Printf("... and %d more\n", len(matches)-*show)
+			break
+		}
+		fmt.Printf("match %d:\n", i+1)
+		for _, e := range m.Events() {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}

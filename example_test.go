@@ -1,0 +1,88 @@
+package cep_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	cep "repro"
+)
+
+// ExampleParsePattern parses the paper's four-cameras pattern.
+func ExampleParsePattern() {
+	p, err := cep.ParsePattern(`
+		PATTERN SEQ(A a, B b, C c, D d)
+		WHERE a.vehicleID = d.vehicleID
+		WITHIN 10 minutes`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Op, p.Size(), p.Window)
+	// Output: SEQ 4 600000
+}
+
+// ExampleNew plans and runs a pattern end to end.
+func ExampleNew() {
+	login := cep.NewSchema("Login", "user")
+	alert := cep.NewSchema("Alert", "user")
+	p, _ := cep.ParsePattern(`PATTERN SEQ(Login l, Alert a)
+	                          WHERE l.user = a.user WITHIN 5 s`)
+	rt, _ := cep.New(p, nil, cep.WithAlgorithm(cep.AlgGreedy))
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 1000, 7),
+		cep.NewEvent(alert, 2000, 7),
+		cep.NewEvent(alert, 3000, 9), // wrong user
+	})
+	fmt.Println(len(rt.ProcessAll(events)), "match")
+	// Output: 1 match
+}
+
+// ExampleQueryTopology classifies a pattern's query graph (Section 4.3 of
+// the paper), which decides whether polynomial planning applies.
+func ExampleQueryTopology() {
+	p, _ := cep.ParsePattern(`PATTERN AND(A a, B b, C c)
+	                          WHERE a.x = b.x AND b.x = c.x WITHIN 1 s`)
+	topo, _ := cep.QueryTopology(p, nil)
+	fmt.Println(topo)
+	// Output: chain
+}
+
+// ExampleReadJSONL ingests events from a JSON Lines feed.
+func ExampleReadJSONL() {
+	reg := cep.NewRegistry(cep.NewSchema("Stock", "price"))
+	feed := `{"type":"Stock","ts":1,"attrs":{"price":99.5}}
+{"type":"Stock","ts":2,"attrs":{"price":100.25}}`
+	events, err := cep.ReadJSONL(strings.NewReader(feed), reg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(events), events[1].MustAttr("price"))
+	// Output: 2 100.25
+}
+
+// ExampleSaveStats persists measured statistics for reuse.
+func ExampleSaveStats() {
+	st := cep.NewStats()
+	st.SetRate("Stock", 42)
+	var buf bytes.Buffer
+	if err := cep.SaveStats(&buf, st); err != nil {
+		panic(err)
+	}
+	loaded, _ := cep.LoadStats(&buf)
+	fmt.Println(loaded.Rate("Stock"))
+	// Output: 42
+}
+
+// ExampleRuntime_Describe shows plan inspection: a rare final event makes
+// the optimizer reorder.
+func ExampleRuntime_Describe() {
+	p, _ := cep.ParsePattern(`PATTERN SEQ(A a, B b) WITHIN 1 s`)
+	st := cep.NewStats()
+	st.SetRate("A", 100)
+	st.SetRate("B", 0.1)
+	rt, _ := cep.New(p, st, cep.WithAlgorithm(cep.AlgDPLD))
+	fmt.Print(rt.Describe())
+	// Output:
+	// pattern: SEQ(A a, B b) WITHIN 1000ms
+	//   order plan [b a]  (cost 5.10)
+}

@@ -1,0 +1,63 @@
+// Quickstart: declare a pattern in the SASE-style syntax, measure stream
+// statistics, let the optimizer pick an evaluation plan, and detect matches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cep "repro"
+)
+
+func main() {
+	// Event types: a fraud-detection flavoured stream.
+	login := cep.NewSchema("Login", "user")
+	trade := cep.NewSchema("Trade", "user", "amount")
+	alert := cep.NewSchema("Alert", "user")
+
+	// Pattern: a login, then a large trade by the same user, then a risk
+	// alert for that user — all within ten seconds.
+	p, err := cep.ParsePattern(`
+		PATTERN SEQ(Login l, Trade t, Alert a)
+		WHERE l.user = t.user AND t.user = a.user AND t.amount > 500
+		WITHIN 10 s`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small historical slice to measure arrival rates and predicate
+	// selectivities (the paper's preprocessing stage).
+	history := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 1_000, 1),
+		cep.NewEvent(trade, 2_000, 1, 900),
+		cep.NewEvent(trade, 2_500, 2, 100),
+		cep.NewEvent(alert, 3_000, 1),
+		cep.NewEvent(login, 11_000, 2),
+		cep.NewEvent(trade, 12_000, 2, 800),
+		cep.NewEvent(alert, 13_000, 2),
+	})
+	st := cep.Measure(history, p)
+
+	// Plan with bushy-tree dynamic programming (the paper's best method)
+	// and run over the live stream.
+	rt, err := cep.New(p, st, cep.WithAlgorithm(cep.AlgDPB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rt.Describe())
+
+	live := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 20_000, 7),
+		cep.NewEvent(trade, 21_000, 7, 250), // too small: filtered
+		cep.NewEvent(trade, 22_000, 7, 750),
+		cep.NewEvent(alert, 23_000, 7),
+		cep.NewEvent(alert, 24_000, 8), // wrong user
+	})
+	for _, m := range rt.ProcessAll(live) {
+		fmt.Println("match:")
+		for _, e := range m.Events() {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	fmt.Printf("plan cost %.1f, %d matches\n", rt.PlanCost(), rt.Matches())
+}

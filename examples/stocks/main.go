@@ -1,0 +1,81 @@
+// Stocks: the paper's evaluation scenario — monitoring relative changes in
+// stock prices (Section 7.2). A synthetic tick stream stands in for the
+// NASDAQ feed; the pattern watches for a chain of correlated moves and the
+// example compares the plans chosen by a native CEP heuristic and by the
+// adapted join-query optimizers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cep "repro"
+)
+
+// genTicks produces a merged, timestamp-ordered tick stream for the given
+// symbols with per-symbol arrival rates (events/second) and random-walk
+// prices; the "difference" attribute carries the price change, as the
+// paper's preprocessing adds.
+func genTicks(schemas map[string]*cep.Schema, rates map[string]float64, seconds float64, seed int64) []*cep.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var all []*cep.Event
+	for sym, schema := range schemas {
+		price := 100.0
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / rates[sym]
+			if t > seconds {
+				break
+			}
+			step := rng.NormFloat64()
+			price += step
+			all = append(all, cep.NewEvent(schema, cep.Time(t*1000), price, step))
+		}
+	}
+	// Order by timestamp and stamp serials.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].TS < all[j-1].TS; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	return cep.Stamp(all)
+}
+
+func main() {
+	symbols := []string{"MSFT", "GOOG", "INTC", "AAPL"}
+	rates := map[string]float64{"MSFT": 8, "GOOG": 6, "INTC": 4, "AAPL": 0.4}
+	schemas := make(map[string]*cep.Schema, len(symbols))
+	for _, s := range symbols {
+		schemas[s] = cep.NewSchema(s, "price", "difference")
+	}
+	ticks := genTicks(schemas, rates, 120, 42)
+	fmt.Printf("generated %d ticks over 120 s\n\n", len(ticks))
+
+	// The paper's §7.2 pattern shape: examine Intel's move when Google's
+	// change exceeds Microsoft's, in the rare context of an Apple tick.
+	p, err := cep.ParsePattern(`
+		PATTERN AND(MSFT m, GOOG g, INTC i, AAPL aa)
+		WHERE m.difference < g.difference AND i.difference < g.difference
+		      AND g.difference > 1.5
+		WITHIN 2 s`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := cep.Measure(ticks, p)
+	fmt.Printf("measured rates: MSFT %.1f/s GOOG %.1f/s INTC %.1f/s AAPL %.2f/s\n\n",
+		st.Rate("MSFT"), st.Rate("GOOG"), st.Rate("INTC"), st.Rate("AAPL"))
+
+	for _, alg := range []string{cep.AlgTrivial, cep.AlgEFreq, cep.AlgGreedy, cep.AlgDPB} {
+		rt, err := cep.New(p, st, cep.WithAlgorithm(alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches := rt.ProcessAll(cep.Stamp(ticks))
+		partial, buffered := rt.State()
+		fmt.Printf("%-8s plan cost %10.0f   matches %4d   final state: %d partial, %d buffered\n",
+			alg, rt.PlanCost(), len(matches), partial, buffered)
+		fmt.Print("  ", rt.Describe())
+	}
+	fmt.Println("\nevery plan detects the same matches; the cheap plans hold far less state.")
+}

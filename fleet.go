@@ -1,0 +1,62 @@
+package cep
+
+import "sync"
+
+// Fleet runs several independent pattern runtimes concurrently over one
+// stream: each runtime receives every event on its own channel and is
+// driven by its own goroutine (engines are single-goroutine machines, so
+// the fleet is the concurrency boundary). This is the typical deployment
+// shape of a CEP service monitoring many patterns against one feed.
+type Fleet struct {
+	runtimes []*Runtime
+}
+
+// NewFleet groups runtimes. The fleet takes ownership: drive the runtimes
+// through the fleet only.
+func NewFleet(runtimes ...*Runtime) *Fleet {
+	return &Fleet{runtimes: runtimes}
+}
+
+// Size returns the number of runtimes.
+func (f *Fleet) Size() int { return len(f.runtimes) }
+
+// Run feeds the (timestamp-ordered) events to every runtime concurrently
+// and returns the matches per runtime, in fleet order, including flushed
+// pendings.
+//
+// Caution: under SkipTillNextMatch the runtimes share consumption marks on
+// the events; concurrent fleets should use skip-till-any or disjoint event
+// slices per runtime.
+func (f *Fleet) Run(events []*Event) [][]*Match {
+	results := make([][]*Match, len(f.runtimes))
+	var wg sync.WaitGroup
+	for i, rt := range f.runtimes {
+		feed := make(chan *Event, 256)
+		wg.Add(1)
+		go func(i int, rt *Runtime, feed <-chan *Event) {
+			defer wg.Done()
+			var out []*Match
+			for e := range feed {
+				out = append(out, rt.Process(e)...)
+			}
+			results[i] = append(out, rt.Flush()...)
+		}(i, rt, feed)
+		go func(feed chan<- *Event) {
+			for _, e := range events {
+				feed <- e
+			}
+			close(feed)
+		}(feed)
+	}
+	wg.Wait()
+	return results
+}
+
+// TotalMatches sums the matches over a Run result.
+func TotalMatches(results [][]*Match) int {
+	total := 0
+	for _, ms := range results {
+		total += len(ms)
+	}
+	return total
+}

@@ -1,0 +1,69 @@
+package cep
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFleetMatchesSequentialRuns(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 10, Events: 3000, Seed: 31, MinRate: 1, MaxRate: 4,
+	})
+	events := stocks.Generate()
+
+	patterns := []string{
+		`PATTERN SEQ(S000 a, S001 b) WHERE a.difference < b.difference WITHIN 2 s`,
+		`PATTERN AND(S002 a, S003 b, S004 c) WHERE a.bucket = b.bucket WITHIN 2 s`,
+		`PATTERN SEQ(S005 a, NOT(S006 n), S007 b) WITHIN 2 s`,
+	}
+	// Sequential reference counts.
+	var want []int
+	for _, src := range patterns {
+		p, err := ParsePatternWith(src, stocks.Registry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := New(p, Measure(events, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, len(rt.ProcessAll(events)))
+	}
+	// Concurrent fleet.
+	var rts []*Runtime
+	for _, src := range patterns {
+		p, err := ParsePatternWith(src, stocks.Registry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := New(p, Measure(events, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts = append(rts, rt)
+	}
+	fleet := NewFleet(rts...)
+	if fleet.Size() != 3 {
+		t.Fatalf("Size = %d", fleet.Size())
+	}
+	results := fleet.Run(events)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, ms := range results {
+		if len(ms) != want[i] {
+			t.Fatalf("pattern %d: fleet found %d matches, sequential %d", i, len(ms), want[i])
+		}
+	}
+	if TotalMatches(results) != want[0]+want[1]+want[2] {
+		t.Fatal("TotalMatches mismatch")
+	}
+}
+
+func TestFleetEmpty(t *testing.T) {
+	f := NewFleet()
+	if got := f.Run(nil); len(got) != 0 {
+		t.Fatalf("empty fleet produced %d results", len(got))
+	}
+}

@@ -1,0 +1,109 @@
+package cep
+
+// End-to-end integration tests: random patterns from the workload generator
+// run through the full public pipeline (parse/measure/plan/execute) and are
+// checked against the brute-force oracle applied to each DNF disjunct.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/oracle"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/workload"
+)
+
+// oracleCount sums the oracle's matches over the pattern's DNF disjuncts
+// (disjuncts are detected independently; overlaps count twice, exactly as
+// the engines emit them).
+func oracleCount(t *testing.T, p *Pattern, events []*Event) int {
+	t.Helper()
+	disjuncts, err := pattern.ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, d := range disjuncts {
+		c, err := predicate.Compile(d, predicate.SkipTillAnyMatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(oracle.Find(c, events))
+	}
+	return total
+}
+
+func TestRuntimeMatchesOracleOnWorkloadPatterns(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 10, Events: 1500, Seed: 21, MinRate: 1, MaxRate: 4,
+	})
+	events := stocks.Generate()
+	rng := rand.New(rand.NewSource(5))
+	window := 1500 * event.Millisecond
+	for _, cat := range []workload.Category{
+		workload.CatSequence, workload.CatConjunction,
+		workload.CatNegation, workload.CatDisjunction,
+	} {
+		for trial := 0; trial < 3; trial++ {
+			p := stocks.Pattern(cat, 3, window, rng)
+			want := oracleCount(t, p, events)
+			st := Measure(events, p)
+			for _, alg := range []string{AlgTrivial, AlgGreedy, AlgDPLD, AlgZStream, AlgDPB, AlgKBZ, AlgAuto} {
+				rt, err := New(p, st, WithAlgorithm(alg))
+				if err != nil {
+					t.Fatalf("%s %s: %v", cat, alg, err)
+				}
+				got := len(rt.ProcessAll(workload.ResetStream(events)))
+				if got != want {
+					t.Fatalf("%s %s on %s: %d matches, oracle %d", cat, alg, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRuntimeKleeneMatchesOracle(t *testing.T) {
+	// Kleene needs tight streams to keep the power sets enumerable.
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 8, Events: 300, Seed: 23, MinRate: 0.5, MaxRate: 2,
+	})
+	events := stocks.Generate()
+	rng := rand.New(rand.NewSource(9))
+	window := 1200 * event.Millisecond
+	for trial := 0; trial < 3; trial++ {
+		p := stocks.Pattern(workload.CatKleene, 3, window, rng)
+		want := oracleCount(t, p, events)
+		st := Measure(events, p)
+		for _, alg := range []string{AlgGreedy, AlgDPB} {
+			rt, err := New(p, st, WithAlgorithm(alg), WithMaxKleeneBase(oracle.MaxKleeneCandidates))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := len(rt.ProcessAll(workload.ResetStream(events)))
+			if got != want {
+				t.Fatalf("%s on %s: %d matches, oracle %d", alg, p, got, want)
+			}
+		}
+	}
+}
+
+// TestParserRoundTripProperty renders random workload patterns to text and
+// reparses them, checking structural identity.
+func TestParserRoundTripProperty(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{Symbols: 12, Seed: 27})
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		cat := workload.Categories()[rng.Intn(5)]
+		p := stocks.Pattern(cat, 3+rng.Intn(4), Second, rng)
+		src := "PATTERN " + p.String()
+		q, err := ParsePattern(src)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", src, err)
+		}
+		if q.String() != p.String() {
+			t.Fatalf("round trip changed pattern:\n%s\n%s", p, q)
+		}
+	}
+}

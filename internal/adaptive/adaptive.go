@@ -1,0 +1,219 @@
+// Package adaptive implements the on-the-fly re-optimisation mechanism the
+// paper assumes in Section 6.3: a CEP engine "must continuously estimate
+// the current statistic values and, when a significant deviation is
+// detected, adapt itself by recalculating the affected evaluation plans".
+//
+// The Controller wraps a planner and an engine factory. It feeds every
+// event to a sliding-window statistics estimator; when the estimated cost
+// of the current plan and the cost of a freshly generated plan diverge by
+// more than the configured threshold, it swaps in new engines at the next
+// check point. In-flight partial matches are discarded at the swap (the
+// replacement engine re-reads nothing), so matches whose window spans the
+// swap instant can be lost — the paper's companion work [27] studies
+// state-migrating protocols; this package implements the plan-switching
+// substrate they build on.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/match"
+	"repro/internal/metrics"
+	"repro/internal/nfa"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// Config tunes the adaptivity loop.
+type Config struct {
+	// Planner generates plans; its algorithm and strategy are reused for
+	// every re-optimisation.
+	Planner *core.Planner
+	// EstimationWindow is the sliding window of the online statistics
+	// estimator; defaults to 4× the pattern window.
+	EstimationWindow event.Time
+	// CheckEvery is the number of events between re-optimisation checks;
+	// default 512.
+	CheckEvery int
+	// Threshold is the minimum relative cost improvement
+	// (currentCost/newCost − 1) that triggers a plan swap; default 0.25.
+	Threshold float64
+	// WarmupEvents suppresses re-optimisation until the estimator has seen
+	// enough data; default CheckEvery.
+	WarmupEvents int
+	// MaxKleeneBase is passed to the engines.
+	MaxKleeneBase int
+}
+
+func (c Config) withDefaults(p *pattern.Pattern) Config {
+	if c.Planner == nil {
+		c.Planner = core.NewPlanner(core.AlgGreedy)
+	}
+	if c.EstimationWindow <= 0 {
+		c.EstimationWindow = 4 * p.Window
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 512
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.25
+	}
+	if c.WarmupEvents <= 0 {
+		c.WarmupEvents = c.CheckEvery
+	}
+	return c
+}
+
+// Stats reports the controller's activity.
+type Stats struct {
+	Processed int64
+	Matches   int64
+	Replans   int64 // re-optimisation checks that produced a new plan
+	Checks    int64 // re-optimisation checks performed
+}
+
+// Controller is an adaptive pattern runtime.
+type Controller struct {
+	cfg     Config
+	pat     *pattern.Pattern
+	online  *stats.Online
+	alias   map[string]string
+	conds   []pattern.Condition
+	plan    *core.Plan
+	engines []metrics.Engine
+	st      Stats
+	out     []*match.Match
+}
+
+// New builds a controller with an initial plan from the given (possibly
+// default) statistics.
+func New(p *pattern.Pattern, initial *stats.Stats, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults(p)
+	if initial == nil {
+		initial = stats.New()
+	}
+	c := &Controller{
+		cfg:    cfg,
+		pat:    p,
+		online: stats.NewOnline(cfg.EstimationWindow),
+		alias:  stats.AliasTypes(p),
+		conds:  p.Conds,
+	}
+	if err := c.install(initial); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// install plans with the given statistics and replaces the engines.
+func (c *Controller) install(st *stats.Stats) error {
+	pl, err := c.cfg.Planner.Plan(c.pat, st)
+	if err != nil {
+		return err
+	}
+	engines := make([]metrics.Engine, 0, len(pl.Simple))
+	for _, sp := range pl.Simple {
+		if sp.IsTree() {
+			e, err := tree.New(sp.Compiled, sp.TreeTerms(), tree.Config{
+				Strategy:      c.cfg.Planner.Strategy,
+				MaxKleeneBase: c.cfg.MaxKleeneBase,
+			})
+			if err != nil {
+				return err
+			}
+			engines = append(engines, e)
+		} else {
+			e, err := nfa.New(sp.Compiled, sp.OrderTerms(), nfa.Config{
+				Strategy:      c.cfg.Planner.Strategy,
+				MaxKleeneBase: c.cfg.MaxKleeneBase,
+			})
+			if err != nil {
+				return err
+			}
+			engines = append(engines, e)
+		}
+	}
+	c.plan = pl
+	c.engines = engines
+	return nil
+}
+
+// Process consumes one event, returning emitted matches. Periodically it
+// re-estimates statistics and swaps plans when the current plan has
+// drifted from optimal by more than the threshold.
+func (c *Controller) Process(ev *event.Event) ([]*match.Match, error) {
+	c.st.Processed++
+	c.online.Observe(ev)
+	c.out = c.out[:0]
+	for _, e := range c.engines {
+		c.out = append(c.out, e.Process(ev)...)
+	}
+	c.st.Matches += int64(len(c.out))
+	if c.st.Processed >= int64(c.cfg.WarmupEvents) &&
+		c.st.Processed%int64(c.cfg.CheckEvery) == 0 {
+		if err := c.maybeReplan(); err != nil {
+			return nil, err
+		}
+	}
+	return c.out, nil
+}
+
+// maybeReplan compares the current plan's cost under fresh statistics with
+// a newly optimised plan and swaps when the improvement clears the
+// threshold.
+func (c *Controller) maybeReplan() error {
+	c.st.Checks++
+	fresh := c.online.Snapshot(c.conds, c.alias)
+	newPlan, err := c.cfg.Planner.Plan(c.pat, fresh)
+	if err != nil {
+		return err
+	}
+	currentCost, err := c.costUnder(fresh)
+	if err != nil {
+		return err
+	}
+	if newPlan.TotalCost <= 0 || currentCost <= 0 {
+		return nil
+	}
+	if currentCost/newPlan.TotalCost-1 < c.cfg.Threshold {
+		return nil
+	}
+	c.st.Replans++
+	return c.install(fresh)
+}
+
+// costUnder re-costs the *current* plan under new statistics.
+func (c *Controller) costUnder(fresh *stats.Stats) (float64, error) {
+	total := 0.0
+	for _, sp := range c.plan.Simple {
+		ps := stats.For(sp.Compiled.Source, fresh)
+		if ps.N() != sp.Stats.N() {
+			return 0, fmt.Errorf("adaptive: statistics shape changed")
+		}
+		if sp.IsTree() {
+			total += sp.Model.TreeCost(ps, sp.Tree)
+		} else {
+			total += sp.Model.OrderCost(ps, sp.Order)
+		}
+	}
+	return total, nil
+}
+
+// Flush releases pending matches from the engines.
+func (c *Controller) Flush() []*match.Match {
+	c.out = c.out[:0]
+	for _, e := range c.engines {
+		c.out = append(c.out, e.Flush()...)
+	}
+	c.st.Matches += int64(len(c.out))
+	return c.out
+}
+
+// Stats returns the controller counters.
+func (c *Controller) Stats() Stats { return c.st }
+
+// CurrentPlan renders the active plan's orders/trees for inspection.
+func (c *Controller) CurrentPlan() *core.Plan { return c.plan }

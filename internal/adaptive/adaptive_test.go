@@ -1,0 +1,179 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+var (
+	schemaA = event.NewSchema("A", "x")
+	schemaB = event.NewSchema("B", "x")
+	schemaC = event.NewSchema("C", "x")
+)
+
+// shiftingStream generates a stream whose rate profile flips halfway:
+// first A is rare (1%) and B frequent, then the reverse.
+func shiftingStream(n int) []*event.Event {
+	rng := rand.New(rand.NewSource(3))
+	var events []*event.Event
+	ts := event.Time(0)
+	for i := 0; i < n; i++ {
+		ts += 10
+		rareFirstHalf := i < n/2
+		var s *event.Schema
+		switch {
+		case i%100 == 0:
+			if rareFirstHalf {
+				s = schemaA
+			} else {
+				s = schemaB
+			}
+		case i%2 == 0:
+			if rareFirstHalf {
+				s = schemaB
+			} else {
+				s = schemaA
+			}
+		default:
+			s = schemaC
+		}
+		events = append(events, event.New(s, ts, float64(rng.Intn(5))))
+	}
+	return event.Drain(event.NewSliceStream(events))
+}
+
+// seqPattern declares selective equality predicates so that plan costs are
+// genuinely order-sensitive (with only the implicit temporal constraints,
+// the last level dominates every order equally).
+func seqPattern() *pattern.Pattern {
+	return pattern.Seq(2*event.Second,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"),
+	).Where(
+		pattern.AttrCmp("a", "x", pattern.Eq, "b", "x"),
+		pattern.AttrCmp("b", "x", pattern.Eq, "c", "x"),
+	)
+}
+
+func TestControllerReplansOnDrift(t *testing.T) {
+	p := seqPattern()
+	// Initial statistics match the first half: A rare.
+	initial := stats.New()
+	initial.SetRate("A", 0.5)
+	initial.SetRate("B", 5)
+	initial.SetRate("C", 5)
+	ctrl, err := New(p, initial, Config{
+		Planner:    core.NewPlanner(core.AlgDPLD),
+		CheckEvery: 200,
+		Threshold:  0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range shiftingStream(4000) {
+		if _, err := ctrl.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctrl.Flush()
+	st := ctrl.Stats()
+	if st.Checks == 0 {
+		t.Fatal("no re-optimisation checks performed")
+	}
+	if st.Replans == 0 {
+		t.Fatal("rate flip did not trigger a replan")
+	}
+	if st.Processed != 4000 {
+		t.Fatalf("Processed = %d", st.Processed)
+	}
+	// After the flip, B is the rare type: the active plan should start
+	// with it.
+	order := ctrl.CurrentPlan().Simple[0].OrderTerms()
+	if order[0] != 1 {
+		t.Fatalf("post-flip plan starts with term %d, want 1 (B): %v", order[0], order)
+	}
+}
+
+func TestControllerStableStatsNoReplan(t *testing.T) {
+	p := seqPattern()
+	rng := rand.New(rand.NewSource(9))
+	var events []*event.Event
+	ts := event.Time(0)
+	for i := 0; i < 3000; i++ {
+		ts += 10
+		s := []*event.Schema{schemaA, schemaB, schemaC}[rng.Intn(3)]
+		events = append(events, event.New(s, ts, 0))
+	}
+	events = event.Drain(event.NewSliceStream(events))
+	// Initial statistics already reflect the uniform stream.
+	initial := stats.New()
+	initial.SetRate("A", 33)
+	initial.SetRate("B", 33)
+	initial.SetRate("C", 33)
+	ctrl, err := New(p, initial, Config{
+		Planner:    core.NewPlanner(core.AlgDPLD),
+		CheckEvery: 300,
+		Threshold:  0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, err := ctrl.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ctrl.Stats()
+	if st.Checks == 0 {
+		t.Fatal("no checks performed")
+	}
+	if st.Replans != 0 {
+		t.Fatalf("replanned %d times on stable statistics", st.Replans)
+	}
+}
+
+func TestControllerDetectsMatches(t *testing.T) {
+	p := seqPattern()
+	ctrl, err := New(p, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := event.Drain(event.NewSliceStream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaC, 3, 0),
+	}))
+	total := 0
+	for _, ev := range events {
+		ms, err := ctrl.Process(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ms)
+	}
+	total += len(ctrl.Flush())
+	if total != 1 {
+		t.Fatalf("got %d matches, want 1", total)
+	}
+	if ctrl.Stats().Matches != 1 {
+		t.Fatalf("Stats.Matches = %d", ctrl.Stats().Matches)
+	}
+}
+
+func TestControllerDefaults(t *testing.T) {
+	p := seqPattern()
+	ctrl, err := New(p, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.cfg.CheckEvery != 512 || ctrl.cfg.Threshold != 0.25 {
+		t.Fatalf("defaults = %+v", ctrl.cfg)
+	}
+	if ctrl.cfg.EstimationWindow != 8*event.Second {
+		t.Fatalf("estimation window = %d", ctrl.cfg.EstimationWindow)
+	}
+}

@@ -1,0 +1,111 @@
+// Package core implements the paper's primary contribution: CEP plan
+// generation via join-query optimisation. It provides the five order-based
+// and three tree-based plan-generation algorithms evaluated in Section 7.1 —
+//
+//	order-based: TRIVIAL, EFREQ, GREEDY, II-RANDOM, II-GREEDY, DP-LD
+//	tree-based:  ZSTREAM, ZSTREAM-ORD, DP-B
+//
+// — together with the end-to-end planner that lowers an arbitrary pattern
+// (nested operators, negation, Kleene closure) into per-disjunct execution
+// plans, applying the transformations of Section 5 and the CEP-specific
+// adaptations of Section 6 (latency-hybrid cost, selection-strategy-aware
+// cost models).
+//
+// All algorithms optimise a cost.Model, so a single implementation serves
+// the throughput-only, hybrid-latency and skip-till-next variants. The
+// GREEDY and II algorithms follow Swami's heuristics [47]; DP-LD and DP-B
+// follow Selinger-style dynamic programming [45]; ZSTREAM follows Mei &
+// Madden's fixed-leaf-order tree search [35].
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// OrderAlgorithm generates an order-based plan over planning positions
+// 0..n-1 of the given pattern statistics.
+type OrderAlgorithm interface {
+	Name() string
+	Order(ps *stats.PatternStats, m cost.Model) []int
+}
+
+// TreeAlgorithm generates a tree-based plan over planning positions 0..n-1.
+type TreeAlgorithm interface {
+	Name() string
+	Tree(ps *stats.PatternStats, m cost.Model) *plan.TreeNode
+}
+
+// Algorithm names as used in the paper's evaluation (Section 7.1).
+const (
+	AlgTrivial    = "TRIVIAL"
+	AlgEFreq      = "EFREQ"
+	AlgGreedy     = "GREEDY"
+	AlgIIRandom   = "II-RANDOM"
+	AlgIIGreedy   = "II-GREEDY"
+	AlgDPLD       = "DP-LD"
+	AlgZStream    = "ZSTREAM"
+	AlgZStreamOrd = "ZSTREAM-ORD"
+	AlgDPB        = "DP-B"
+)
+
+// OrderAlgorithmNames lists the order-based algorithms in the paper's order.
+func OrderAlgorithmNames() []string {
+	return []string{AlgTrivial, AlgEFreq, AlgGreedy, AlgIIRandom, AlgIIGreedy, AlgDPLD}
+}
+
+// TreeAlgorithmNames lists the tree-based algorithms in the paper's order.
+func TreeAlgorithmNames() []string {
+	return []string{AlgZStream, AlgZStreamOrd, AlgDPB}
+}
+
+// JoinAdapted reports whether the named algorithm is a JQPG method adapted
+// to CEP (as opposed to a native CPG technique) per Section 7.1.
+func JoinAdapted(name string) bool {
+	switch name {
+	case AlgGreedy, AlgIIRandom, AlgIIGreedy, AlgDPLD, AlgZStreamOrd, AlgDPB:
+		return true
+	}
+	return false
+}
+
+// NewOrderAlgorithm constructs an order-based algorithm by name.
+func NewOrderAlgorithm(name string) (OrderAlgorithm, error) {
+	switch name {
+	case AlgTrivial:
+		return Trivial{}, nil
+	case AlgEFreq:
+		return EFreq{}, nil
+	case AlgGreedy:
+		return Greedy{}, nil
+	case AlgIIRandom:
+		return NewIIRandom(DefaultIIRestarts, 1), nil
+	case AlgIIGreedy:
+		return NewIIGreedy(), nil
+	case AlgDPLD:
+		return DPLD{}, nil
+	case AlgKBZ:
+		return KBZ{}, nil
+	case AlgSimAnneal:
+		return NewSimAnneal(1), nil
+	case AlgAuto:
+		return Auto{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown order algorithm %q", name)
+}
+
+// NewTreeAlgorithm constructs a tree-based algorithm by name.
+func NewTreeAlgorithm(name string) (TreeAlgorithm, error) {
+	switch name {
+	case AlgZStream:
+		return ZStream{}, nil
+	case AlgZStreamOrd:
+		return ZStreamOrd{}, nil
+	case AlgDPB:
+		return DPB{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown tree algorithm %q", name)
+}

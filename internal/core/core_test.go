@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+func almost(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func randomStats(rng *rand.Rand, n int) *stats.PatternStats {
+	ps := &stats.PatternStats{W: 1 + rng.Float64()*10, Rates: make([]float64, n), Sel: make([][]float64, n)}
+	for i := range ps.Sel {
+		ps.Sel[i] = make([]float64, n)
+		for j := range ps.Sel[i] {
+			ps.Sel[i][j] = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		ps.Rates[i] = 0.1 + rng.Float64()*20
+		if rng.Intn(3) == 0 {
+			ps.Sel[i][i] = 0.1 + rng.Float64()*0.9
+		}
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				s := 0.01 + rng.Float64()*0.99
+				ps.Sel[i][j], ps.Sel[j][i] = s, s
+			}
+		}
+	}
+	return ps
+}
+
+func testModels(n int) []cost.Model {
+	ms := []cost.Model{
+		{Strategy: predicate.SkipTillAnyMatch, LastPos: -1},
+		{Strategy: predicate.SkipTillNextMatch, LastPos: -1},
+	}
+	if n > 1 {
+		ms = append(ms,
+			cost.Model{Strategy: predicate.SkipTillAnyMatch, Alpha: 0.5, LastPos: n - 1},
+			cost.Model{Strategy: predicate.SkipTillNextMatch, Alpha: 2, LastPos: 0},
+		)
+	}
+	return ms
+}
+
+func TestTrivialAndEFreq(t *testing.T) {
+	ps := &stats.PatternStats{
+		W:     1,
+		Rates: []float64{5, 1, 3},
+		Sel:   [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}},
+	}
+	m := cost.DefaultModel()
+	if got := (Trivial{}).Order(ps, m); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("Trivial = %v", got)
+	}
+	if got := (EFreq{}).Order(ps, m); got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Fatalf("EFreq = %v", got)
+	}
+}
+
+func TestGreedyPrefersRareAndSelective(t *testing.T) {
+	// Rare event 2 plus a selective 0–2 predicate: greedy should start with
+	// 2, then 0 (cheap joint), then 1.
+	ps := &stats.PatternStats{
+		W:     10,
+		Rates: []float64{10, 10, 0.1},
+		Sel: [][]float64{
+			{1, 1, 0.01},
+			{1, 1, 1},
+			{0.01, 1, 1},
+		},
+	}
+	got := (Greedy{}).Order(ps, cost.DefaultModel())
+	if got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("Greedy = %v", got)
+	}
+}
+
+// TestDPLDOptimality verifies DP-LD against exhaustive enumeration for every
+// cost-model family.
+func TestDPLDOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		ps := randomStats(rng, n)
+		for _, m := range testModels(n) {
+			got := (DPLD{}).Order(ps, m)
+			if err := plan.CheckPermutation(got); err != nil {
+				t.Fatal(err)
+			}
+			gotCost := m.OrderCost(ps, got)
+			best := math.Inf(1)
+			plan.Permutations(n, func(order []int) {
+				if c := m.OrderCost(ps, order); c < best {
+					best = c
+				}
+			})
+			if !almost(gotCost, best) {
+				t.Fatalf("model %+v n=%d: DP-LD cost %g, exhaustive %g (order %v)",
+					m, n, gotCost, best, got)
+			}
+		}
+	}
+}
+
+// TestDPBOptimality verifies DP-B against exhaustive bushy enumeration.
+func TestDPBOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		ps := randomStats(rng, n)
+		for _, m := range testModels(n) {
+			got := (DPB{}).Tree(ps, m)
+			if _, err := plan.NewTree(got); err != nil {
+				t.Fatal(err)
+			}
+			gotCost := m.TreeCost(ps, got)
+			best := math.Inf(1)
+			plan.AllTrees(n, func(root *plan.TreeNode) {
+				if c := m.TreeCost(ps, root); c < best {
+					best = c
+				}
+			})
+			if !almost(gotCost, best) {
+				t.Fatalf("model %+v n=%d: DP-B cost %g, exhaustive %g (tree %s)",
+					m, n, gotCost, best, got)
+			}
+		}
+	}
+}
+
+// enumFixedLeafTrees enumerates every tree shape over a fixed leaf sequence
+// (the space native ZStream searches).
+func enumFixedLeafTrees(leaves []int, fn func(*plan.TreeNode)) {
+	var build func(i, j int) []*plan.TreeNode
+	build = func(i, j int) []*plan.TreeNode {
+		if i == j {
+			return []*plan.TreeNode{plan.LeafNode(leaves[i])}
+		}
+		var out []*plan.TreeNode
+		for k := i; k < j; k++ {
+			for _, l := range build(i, k) {
+				for _, r := range build(k+1, j) {
+					out = append(out, plan.Join(l, r))
+				}
+			}
+		}
+		return out
+	}
+	for _, root := range build(0, len(leaves)-1) {
+		fn(root)
+	}
+}
+
+// TestZStreamOptimalForFixedLeaves verifies the interval DP against the
+// exhaustive fixed-leaf-order space.
+func TestZStreamOptimalForFixedLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		ps := randomStats(rng, n)
+		for _, m := range testModels(n) {
+			got := (ZStream{}).Tree(ps, m)
+			gotCost := m.TreeCost(ps, got)
+			leaves := make([]int, n)
+			for i := range leaves {
+				leaves[i] = i
+			}
+			best := math.Inf(1)
+			enumFixedLeafTrees(leaves, func(root *plan.TreeNode) {
+				if c := m.TreeCost(ps, root); c < best {
+					best = c
+				}
+			})
+			if !almost(gotCost, best) {
+				t.Fatalf("model %+v n=%d: ZStream %g, exhaustive fixed-leaf %g",
+					m, n, gotCost, best)
+			}
+			// The leaf order must be preserved.
+			for i, l := range got.Leaves() {
+				if l != i {
+					t.Fatalf("ZStream reordered leaves: %v", got.Leaves())
+				}
+			}
+		}
+	}
+}
+
+// TestZStreamMissesReorderedPlan reproduces the Section 2.3 example: with a
+// highly selective predicate between the first and third event of a
+// sequence, the optimal tree pairs them first — a plan ZSTREAM cannot form
+// but ZSTREAM-ORD and DP-B find.
+func TestZStreamMissesReorderedPlan(t *testing.T) {
+	ps := &stats.PatternStats{
+		W:     10,
+		Rates: []float64{5, 5, 5},
+		Sel: [][]float64{
+			{1, 0.5, 0.001}, // ts-order a<b; selective a-c predicate
+			{0.5, 1, 0.5},   // ts-order b<c
+			{0.001, 0.5, 1},
+		},
+	}
+	m := cost.DefaultModel()
+	zCost := m.TreeCost(ps, ZStream{}.Tree(ps, m))
+	dpbTree := DPB{}.Tree(ps, m)
+	dpbCost := m.TreeCost(ps, dpbTree)
+	ordCost := m.TreeCost(ps, ZStreamOrd{}.Tree(ps, m))
+	if dpbCost >= zCost {
+		t.Fatalf("DP-B (%g) should beat fixed-leaf ZStream (%g)", dpbCost, zCost)
+	}
+	if ordCost >= zCost {
+		t.Fatalf("ZSTREAM-ORD (%g) should beat fixed-leaf ZStream (%g)", ordCost, zCost)
+	}
+	// The optimal plan joins 0 and 2 first.
+	leaves01 := dpbTree.Leaves()
+	if !(len(leaves01) == 3) {
+		t.Fatal("bad tree")
+	}
+	var pairNode *plan.TreeNode
+	for _, n := range dpbTree.Nodes() {
+		if !n.IsLeaf() && n.Size() == 2 {
+			pairNode = n
+		}
+	}
+	got := pairNode.Leaves()
+	if !((got[0] == 0 && got[1] == 2) || (got[0] == 2 && got[1] == 0)) {
+		t.Fatalf("DP-B should pair the selective 0-2 edge first, got %v", got)
+	}
+}
+
+func TestIIImprovesOrNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(4)
+		ps := randomStats(rng, n)
+		m := cost.DefaultModel()
+		greedyCost := m.OrderCost(ps, Greedy{}.Order(ps, m))
+		iig := NewIIGreedy().Order(ps, m)
+		if err := plan.CheckPermutation(iig); err != nil {
+			t.Fatal(err)
+		}
+		if c := m.OrderCost(ps, iig); c > greedyCost*(1+1e-9) {
+			t.Fatalf("II-GREEDY (%g) worse than its greedy start (%g)", c, greedyCost)
+		}
+		iir := NewIIRandom(4, int64(trial)).Order(ps, m)
+		if err := plan.CheckPermutation(iir); err != nil {
+			t.Fatal(err)
+		}
+		// Local search must reach at least a local optimum no worse than the
+		// trivial order it could have started from (sanity bound: must beat
+		// the worst permutation).
+		worst := 0.0
+		plan.Permutations(n, func(order []int) {
+			if c := m.OrderCost(ps, order); c > worst {
+				worst = c
+			}
+		})
+		if c := m.OrderCost(ps, iir); c > worst {
+			t.Fatalf("II-RANDOM (%g) worse than worst order (%g)", c, worst)
+		}
+	}
+}
+
+// TestIIFindsOptimumOften sanity-checks the local search quality: with
+// restarts on small instances, II-RANDOM should reach the global optimum in
+// the vast majority of cases.
+func TestIIFindsOptimumOften(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	hits, trials := 0, 20
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(2)
+		ps := randomStats(rng, n)
+		m := cost.DefaultModel()
+		best := math.Inf(1)
+		plan.Permutations(n, func(order []int) {
+			if c := m.OrderCost(ps, order); c < best {
+				best = c
+			}
+		})
+		got := m.OrderCost(ps, NewIIRandom(8, int64(trial)).Order(ps, m))
+		if almost(got, best) {
+			hits++
+		}
+	}
+	if hits < trials*3/4 {
+		t.Fatalf("II-RANDOM found the optimum only %d/%d times", hits, trials)
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	for _, name := range OrderAlgorithmNames() {
+		a, err := NewOrderAlgorithm(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("%s: Name() = %q", name, a.Name())
+		}
+	}
+	for _, name := range TreeAlgorithmNames() {
+		a, err := NewTreeAlgorithm(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("%s: Name() = %q", name, a.Name())
+		}
+	}
+	if _, err := NewOrderAlgorithm("NOPE"); err == nil {
+		t.Fatal("unknown order algorithm accepted")
+	}
+	if _, err := NewTreeAlgorithm("NOPE"); err == nil {
+		t.Fatal("unknown tree algorithm accepted")
+	}
+	if !JoinAdapted(AlgDPB) || JoinAdapted(AlgTrivial) || JoinAdapted(AlgZStream) {
+		t.Fatal("JoinAdapted classification wrong")
+	}
+}
+
+func TestHybridAlphaTradesThroughputForLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(3)
+		ps := randomStats(rng, n)
+		last := n - 1
+		m0 := cost.Model{Strategy: predicate.SkipTillAnyMatch, Alpha: 0, LastPos: last}
+		mBig := cost.Model{Strategy: predicate.SkipTillAnyMatch, Alpha: 1e9, LastPos: last}
+		o0 := DPLD{}.Order(ps, m0)
+		oBig := DPLD{}.Order(ps, mBig)
+		lat0 := cost.OrderLatency(ps, o0, last)
+		latBig := cost.OrderLatency(ps, oBig, last)
+		if latBig > lat0+1e-9 {
+			t.Fatalf("α=∞ latency %g exceeds α=0 latency %g", latBig, lat0)
+		}
+		// With an overwhelming α the optimal plan finishes with the anchor.
+		if latBig != 0 {
+			t.Fatalf("α=∞ should place the anchor last, latency = %g (order %v)", latBig, oBig)
+		}
+	}
+}

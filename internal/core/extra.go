@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Extension algorithms beyond the paper's evaluated set: simulated
+// annealing (the randomized JQPG family surveyed in the paper's related
+// work [26, 46]) and a topology-aware automatic selector exploiting the
+// Section 4.3 observations.
+const (
+	// AlgSimAnneal is simulated annealing over the order space with the
+	// same swap/cycle moves as iterative improvement.
+	AlgSimAnneal = "SIM-ANNEAL"
+	// AlgAuto picks an algorithm from the query-graph topology and size:
+	// exhaustive DP when affordable, KBZ on acyclic graphs, iterative
+	// improvement otherwise.
+	AlgAuto = "AUTO"
+)
+
+// ExtendedOrderAlgorithmNames lists the order algorithms beyond the paper's
+// evaluated six.
+func ExtendedOrderAlgorithmNames() []string { return []string{AlgKBZ, AlgSimAnneal, AlgAuto} }
+
+// SimAnneal is simulated annealing over evaluation orders [26]: random
+// swap/3-cycle moves accepted when improving, or with probability
+// exp(−Δ/T) otherwise, under a geometric cooling schedule. Deterministic in
+// Seed.
+type SimAnneal struct {
+	Seed int64
+	// Steps per temperature level; default 30·n.
+	StepsPerLevel int
+	// Levels of the cooling schedule; default 40.
+	Levels int
+	// Cooling factor per level; default 0.85.
+	Cooling float64
+}
+
+// NewSimAnneal returns an annealer with the default schedule.
+func NewSimAnneal(seed int64) SimAnneal { return SimAnneal{Seed: seed} }
+
+// Name implements OrderAlgorithm.
+func (SimAnneal) Name() string { return AlgSimAnneal }
+
+// Order implements OrderAlgorithm.
+func (sa SimAnneal) Order(ps *stats.PatternStats, m cost.Model) []int {
+	n := ps.N()
+	if n <= 1 {
+		return Trivial{}.Order(ps, m)
+	}
+	steps := sa.StepsPerLevel
+	if steps <= 0 {
+		steps = 30 * n
+	}
+	levels := sa.Levels
+	if levels <= 0 {
+		levels = 40
+	}
+	cooling := sa.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.85
+	}
+	rng := rand.New(rand.NewSource(sa.Seed + 1))
+	cur := Greedy{}.Order(ps, m)
+	curCost := m.OrderCost(ps, cur)
+	best := append([]int(nil), cur...)
+	bestCost := curCost
+	// Initial temperature proportional to the starting cost so acceptance
+	// probabilities are scale-free.
+	temp := curCost * 0.5
+	if temp <= 0 {
+		temp = 1
+	}
+	for level := 0; level < levels; level++ {
+		for s := 0; s < steps; s++ {
+			next := append([]int(nil), cur...)
+			if n >= 3 && rng.Intn(2) == 0 {
+				i, j, k := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+				if i != j && j != k && i != k {
+					next[i], next[j], next[k] = next[j], next[k], next[i]
+				}
+			} else {
+				i, j := rng.Intn(n), rng.Intn(n)
+				next[i], next[j] = next[j], next[i]
+			}
+			nextCost := m.OrderCost(ps, next)
+			delta := nextCost - curCost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				cur, curCost = next, nextCost
+				if curCost < bestCost {
+					best = append(best[:0], cur...)
+					bestCost = curCost
+				}
+			}
+		}
+		temp *= cooling
+	}
+	return best
+}
+
+// Auto selects a planner from the problem shape, per Section 4.3: small
+// instances afford the exhaustive DP; acyclic query graphs admit the
+// polynomial KBZ (compared against a greedy descent, since KBZ forgoes
+// cross products and those can win — the paper's caveat from [38]); the
+// rest get iterative improvement.
+type Auto struct {
+	// MaxDP is the largest size planned exhaustively; default 12.
+	MaxDP int
+}
+
+// Name implements OrderAlgorithm.
+func (Auto) Name() string { return AlgAuto }
+
+// Order implements OrderAlgorithm.
+func (a Auto) Order(ps *stats.PatternStats, m cost.Model) []int {
+	maxDP := a.MaxDP
+	if maxDP <= 0 {
+		maxDP = 12
+	}
+	n := ps.N()
+	if n <= maxDP {
+		return DPLD{}.Order(ps, m)
+	}
+	g := graph.FromStats(ps)
+	if g.IsConnected() && g.IsAcyclic() {
+		kbz := KBZ{}.Order(ps, m)
+		ii := NewIIGreedy().Order(ps, m)
+		if m.OrderCost(ps, kbz) <= m.OrderCost(ps, ii) {
+			return kbz
+		}
+		return ii
+	}
+	return NewIIGreedy().Order(ps, m)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+func TestSimAnnealQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := cost.DefaultModel()
+	hits, trials := 0, 15
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(3)
+		ps := randomStats(rng, n)
+		order := NewSimAnneal(int64(trial)).Order(ps, m)
+		if err := plan.CheckPermutation(order); err != nil {
+			t.Fatal(err)
+		}
+		got := m.OrderCost(ps, order)
+		best := math.Inf(1)
+		plan.Permutations(n, func(o []int) {
+			if c := m.OrderCost(ps, o); c < best {
+				best = c
+			}
+		})
+		// Annealing starts from greedy and never worsens the best-seen.
+		greedy := m.OrderCost(ps, Greedy{}.Order(ps, m))
+		if got > greedy*(1+1e-9) {
+			t.Fatalf("annealing (%g) worse than its greedy start (%g)", got, greedy)
+		}
+		if almost(got, best) {
+			hits++
+		}
+	}
+	if hits < trials/2 {
+		t.Fatalf("annealing reached the optimum only %d/%d times", hits, trials)
+	}
+}
+
+func TestSimAnnealDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ps := randomStats(rng, 6)
+	m := cost.DefaultModel()
+	a := NewSimAnneal(7).Order(ps, m)
+	b := NewSimAnneal(7).Order(ps, m)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+}
+
+func TestAutoPicksDPForSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(4)
+		ps := randomStats(rng, n)
+		auto := m.OrderCost(ps, Auto{}.Order(ps, m))
+		dp := m.OrderCost(ps, DPLD{}.Order(ps, m))
+		if !almost(auto, dp) {
+			t.Fatalf("AUTO (%g) != DP-LD (%g) on small instance", auto, dp)
+		}
+	}
+}
+
+func TestAutoUsesKBZOnLargeAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m := cost.DefaultModel()
+	ps := randomTreeStats(rng, 16)
+	a := Auto{MaxDP: 8}
+	order := a.Order(ps, m)
+	if err := plan.CheckPermutation(order); err != nil {
+		t.Fatal(err)
+	}
+	autoCost := m.OrderCost(ps, order)
+	kbzCost := m.OrderCost(ps, KBZ{}.Order(ps, m))
+	iiCost := m.OrderCost(ps, NewIIGreedy().Order(ps, m))
+	want := math.Min(kbzCost, iiCost)
+	if !almost(autoCost, want) {
+		t.Fatalf("AUTO cost %g, want min(KBZ, II) = %g", autoCost, want)
+	}
+}
+
+func TestExtendedRegistry(t *testing.T) {
+	for _, name := range ExtendedOrderAlgorithmNames() {
+		a, err := NewOrderAlgorithm(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("%s: Name() = %q", name, a.Name())
+		}
+	}
+}

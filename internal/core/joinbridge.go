@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/join"
+	"repro/internal/plan"
+)
+
+// This file makes the JQPG ⊆ CPG direction of Theorem 1 practical: a plain
+// relational join query is converted to CEP statistics (W = max|R_i|,
+// r_i = |R_i|/W) and planned with any of the CEP algorithms, whose output
+// minimises Cost_LDJ / Cost_BJ exactly (the costs coincide under the
+// reduction). In other words, the library doubles as a join-order
+// optimiser.
+
+// OrderQuery plans a left-deep join order for the query with the named
+// order-based algorithm.
+func OrderQuery(q *join.Query, algorithm string) ([]int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	oa, err := NewOrderAlgorithm(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	ps := q.ToPatternStats()
+	order := oa.Order(ps, cost.DefaultModel())
+	if err := plan.CheckPermutation(order); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid join order: %w", algorithm, err)
+	}
+	return order, nil
+}
+
+// TreeQuery plans a bushy join tree for the query with the named tree-based
+// algorithm.
+func TreeQuery(q *join.Query, algorithm string) (*plan.TreeNode, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ta, err := NewTreeAlgorithm(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	ps := q.ToPatternStats()
+	root := ta.Tree(ps, cost.DefaultModel())
+	if _, err := plan.NewTree(root); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid join tree: %w", algorithm, err)
+	}
+	return root, nil
+}

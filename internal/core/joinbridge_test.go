@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/plan"
+)
+
+func randomQuery(rng *rand.Rand, n int) *join.Query {
+	rels := make([]join.Relation, n)
+	for i := range rels {
+		rels[i] = join.Relation{Name: "R", Card: float64(1 + rng.Intn(500))}
+	}
+	q := join.NewQuery(rels...)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				q.SetSel(i, j, 0.01+rng.Float64()*0.99)
+			}
+		}
+	}
+	return q
+}
+
+// TestOrderQueryOptimal verifies that DP-LD run through the reduction
+// produces the Cost_LDJ-optimal join order — the practical payoff of
+// Theorem 1's JQPG ⊆ CPG direction.
+func TestOrderQueryOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		q := randomQuery(rng, n)
+		order, err := OrderQuery(q, AlgDPLD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.CostLDJ(order)
+		best := math.Inf(1)
+		plan.Permutations(n, func(o []int) {
+			if c := q.CostLDJ(o); c < best {
+				best = c
+			}
+		})
+		if math.Abs(got-best) > 1e-9*best {
+			t.Fatalf("DP-LD join order cost %g, optimum %g", got, best)
+		}
+	}
+}
+
+// TestTreeQueryOptimal does the same for bushy plans via DP-B.
+func TestTreeQueryOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		q := randomQuery(rng, n)
+		root, err := TreeQuery(q, AlgDPB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.CostBJ(root)
+		best := math.Inf(1)
+		plan.AllTrees(n, func(tr *plan.TreeNode) {
+			if c := q.CostBJ(tr); c < best {
+				best = c
+			}
+		})
+		if math.Abs(got-best) > 1e-9*best {
+			t.Fatalf("DP-B join tree cost %g, optimum %g", got, best)
+		}
+	}
+}
+
+func TestJoinBridgeErrors(t *testing.T) {
+	q := randomQuery(rand.New(rand.NewSource(53)), 3)
+	if _, err := OrderQuery(q, "NOPE"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := TreeQuery(q, "NOPE"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	q.Sel[0][1] = 2 // invalid
+	if _, err := OrderQuery(q, AlgGreedy); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// AlgKBZ names the polynomial-time optimal algorithm for acyclic query
+// graphs (Ibaraki–Kameda / Krishnamurthy–Boral–Zaniolo), enabled by the ASI
+// property of Cost_ord proved in Appendix A and discussed in Section 4.3.
+// It searches only cross-product-free orders, so on graphs where a cross
+// product is beneficial it is a heuristic (the paper's caveat); on
+// non-acyclic graphs this implementation falls back to GREEDY.
+const AlgKBZ = "KBZ"
+
+// KBZ is the rank-based polynomial join-ordering algorithm: for every
+// choice of root it linearises the rooted predicate tree by ascending rank,
+// gluing parent/child modules whose ranks invert (the ASI normalisation),
+// and returns the cheapest of the n linearisations. O(n² log n).
+type KBZ struct{}
+
+// Name implements OrderAlgorithm.
+func (KBZ) Name() string { return AlgKBZ }
+
+// module is a glued run of positions with its aggregated C and T values
+// (cost.SeqCost / cost.SeqProd of the member weight sequence).
+type module struct {
+	positions []int
+	c, t      float64
+}
+
+func (m module) rank() float64 { return (m.t - 1) / m.c }
+
+// merge concatenates two modules that must appear consecutively.
+func (m module) merge(next module) module {
+	return module{
+		positions: append(append([]int(nil), m.positions...), next.positions...),
+		c:         m.c + m.t*next.c,
+		t:         m.t * next.t,
+	}
+}
+
+// Order implements OrderAlgorithm.
+func (KBZ) Order(ps *stats.PatternStats, m cost.Model) []int {
+	n := ps.N()
+	if n == 0 {
+		return nil
+	}
+	g := graph.FromStats(ps)
+	if !(g.IsConnected() && g.IsAcyclic()) {
+		return Greedy{}.Order(ps, m)
+	}
+	best := make([]int, 0, n)
+	bestCost := 0.0
+	for root := 0; root < n; root++ {
+		order := kbzLinearise(ps, g, root)
+		c := m.OrderCost(ps, order)
+		if len(best) == 0 || c < bestCost {
+			best = append(best[:0], order...)
+			bestCost = c
+		}
+	}
+	return best
+}
+
+// kbzLinearise computes the optimal cross-product-free order starting at
+// root for the acyclic graph.
+func kbzLinearise(ps *stats.PatternStats, g *graph.Graph, root int) []int {
+	parents, bfs := g.SpanningParents(root)
+	// weight w_i = W·r_i·sel(i,parent)·sel_ii; the root has no parent edge.
+	weight := func(v int) float64 {
+		w := ps.W * ps.Rates[v] * ps.Sel[v][v]
+		if parents[v] >= 0 {
+			w *= ps.Sel[v][parents[v]]
+		}
+		return w
+	}
+	// chains[v] is the normalised linearisation of v's subtree, excluding v.
+	chains := make(map[int][]module, len(bfs))
+	children := make(map[int][]int, len(bfs))
+	for _, v := range bfs {
+		if parents[v] >= 0 {
+			children[parents[v]] = append(children[parents[v]], v)
+		}
+	}
+	// Process in reverse BFS order so children are linearised first.
+	for i := len(bfs) - 1; i >= 0; i-- {
+		v := bfs[i]
+		// Collect each child's own module followed by its chain, then merge
+		// all child sequences by ascending rank.
+		var sequences [][]module
+		for _, c := range children[v] {
+			w := weight(c)
+			seq := append([]module{{positions: []int{c}, c: w, t: w}}, chains[c]...)
+			sequences = append(sequences, normalise(seq))
+		}
+		chains[v] = mergeByRank(sequences)
+	}
+	w := weight(root)
+	seq := append([]module{{positions: []int{root}, c: w, t: w}}, chains[root]...)
+	seq = normalise(seq)
+	var order []int
+	for _, mod := range seq {
+		order = append(order, mod.positions...)
+	}
+	return order
+}
+
+// normalise glues the head module into its successor while their ranks
+// invert (the head must precede its subtree members, so an inversion forces
+// a compound module).
+func normalise(seq []module) []module {
+	if len(seq) == 0 {
+		return seq
+	}
+	out := append([]module(nil), seq...)
+	for len(out) >= 2 && out[0].rank() > out[1].rank() {
+		merged := out[0].merge(out[1])
+		out = append([]module{merged}, out[2:]...)
+	}
+	return out
+}
+
+// mergeByRank merges rank-ascending module sequences into one
+// rank-ascending sequence (stable).
+func mergeByRank(sequences [][]module) []module {
+	var all []module
+	for _, s := range sequences {
+		all = append(all, s...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].rank() < all[j].rank() })
+	return all
+}

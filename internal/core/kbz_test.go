@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// randomTreeStats builds PatternStats whose query graph is a random tree:
+// every vertex i > 0 carries one predicate to a random earlier vertex.
+func randomTreeStats(rng *rand.Rand, n int) *stats.PatternStats {
+	ps := &stats.PatternStats{W: 1 + rng.Float64()*5, Rates: make([]float64, n), Sel: make([][]float64, n)}
+	for i := range ps.Sel {
+		ps.Sel[i] = make([]float64, n)
+		for j := range ps.Sel[i] {
+			ps.Sel[i][j] = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		ps.Rates[i] = 0.2 + rng.Float64()*10
+		if rng.Intn(3) == 0 {
+			ps.Sel[i][i] = 0.2 + rng.Float64()*0.8
+		}
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		s := 0.05 + rng.Float64()*0.9
+		ps.Sel[i][j], ps.Sel[j][i] = s, s
+	}
+	return ps
+}
+
+// bestConnectedOrder exhaustively minimises the cost over orders whose every
+// prefix is connected in the query graph (the cross-product-free space KBZ
+// searches).
+func bestConnectedOrder(ps *stats.PatternStats, m cost.Model) float64 {
+	g := graph.FromStats(ps)
+	n := ps.N()
+	best := math.Inf(1)
+	plan.Permutations(n, func(order []int) {
+		for k := 1; k < n; k++ {
+			connected := false
+			for _, prev := range order[:k] {
+				if g.HasEdge(prev, order[k]) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				return
+			}
+		}
+		if c := m.OrderCost(ps, order); c < best {
+			best = c
+		}
+	})
+	return best
+}
+
+// TestKBZOptimalOnAcyclicGraphs verifies the Section 4.3 claim: on acyclic
+// query graphs, KBZ finds the optimal cross-product-free left-deep plan in
+// polynomial time.
+func TestKBZOptimalOnAcyclicGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		ps := randomTreeStats(rng, n)
+		order := KBZ{}.Order(ps, m)
+		if err := plan.CheckPermutation(order); err != nil {
+			t.Fatal(err)
+		}
+		got := m.OrderCost(ps, order)
+		want := bestConnectedOrder(ps, m)
+		if !almost(got, want) {
+			t.Fatalf("n=%d: KBZ cost %g, exhaustive connected optimum %g (order %v)",
+				n, got, want, order)
+		}
+	}
+}
+
+// TestKBZRespectsConnectivity checks that the produced order never needs a
+// cross product on tree graphs.
+func TestKBZRespectsConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(5)
+		ps := randomTreeStats(rng, n)
+		order := KBZ{}.Order(ps, m)
+		g := graph.FromStats(ps)
+		for k := 1; k < n; k++ {
+			connected := false
+			for _, prev := range order[:k] {
+				if g.HasEdge(prev, order[k]) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				t.Fatalf("order %v needs a cross product at step %d", order, k)
+			}
+		}
+	}
+}
+
+// TestKBZFallsBackOnCyclicGraphs verifies the documented fallback.
+func TestKBZFallsBackOnCyclicGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ps := randomTreeStats(rng, 4)
+	// Close a cycle.
+	ps.Sel[0][3], ps.Sel[3][0] = 0.5, 0.5
+	ps.Sel[0][2], ps.Sel[2][0] = 0.5, 0.5
+	ps.Sel[1][3], ps.Sel[3][1] = 0.5, 0.5
+	m := cost.DefaultModel()
+	kbz := KBZ{}.Order(ps, m)
+	greedy := Greedy{}.Order(ps, m)
+	for i := range kbz {
+		if kbz[i] != greedy[i] {
+			t.Fatalf("cyclic fallback should be greedy: %v vs %v", kbz, greedy)
+		}
+	}
+}
+
+// TestKBZNeverBeatenByCrossProductFreeDP sanity-checks against DP-LD: the
+// DP searches a superset (it may use cross products), so its cost is a
+// lower bound.
+func TestKBZNeverBeatenByCrossProductFreeDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(5)
+		ps := randomTreeStats(rng, n)
+		kbzCost := m.OrderCost(ps, KBZ{}.Order(ps, m))
+		dpCost := m.OrderCost(ps, DPLD{}.Order(ps, m))
+		if dpCost > kbzCost*(1+1e-9) {
+			t.Fatalf("DP-LD (%g) worse than KBZ (%g)?!", dpCost, kbzCost)
+		}
+	}
+}
+
+func TestKBZName(t *testing.T) {
+	if (KBZ{}).Name() != AlgKBZ {
+		t.Fatal("name mismatch")
+	}
+	if (KBZ{}).Order(&stats.PatternStats{}, cost.DefaultModel()) != nil {
+		t.Fatal("empty stats should give empty order")
+	}
+}

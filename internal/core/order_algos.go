@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+// Trivial returns the pattern's declaration order — the strategy of
+// NFA engines without reordering support (SASE, Cayuga).
+type Trivial struct{}
+
+// Name implements OrderAlgorithm.
+func (Trivial) Name() string { return AlgTrivial }
+
+// Order implements OrderAlgorithm.
+func (Trivial) Order(ps *stats.PatternStats, _ cost.Model) []int {
+	order := make([]int, ps.N())
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// EFreq orders events by ascending arrival frequency — the native CPG
+// heuristic of PB-CED and the lazy NFA [6, 29]. It ignores predicate
+// selectivities, which is exactly the weakness the paper exposes.
+type EFreq struct{}
+
+// Name implements OrderAlgorithm.
+func (EFreq) Name() string { return AlgEFreq }
+
+// Order implements OrderAlgorithm.
+func (EFreq) Order(ps *stats.PatternStats, _ cost.Model) []int {
+	order := make([]int, ps.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ps.Rates[order[a]] < ps.Rates[order[b]]
+	})
+	return order
+}
+
+// Greedy is the greedy cost-based JQPG heuristic [47]: at every step it
+// appends the position that minimises the cost-function increment given the
+// prefix chosen so far.
+type Greedy struct{}
+
+// Name implements OrderAlgorithm.
+func (Greedy) Name() string { return AlgGreedy }
+
+// Order implements OrderAlgorithm.
+func (Greedy) Order(ps *stats.PatternStats, m cost.Model) []int {
+	n := ps.N()
+	order := make([]int, 0, n)
+	var mask uint64
+	st := m.InitState()
+	for len(order) < n {
+		best := -1
+		bestDelta := math.Inf(1)
+		var bestState cost.StepState
+		for pos := 0; pos < n; pos++ {
+			if mask&(1<<uint(pos)) != 0 {
+				continue
+			}
+			nst, delta := m.Extend(ps, st, pos, cost.CrossSel(ps, mask, pos))
+			if delta < bestDelta {
+				best, bestDelta, bestState = pos, delta, nst
+			}
+		}
+		order = append(order, best)
+		mask |= 1 << uint(best)
+		st = bestState
+	}
+	return order
+}
+
+// DefaultIIRestarts is the number of random restarts used by II-RANDOM.
+const DefaultIIRestarts = 8
+
+// II is the iterative-improvement local search of [47]: starting from an
+// initial order it repeatedly applies the best improving swap or 3-cycle
+// move until a local minimum is reached.
+type II struct {
+	name     string
+	greedy   bool // greedy initial state (II-GREEDY) vs random (II-RANDOM)
+	restarts int
+	seed     int64
+}
+
+// NewIIRandom builds II-RANDOM with the given restart count and RNG seed.
+func NewIIRandom(restarts int, seed int64) II {
+	if restarts < 1 {
+		restarts = 1
+	}
+	return II{name: AlgIIRandom, restarts: restarts, seed: seed}
+}
+
+// NewIIGreedy builds II-GREEDY: a single descent from the greedy order.
+func NewIIGreedy() II {
+	return II{name: AlgIIGreedy, greedy: true, restarts: 1}
+}
+
+// Name implements OrderAlgorithm.
+func (ii II) Name() string { return ii.name }
+
+// Order implements OrderAlgorithm.
+func (ii II) Order(ps *stats.PatternStats, m cost.Model) []int {
+	n := ps.N()
+	rng := rand.New(rand.NewSource(ii.seed))
+	var best []int
+	bestCost := math.Inf(1)
+	for r := 0; r < ii.restarts; r++ {
+		var cur []int
+		if ii.greedy {
+			cur = Greedy{}.Order(ps, m)
+		} else {
+			cur = rng.Perm(n)
+		}
+		curCost := m.OrderCost(ps, cur)
+		cur, curCost = descend(ps, m, cur, curCost)
+		if curCost < bestCost {
+			bestCost = curCost
+			best = cur
+		}
+	}
+	return best
+}
+
+// descend applies best-improvement local search with swap and cycle moves
+// until no move improves the cost.
+func descend(ps *stats.PatternStats, m cost.Model, order []int, curCost float64) ([]int, float64) {
+	n := len(order)
+	cur := append([]int(nil), order...)
+	for {
+		bestI, bestJ, bestK := -1, -1, -1
+		bestCost := curCost
+		// Swap moves.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				cur[i], cur[j] = cur[j], cur[i]
+				if c := m.OrderCost(ps, cur); c < bestCost {
+					bestCost, bestI, bestJ, bestK = c, i, j, -1
+				}
+				cur[i], cur[j] = cur[j], cur[i]
+			}
+		}
+		// Cycle moves: rotate three positions (both directions are covered
+		// by enumerating ordered triples i<j<k with two rotations).
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					// Rotation 1: i←j, j←k, k←i.
+					cur[i], cur[j], cur[k] = cur[j], cur[k], cur[i]
+					if c := m.OrderCost(ps, cur); c < bestCost {
+						bestCost, bestI, bestJ, bestK = c, i, j, k
+					}
+					// Rotation 2 (undo rotation 1 twice = other direction).
+					cur[i], cur[j], cur[k] = cur[j], cur[k], cur[i]
+					if c := m.OrderCost(ps, cur); c < bestCost {
+						bestCost, bestI, bestJ, bestK = c, j, i, k // marker: second rotation
+					}
+					// Restore.
+					cur[i], cur[j], cur[k] = cur[j], cur[k], cur[i]
+				}
+			}
+		}
+		if bestI < 0 {
+			return cur, curCost
+		}
+		applyMove(cur, bestI, bestJ, bestK)
+		curCost = bestCost
+	}
+}
+
+// applyMove replays the winning move recorded by descend.
+func applyMove(cur []int, i, j, k int) {
+	if k < 0 {
+		cur[i], cur[j] = cur[j], cur[i]
+		return
+	}
+	if i < j {
+		// Rotation 1 with canonical (i<j<k).
+		cur[i], cur[j], cur[k] = cur[j], cur[k], cur[i]
+		return
+	}
+	// Marker encoding (j,i,k) means rotation applied twice.
+	i, j = j, i
+	cur[i], cur[j], cur[k] = cur[j], cur[k], cur[i]
+	cur[i], cur[j], cur[k] = cur[j], cur[k], cur[i]
+}
+
+// MaxDPPositions bounds the subset dynamic programs; beyond it the DP
+// tables (2^n states) stop being practical, which is precisely the paper's
+// Fig 17b observation.
+const MaxDPPositions = 26
+
+// DPLD is Selinger-style dynamic programming over left-deep plans [45]:
+// provably optimal among all orders, exponential in pattern size. Cross
+// products are permitted, as required for CPG (Section 4.3).
+type DPLD struct{}
+
+// Name implements OrderAlgorithm.
+func (DPLD) Name() string { return AlgDPLD }
+
+// Order implements OrderAlgorithm.
+func (DPLD) Order(ps *stats.PatternStats, m cost.Model) []int {
+	n := ps.N()
+	if n > MaxDPPositions {
+		panic("core: DP-LD beyond MaxDPPositions; use a heuristic algorithm")
+	}
+	if n == 0 {
+		return nil
+	}
+	size := 1 << uint(n)
+	dp := make([]float64, size)
+	states := make([]cost.StepState, size)
+	parent := make([]int8, size)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+	}
+	dp[0] = 0
+	states[0] = m.InitState()
+	for mask := 1; mask < size; mask++ {
+		for pos := 0; pos < n; pos++ {
+			bit := 1 << uint(pos)
+			if mask&bit == 0 {
+				continue
+			}
+			prev := mask ^ bit
+			if math.IsInf(dp[prev], 1) {
+				continue
+			}
+			nst, delta := m.Extend(ps, states[prev], pos, cost.CrossSel(ps, uint64(prev), pos))
+			if c := dp[prev] + delta; c < dp[mask] {
+				dp[mask] = c
+				states[mask] = nst
+				parent[mask] = int8(pos)
+			}
+		}
+	}
+	order := make([]int, n)
+	mask := size - 1
+	for k := n - 1; k >= 0; k-- {
+		pos := int(parent[mask])
+		order[k] = pos
+		mask ^= 1 << uint(pos)
+	}
+	return order
+}

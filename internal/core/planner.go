@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+// Planner is the end-to-end plan generator: it normalises a pattern to DNF
+// (Section 5.4), compiles each disjunct, assembles its statistics (applying
+// the Kleene virtual-rate rewrite of Section 5.2 and the sequence-order
+// selectivities of Section 5.1), and runs the configured algorithm under the
+// configured cost model.
+type Planner struct {
+	// Algorithm is one of the Alg* names; it determines whether order-based
+	// or tree-based plans are produced.
+	Algorithm string
+	// Strategy selects the event selection strategy, which in turn selects
+	// the cost-model family (Section 6.2).
+	Strategy predicate.Strategy
+	// Alpha is the throughput/latency trade-off of Section 6.1.
+	Alpha float64
+	// ConjAnchor optionally supplies the latency anchor (planning index of
+	// the temporally last event) for conjunction patterns, e.g. from the
+	// output profiler of Section 6.1. Sequences use their final event.
+	ConjAnchor func(c *predicate.Compiled, ps *stats.PatternStats) int
+}
+
+// NewPlanner returns a planner with the paper's default configuration:
+// the given algorithm under skip-till-any-match, pure-throughput cost.
+func NewPlanner(algorithm string) *Planner {
+	return &Planner{Algorithm: algorithm, Strategy: predicate.SkipTillAnyMatch}
+}
+
+// SimplePlan is the generated plan for one simple (conjunctive or sequence)
+// disjunct.
+type SimplePlan struct {
+	Compiled *predicate.Compiled
+	Stats    *stats.PatternStats
+	Model    cost.Model
+	// Order holds the planning-index processing order for order-based
+	// algorithms; Tree holds the plan tree for tree-based ones. Exactly one
+	// is set.
+	Order []int
+	Tree  *plan.TreeNode
+	// Cost is the model cost of the chosen plan.
+	Cost float64
+}
+
+// IsTree reports whether this is a tree-based plan.
+func (sp *SimplePlan) IsTree() bool { return sp.Tree != nil }
+
+// OrderTerms translates the planning order into compiled term positions,
+// the indexing the NFA engine consumes.
+func (sp *SimplePlan) OrderTerms() []int {
+	out := make([]int, len(sp.Order))
+	for i, p := range sp.Order {
+		out[i] = sp.Stats.TermIndex[p]
+	}
+	return out
+}
+
+// TreeTerms translates the plan tree's leaves into compiled term positions,
+// the indexing the tree engine consumes.
+func (sp *SimplePlan) TreeTerms() *plan.TreeNode {
+	var rec func(n *plan.TreeNode) *plan.TreeNode
+	rec = func(n *plan.TreeNode) *plan.TreeNode {
+		if n.IsLeaf() {
+			return plan.LeafNode(sp.Stats.TermIndex[n.Leaf])
+		}
+		return plan.Join(rec(n.Left), rec(n.Right))
+	}
+	return rec(sp.Tree)
+}
+
+// Plan is a full evaluation plan: one SimplePlan per DNF disjunct. Per
+// Section 5.4, disjuncts are detected independently and their matches
+// unioned.
+type Plan struct {
+	Pattern *pattern.Pattern
+	Simple  []*SimplePlan
+	// TotalCost sums the throughput costs of the disjuncts.
+	TotalCost float64
+}
+
+// Plan generates the evaluation plan for a (possibly nested) pattern.
+// Structurally identical DNF disjuncts (which distribution over overlapping
+// OR branches can produce) are planned and executed once — the degenerate
+// case of the shared-subexpression processing Section 5.4 points to.
+func (pl *Planner) Plan(pat *pattern.Pattern, st *stats.Stats) (*Plan, error) {
+	disjuncts, err := pattern.ToDNF(pat)
+	if err != nil {
+		return nil, err
+	}
+	out := &Plan{Pattern: pat}
+	seen := make(map[string]bool, len(disjuncts))
+	for _, d := range disjuncts {
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sp, err := pl.PlanSimple(d, st)
+		if err != nil {
+			return nil, err
+		}
+		out.Simple = append(out.Simple, sp)
+		out.TotalCost += sp.Cost
+	}
+	return out, nil
+}
+
+// PlanSimple generates the plan for a single simple SEQ or AND pattern.
+func (pl *Planner) PlanSimple(d *pattern.Pattern, st *stats.Stats) (*SimplePlan, error) {
+	compiled, err := predicate.Compile(d, pl.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	ps := stats.For(d, st)
+	if ps.N() == 0 {
+		return nil, fmt.Errorf("core: pattern %q has no positive events", d)
+	}
+	model := cost.Model{
+		Strategy: pl.Strategy,
+		Alpha:    pl.Alpha,
+		LastPos:  pl.latencyAnchor(compiled, ps),
+	}
+	sp := &SimplePlan{Compiled: compiled, Stats: ps, Model: model}
+	if oa, err := NewOrderAlgorithm(pl.Algorithm); err == nil {
+		sp.Order = oa.Order(ps, model)
+		if err := plan.CheckPermutation(sp.Order); err != nil {
+			return nil, fmt.Errorf("core: %s produced invalid order: %w", pl.Algorithm, err)
+		}
+		sp.Cost = model.OrderCost(ps, sp.Order)
+		return sp, nil
+	}
+	ta, err := NewTreeAlgorithm(pl.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	sp.Tree = ta.Tree(ps, model)
+	if _, err := plan.NewTree(sp.Tree); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid tree: %w", pl.Algorithm, err)
+	}
+	sp.Cost = model.TreeCost(ps, sp.Tree)
+	return sp, nil
+}
+
+// latencyAnchor picks the planning position of the temporally last event:
+// the final positive event for sequences, the ConjAnchor hook (if any) for
+// conjunctions, and -1 otherwise (latency term disabled).
+func (pl *Planner) latencyAnchor(c *predicate.Compiled, ps *stats.PatternStats) int {
+	if pl.Alpha == 0 {
+		return -1
+	}
+	if c.IsSeq {
+		return ps.N() - 1
+	}
+	if pl.ConjAnchor != nil {
+		return pl.ConjAnchor(c, ps)
+	}
+	return -1
+}

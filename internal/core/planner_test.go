@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+func plannerStats() *stats.Stats {
+	st := stats.New()
+	st.SetRate("A", 10)
+	st.SetRate("B", 5)
+	st.SetRate("C", 0.5)
+	st.SetRate("D", 2)
+	return st
+}
+
+func TestPlannerOrderBased(t *testing.T) {
+	p := pattern.Seq(10*event.Second,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"))
+	for _, alg := range OrderAlgorithmNames() {
+		pl := NewPlanner(alg)
+		out, err := pl.Plan(p, plannerStats())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(out.Simple) != 1 {
+			t.Fatalf("%s: %d disjuncts", alg, len(out.Simple))
+		}
+		sp := out.Simple[0]
+		if sp.IsTree() || len(sp.Order) != 3 {
+			t.Fatalf("%s: plan = %+v", alg, sp)
+		}
+		if sp.Cost <= 0 {
+			t.Fatalf("%s: cost = %g", alg, sp.Cost)
+		}
+	}
+	// Cost-based algorithms must start with the rare type C.
+	for _, alg := range []string{AlgEFreq, AlgGreedy, AlgDPLD} {
+		pl := NewPlanner(alg)
+		out, _ := pl.Plan(p, plannerStats())
+		terms := out.Simple[0].OrderTerms()
+		if terms[0] != 2 { // term index of C
+			t.Fatalf("%s: order %v should start with C (term 2)", alg, terms)
+		}
+	}
+}
+
+func TestPlannerTreeBased(t *testing.T) {
+	p := pattern.Seq(10*event.Second,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"), pattern.E("D", "d"))
+	for _, alg := range TreeAlgorithmNames() {
+		pl := NewPlanner(alg)
+		out, err := pl.Plan(p, plannerStats())
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		sp := out.Simple[0]
+		if !sp.IsTree() || sp.Tree.Size() != 4 {
+			t.Fatalf("%s: plan = %+v", alg, sp)
+		}
+		tt := sp.TreeTerms()
+		if tt.Size() != 4 {
+			t.Fatalf("%s: TreeTerms size %d", alg, tt.Size())
+		}
+	}
+}
+
+func TestPlannerNegationMapping(t *testing.T) {
+	// NOT(B) sits at term index 1; planning positions map to terms 0, 2, 3.
+	p := pattern.Seq(10*event.Second,
+		pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c"), pattern.E("D", "d"))
+	pl := NewPlanner(AlgDPLD)
+	out, err := pl.Plan(p, plannerStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := out.Simple[0]
+	if len(sp.Order) != 3 {
+		t.Fatalf("order = %v", sp.Order)
+	}
+	terms := sp.OrderTerms()
+	seen := map[int]bool{}
+	for _, term := range terms {
+		if term == 1 {
+			t.Fatalf("negated term in order: %v", terms)
+		}
+		seen[term] = true
+	}
+	if !seen[0] || !seen[2] || !seen[3] {
+		t.Fatalf("missing positive terms: %v", terms)
+	}
+	if len(sp.Compiled.Negs) != 1 || sp.Compiled.Negs[0].Pos != 1 {
+		t.Fatalf("negs = %+v", sp.Compiled.Negs)
+	}
+}
+
+func TestPlannerDisjunction(t *testing.T) {
+	p := pattern.Or(10*event.Second,
+		pattern.Sub(pattern.Seq(0, pattern.E("A", "a"), pattern.E("B", "b"))),
+		pattern.Sub(pattern.Seq(0, pattern.E("C", "c"), pattern.E("D", "d"))),
+	)
+	pl := NewPlanner(AlgGreedy)
+	out, err := pl.Plan(p, plannerStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Simple) != 2 {
+		t.Fatalf("%d disjuncts, want 2", len(out.Simple))
+	}
+	if out.TotalCost != out.Simple[0].Cost+out.Simple[1].Cost {
+		t.Fatal("TotalCost mismatch")
+	}
+}
+
+func TestPlannerKleeneVirtualRatePushesKleeneLast(t *testing.T) {
+	// KL(A): despite A's base rate being lower than B's and C's, the 2^{rW}
+	// virtual rate must push it to the end of any cost-based order
+	// (Section 5.2's "processing will likely be postponed to the latest
+	// step").
+	st := stats.New()
+	st.SetRate("A", 2)
+	st.SetRate("B", 5)
+	st.SetRate("C", 5)
+	p := pattern.And(10*event.Second,
+		pattern.KL("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"))
+	for _, alg := range []string{AlgEFreq, AlgGreedy, AlgDPLD} {
+		out, err := NewPlanner(alg).Plan(p, st)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		terms := out.Simple[0].OrderTerms()
+		if terms[len(terms)-1] != 0 {
+			t.Fatalf("%s: KL term should be last, got %v", alg, terms)
+		}
+	}
+}
+
+func TestPlannerLatencyAnchor(t *testing.T) {
+	seq := pattern.Seq(10*event.Second,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"))
+	pl := NewPlanner(AlgDPLD)
+	pl.Alpha = 1e9
+	out, err := pl.Plan(seq, plannerStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := out.Simple[0]
+	if sp.Model.LastPos != 2 {
+		t.Fatalf("LastPos = %d, want 2", sp.Model.LastPos)
+	}
+	// With overwhelming α the anchor is processed last.
+	if sp.Order[len(sp.Order)-1] != 2 {
+		t.Fatalf("order = %v should end with the anchor", sp.Order)
+	}
+
+	// Conjunctions default to no anchor, unless a hook supplies one.
+	conj := pattern.And(10*event.Second, pattern.E("A", "a"), pattern.E("B", "b"))
+	out, err = pl.Plan(conj, plannerStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Simple[0].Model.LastPos != -1 {
+		t.Fatalf("conjunction LastPos = %d", out.Simple[0].Model.LastPos)
+	}
+	pl.ConjAnchor = func(c *predicate.Compiled, ps *stats.PatternStats) int { return 0 }
+	out, err = pl.Plan(conj, plannerStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Simple[0].Model.LastPos != 0 {
+		t.Fatalf("hooked LastPos = %d", out.Simple[0].Model.LastPos)
+	}
+}
+
+func TestPlannerStrategyPropagates(t *testing.T) {
+	p := pattern.Seq(10*event.Second, pattern.E("A", "a"), pattern.E("B", "b"))
+	pl := NewPlanner(AlgGreedy)
+	pl.Strategy = predicate.SkipTillNextMatch
+	out, err := pl.Plan(p, plannerStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Simple[0].Model.Strategy != predicate.SkipTillNextMatch {
+		t.Fatal("strategy lost")
+	}
+}
+
+func TestPlannerUnknownAlgorithm(t *testing.T) {
+	p := pattern.Seq(10*event.Second, pattern.E("A", "a"), pattern.E("B", "b"))
+	if _, err := NewPlanner("NOPE").Plan(p, plannerStats()); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

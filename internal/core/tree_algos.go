@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+// setPM computes the partial-match count PM(N) of a tree node covering
+// exactly the given member positions. It is independent of the subtree's
+// internal shape for both throughput families, which is what makes the
+// interval and subset dynamic programs below sound.
+func setPM(ps *stats.PatternStats, m cost.Model, members []int) float64 {
+	if m.Strategy == predicate.SkipTillAnyMatch {
+		pm := 1.0
+		for a, i := range members {
+			pm *= ps.W * ps.Rates[i] * ps.Sel[i][i]
+			for _, j := range members[a+1:] {
+				pm *= ps.Sel[i][j]
+			}
+		}
+		return pm
+	}
+	minR := math.Inf(1)
+	sel := 1.0
+	for a, i := range members {
+		minR = math.Min(minR, ps.Rates[i])
+		sel *= ps.Sel[i][i]
+		for _, j := range members[a+1:] {
+			sel *= ps.Sel[i][j]
+		}
+	}
+	return ps.W * minR * sel
+}
+
+// ZStream reproduces the native tree-plan generation of [35]: dynamic
+// programming over all tree topologies for a *fixed* left-to-right leaf
+// sequence. Because leaves are never reordered, it explores only a slice of
+// the bushy plan space — the limitation Section 2.3 illustrates.
+type ZStream struct {
+	// LeafOrder fixes the leaf sequence; the pattern's declaration order is
+	// used when nil.
+	LeafOrder []int
+}
+
+// Name implements TreeAlgorithm.
+func (z ZStream) Name() string { return AlgZStream }
+
+// Tree implements TreeAlgorithm.
+func (z ZStream) Tree(ps *stats.PatternStats, m cost.Model) *plan.TreeNode {
+	n := ps.N()
+	if n == 0 {
+		return nil
+	}
+	leaves := z.LeafOrder
+	if leaves == nil {
+		leaves = make([]int, n)
+		for i := range leaves {
+			leaves[i] = i
+		}
+	}
+	// pm[i][j] is the node PM of the span leaves[i..j]; dp[i][j] the best
+	// subtree cost; split[i][j] the winning split point.
+	pm := make([][]float64, n)
+	dp := make([][]float64, n)
+	split := make([][]int, n)
+	for i := 0; i < n; i++ {
+		pm[i] = make([]float64, n)
+		dp[i] = make([]float64, n)
+		split[i] = make([]int, n)
+		pm[i][i] = setPM(ps, m, leaves[i:i+1])
+		dp[i][i] = pm[i][i]
+	}
+	hasLast := func(i, j int) bool {
+		if m.LastPos < 0 {
+			return false
+		}
+		for _, p := range leaves[i : j+1] {
+			if p == m.LastPos {
+				return true
+			}
+		}
+		return false
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length-1 < n; i++ {
+			j := i + length - 1
+			pm[i][j] = setPM(ps, m, leaves[i:j+1])
+			best := math.Inf(1)
+			bestK := i
+			for k := i; k < j; k++ {
+				c := dp[i][k] + dp[k+1][j] + pm[i][j]
+				if m.Alpha != 0 {
+					// The temporally last event's climb compares against
+					// the sibling subtree's buffered matches (Section 6.1).
+					if hasLast(i, k) {
+						c += m.Alpha * pm[k+1][j]
+					} else if hasLast(k+1, j) {
+						c += m.Alpha * pm[i][k]
+					}
+				}
+				if c < best {
+					best, bestK = c, k
+				}
+			}
+			dp[i][j] = best
+			split[i][j] = bestK
+		}
+	}
+	var build func(i, j int) *plan.TreeNode
+	build = func(i, j int) *plan.TreeNode {
+		if i == j {
+			return plan.LeafNode(leaves[i])
+		}
+		k := split[i][j]
+		return plan.Join(build(i, k), build(k+1, j))
+	}
+	return build(0, n-1)
+}
+
+// ZStreamOrd is the paper's hybrid (Section 7.1): a greedy JQPG ordering of
+// the leaves followed by the ZStream topology search — recovering the plans
+// the fixed leaf order hides from native ZStream.
+type ZStreamOrd struct{}
+
+// Name implements TreeAlgorithm.
+func (ZStreamOrd) Name() string { return AlgZStreamOrd }
+
+// Tree implements TreeAlgorithm.
+func (ZStreamOrd) Tree(ps *stats.PatternStats, m cost.Model) *plan.TreeNode {
+	order := Greedy{}.Order(ps, m)
+	return ZStream{LeafOrder: order}.Tree(ps, m)
+}
+
+// DPB is Selinger-style dynamic programming over the full bushy plan space
+// [45]: optimal among all trees, with O(3^n) subset enumeration.
+type DPB struct{}
+
+// Name implements TreeAlgorithm.
+func (DPB) Name() string { return AlgDPB }
+
+// Tree implements TreeAlgorithm.
+func (DPB) Tree(ps *stats.PatternStats, m cost.Model) *plan.TreeNode {
+	n := ps.N()
+	if n > MaxDPPositions {
+		panic("core: DP-B beyond MaxDPPositions; use a heuristic algorithm")
+	}
+	if n == 0 {
+		return nil
+	}
+	size := 1 << uint(n)
+	// Node PM per member set, computed incrementally from the set minus its
+	// lowest bit.
+	pmSet := make([]float64, size)
+	minR := []float64(nil)
+	selProd := []float64(nil)
+	anyMatch := m.Strategy == predicate.SkipTillAnyMatch
+	if !anyMatch {
+		minR = make([]float64, size)
+		selProd = make([]float64, size)
+		minR[0] = math.Inf(1)
+		selProd[0] = 1
+	}
+	pmSet[0] = 1
+	for mask := 1; mask < size; mask++ {
+		lb := mask & -mask
+		pos := bitPos(lb)
+		prev := mask ^ lb
+		cross := cost.CrossSel(ps, uint64(prev), pos)
+		if anyMatch {
+			base := pmSet[prev]
+			if prev == 0 {
+				base = 1
+			}
+			pmSet[mask] = base * ps.W * ps.Rates[pos] * ps.Sel[pos][pos] * cross
+		} else {
+			selProd[mask] = selProd[prev] * ps.Sel[pos][pos] * cross
+			minR[mask] = math.Min(minR[prev], ps.Rates[pos])
+			pmSet[mask] = ps.W * minR[mask] * selProd[mask]
+		}
+	}
+	dp := make([]float64, size)
+	split := make([]uint32, size)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+	}
+	for pos := 0; pos < n; pos++ {
+		dp[1<<uint(pos)] = pmSet[1<<uint(pos)]
+	}
+	var lastBit int
+	if m.LastPos >= 0 {
+		lastBit = 1 << uint(m.LastPos)
+	}
+	for mask := 1; mask < size; mask++ {
+		if mask&(mask-1) == 0 {
+			continue // singleton
+		}
+		node := pmSet[mask]
+		lb := mask & -mask
+		// Enumerate submasks containing the lowest bit (canonical left side)
+		// to halve the symmetric space.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&lb == 0 {
+				continue
+			}
+			rest := mask ^ sub
+			if rest == 0 {
+				continue
+			}
+			c := dp[sub] + dp[rest] + node
+			if m.Alpha != 0 && lastBit != 0 && mask&lastBit != 0 {
+				if sub&lastBit != 0 {
+					c += m.Alpha * pmSet[rest]
+				} else {
+					c += m.Alpha * pmSet[sub]
+				}
+			}
+			if c < dp[mask] {
+				dp[mask] = c
+				split[mask] = uint32(sub)
+			}
+		}
+	}
+	var build func(mask int) *plan.TreeNode
+	build = func(mask int) *plan.TreeNode {
+		if mask&(mask-1) == 0 {
+			return plan.LeafNode(bitPos(mask))
+		}
+		sub := int(split[mask])
+		return plan.Join(build(sub), build(mask^sub))
+	}
+	return build(size - 1)
+}
+
+// bitPos returns the index of the single set bit.
+func bitPos(bit int) int {
+	pos := 0
+	for bit > 1 {
+		bit >>= 1
+		pos++
+	}
+	return pos
+}

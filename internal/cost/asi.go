@@ -1,0 +1,81 @@
+package cost
+
+// This file implements the adjacent-sequence-interchange (ASI) machinery of
+// Appendix A. Under an acyclic query graph rooted at some type, Cost_ord
+// rewrites to the prefix-product form C(s) = Σ_k Π_{i≤k} w_i with per-type
+// weight w_i = W·r_i·sel^R_i, and the rank function
+//
+//	rank(s) = (T(s) − 1) / C(s),  T(s) = Π w_i
+//
+// certifies the ASI property: C(a·u·v·b) ≤ C(a·v·u·b) ⇔ rank(u) ≤ rank(v).
+// The latency cost has its own rank (Theorem 6). These functions power the
+// property tests validating the appendix and are reusable by IK/KBZ-style
+// polynomial join-ordering algorithms.
+
+// SeqCost computes C(s) = Σ_{k=1..m} Π_{i=1..k} w_i. C(ε) = 0.
+func SeqCost(w []float64) float64 {
+	total, cur := 0.0, 1.0
+	for _, x := range w {
+		cur *= x
+		total += cur
+	}
+	return total
+}
+
+// SeqProd computes T(s) = Π w_i. T(ε) = 1.
+func SeqProd(w []float64) float64 {
+	cur := 1.0
+	for _, x := range w {
+		cur *= x
+	}
+	return cur
+}
+
+// RankTrpt computes the throughput rank (T(s)−1)/C(s) of a non-empty weight
+// sequence (Theorem 5).
+func RankTrpt(w []float64) float64 {
+	if len(w) == 0 {
+		panic("cost: rank of empty sequence")
+	}
+	return (SeqProd(w) - 1) / SeqCost(w)
+}
+
+// LatItem is one element of a sequence under the latency cost model: its
+// buffered-event weight W·r_i and whether it is the temporally last event
+// type T_n.
+type LatItem struct {
+	Weight float64
+	IsLast bool
+}
+
+// LatCost computes Cost_lat of a full order: the summed weights of the items
+// following the T_n item. Zero if T_n is absent.
+func LatCost(items []LatItem) float64 {
+	total := 0.0
+	seen := false
+	for _, it := range items {
+		if seen {
+			total += it.Weight
+		}
+		if it.IsLast {
+			seen = true
+		}
+	}
+	return total
+}
+
+// RankLat computes the latency rank of a subsequence (Theorem 6): the summed
+// weights of the items following T_n within s, or 0 when T_n ∉ s.
+func RankLat(items []LatItem) float64 {
+	has := false
+	for _, it := range items {
+		if it.IsLast {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return 0
+	}
+	return LatCost(items)
+}

@@ -1,0 +1,185 @@
+// Package cost implements every cost function of the paper:
+//
+//   - Cost_ord (Section 4.1) — expected number of coexisting partial matches
+//     of an order-based plan within a window (the throughput proxy);
+//   - Cost_tree (Section 4.2) — its tree-based counterpart;
+//   - Cost_lat for both plan families (Section 6.1) — worst-case detection
+//     latency after the temporally last event arrives;
+//   - Cost_next for both families (Section 6.2) — the partial-match model
+//     under the skip-till-next-match selection strategy;
+//   - the hybrid objective Cost_trpt + α·Cost_lat used in the Fig 18
+//     experiment;
+//   - the ASI rank function of Appendix A.
+//
+// All functions take a stats.PatternStats (rates, selectivities, window over
+// the positive planning positions) plus a plan.
+package cost
+
+import (
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Order computes Cost_ord(O): the sum over prefix lengths k of the expected
+// number of partial matches of size k,
+//
+//	PM(k) = Π_{i≤k} (W·r_{p_i}) · Π_{i≤j≤k} sel_{p_i,p_j}.
+func Order(ps *stats.PatternStats, order []int) float64 {
+	total := 0.0
+	cur := 1.0
+	for k, pos := range order {
+		cur *= ps.W * ps.Rates[pos] * ps.Sel[pos][pos]
+		for _, prev := range order[:k] {
+			cur *= ps.Sel[prev][pos]
+		}
+		total += cur
+	}
+	return total
+}
+
+// OrderPrefix computes PM(k) for each prefix of the order; PM[0] is the cost
+// of the first step. It is used by diagnostics and the experiment harness.
+func OrderPrefix(ps *stats.PatternStats, order []int) []float64 {
+	out := make([]float64, len(order))
+	cur := 1.0
+	for k, pos := range order {
+		cur *= ps.W * ps.Rates[pos] * ps.Sel[pos][pos]
+		for _, prev := range order[:k] {
+			cur *= ps.Sel[prev][pos]
+		}
+		out[k] = cur
+	}
+	return out
+}
+
+// OrderLatency computes Cost_lat_ord(O) = Σ_{T_i ∈ Succ_O(T_last)} W·r_i:
+// the number of buffered events that must be examined after the temporally
+// last event (planning position lastPos) arrives. A lastPos of -1 (unknown)
+// yields zero, matching the paper's restriction of the latency model to
+// patterns with a known arrival order.
+func OrderLatency(ps *stats.PatternStats, order []int, lastPos int) float64 {
+	if lastPos < 0 {
+		return 0
+	}
+	total := 0.0
+	seen := false
+	for _, pos := range order {
+		if seen {
+			total += ps.W * ps.Rates[pos]
+		}
+		if pos == lastPos {
+			seen = true
+		}
+	}
+	return total
+}
+
+// OrderNext computes Cost_next_ord(O) = Σ_k W·m[k] with
+//
+//	m[k] = W·min(r_{p_1..p_k}) · Π_{i≤j≤k} sel_{p_i,p_j},
+//
+// the partial-match model under skip-till-next-match (Section 6.2).
+func OrderNext(ps *stats.PatternStats, order []int) float64 {
+	total := 0.0
+	minRate := 0.0
+	selProd := 1.0
+	for k, pos := range order {
+		if k == 0 || ps.Rates[pos] < minRate {
+			minRate = ps.Rates[pos]
+		}
+		selProd *= ps.Sel[pos][pos]
+		for _, prev := range order[:k] {
+			selProd *= ps.Sel[prev][pos]
+		}
+		m := ps.W * minRate * selProd
+		total += ps.W * m
+	}
+	return total
+}
+
+// Tree computes Cost_tree(T) = Σ_{N ∈ nodes(T)} PM(N) with
+//
+//	PM(leaf i)  = W·r_i·sel_{i,i}
+//	PM(internal) = PM(L)·PM(R)·SEL_LR,
+//
+// where SEL_LR multiplies the selectivities of every predicate between the
+// left and right subtrees. Unary filters are folded into the leaf term
+// (equivalent to pre-filtering the input relations in the join reduction).
+func Tree(ps *stats.PatternStats, root *plan.TreeNode) float64 {
+	total := 0.0
+	var rec func(n *plan.TreeNode) float64
+	rec = func(n *plan.TreeNode) float64 {
+		var pm float64
+		if n.IsLeaf() {
+			pm = ps.W * ps.Rates[n.Leaf] * ps.Sel[n.Leaf][n.Leaf]
+		} else {
+			pm = rec(n.Left) * rec(n.Right) * selLR(ps, n)
+		}
+		total += pm
+		return pm
+	}
+	rec(root)
+	return total
+}
+
+// TreePM computes PM(N) for a single node, per the formulas above.
+func TreePM(ps *stats.PatternStats, n *plan.TreeNode) float64 {
+	if n.IsLeaf() {
+		return ps.W * ps.Rates[n.Leaf] * ps.Sel[n.Leaf][n.Leaf]
+	}
+	return TreePM(ps, n.Left) * TreePM(ps, n.Right) * selLR(ps, n)
+}
+
+// selLR multiplies the selectivities between the leaves of n's left and
+// right subtrees.
+func selLR(ps *stats.PatternStats, n *plan.TreeNode) float64 {
+	sel := 1.0
+	for _, i := range n.Left.Leaves() {
+		for _, j := range n.Right.Leaves() {
+			sel *= ps.Sel[i][j]
+		}
+	}
+	return sel
+}
+
+// TreeLatency computes Cost_lat_tree(T) = Σ_{N ∈ Anc_T(T_last)} PM(sibling(N)):
+// when the temporally last event climbs from its leaf to the root, each hop
+// compares against the partial matches buffered at the sibling subtree.
+func TreeLatency(ps *stats.PatternStats, root *plan.TreeNode, lastPos int) float64 {
+	if lastPos < 0 {
+		return 0
+	}
+	path, ok := root.PathToLeaf(lastPos)
+	if !ok {
+		return 0
+	}
+	total := 0.0
+	for _, n := range path {
+		if sib := root.Sibling(n); sib != nil {
+			total += TreePM(ps, sib)
+		}
+	}
+	return total
+}
+
+// TreeNext computes Cost_next_tree(T) = Σ_N PM(N) with the skip-till-next
+// node model PM(N) = W·min_{i ∈ leaves(N)} r_i · Π_{i,j ∈ leaves(N), i≤j} sel_{i,j}.
+func TreeNext(ps *stats.PatternStats, root *plan.TreeNode) float64 {
+	total := 0.0
+	for _, n := range root.Nodes() {
+		leaves := n.Leaves()
+		minRate := ps.Rates[leaves[0]]
+		selProd := 1.0
+		for a, i := range leaves {
+			if ps.Rates[i] < minRate {
+				minRate = ps.Rates[i]
+			}
+			selProd *= ps.Sel[i][i]
+			for _, j := range leaves[a+1:] {
+				selProd *= ps.Sel[i][j]
+			}
+		}
+		total += ps.W * minRate * selProd
+	}
+	return total
+}

@@ -1,0 +1,349 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+// ps3 builds the hand-computed three-position fixture used across tests:
+// W=2s, rates (1,2,3), sel01=0.5, sel02=0.25, sel12=1, unary sel at 0 = 0.5.
+func ps3() *stats.PatternStats {
+	ps := &stats.PatternStats{
+		W:     2,
+		Rates: []float64{1, 2, 3},
+		Sel: [][]float64{
+			{0.5, 0.5, 0.25},
+			{0.5, 1, 1},
+			{0.25, 1, 1},
+		},
+	}
+	return ps
+}
+
+func almost(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestOrderHandComputed(t *testing.T) {
+	ps := ps3()
+	// PM(1)=2·1·0.5=1; PM(2)=1·(2·2)·0.5=2; PM(3)=2·(2·3)·0.25·1=3 → 6.
+	if got := Order(ps, []int{0, 1, 2}); !almost(got, 6) {
+		t.Fatalf("Order = %g, want 6", got)
+	}
+	prefix := OrderPrefix(ps, []int{0, 1, 2})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almost(prefix[i], want[i]) {
+			t.Fatalf("prefix[%d] = %g, want %g", i, prefix[i], want[i])
+		}
+	}
+}
+
+func TestOrderPrefixSumsToOrder(t *testing.T) {
+	ps := ps3()
+	plan.Permutations(3, func(order []int) {
+		sum := 0.0
+		for _, pm := range OrderPrefix(ps, order) {
+			sum += pm
+		}
+		if !almost(sum, Order(ps, order)) {
+			t.Fatalf("prefix sum %g != Order %g for %v", sum, Order(ps, order), order)
+		}
+	})
+}
+
+func TestOrderSensitiveToOrder(t *testing.T) {
+	// A rare last event should make rare-first orders cheaper.
+	ps := &stats.PatternStats{
+		W:     10,
+		Rates: []float64{10, 10, 0.1},
+		Sel:   unitSel(3),
+	}
+	cheap := Order(ps, []int{2, 0, 1})
+	expensive := Order(ps, []int{0, 1, 2})
+	if cheap >= expensive {
+		t.Fatalf("rare-first %g should beat rare-last %g", cheap, expensive)
+	}
+}
+
+func unitSel(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = 1
+		}
+	}
+	return m
+}
+
+func TestOrderLatency(t *testing.T) {
+	ps := ps3()
+	// Succ of position 2 in [2,0,1] is {0,1}: 2·1 + 2·2 = 6.
+	if got := OrderLatency(ps, []int{2, 0, 1}, 2); !almost(got, 6) {
+		t.Fatalf("latency = %g, want 6", got)
+	}
+	// Last position processed last: zero latency.
+	if got := OrderLatency(ps, []int{0, 1, 2}, 2); got != 0 {
+		t.Fatalf("latency = %g, want 0", got)
+	}
+	// Unknown anchor disables the term.
+	if got := OrderLatency(ps, []int{2, 0, 1}, -1); got != 0 {
+		t.Fatalf("latency = %g, want 0", got)
+	}
+}
+
+func TestOrderNextHandComputed(t *testing.T) {
+	ps := ps3()
+	// m[1]=2·1·0.5=1, m[2]=2·1·0.25=0.5, m[3]=2·1·0.0625=0.125;
+	// cost = 2·(1+0.5+0.125) = 3.25.
+	if got := OrderNext(ps, []int{0, 1, 2}); !almost(got, 3.25) {
+		t.Fatalf("OrderNext = %g, want 3.25", got)
+	}
+}
+
+func TestTreeHandComputed(t *testing.T) {
+	ps := ps3()
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(1)), plan.LeafNode(2))
+	// Leaves: 1, 4, 6; inner = 1·4·0.5 = 2; root = 2·6·0.25·1 = 3 → 16.
+	if got := Tree(ps, root); !almost(got, 16) {
+		t.Fatalf("Tree = %g, want 16", got)
+	}
+	if got := TreePM(ps, root); !almost(got, 3) {
+		t.Fatalf("TreePM(root) = %g, want 3", got)
+	}
+}
+
+func TestTreeEqualsSumOfNodePMs(t *testing.T) {
+	ps := ps3()
+	plan.AllTrees(3, func(root *plan.TreeNode) {
+		sum := 0.0
+		for _, n := range root.Nodes() {
+			sum += TreePM(ps, n)
+		}
+		if !almost(sum, Tree(ps, root)) {
+			t.Fatalf("node sum %g != Tree %g for %s", sum, Tree(ps, root), root)
+		}
+	})
+}
+
+func TestTreeChildSwapInvariance(t *testing.T) {
+	ps := ps3()
+	a := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(1)), plan.LeafNode(2))
+	b := plan.Join(plan.LeafNode(2), plan.Join(plan.LeafNode(1), plan.LeafNode(0)))
+	if !almost(Tree(ps, a), Tree(ps, b)) {
+		t.Fatalf("child swap changed cost: %g vs %g", Tree(ps, a), Tree(ps, b))
+	}
+}
+
+func TestTreeLatency(t *testing.T) {
+	ps := ps3()
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(1)), plan.LeafNode(2))
+	// lastPos=2: one hop, sibling is the (0 1) subtree with PM=2.
+	if got := TreeLatency(ps, root, 2); !almost(got, 2) {
+		t.Fatalf("TreeLatency = %g, want 2", got)
+	}
+	// lastPos=0: siblings leaf1 (PM 4) and leaf2 (PM 6).
+	if got := TreeLatency(ps, root, 0); !almost(got, 10) {
+		t.Fatalf("TreeLatency = %g, want 10", got)
+	}
+	if got := TreeLatency(ps, root, -1); got != 0 {
+		t.Fatalf("TreeLatency = %g, want 0", got)
+	}
+}
+
+func TestTreeNextHandComputed(t *testing.T) {
+	ps := ps3()
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(1)), plan.LeafNode(2))
+	// 1 + 4 + 6 + 0.5 + 0.125 = 11.625.
+	if got := TreeNext(ps, root); !almost(got, 11.625) {
+		t.Fatalf("TreeNext = %g, want 11.625", got)
+	}
+}
+
+func TestModelSelectsFamily(t *testing.T) {
+	ps := ps3()
+	order := []int{0, 1, 2}
+	root := plan.LeftDeep(order)
+
+	any := Model{Strategy: predicate.SkipTillAnyMatch, LastPos: -1}
+	if !almost(any.OrderCost(ps, order), Order(ps, order)) {
+		t.Fatal("any-match order cost mismatch")
+	}
+	if !almost(any.TreeCost(ps, root), Tree(ps, root)) {
+		t.Fatal("any-match tree cost mismatch")
+	}
+
+	next := Model{Strategy: predicate.SkipTillNextMatch, LastPos: -1}
+	if !almost(next.OrderCost(ps, order), OrderNext(ps, order)) {
+		t.Fatal("next-match order cost mismatch")
+	}
+	if !almost(next.TreeCost(ps, root), TreeNext(ps, root)) {
+		t.Fatal("next-match tree cost mismatch")
+	}
+
+	contig := Model{Strategy: predicate.StrictContiguity, LastPos: -1}
+	if !almost(contig.OrderCost(ps, order), OrderNext(ps, order)) {
+		t.Fatal("contiguity must reuse the next-match model")
+	}
+}
+
+func TestModelHybridAlpha(t *testing.T) {
+	ps := ps3()
+	order := []int{2, 0, 1}
+	m := Model{Strategy: predicate.SkipTillAnyMatch, Alpha: 0.5, LastPos: 2}
+	want := Order(ps, order) + 0.5*OrderLatency(ps, order, 2)
+	if got := m.OrderCost(ps, order); !almost(got, want) {
+		t.Fatalf("hybrid = %g, want %g", got, want)
+	}
+	root := plan.LeftDeep(order)
+	wantT := Tree(ps, root) + 0.5*TreeLatency(ps, root, 2)
+	if got := m.TreeCost(ps, root); !almost(got, wantT) {
+		t.Fatalf("hybrid tree = %g, want %g", got, wantT)
+	}
+	if DefaultModel().Alpha != 0 || DefaultModel().LastPos != -1 {
+		t.Fatal("DefaultModel changed")
+	}
+}
+
+func TestSeqCostAndProd(t *testing.T) {
+	w := []float64{2, 3, 4}
+	// 2 + 6 + 24 = 32.
+	if got := SeqCost(w); !almost(got, 32) {
+		t.Fatalf("SeqCost = %g", got)
+	}
+	if got := SeqProd(w); !almost(got, 24) {
+		t.Fatalf("SeqProd = %g", got)
+	}
+	if SeqCost(nil) != 0 || SeqProd(nil) != 1 {
+		t.Fatal("empty sequence base cases wrong")
+	}
+}
+
+// TestASIThroughputProperty verifies Theorem 5: for all sequences a, b and
+// non-empty u, v: C(auvb) ≤ C(avub) ⇔ rank(u) ≤ rank(v).
+func TestASIThroughputProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gen := func(n int) []float64 {
+		w := make([]float64, n)
+		for i := range w {
+			// Weights spanning both expanding (>1) and shrinking (<1) steps.
+			w[i] = math.Exp(rng.NormFloat64())
+		}
+		return w
+	}
+	concat := func(parts ...[]float64) []float64 {
+		var out []float64
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := gen(rng.Intn(3))
+		u := gen(1 + rng.Intn(3))
+		v := gen(1 + rng.Intn(3))
+		b := gen(rng.Intn(3))
+		cuv := SeqCost(concat(a, u, v, b))
+		cvu := SeqCost(concat(a, v, u, b))
+		ru, rv := RankTrpt(u), RankTrpt(v)
+		const eps = 1e-9
+		if ru < rv-eps && cuv > cvu*(1+eps) {
+			t.Fatalf("rank(u)<rank(v) but C(auvb)=%g > C(avub)=%g (a=%v u=%v v=%v b=%v)",
+				cuv, cvu, a, u, v, b)
+		}
+		if cuv < cvu*(1-eps) && ru > rv+eps {
+			t.Fatalf("C(auvb)<C(avub) but rank(u)=%g > rank(v)=%g", ru, rv)
+		}
+	}
+}
+
+// TestASILatencyProperty verifies Theorem 6 for the latency cost.
+func TestASILatencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		total := 4 + rng.Intn(4)
+		items := make([]LatItem, total)
+		lastIdx := rng.Intn(total)
+		for i := range items {
+			items[i] = LatItem{Weight: rng.Float64() * 10, IsLast: i == lastIdx}
+		}
+		// Split a|u|v|b at boundaries i < j < k with u, v non-empty.
+		j := 1 + rng.Intn(total-1)
+		i := rng.Intn(j)
+		k := j + 1 + rng.Intn(total-j)
+		a, u, v, b := items[:i], items[i:j], items[j:k], items[k:]
+		concat := func(parts ...[]LatItem) []LatItem {
+			var out []LatItem
+			for _, p := range parts {
+				out = append(out, p...)
+			}
+			return out
+		}
+		cuv := LatCost(concat(a, u, v, b))
+		cvu := LatCost(concat(a, v, u, b))
+		ru, rv := RankLat(u), RankLat(v)
+		const eps = 1e-9
+		if ru < rv-eps && cuv > cvu+eps {
+			t.Fatalf("lat rank(u)<rank(v) but cost(auvb)=%g > cost(avub)=%g", cuv, cvu)
+		}
+		if cuv < cvu-eps && ru > rv+eps {
+			t.Fatalf("lat cost ordered but ranks reversed: %g vs %g", ru, rv)
+		}
+	}
+}
+
+func TestRankTrptPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RankTrpt(nil)
+}
+
+// TestOrderCostPositive is a quick-check: costs are positive and finite for
+// positive rates and selectivities in (0,1].
+func TestOrderCostPositive(t *testing.T) {
+	f := func(r1, r2, r3 uint8, s12, s13, s23 uint8) bool {
+		ps := &stats.PatternStats{
+			W: 5,
+			Rates: []float64{
+				1 + float64(r1%50), 1 + float64(r2%50), 1 + float64(r3%50),
+			},
+			Sel: unitSel(3),
+		}
+		ps.Sel[0][1] = (1 + float64(s12%100)) / 100
+		ps.Sel[1][0] = ps.Sel[0][1]
+		ps.Sel[0][2] = (1 + float64(s13%100)) / 100
+		ps.Sel[2][0] = ps.Sel[0][2]
+		ps.Sel[1][2] = (1 + float64(s23%100)) / 100
+		ps.Sel[2][1] = ps.Sel[1][2]
+		ok := true
+		plan.Permutations(3, func(order []int) {
+			c := Order(ps, order)
+			if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+				ok = false
+			}
+		})
+		plan.AllTrees(3, func(root *plan.TreeNode) {
+			c := Tree(ps, root)
+			if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

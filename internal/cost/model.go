@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+// Model bundles the cost-function configuration handed to plan-generation
+// algorithms: the selection strategy (which picks the throughput family,
+// Section 6.2), the throughput/latency trade-off parameter α (Section 6.1),
+// and the planning position of the temporally last event (the latency
+// anchor; -1 when unknown).
+type Model struct {
+	Strategy predicate.Strategy
+	Alpha    float64
+	LastPos  int
+}
+
+// DefaultModel is the pure-throughput model under skip-till-any-match used
+// throughout Section 7's main experiments.
+func DefaultModel() Model {
+	return Model{Strategy: predicate.SkipTillAnyMatch, Alpha: 0, LastPos: -1}
+}
+
+// isAnyMatch reports whether the skip-till-any-match cost family applies.
+func (m Model) isAnyMatch() bool { return m.Strategy == predicate.SkipTillAnyMatch }
+
+// throughputOrder selects Cost_ord or Cost_next_ord by strategy. The paper
+// reuses the skip-till-next model for the contiguity strategies, whose
+// admission rules are at least as restrictive.
+func (m Model) throughputOrder(ps *stats.PatternStats, order []int) float64 {
+	if m.Strategy == predicate.SkipTillAnyMatch {
+		return Order(ps, order)
+	}
+	return OrderNext(ps, order)
+}
+
+func (m Model) throughputTree(ps *stats.PatternStats, root *plan.TreeNode) float64 {
+	if m.Strategy == predicate.SkipTillAnyMatch {
+		return Tree(ps, root)
+	}
+	return TreeNext(ps, root)
+}
+
+// OrderCost evaluates the hybrid objective Cost_trpt(O) + α·Cost_lat(O).
+func (m Model) OrderCost(ps *stats.PatternStats, order []int) float64 {
+	c := m.throughputOrder(ps, order)
+	if m.Alpha != 0 {
+		c += m.Alpha * OrderLatency(ps, order, m.LastPos)
+	}
+	return c
+}
+
+// NodePM estimates the partial matches buffered at a tree node under the
+// model's throughput family: the Section 4.2 product form for
+// skip-till-any-match, the Section 6.2 min-rate form otherwise.
+func (m Model) NodePM(ps *stats.PatternStats, n *plan.TreeNode) float64 {
+	if m.isAnyMatch() {
+		return TreePM(ps, n)
+	}
+	leaves := n.Leaves()
+	minRate := ps.Rates[leaves[0]]
+	sel := 1.0
+	for a, i := range leaves {
+		if ps.Rates[i] < minRate {
+			minRate = ps.Rates[i]
+		}
+		sel *= ps.Sel[i][i]
+		for _, j := range leaves[a+1:] {
+			sel *= ps.Sel[i][j]
+		}
+	}
+	return ps.W * minRate * sel
+}
+
+// TreeCost evaluates the hybrid objective Cost_trpt(T) + α·Cost_lat(T). The
+// latency term sums sibling-node partial matches along the climb of the
+// temporally last event (Section 6.1), using the family-consistent NodePM.
+func (m Model) TreeCost(ps *stats.PatternStats, root *plan.TreeNode) float64 {
+	c := m.throughputTree(ps, root)
+	if m.Alpha != 0 && m.LastPos >= 0 {
+		if path, ok := root.PathToLeaf(m.LastPos); ok {
+			for _, nd := range path {
+				if sib := root.Sibling(nd); sib != nil {
+					c += m.Alpha * m.NodePM(ps, sib)
+				}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,70 @@
+package cost
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// StepState carries the accumulators needed to evaluate Model.OrderCost
+// incrementally while a prefix of an order is extended one position at a
+// time. Greedy construction and the Selinger-style dynamic programs both
+// rely on the fact that the per-step cost delta depends only on the *set* of
+// positions already chosen, never on their internal order — the property
+// that makes subset DP sound for all of the paper's order cost models.
+type StepState struct {
+	// PM is the current prefix's partial-match count under the
+	// skip-till-any model (product form of Section 4.1).
+	PM float64
+	// MinR and SelProd track the skip-till-next model of Section 6.2.
+	MinR    float64
+	SelProd float64
+	// HasLast records whether the latency anchor has been placed.
+	HasLast bool
+}
+
+// InitState returns the state of the empty prefix.
+func (m Model) InitState() StepState {
+	return StepState{PM: 1, MinR: math.Inf(1), SelProd: 1}
+}
+
+// Extend adds position pos to the prefix. crossSel must be the product of
+// ps.Sel[s][pos] over every position s already in the prefix (the caller
+// tracks the membership). It returns the new state and the cost delta, so
+// that summing deltas over a full order reproduces Model.OrderCost exactly.
+func (m Model) Extend(ps *stats.PatternStats, st StepState, pos int, crossSel float64) (StepState, float64) {
+	var delta float64
+	next := st
+	switch {
+	case m.isAnyMatch():
+		next.PM = st.PM * ps.W * ps.Rates[pos] * ps.Sel[pos][pos] * crossSel
+		delta = next.PM
+	default:
+		next.SelProd = st.SelProd * ps.Sel[pos][pos] * crossSel
+		next.MinR = math.Min(st.MinR, ps.Rates[pos])
+		mVal := ps.W * next.MinR * next.SelProd
+		delta = ps.W * mVal
+	}
+	if m.Alpha != 0 && m.LastPos >= 0 {
+		if st.HasLast {
+			delta += m.Alpha * ps.W * ps.Rates[pos]
+		}
+	}
+	if pos == m.LastPos {
+		next.HasLast = true
+	}
+	return next, delta
+}
+
+// CrossSel computes the selectivity product between pos and the members of
+// the prefix set given as a bitmask over planning positions.
+func CrossSel(ps *stats.PatternStats, mask uint64, pos int) float64 {
+	sel := 1.0
+	for s := 0; mask != 0; s++ {
+		if mask&1 != 0 {
+			sel *= ps.Sel[s][pos]
+		}
+		mask >>= 1
+	}
+	return sel
+}

@@ -1,0 +1,72 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+// randomStats builds a random PatternStats for stepper validation.
+func randomStats(rng *rand.Rand, n int) *stats.PatternStats {
+	ps := &stats.PatternStats{W: 1 + rng.Float64()*5, Rates: make([]float64, n), Sel: unitSel(n)}
+	for i := 0; i < n; i++ {
+		ps.Rates[i] = 0.1 + rng.Float64()*10
+		ps.Sel[i][i] = 0.2 + rng.Float64()*0.8
+		for j := i + 1; j < n; j++ {
+			s := 0.05 + rng.Float64()*0.95
+			ps.Sel[i][j], ps.Sel[j][i] = s, s
+		}
+	}
+	return ps
+}
+
+// TestStepperReproducesOrderCost verifies that summing Extend deltas along a
+// full order reproduces Model.OrderCost for every strategy/α combination.
+func TestStepperReproducesOrderCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	models := []Model{
+		{Strategy: predicate.SkipTillAnyMatch, LastPos: -1},
+		{Strategy: predicate.SkipTillNextMatch, LastPos: -1},
+		{Strategy: predicate.SkipTillAnyMatch, Alpha: 0.7, LastPos: 2},
+		{Strategy: predicate.SkipTillNextMatch, Alpha: 1.3, LastPos: 0},
+		{Strategy: predicate.StrictContiguity, LastPos: -1},
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(3)
+		ps := randomStats(rng, n)
+		for _, m := range models {
+			if m.LastPos >= n {
+				continue
+			}
+			plan.Permutations(n, func(order []int) {
+				st := m.InitState()
+				var mask uint64
+				total := 0.0
+				for _, pos := range order {
+					var delta float64
+					st, delta = m.Extend(ps, st, pos, CrossSel(ps, mask, pos))
+					total += delta
+					mask |= 1 << uint(pos)
+				}
+				want := m.OrderCost(ps, order)
+				if !almost(total, want) {
+					t.Fatalf("model %+v order %v: stepper %g != OrderCost %g", m, order, total, want)
+				}
+			})
+		}
+	}
+}
+
+func TestCrossSel(t *testing.T) {
+	ps := ps3()
+	// mask {0,1} against pos 2: sel[0][2]·sel[1][2] = 0.25·1.
+	if got := CrossSel(ps, 0b011, 2); !almost(got, 0.25) {
+		t.Fatalf("CrossSel = %g", got)
+	}
+	if got := CrossSel(ps, 0, 1); got != 1 {
+		t.Fatalf("CrossSel(empty) = %g", got)
+	}
+}

@@ -1,0 +1,176 @@
+package enginetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nfa"
+	"repro/internal/oracle"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/tree"
+)
+
+// TestNegationPlusKleeneMatchOracle combines both unary operators in one
+// pattern — the hardest compiled shape — and checks every plan of both
+// engines against the oracle.
+func TestNegationPlusKleeneMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 15; trial++ {
+		// SEQ/AND over three positives (one Kleene) plus one negated event.
+		terms := []pattern.Term{
+			pattern.E("A", "e0"),
+			pattern.KL("B", "e1"),
+			pattern.Not("C", "neg"),
+			pattern.E("D", "e2"),
+		}
+		var p *pattern.Pattern
+		if trial%2 == 0 {
+			p = pattern.Seq(testWindow, terms...)
+		} else {
+			p = pattern.And(testWindow, terms...)
+		}
+		if trial%3 == 0 {
+			p.Conds = append(p.Conds,
+				pattern.AttrCmp("e0", "x", pattern.Le, "e2", "x"))
+		}
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 16, TypeNames, 3)
+		want := oracle.Find(c, events)
+		cfg := nfa.Config{MaxKleeneBase: oracle.MaxKleeneCandidates}
+		PositiveOrders(c, func(order []int) {
+			got, _, err := RunNFA(c, order, events, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "nfa "+p.String(), got, want)
+		})
+		tcfg := tree.Config{MaxKleeneBase: oracle.MaxKleeneCandidates}
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			got, _, err := RunTree(c, root, events, tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "tree "+p.String(), got, want)
+		})
+	}
+}
+
+// TestMultipleKleenePositionsMatchOracle checks patterns with two Kleene
+// positions: each contributes its own power-set groups.
+func TestMultipleKleenePositionsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	for trial := 0; trial < 10; trial++ {
+		p := pattern.And(testWindow,
+			pattern.KL("A", "k1"),
+			pattern.E("B", "mid"),
+			pattern.KL("C", "k2"),
+		)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 12, []string{"A", "B", "C"}, 3)
+		want := oracle.Find(c, events)
+		cfg := nfa.Config{MaxKleeneBase: oracle.MaxKleeneCandidates}
+		PositiveOrders(c, func(order []int) {
+			got, _, err := RunNFA(c, order, events, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "nfa "+p.String(), got, want)
+		})
+		tcfg := tree.Config{MaxKleeneBase: oracle.MaxKleeneCandidates}
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			got, _, err := RunTree(c, root, events, tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "tree "+p.String(), got, want)
+		})
+	}
+}
+
+// TestUnaryFilterOnNegatedPosition verifies that only filter-passing events
+// can veto a match.
+func TestUnaryFilterOnNegatedPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	p := pattern.Seq(testWindow,
+		pattern.E("A", "a"), pattern.Not("B", "n"), pattern.E("C", "c"),
+	).Where(pattern.Cmp(pattern.Ref("n", "x"), pattern.Gt, pattern.Const(5)))
+	c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+	for trial := 0; trial < 10; trial++ {
+		events := Stream(rng, 40, TypeNames, 3)
+		want := oracle.Find(c, events)
+		got, _, err := RunNFA(c, c.Positives, events, nfa.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, "nfa filtered negation", got, want)
+		gotT, _, err := RunTree(c, plan.LeftDeep(c.Positives), events, tree.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, "tree filtered negation", gotT, want)
+	}
+}
+
+// TestMultipleNegationsMatchOracle checks patterns with two negated events
+// anchored at different places.
+func TestMultipleNegationsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 15; trial++ {
+		p := pattern.Seq(testWindow,
+			pattern.Not("A", "n1"),
+			pattern.E("B", "e0"),
+			pattern.Not("C", "n2"),
+			pattern.E("D", "e1"),
+		)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 40, TypeNames, 3)
+		want := oracle.Find(c, events)
+		PositiveOrders(c, func(order []int) {
+			got, _, err := RunNFA(c, order, events, nfa.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "nfa "+p.String(), got, want)
+		})
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			got, _, err := RunTree(c, root, events, tree.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "tree "+p.String(), got, want)
+		})
+	}
+}
+
+// TestDuplicateTypesAcrossPositions stresses patterns where several
+// positions (positive and negated) share one event type.
+func TestDuplicateTypesAcrossPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 15; trial++ {
+		p := pattern.Seq(testWindow,
+			pattern.E("A", "first"),
+			pattern.E("A", "second"),
+			pattern.Not("A", "none"),
+			pattern.E("B", "last"),
+		)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 30, []string{"A", "B"}, 4)
+		want := oracle.Find(c, events)
+		PositiveOrders(c, func(order []int) {
+			got, _, err := RunNFA(c, order, events, nfa.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "nfa "+p.String(), got, want)
+		})
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			got, _, err := RunTree(c, root, events, tree.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "tree "+p.String(), got, want)
+		})
+	}
+}

@@ -1,0 +1,338 @@
+package enginetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/match"
+	"repro/internal/nfa"
+	"repro/internal/oracle"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/tree"
+)
+
+const testWindow = 12 * event.Millisecond
+
+func compileOrFail(t *testing.T, p *pattern.Pattern, s predicate.Strategy) *predicate.Compiled {
+	t.Helper()
+	c, err := predicate.Compile(p, s)
+	if err != nil {
+		t.Fatalf("compile %s: %v", p, err)
+	}
+	return c
+}
+
+func sameSet(t *testing.T, label string, got, want []*match.Match) {
+	t.Helper()
+	extra, missing := match.Diff(got, want)
+	if len(extra) != 0 || len(missing) != 0 {
+		t.Fatalf("%s", DescribeDiff(label, got, want))
+	}
+}
+
+// TestAllOrdersMatchOracle verifies that every NFA evaluation order detects
+// exactly the oracle's match set: "all n! NFAs will track the exact same
+// pattern" (Section 2.2).
+func TestAllOrdersMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 25; trial++ {
+		p := RandomPattern(rng, testWindow, false, false)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 40, TypeNames, 3)
+		want := oracle.Find(c, events)
+		PositiveOrders(c, func(order []int) {
+			got, _, err := RunNFA(c, order, events, nfa.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(match.KeySet(got)) != len(got) {
+				t.Fatalf("duplicate matches from order %v on %s", order, p)
+			}
+			sameSet(t, p.String(), got, want)
+		})
+	}
+}
+
+// TestAllTreesMatchOracle verifies the same for every tree plan
+// (Section 2.3's instance-based model).
+func TestAllTreesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 25; trial++ {
+		p := RandomPattern(rng, testWindow, false, false)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 40, TypeNames, 3)
+		want := oracle.Find(c, events)
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			got, _, err := RunTree(c, root, events, tree.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(match.KeySet(got)) != len(got) {
+				t.Fatalf("duplicate matches from tree %s on %s", root, p)
+			}
+			sameSet(t, p.String(), got, want)
+		})
+	}
+}
+
+// TestNegationPatternsMatchOracle covers leading, middle and trailing NOT in
+// sequences and NOT inside conjunctions, for both engines under a handful of
+// plans.
+func TestNegationPatternsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 40; trial++ {
+		p := RandomPattern(rng, testWindow, true, false)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 35, TypeNames, 3)
+		want := oracle.Find(c, events)
+		PositiveOrders(c, func(order []int) {
+			got, _, err := RunNFA(c, order, events, nfa.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "nfa "+p.String(), got, want)
+		})
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			got, _, err := RunTree(c, root, events, tree.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "tree "+p.String(), got, want)
+		})
+	}
+}
+
+// TestKleenePatternsMatchOracle exercises the power-set semantics of
+// Theorem 4 on both engines.
+func TestKleenePatternsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 25; trial++ {
+		p := RandomPattern(rng, testWindow, false, true)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		// Short streams keep the subset spaces tractable and under the cap.
+		events := Stream(rng, 18, TypeNames, 3)
+		want := oracle.Find(c, events)
+		cfg := nfa.Config{MaxKleeneBase: oracle.MaxKleeneCandidates}
+		PositiveOrders(c, func(order []int) {
+			got, _, err := RunNFA(c, order, events, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "nfa "+p.String(), got, want)
+		})
+		tcfg := tree.Config{MaxKleeneBase: oracle.MaxKleeneCandidates}
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			got, _, err := RunTree(c, root, events, tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "tree "+p.String(), got, want)
+		})
+	}
+}
+
+// TestTheorem3Operational verifies that a sequence pattern and its AND +
+// timestamp-predicate rewrite produce identical match sets on both engines.
+func TestTheorem3Operational(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 20; trial++ {
+		seq := pattern.Seq(testWindow,
+			pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"),
+		).Where(pattern.AttrCmp("a", "x", pattern.Lt, "c", "x"))
+		conj := pattern.And(testWindow,
+			pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"),
+		).Where(
+			pattern.AttrCmp("a", "x", pattern.Lt, "c", "x"),
+			pattern.TSOrder("a", "b"),
+			pattern.TSOrder("b", "c"),
+		)
+		cs := compileOrFail(t, seq, predicate.SkipTillAnyMatch)
+		cc := compileOrFail(t, conj, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 45, TypeNames, 3)
+		wantSeq := oracle.Find(cs, events)
+		wantConj := oracle.Find(cc, events)
+		sameSet(t, "oracle seq vs conj", wantSeq, wantConj)
+		gotSeq, _, err := RunNFA(cs, cs.Positives, events, nfa.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotConj, _, err := RunNFA(cc, cc.Positives, events, nfa.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, "nfa seq vs conj", gotSeq, gotConj)
+	}
+}
+
+// TestNFAAndTreeAgreeOnPlannedOrders cross-checks the two engines on random
+// plans of the same pattern.
+func TestNFAAndTreeAgreeOnPlannedOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 30; trial++ {
+		p := RandomPattern(rng, testWindow, trial%3 == 0, false)
+		c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 50, TypeNames, 3)
+		var ref []*match.Match
+		first := true
+		PositiveOrders(c, func(order []int) {
+			if !first && rng.Intn(3) != 0 {
+				return // sample a third of the orders for speed
+			}
+			got, _, err := RunNFA(c, order, events, nfa.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first {
+				ref, first = got, false
+				return
+			}
+			sameSet(t, "nfa order "+p.String(), got, ref)
+		})
+		PositiveTrees(c, func(root *plan.TreeNode) {
+			if rng.Intn(3) != 0 {
+				return
+			}
+			got, _, err := RunTree(c, root, events, tree.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, "tree vs nfa "+p.String(), got, ref)
+		})
+	}
+}
+
+// TestContiguityStrategies verifies that the lowered serial predicates give
+// oracle-identical results for strict and partition contiguity.
+func TestContiguityStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	for _, strat := range []predicate.Strategy{predicate.StrictContiguity, predicate.PartitionContiguity} {
+		for trial := 0; trial < 15; trial++ {
+			p := pattern.Seq(testWindow,
+				pattern.E("A", "a"), pattern.E("B", "b"))
+			c := compileOrFail(t, p, strat)
+			events := Stream(rng, 60, TypeNames, 2)
+			if strat == predicate.PartitionContiguity {
+				// Assign partitions and restamp.
+				for _, e := range events {
+					e.Partition = int(e.MustAttr("x")) % 3
+				}
+				stream := event.NewSliceStream(events)
+				stream.Reset()
+				events = event.Drain(stream)
+			}
+			want := oracle.Find(c, events)
+			PositiveOrders(c, func(order []int) {
+				got, _, err := RunNFA(c, order, events, nfa.Config{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSet(t, "nfa "+strat.String(), got, want)
+			})
+			PositiveTrees(c, func(root *plan.TreeNode) {
+				got, _, err := RunTree(c, root, events, tree.Config{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSet(t, "tree "+strat.String(), got, want)
+			})
+		}
+	}
+}
+
+// TestSkipTillNextInvariants checks the skip-till-next-match guarantees:
+// emitted matches are pairwise event-disjoint and form a subset of the
+// skip-till-any match set.
+func TestSkipTillNextInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 30; trial++ {
+		p := RandomPattern(rng, testWindow, false, false)
+		cAny := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+		events := Stream(rng, 50, TypeNames, 3)
+		anySet := match.KeySet(oracle.Find(cAny, events))
+
+		check := func(label string, got []*match.Match) {
+			t.Helper()
+			seen := make(map[int64]bool)
+			for _, m := range got {
+				if !anySet[m.Key()] {
+					t.Fatalf("%s: match %s not in skip-any set (%s)", label, m.Key(), p)
+				}
+				for _, e := range m.Events() {
+					if seen[e.Serial] {
+						t.Fatalf("%s: event %d reused across matches (%s)", label, e.Serial, p)
+					}
+					seen[e.Serial] = true
+				}
+			}
+		}
+		Reset(events)
+		gotN, _, err := RunNFA(cAny, cAny.Positives, events, nfa.Config{Strategy: predicate.SkipTillNextMatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("nfa", gotN)
+		Reset(events)
+		gotT, _, err := RunTree(cAny, plan.LeftDeep(cAny.Positives), events, tree.Config{Strategy: predicate.SkipTillNextMatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("tree", gotT)
+		Reset(events)
+	}
+}
+
+// TestFourCamerasScenario replays the paper's introduction example: a rare
+// final camera D with reordering still detects the same matches.
+func TestFourCamerasScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	// a.vehicleID = b.vehicleID = c.vehicleID = d.vehicleID: the chained
+	// equality is transitive, so all six pairwise predicates are declared —
+	// this is what makes the rare-D-first plan cheap at every level.
+	p := pattern.Seq(40,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"), pattern.E("D", "d"),
+	).Where(
+		pattern.AttrCmp("a", "x", pattern.Eq, "b", "x"),
+		pattern.AttrCmp("a", "x", pattern.Eq, "c", "x"),
+		pattern.AttrCmp("a", "x", pattern.Eq, "d", "x"),
+		pattern.AttrCmp("b", "x", pattern.Eq, "c", "x"),
+		pattern.AttrCmp("b", "x", pattern.Eq, "d", "x"),
+		pattern.AttrCmp("c", "x", pattern.Eq, "d", "x"),
+	)
+	c := compileOrFail(t, p, predicate.SkipTillAnyMatch)
+	// D is 10× rarer than the other cameras.
+	var events []*event.Event
+	ts := event.Time(0)
+	for i := 0; i < 200; i++ {
+		ts += 1 + event.Time(rng.Int63n(2))
+		typ := []string{"A", "B", "C"}[rng.Intn(3)]
+		if rng.Intn(10) == 0 {
+			typ = "D"
+		}
+		events = append(events, event.New(Schemas[typ], ts, float64(rng.Intn(3))))
+	}
+	events = event.Drain(event.NewSliceStream(events))
+	want := oracle.Find(c, events)
+	if len(want) == 0 {
+		t.Fatal("scenario produced no matches; adjust generator")
+	}
+	// Rare-first plan (the paper's Figure 1b) vs trivial plan (Figure 1a).
+	lazy, lazyEngine, err := RunNFA(c, []int{3, 0, 1, 2}, events, nfa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivial, trivialEngine, err := RunNFA(c, []int{0, 1, 2, 3}, events, nfa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, "lazy", lazy, want)
+	sameSet(t, "trivial", trivial, want)
+	// The rare-first plan must create fewer partial matches — the entire
+	// point of plan generation.
+	if lazyEngine.Stats().Created >= trivialEngine.Stats().Created {
+		t.Fatalf("lazy plan created %d partial matches, trivial %d — expected fewer",
+			lazyEngine.Stats().Created, trivialEngine.Stats().Created)
+	}
+}

@@ -1,0 +1,123 @@
+package enginetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/nfa"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/tree"
+)
+
+// TestNFAStateBoundedOverLongStream verifies that window purging keeps the
+// engine's live state proportional to the window, not the stream: a 50k
+// event stream over a short window must never accumulate unbounded
+// partial matches or buffers.
+func TestNFAStateBoundedOverLongStream(t *testing.T) {
+	p := pattern.Seq(20*event.Millisecond,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"),
+	).Where(pattern.AttrCmp("a", "x", pattern.Lt, "c", "x"))
+	c, err := predicate.Compile(p, predicate.SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nfa.New(c, c.Positives, nfa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ts := event.Time(0)
+	maxPartial, maxBuffered := 0, 0
+	for i := 0; i < 50000; i++ {
+		ts += 1 + event.Time(rng.Int63n(3))
+		typ := TypeNames[rng.Intn(3)]
+		ev := event.New(Schemas[typ], ts, float64(rng.Intn(10)))
+		ev.Serial = int64(i + 1)
+		e.Process(ev)
+		if cur := e.CurrentPartial(); cur > maxPartial {
+			maxPartial = cur
+		}
+		if cur := e.CurrentBuffered(); cur > maxBuffered {
+			maxBuffered = cur
+		}
+	}
+	// ~10 events per 20ms window; with three positions and 0.5-ish
+	// selectivity the steady state is a few dozen partial matches. Allow a
+	// generous bound: the point is O(window), not O(stream).
+	if maxPartial > 2000 {
+		t.Fatalf("partial matches unbounded: peak %d", maxPartial)
+	}
+	if maxBuffered > 200 {
+		t.Fatalf("buffers unbounded: peak %d", maxBuffered)
+	}
+	if e.Stats().Matches == 0 {
+		t.Fatal("soak stream produced no matches; bound check vacuous")
+	}
+}
+
+// TestTreeStateBoundedOverLongStream is the tree-engine counterpart.
+func TestTreeStateBoundedOverLongStream(t *testing.T) {
+	p := pattern.Seq(20*event.Millisecond,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"),
+	).Where(pattern.AttrCmp("a", "x", pattern.Lt, "c", "x"))
+	c, err := predicate.Compile(p, predicate.SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(2)), plan.LeafNode(1))
+	e, err := tree.New(c, root, tree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ts := event.Time(0)
+	maxPartial := 0
+	for i := 0; i < 50000; i++ {
+		ts += 1 + event.Time(rng.Int63n(3))
+		typ := TypeNames[rng.Intn(3)]
+		ev := event.New(Schemas[typ], ts, float64(rng.Intn(10)))
+		ev.Serial = int64(i + 1)
+		e.Process(ev)
+		if cur := e.CurrentPartial(); cur > maxPartial {
+			maxPartial = cur
+		}
+	}
+	if maxPartial > 2000 {
+		t.Fatalf("instances unbounded: peak %d", maxPartial)
+	}
+	if e.Stats().Matches == 0 {
+		t.Fatal("soak stream produced no matches; bound check vacuous")
+	}
+}
+
+// TestPendingNegationBounded verifies that the trailing-negation pending
+// queue also drains with the stream clock.
+func TestPendingNegationBounded(t *testing.T) {
+	p := pattern.Seq(20*event.Millisecond,
+		pattern.E("A", "a"), pattern.Not("D", "n"))
+	c, err := predicate.Compile(p, predicate.SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nfa.New(c, c.Positives, nfa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ts := event.Time(0)
+	maxState := 0
+	for i := 0; i < 30000; i++ {
+		ts += 1 + event.Time(rng.Int63n(3))
+		typ := TypeNames[rng.Intn(len(TypeNames))]
+		e.Process(event.New(Schemas[typ], ts, 0))
+		if cur := e.CurrentPartial(); cur > maxState {
+			maxState = cur
+		}
+	}
+	if maxState > 500 {
+		t.Fatalf("pending queue unbounded: peak %d", maxState)
+	}
+}

@@ -1,0 +1,218 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaIndex(t *testing.T) {
+	s := NewSchema("Stock", "price", "difference")
+	if s.Name() != "Stock" {
+		t.Fatalf("Name() = %q, want Stock", s.Name())
+	}
+	if n := s.NumAttrs(); n != 2 {
+		t.Fatalf("NumAttrs() = %d, want 2", n)
+	}
+	i, ok := s.Index("difference")
+	if !ok || i != 1 {
+		t.Fatalf("Index(difference) = %d,%v, want 1,true", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Fatal("Index(missing) should not exist")
+	}
+	got := s.Attrs()
+	if len(got) != 2 || got[0] != "price" || got[1] != "difference" {
+		t.Fatalf("Attrs() = %v", got)
+	}
+	// Attrs must return a copy.
+	got[0] = "mutated"
+	if a := s.Attrs(); a[0] != "price" {
+		t.Fatal("Attrs() leaked internal slice")
+	}
+}
+
+func TestSchemaDuplicateAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate attribute")
+		}
+	}()
+	NewSchema("X", "a", "a")
+}
+
+func TestEventAttr(t *testing.T) {
+	s := NewSchema("Stock", "price", "difference")
+	e := New(s, 1234, 99.5, -0.25)
+	if v := e.MustAttr("price"); v != 99.5 {
+		t.Fatalf("price = %g", v)
+	}
+	if v := e.MustAttr("difference"); v != -0.25 {
+		t.Fatalf("difference = %g", v)
+	}
+	if v, ok := e.Attr("ts"); !ok || v != 1234 {
+		t.Fatalf("ts = %g,%v", v, ok)
+	}
+	e.Serial = 7
+	e.PSerial = 3
+	e.Partition = 2
+	if v, _ := e.Attr("serial"); v != 7 {
+		t.Fatalf("serial = %g", v)
+	}
+	if v, _ := e.Attr("pserial"); v != 3 {
+		t.Fatalf("pserial = %g", v)
+	}
+	if v, _ := e.Attr("partition"); v != 2 {
+		t.Fatalf("partition = %g", v)
+	}
+	if _, ok := e.Attr("nope"); ok {
+		t.Fatal("unexpected attribute")
+	}
+}
+
+func TestEventAttrCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on attribute count mismatch")
+		}
+	}()
+	New(NewSchema("X", "a"), 0, 1.0, 2.0)
+}
+
+func TestMustAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing attribute")
+		}
+	}()
+	e := New(NewSchema("X", "a"), 0, 1)
+	e.MustAttr("b")
+}
+
+func TestEventString(t *testing.T) {
+	s := NewSchema("A", "x")
+	e := New(s, 5, 2)
+	if got := e.String(); got != "A@5{x=2}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	a := NewSchema("A", "x")
+	b := NewSchema("B", "y")
+	r := NewRegistry(b, a)
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+	if got, ok := r.Lookup("A"); !ok || got != a {
+		t.Fatal("Lookup(A) failed")
+	}
+	if _, ok := r.Lookup("C"); ok {
+		t.Fatal("Lookup(C) should fail")
+	}
+	types := r.Types()
+	if len(types) != 2 || types[0] != "A" || types[1] != "B" {
+		t.Fatalf("Types() = %v, want sorted [A B]", types)
+	}
+}
+
+func TestSliceStreamStampsSerials(t *testing.T) {
+	s := NewSchema("A", "x")
+	events := []*Event{
+		{Type: "A", TS: 1, Partition: 0, Attrs: []float64{1}, Schema: s},
+		{Type: "A", TS: 2, Partition: 1, Attrs: []float64{2}, Schema: s},
+		{Type: "A", TS: 3, Partition: 0, Attrs: []float64{3}, Schema: s},
+	}
+	st := NewSliceStream(events)
+	var serials, pserials []int64
+	for e := st.Next(); e != nil; e = st.Next() {
+		serials = append(serials, e.Serial)
+		pserials = append(pserials, e.PSerial)
+	}
+	if serials[0] != 1 || serials[1] != 2 || serials[2] != 3 {
+		t.Fatalf("serials = %v", serials)
+	}
+	// Partition 0 gets pserials 1,2; partition 1 gets 1.
+	if pserials[0] != 1 || pserials[1] != 1 || pserials[2] != 2 {
+		t.Fatalf("pserials = %v", pserials)
+	}
+}
+
+func TestSliceStreamResetClearsConsumption(t *testing.T) {
+	s := NewSchema("A", "x")
+	events := []*Event{New(s, 1, 1), New(s, 2, 2)}
+	st := NewSliceStream(events)
+	e := st.Next()
+	e.Consume()
+	if !e.Consumed() {
+		t.Fatal("Consume did not mark event")
+	}
+	st.Reset()
+	if events[0].Consumed() {
+		t.Fatal("Reset did not clear consumption")
+	}
+	if got := st.Next(); got != events[0] || got.Serial != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestSliceStreamRejectsDisorder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order stream")
+		}
+	}()
+	s := NewSchema("A", "x")
+	NewSliceStream([]*Event{New(s, 2, 1), New(s, 1, 2)})
+}
+
+func TestDrain(t *testing.T) {
+	s := NewSchema("A", "x")
+	events := []*Event{New(s, 1, 1), New(s, 2, 2), New(s, 3, 3)}
+	got := Drain(NewSliceStream(events))
+	if len(got) != 3 {
+		t.Fatalf("Drain returned %d events", len(got))
+	}
+}
+
+func TestMergeOrdersByTimestamp(t *testing.T) {
+	s := NewSchema("A", "x")
+	a := []*Event{New(s, 1, 0), New(s, 5, 0)}
+	b := []*Event{New(s, 2, 0), New(s, 3, 0)}
+	c := []*Event{New(s, 4, 0)}
+	out := Merge(a, b, c)
+	if len(out) != 5 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].TS < out[i-1].TS {
+			t.Fatalf("Merge output disordered at %d", i)
+		}
+	}
+}
+
+func TestMergePropertyOrdered(t *testing.T) {
+	s := NewSchema("A", "x")
+	f := func(ts1, ts2 []uint8) bool {
+		mk := func(ts []uint8) []*Event {
+			ev := make([]*Event, len(ts))
+			for i := range ts {
+				ev[i] = New(s, Time(ts[i]), 0)
+			}
+			SortByTS(ev)
+			return ev
+		}
+		out := Merge(mk(ts1), mk(ts2))
+		if len(out) != len(ts1)+len(ts2) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].TS < out[i-1].TS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

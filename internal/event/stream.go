@@ -1,0 +1,114 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stream is a pull-based source of timestamp-ordered events. Next returns
+// nil when the stream is exhausted.
+type Stream interface {
+	Next() *Event
+}
+
+// SliceStream replays a fixed slice of events. It stamps global and
+// per-partition serial numbers on the fly so that a slice built by hand or
+// by a generator is immediately usable under contiguity strategies.
+type SliceStream struct {
+	events   []*Event
+	pos      int
+	stamp    bool
+	serial   int64
+	pserials map[int]int64
+}
+
+// NewSliceStream wraps events in a stream. The events must already be sorted
+// by timestamp; NewSliceStream panics otherwise, because silently accepting
+// disorder would corrupt window purging in the engines.
+func NewSliceStream(events []*Event) *SliceStream {
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			panic(fmt.Sprintf("event: stream not timestamp-ordered at index %d (%d < %d)",
+				i, events[i].TS, events[i-1].TS))
+		}
+	}
+	return &SliceStream{events: events, stamp: true, pserials: make(map[int]int64)}
+}
+
+// Next returns the next event, stamping serial numbers.
+func (s *SliceStream) Next() *Event {
+	if s.pos >= len(s.events) {
+		return nil
+	}
+	e := s.events[s.pos]
+	s.pos++
+	if s.stamp {
+		s.serial++
+		e.Serial = s.serial
+		s.pserials[e.Partition]++
+		e.PSerial = s.pserials[e.Partition]
+	}
+	return e
+}
+
+// Reset rewinds the stream to the beginning and restarts serial stamping.
+// Consumption marks from a previous run are cleared so that replays under
+// skip-till-next-match start from a clean state.
+func (s *SliceStream) Reset() {
+	s.pos = 0
+	s.serial = 0
+	s.pserials = make(map[int]int64)
+	for _, e := range s.events {
+		e.consumed = false
+	}
+}
+
+// Len returns the total number of events in the stream.
+func (s *SliceStream) Len() int { return len(s.events) }
+
+// Events returns the underlying slice (not a copy).
+func (s *SliceStream) Events() []*Event { return s.events }
+
+// Drain reads every remaining event from a stream into a slice.
+func Drain(s Stream) []*Event {
+	var out []*Event
+	for e := s.Next(); e != nil; e = s.Next() {
+		out = append(out, e)
+	}
+	return out
+}
+
+// SortByTS sorts events by timestamp (stable, so equal-timestamp events keep
+// their generation order).
+func SortByTS(events []*Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+}
+
+// Merge combines several timestamp-ordered slices into a single ordered
+// slice. It is used by generators that produce one sub-stream per event type.
+func Merge(streams ...[]*Event) []*Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]*Event, 0, total)
+	idx := make([]int, len(streams))
+	for {
+		best := -1
+		var bestTS Time
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best == -1 || s[idx[i]].TS < bestTS {
+				best = i
+				bestTS = s[idx[i]].TS
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+}

@@ -1,0 +1,262 @@
+// Package graph analyses the query-graph topology of a pattern — the graph
+// whose vertices are the pattern's positive events and whose edges are the
+// pairs carrying predicates. Section 4.3 of the paper observes that
+// restricted topologies admit better plan-generation complexity: acyclic
+// graphs have polynomial optimal left-deep algorithms under the ASI
+// property (implemented as KBZ in internal/core), and star queries make the
+// optimal bushy plan coincide with the optimal left-deep one.
+package graph
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// Topology classifies a query graph.
+type Topology int
+
+// Topologies in increasing generality.
+const (
+	TopoChain        Topology = iota // a path: every vertex has degree ≤ 2, connected, acyclic
+	TopoStar                         // one centre connected to all leaves
+	TopoTree                         // connected and acyclic (but neither chain nor star)
+	TopoClique                       // every pair connected
+	TopoGeneral                      // anything else connected
+	TopoDisconnected                 // cross products required
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case TopoChain:
+		return "chain"
+	case TopoStar:
+		return "star"
+	case TopoTree:
+		return "tree"
+	case TopoClique:
+		return "clique"
+	case TopoGeneral:
+		return "general"
+	case TopoDisconnected:
+		return "disconnected"
+	}
+	return "unknown"
+}
+
+// Graph is an undirected query graph over planning positions 0..n-1.
+type Graph struct {
+	n   int
+	adj [][]bool
+}
+
+// New builds an empty graph over n vertices.
+func New(n int) *Graph {
+	g := &Graph{n: n, adj: make([][]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make([]bool, n)
+	}
+	return g
+}
+
+// FromStats derives the query graph of a pattern: an edge joins positions i
+// and j when at least one predicate links them (selectivity ≠ 1).
+func FromStats(ps *stats.PatternStats) *Graph {
+	g := New(ps.N())
+	for i := 0; i < ps.N(); i++ {
+		for j := i + 1; j < ps.N(); j++ {
+			if ps.Sel[i][j] != 1 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// FromPattern derives the query graph of a simple pattern from its declared
+// predicates: an edge joins two positive events when a pairwise condition
+// links them; sequence patterns additionally chain temporally adjacent
+// positive events (the implicit order predicates of Theorem 3). Unlike
+// FromStats, the result does not depend on whether selectivities were
+// measured.
+func FromPattern(p *pattern.Pattern) *Graph {
+	positives := p.Positives()
+	g := New(len(positives))
+	pos := make(map[string]int, len(positives))
+	for k, ti := range positives {
+		pos[p.Terms[ti].Event.Alias] = k
+	}
+	for _, c := range p.Conds {
+		als := c.Aliases()
+		if len(als) != 2 {
+			continue
+		}
+		i, iok := pos[als[0]]
+		j, jok := pos[als[1]]
+		if iok && jok {
+			g.AddEdge(i, j)
+		}
+	}
+	if p.Op == pattern.OpSeq {
+		for k := 0; k+1 < len(positives); k++ {
+			g.AddEdge(k, k+1)
+		}
+	}
+	return g
+}
+
+// AddEdge inserts an undirected edge.
+func (g *Graph) AddEdge(i, j int) {
+	if i == j {
+		return
+	}
+	g.adj[i][j] = true
+	g.adj[j][i] = true
+}
+
+// HasEdge reports whether i and j are joined.
+func (g *Graph) HasEdge(i, j int) bool { return g.adj[i][j] }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	for _, e := range g.adj[v] {
+		if e {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors returns the neighbours of v in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	var out []int
+	for u, e := range g.adj[v] {
+		if e {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Edges counts the undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for i := 0; i < g.n; i++ {
+		total += g.Degree(i)
+	}
+	return total / 2
+}
+
+// IsConnected reports whether every vertex is reachable from vertex 0.
+// The empty and single-vertex graphs are connected.
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// IsAcyclic reports whether the graph is a forest (|E| = |V| − components).
+func (g *Graph) IsAcyclic() bool {
+	components := 0
+	seen := make([]bool, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		components++
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return g.Edges() == g.n-components
+}
+
+// Classify determines the topology per Section 4.3's taxonomy.
+func (g *Graph) Classify() Topology {
+	if !g.IsConnected() {
+		return TopoDisconnected
+	}
+	if g.n <= 1 {
+		return TopoChain
+	}
+	// Acyclic shapes take precedence: K2 is classified as a chain.
+	if !g.IsAcyclic() && g.Edges() == g.n*(g.n-1)/2 {
+		return TopoClique
+	}
+	if g.IsAcyclic() {
+		deg1, maxDeg := 0, 0
+		for v := 0; v < g.n; v++ {
+			d := g.Degree(v)
+			if d == 1 {
+				deg1++
+			}
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		switch {
+		case maxDeg <= 2:
+			return TopoChain
+		case deg1 == g.n-1:
+			return TopoStar
+		default:
+			return TopoTree
+		}
+	}
+	return TopoGeneral
+}
+
+// SpanningParents returns, for the acyclic connected graph rooted at root,
+// the parent of every vertex (-1 for the root) and a BFS order. It is the
+// rooted-tree input the KBZ algorithm consumes.
+func (g *Graph) SpanningParents(root int) (parents []int, bfs []int) {
+	parents = make([]int, g.n)
+	for i := range parents {
+		parents[i] = -1
+	}
+	seen := make([]bool, g.n)
+	queue := []int{root}
+	seen[root] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		bfs = append(bfs, v)
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				parents[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return parents, bfs
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestClassify(t *testing.T) {
+	mk := func(n int, edges ...[2]int) *Graph {
+		g := New(n)
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		return g
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+		want Topology
+	}{
+		{"single", mk(1), TopoChain},
+		{"chain3", mk(3, [2]int{0, 1}, [2]int{1, 2}), TopoChain},
+		{"chain2", mk(2, [2]int{0, 1}), TopoChain},
+		{"star", mk(4, [2]int{0, 1}, [2]int{0, 2}, [2]int{0, 3}), TopoStar},
+		{"tree", mk(5, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 3}, [2]int{1, 4}), TopoTree},
+		{"clique", mk(3, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 2}), TopoClique},
+		{"cycle4", mk(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 0}), TopoGeneral},
+		{"disconnected", mk(3, [2]int{0, 1}), TopoDisconnected},
+		{"empty2", mk(2), TopoDisconnected},
+	}
+	for _, c := range cases {
+		if got := c.g.Classify(); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConnectivityAndAcyclicity(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("forest reported cyclic")
+	}
+	g.AddEdge(2, 3)
+	if !g.IsConnected() || !g.IsAcyclic() {
+		t.Fatal("path misclassified")
+	}
+	g.AddEdge(3, 0)
+	if g.IsAcyclic() {
+		t.Fatal("cycle reported acyclic")
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	ps := &stats.PatternStats{
+		W:     1,
+		Rates: []float64{1, 1, 1},
+		Sel: [][]float64{
+			{0.5, 0.3, 1},
+			{0.3, 1, 1},
+			{1, 1, 0.9},
+		},
+	}
+	g := FromStats(ps)
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Fatal("edges wrong")
+	}
+	// Unary selectivities (diagonal) must not create edges or loops.
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees = %d, %d", g.Degree(0), g.Degree(2))
+	}
+	if g.Classify() != TopoDisconnected {
+		t.Fatalf("topology = %v", g.Classify())
+	}
+}
+
+func TestSpanningParents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	parents, bfs := g.SpanningParents(0)
+	if parents[0] != -1 || parents[1] != 0 || parents[2] != 1 || parents[3] != 1 || parents[4] != 3 {
+		t.Fatalf("parents = %v", parents)
+	}
+	if len(bfs) != 5 || bfs[0] != 0 {
+		t.Fatalf("bfs = %v", bfs)
+	}
+	// Reroot at 4.
+	parents, _ = g.SpanningParents(4)
+	if parents[4] != -1 || parents[3] != 4 || parents[1] != 3 || parents[0] != 1 || parents[2] != 1 {
+		t.Fatalf("rerooted parents = %v", parents)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	for topo, want := range map[Topology]string{
+		TopoChain: "chain", TopoStar: "star", TopoTree: "tree",
+		TopoClique: "clique", TopoGeneral: "general", TopoDisconnected: "disconnected",
+	} {
+		if topo.String() != want {
+			t.Errorf("%d.String() = %q", topo, topo.String())
+		}
+	}
+}

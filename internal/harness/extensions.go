@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// FigExtensions is an experiment beyond the paper: the extension algorithms
+// (KBZ, SIM-ANNEAL, AUTO) against the paper's order-based set on large
+// *chain-topology* conjunctions — the acyclic query graphs for which
+// Section 4.3 promises polynomial optimal planning. Reported per size:
+// normalized plan cost (vs EFREQ, higher is better) and planning time.
+func (r *Runner) FigExtensions() ([]Table, error) {
+	algs := []string{core.AlgEFreq, core.AlgGreedy, core.AlgIIGreedy,
+		core.AlgDPLD, core.AlgKBZ, core.AlgSimAnneal, core.AlgAuto}
+	costT := Table{
+		Title:   "Extension E1a: normalized plan cost on chain-topology conjunctions",
+		Columns: append([]string{"size", "topology"}, algs...),
+	}
+	timeT := Table{
+		Title:   "Extension E1b: plan generation time (ms) on chain-topology conjunctions",
+		Columns: append([]string{"size", "topology"}, algs...),
+	}
+	rng := newRng(r.Cfg.Seed + 6000)
+	for _, size := range r.Cfg.LargeSizes {
+		if size > r.Cfg.Symbols {
+			continue
+		}
+		p := r.Stocks.ChainConjunction(size, r.Cfg.Window, rng)
+		st := r.StatsFor(p)
+		ps := stats.For(p, st)
+		topo := graph.FromStats(ps).Classify().String()
+		model := cost.DefaultModel()
+		baseline := cost.Order(ps, core.EFreq{}.Order(ps, model))
+		costRow := []string{fmt.Sprint(size), topo}
+		timeRow := []string{fmt.Sprint(size), topo}
+		for _, alg := range algs {
+			if alg == core.AlgDPLD && size > r.Cfg.MaxDPLDSize {
+				costRow = append(costRow, "-")
+				timeRow = append(timeRow, "-")
+				continue
+			}
+			oa, err := core.NewOrderAlgorithm(alg)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			order := oa.Order(ps, model)
+			elapsed := time.Since(start)
+			costRow = append(costRow, f2(baseline/cost.Order(ps, order)))
+			timeRow = append(timeRow, fmt.Sprintf("%.3f", float64(elapsed.Microseconds())/1000))
+		}
+		costT.Rows = append(costT.Rows, costRow)
+		timeT.Rows = append(timeT.Rows, timeRow)
+	}
+	return []Table{costT, timeT}, nil
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/predicate"
+	"repro/internal/workload"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig() Config {
+	return Config{
+		Symbols: 16,
+		Events:  1200,
+		Window:  2 * event.Second,
+		Sizes:   []int{3, 4},
+		PerSize: 1,
+		Seed:    1,
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "long-column", "yyyy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPatternAllAlgorithms(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	p := r.Stocks.Pattern(workload.CatSequence, 3, r.Cfg.Window, newRng(1))
+	for _, alg := range []string{"TRIVIAL", "EFREQ", "GREEDY", "II-RANDOM", "II-GREEDY", "DP-LD", "ZSTREAM", "ZSTREAM-ORD", "DP-B"} {
+		res, err := r.RunPattern(alg, p, predicate.SkipTillAnyMatch, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Events != r.Cfg.Events {
+			t.Fatalf("%s: processed %d events", alg, res.Events)
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("%s: throughput %g", alg, res.Throughput)
+		}
+	}
+}
+
+func TestMatchCountsAgreeAcrossAlgorithms(t *testing.T) {
+	// Every plan must detect the same number of matches — the harness-level
+	// restatement of the equivalence tests.
+	r := NewRunner(tinyConfig())
+	for _, cat := range workload.Categories() {
+		p := r.Stocks.Pattern(cat, 3, r.Cfg.Window, newRng(7))
+		var want int64 = -1
+		for _, alg := range []string{"TRIVIAL", "EFREQ", "GREEDY", "DP-LD", "ZSTREAM", "DP-B"} {
+			res, err := r.RunPattern(alg, p, predicate.SkipTillAnyMatch, 0)
+			if err != nil {
+				t.Fatalf("%s %s: %v", cat, alg, err)
+			}
+			if want == -1 {
+				want = res.Matches
+			} else if res.Matches != want {
+				t.Fatalf("%s: %s found %d matches, others %d (%s)", cat, alg, res.Matches, want, p)
+			}
+		}
+	}
+}
+
+func TestFig4And5Structure(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{3}
+	r := NewRunner(cfg)
+	tables, err := r.Fig4And5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("%d tables, want 4", len(tables))
+	}
+	// 6 order algorithms, 3 tree algorithms; 5 categories + label column.
+	if len(tables[0].Rows) != 6 || len(tables[1].Rows) != 3 {
+		t.Fatalf("rows = %d, %d", len(tables[0].Rows), len(tables[1].Rows))
+	}
+	for _, tb := range tables {
+		if len(tb.Columns) != 6 {
+			t.Fatalf("columns = %v", tb.Columns)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Fatalf("ragged row %v", row)
+			}
+		}
+	}
+}
+
+func TestFigSizeStructure(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{3}
+	r := NewRunner(cfg)
+	tables, err := r.FigSize(workload.CatNegation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if !strings.Contains(tb.Title, "negation") {
+			t.Fatalf("title = %q", tb.Title)
+		}
+		if len(tb.Rows) != 1 {
+			t.Fatalf("rows = %d", len(tb.Rows))
+		}
+	}
+}
+
+func TestFigExtensionsStructure(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.LargeSizes = []int{3, 6}
+	r := NewRunner(cfg)
+	tables, err := r.FigExtensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || len(tables[0].Rows) != 2 {
+		t.Fatalf("tables = %v", tables)
+	}
+	// Chain conjunctions must classify as chains.
+	for _, row := range tables[0].Rows {
+		if row[1] != "chain" {
+			t.Fatalf("topology = %q", row[1])
+		}
+	}
+	// EFREQ normalizes to 1 against itself.
+	if tables[0].Rows[0][2] != "1.00" {
+		t.Fatalf("EFREQ cell = %q", tables[0].Rows[0][2])
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	if _, err := r.Figure(3); err == nil {
+		t.Fatal("figure 3 should not exist")
+	}
+	tables, err := r.Figure(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("Fig16 tables = %v", tables)
+	}
+}
+
+func TestFig17CostsOnly(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.LargeSizes = []int{3, 6, 10}
+	cfg.MaxDPLDSize = 8
+	cfg.MaxDPBSize = 6
+	r := NewRunner(cfg)
+	tables, err := r.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	costT := tables[0]
+	if len(costT.Rows) != 3 {
+		t.Fatalf("rows = %d", len(costT.Rows))
+	}
+	// DP columns must be dashed beyond the caps (size 10 row).
+	last := costT.Rows[len(costT.Rows)-1]
+	foundDash := false
+	for _, cell := range last {
+		if cell == "-" {
+			foundDash = true
+		}
+	}
+	if !foundDash {
+		t.Fatalf("expected capped DP cells in %v", last)
+	}
+	// EFREQ normalizes to 1.0 against itself.
+	for _, row := range costT.Rows {
+		if row[1] != "1.00" {
+			t.Fatalf("EFREQ normalized cost = %s", row[1])
+		}
+	}
+}
+
+func TestFig18Shapes(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{3}
+	r := NewRunner(cfg)
+	tables, err := r.Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 algorithms × 3 alphas.
+	if len(tables[0].Rows) != 18 {
+		t.Fatalf("rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig19Strategies(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{3}
+	r := NewRunner(cfg)
+	tables, err := r.Fig19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if len(tables[0].Rows) != 6 || len(tables[1].Rows) != 3 {
+		t.Fatalf("rows = %d, %d", len(tables[0].Rows), len(tables[1].Rows))
+	}
+}

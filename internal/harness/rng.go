@@ -1,0 +1,6 @@
+package harness
+
+import "math/rand"
+
+// newRng builds a deterministic RNG for experiment pattern generation.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

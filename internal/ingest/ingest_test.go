@@ -1,0 +1,119 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func registry() *event.Registry {
+	return event.NewRegistry(
+		event.NewSchema("Stock", "price", "difference"),
+		event.NewSchema("News", "sentiment"),
+	)
+}
+
+func TestReadCSV(t *testing.T) {
+	src := `type,ts,price,difference,sentiment
+Stock,1000,99.5,-0.25,
+News,2000,,,0.8
+Stock,3000,100.0,0.5,
+`
+	events, err := ReadCSV(strings.NewReader(src), registry(), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Type != "Stock" || events[0].TS != 1000 ||
+		events[0].MustAttr("price") != 99.5 || events[0].MustAttr("difference") != -0.25 {
+		t.Fatalf("event 0 = %s", events[0])
+	}
+	if events[1].Type != "News" || events[1].MustAttr("sentiment") != 0.8 {
+		t.Fatalf("event 1 = %s", events[1])
+	}
+	if events[0].Serial != 1 || events[2].Serial != 3 {
+		t.Fatal("serials not stamped")
+	}
+}
+
+func TestReadCSVWithPartitions(t *testing.T) {
+	src := `type,ts,price,difference,shard
+Stock,1,1,0,2
+Stock,2,2,1,3
+`
+	events, err := ReadCSV(strings.NewReader(src), registry(),
+		CSVOptions{PartitionColumn: "shard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Partition != 2 || events[1].Partition != 3 {
+		t.Fatalf("partitions = %d, %d", events[0].Partition, events[1].Partition)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no type column", "ts\n1\n", `no "type" column`},
+		{"no ts column", "type\nStock\n", `no "ts" column`},
+		{"unknown type", "type,ts\nBond,1\n", "unknown event type"},
+		{"bad ts", "type,ts\nStock,xyz\n", "bad timestamp"},
+		{"bad value", "type,ts,price\nStock,1,NaNope\n", "bad value"},
+		{"disorder", "type,ts\nStock,5\nStock,1\n", "out of timestamp order"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.src), registry(), CSVOptions{}); err == nil ||
+			!strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	reg := registry()
+	src := `{"type":"Stock","ts":1000,"attrs":{"price":99.5,"difference":-0.25}}
+{"type":"News","ts":2000,"partition":4,"attrs":{"sentiment":0.8}}
+`
+	events, err := ReadJSONL(strings.NewReader(src), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[1].Partition != 4 {
+		t.Fatalf("partition = %d", events[1].Partition)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadJSONL(&buf, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 || again[0].MustAttr("price") != 99.5 || again[1].Partition != 4 {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"Bond","ts":1}`), registry()); err == nil ||
+		!strings.Contains(err.Error(), "unknown event type") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"Stock","ts":1,"attrs":{"volume":3}}`), registry()); err == nil ||
+		!strings.Contains(err.Error(), "no attribute") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{bad json`), registry()); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// Table is an in-memory relation used by the validation executor: rows of
+// float64 values under named columns.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]float64
+}
+
+// Col returns the index of the named column.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TuplePred is a join predicate between two relations, evaluated on full
+// rows.
+type TuplePred struct {
+	I, J int // relation indices
+	Fn   func(a, b []float64) bool
+}
+
+// RowFilter is a selection predicate on a single relation.
+type RowFilter struct {
+	I  int
+	Fn func(row []float64) bool
+}
+
+// Instance is an executable join-query instance.
+type Instance struct {
+	Tables  []*Table
+	Preds   []TuplePred
+	Filters []RowFilter
+}
+
+// tuple maps relation index to a row of that relation; entries are nil for
+// relations not yet joined.
+type tuple []([]float64)
+
+// ExecResult reports the outcome of executing a join plan: the final result
+// cardinality and the total number of intermediate tuples materialised — the
+// quantity the Cost functions estimate.
+type ExecResult struct {
+	ResultRows   int
+	Intermediate int
+}
+
+// ExecuteOrder runs a left-deep (order-based) nested-loop join and counts
+// intermediate results, including the initial selection, mirroring Cost_LDJ.
+func (in *Instance) ExecuteOrder(order []int) (ExecResult, error) {
+	if len(order) != len(in.Tables) {
+		return ExecResult{}, fmt.Errorf("join: order covers %d of %d relations", len(order), len(in.Tables))
+	}
+	if err := plan.CheckPermutation(order); err != nil {
+		return ExecResult{}, err
+	}
+	var res ExecResult
+	var current []tuple
+	for k, idx := range order {
+		rows := in.filteredRows(idx)
+		var next []tuple
+		if k == 0 {
+			for _, row := range rows {
+				tp := make(tuple, len(in.Tables))
+				tp[idx] = row
+				next = append(next, tp)
+			}
+		} else {
+			for _, tp := range current {
+				for _, row := range rows {
+					if in.rowJoins(tp, idx, row) {
+						grown := make(tuple, len(tp))
+						copy(grown, tp)
+						grown[idx] = row
+						next = append(next, grown)
+					}
+				}
+			}
+		}
+		res.Intermediate += len(next)
+		current = next
+	}
+	res.ResultRows = len(current)
+	return res, nil
+}
+
+// ExecuteTree runs a bushy nested-loop join over the plan tree, counting the
+// tuples materialised at every node (leaves count their filtered inputs),
+// mirroring Cost_BJ.
+func (in *Instance) ExecuteTree(root *plan.TreeNode) (ExecResult, error) {
+	if root == nil {
+		return ExecResult{}, fmt.Errorf("join: nil plan tree")
+	}
+	if err := plan.CheckPermutation(root.Leaves()); err != nil {
+		return ExecResult{}, err
+	}
+	if root.Size() != len(in.Tables) {
+		return ExecResult{}, fmt.Errorf("join: tree covers %d of %d relations", root.Size(), len(in.Tables))
+	}
+	var res ExecResult
+	var rec func(n *plan.TreeNode) []tuple
+	rec = func(n *plan.TreeNode) []tuple {
+		var out []tuple
+		if n.IsLeaf() {
+			for _, row := range in.filteredRows(n.Leaf) {
+				tp := make(tuple, len(in.Tables))
+				tp[n.Leaf] = row
+				out = append(out, tp)
+			}
+		} else {
+			left := rec(n.Left)
+			right := rec(n.Right)
+			for _, lt := range left {
+				for _, rt := range right {
+					if in.tuplesJoin(lt, rt) {
+						merged := make(tuple, len(lt))
+						copy(merged, lt)
+						for i, row := range rt {
+							if row != nil {
+								merged[i] = row
+							}
+						}
+						out = append(out, merged)
+					}
+				}
+			}
+		}
+		res.Intermediate += len(out)
+		return out
+	}
+	final := rec(root)
+	res.ResultRows = len(final)
+	return res, nil
+}
+
+func (in *Instance) filteredRows(idx int) [][]float64 {
+	rows := in.Tables[idx].Rows
+	var hasFilter bool
+	for _, f := range in.Filters {
+		if f.I == idx {
+			hasFilter = true
+			break
+		}
+	}
+	if !hasFilter {
+		return rows
+	}
+	var out [][]float64
+	for _, row := range rows {
+		keep := true
+		for _, f := range in.Filters {
+			if f.I == idx && !f.Fn(row) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// rowJoins checks every predicate between the new row (relation idx) and the
+// relations already present in the tuple.
+func (in *Instance) rowJoins(tp tuple, idx int, row []float64) bool {
+	for _, p := range in.Preds {
+		switch {
+		case p.I == idx && tp[p.J] != nil:
+			if !p.Fn(row, tp[p.J]) {
+				return false
+			}
+		case p.J == idx && tp[p.I] != nil:
+			if !p.Fn(tp[p.I], row) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tuplesJoin checks every predicate spanning the two partial tuples.
+func (in *Instance) tuplesJoin(lt, rt tuple) bool {
+	for _, p := range in.Preds {
+		if lt[p.I] != nil && rt[p.J] != nil {
+			if !p.Fn(lt[p.I], rt[p.J]) {
+				return false
+			}
+		}
+		if lt[p.J] != nil && rt[p.I] != nil {
+			if !p.Fn(rt[p.I], lt[p.J]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// parityInstance builds three relations with balanced 0/1 parity columns and
+// equality predicates A.x=B.x, B.x=C.x, whose exact selectivity is 0.5.
+func parityInstance() (*Instance, *Query) {
+	mk := func(name string, card int) *Table {
+		t := &Table{Name: name, Cols: []string{"x"}}
+		for i := 0; i < card; i++ {
+			t.Rows = append(t.Rows, []float64{float64(i % 2)})
+		}
+		return t
+	}
+	in := &Instance{
+		Tables: []*Table{mk("A", 4), mk("B", 6), mk("C", 8)},
+		Preds: []TuplePred{
+			{I: 0, J: 1, Fn: func(a, b []float64) bool { return a[0] == b[0] }},
+			{I: 1, J: 2, Fn: func(a, b []float64) bool { return a[0] == b[0] }},
+		},
+	}
+	q := NewQuery(
+		Relation{Name: "A", Card: 4},
+		Relation{Name: "B", Card: 6},
+		Relation{Name: "C", Card: 8},
+	)
+	q.SetSel(0, 1, 0.5)
+	q.SetSel(1, 2, 0.5)
+	return in, q
+}
+
+func TestExecuteOrderMatchesCostModelExactly(t *testing.T) {
+	in, q := parityInstance()
+	order := []int{0, 1, 2}
+	res, err := in.ExecuteOrder(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced parity makes the multiplicative model exact:
+	// 4 + 4·6·0.5 + 12·8·0.5 = 4 + 12 + 48 = 64.
+	if res.Intermediate != 64 {
+		t.Fatalf("intermediate = %d, want 64", res.Intermediate)
+	}
+	if got := q.CostLDJ(order); got != 64 {
+		t.Fatalf("CostLDJ = %g, want 64", got)
+	}
+	if res.ResultRows != 48 {
+		t.Fatalf("result = %d, want 48", res.ResultRows)
+	}
+}
+
+func TestExecuteTreeMatchesCostModelExactly(t *testing.T) {
+	in, q := parityInstance()
+	root := plan.Join(plan.LeafNode(0), plan.Join(plan.LeafNode(1), plan.LeafNode(2)))
+	res, err := in.ExecuteTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaves 4+6+8; (B C) = 6·8·0.5 = 24; root = 4·24·0.5 = 48. Total 90.
+	if res.Intermediate != 90 {
+		t.Fatalf("intermediate = %d, want 90", res.Intermediate)
+	}
+	if got := q.CostBJ(root); got != 90 {
+		t.Fatalf("CostBJ = %g, want 90", got)
+	}
+	if res.ResultRows != 48 {
+		t.Fatalf("result = %d, want 48", res.ResultRows)
+	}
+}
+
+func TestExecuteRowFilters(t *testing.T) {
+	in, _ := parityInstance()
+	in.Filters = []RowFilter{{I: 0, Fn: func(row []float64) bool { return row[0] == 0 }}}
+	res, err := in.ExecuteOrder([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A filtered to 2 rows (x=0); AB = 2·3 = 6; ABC = 6·4 = 24.
+	if res.Intermediate != 2+6+24 {
+		t.Fatalf("intermediate = %d, want 32", res.Intermediate)
+	}
+}
+
+func TestExecuteResultInvariantAcrossPlans(t *testing.T) {
+	in, _ := parityInstance()
+	var want int
+	first := true
+	plan.Permutations(3, func(order []int) {
+		res, err := in.ExecuteOrder(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first {
+			want = res.ResultRows
+			first = false
+		} else if res.ResultRows != want {
+			t.Fatalf("order %v produced %d rows, want %d", order, res.ResultRows, want)
+		}
+	})
+	plan.AllTrees(3, func(root *plan.TreeNode) {
+		res, err := in.ExecuteTree(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResultRows != want {
+			t.Fatalf("tree %s produced %d rows, want %d", root, res.ResultRows, want)
+		}
+	})
+}
+
+func TestExecuteRandomInstancesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3)
+		in := &Instance{}
+		for i := 0; i < n; i++ {
+			tb := &Table{Name: "T", Cols: []string{"x"}}
+			card := 1 + rng.Intn(6)
+			for r := 0; r < card; r++ {
+				tb.Rows = append(tb.Rows, []float64{float64(rng.Intn(4))})
+			}
+			in.Tables = append(in.Tables, tb)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					in.Preds = append(in.Preds, TuplePred{
+						I: i, J: j,
+						Fn: func(a, b []float64) bool { return a[0] <= b[0] },
+					})
+				}
+			}
+		}
+		var want int
+		first := true
+		plan.Permutations(n, func(order []int) {
+			res, err := in.ExecuteOrder(order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first {
+				want, first = res.ResultRows, false
+			} else if res.ResultRows != want {
+				t.Fatalf("trial %d: order %v rows %d, want %d", trial, order, res.ResultRows, want)
+			}
+		})
+		plan.AllTrees(n, func(root *plan.TreeNode) {
+			res, err := in.ExecuteTree(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ResultRows != want {
+				t.Fatalf("trial %d: tree %s rows %d, want %d", trial, root, res.ResultRows, want)
+			}
+		})
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	in, _ := parityInstance()
+	if _, err := in.ExecuteOrder([]int{0, 1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := in.ExecuteOrder([]int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := in.ExecuteTree(nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := in.ExecuteTree(plan.Join(plan.LeafNode(0), plan.LeafNode(1))); err == nil {
+		t.Fatal("partial tree accepted")
+	}
+	if _, err := in.ExecuteTree(plan.Join(plan.LeafNode(0), plan.Join(plan.LeafNode(1), plan.LeafNode(1)))); err == nil {
+		t.Fatal("duplicate leaf accepted")
+	}
+}
+
+func TestTableCol(t *testing.T) {
+	tb := &Table{Cols: []string{"x", "y"}}
+	if tb.Col("y") != 1 || tb.Col("z") != -1 {
+		t.Fatal("Col lookup wrong")
+	}
+}

@@ -1,0 +1,199 @@
+// Package join formulates the Join Query Plan Generation (JQPG) problem of
+// Section 3.2 — relations with cardinalities, a query graph of pairwise
+// selectivities, and the intermediate-results-size cost functions Cost_LDJ
+// (left-deep) and Cost_BJ (bushy) — together with the two reductions of
+// Section 4 connecting it to CEP Plan Generation:
+//
+//	CPG → JQPG (Theorem 1): |R_i| = W·r_i, f_{i,j} = sel_{i,j};
+//	JQPG → CPG:             W = max|R_i|, r_i = |R_i|/W.
+//
+// A nested-loop executor over in-memory tables (exec.go) validates the cost
+// model against actually materialised intermediate results.
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Relation is one input of a join query.
+type Relation struct {
+	Name string
+	Card float64 // cardinality |R_i|
+}
+
+// Query is a JQPG instance: relations plus the selectivity matrix of the
+// query graph. Sel[i][j] is f_{i,j} (1 when no predicate links i and j);
+// Sel[i][i] is the selectivity of the selection predicates on R_i, folded
+// into the relation as a pre-filter.
+type Query struct {
+	Rels []Relation
+	Sel  [][]float64
+}
+
+// NewQuery builds a query with a unit selectivity matrix.
+func NewQuery(rels ...Relation) *Query {
+	n := len(rels)
+	q := &Query{Rels: rels, Sel: make([][]float64, n)}
+	for i := range q.Sel {
+		q.Sel[i] = make([]float64, n)
+		for j := range q.Sel[i] {
+			q.Sel[i][j] = 1
+		}
+	}
+	return q
+}
+
+// SetSel records the selectivity between relations i and j (symmetric).
+func (q *Query) SetSel(i, j int, sel float64) {
+	q.Sel[i][j] = sel
+	q.Sel[j][i] = sel
+}
+
+// N returns the number of relations.
+func (q *Query) N() int { return len(q.Rels) }
+
+// Validate checks structural consistency.
+func (q *Query) Validate() error {
+	n := q.N()
+	if len(q.Sel) != n {
+		return fmt.Errorf("join: selectivity matrix is %d×?, want %d", len(q.Sel), n)
+	}
+	for i := range q.Sel {
+		if len(q.Sel[i]) != n {
+			return fmt.Errorf("join: selectivity row %d has %d entries, want %d", i, len(q.Sel[i]), n)
+		}
+		for j := range q.Sel[i] {
+			if q.Sel[i][j] != q.Sel[j][i] {
+				return fmt.Errorf("join: selectivity matrix asymmetric at (%d,%d)", i, j)
+			}
+			if q.Sel[i][j] < 0 || q.Sel[i][j] > 1 {
+				return fmt.Errorf("join: selectivity out of range at (%d,%d): %g", i, j, q.Sel[i][j])
+			}
+		}
+	}
+	for i, r := range q.Rels {
+		if r.Card < 0 {
+			return fmt.Errorf("join: negative cardinality for %s (index %d)", r.Name, i)
+		}
+	}
+	return nil
+}
+
+// CostLDJ computes the left-deep-join cost of joining in the given order:
+//
+//	Cost_LDJ(L) = C_1 + Σ_{k=2..n} C(P_{k-1}, R_{i_k}),
+//
+// with C_1 = |R_{i_1}|·f_{i_1,i_1} and C(S, T) = |S|·|T|·f_{S,T}; the
+// selection selectivity of each newly joined relation is applied as it
+// enters (relations arrive pre-filtered, matching the expansion used in the
+// proof of Theorem 1).
+func (q *Query) CostLDJ(order []int) float64 {
+	total := 0.0
+	cur := 1.0
+	for k, idx := range order {
+		cur *= q.Rels[idx].Card * q.Sel[idx][idx]
+		for _, prev := range order[:k] {
+			cur *= q.Sel[prev][idx]
+		}
+		total += cur
+	}
+	return total
+}
+
+// CostBJ computes the bushy-join cost Σ_{N ∈ nodes(T)} C(N), with
+// C(leaf R_i) = |R_i|·f_{i,i} and C(L ⋈ R) = |L|·|R|·f_{L,R}.
+func (q *Query) CostBJ(root *plan.TreeNode) float64 {
+	total := 0.0
+	var rec func(n *plan.TreeNode) float64
+	rec = func(n *plan.TreeNode) float64 {
+		var card float64
+		if n.IsLeaf() {
+			card = q.Rels[n.Leaf].Card * q.Sel[n.Leaf][n.Leaf]
+		} else {
+			sel := 1.0
+			for _, i := range n.Left.Leaves() {
+				for _, j := range n.Right.Leaves() {
+					sel *= q.Sel[i][j]
+				}
+			}
+			card = rec(n.Left) * rec(n.Right) * sel
+		}
+		total += card
+		return card
+	}
+	rec(root)
+	return total
+}
+
+// ResultCard estimates the cardinality of the full join result.
+func (q *Query) ResultCard() float64 {
+	card := 1.0
+	for i, r := range q.Rels {
+		card *= r.Card * q.Sel[i][i]
+	}
+	for i := 0; i < q.N(); i++ {
+		for j := i + 1; j < q.N(); j++ {
+			card *= q.Sel[i][j]
+		}
+	}
+	return card
+}
+
+// FromPatternStats reduces a CPG instance to a JQPG instance per Theorem 1:
+// one relation per positive planning position with |R_i| = W·r_i, carrying
+// the selectivity matrix across unchanged.
+func FromPatternStats(ps *stats.PatternStats) *Query {
+	n := ps.N()
+	rels := make([]Relation, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("R%d", i+1)
+		if i < len(ps.Types) && ps.Types[i] != "" {
+			name = ps.Types[i]
+		}
+		rels[i] = Relation{Name: name, Card: ps.W * ps.Rates[i]}
+	}
+	q := NewQuery(rels...)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			q.Sel[i][j] = ps.Sel[i][j]
+		}
+	}
+	return q
+}
+
+// ToPatternStats reduces a JQPG instance to a CPG instance: the window is
+// W = max|R_i| (interpreted in seconds) and each type's arrival rate is
+// r_i = |R_i|/W, so that W·r_i = |R_i| exactly as in the proof of the
+// JQPG ⊆ CPG direction of Theorem 1.
+func (q *Query) ToPatternStats() *stats.PatternStats {
+	n := q.N()
+	w := 0.0
+	for _, r := range q.Rels {
+		if r.Card > w {
+			w = r.Card
+		}
+	}
+	if w == 0 {
+		w = 1
+	}
+	ps := &stats.PatternStats{
+		W:         w,
+		Types:     make([]string, n),
+		Aliases:   make([]string, n),
+		TermIndex: make([]int, n),
+		Kleene:    make([]bool, n),
+		Rates:     make([]float64, n),
+		Sel:       make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		ps.Types[i] = q.Rels[i].Name
+		ps.Aliases[i] = fmt.Sprintf("e%d", i+1)
+		ps.TermIndex[i] = i
+		ps.Rates[i] = q.Rels[i].Card / w
+		ps.Sel[i] = append([]float64(nil), q.Sel[i]...)
+	}
+	return ps
+}

@@ -1,0 +1,212 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+func almost(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func sampleQuery() *Query {
+	q := NewQuery(
+		Relation{Name: "R1", Card: 10},
+		Relation{Name: "R2", Card: 20},
+		Relation{Name: "R3", Card: 30},
+	)
+	q.SetSel(0, 1, 0.5)
+	q.SetSel(0, 2, 0.25)
+	q.Sel[0][0] = 0.5
+	return q
+}
+
+func TestQueryValidate(t *testing.T) {
+	q := sampleQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	q.Sel[0][1] = 0.9 // break symmetry
+	if err := q.Validate(); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	q = sampleQuery()
+	q.Sel[0][1], q.Sel[1][0] = 1.5, 1.5
+	if err := q.Validate(); err == nil {
+		t.Fatal("selectivity > 1 accepted")
+	}
+	q = sampleQuery()
+	q.Rels[0].Card = -1
+	if err := q.Validate(); err == nil {
+		t.Fatal("negative cardinality accepted")
+	}
+}
+
+func TestCostLDJHandComputed(t *testing.T) {
+	q := sampleQuery()
+	// order [0,1,2]: C1 = 10·0.5 = 5; C2 = 5·20·0.5 = 50; C3 = 50·30·0.25 = 375.
+	if got := q.CostLDJ([]int{0, 1, 2}); !almost(got, 430) {
+		t.Fatalf("CostLDJ = %g, want 430", got)
+	}
+	// order [2,1,0]: C1 = 30; C2 = 30·20 = 600; C3 = 600·10·0.5·0.5·0.25 = 375.
+	if got := q.CostLDJ([]int{2, 1, 0}); !almost(got, 1005) {
+		t.Fatalf("CostLDJ = %g, want 1005", got)
+	}
+}
+
+func TestCostBJHandComputed(t *testing.T) {
+	q := sampleQuery()
+	// ((0 1) 2): leaves 5, 20, 30; inner = 5·20·0.5 = 50; root = 50·30·0.25 = 375.
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(1)), plan.LeafNode(2))
+	if got := q.CostBJ(root); !almost(got, 5+20+30+50+375) {
+		t.Fatalf("CostBJ = %g, want 480", got)
+	}
+}
+
+func TestResultCard(t *testing.T) {
+	q := sampleQuery()
+	// 10·0.5 · 20 · 30 · 0.5 · 0.25 = 375.
+	if got := q.ResultCard(); !almost(got, 375) {
+		t.Fatalf("ResultCard = %g, want 375", got)
+	}
+}
+
+// randomPatternStats builds a random CPG instance for the reduction tests.
+func randomPatternStats(rng *rand.Rand, n int) *stats.PatternStats {
+	ps := &stats.PatternStats{
+		W:     1 + rng.Float64()*10,
+		Rates: make([]float64, n),
+		Sel:   make([][]float64, n),
+	}
+	for i := range ps.Sel {
+		ps.Sel[i] = make([]float64, n)
+		for j := range ps.Sel[i] {
+			ps.Sel[i][j] = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		ps.Rates[i] = 0.1 + rng.Float64()*20
+		if rng.Intn(2) == 0 {
+			ps.Sel[i][i] = 0.05 + rng.Float64()*0.95
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				s := 0.01 + rng.Float64()*0.99
+				ps.Sel[i][j], ps.Sel[j][i] = s, s
+			}
+		}
+	}
+	return ps
+}
+
+// TestTheorem1Equivalence verifies Cost_ord(O) == Cost_LDJ(reduce(O)) for
+// every order of random instances — the CPG ⊆ JQPG direction of Theorem 1.
+func TestTheorem1Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		ps := randomPatternStats(rng, n)
+		q := FromPatternStats(ps)
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		plan.Permutations(n, func(order []int) {
+			co := cost.Order(ps, order)
+			cl := q.CostLDJ(order)
+			if !almost(co, cl) {
+				t.Fatalf("Cost_ord=%g != Cost_LDJ=%g for order %v (n=%d)", co, cl, order, n)
+			}
+		})
+	}
+}
+
+// TestTheorem2Equivalence verifies Cost_tree(T) == Cost_BJ(reduce(T)) for
+// every bushy tree of random instances — Theorem 2.
+func TestTheorem2Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(3)
+		ps := randomPatternStats(rng, n)
+		q := FromPatternStats(ps)
+		plan.AllTrees(n, func(root *plan.TreeNode) {
+			ct := cost.Tree(ps, root)
+			cb := q.CostBJ(root)
+			if !almost(ct, cb) {
+				t.Fatalf("Cost_tree=%g != Cost_BJ=%g for tree %s (n=%d)", ct, cb, root, n)
+			}
+		})
+	}
+}
+
+// TestJQPGToCPGDirection verifies the opposite reduction: a JQPG instance
+// converted to CEP statistics preserves costs, with W·r_i = |R_i| exactly.
+func TestJQPGToCPGDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		rels := make([]Relation, n)
+		for i := range rels {
+			rels[i] = Relation{Name: "R", Card: float64(1 + rng.Intn(1000))}
+		}
+		q := NewQuery(rels...)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					q.SetSel(i, j, 0.01+rng.Float64()*0.99)
+				}
+			}
+		}
+		ps := q.ToPatternStats()
+		for i := 0; i < n; i++ {
+			if !almost(ps.W*ps.Rates[i], q.Rels[i].Card) {
+				t.Fatalf("W·r_%d = %g != |R_%d| = %g", i, ps.W*ps.Rates[i], i, q.Rels[i].Card)
+			}
+		}
+		plan.Permutations(n, func(order []int) {
+			if !almost(cost.Order(ps, order), q.CostLDJ(order)) {
+				t.Fatalf("round-trip cost mismatch for %v", order)
+			}
+		})
+	}
+}
+
+// TestOptimalPlanAgreement verifies the punchline of Theorem 1: the order
+// minimising Cost_ord is exactly the order minimising Cost_LDJ.
+func TestOptimalPlanAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(3)
+		ps := randomPatternStats(rng, n)
+		q := FromPatternStats(ps)
+		var bestCPG, bestJQPG []int
+		bestCPGCost, bestJQPGCost := math.Inf(1), math.Inf(1)
+		plan.Permutations(n, func(order []int) {
+			if c := cost.Order(ps, order); c < bestCPGCost {
+				bestCPGCost = c
+				bestCPG = append(bestCPG[:0], order...)
+			}
+			if c := q.CostLDJ(order); c < bestJQPGCost {
+				bestJQPGCost = c
+				bestJQPG = append(bestJQPG[:0], order...)
+			}
+		})
+		if !almost(bestCPGCost, bestJQPGCost) {
+			t.Fatalf("optimal costs diverge: %g vs %g", bestCPGCost, bestJQPGCost)
+		}
+		for i := range bestCPG {
+			if bestCPG[i] != bestJQPG[i] {
+				t.Fatalf("optimal plans diverge: %v vs %v", bestCPG, bestJQPG)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package match defines the full-pattern-match type shared by the NFA and
+// tree evaluation engines and the brute-force oracle.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Match is one full pattern match: the events bound to each term position of
+// the compiled pattern. Negated positions are nil; Kleene positions may hold
+// more than one event; ordinary positions hold exactly one.
+type Match struct {
+	Positions [][]*event.Event
+}
+
+// New builds a match over n term positions.
+func New(n int) *Match {
+	return &Match{Positions: make([][]*event.Event, n)}
+}
+
+// Events flattens the bound events in position order.
+func (m *Match) Events() []*event.Event {
+	var out []*event.Event
+	for _, g := range m.Positions {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// MinTS returns the earliest timestamp in the match.
+func (m *Match) MinTS() event.Time {
+	first := true
+	var min event.Time
+	for _, g := range m.Positions {
+		for _, e := range g {
+			if first || e.TS < min {
+				min, first = e.TS, false
+			}
+		}
+	}
+	return min
+}
+
+// MaxTS returns the latest timestamp in the match.
+func (m *Match) MaxTS() event.Time {
+	var max event.Time
+	for _, g := range m.Positions {
+		for _, e := range g {
+			if e.TS > max {
+				max = e.TS
+			}
+		}
+	}
+	return max
+}
+
+// Key returns a canonical fingerprint of the match: per-position sorted
+// event serial numbers. Two matches binding the same events to the same
+// positions have equal keys, which is how tests compare engine outputs.
+func (m *Match) Key() string {
+	var b strings.Builder
+	for i, g := range m.Positions {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		serials := make([]int64, len(g))
+		for j, e := range g {
+			serials[j] = e.Serial
+		}
+		sort.Slice(serials, func(a, c int) bool { return serials[a] < serials[c] })
+		for j, s := range serials {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+	}
+	return b.String()
+}
+
+// KeySet builds the set of keys of a match list.
+func KeySet(ms []*Match) map[string]bool {
+	out := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		out[m.Key()] = true
+	}
+	return out
+}
+
+// Diff reports keys present in a but not in b and vice versa; both empty
+// means the match sets are identical.
+func Diff(a, b []*Match) (onlyA, onlyB []string) {
+	ka, kb := KeySet(a), KeySet(b)
+	for k := range ka {
+		if !kb[k] {
+			onlyA = append(onlyA, k)
+		}
+	}
+	for k := range kb {
+		if !ka[k] {
+			onlyB = append(onlyB, k)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB
+}

@@ -1,0 +1,71 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+var schema = event.NewSchema("A", "x")
+
+func ev(ts event.Time, serial int64) *event.Event {
+	e := event.New(schema, ts, 0)
+	e.Serial = serial
+	return e
+}
+
+func TestMinMaxTS(t *testing.T) {
+	m := New(3)
+	m.Positions[0] = []*event.Event{ev(5, 1)}
+	m.Positions[2] = []*event.Event{ev(9, 2), ev(3, 3)}
+	if m.MinTS() != 3 || m.MaxTS() != 9 {
+		t.Fatalf("MinTS=%d MaxTS=%d", m.MinTS(), m.MaxTS())
+	}
+}
+
+func TestEventsFlattens(t *testing.T) {
+	m := New(2)
+	m.Positions[0] = []*event.Event{ev(1, 1)}
+	m.Positions[1] = []*event.Event{ev(2, 2), ev(3, 3)}
+	if got := m.Events(); len(got) != 3 {
+		t.Fatalf("Events() = %d", len(got))
+	}
+}
+
+func TestKeyCanonicalises(t *testing.T) {
+	a := New(2)
+	a.Positions[0] = []*event.Event{ev(1, 7)}
+	a.Positions[1] = []*event.Event{ev(2, 9), ev(3, 8)}
+	b := New(2)
+	b.Positions[0] = []*event.Event{ev(1, 7)}
+	b.Positions[1] = []*event.Event{ev(3, 8), ev(2, 9)} // group order differs
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := New(2)
+	c.Positions[0] = []*event.Event{ev(2, 9)}
+	c.Positions[1] = []*event.Event{ev(1, 7), ev(3, 8)}
+	if a.Key() == c.Key() {
+		t.Fatal("different position bindings share a key")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	m1 := New(1)
+	m1.Positions[0] = []*event.Event{ev(1, 1)}
+	m2 := New(1)
+	m2.Positions[0] = []*event.Event{ev(2, 2)}
+	m3 := New(1)
+	m3.Positions[0] = []*event.Event{ev(3, 3)}
+	onlyA, onlyB := Diff([]*Match{m1, m2}, []*Match{m2, m3})
+	if len(onlyA) != 1 || onlyA[0] != m1.Key() {
+		t.Fatalf("onlyA = %v", onlyA)
+	}
+	if len(onlyB) != 1 || onlyB[0] != m3.Key() {
+		t.Fatalf("onlyB = %v", onlyB)
+	}
+	onlyA, onlyB = Diff([]*Match{m1}, []*Match{m1})
+	if len(onlyA) != 0 || len(onlyB) != 0 {
+		t.Fatal("identical sets reported different")
+	}
+}

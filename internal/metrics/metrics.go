@@ -1,0 +1,165 @@
+// Package metrics instruments engine runs with the three performance
+// measures of the paper's evaluation: throughput (events/second processed
+// during detection), memory (peak partial-match and buffer state, the
+// quantity the cost models of Section 4 predict), and detection latency
+// (Section 6.1).
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/match"
+)
+
+// Engine abstracts the two evaluation engines for measurement.
+type Engine interface {
+	Process(*event.Event) []*match.Match
+	Flush() []*match.Match
+	CurrentPartial() int
+	CurrentBuffered() int
+}
+
+// Result summarises one measured run.
+type Result struct {
+	Events       int
+	Matches      int64
+	Elapsed      time.Duration
+	Throughput   float64 // events per second of wall time
+	PeakPartial  int     // peak live partial matches / instances
+	PeakBuffered int     // peak buffered events
+	EstBytes     int64   // rough memory estimate of the peak state
+	// AvgLatency is the mean wall time between the arrival of a match's
+	// completing event and its emission (pending-queue waits, which depend
+	// on stream time rather than computation, are excluded).
+	AvgLatency time.Duration
+	// Truncated reports that the run was aborted because the live
+	// partial-match count exceeded the configured limit — the fate of a
+	// catastrophically bad plan. Throughput then reflects the processed
+	// prefix, which is the honest signal (the plan is slow).
+	Truncated  bool
+	latencySum time.Duration
+	latencyN   int64
+}
+
+// Memory-estimate coefficients: a partial match holds a position table and
+// bounds; a buffered event is shared but owned by its buffer slot.
+const (
+	bytesPerPartialBase = 64
+	bytesPerPosition    = 24
+	bytesPerBuffered    = 112
+)
+
+// Run feeds the events through the engine, sampling state after every event.
+// nPositions sizes the per-partial-match memory estimate.
+func Run(e Engine, events []*event.Event, nPositions int) Result {
+	return RunLimit([]Engine{e}, events, nPositions, 0)
+}
+
+// RunAll feeds the events through several engines (one per DNF disjunct of
+// a nested pattern), aggregating the measures. Matches are summed;
+// state peaks are summed across engines at each sample point.
+func RunAll(engines []Engine, events []*event.Event, nPositions int) Result {
+	return RunLimit(engines, events, nPositions, 0)
+}
+
+// RunLimit is RunAll with a live-partial-match ceiling: when the combined
+// live state exceeds maxPartial (0 = unlimited) the run is aborted and
+// marked Truncated.
+func RunLimit(engines []Engine, events []*event.Event, nPositions int, maxPartial int) Result {
+	res := Result{Events: len(events)}
+	start := time.Now()
+	processed := 0
+	for _, ev := range events {
+		t0 := time.Now()
+		emitted := 0
+		for _, e := range engines {
+			emitted += len(e.Process(ev))
+		}
+		if emitted > 0 {
+			lat := time.Since(t0)
+			res.Matches += int64(emitted)
+			res.latencySum += lat * time.Duration(emitted)
+			res.latencyN += int64(emitted)
+		}
+		partial, buffered := 0, 0
+		for _, e := range engines {
+			partial += e.CurrentPartial()
+			buffered += e.CurrentBuffered()
+		}
+		if partial > res.PeakPartial {
+			res.PeakPartial = partial
+		}
+		if buffered > res.PeakBuffered {
+			res.PeakBuffered = buffered
+		}
+		processed++
+		if maxPartial > 0 && partial > maxPartial {
+			res.Truncated = true
+			break
+		}
+	}
+	for _, e := range engines {
+		res.Matches += int64(len(e.Flush()))
+	}
+	res.Events = processed
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(processed) / res.Elapsed.Seconds()
+	}
+	if res.latencyN > 0 {
+		res.AvgLatency = res.latencySum / time.Duration(res.latencyN)
+	}
+	res.EstBytes = int64(res.PeakPartial)*int64(bytesPerPartialBase+bytesPerPosition*nPositions) +
+		int64(res.PeakBuffered)*bytesPerBuffered
+	return res
+}
+
+// OutputProfiler implements the Section 6.1 output profiler: it records
+// which term position's event arrives last in emitted matches, so that a
+// latency anchor can be chosen for conjunction patterns.
+type OutputProfiler struct {
+	counts map[int]int64
+}
+
+// NewOutputProfiler returns an empty profiler.
+func NewOutputProfiler() *OutputProfiler {
+	return &OutputProfiler{counts: make(map[int]int64)}
+}
+
+// Observe records the position whose event has the latest timestamp.
+func (p *OutputProfiler) Observe(m *match.Match) {
+	best := -1
+	var bestTS event.Time
+	for pos, group := range m.Positions {
+		for _, e := range group {
+			if best == -1 || e.TS > bestTS {
+				best, bestTS = pos, e.TS
+			}
+		}
+	}
+	if best >= 0 {
+		p.counts[best]++
+	}
+}
+
+// MostFrequentLast returns the term position that most often arrives last,
+// or -1 if nothing was observed.
+func (p *OutputProfiler) MostFrequentLast() int {
+	best, bestCount := -1, int64(0)
+	for pos, c := range p.counts {
+		if c > bestCount || (c == bestCount && best >= 0 && pos < best) {
+			best, bestCount = pos, c
+		}
+	}
+	return best
+}
+
+// Observations returns the total number of observed matches.
+func (p *OutputProfiler) Observations() int64 {
+	var total int64
+	for _, c := range p.counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/match"
+	"repro/internal/nfa"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+)
+
+// (the truncation test drives an AND pattern whose partial matches grow
+// with every A event, so a small limit trips quickly)
+
+var (
+	schemaA = event.NewSchema("A", "x")
+	schemaB = event.NewSchema("B", "x")
+)
+
+func engine(t *testing.T) *nfa.Engine {
+	t.Helper()
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c, err := predicate.Compile(p, predicate.SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nfa.New(c, []int{0, 1}, nfa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testEvents() []*event.Event {
+	return event.Drain(event.NewSliceStream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaA, 2, 0),
+		event.New(schemaB, 3, 0),
+	}))
+}
+
+func TestRunCounts(t *testing.T) {
+	res := Run(engine(t), testEvents(), 2)
+	if res.Events != 3 {
+		t.Fatalf("Events = %d", res.Events)
+	}
+	if res.Matches != 2 {
+		t.Fatalf("Matches = %d", res.Matches)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("Throughput = %g", res.Throughput)
+	}
+	if res.PeakPartial < 2 || res.PeakBuffered < 2 {
+		t.Fatalf("peaks = %d, %d", res.PeakPartial, res.PeakBuffered)
+	}
+	if res.EstBytes <= 0 {
+		t.Fatalf("EstBytes = %d", res.EstBytes)
+	}
+	if res.AvgLatency <= 0 {
+		t.Fatalf("AvgLatency = %v", res.AvgLatency)
+	}
+}
+
+func TestRunAllAggregates(t *testing.T) {
+	e1, e2 := engine(t), engine(t)
+	res := RunAll([]Engine{e1, e2}, testEvents(), 2)
+	if res.Matches != 4 { // both engines find both matches
+		t.Fatalf("Matches = %d", res.Matches)
+	}
+	if res.PeakPartial < 4 {
+		t.Fatalf("PeakPartial = %d", res.PeakPartial)
+	}
+}
+
+func TestRunLimitTruncates(t *testing.T) {
+	// A permissive conjunction accumulates partial matches fast; a tiny
+	// ceiling must abort the run and mark it truncated.
+	p := pattern.And(1000, pattern.E("A", "a"), pattern.E("B", "b"))
+	c, err := predicate.Compile(p, predicate.SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nfa.New(c, []int{0, 1}, nfa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []*event.Event
+	for i := 0; i < 100; i++ {
+		events = append(events, event.New(schemaA, event.Time(i), 0))
+	}
+	events = event.Drain(event.NewSliceStream(events))
+	res := RunLimit([]Engine{e}, events, 2, 10)
+	if !res.Truncated {
+		t.Fatal("run not truncated")
+	}
+	if res.Events >= 100 {
+		t.Fatalf("processed %d events despite truncation", res.Events)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("truncated run must still report throughput of the prefix")
+	}
+}
+
+func TestOutputProfiler(t *testing.T) {
+	p := NewOutputProfiler()
+	if p.MostFrequentLast() != -1 {
+		t.Fatal("empty profiler should return -1")
+	}
+	mk := func(ts0, ts1 event.Time) *match.Match {
+		m := match.New(2)
+		m.Positions[0] = []*event.Event{event.New(schemaA, ts0, 0)}
+		m.Positions[1] = []*event.Event{event.New(schemaB, ts1, 0)}
+		return m
+	}
+	p.Observe(mk(1, 5)) // position 1 last
+	p.Observe(mk(2, 7)) // position 1 last
+	p.Observe(mk(9, 4)) // position 0 last
+	if got := p.MostFrequentLast(); got != 1 {
+		t.Fatalf("MostFrequentLast = %d", got)
+	}
+	if p.Observations() != 3 {
+		t.Fatalf("Observations = %d", p.Observations())
+	}
+}

@@ -1,0 +1,224 @@
+package nfa
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+)
+
+var (
+	schemaA = event.NewSchema("A", "x")
+	schemaB = event.NewSchema("B", "x")
+	schemaC = event.NewSchema("C", "x")
+)
+
+func compile(t *testing.T, p *pattern.Pattern, s predicate.Strategy) *predicate.Compiled {
+	t.Helper()
+	c, err := predicate.Compile(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func feed(t *testing.T, e *Engine, events []*event.Event) []*match.Match {
+	t.Helper()
+	var out []*match.Match
+	for _, ev := range events {
+		out = append(out, append([]*match.Match(nil), e.Process(ev)...)...)
+	}
+	out = append(out, append([]*match.Match(nil), e.Flush()...)...)
+	return out
+}
+
+func stream(events []*event.Event) []*event.Event {
+	return event.Drain(event.NewSliceStream(events))
+}
+
+func TestNewRejectsBadOrders(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	if _, err := New(c, []int{0}, Config{}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := New(c, []int{0, 1}, Config{}); err == nil {
+		t.Fatal("order containing negated position accepted")
+	}
+	if _, err := New(c, []int{0, 0}, Config{}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := New(c, []int{0, 2}, Config{}); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+}
+
+func TestSingleEventPattern(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a")).
+		Where(pattern.Cmp(pattern.Ref("a", "x"), pattern.Gt, pattern.Const(2)))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, err := New(c, []int{0}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 5),
+		event.New(schemaA, 2, 1), // filtered
+		event.New(schemaA, 3, 9),
+	}))
+	if len(got) != 2 {
+		t.Fatalf("got %d matches, want 2", len(got))
+	}
+}
+
+func TestOnMatchCallback(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	var seen int
+	e, err := New(c, []int{0, 1}, Config{OnMatch: func(*match.Match) { seen++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+	}))
+	if seen != 1 {
+		t.Fatalf("OnMatch fired %d times", seen)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, _ := New(c, []int{0, 1}, Config{})
+	feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaA, 2, 0),
+		event.New(schemaB, 3, 0),
+	}))
+	st := e.Stats()
+	if st.Processed != 3 {
+		t.Fatalf("Processed = %d", st.Processed)
+	}
+	if st.Matches != 2 {
+		t.Fatalf("Matches = %d", st.Matches)
+	}
+	// Two A-partial matches plus two completions.
+	if st.Created != 4 {
+		t.Fatalf("Created = %d", st.Created)
+	}
+	if st.PeakPartial < 2 {
+		t.Fatalf("PeakPartial = %d", st.PeakPartial)
+	}
+	if st.PeakBuffered < 2 {
+		t.Fatalf("PeakBuffered = %d", st.PeakBuffered)
+	}
+}
+
+func TestWindowPurgesPartials(t *testing.T) {
+	p := pattern.Seq(5, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, _ := New(c, []int{0, 1}, Config{})
+	events := []*event.Event{event.New(schemaA, 1, 0)}
+	// Push the clock far past the window with unrelated events.
+	for ts := event.Time(100); ts < 300; ts += 1 {
+		events = append(events, event.New(schemaC, ts, 0))
+	}
+	events = append(events, event.New(schemaB, 300, 0))
+	got := feed(t, e, stream(events))
+	if len(got) != 0 {
+		t.Fatalf("expired partial match completed: %d", len(got))
+	}
+	if e.CurrentBuffered() > 2 {
+		t.Fatalf("buffers not purged: %d", e.CurrentBuffered())
+	}
+}
+
+func TestTrailingNegationPendsUntilWindow(t *testing.T) {
+	p := pattern.Seq(5, pattern.E("A", "a"), pattern.Not("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, _ := New(c, []int{0}, Config{})
+	// A at ts=1; nothing else until ts=10 — the match must be emitted once
+	// the deadline (1+5) passes, not at arrival time.
+	out := e.Process(event.New(schemaA, 1, 0))
+	if len(out) != 0 {
+		t.Fatal("match emitted before negation window closed")
+	}
+	out = e.Process(event.New(schemaC, 10, 0))
+	if len(out) != 1 {
+		t.Fatalf("pending match not emitted after deadline: %d", len(out))
+	}
+
+	// Same but a B arrives inside the window: the match must die.
+	e2, _ := New(c, []int{0}, Config{})
+	e2.Process(event.New(schemaA, 1, 0))
+	e2.Process(event.New(schemaB, 4, 0))
+	out = e2.Process(event.New(schemaC, 10, 0))
+	if len(out) != 0 {
+		t.Fatalf("vetoed pending match emitted: %d", len(out))
+	}
+	if len(e2.Flush()) != 0 {
+		t.Fatal("vetoed match resurrected by Flush")
+	}
+}
+
+func TestFlushEmitsPending(t *testing.T) {
+	p := pattern.Seq(100, pattern.E("A", "a"), pattern.Not("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, _ := New(c, []int{0}, Config{})
+	e.Process(event.New(schemaA, 1, 0))
+	got := e.Flush()
+	if len(got) != 1 {
+		t.Fatalf("Flush emitted %d, want 1", len(got))
+	}
+	if len(e.Flush()) != 0 {
+		t.Fatal("second Flush re-emitted")
+	}
+}
+
+func TestKleeneCapCounter(t *testing.T) {
+	p := pattern.And(100, pattern.E("A", "a"), pattern.KL("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, _ := New(c, []int{0, 1}, Config{MaxKleeneBase: 2})
+	var events []*event.Event
+	events = append(events, event.New(schemaA, 1, 0))
+	for i := 0; i < 5; i++ {
+		events = append(events, event.New(schemaB, event.Time(2+i), 0))
+	}
+	feed(t, e, stream(events))
+	if e.Stats().KleeneCapped == 0 {
+		t.Fatal("Kleene cap never applied")
+	}
+}
+
+func TestSkipTillNextSingleExtension(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, _ := New(c, []int{0, 1}, Config{Strategy: predicate.SkipTillNextMatch})
+	got := feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaB, 3, 0), // the A is consumed; no second match
+	}))
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1", len(got))
+	}
+}
+
+func TestProcessReturnValidUntilNextCall(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	e, _ := New(c, []int{0, 1}, Config{})
+	e.Process(event.New(schemaA, 1, 0))
+	out := e.Process(event.New(schemaB, 2, 0))
+	if len(out) != 1 {
+		t.Fatalf("got %d", len(out))
+	}
+	key := out[0].Key()
+	if key == "" {
+		t.Fatal("empty key")
+	}
+}

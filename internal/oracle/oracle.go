@@ -1,0 +1,246 @@
+// Package oracle provides a brute-force reference matcher: it enumerates
+// every combination of events satisfying a compiled pattern under
+// skip-till-any-match semantics. It is exponential and exists purely to
+// validate the NFA and tree engines — the paper's premise that every
+// evaluation plan detects exactly the same matches is tested against it.
+//
+// Negation semantics (shared with the engines): a negated event b
+// invalidates a match M when it passes the negated position's filters and
+// its pairwise predicates against M, and its timestamp lies inside the range
+//
+//	( lowTS(M) ,  highTS(M) )      anchors present (SEQ)
+//	[ maxTS(M)−W ,  highTS(M) )    no low anchor (pattern-leading NOT)
+//	( lowTS(M) ,  minTS(M)+W ]     no high anchor (pattern-trailing NOT)
+//	[ maxTS(M)−W ,  minTS(M)+W ]   no anchors (NOT inside AND)
+//
+// where lowTS/highTS are the latest/earliest timestamps of the anchoring
+// positive positions and W is the pattern window.
+package oracle
+
+import (
+	"repro/internal/event"
+	"repro/internal/match"
+	"repro/internal/predicate"
+)
+
+// MaxKleeneCandidates bounds the per-position candidate count for Kleene
+// subset enumeration; Find panics beyond it rather than hanging.
+const MaxKleeneCandidates = 20
+
+// Find returns every match of the compiled pattern in the events, which
+// must be timestamp-ordered with serials stamped (use event.SliceStream).
+func Find(c *predicate.Compiled, events []*event.Event) []*match.Match {
+	f := &finder{c: c, cand: make([][]*event.Event, c.N)}
+	for _, e := range events {
+		for pos := 0; pos < c.N; pos++ {
+			if c.Types[pos] == e.Type && c.Preds.CheckUnary(pos, e) {
+				f.cand[pos] = append(f.cand[pos], e)
+			}
+		}
+	}
+	// Enumerate Kleene positions last: the window pruning induced by the
+	// already-chosen events then bounds the subset base, so the exponential
+	// enumeration only sees in-window candidates.
+	for _, pos := range c.Positives {
+		if !c.Kleene[pos] {
+			f.order = append(f.order, pos)
+		}
+	}
+	for _, pos := range c.Positives {
+		if c.Kleene[pos] {
+			f.order = append(f.order, pos)
+		}
+	}
+	cur := match.New(c.N)
+	f.recurse(cur, 0)
+	return f.out
+}
+
+type finder struct {
+	c     *predicate.Compiled
+	cand  [][]*event.Event
+	order []int
+	out   []*match.Match
+}
+
+func (f *finder) recurse(cur *match.Match, k int) {
+	c := f.c
+	if k == len(f.order) {
+		if f.negationsOK(cur) {
+			cp := match.New(c.N)
+			copy(cp.Positions, cur.Positions)
+			f.out = append(f.out, cp)
+		}
+		return
+	}
+	pos := f.order[k]
+	if c.Kleene[pos] {
+		cands := f.compatible(cur, pos)
+		if len(cands) > MaxKleeneCandidates {
+			panic("oracle: too many Kleene candidates; shrink the test input")
+		}
+		for mask := 1; mask < 1<<uint(len(cands)); mask++ {
+			group := make([]*event.Event, 0, len(cands))
+			for i, e := range cands {
+				if mask&(1<<uint(i)) != 0 {
+					group = append(group, e)
+				}
+			}
+			if !groupWithinWindow(group, c.Window) {
+				continue
+			}
+			cur.Positions[pos] = group
+			if f.windowOK(cur) {
+				f.recurse(cur, k+1)
+			}
+			cur.Positions[pos] = nil
+		}
+		return
+	}
+	for _, e := range f.compatible(cur, pos) {
+		cur.Positions[pos] = []*event.Event{e}
+		if f.windowOK(cur) {
+			f.recurse(cur, k+1)
+		}
+		cur.Positions[pos] = nil
+	}
+}
+
+// compatible returns the candidates at pos passing the window constraint
+// and the pairwise predicates against the events already chosen, excluding
+// events already used.
+func (f *finder) compatible(cur *match.Match, pos int) []*event.Event {
+	var out []*event.Event
+	for _, e := range f.cand[pos] {
+		if used(cur, e) {
+			continue
+		}
+		ok := true
+		for other, group := range cur.Positions {
+			if group == nil {
+				continue
+			}
+			for _, g := range group {
+				if e.TS-g.TS > f.c.Window || g.TS-e.TS > f.c.Window {
+					ok = false
+					break
+				}
+			}
+			if !ok || !f.c.CheckGroupPair(other, group, pos, []*event.Event{e}) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func used(cur *match.Match, e *event.Event) bool {
+	for _, group := range cur.Positions {
+		for _, g := range group {
+			if g == e {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func groupWithinWindow(group []*event.Event, w event.Time) bool {
+	if len(group) == 0 {
+		return true
+	}
+	min, max := group[0].TS, group[0].TS
+	for _, e := range group[1:] {
+		if e.TS < min {
+			min = e.TS
+		}
+		if e.TS > max {
+			max = e.TS
+		}
+	}
+	return max-min <= w
+}
+
+func (f *finder) windowOK(cur *match.Match) bool {
+	first := true
+	var min, max event.Time
+	for _, group := range cur.Positions {
+		for _, e := range group {
+			if first {
+				min, max, first = e.TS, e.TS, false
+				continue
+			}
+			if e.TS < min {
+				min = e.TS
+			}
+			if e.TS > max {
+				max = e.TS
+			}
+		}
+	}
+	return first || max-min <= f.c.Window
+}
+
+// negationsOK verifies every negation spec against the candidate events of
+// the negated positions.
+func (f *finder) negationsOK(cur *match.Match) bool {
+	for _, spec := range f.c.Negs {
+		for _, b := range f.cand[spec.Pos] {
+			if Violates(f.c, cur, spec, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Violates reports whether event b invalidates the match under the negation
+// spec, applying the semantics documented in the package comment. It is
+// exported so that the engines share one implementation.
+func Violates(c *predicate.Compiled, m *match.Match, spec predicate.NegSpec, b *event.Event) bool {
+	if b.Type != c.Types[spec.Pos] || !c.Preds.CheckUnary(spec.Pos, b) {
+		return false
+	}
+	minTS, maxTS := m.MinTS(), m.MaxTS()
+	if spec.Low >= 0 {
+		group := m.Positions[spec.Low]
+		lowTS := group[0].TS
+		for _, e := range group {
+			if e.TS > lowTS {
+				lowTS = e.TS
+			}
+		}
+		if b.TS <= lowTS {
+			return false
+		}
+	} else if b.TS < maxTS-c.Window {
+		return false
+	}
+	if spec.High >= 0 {
+		group := m.Positions[spec.High]
+		highTS := group[0].TS
+		for _, e := range group {
+			if e.TS < highTS {
+				highTS = e.TS
+			}
+		}
+		if b.TS >= highTS {
+			return false
+		}
+	} else if b.TS > minTS+c.Window {
+		return false
+	}
+	for pos, group := range m.Positions {
+		if group == nil {
+			continue
+		}
+		if !c.CheckGroupPair(pos, group, spec.Pos, []*event.Event{b}) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+)
+
+var (
+	schemaA = event.NewSchema("A", "x")
+	schemaB = event.NewSchema("B", "x")
+	schemaC = event.NewSchema("C", "x")
+)
+
+func stream(events []*event.Event) []*event.Event {
+	return event.Drain(event.NewSliceStream(events))
+}
+
+func compile(t *testing.T, p *pattern.Pattern) *predicate.Compiled {
+	t.Helper()
+	c, err := predicate.Compile(p, predicate.SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFindSimpleSequence(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p)
+	events := stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaA, 3, 0),
+		event.New(schemaB, 4, 0),
+	})
+	got := Find(c, events)
+	// Pairs (1,2), (1,4), (3,4) — but not (3,2): order matters.
+	if len(got) != 3 {
+		t.Fatalf("got %d matches, want 3", len(got))
+	}
+}
+
+func TestFindWindowExcludes(t *testing.T) {
+	p := pattern.Seq(5, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p)
+	events := stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 7, 0), // 6 > 5 apart
+	})
+	if got := Find(c, events); len(got) != 0 {
+		t.Fatalf("got %d matches, want 0", len(got))
+	}
+}
+
+func TestFindPredicates(t *testing.T) {
+	p := pattern.And(10, pattern.E("A", "a"), pattern.E("B", "b")).
+		Where(pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"))
+	c := compile(t, p)
+	events := stream([]*event.Event{
+		event.New(schemaA, 1, 5),
+		event.New(schemaB, 2, 3), // 5 < 3 fails
+		event.New(schemaB, 3, 9), // 5 < 9 holds
+	})
+	got := Find(c, events)
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1", len(got))
+	}
+}
+
+func TestFindDistinctEvents(t *testing.T) {
+	// Two positions of the same type must bind distinct events.
+	p := pattern.And(10, pattern.E("A", "a1"), pattern.E("A", "a2"))
+	c := compile(t, p)
+	events := stream([]*event.Event{event.New(schemaA, 1, 0)})
+	if got := Find(c, events); len(got) != 0 {
+		t.Fatalf("single event filled both positions: %d matches", len(got))
+	}
+	events = stream([]*event.Event{event.New(schemaA, 1, 0), event.New(schemaA, 2, 0)})
+	// Both orderings are distinct matches under AND.
+	if got := Find(c, events); len(got) != 2 {
+		t.Fatalf("got %d matches, want 2", len(got))
+	}
+}
+
+func TestFindMiddleNegation(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c"))
+	c := compile(t, p)
+	// B strictly between A and C kills the match.
+	events := stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaC, 3, 0),
+	})
+	if got := Find(c, events); len(got) != 0 {
+		t.Fatalf("negated match survived: %d", len(got))
+	}
+	// B outside the A..C span does not.
+	events = stream([]*event.Event{
+		event.New(schemaB, 1, 0),
+		event.New(schemaA, 2, 0),
+		event.New(schemaC, 3, 0),
+		event.New(schemaB, 4, 0),
+	})
+	if got := Find(c, events); len(got) != 1 {
+		t.Fatalf("got %d matches, want 1", len(got))
+	}
+}
+
+func TestFindLeadingNegationUsesWindowStart(t *testing.T) {
+	p := pattern.Seq(5, pattern.Not("B", "b"), pattern.E("A", "a"))
+	c := compile(t, p)
+	// B at ts=6 is within window of A at ts=8 (8−5=3 ≤ 6 < 8): kills.
+	events := stream([]*event.Event{
+		event.New(schemaB, 6, 0),
+		event.New(schemaA, 8, 0),
+	})
+	if got := Find(c, events); len(got) != 0 {
+		t.Fatalf("leading negation missed: %d", len(got))
+	}
+	// B at ts=1 is before the window of A at ts=8: match survives.
+	events = stream([]*event.Event{
+		event.New(schemaB, 1, 0),
+		event.New(schemaA, 8, 0),
+	})
+	if got := Find(c, events); len(got) != 1 {
+		t.Fatalf("got %d, want 1", len(got))
+	}
+}
+
+func TestFindTrailingNegationUsesWindowEnd(t *testing.T) {
+	p := pattern.Seq(5, pattern.E("A", "a"), pattern.Not("B", "b"))
+	c := compile(t, p)
+	// B at ts=6 ≤ 1+5: kills the A@1 match.
+	events := stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 6, 0),
+	})
+	if got := Find(c, events); len(got) != 0 {
+		t.Fatalf("trailing negation missed: %d", len(got))
+	}
+	// B at ts=7 > 1+5: match survives.
+	events = stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 7, 0),
+	})
+	if got := Find(c, events); len(got) != 1 {
+		t.Fatalf("got %d, want 1", len(got))
+	}
+}
+
+func TestFindNegationWithPredicate(t *testing.T) {
+	// Only B events with b.x = a.x can veto.
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c")).
+		Where(pattern.AttrCmp("a", "x", pattern.Eq, "b", "x"))
+	c := compile(t, p)
+	events := stream([]*event.Event{
+		event.New(schemaA, 1, 5),
+		event.New(schemaB, 2, 7), // x differs: no veto
+		event.New(schemaC, 3, 0),
+	})
+	if got := Find(c, events); len(got) != 1 {
+		t.Fatalf("got %d, want 1", len(got))
+	}
+	events = stream([]*event.Event{
+		event.New(schemaA, 1, 5),
+		event.New(schemaB, 2, 5), // same x: veto
+		event.New(schemaC, 3, 0),
+	})
+	if got := Find(c, events); len(got) != 0 {
+		t.Fatalf("got %d, want 0", len(got))
+	}
+}
+
+func TestFindKleenePowerSet(t *testing.T) {
+	p := pattern.And(10, pattern.E("A", "a"), pattern.KL("B", "b"))
+	c := compile(t, p)
+	events := stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaB, 3, 0),
+	})
+	// Subsets of {b1, b2}: {b1}, {b2}, {b1,b2} → 3 matches.
+	if got := Find(c, events); len(got) != 3 {
+		t.Fatalf("got %d matches, want 3", len(got))
+	}
+}
+
+func TestFindKleeneGroupWindow(t *testing.T) {
+	p := pattern.And(5, pattern.E("A", "a"), pattern.KL("B", "b"))
+	c := compile(t, p)
+	events := stream([]*event.Event{
+		event.New(schemaB, 1, 0),
+		event.New(schemaA, 4, 0),
+		event.New(schemaB, 6, 0),
+	})
+	// {b@1}, {b@6} pair with a@4; {b@1,b@6} spans 5 ≤ W — allowed (5 ≤ 5).
+	if got := Find(c, events); len(got) != 3 {
+		t.Fatalf("got %d matches, want 3", len(got))
+	}
+}

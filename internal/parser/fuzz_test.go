@@ -1,0 +1,50 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics property-checks the parser against arbitrary byte
+// soup: any input must yield a pattern or an error, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnKeywordSoup stresses inputs built from the
+// grammar's own tokens, which reach deeper parser states than random bytes.
+func TestParseNeverPanicsOnKeywordSoup(t *testing.T) {
+	tokens := []string{
+		"PATTERN", "SEQ", "AND", "OR", "NOT", "KL", "WHERE", "WITHIN",
+		"(", ")", ",", ".", "<", "<=", "=", "!=", ">", ">=",
+		"A", "a", "x", "1", "2.5", "-3", "s", "ms", "minutes",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(20)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += tokens[rng.Intn(len(tokens))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

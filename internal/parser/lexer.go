@@ -1,0 +1,143 @@
+// Package parser implements the SASE-style declarative pattern syntax used
+// throughout the paper:
+//
+//	PATTERN SEQ(A a, NOT(B b), KL(C c), OR(D d, E e))
+//	WHERE (a.x < c.x AND c.y = d.y)
+//	WITHIN 20 minutes
+//
+// Keywords are case-insensitive. WHERE clauses are CNF conjunctions of
+// at-most-pairwise comparison predicates, as in the paper.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokCmp // one of < <= = == != >= >
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %g", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+// Error is a parse error with the byte offset at which it occurred.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("parse error at offset %d: %s", e.Pos, e.Msg) }
+
+func (l *lexer) errorf(pos int, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	ch := l.src[l.pos]
+	switch {
+	case ch == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ch == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case ch == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case ch == '.' && (l.pos+1 >= len(l.src) || !isDigit(l.src[l.pos+1])):
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case ch == '<' || ch == '>' || ch == '=' || ch == '!':
+		l.pos++
+		text := string(ch)
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			text += "="
+			l.pos++
+		}
+		if text == "!" {
+			return token{}, l.errorf(start, "unexpected character %q", ch)
+		}
+		return token{kind: tokCmp, text: text, pos: start}, nil
+	case isDigit(ch) || ch == '-' || ch == '+' || ch == '.':
+		end := l.pos
+		if ch == '-' || ch == '+' {
+			end++
+		}
+		seenDot := false
+		for end < len(l.src) && (isDigit(l.src[end]) || (l.src[end] == '.' && !seenDot)) {
+			if l.src[end] == '.' {
+				seenDot = true
+			}
+			end++
+		}
+		text := l.src[start:end]
+		num, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, l.errorf(start, "invalid number %q", text)
+		}
+		l.pos = end
+		return token{kind: tokNumber, text: text, num: num, pos: start}, nil
+	case isIdentStart(ch):
+		end := l.pos
+		for end < len(l.src) && isIdentPart(l.src[end]) {
+			end++
+		}
+		text := l.src[start:end]
+		l.pos = end
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	}
+	return token{}, l.errorf(start, "unexpected character %q", ch)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// keyword reports whether an identifier token equals the keyword,
+// case-insensitively.
+func keyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,298 @@
+package parser
+
+import (
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// Parse parses a full SASE-style pattern specification:
+//
+//	PATTERN <op-expr> [WHERE <conditions>] WITHIN <duration>
+//
+// and returns the pattern AST. The result is validated structurally; pass a
+// registry to ParseWith to also check event types and attributes.
+func Parse(src string) (*pattern.Pattern, error) {
+	return ParseWith(src, nil)
+}
+
+// ParseWith parses like Parse and validates event types and attribute names
+// against the registry when it is non-nil.
+func ParseWith(src string, reg *event.Registry) (*pattern.Pattern, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	if err := pat.Validate(reg); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.lex.errorf(p.tok.pos, "expected %s, got %s", what, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !keyword(p.tok, kw) {
+		return p.lex.errorf(p.tok.pos, "expected %q, got %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) parsePattern() (*pattern.Pattern, error) {
+	if err := p.expectKeyword("PATTERN"); err != nil {
+		return nil, err
+	}
+	pat, err := p.parseOpExpr()
+	if err != nil {
+		return nil, err
+	}
+	if keyword(p.tok, "WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		conds, err := p.parseConds()
+		if err != nil {
+			return nil, err
+		}
+		pat.Conds = conds
+	}
+	if err := p.expectKeyword("WITHIN"); err != nil {
+		return nil, err
+	}
+	w, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	pat.Window = w
+	if p.tok.kind != tokEOF {
+		return nil, p.lex.errorf(p.tok.pos, "unexpected trailing input %s", p.tok)
+	}
+	return pat, nil
+}
+
+func (p *parser) parseOpExpr() (*pattern.Pattern, error) {
+	var op pattern.Operator
+	switch {
+	case keyword(p.tok, "SEQ"):
+		op = pattern.OpSeq
+	case keyword(p.tok, "AND"):
+		op = pattern.OpAnd
+	case keyword(p.tok, "OR"):
+		op = pattern.OpOr
+	default:
+		return nil, p.lex.errorf(p.tok.pos, "expected SEQ, AND or OR, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var terms []pattern.Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &pattern.Pattern{Op: op, Terms: terms}, nil
+}
+
+func (p *parser) parseTerm() (pattern.Term, error) {
+	switch {
+	case keyword(p.tok, "NOT"), keyword(p.tok, "KL"):
+		isNot := keyword(p.tok, "NOT")
+		if err := p.advance(); err != nil {
+			return pattern.Term{}, err
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return pattern.Term{}, err
+		}
+		spec, err := p.parseEventDecl()
+		if err != nil {
+			return pattern.Term{}, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return pattern.Term{}, err
+		}
+		spec.Negated = isNot
+		spec.Kleene = !isNot
+		return pattern.Term{Event: spec}, nil
+	case keyword(p.tok, "SEQ"), keyword(p.tok, "AND"), keyword(p.tok, "OR"):
+		sub, err := p.parseOpExpr()
+		if err != nil {
+			return pattern.Term{}, err
+		}
+		return pattern.Term{Sub: sub}, nil
+	default:
+		spec, err := p.parseEventDecl()
+		if err != nil {
+			return pattern.Term{}, err
+		}
+		return pattern.Term{Event: spec}, nil
+	}
+}
+
+func (p *parser) parseEventDecl() (*pattern.EventSpec, error) {
+	typ, err := p.expect(tokIdent, "event type")
+	if err != nil {
+		return nil, err
+	}
+	alias, err := p.expect(tokIdent, "event alias")
+	if err != nil {
+		return nil, err
+	}
+	return &pattern.EventSpec{Type: typ.text, Alias: alias.text}, nil
+}
+
+// parseConds parses `cond (AND cond)*`, optionally wrapped in parentheses as
+// in the paper's listings.
+func (p *parser) parseConds() ([]pattern.Condition, error) {
+	wrapped := false
+	if p.tok.kind == tokLParen {
+		wrapped = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	var conds []pattern.Condition
+	for {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if keyword(p.tok, "AND") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if wrapped {
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+	}
+	return conds, nil
+}
+
+func (p *parser) parseCond() (pattern.Condition, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	opTok, err := p.expect(tokCmp, "comparison operator")
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	var op pattern.CmpOp
+	switch opTok.text {
+	case "<":
+		op = pattern.Lt
+	case "<=":
+		op = pattern.Le
+	case "=", "==":
+		op = pattern.Eq
+	case "!=":
+		op = pattern.Ne
+	case ">=":
+		op = pattern.Ge
+	case ">":
+		op = pattern.Gt
+	default:
+		return pattern.Condition{}, p.lex.errorf(opTok.pos, "unknown comparison %q", opTok.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	return pattern.Condition{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) parseOperand() (pattern.Operand, error) {
+	if p.tok.kind == tokNumber {
+		v := p.tok.num
+		if err := p.advance(); err != nil {
+			return pattern.Operand{}, err
+		}
+		return pattern.Const(v), nil
+	}
+	alias, err := p.expect(tokIdent, "alias or number")
+	if err != nil {
+		return pattern.Operand{}, err
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return pattern.Operand{}, err
+	}
+	attr, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return pattern.Operand{}, err
+	}
+	return pattern.Ref(alias.text, attr.text), nil
+}
+
+func (p *parser) parseDuration() (event.Time, error) {
+	num, err := p.expect(tokNumber, "duration value")
+	if err != nil {
+		return 0, err
+	}
+	unitTok, err := p.expect(tokIdent, "duration unit")
+	if err != nil {
+		return 0, err
+	}
+	var unit event.Time
+	switch strings.ToLower(unitTok.text) {
+	case "ms", "millisecond", "milliseconds":
+		unit = event.Millisecond
+	case "s", "sec", "secs", "second", "seconds":
+		unit = event.Second
+	case "m", "min", "mins", "minute", "minutes":
+		unit = event.Minute
+	case "h", "hour", "hours":
+		unit = 60 * event.Minute
+	default:
+		return 0, p.lex.errorf(unitTok.pos, "unknown duration unit %q", unitTok.text)
+	}
+	if num.num <= 0 {
+		return 0, p.lex.errorf(num.pos, "duration must be positive")
+	}
+	return event.Time(num.num * float64(unit)), nil
+}

@@ -1,0 +1,219 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+func TestParseFourCamerasPattern(t *testing.T) {
+	// The paper's running example (Section 2.1).
+	src := `PATTERN SEQ (A a, B b, C c, D d)
+	        WHERE (a.vehicleID = b.vehicleID AND b.vehicleID = c.vehicleID AND c.vehicleID = d.vehicleID)
+	        WITHIN 10 minutes`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != pattern.OpSeq || len(p.Terms) != 4 {
+		t.Fatalf("pattern = %v", p)
+	}
+	if p.Window != 10*event.Minute {
+		t.Fatalf("window = %d", p.Window)
+	}
+	if len(p.Conds) != 3 {
+		t.Fatalf("conds = %v", p.Conds)
+	}
+	if p.Conds[0].String() != "a.vehicleID = b.vehicleID" {
+		t.Fatalf("cond = %q", p.Conds[0])
+	}
+}
+
+func TestParseNestedPattern(t *testing.T) {
+	// The paper's nested example: AND(A, NOT(B), OR(C, D)).
+	src := `PATTERN AND (A a, NOT(B b), OR(C c, D d)) WITHIN 10 seconds`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != pattern.OpAnd || len(p.Terms) != 3 {
+		t.Fatalf("pattern = %v", p)
+	}
+	if !p.Terms[1].Event.Negated {
+		t.Fatal("NOT lost")
+	}
+	sub := p.Terms[2].Sub
+	if sub == nil || sub.Op != pattern.OpOr || len(sub.Terms) != 2 {
+		t.Fatalf("subpattern = %v", sub)
+	}
+	if p.Window != 10*event.Second {
+		t.Fatalf("window = %d", p.Window)
+	}
+}
+
+func TestParseKleene(t *testing.T) {
+	src := `PATTERN AND(A a, KL(B b), C c) WITHIN 10 seconds`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Terms[1].Event.Kleene {
+		t.Fatal("KL lost")
+	}
+}
+
+func TestParseStockPattern(t *testing.T) {
+	// A pattern in the shape of the paper's evaluation workload (§7.2).
+	src := `PATTERN AND(MSFT_Stock m, GOOG_Stock g, INTC_Stock i)
+	        WHERE (m.difference < g.difference)
+	        WITHIN 20 minutes`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Terms[0].Event.Type != "MSFT_Stock" || p.Terms[0].Event.Alias != "m" {
+		t.Fatalf("term0 = %v", p.Terms[0])
+	}
+	if p.Window != 20*event.Minute {
+		t.Fatalf("window = %d", p.Window)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	src := `pattern seq(A a, B b) where a.x < b.x within 5 s`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != pattern.OpSeq || len(p.Conds) != 1 || p.Window != 5*event.Second {
+		t.Fatalf("pattern = %v", p)
+	}
+}
+
+func TestParseConstantAndOperators(t *testing.T) {
+	src := `PATTERN SEQ(A a, B b)
+	        WHERE a.x <= -2.5 AND a.y != b.y AND b.x >= 3 AND a.x > 0 AND 1 < b.y
+	        WITHIN 100 ms`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Conds) != 5 {
+		t.Fatalf("conds = %v", p.Conds)
+	}
+	if p.Conds[0].Op != pattern.Le || p.Conds[0].Right.Const != -2.5 {
+		t.Fatalf("cond0 = %v", p.Conds[0])
+	}
+	if p.Conds[1].Op != pattern.Ne || p.Conds[2].Op != pattern.Ge || p.Conds[3].Op != pattern.Gt {
+		t.Fatalf("ops = %v", p.Conds)
+	}
+	if !p.Conds[4].Left.IsConst() {
+		t.Fatalf("cond4 = %v", p.Conds[4])
+	}
+	if p.Window != 100 {
+		t.Fatalf("window = %d", p.Window)
+	}
+}
+
+func TestParseDurationUnits(t *testing.T) {
+	cases := map[string]event.Time{
+		"250 ms":    250,
+		"3 seconds": 3 * event.Second,
+		"2 min":     2 * event.Minute,
+		"1 h":       60 * event.Minute,
+		"0.5 s":     500,
+	}
+	for src, want := range cases {
+		p, err := Parse("PATTERN SEQ(A a, B b) WITHIN " + src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if p.Window != want {
+			t.Errorf("%q: window = %d, want %d", src, p.Window, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", `expected "PATTERN"`},
+		{"PATTERN FOO(A a) WITHIN 1 s", "expected SEQ, AND or OR"},
+		{"PATTERN SEQ(A a, B b)", `expected "WITHIN"`},
+		{"PATTERN SEQ(A a B b) WITHIN 1 s", "expected ')'"},
+		{"PATTERN SEQ(A a, B b) WITHIN 1 parsec", "unknown duration unit"},
+		{"PATTERN SEQ(A a, B b) WITHIN -1 s", "must be positive"},
+		{"PATTERN SEQ(A a, B b) WHERE a.x ~ b.x WITHIN 1 s", "unexpected character"},
+		{"PATTERN SEQ(A a, B b) WHERE a.x < WITHIN 1 s", "expected '.'"},
+		{"PATTERN SEQ(A a, B b) WHERE a.x < ) WITHIN 1 s", "expected alias or number"},
+		{"PATTERN SEQ(A a, A a) WITHIN 1 s", "duplicate alias"},
+		{"PATTERN SEQ(A a) WITHIN 1 s trailing", "unexpected trailing"},
+		{"PATTERN SEQ(NOT(A a)) WITHIN 1 s", "no positive"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseWithRegistry(t *testing.T) {
+	reg := event.NewRegistry(event.NewSchema("A", "x"), event.NewSchema("B", "x"))
+	if _, err := ParseWith("PATTERN SEQ(A a, B b) WHERE a.x < b.x WITHIN 1 s", reg); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+	if _, err := ParseWith("PATTERN SEQ(A a, Z z) WITHIN 1 s", reg); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := ParseWith("PATTERN SEQ(A a, B b) WHERE a.zzz < b.x WITHIN 1 s", reg); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	// Pseudo-attributes are always allowed.
+	if _, err := ParseWith("PATTERN AND(A a, B b) WHERE a.ts < b.ts WITHIN 1 s", reg); err != nil {
+		t.Fatalf("pseudo-attribute rejected: %v", err)
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	src := `PATTERN SEQ(A a, NOT(B b), KL(C c)) WHERE a.x < c.x WITHIN 2 s`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern.String() emits WITHIN in ms; reparse and compare structure.
+	p2, err := Parse("PATTERN " + p1.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", p1.String(), err)
+	}
+	if p1.String() != p2.String() {
+		t.Fatalf("round trip mismatch:\n%s\n%s", p1, p2)
+	}
+}
+
+func TestParseDeeplyNested(t *testing.T) {
+	src := `PATTERN OR(SEQ(A a, B b), SEQ(C c, D d), AND(E e, OR(F f, G g))) WITHIN 1 m`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 7 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	ds, err := pattern.ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 { // seq(a,b) ∪ seq(c,d) ∪ and(e,f) ∪ and(e,g)
+		t.Fatalf("DNF size = %d", len(ds))
+	}
+}

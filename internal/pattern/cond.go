@@ -1,0 +1,239 @@
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// CmpOp is a comparison operator used in WHERE predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Eq
+	Ne
+	Ge
+	Gt
+)
+
+// String returns the operator's surface syntax.
+func (o CmpOp) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(o))
+}
+
+// Apply evaluates the comparison on two float64 values.
+func (o CmpOp) Apply(a, b float64) bool {
+	switch o {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Ge:
+		return a >= b
+	case Gt:
+		return a > b
+	}
+	panic(fmt.Sprintf("pattern: invalid CmpOp %d", int(o)))
+}
+
+// Flip returns the operator with sides exchanged: a OP b  ⇔  b OP.Flip() a.
+func (o CmpOp) Flip() CmpOp {
+	switch o {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	}
+	return o // Eq and Ne are symmetric.
+}
+
+// Operand is one side of a condition: either an attribute reference
+// (alias.attr) or a numeric constant (Alias == "").
+type Operand struct {
+	Alias string
+	Attr  string
+	Const float64
+}
+
+// IsConst reports whether the operand is a numeric constant.
+func (o Operand) IsConst() bool { return o.Alias == "" }
+
+func (o Operand) String() string {
+	if o.IsConst() {
+		return fmt.Sprintf("%g", o.Const)
+	}
+	return o.Alias + "." + o.Attr
+}
+
+// value resolves the operand against the event bound to its alias.
+func (o Operand) value(e *event.Event) (float64, bool) {
+	if o.IsConst() {
+		return o.Const, true
+	}
+	return e.Attr(o.Attr)
+}
+
+// Ref builds an attribute-reference operand.
+func Ref(alias, attr string) Operand { return Operand{Alias: alias, Attr: attr} }
+
+// Const builds a constant operand.
+func Const(v float64) Operand { return Operand{Const: v} }
+
+// Condition is a single comparison predicate of the WHERE clause. Following
+// the paper, conditions are at most pairwise: they reference at most two
+// distinct aliases.
+type Condition struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// Cmp builds a condition.
+func Cmp(left Operand, op CmpOp, right Operand) Condition {
+	return Condition{Left: left, Op: op, Right: right}
+}
+
+// AttrCmp builds the common "a.x OP b.y" condition.
+func AttrCmp(aAlias, aAttr string, op CmpOp, bAlias, bAttr string) Condition {
+	return Condition{Left: Ref(aAlias, aAttr), Op: op, Right: Ref(bAlias, bAttr)}
+}
+
+// TSOrder builds the temporal-order condition a.ts < b.ts used by the
+// SEQ→AND rewrite of Theorem 3.
+func TSOrder(aAlias, bAlias string) Condition {
+	return Condition{Left: Ref(aAlias, "ts"), Op: Lt, Right: Ref(bAlias, "ts")}
+}
+
+func (c Condition) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Aliases returns the distinct aliases referenced by the condition, in
+// left-to-right order (0, 1 or 2 entries).
+func (c Condition) Aliases() []string {
+	var out []string
+	if !c.Left.IsConst() {
+		out = append(out, c.Left.Alias)
+	}
+	if !c.Right.IsConst() && (len(out) == 0 || c.Right.Alias != out[0]) {
+		out = append(out, c.Right.Alias)
+	}
+	return out
+}
+
+// IsUnary reports whether the condition constrains a single event (filter
+// condition c_{i,i} in the paper's notation).
+func (c Condition) IsUnary() bool { return len(c.Aliases()) == 1 }
+
+// IsTSOrder reports whether the condition is a pure temporal-order
+// constraint between two aliases (x.ts < y.ts or equivalent).
+func (c Condition) IsTSOrder() bool {
+	if c.Left.IsConst() || c.Right.IsConst() {
+		return false
+	}
+	if c.Left.Attr != "ts" || c.Right.Attr != "ts" {
+		return false
+	}
+	return c.Op == Lt || c.Op == Le || c.Op == Gt || c.Op == Ge
+}
+
+// EvalUnary evaluates a unary condition against the event bound to its
+// single alias. It returns false if a referenced attribute is missing.
+func (c Condition) EvalUnary(e *event.Event) bool {
+	l, ok := c.Left.value(e)
+	if !ok {
+		return false
+	}
+	r, ok := c.Right.value(e)
+	if !ok {
+		return false
+	}
+	return c.Op.Apply(l, r)
+}
+
+// EvalPair evaluates a pairwise condition with `a` bound to the condition's
+// first alias and `b` to its second. It returns false if an attribute is
+// missing.
+func (c Condition) EvalPair(a, b *event.Event) bool {
+	bind := func(o Operand) *event.Event {
+		if o.IsConst() {
+			return nil
+		}
+		als := c.Aliases()
+		if o.Alias == als[0] {
+			return a
+		}
+		return b
+	}
+	var l, r float64
+	var ok bool
+	if c.Left.IsConst() {
+		l = c.Left.Const
+	} else if l, ok = c.Left.value(bind(c.Left)); !ok {
+		return false
+	}
+	if c.Right.IsConst() {
+		r = c.Right.Const
+	} else if r, ok = c.Right.value(bind(c.Right)); !ok {
+		return false
+	}
+	return c.Op.Apply(l, r)
+}
+
+func (c Condition) validate(aliases map[string]bool, reg *event.Registry, p *Pattern) error {
+	refs := 0
+	for _, o := range []Operand{c.Left, c.Right} {
+		if o.IsConst() {
+			continue
+		}
+		refs++
+		if !aliases[o.Alias] {
+			return fmt.Errorf("pattern: condition %q references undeclared alias %q", c, o.Alias)
+		}
+		if reg != nil && p != nil {
+			switch o.Attr {
+			case "ts", "serial", "pserial", "partition":
+				continue // pseudo-attributes are always valid
+			}
+			spec := p.lookupSpec(o.Alias)
+			if spec == nil {
+				continue
+			}
+			if s, ok := reg.Lookup(spec.Type); ok {
+				if _, ok := s.Index(o.Attr); !ok {
+					return fmt.Errorf("pattern: type %q has no attribute %q (condition %q)",
+						spec.Type, o.Attr, c)
+				}
+			}
+		}
+	}
+	if refs == 0 {
+		return fmt.Errorf("pattern: condition %q references no events", c)
+	}
+	return nil
+}

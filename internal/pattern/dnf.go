@@ -1,0 +1,203 @@
+package pattern
+
+import "fmt"
+
+// fragment is a partially normalised simple pattern produced during DNF
+// conversion: an operator (OpSeq or OpAnd) over primitive terms plus
+// synthesised temporal-order conditions.
+type fragment struct {
+	op    Operator
+	terms []Term
+	conds []Condition
+}
+
+// firsts returns the terms that may occur earliest in the fragment: the first
+// term of a sequence, or every term of a conjunction.
+func (f fragment) firsts() []Term {
+	if f.op == OpSeq && len(f.terms) > 0 {
+		return f.terms[:1]
+	}
+	return f.terms
+}
+
+// lasts is the temporal mirror of firsts.
+func (f fragment) lasts() []Term {
+	if f.op == OpSeq && len(f.terms) > 0 {
+		return f.terms[len(f.terms)-1:]
+	}
+	return f.terms
+}
+
+// ToDNF normalises a (possibly nested) pattern into a disjunction of simple
+// patterns, per Section 5.4 of the paper: SEQ/AND operators are flattened and
+// OR operators are distributed outward. Each returned pattern is simple
+// (Op is OpSeq or OpAnd over primitive events); their union is equivalent to
+// the input. Root conditions are attached to every disjunct whose aliases
+// they reference; conditions mentioning an alias eliminated by OR
+// distribution are dropped for that disjunct.
+//
+// Sequencing over a multi-event conjunction (e.g. SEQ(A, AND(B, C), D)) is
+// supported by rewriting the order constraints as timestamp predicates, the
+// same device Theorem 3 uses for whole patterns.
+func ToDNF(p *Pattern) ([]*Pattern, error) {
+	if err := p.Validate(nil); err != nil {
+		return nil, err
+	}
+	frags, err := normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Pattern, 0, len(frags))
+	for _, f := range frags {
+		d := &Pattern{Op: f.op, Terms: f.terms, Window: p.Window}
+		have := make(map[string]bool, len(f.terms))
+		for _, t := range f.terms {
+			have[t.Event.Alias] = true
+		}
+		d.Conds = append(d.Conds, f.conds...)
+		for _, c := range p.Conds {
+			applicable := true
+			for _, a := range c.Aliases() {
+				if !have[a] {
+					applicable = false
+					break
+				}
+			}
+			if applicable {
+				d.Conds = append(d.Conds, c)
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func normalize(p *Pattern) ([]fragment, error) {
+	// Normalise every child term into its own alternative list.
+	children := make([][]fragment, len(p.Terms))
+	for i, t := range p.Terms {
+		if t.Event != nil {
+			children[i] = []fragment{{op: OpAnd, terms: []Term{t}}}
+			continue
+		}
+		sub, err := normalize(t.Sub)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = sub
+	}
+
+	switch p.Op {
+	case OpOr:
+		var out []fragment
+		for _, alts := range children {
+			out = append(out, alts...)
+		}
+		return out, nil
+	case OpAnd:
+		return combine(children, mergeAnd)
+	case OpSeq:
+		return combine(children, mergeSeq)
+	}
+	return nil, fmt.Errorf("pattern: unknown operator %v", p.Op)
+}
+
+// combine computes the cartesian product of per-child alternatives, merging
+// each selection with the provided merge function.
+func combine(children [][]fragment, merge func([]fragment) (fragment, error)) ([]fragment, error) {
+	selections := [][]fragment{nil}
+	for _, alts := range children {
+		var next [][]fragment
+		for _, sel := range selections {
+			for _, alt := range alts {
+				grown := make([]fragment, len(sel), len(sel)+1)
+				copy(grown, sel)
+				next = append(next, append(grown, alt))
+			}
+		}
+		selections = next
+	}
+	out := make([]fragment, 0, len(selections))
+	for _, sel := range selections {
+		f, err := merge(sel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// mergeAnd concatenates fragments under a conjunction. Sequence fragments
+// keep their internal order as timestamp conditions.
+func mergeAnd(sel []fragment) (fragment, error) {
+	out := fragment{op: OpAnd}
+	for _, f := range sel {
+		out.terms = append(out.terms, f.terms...)
+		out.conds = append(out.conds, f.conds...)
+		out.conds = append(out.conds, seqConds(f)...)
+	}
+	return out, nil
+}
+
+// mergeSeq concatenates fragments under a sequence. If every fragment is
+// itself order-total (a sequence or a single event), the result remains a
+// sequence; otherwise order constraints are synthesised as timestamp
+// predicates and the result degrades to a conjunction.
+func mergeSeq(sel []fragment) (fragment, error) {
+	total := true
+	for _, f := range sel {
+		if f.op == OpAnd && len(f.terms) > 1 {
+			total = false
+		}
+	}
+	out := fragment{op: OpSeq}
+	if total {
+		for _, f := range sel {
+			out.terms = append(out.terms, f.terms...)
+			out.conds = append(out.conds, f.conds...)
+		}
+		return out, nil
+	}
+	out.op = OpAnd
+	for _, f := range sel {
+		out.terms = append(out.terms, f.terms...)
+		out.conds = append(out.conds, f.conds...)
+		out.conds = append(out.conds, seqConds(f)...)
+	}
+	// Order constraints between adjacent positive boundary events. Negated
+	// events are excluded: their temporal placement is handled by the
+	// negation machinery, not by join predicates.
+	for i := 0; i+1 < len(sel); i++ {
+		for _, l := range positives(sel[i].lasts()) {
+			for _, r := range positives(sel[i+1].firsts()) {
+				out.conds = append(out.conds, TSOrder(l.Event.Alias, r.Event.Alias))
+			}
+		}
+	}
+	return out, nil
+}
+
+// seqConds renders the internal order of a sequence fragment as timestamp
+// conditions between adjacent positive events.
+func seqConds(f fragment) []Condition {
+	if f.op != OpSeq || len(f.terms) < 2 {
+		return nil
+	}
+	pos := positives(f.terms)
+	conds := make([]Condition, 0, len(pos)-1)
+	for i := 0; i+1 < len(pos); i++ {
+		conds = append(conds, TSOrder(pos[i].Event.Alias, pos[i+1].Event.Alias))
+	}
+	return conds
+}
+
+func positives(terms []Term) []Term {
+	out := make([]Term, 0, len(terms))
+	for _, t := range terms {
+		if t.Event != nil && !t.Event.Negated {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// aliasSet renders the aliases of a simple pattern for compact assertions.
+func aliasSet(p *Pattern) string {
+	parts := make([]string, len(p.Terms))
+	for i, t := range p.Terms {
+		parts[i] = t.Event.Alias
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestToDNFSimplePassthrough(t *testing.T) {
+	p := Seq(10, E("A", "a"), E("B", "b")).Where(AttrCmp("a", "x", Lt, "b", "x"))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("got %d disjuncts", len(ds))
+	}
+	d := ds[0]
+	if d.Op != OpSeq || aliasSet(d) != "a,b" || len(d.Conds) != 1 {
+		t.Fatalf("disjunct = %v", d)
+	}
+	if d.Window != 10 {
+		t.Fatalf("window = %d", d.Window)
+	}
+}
+
+func TestToDNFTopLevelOr(t *testing.T) {
+	// AND(A, B, OR(C, D)) → AND(A,B,C) ∪ AND(A,B,D), the paper's §5.4 example.
+	p := And(10, E("A", "a"), E("B", "b"), Sub(Or(10, E("C", "c"), E("D", "d"))))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d disjuncts, want 2", len(ds))
+	}
+	if aliasSet(ds[0]) != "a,b,c" || aliasSet(ds[1]) != "a,b,d" {
+		t.Fatalf("disjuncts = %q, %q", aliasSet(ds[0]), aliasSet(ds[1]))
+	}
+	for _, d := range ds {
+		if d.Op != OpAnd {
+			t.Fatalf("op = %v", d.Op)
+		}
+	}
+}
+
+func TestToDNFConditionFiltering(t *testing.T) {
+	// The a-c condition must survive only in the disjunct containing c.
+	p := And(10, E("A", "a"), Sub(Or(10, E("C", "c"), E("D", "d")))).
+		Where(AttrCmp("a", "x", Lt, "c", "x"))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withC, withD *Pattern
+	for _, d := range ds {
+		if strings.Contains(aliasSet(d), "c") {
+			withC = d
+		} else {
+			withD = d
+		}
+	}
+	if len(withC.Conds) != 1 {
+		t.Fatalf("c-disjunct conds = %v", withC.Conds)
+	}
+	if len(withD.Conds) != 0 {
+		t.Fatalf("d-disjunct conds = %v", withD.Conds)
+	}
+}
+
+func TestToDNFDisjunctionOfSequences(t *testing.T) {
+	// The evaluation's "disjunction" category: OR of three sequences.
+	p := Or(10,
+		Sub(Seq(10, E("A", "a"), E("B", "b"))),
+		Sub(Seq(10, E("C", "c"), E("D", "d"))),
+		Sub(Seq(10, E("A", "e"), E("D", "f"))),
+	)
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("got %d disjuncts", len(ds))
+	}
+	for _, d := range ds {
+		if d.Op != OpSeq || len(d.Terms) != 2 {
+			t.Fatalf("disjunct = %v", d)
+		}
+	}
+}
+
+func TestToDNFSeqOverOr(t *testing.T) {
+	// SEQ(A, OR(B, C), D) distributes while preserving the sequence shape.
+	p := Seq(10, E("A", "a"), Sub(Or(10, E("B", "b"), E("C", "c"))), E("D", "d"))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d disjuncts", len(ds))
+	}
+	if ds[0].Op != OpSeq || aliasSet(ds[0]) != "a,b,d" {
+		t.Fatalf("first = %v %q", ds[0].Op, aliasSet(ds[0]))
+	}
+	if ds[1].Op != OpSeq || aliasSet(ds[1]) != "a,c,d" {
+		t.Fatalf("second = %v %q", ds[1].Op, aliasSet(ds[1]))
+	}
+}
+
+func TestToDNFNestedSeqSplices(t *testing.T) {
+	p := Seq(10, E("A", "a"), Sub(Seq(10, E("B", "b"), E("C", "c"))), E("D", "d"))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Op != OpSeq || aliasSet(ds[0]) != "a,b,c,d" {
+		t.Fatalf("disjuncts = %v", ds)
+	}
+}
+
+func TestToDNFSeqOverAndSynthesisesTSConds(t *testing.T) {
+	// SEQ(A, AND(B, C), D) becomes a conjunction with order predicates
+	// a<b, a<c, b<d, c<d (boundary constraints; b and c unordered).
+	p := Seq(10, E("A", "a"), Sub(And(10, E("B", "b"), E("C", "c"))), E("D", "d"))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("got %d disjuncts", len(ds))
+	}
+	d := ds[0]
+	if d.Op != OpAnd {
+		t.Fatalf("op = %v, want AND", d.Op)
+	}
+	want := map[string]bool{
+		"a.ts < b.ts": true, "a.ts < c.ts": true,
+		"b.ts < d.ts": true, "c.ts < d.ts": true,
+	}
+	got := make(map[string]bool)
+	for _, c := range d.Conds {
+		got[c.String()] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing synthesised condition %q (got %v)", w, d.Conds)
+		}
+	}
+	if got["b.ts < c.ts"] || got["c.ts < b.ts"] {
+		t.Error("b and c must remain unordered")
+	}
+}
+
+func TestToDNFAndOverSeqSynthesisesTSConds(t *testing.T) {
+	p := And(10, E("A", "a"), Sub(Seq(10, E("B", "b"), E("C", "c"))))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Op != OpAnd {
+		t.Fatalf("disjuncts = %v", ds)
+	}
+	found := false
+	for _, c := range ds[0].Conds {
+		if c.String() == "b.ts < c.ts" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing b<c order condition: %v", ds[0].Conds)
+	}
+}
+
+func TestToDNFCartesianProduct(t *testing.T) {
+	// AND(OR(A,B), OR(C,D)) → 4 disjuncts.
+	p := And(10,
+		Sub(Or(10, E("A", "a"), E("B", "b"))),
+		Sub(Or(10, E("C", "c"), E("D", "d"))),
+	)
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("got %d disjuncts, want 4", len(ds))
+	}
+	want := map[string]bool{"a,c": true, "a,d": true, "b,c": true, "b,d": true}
+	for _, d := range ds {
+		if !want[aliasSet(d)] {
+			t.Errorf("unexpected disjunct %q", aliasSet(d))
+		}
+		delete(want, aliasSet(d))
+	}
+}
+
+func TestToDNFPreservesUnaryOperators(t *testing.T) {
+	p := And(10, Not("A", "a"), KL("B", "b"), Sub(Or(10, E("C", "c"), E("D", "d"))))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if !d.Terms[0].Event.Negated || !d.Terms[1].Event.Kleene {
+			t.Fatalf("unary operators lost: %v", d)
+		}
+	}
+}
+
+func TestToDNFRejectsInvalid(t *testing.T) {
+	if _, err := ToDNF(Seq(10, E("A", "a"), E("B", "a"))); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestToDNFNegatedBoundaryExcluded(t *testing.T) {
+	// A negated event inside a sequenced conjunction must not appear in the
+	// synthesised boundary order predicates.
+	p := Seq(10, E("A", "a"), Sub(And(10, E("B", "b"), Not("C", "c"))), E("D", "d"))
+	ds, err := ToDNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ds[0].Conds {
+		for _, al := range c.Aliases() {
+			if al == "c" {
+				t.Fatalf("negated alias used in order predicate: %v", c)
+			}
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package pattern defines the abstract syntax of CEP patterns: the n-ary
+// operators SEQ, AND and OR, the unary operators NOT and KL (Kleene closure),
+// inter-event predicates, and the time window (Section 2.1 of Kolchinsky &
+// Schuster, VLDB 2018).
+//
+// A pattern over primitive events only, with a single n-ary operator, is a
+// "simple" pattern; patterns combining several n-ary operators are "nested"
+// and are normalised to a disjunction of simple patterns (DNF) before plan
+// generation, per Section 5.4 of the paper.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Operator is an n-ary pattern operator.
+type Operator int
+
+// The three n-ary operators of the paper.
+const (
+	OpSeq Operator = iota // temporal sequence
+	OpAnd                 // conjunction
+	OpOr                  // disjunction
+)
+
+// String returns the operator's pattern-language keyword.
+func (o Operator) String() string {
+	switch o {
+	case OpSeq:
+		return "SEQ"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	}
+	return fmt.Sprintf("Operator(%d)", int(o))
+}
+
+// EventSpec declares one primitive event participating in a pattern: its
+// type, the alias used to reference it in predicates, and the unary operator
+// (NOT or KL) applied to it, if any.
+type EventSpec struct {
+	Type    string
+	Alias   string
+	Negated bool // NOT(e): the event must be absent
+	Kleene  bool // KL(e): one or more instances participate
+}
+
+func (e EventSpec) String() string {
+	s := e.Type + " " + e.Alias
+	switch {
+	case e.Negated:
+		return "NOT(" + s + ")"
+	case e.Kleene:
+		return "KL(" + s + ")"
+	}
+	return s
+}
+
+// Term is one operand of an n-ary operator: either a primitive event or a
+// nested subpattern. Exactly one field is set.
+type Term struct {
+	Event *EventSpec
+	Sub   *Pattern
+}
+
+func (t Term) String() string {
+	if t.Event != nil {
+		return t.Event.String()
+	}
+	return t.Sub.string(false)
+}
+
+// Pattern is a (possibly nested) CEP pattern. Windows are inherited by
+// subpatterns; only the root window is consulted.
+type Pattern struct {
+	Op     Operator
+	Terms  []Term
+	Conds  []Condition
+	Window event.Time
+}
+
+// E builds a positive primitive-event term.
+func E(typ, alias string) Term {
+	return Term{Event: &EventSpec{Type: typ, Alias: alias}}
+}
+
+// Not builds a negated primitive-event term (the NOT unary operator).
+func Not(typ, alias string) Term {
+	return Term{Event: &EventSpec{Type: typ, Alias: alias, Negated: true}}
+}
+
+// KL builds a Kleene-closure primitive-event term (the KL unary operator).
+func KL(typ, alias string) Term {
+	return Term{Event: &EventSpec{Type: typ, Alias: alias, Kleene: true}}
+}
+
+// Sub wraps a nested subpattern as a term.
+func Sub(p *Pattern) Term { return Term{Sub: p} }
+
+// Seq builds a sequence pattern over the given terms.
+func Seq(window event.Time, terms ...Term) *Pattern {
+	return &Pattern{Op: OpSeq, Terms: terms, Window: window}
+}
+
+// And builds a conjunctive pattern over the given terms.
+func And(window event.Time, terms ...Term) *Pattern {
+	return &Pattern{Op: OpAnd, Terms: terms, Window: window}
+}
+
+// Or builds a disjunctive pattern over the given terms.
+func Or(window event.Time, terms ...Term) *Pattern {
+	return &Pattern{Op: OpOr, Terms: terms, Window: window}
+}
+
+// Where appends predicates to the pattern and returns it, enabling fluent
+// construction: pattern.Seq(w, ...).Where(pattern.AttrLT("a","x","b","x")).
+func (p *Pattern) Where(conds ...Condition) *Pattern {
+	p.Conds = append(p.Conds, conds...)
+	return p
+}
+
+// IsSimple reports whether the pattern contains a single n-ary operator over
+// primitive events only (with at most one unary operator per event, which the
+// EventSpec representation enforces by construction).
+func (p *Pattern) IsSimple() bool {
+	if p.Op == OpOr {
+		// A disjunction of primitive events is a simple disjunctive pattern.
+		for _, t := range p.Terms {
+			if t.Sub != nil {
+				return false
+			}
+		}
+		return true
+	}
+	for _, t := range p.Terms {
+		if t.Sub != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPure reports whether the pattern is simple and contains no unary
+// operators (Section 2.1: "a simple pattern containing no unary operators
+// will be called a pure pattern").
+func (p *Pattern) IsPure() bool {
+	if !p.IsSimple() {
+		return false
+	}
+	for _, t := range p.Terms {
+		if t.Event.Negated || t.Event.Kleene {
+			return false
+		}
+	}
+	return true
+}
+
+// Events returns the primitive event specs of a simple pattern in
+// declaration order. It panics on nested patterns.
+func (p *Pattern) Events() []EventSpec {
+	specs := make([]EventSpec, len(p.Terms))
+	for i, t := range p.Terms {
+		if t.Event == nil {
+			panic("pattern: Events called on nested pattern")
+		}
+		specs[i] = *t.Event
+	}
+	return specs
+}
+
+// Positives returns the indices (into Terms) of the non-negated events of a
+// simple pattern, in declaration order.
+func (p *Pattern) Positives() []int {
+	var out []int
+	for i, t := range p.Terms {
+		if t.Event != nil && !t.Event.Negated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Negatives returns the indices of the negated events of a simple pattern.
+func (p *Pattern) Negatives() []int {
+	var out []int
+	for i, t := range p.Terms {
+		if t.Event != nil && t.Event.Negated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AliasIndex maps each alias of a simple pattern to its term index.
+func (p *Pattern) AliasIndex() map[string]int {
+	m := make(map[string]int, len(p.Terms))
+	for i, t := range p.Terms {
+		if t.Event != nil {
+			m[t.Event.Alias] = i
+		}
+	}
+	return m
+}
+
+// Size returns the number of primitive events in the pattern, recursing into
+// subpatterns.
+func (p *Pattern) Size() int {
+	n := 0
+	for _, t := range p.Terms {
+		if t.Event != nil {
+			n++
+		} else {
+			n += t.Sub.Size()
+		}
+	}
+	return n
+}
+
+// String renders the pattern in the paper's SASE-style syntax.
+func (p *Pattern) String() string { return p.string(true) }
+
+func (p *Pattern) string(root bool) string {
+	var b strings.Builder
+	b.WriteString(p.Op.String())
+	b.WriteString("(")
+	for i, t := range p.Terms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString(")")
+	if root {
+		if len(p.Conds) > 0 {
+			parts := make([]string, len(p.Conds))
+			for i, c := range p.Conds {
+				parts[i] = c.String()
+			}
+			b.WriteString(" WHERE " + strings.Join(parts, " AND "))
+		}
+		fmt.Fprintf(&b, " WITHIN %dms", p.Window)
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: unique aliases, conditions
+// referencing declared aliases, positive events present, a positive window,
+// and unary-operator placement. If reg is non-nil, event types and attribute
+// names are checked against it.
+func (p *Pattern) Validate(reg *event.Registry) error {
+	if p.Window <= 0 {
+		return fmt.Errorf("pattern: window must be positive, got %d", p.Window)
+	}
+	seen := make(map[string]bool)
+	return p.validate(reg, seen, true)
+}
+
+func (p *Pattern) validate(reg *event.Registry, aliases map[string]bool, root bool) error {
+	if len(p.Terms) == 0 {
+		return fmt.Errorf("pattern: %s operator with no operands", p.Op)
+	}
+	positives := 0
+	for _, t := range p.Terms {
+		switch {
+		case t.Event != nil && t.Sub != nil:
+			return fmt.Errorf("pattern: term with both event and subpattern")
+		case t.Event != nil:
+			ev := t.Event
+			if ev.Alias == "" {
+				return fmt.Errorf("pattern: event of type %q has no alias", ev.Type)
+			}
+			if aliases[ev.Alias] {
+				return fmt.Errorf("pattern: duplicate alias %q", ev.Alias)
+			}
+			aliases[ev.Alias] = true
+			if ev.Negated && ev.Kleene {
+				return fmt.Errorf("pattern: alias %q has both NOT and KL", ev.Alias)
+			}
+			if ev.Negated && p.Op == OpOr {
+				return fmt.Errorf("pattern: NOT(%s) under OR is not supported", ev.Alias)
+			}
+			if !ev.Negated {
+				positives++
+			}
+			if reg != nil {
+				if _, ok := reg.Lookup(ev.Type); !ok {
+					return fmt.Errorf("pattern: unknown event type %q", ev.Type)
+				}
+			}
+		case t.Sub != nil:
+			if err := t.Sub.validate(reg, aliases, false); err != nil {
+				return err
+			}
+			positives++
+		default:
+			return fmt.Errorf("pattern: empty term")
+		}
+	}
+	if positives == 0 {
+		return fmt.Errorf("pattern: %s has no positive operands", p.Op)
+	}
+	if root {
+		for _, c := range p.Conds {
+			if err := c.validate(aliases, reg, p); err != nil {
+				return err
+			}
+		}
+	} else if len(p.Conds) > 0 {
+		return fmt.Errorf("pattern: conditions must be declared on the root pattern")
+	}
+	return nil
+}
+
+// lookupSpec finds the EventSpec for an alias anywhere in the pattern.
+func (p *Pattern) lookupSpec(alias string) *EventSpec {
+	for _, t := range p.Terms {
+		if t.Event != nil && t.Event.Alias == alias {
+			return t.Event
+		}
+		if t.Sub != nil {
+			if s := t.Sub.lookupSpec(alias); s != nil {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	cp := &Pattern{Op: p.Op, Window: p.Window}
+	cp.Terms = make([]Term, len(p.Terms))
+	for i, t := range p.Terms {
+		if t.Event != nil {
+			ev := *t.Event
+			cp.Terms[i] = Term{Event: &ev}
+		} else {
+			cp.Terms[i] = Term{Sub: t.Sub.Clone()}
+		}
+	}
+	cp.Conds = append([]Condition(nil), p.Conds...)
+	return cp
+}

@@ -1,0 +1,220 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func reg() *event.Registry {
+	return event.NewRegistry(
+		event.NewSchema("A", "x", "y"),
+		event.NewSchema("B", "x", "y"),
+		event.NewSchema("C", "x", "y"),
+		event.NewSchema("D", "x", "y"),
+	)
+}
+
+func TestSimpleAndPureClassification(t *testing.T) {
+	cases := []struct {
+		name   string
+		p      *Pattern
+		simple bool
+		pure   bool
+	}{
+		{"pure seq", Seq(10, E("A", "a"), E("B", "b")), true, true},
+		{"negation", Seq(10, E("A", "a"), Not("B", "b"), E("C", "c")), true, false},
+		{"kleene", And(10, E("A", "a"), KL("B", "b")), true, false},
+		{"nested", And(10, E("A", "a"), Sub(Or(10, E("B", "b"), E("C", "c")))), false, false},
+		{"pure or", Or(10, E("A", "a"), E("B", "b")), true, true},
+	}
+	for _, c := range cases {
+		if got := c.p.IsSimple(); got != c.simple {
+			t.Errorf("%s: IsSimple = %v, want %v", c.name, got, c.simple)
+		}
+		if got := c.p.IsPure(); got != c.pure {
+			t.Errorf("%s: IsPure = %v, want %v", c.name, got, c.pure)
+		}
+	}
+}
+
+func TestPositivesNegativesAliasIndex(t *testing.T) {
+	p := Seq(10, E("A", "a"), Not("B", "b"), E("C", "c"))
+	if got := p.Positives(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Positives = %v", got)
+	}
+	if got := p.Negatives(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Negatives = %v", got)
+	}
+	idx := p.AliasIndex()
+	if idx["a"] != 0 || idx["b"] != 1 || idx["c"] != 2 {
+		t.Fatalf("AliasIndex = %v", idx)
+	}
+}
+
+func TestSizeRecurses(t *testing.T) {
+	p := And(10, E("A", "a"), Sub(Or(10, E("B", "b"), Sub(Seq(10, E("C", "c"), E("D", "d"))))))
+	if got := p.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	p := Seq(event.Minute,
+		E("A", "a"), E("B", "b"), E("C", "c"),
+	).Where(
+		AttrCmp("a", "x", Lt, "b", "x"),
+		Cmp(Ref("c", "y"), Gt, Const(5)),
+	)
+	if err := p.Validate(reg()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Pattern
+		want string
+	}{
+		{"zero window", Seq(0, E("A", "a")), "window"},
+		{"no operands", &Pattern{Op: OpAnd, Window: 10}, "no operands"},
+		{"dup alias", Seq(10, E("A", "a"), E("B", "a")), "duplicate alias"},
+		{"empty alias", Seq(10, Term{Event: &EventSpec{Type: "A"}}), "no alias"},
+		{"unknown type", Seq(10, E("Z", "z")), "unknown event type"},
+		{"not under or", Or(10, E("A", "a"), Not("B", "b")), "NOT"},
+		{"all negated", Seq(10, Not("A", "a")), "no positive"},
+		{"bad alias in cond", Seq(10, E("A", "a")).Where(AttrCmp("a", "x", Lt, "q", "x")), "undeclared alias"},
+		{"bad attr in cond", Seq(10, E("A", "a")).Where(Cmp(Ref("a", "zzz"), Lt, Const(1))), "no attribute"},
+		{"const-only cond", Seq(10, E("A", "a")).Where(Cmp(Const(1), Lt, Const(2))), "references no events"},
+		{"not and kl", Seq(10, E("A", "a"), Term{Event: &EventSpec{Type: "B", Alias: "b", Negated: true, Kleene: true}}), "both NOT and KL"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate(reg())
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Seq(5000, E("A", "a"), Not("B", "b"), KL("C", "c")).Where(AttrCmp("a", "x", Eq, "c", "x"))
+	got := p.String()
+	for _, want := range []string{"SEQ(", "A a", "NOT(B b)", "KL(C c)", "a.x = c.x", "WITHIN 5000ms"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := And(10, E("A", "a"), Sub(Seq(10, E("B", "b"), E("C", "c")))).Where(TSOrder("a", "b"))
+	cp := p.Clone()
+	cp.Terms[0].Event.Alias = "zzz"
+	cp.Terms[1].Sub.Terms[0].Event.Type = "ZZZ"
+	cp.Conds[0].Op = Gt
+	if p.Terms[0].Event.Alias != "a" || p.Terms[1].Sub.Terms[0].Event.Type != "B" || p.Conds[0].Op != Lt {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestCmpOpApplyAndFlip(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b float64
+		want bool
+	}{
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Eq, 2, 2, true}, {Eq, 1, 2, false},
+		{Ne, 1, 2, true}, {Ne, 2, 2, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v.Apply(%g,%g) = %v", c.op, c.a, c.b, got)
+		}
+		// a OP b must equal b Flip(OP) a for all operators.
+		if got := c.op.Flip().Apply(c.b, c.a); got != c.want {
+			t.Errorf("%v.Flip().Apply(%g,%g) = %v, want %v", c.op, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestConditionAliasesAndKinds(t *testing.T) {
+	pair := AttrCmp("a", "x", Lt, "b", "y")
+	if got := pair.Aliases(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Aliases = %v", got)
+	}
+	if pair.IsUnary() {
+		t.Fatal("pairwise condition reported unary")
+	}
+	unary := Cmp(Ref("a", "x"), Lt, Const(3))
+	if got := unary.Aliases(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Aliases = %v", got)
+	}
+	if !unary.IsUnary() {
+		t.Fatal("unary condition not reported unary")
+	}
+	selfCmp := AttrCmp("a", "x", Lt, "a", "y")
+	if !selfCmp.IsUnary() {
+		t.Fatal("self-comparison should be unary")
+	}
+	ts := TSOrder("a", "b")
+	if !ts.IsTSOrder() {
+		t.Fatal("TSOrder not recognised")
+	}
+	if pair.IsTSOrder() {
+		t.Fatal("attribute comparison misreported as ts order")
+	}
+}
+
+func TestConditionEval(t *testing.T) {
+	sa := event.NewSchema("A", "x", "y")
+	sb := event.NewSchema("B", "x", "y")
+	a := event.New(sa, 10, 1, 2)
+	b := event.New(sb, 20, 3, 4)
+
+	if !AttrCmp("a", "x", Lt, "b", "x").EvalPair(a, b) {
+		t.Fatal("1 < 3 should hold")
+	}
+	if AttrCmp("a", "y", Gt, "b", "y").EvalPair(a, b) {
+		t.Fatal("2 > 4 should not hold")
+	}
+	// Reversed operand order in the condition: b.x > a.x with aliases (b, a).
+	c := AttrCmp("b", "x", Gt, "a", "x")
+	if !c.EvalPair(b, a) {
+		t.Fatal("3 > 1 should hold with first alias bound to b")
+	}
+	if !TSOrder("a", "b").EvalPair(a, b) {
+		t.Fatal("ts order should hold")
+	}
+	if TSOrder("a", "b").EvalPair(b, a) {
+		t.Fatal("ts order should fail when reversed")
+	}
+	u := Cmp(Ref("a", "x"), Ge, Const(1))
+	if !u.EvalUnary(a) {
+		t.Fatal("1 >= 1 should hold")
+	}
+	// Missing attribute must evaluate to false, not panic.
+	if Cmp(Ref("a", "zzz"), Lt, Const(1)).EvalUnary(a) {
+		t.Fatal("missing attribute should fail")
+	}
+	if AttrCmp("a", "zzz", Lt, "b", "x").EvalPair(a, b) {
+		t.Fatal("missing attribute should fail in pair")
+	}
+}
+
+func TestConditionEvalConstSides(t *testing.T) {
+	sa := event.NewSchema("A", "x")
+	a := event.New(sa, 10, 5)
+	if !Cmp(Const(3), Lt, Ref("a", "x")).EvalUnary(a) {
+		t.Fatal("3 < 5 should hold")
+	}
+}

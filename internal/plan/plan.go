@@ -1,0 +1,112 @@
+// Package plan defines the two evaluation-plan families of Section 3.1:
+// order-based plans (a permutation of the pattern's positive events,
+// executed by the lazy-NFA engine) and tree-based plans (a binary tree over
+// those events, executed by the ZStream-style engine). Plan positions are
+// "planning indices" 0..n-1 referring to the positive events of a compiled
+// pattern, the same indexing used by stats.PatternStats.
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OrderPlan is a processing order over planning positions: Order[k] is the
+// position matched at step k+1 of the chain NFA.
+type OrderPlan struct {
+	Order []int
+}
+
+// NewOrder builds an order plan, validating that the order is a permutation
+// of 0..n-1 for some n.
+func NewOrder(order []int) (*OrderPlan, error) {
+	if err := CheckPermutation(order); err != nil {
+		return nil, err
+	}
+	return &OrderPlan{Order: append([]int(nil), order...)}, nil
+}
+
+// MustOrder is NewOrder panicking on error, for literals in tests and
+// examples.
+func MustOrder(order ...int) *OrderPlan {
+	p, err := NewOrder(order)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the number of positions.
+func (p *OrderPlan) N() int { return len(p.Order) }
+
+// StepOf returns the step index (0-based) at which the position is matched.
+func (p *OrderPlan) StepOf(pos int) int {
+	for k, q := range p.Order {
+		if q == pos {
+			return k
+		}
+	}
+	return -1
+}
+
+// String renders the order compactly, e.g. "[2 0 1]".
+func (p *OrderPlan) String() string {
+	parts := make([]string, len(p.Order))
+	for i, q := range p.Order {
+		parts[i] = fmt.Sprint(q)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Clone returns a deep copy.
+func (p *OrderPlan) Clone() *OrderPlan {
+	return &OrderPlan{Order: append([]int(nil), p.Order...)}
+}
+
+// CheckPermutation verifies that order is a permutation of 0..len(order)-1.
+func CheckPermutation(order []int) error {
+	seen := make([]bool, len(order))
+	for _, q := range order {
+		if q < 0 || q >= len(order) {
+			return fmt.Errorf("plan: position %d out of range [0,%d)", q, len(order))
+		}
+		if seen[q] {
+			return fmt.Errorf("plan: duplicate position %d", q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// Trivial returns the identity order over n positions (the paper's TRIVIAL
+// strategy).
+func Trivial(n int) *OrderPlan {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return &OrderPlan{Order: order}
+}
+
+// Permutations enumerates every permutation of 0..n-1, invoking fn with a
+// reused buffer; fn must copy if it retains the slice. It is used by
+// exhaustive tests and the brute-force baseline.
+func Permutations(n int, fn func(order []int)) {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			fn(order)
+			return
+		}
+		for i := k; i < n; i++ {
+			order[k], order[i] = order[i], order[k]
+			rec(k + 1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	rec(0)
+}

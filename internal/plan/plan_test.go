@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"testing"
+)
+
+func TestNewOrderValidation(t *testing.T) {
+	if _, err := NewOrder([]int{2, 0, 1}); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+	if _, err := NewOrder([]int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := NewOrder([]int{0, 3}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if _, err := NewOrder(nil); err != nil {
+		t.Fatal("empty order should be valid")
+	}
+}
+
+func TestOrderHelpers(t *testing.T) {
+	p := MustOrder(2, 0, 1)
+	if p.N() != 3 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if p.StepOf(0) != 1 || p.StepOf(2) != 0 || p.StepOf(9) != -1 {
+		t.Fatal("StepOf wrong")
+	}
+	if p.String() != "[2 0 1]" {
+		t.Fatalf("String = %q", p.String())
+	}
+	cp := p.Clone()
+	cp.Order[0] = 0
+	if p.Order[0] != 2 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	p := Trivial(4)
+	for i, q := range p.Order {
+		if q != i {
+			t.Fatalf("Trivial order = %v", p.Order)
+		}
+	}
+}
+
+func TestPermutationsCount(t *testing.T) {
+	counts := map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 4: 24, 5: 120}
+	for n, want := range counts {
+		got := 0
+		seen := make(map[string]bool)
+		Permutations(n, func(order []int) {
+			got++
+			key := ""
+			for _, q := range order {
+				key += string(rune('0' + q))
+			}
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate permutation %v", n, order)
+			}
+			seen[key] = true
+		})
+		if got != want {
+			t.Fatalf("n=%d: %d permutations, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTreeConstructionAndLeaves(t *testing.T) {
+	// ((0 1) 2)
+	root := Join(Join(LeafNode(0), LeafNode(1)), LeafNode(2))
+	if root.Size() != 3 {
+		t.Fatalf("Size = %d", root.Size())
+	}
+	leaves := root.Leaves()
+	if len(leaves) != 3 || leaves[0] != 0 || leaves[1] != 1 || leaves[2] != 2 {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+	if root.String() != "((0 1) 2)" {
+		t.Fatalf("String = %q", root.String())
+	}
+	if !root.IsLeftDeep() {
+		t.Fatal("left-deep tree not recognised")
+	}
+	bushy := Join(Join(LeafNode(0), LeafNode(1)), Join(LeafNode(2), LeafNode(3)))
+	if bushy.IsLeftDeep() {
+		t.Fatal("bushy tree misclassified as left-deep")
+	}
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree(Join(LeafNode(0), LeafNode(1))); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	if _, err := NewTree(Join(LeafNode(0), LeafNode(0))); err == nil {
+		t.Fatal("duplicate leaf accepted")
+	}
+	if _, err := NewTree(Join(LeafNode(0), LeafNode(2))); err == nil {
+		t.Fatal("gap in leaves accepted")
+	}
+	if _, err := NewTree(nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+}
+
+func TestLeftDeepMatchesOrder(t *testing.T) {
+	root := LeftDeep([]int{2, 0, 1})
+	if root.String() != "((2 0) 1)" {
+		t.Fatalf("LeftDeep = %q", root.String())
+	}
+	if !root.IsLeftDeep() {
+		t.Fatal("LeftDeep output not left-deep")
+	}
+	if LeftDeep(nil) != nil {
+		t.Fatal("empty LeftDeep should be nil")
+	}
+}
+
+func TestPathToLeafAndSibling(t *testing.T) {
+	l0, l1, l2 := LeafNode(0), LeafNode(1), LeafNode(2)
+	inner := Join(l0, l1)
+	root := Join(inner, l2)
+	path, ok := root.PathToLeaf(1)
+	if !ok {
+		t.Fatal("leaf 1 not found")
+	}
+	// Path from leaf 1 up, excluding root: [l1, inner].
+	if len(path) != 2 || path[0] != l1 || path[1] != inner {
+		t.Fatalf("path = %v", path)
+	}
+	if _, ok := root.PathToLeaf(9); ok {
+		t.Fatal("missing leaf found")
+	}
+	if root.Sibling(inner) != l2 || root.Sibling(l0) != l1 || root.Sibling(l2) != inner {
+		t.Fatal("Sibling wrong")
+	}
+	if root.Sibling(root) != nil {
+		t.Fatal("root has no sibling")
+	}
+}
+
+func TestNodesPostOrder(t *testing.T) {
+	root := Join(Join(LeafNode(0), LeafNode(1)), LeafNode(2))
+	nodes := root.Nodes()
+	if len(nodes) != 5 {
+		t.Fatalf("Nodes = %d, want 5", len(nodes))
+	}
+	if nodes[len(nodes)-1] != root {
+		t.Fatal("post-order must end at root")
+	}
+}
+
+func TestTreeClone(t *testing.T) {
+	root := Join(LeafNode(0), Join(LeafNode(1), LeafNode(2)))
+	cp := root.Clone()
+	cp.Right.Left.Leaf = 9
+	if root.Right.Left.Leaf != 1 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestAllTreesCounts(t *testing.T) {
+	// Unordered binary trees over n labelled leaves: (2n-3)!! = 1, 1, 3, 15, 105.
+	want := map[int]int{1: 1, 2: 1, 3: 3, 4: 15, 5: 105}
+	for n, w := range want {
+		got := 0
+		seen := make(map[string]bool)
+		AllTrees(n, func(root *TreeNode) {
+			got++
+			if seen[root.String()] {
+				t.Fatalf("n=%d: duplicate tree %s", n, root)
+			}
+			seen[root.String()] = true
+			if err := CheckPermutation(root.Leaves()); err != nil {
+				t.Fatalf("n=%d: invalid tree %s: %v", n, root, err)
+			}
+		})
+		if got != w {
+			t.Fatalf("n=%d: %d trees, want %d", n, got, w)
+		}
+	}
+}
+
+func TestAllTreesIncludesLeftDeepAndBushy(t *testing.T) {
+	var hasLeftDeep, hasBushy bool
+	AllTrees(4, func(root *TreeNode) {
+		if root.IsLeftDeep() {
+			hasLeftDeep = true
+		} else if !root.Left.IsLeaf() && !root.Right.IsLeaf() {
+			hasBushy = true
+		}
+	})
+	if !hasLeftDeep || !hasBushy {
+		t.Fatalf("leftDeep=%v bushy=%v", hasLeftDeep, hasBushy)
+	}
+}

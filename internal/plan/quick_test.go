@@ -1,0 +1,97 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLeftDeepRoundTripProperty: the left-deep tree of an order lists its
+// leaves in exactly that order, for arbitrary permutations.
+func TestLeftDeepRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		order := rand.New(rand.NewSource(seed)).Perm(n)
+		tree := LeftDeep(order)
+		leaves := tree.Leaves()
+		if len(leaves) != n {
+			return false
+		}
+		for i := range leaves {
+			if leaves[i] != order[i] {
+				return false
+			}
+		}
+		return tree.IsLeftDeep() && tree.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSiblingInvolutionProperty: in any tree, the sibling of the sibling of
+// a node is the node itself.
+func TestSiblingInvolutionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%4)
+		rng := rand.New(rand.NewSource(seed))
+		// Pick one random tree via reservoir sampling over AllTrees.
+		var chosen *TreeNode
+		count := 0
+		AllTrees(n, func(root *TreeNode) {
+			count++
+			if rng.Intn(count) == 0 {
+				chosen = root.Clone()
+			}
+		})
+		for _, node := range chosen.Nodes() {
+			if node == chosen {
+				continue
+			}
+			sib := chosen.Sibling(node)
+			if sib == nil || chosen.Sibling(sib) != node {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathToLeafProperty: every leaf has a path; the path starts at the
+// leaf, each successive node is the previous node's parent (verified via
+// sibling relations), and the path excludes the root.
+func TestPathToLeafProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%4)
+		rng := rand.New(rand.NewSource(seed))
+		var chosen *TreeNode
+		count := 0
+		AllTrees(n, func(root *TreeNode) {
+			count++
+			if rng.Intn(count) == 0 {
+				chosen = root.Clone()
+			}
+		})
+		for pos := 0; pos < n; pos++ {
+			path, ok := chosen.PathToLeaf(pos)
+			if !ok || len(path) == 0 {
+				return false
+			}
+			if !path[0].IsLeaf() || path[0].Leaf != pos {
+				return false
+			}
+			for _, node := range path {
+				if node == chosen {
+					return false // root must be excluded
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

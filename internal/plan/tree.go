@@ -1,0 +1,220 @@
+package plan
+
+import "fmt"
+
+// TreeNode is a node of a tree-based plan. A leaf holds the planning
+// position it accepts (Leaf >= 0); an internal node (Leaf == -1) joins the
+// partial matches of its two children, as in ZStream.
+type TreeNode struct {
+	Leaf        int
+	Left, Right *TreeNode
+}
+
+// LeafNode builds a leaf for the given planning position.
+func LeafNode(pos int) *TreeNode { return &TreeNode{Leaf: pos} }
+
+// Join builds an internal node over two subtrees.
+func Join(left, right *TreeNode) *TreeNode {
+	return &TreeNode{Leaf: -1, Left: left, Right: right}
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (t *TreeNode) IsLeaf() bool { return t.Leaf >= 0 }
+
+// Leaves appends the planning positions under the node in left-to-right
+// order.
+func (t *TreeNode) Leaves() []int {
+	var out []int
+	t.walkLeaves(&out)
+	return out
+}
+
+func (t *TreeNode) walkLeaves(out *[]int) {
+	if t.IsLeaf() {
+		*out = append(*out, t.Leaf)
+		return
+	}
+	t.Left.walkLeaves(out)
+	t.Right.walkLeaves(out)
+}
+
+// Size returns the number of leaves under the node.
+func (t *TreeNode) Size() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return t.Left.Size() + t.Right.Size()
+}
+
+// String renders the tree in nested-parenthesis form, e.g. "((0 1) 2)".
+func (t *TreeNode) String() string {
+	if t.IsLeaf() {
+		return fmt.Sprint(t.Leaf)
+	}
+	return "(" + t.Left.String() + " " + t.Right.String() + ")"
+}
+
+// Clone returns a deep copy of the subtree.
+func (t *TreeNode) Clone() *TreeNode {
+	if t == nil {
+		return nil
+	}
+	if t.IsLeaf() {
+		return LeafNode(t.Leaf)
+	}
+	return Join(t.Left.Clone(), t.Right.Clone())
+}
+
+// TreePlan is a tree-based evaluation plan.
+type TreePlan struct {
+	Root *TreeNode
+}
+
+// NewTree wraps and validates a plan tree: its leaves must be a permutation
+// of 0..n-1.
+func NewTree(root *TreeNode) (*TreePlan, error) {
+	if root == nil {
+		return nil, fmt.Errorf("plan: nil tree")
+	}
+	leaves := root.Leaves()
+	if err := CheckPermutation(leaves); err != nil {
+		return nil, err
+	}
+	return &TreePlan{Root: root}, nil
+}
+
+// N returns the number of planning positions.
+func (p *TreePlan) N() int { return p.Root.Size() }
+
+// String renders the tree.
+func (p *TreePlan) String() string { return p.Root.String() }
+
+// LeftDeep builds the left-deep tree equivalent to processing the positions
+// in the given order: ((p0 p1) p2) ... — the correspondence between order-
+// based plans and left-deep join trees that Theorem 1 exploits.
+func LeftDeep(order []int) *TreeNode {
+	if len(order) == 0 {
+		return nil
+	}
+	t := LeafNode(order[0])
+	for _, q := range order[1:] {
+		t = Join(t, LeafNode(q))
+	}
+	return t
+}
+
+// IsLeftDeep reports whether every right child is a leaf.
+func (t *TreeNode) IsLeftDeep() bool {
+	if t.IsLeaf() {
+		return true
+	}
+	return t.Right.IsLeaf() && t.Left.IsLeftDeep()
+}
+
+// PathToLeaf returns the nodes on the path from the leaf holding pos up to
+// the root, starting at the leaf and excluding the root itself; ok reports
+// whether the leaf exists. The traversal order matches the latency model of
+// Section 6.1.
+func (t *TreeNode) PathToLeaf(pos int) (path []*TreeNode, ok bool) {
+	if t.IsLeaf() {
+		return nil, t.Leaf == pos
+	}
+	if sub, found := t.Left.PathToLeaf(pos); found {
+		return append(sub, t.Left), true
+	}
+	if sub, found := t.Right.PathToLeaf(pos); found {
+		return append(sub, t.Right), true
+	}
+	return nil, false
+}
+
+// Sibling returns the other child of the parent of child within the subtree
+// rooted at t, or nil if child is t or not found.
+func (t *TreeNode) Sibling(child *TreeNode) *TreeNode {
+	if t.IsLeaf() {
+		return nil
+	}
+	if t.Left == child {
+		return t.Right
+	}
+	if t.Right == child {
+		return t.Left
+	}
+	if s := t.Left.Sibling(child); s != nil {
+		return s
+	}
+	return t.Right.Sibling(child)
+}
+
+// Nodes appends every node of the subtree in post-order.
+func (t *TreeNode) Nodes() []*TreeNode {
+	var out []*TreeNode
+	var rec func(n *TreeNode)
+	rec = func(n *TreeNode) {
+		if !n.IsLeaf() {
+			rec(n.Left)
+			rec(n.Right)
+		}
+		out = append(out, n)
+	}
+	rec(t)
+	return out
+}
+
+// AllTrees enumerates the full bushy plan space over positions 0..n-1 up to
+// child-swap symmetry (position 0 is pinned to the left subtree at every
+// split, yielding (2n-3)!! distinct trees). Child order never affects plan
+// cost, so the enumeration is exhaustive for optimisation purposes. It is
+// exponential and intended for tests and brute-force baselines on small n.
+func AllTrees(n int, fn func(root *TreeNode)) {
+	positions := make([]int, n)
+	for i := range positions {
+		positions[i] = i
+	}
+	var build func(set []int) []*TreeNode
+	build = func(set []int) []*TreeNode {
+		if len(set) == 1 {
+			return []*TreeNode{LeafNode(set[0])}
+		}
+		var out []*TreeNode
+		// Enumerate subsets of set (as bitmask over set's indices) for the
+		// left child; skip empty and full subsets. To halve duplicates, the
+		// first element always goes left.
+		m := len(set)
+		for mask := 1; mask < 1<<(m-1); mask++ {
+			leftSet := []int{set[0]}
+			var rightSet []int
+			for i := 1; i < m; i++ {
+				if mask&(1<<(i-1)) != 0 {
+					leftSet = append(leftSet, set[i])
+				} else {
+					rightSet = append(rightSet, set[i])
+				}
+			}
+			if len(rightSet) == 0 {
+				continue
+			}
+			for _, l := range build(leftSet) {
+				for _, r := range build(rightSet) {
+					out = append(out, Join(l, r))
+				}
+			}
+		}
+		// The full-set-left case has an empty right side; also allow the
+		// symmetric "first element alone on the left" completion via mask 0.
+		leftOnly := []*TreeNode{LeafNode(set[0])}
+		rightRest := build(set[1:])
+		for _, l := range leftOnly {
+			for _, r := range rightRest {
+				out = append(out, Join(l, r))
+			}
+		}
+		return out
+	}
+	if n == 0 {
+		return
+	}
+	for _, t := range build(positions) {
+		fn(t)
+	}
+}

@@ -1,0 +1,317 @@
+// Package predicate compiles the declarative WHERE clause of a simple
+// pattern into position-indexed evaluation tables consumed by both
+// evaluation engines. Sequence order is lowered to timestamp predicates here
+// (the operational half of Theorem 3), so that downstream components treat
+// sequences and conjunctions uniformly; contiguity selection strategies are
+// likewise lowered to serial-number predicates (Section 6.2 of the paper).
+package predicate
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// PairFn evaluates a pairwise predicate with a bound to the lower-indexed
+// position and b to the higher-indexed one.
+type PairFn func(a, b *event.Event) bool
+
+// UnaryFn evaluates a filter predicate on a single event.
+type UnaryFn func(e *event.Event) bool
+
+// Pair is a compiled pairwise predicate between term positions I < J.
+type Pair struct {
+	I, J int
+	Desc string
+	Fn   PairFn
+}
+
+// Unary is a compiled filter predicate on term position I.
+type Unary struct {
+	I    int
+	Desc string
+	Fn   UnaryFn
+}
+
+// Set holds the compiled predicates of one simple pattern, indexed by term
+// position.
+type Set struct {
+	N     int
+	unary [][]Unary
+	pairs [][][]Pair // pairs[i][j], populated for i < j only
+}
+
+// NewSet builds an empty predicate set over n positions.
+func NewSet(n int) *Set {
+	s := &Set{N: n, unary: make([][]Unary, n), pairs: make([][][]Pair, n)}
+	for i := range s.pairs {
+		s.pairs[i] = make([][]Pair, n)
+	}
+	return s
+}
+
+// AddUnary registers a filter predicate at position i.
+func (s *Set) AddUnary(u Unary) {
+	s.unary[u.I] = append(s.unary[u.I], u)
+}
+
+// AddPair registers a pairwise predicate, normalising so that I < J.
+func (s *Set) AddPair(p Pair) {
+	if p.I == p.J {
+		panic("predicate: pairwise predicate with equal positions")
+	}
+	if p.I > p.J {
+		fn := p.Fn
+		p.I, p.J = p.J, p.I
+		p.Fn = func(a, b *event.Event) bool { return fn(b, a) }
+	}
+	s.pairs[p.I][p.J] = append(s.pairs[p.I][p.J], p)
+}
+
+// CheckUnary reports whether e satisfies every filter at position i.
+func (s *Set) CheckUnary(i int, e *event.Event) bool {
+	for _, u := range s.unary[i] {
+		if !u.Fn(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckPair reports whether the events at positions i and j satisfy every
+// predicate between them. Position order is normalised internally.
+func (s *Set) CheckPair(i int, ei *event.Event, j int, ej *event.Event) bool {
+	if i > j {
+		i, j = j, i
+		ei, ej = ej, ei
+	}
+	for _, p := range s.pairs[i][j] {
+		if !p.Fn(ei, ej) {
+			return false
+		}
+	}
+	return true
+}
+
+// PairCount returns the number of predicates between positions i < j.
+func (s *Set) PairCount(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return len(s.pairs[i][j])
+}
+
+// Pairs returns the predicates between positions i < j.
+func (s *Set) Pairs(i, j int) []Pair {
+	if i > j {
+		i, j = j, i
+	}
+	return s.pairs[i][j]
+}
+
+// Unaries returns the filter predicates at position i.
+func (s *Set) Unaries(i int) []Unary { return s.unary[i] }
+
+// NegSpec describes where a negated event is anchored in a sequence: the
+// negated event's timestamp must fall after the Low positive position and
+// before the High one ( -1 means the corresponding side is bounded only by
+// the window). Pairwise predicates between the negated position and others
+// are held in the Set like any other predicate.
+type NegSpec struct {
+	Pos  int // term index of the negated event
+	Low  int // positive term index preceding it in the sequence, or -1
+	High int // positive term index following it in the sequence, or -1
+}
+
+// Compiled is a fully lowered simple pattern: positions, predicate tables,
+// negation anchors, Kleene flags and the time window. It is the input to
+// both evaluation engines and to plan generation.
+type Compiled struct {
+	Source    *pattern.Pattern
+	N         int      // number of term positions (positives + negatives)
+	Types     []string // event type per position
+	Aliases   []string // alias per position
+	Positives []int    // positive positions in declaration order
+	Kleene    []bool   // per position
+	Negs      []NegSpec
+	Window    event.Time
+	IsSeq     bool  // the pattern is a sequence (declaration order = temporal order)
+	SeqOrder  []int // positive positions in temporal order when IsSeq
+	Preds     *Set
+}
+
+// Strategy selects how events are admitted into partial matches
+// (Section 6.2).
+type Strategy int
+
+// The four event selection strategies discussed in the paper.
+const (
+	SkipTillAnyMatch Strategy = iota
+	SkipTillNextMatch
+	StrictContiguity
+	PartitionContiguity
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case SkipTillAnyMatch:
+		return "skip-till-any-match"
+	case SkipTillNextMatch:
+		return "skip-till-next-match"
+	case StrictContiguity:
+		return "strict-contiguity"
+	case PartitionContiguity:
+		return "partition-contiguity"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Compile lowers a simple pattern (OpSeq or OpAnd over primitive events)
+// into a Compiled form. Contiguity strategies add serial-adjacency
+// predicates between temporally adjacent positive positions; they therefore
+// require a sequence pattern.
+func Compile(p *pattern.Pattern, strategy Strategy) (*Compiled, error) {
+	if err := p.Validate(nil); err != nil {
+		return nil, err
+	}
+	if !p.IsSimple() || p.Op == pattern.OpOr {
+		return nil, fmt.Errorf("predicate: Compile requires a simple SEQ or AND pattern, got %v (normalise with ToDNF first)", p.Op)
+	}
+	n := len(p.Terms)
+	c := &Compiled{
+		Source:  p,
+		N:       n,
+		Types:   make([]string, n),
+		Aliases: make([]string, n),
+		Kleene:  make([]bool, n),
+		Window:  p.Window,
+		IsSeq:   p.Op == pattern.OpSeq,
+		Preds:   NewSet(n),
+	}
+	aliasIdx := make(map[string]int, n)
+	for i, t := range p.Terms {
+		ev := t.Event
+		c.Types[i] = ev.Type
+		c.Aliases[i] = ev.Alias
+		c.Kleene[i] = ev.Kleene
+		aliasIdx[ev.Alias] = i
+		if ev.Negated {
+			if ev.Kleene {
+				return nil, fmt.Errorf("predicate: %q is both negated and Kleene", ev.Alias)
+			}
+		} else {
+			c.Positives = append(c.Positives, i)
+		}
+	}
+	if c.IsSeq {
+		c.SeqOrder = append([]int(nil), c.Positives...)
+		// Lower the sequence order to timestamp predicates between adjacent
+		// positive positions (Theorem 3).
+		for k := 0; k+1 < len(c.SeqOrder); k++ {
+			i, j := c.SeqOrder[k], c.SeqOrder[k+1]
+			c.Preds.AddPair(Pair{
+				I: i, J: j,
+				Desc: fmt.Sprintf("%s.ts < %s.ts", c.Aliases[i], c.Aliases[j]),
+				Fn:   func(a, b *event.Event) bool { return a.TS < b.TS },
+			})
+		}
+	}
+	// Negation anchors.
+	for i, t := range p.Terms {
+		if !t.Event.Negated {
+			continue
+		}
+		spec := NegSpec{Pos: i, Low: -1, High: -1}
+		if c.IsSeq {
+			for j := i - 1; j >= 0; j-- {
+				if !p.Terms[j].Event.Negated {
+					spec.Low = j
+					break
+				}
+			}
+			for j := i + 1; j < n; j++ {
+				if !p.Terms[j].Event.Negated {
+					spec.High = j
+					break
+				}
+			}
+		}
+		c.Negs = append(c.Negs, spec)
+	}
+	// User conditions.
+	for _, cond := range p.Conds {
+		cond := cond // capture
+		als := cond.Aliases()
+		switch len(als) {
+		case 1:
+			i := aliasIdx[als[0]]
+			c.Preds.AddUnary(Unary{
+				I: i, Desc: cond.String(),
+				Fn: func(e *event.Event) bool { return cond.EvalUnary(e) },
+			})
+		case 2:
+			i, j := aliasIdx[als[0]], aliasIdx[als[1]]
+			c.Preds.AddPair(Pair{
+				I: i, J: j, Desc: cond.String(),
+				Fn: func(a, b *event.Event) bool { return cond.EvalPair(a, b) },
+			})
+		default:
+			return nil, fmt.Errorf("predicate: condition %q is not at most pairwise", cond)
+		}
+	}
+	// Contiguity strategies (Section 6.2): serial-adjacency predicates
+	// between temporally adjacent positive positions.
+	switch strategy {
+	case StrictContiguity, PartitionContiguity:
+		if !c.IsSeq {
+			return nil, fmt.Errorf("predicate: %v requires a sequence pattern", strategy)
+		}
+		for k := 0; k+1 < len(c.SeqOrder); k++ {
+			i, j := c.SeqOrder[k], c.SeqOrder[k+1]
+			if strategy == StrictContiguity {
+				c.Preds.AddPair(Pair{
+					I: i, J: j,
+					Desc: fmt.Sprintf("%s.serial+1 = %s.serial", c.Aliases[i], c.Aliases[j]),
+					Fn:   func(a, b *event.Event) bool { return a.Serial+1 == b.Serial },
+				})
+			} else {
+				c.Preds.AddPair(Pair{
+					I: i, J: j,
+					Desc: fmt.Sprintf("%s,%s partition-adjacent", c.Aliases[i], c.Aliases[j]),
+					Fn: func(a, b *event.Event) bool {
+						return a.Partition == b.Partition && a.PSerial+1 == b.PSerial
+					},
+				})
+			}
+		}
+	}
+	return c, nil
+}
+
+// CheckGroupPair evaluates the predicates between positions i and j where
+// each position may hold a group of events (Kleene closure). Every pair of
+// members must satisfy the predicates, the semantics used by Theorem 4's
+// power-set construction.
+func (c *Compiled) CheckGroupPair(i int, gi []*event.Event, j int, gj []*event.Event) bool {
+	for _, a := range gi {
+		for _, b := range gj {
+			if !c.Preds.CheckPair(i, a, j, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PositiveIndexOf returns the index of term position pos within Positives,
+// or -1 if pos is not positive.
+func (c *Compiled) PositiveIndexOf(pos int) int {
+	for k, p := range c.Positives {
+		if p == pos {
+			return k
+		}
+	}
+	return -1
+}

@@ -1,0 +1,289 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+var (
+	schemaA = event.NewSchema("A", "x")
+	schemaB = event.NewSchema("B", "x")
+	schemaC = event.NewSchema("C", "x")
+)
+
+func mkEvent(s *event.Schema, ts event.Time, x float64) *event.Event {
+	return event.New(s, ts, x)
+}
+
+func TestSetPairNormalisation(t *testing.T) {
+	s := NewSet(3)
+	// Register with I > J; Set must normalise and flip the function.
+	s.AddPair(Pair{I: 2, J: 0, Desc: "c.x < a.x", Fn: func(a, b *event.Event) bool {
+		return a.MustAttr("x") < b.MustAttr("x") // a is position 2, b is position 0
+	}})
+	c := mkEvent(schemaC, 1, 1)
+	a := mkEvent(schemaA, 2, 5)
+	// CheckPair(0, a, 2, c) must evaluate c.x < a.x → 1 < 5 → true.
+	if !s.CheckPair(0, a, 2, c) {
+		t.Fatal("normalised pair evaluation failed")
+	}
+	// And in the caller-swapped orientation too.
+	if !s.CheckPair(2, c, 0, a) {
+		t.Fatal("caller-swapped evaluation failed")
+	}
+	if s.PairCount(2, 0) != 1 || s.PairCount(0, 2) != 1 {
+		t.Fatal("PairCount not symmetric")
+	}
+}
+
+func TestSetEqualPositionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSet(2).AddPair(Pair{I: 1, J: 1, Fn: func(a, b *event.Event) bool { return true }})
+}
+
+func TestCompileSeqAddsOrderPredicates(t *testing.T) {
+	p := pattern.Seq(100, pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"))
+	c, err := Compile(p, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsSeq || len(c.SeqOrder) != 3 {
+		t.Fatalf("IsSeq=%v SeqOrder=%v", c.IsSeq, c.SeqOrder)
+	}
+	a := mkEvent(schemaA, 10, 0)
+	b := mkEvent(schemaB, 20, 0)
+	if !c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("in-order pair rejected")
+	}
+	b2 := mkEvent(schemaB, 5, 0)
+	if c.Preds.CheckPair(0, a, 1, b2) {
+		t.Fatal("out-of-order pair accepted")
+	}
+	// Non-adjacent positions carry no order predicate (transitivity suffices).
+	if c.Preds.PairCount(0, 2) != 0 {
+		t.Fatal("unexpected predicate between non-adjacent positions")
+	}
+}
+
+func TestCompileAndHasNoOrderPredicates(t *testing.T) {
+	p := pattern.And(100, pattern.E("A", "a"), pattern.E("B", "b"))
+	c, err := Compile(p, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsSeq || c.SeqOrder != nil {
+		t.Fatal("AND pattern misclassified as sequence")
+	}
+	if c.Preds.PairCount(0, 1) != 0 {
+		t.Fatal("AND pattern should have no implicit predicates")
+	}
+}
+
+func TestCompileUserConditions(t *testing.T) {
+	p := pattern.And(100, pattern.E("A", "a"), pattern.E("B", "b")).Where(
+		pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"),
+		pattern.Cmp(pattern.Ref("a", "x"), pattern.Gt, pattern.Const(0)),
+	)
+	c, err := Compile(p, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mkEvent(schemaA, 1, 2)
+	b := mkEvent(schemaB, 2, 3)
+	if !c.Preds.CheckUnary(0, a) {
+		t.Fatal("unary filter rejected a.x=2 > 0")
+	}
+	if c.Preds.CheckUnary(0, mkEvent(schemaA, 1, -1)) {
+		t.Fatal("unary filter accepted a.x=-1")
+	}
+	if !c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("2 < 3 rejected")
+	}
+	if c.Preds.CheckPair(0, mkEvent(schemaA, 1, 9), 1, b) {
+		t.Fatal("9 < 3 accepted")
+	}
+}
+
+func TestCompileReversedAliasCondition(t *testing.T) {
+	// Condition written b-first must still bind correctly by position.
+	p := pattern.And(100, pattern.E("A", "a"), pattern.E("B", "b")).Where(
+		pattern.AttrCmp("b", "x", pattern.Gt, "a", "x"),
+	)
+	c, err := Compile(p, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mkEvent(schemaA, 1, 2)
+	b := mkEvent(schemaB, 2, 3)
+	if !c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("b.x > a.x (3 > 2) rejected")
+	}
+	if c.Preds.CheckPair(0, mkEvent(schemaA, 1, 5), 1, b) {
+		t.Fatal("b.x > a.x (3 > 5) accepted")
+	}
+}
+
+func TestCompileNegationAnchorsSeq(t *testing.T) {
+	p := pattern.Seq(100,
+		pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c"),
+	)
+	c, err := Compile(p, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Negs) != 1 {
+		t.Fatalf("Negs = %v", c.Negs)
+	}
+	n := c.Negs[0]
+	if n.Pos != 1 || n.Low != 0 || n.High != 2 {
+		t.Fatalf("NegSpec = %+v", n)
+	}
+	if got := c.Positives; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Positives = %v", got)
+	}
+	// Sequence order skips the negated position.
+	if len(c.SeqOrder) != 2 || c.SeqOrder[0] != 0 || c.SeqOrder[1] != 2 {
+		t.Fatalf("SeqOrder = %v", c.SeqOrder)
+	}
+}
+
+func TestCompileNegationEdges(t *testing.T) {
+	lead := pattern.Seq(100, pattern.Not("B", "b"), pattern.E("A", "a"))
+	c, err := Compile(lead, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Negs[0]; n.Low != -1 || n.High != 1 {
+		t.Fatalf("leading NegSpec = %+v", n)
+	}
+	trail := pattern.Seq(100, pattern.E("A", "a"), pattern.Not("B", "b"))
+	c, err = Compile(trail, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Negs[0]; n.Low != 0 || n.High != -1 {
+		t.Fatalf("trailing NegSpec = %+v", n)
+	}
+	conj := pattern.And(100, pattern.E("A", "a"), pattern.Not("B", "b"))
+	c, err = Compile(conj, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Negs[0]; n.Low != -1 || n.High != -1 {
+		t.Fatalf("conjunction NegSpec = %+v", n)
+	}
+}
+
+func TestCompileRejectsNestedAndOr(t *testing.T) {
+	nested := pattern.And(100, pattern.E("A", "a"),
+		pattern.Sub(pattern.Or(100, pattern.E("B", "b"), pattern.E("C", "c"))))
+	if _, err := Compile(nested, SkipTillAnyMatch); err == nil ||
+		!strings.Contains(err.Error(), "simple") {
+		t.Fatalf("err = %v", err)
+	}
+	or := pattern.Or(100, pattern.E("A", "a"), pattern.E("B", "b"))
+	if _, err := Compile(or, SkipTillAnyMatch); err == nil {
+		t.Fatal("OR pattern must be rejected")
+	}
+}
+
+func TestCompileStrictContiguity(t *testing.T) {
+	p := pattern.Seq(100, pattern.E("A", "a"), pattern.E("B", "b"))
+	c, err := Compile(p, StrictContiguity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mkEvent(schemaA, 1, 0)
+	b := mkEvent(schemaB, 2, 0)
+	a.Serial, b.Serial = 7, 8
+	if !c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("adjacent serials rejected")
+	}
+	b.Serial = 9
+	if c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("non-adjacent serials accepted")
+	}
+}
+
+func TestCompilePartitionContiguity(t *testing.T) {
+	p := pattern.Seq(100, pattern.E("A", "a"), pattern.E("B", "b"))
+	c, err := Compile(p, PartitionContiguity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mkEvent(schemaA, 1, 0)
+	b := mkEvent(schemaB, 2, 0)
+	a.Partition, a.PSerial = 3, 5
+	b.Partition, b.PSerial = 3, 6
+	if !c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("partition-adjacent rejected")
+	}
+	b.Partition = 4
+	if c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("cross-partition accepted")
+	}
+	b.Partition, b.PSerial = 3, 7
+	if c.Preds.CheckPair(0, a, 1, b) {
+		t.Fatal("non-adjacent pserial accepted")
+	}
+}
+
+func TestContiguityRequiresSequence(t *testing.T) {
+	p := pattern.And(100, pattern.E("A", "a"), pattern.E("B", "b"))
+	if _, err := Compile(p, StrictContiguity); err == nil {
+		t.Fatal("strict contiguity on AND must fail")
+	}
+}
+
+func TestCheckGroupPair(t *testing.T) {
+	p := pattern.And(100, pattern.E("A", "a"), pattern.KL("B", "b")).Where(
+		pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"),
+	)
+	c, err := Compile(p, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Kleene[1] {
+		t.Fatal("Kleene flag lost")
+	}
+	a := mkEvent(schemaA, 1, 2)
+	group := []*event.Event{mkEvent(schemaB, 2, 3), mkEvent(schemaB, 3, 4)}
+	if !c.CheckGroupPair(0, []*event.Event{a}, 1, group) {
+		t.Fatal("group with all members passing rejected")
+	}
+	group = append(group, mkEvent(schemaB, 4, 1)) // 2 < 1 fails
+	if c.CheckGroupPair(0, []*event.Event{a}, 1, group) {
+		t.Fatal("group with failing member accepted")
+	}
+}
+
+func TestPositiveIndexOf(t *testing.T) {
+	p := pattern.Seq(100, pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c"))
+	c, err := Compile(p, SkipTillAnyMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PositiveIndexOf(0) != 0 || c.PositiveIndexOf(2) != 1 || c.PositiveIndexOf(1) != -1 {
+		t.Fatal("PositiveIndexOf wrong")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		SkipTillAnyMatch:    "skip-till-any-match",
+		SkipTillNextMatch:   "skip-till-next-match",
+		StrictContiguity:    "strict-contiguity",
+		PartitionContiguity: "partition-contiguity",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// MaxSamplePairs bounds the number of event pairs examined when measuring
+// the selectivity of one pairwise condition.
+const MaxSamplePairs = 20000
+
+// Measure computes arrival rates for every type present in the events and
+// selectivities for the given conditions. aliasTypes maps condition aliases
+// to event-type names (obtain it from a pattern via AliasTypes). The events
+// must be timestamp-ordered; rates are events per second over the spanned
+// interval. This mirrors the paper's preprocessing stage, where "all arrival
+// rates and predicate selectivities were calculated" before evaluation.
+func Measure(events []*event.Event, conds []pattern.Condition, aliasTypes map[string]string) *Stats {
+	s := New()
+	if len(events) == 0 {
+		return s
+	}
+	byType := make(map[string][]*event.Event)
+	for _, e := range events {
+		byType[e.Type] = append(byType[e.Type], e)
+	}
+	spanMS := events[len(events)-1].TS - events[0].TS
+	if spanMS <= 0 {
+		spanMS = 1
+	}
+	spanSec := float64(spanMS) / float64(event.Second)
+	for typ, evs := range byType {
+		s.SetRate(typ, float64(len(evs))/spanSec)
+	}
+	for _, c := range conds {
+		sel, ok := measureCond(c, byType, aliasTypes)
+		if ok {
+			s.SetSelectivity(c, sel)
+		}
+	}
+	return s
+}
+
+// MeasurePattern measures rates and the selectivities of the pattern's
+// conditions in one pass.
+func MeasurePattern(events []*event.Event, p *pattern.Pattern) *Stats {
+	return Measure(events, p.Conds, AliasTypes(p))
+}
+
+// AliasTypes maps every alias declared anywhere in the pattern to its event
+// type.
+func AliasTypes(p *pattern.Pattern) map[string]string {
+	m := make(map[string]string)
+	var walk func(q *pattern.Pattern)
+	walk = func(q *pattern.Pattern) {
+		for _, t := range q.Terms {
+			if t.Event != nil {
+				m[t.Event.Alias] = t.Event.Type
+			} else {
+				walk(t.Sub)
+			}
+		}
+	}
+	walk(p)
+	return m
+}
+
+func measureCond(c pattern.Condition, byType map[string][]*event.Event, aliasTypes map[string]string) (float64, bool) {
+	als := c.Aliases()
+	switch len(als) {
+	case 1:
+		evs := byType[aliasTypes[als[0]]]
+		if len(evs) == 0 {
+			return 0, false
+		}
+		pass := 0
+		for _, e := range evs {
+			if c.EvalUnary(e) {
+				pass++
+			}
+		}
+		return float64(pass) / float64(len(evs)), true
+	case 2:
+		evsA := byType[aliasTypes[als[0]]]
+		evsB := byType[aliasTypes[als[1]]]
+		if len(evsA) == 0 || len(evsB) == 0 {
+			return 0, false
+		}
+		total := len(evsA) * len(evsB)
+		// Deterministic strided sampling keeps the measurement reproducible
+		// while bounding work on large streams.
+		stride := 1
+		if total > MaxSamplePairs {
+			stride = total/MaxSamplePairs + 1
+		}
+		pass, tried := 0, 0
+		for k := 0; k < total; k += stride {
+			a := evsA[k/len(evsB)]
+			b := evsB[k%len(evsB)]
+			tried++
+			if c.EvalPair(a, b) {
+				pass++
+			}
+		}
+		if tried == 0 {
+			return 0, false
+		}
+		return float64(pass) / float64(tried), true
+	}
+	return 0, false
+}

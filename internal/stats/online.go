@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// ReservoirSize is the number of recent events retained per type by the
+// online estimator for selectivity sampling.
+const ReservoirSize = 64
+
+// Online estimates rates and selectivities over a sliding window of the live
+// stream. It is the measurement half of the adaptivity mechanism sketched in
+// Section 6.3: a CEP engine "must continuously estimate the current
+// statistic values".
+type Online struct {
+	window event.Time
+	now    event.Time
+	types  map[string]*typeWindow
+}
+
+type typeWindow struct {
+	// arrivals holds the timestamps of events inside the sliding window.
+	arrivals []event.Time
+	// reservoir holds the most recent events for selectivity sampling.
+	reservoir []*event.Event
+}
+
+// NewOnline builds an online estimator over the given sliding window.
+func NewOnline(window event.Time) *Online {
+	if window <= 0 {
+		panic("stats: online window must be positive")
+	}
+	return &Online{window: window, types: make(map[string]*typeWindow)}
+}
+
+// Observe feeds one event (in timestamp order) to the estimator.
+func (o *Online) Observe(e *event.Event) {
+	o.now = e.TS
+	tw := o.types[e.Type]
+	if tw == nil {
+		tw = &typeWindow{}
+		o.types[e.Type] = tw
+	}
+	tw.arrivals = append(tw.arrivals, e.TS)
+	tw.reservoir = append(tw.reservoir, e)
+	if len(tw.reservoir) > ReservoirSize {
+		tw.reservoir = tw.reservoir[len(tw.reservoir)-ReservoirSize:]
+	}
+	o.expire()
+}
+
+func (o *Online) expire() {
+	cut := o.now - o.window
+	for _, tw := range o.types {
+		i := 0
+		for i < len(tw.arrivals) && tw.arrivals[i] < cut {
+			i++
+		}
+		if i > 0 {
+			tw.arrivals = tw.arrivals[i:]
+		}
+	}
+}
+
+// Rate returns the current arrival-rate estimate for the type in
+// events/second.
+func (o *Online) Rate(typ string) float64 {
+	tw := o.types[typ]
+	if tw == nil || len(tw.arrivals) == 0 {
+		return 0
+	}
+	return float64(len(tw.arrivals)) / (float64(o.window) / float64(event.Second))
+}
+
+// Selectivity estimates the condition's selectivity from the per-type
+// reservoirs. The boolean result reports whether enough data was available.
+func (o *Online) Selectivity(c pattern.Condition, aliasTypes map[string]string) (float64, bool) {
+	als := c.Aliases()
+	switch len(als) {
+	case 1:
+		tw := o.types[aliasTypes[als[0]]]
+		if tw == nil || len(tw.reservoir) == 0 {
+			return 0, false
+		}
+		pass := 0
+		for _, e := range tw.reservoir {
+			if c.EvalUnary(e) {
+				pass++
+			}
+		}
+		return float64(pass) / float64(len(tw.reservoir)), true
+	case 2:
+		ta := o.types[aliasTypes[als[0]]]
+		tb := o.types[aliasTypes[als[1]]]
+		if ta == nil || tb == nil || len(ta.reservoir) == 0 || len(tb.reservoir) == 0 {
+			return 0, false
+		}
+		pass, total := 0, 0
+		for _, a := range ta.reservoir {
+			for _, b := range tb.reservoir {
+				total++
+				if c.EvalPair(a, b) {
+					pass++
+				}
+			}
+		}
+		return float64(pass) / float64(total), true
+	}
+	return 0, false
+}
+
+// Snapshot freezes the current estimates into a Stats usable by plan
+// generation.
+func (o *Online) Snapshot(conds []pattern.Condition, aliasTypes map[string]string) *Stats {
+	s := New()
+	for typ := range o.types {
+		if r := o.Rate(typ); r > 0 {
+			s.SetRate(typ, r)
+		}
+	}
+	for _, c := range conds {
+		if sel, ok := o.Selectivity(c, aliasTypes); ok {
+			s.SetSelectivity(c, sel)
+		}
+	}
+	return s
+}

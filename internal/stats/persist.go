@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// wire is the JSON representation of Stats.
+type wire struct {
+	Rates       map[string]float64 `json:"rates"`
+	Sel         map[string]float64 `json:"selectivities"`
+	DefaultRate float64            `json:"default_rate"`
+	DefaultSel  float64            `json:"default_selectivity"`
+}
+
+// Save writes the statistics as JSON, so that an expensive offline
+// measurement pass (the paper's preprocessing took the full dataset) can be
+// reused across runs.
+func (s *Stats) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(wire{
+		Rates:       s.Rates,
+		Sel:         s.Sel,
+		DefaultRate: s.DefaultRate,
+		DefaultSel:  s.DefaultSel,
+	}); err != nil {
+		return fmt.Errorf("stats: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads statistics previously written by Save.
+func Load(r io.Reader) (*Stats, error) {
+	var w wire
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("stats: decoding: %w", err)
+	}
+	s := New()
+	if w.Rates != nil {
+		s.Rates = w.Rates
+	}
+	if w.Sel != nil {
+		s.Sel = w.Sel
+	}
+	if w.DefaultRate > 0 {
+		s.DefaultRate = w.DefaultRate
+	}
+	if w.DefaultSel > 0 {
+		s.DefaultSel = w.DefaultSel
+	}
+	return s, nil
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	s.SetRate("A", 12.5)
+	s.SetRate("B", 0.25)
+	c := pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+	s.SetSelectivity(c, 0.125)
+	s.DefaultRate = 2
+	s.DefaultSel = 0.9
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Rate("A") != 12.5 || loaded.Rate("B") != 0.25 {
+		t.Fatalf("rates lost: %v", loaded.Rates)
+	}
+	if loaded.Selectivity(c) != 0.125 {
+		t.Fatalf("selectivity lost: %v", loaded.Sel)
+	}
+	if loaded.Rate("unknown") != 2 || loaded.DefaultSel != 0.9 {
+		t.Fatal("defaults lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadEmptyObjectGetsDefaults(t *testing.T) {
+	s, err := Load(strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rate("X") != 1.0 || s.DefaultSel != 1.0 {
+		t.Fatal("conventional defaults not applied")
+	}
+	// Maps must be usable.
+	s.SetRate("X", 3)
+	if s.Rate("X") != 3 {
+		t.Fatal("maps not initialised")
+	}
+}

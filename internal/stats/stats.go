@@ -1,0 +1,204 @@
+// Package stats estimates the two stream statistics every plan-generation
+// algorithm in the paper consumes: per-type event arrival rates and
+// per-predicate selectivities (Section 3.1). It provides an offline
+// collector mirroring the paper's preprocessing stage and an online
+// sliding-window estimator used by the adaptivity layer (Section 6.3).
+package stats
+
+import (
+	"math"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// TSOrderSelectivity is the default selectivity of a temporal-order
+// predicate e_i.ts < e_j.ts between independent event types: with uniform
+// independent arrivals either order is equally likely.
+const TSOrderSelectivity = 0.5
+
+// MaxKleeneExponent caps the exponent of the 2^{rW} virtual arrival rate the
+// Kleene-closure rewrite of Theorem 4 introduces. The cap keeps cost
+// arithmetic finite while preserving the rewrite's intent (the virtual type
+// is ordered last by any sane algorithm long before the cap binds).
+const MaxKleeneExponent = 64
+
+// Stats holds measured stream statistics.
+type Stats struct {
+	// Rates maps event-type name to arrival rate in events per second.
+	Rates map[string]float64
+	// Sel maps Condition.String() to the measured selectivity in [0,1].
+	Sel map[string]float64
+	// DefaultRate is returned for types with no measurement (default 1.0).
+	DefaultRate float64
+	// DefaultSel is returned for conditions with no measurement
+	// (default 1.0, i.e. a non-restrictive predicate).
+	DefaultSel float64
+}
+
+// New returns an empty Stats with the conventional defaults.
+func New() *Stats {
+	return &Stats{
+		Rates:       make(map[string]float64),
+		Sel:         make(map[string]float64),
+		DefaultRate: 1.0,
+		DefaultSel:  1.0,
+	}
+}
+
+// Rate returns the arrival rate of the type in events/second.
+func (s *Stats) Rate(typ string) float64 {
+	if r, ok := s.Rates[typ]; ok && r > 0 {
+		return r
+	}
+	return s.DefaultRate
+}
+
+// SetRate records an arrival rate.
+func (s *Stats) SetRate(typ string, rate float64) { s.Rates[typ] = rate }
+
+// Selectivity returns the selectivity of the condition. Temporal-order
+// predicates default to TSOrderSelectivity when unmeasured.
+func (s *Stats) Selectivity(c pattern.Condition) float64 {
+	if v, ok := s.Sel[c.String()]; ok {
+		return v
+	}
+	if c.IsTSOrder() {
+		return TSOrderSelectivity
+	}
+	return s.DefaultSel
+}
+
+// SetSelectivity records the selectivity of a condition.
+func (s *Stats) SetSelectivity(c pattern.Condition, sel float64) {
+	s.Sel[c.String()] = sel
+}
+
+// PatternStats is the per-pattern statistics bundle consumed by the cost
+// models of Section 4: one planning position per positive primitive event,
+// an arrival rate per position (Kleene-adjusted per Theorem 4), and the
+// selectivity matrix of the predicates between positions.
+type PatternStats struct {
+	// W is the pattern window in seconds.
+	W float64
+	// Types, Aliases and TermIndex describe the planning positions:
+	// position k corresponds to pattern term TermIndex[k].
+	Types     []string
+	Aliases   []string
+	TermIndex []int
+	// Kleene flags positions under a KL operator. Rates already hold the
+	// virtual 2^{rW}/W rate for those positions.
+	Kleene []bool
+	// Rates holds arrival rates per position in events/second.
+	Rates []float64
+	// Sel is the symmetric selectivity matrix; Sel[i][i] is the combined
+	// selectivity of the unary filters at position i.
+	Sel [][]float64
+}
+
+// N returns the number of planning positions.
+func (ps *PatternStats) N() int { return len(ps.Rates) }
+
+// Clone returns a deep copy.
+func (ps *PatternStats) Clone() *PatternStats {
+	cp := &PatternStats{
+		W:         ps.W,
+		Types:     append([]string(nil), ps.Types...),
+		Aliases:   append([]string(nil), ps.Aliases...),
+		TermIndex: append([]int(nil), ps.TermIndex...),
+		Kleene:    append([]bool(nil), ps.Kleene...),
+		Rates:     append([]float64(nil), ps.Rates...),
+	}
+	cp.Sel = make([][]float64, len(ps.Sel))
+	for i := range ps.Sel {
+		cp.Sel[i] = append([]float64(nil), ps.Sel[i]...)
+	}
+	return cp
+}
+
+// KleeneRate computes the virtual arrival rate 2^{rW}/W of the power-set
+// type introduced by Theorem 4, with the exponent capped at
+// MaxKleeneExponent.
+func KleeneRate(rate, windowSec float64) float64 {
+	if windowSec <= 0 {
+		return rate
+	}
+	exp := rate * windowSec
+	if exp > MaxKleeneExponent {
+		exp = MaxKleeneExponent
+	}
+	return math.Pow(2, exp) / windowSec
+}
+
+// For assembles PatternStats for a simple SEQ or AND pattern from measured
+// stream statistics. Negated events are excluded: they never multiply the
+// number of partial matches, so the cost models of Section 4 range over the
+// positive events only. For sequence patterns, the temporal-order predicates
+// between adjacent positive events contribute TSOrderSelectivity each, the
+// planning-side counterpart of the Theorem 3 rewrite.
+func For(p *pattern.Pattern, st *Stats) *PatternStats {
+	positives := p.Positives()
+	n := len(positives)
+	ps := &PatternStats{
+		W:         float64(p.Window) / float64(event.Second),
+		Types:     make([]string, n),
+		Aliases:   make([]string, n),
+		TermIndex: append([]int(nil), positives...),
+		Kleene:    make([]bool, n),
+		Rates:     make([]float64, n),
+		Sel:       make([][]float64, n),
+	}
+	aliasPos := make(map[string]int, n)
+	for k, ti := range positives {
+		spec := p.Terms[ti].Event
+		ps.Types[k] = spec.Type
+		ps.Aliases[k] = spec.Alias
+		ps.Kleene[k] = spec.Kleene
+		rate := st.Rate(spec.Type)
+		if spec.Kleene {
+			rate = KleeneRate(rate, ps.W)
+		}
+		ps.Rates[k] = rate
+		aliasPos[spec.Alias] = k
+	}
+	for i := range ps.Sel {
+		ps.Sel[i] = make([]float64, n)
+		for j := range ps.Sel[i] {
+			ps.Sel[i][j] = 1
+		}
+	}
+	mul := func(i, j int, sel float64) {
+		ps.Sel[i][j] *= sel
+		if i != j {
+			ps.Sel[j][i] *= sel
+		}
+	}
+	for _, c := range p.Conds {
+		als := c.Aliases()
+		idx := make([]int, 0, 2)
+		skip := false
+		for _, a := range als {
+			k, ok := aliasPos[a]
+			if !ok {
+				skip = true // condition touching a negated event
+				break
+			}
+			idx = append(idx, k)
+		}
+		if skip {
+			continue
+		}
+		switch len(idx) {
+		case 1:
+			mul(idx[0], idx[0], st.Selectivity(c))
+		case 2:
+			mul(idx[0], idx[1], st.Selectivity(c))
+		}
+	}
+	if p.Op == pattern.OpSeq {
+		for k := 0; k+1 < n; k++ {
+			mul(k, k+1, TSOrderSelectivity)
+		}
+	}
+	return ps
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+var (
+	schemaA = event.NewSchema("A", "x")
+	schemaB = event.NewSchema("B", "x")
+	schemaC = event.NewSchema("C", "x")
+)
+
+func TestStatsDefaults(t *testing.T) {
+	s := New()
+	if got := s.Rate("unknown"); got != 1.0 {
+		t.Fatalf("default rate = %g", got)
+	}
+	c := pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+	if got := s.Selectivity(c); got != 1.0 {
+		t.Fatalf("default selectivity = %g", got)
+	}
+	ts := pattern.TSOrder("a", "b")
+	if got := s.Selectivity(ts); got != TSOrderSelectivity {
+		t.Fatalf("ts-order selectivity = %g", got)
+	}
+	s.SetSelectivity(ts, 0.9)
+	if got := s.Selectivity(ts); got != 0.9 {
+		t.Fatalf("override lost: %g", got)
+	}
+}
+
+func TestKleeneRate(t *testing.T) {
+	// 2^{r·W}/W with r=0.5/s, W=10s → 2^5/10 = 3.2.
+	if got := KleeneRate(0.5, 10); math.Abs(got-3.2) > 1e-12 {
+		t.Fatalf("KleeneRate = %g, want 3.2", got)
+	}
+	// The paper's §5.2 example: r=5/s, W=10s → 2^50/10.
+	want := math.Pow(2, 50) / 10
+	if got := KleeneRate(5, 10); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("KleeneRate = %g, want %g", got, want)
+	}
+	// Exponent cap keeps the value finite.
+	if got := KleeneRate(1000, 1000); math.IsInf(got, 1) || got <= 0 {
+		t.Fatalf("capped KleeneRate = %g", got)
+	}
+}
+
+func TestMeasureRates(t *testing.T) {
+	// 11 A events and 2 B events over 10 seconds.
+	var events []*event.Event
+	for i := 0; i <= 10; i++ {
+		events = append(events, event.New(schemaA, event.Time(i)*event.Second, float64(i)))
+	}
+	events = append(events,
+		event.New(schemaB, 2*event.Second, 0),
+		event.New(schemaB, 8*event.Second, 1),
+	)
+	event.SortByTS(events)
+	s := Measure(events, nil, nil)
+	if got := s.Rate("A"); math.Abs(got-1.1) > 1e-9 {
+		t.Fatalf("rate A = %g, want 1.1", got)
+	}
+	if got := s.Rate("B"); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("rate B = %g, want 0.2", got)
+	}
+}
+
+func TestMeasureSelectivity(t *testing.T) {
+	// A.x uniform over 0..9, B.x = 5: P(a.x < b.x) = 5/10.
+	var events []*event.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, event.New(schemaA, event.Time(i+1)*event.Second, float64(i)))
+	}
+	for i := 0; i < 10; i++ {
+		events = append(events, event.New(schemaB, event.Time(i+1)*event.Second, 5))
+	}
+	event.SortByTS(events)
+	p := pattern.And(10*event.Second, pattern.E("A", "a"), pattern.E("B", "b")).
+		Where(pattern.AttrCmp("a", "x", pattern.Lt, "b", "b_ignored")) // placeholder replaced below
+	p.Conds[0] = pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+	s := MeasurePattern(events, p)
+	if got := s.Selectivity(p.Conds[0]); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("selectivity = %g, want 0.5", got)
+	}
+}
+
+func TestMeasureUnarySelectivity(t *testing.T) {
+	var events []*event.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, event.New(schemaA, event.Time(i+1)*event.Second, float64(i)))
+	}
+	c := pattern.Cmp(pattern.Ref("a", "x"), pattern.Lt, pattern.Const(3)) // x ∈ {0,1,2} pass
+	s := Measure(events, []pattern.Condition{c}, map[string]string{"a": "A"})
+	if got := s.Selectivity(c); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("unary selectivity = %g, want 0.3", got)
+	}
+}
+
+func TestMeasureEmptyAndMissingTypes(t *testing.T) {
+	s := Measure(nil, nil, nil)
+	if got := s.Rate("A"); got != 1.0 {
+		t.Fatalf("empty measure rate = %g", got)
+	}
+	evs := []*event.Event{event.New(schemaA, 1, 0)}
+	c := pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+	s = Measure(evs, []pattern.Condition{c}, map[string]string{"a": "A", "b": "B"})
+	// No B events: condition unmeasured, default applies.
+	if got := s.Selectivity(c); got != 1.0 {
+		t.Fatalf("selectivity = %g, want default", got)
+	}
+}
+
+func TestForBuildsPatternStats(t *testing.T) {
+	st := New()
+	st.SetRate("A", 2)
+	st.SetRate("B", 4)
+	st.SetRate("C", 8)
+	cond := pattern.AttrCmp("a", "x", pattern.Lt, "c", "x")
+	p := pattern.Seq(10*event.Second, pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c")).
+		Where(cond)
+	st.SetSelectivity(cond, 0.25)
+	ps := For(p, st)
+	if ps.N() != 3 || ps.W != 10 {
+		t.Fatalf("ps = %+v", ps)
+	}
+	if ps.Rates[0] != 2 || ps.Rates[1] != 4 || ps.Rates[2] != 8 {
+		t.Fatalf("rates = %v", ps.Rates)
+	}
+	// a–c predicate 0.25; ts-order 0.5 on the adjacent pairs (0,1), (1,2).
+	if ps.Sel[0][2] != 0.25 || ps.Sel[2][0] != 0.25 {
+		t.Fatalf("Sel[0][2] = %g", ps.Sel[0][2])
+	}
+	if ps.Sel[0][1] != 0.5 || ps.Sel[1][2] != 0.5 {
+		t.Fatalf("adjacent sel = %g, %g", ps.Sel[0][1], ps.Sel[1][2])
+	}
+	if ps.Sel[0][0] != 1 {
+		t.Fatalf("unary sel = %g", ps.Sel[0][0])
+	}
+}
+
+func TestForExcludesNegatedAndAdjustsKleene(t *testing.T) {
+	st := New()
+	st.SetRate("A", 1)
+	st.SetRate("B", 3)
+	st.SetRate("C", 0.5)
+	p := pattern.Seq(10*event.Second,
+		pattern.E("A", "a"), pattern.Not("B", "b"), pattern.KL("C", "c"),
+	).Where(
+		pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"), // touches negated b: ignored
+		pattern.AttrCmp("a", "x", pattern.Lt, "c", "x"),
+	)
+	st.SetSelectivity(p.Conds[1], 0.1)
+	ps := For(p, st)
+	if ps.N() != 2 {
+		t.Fatalf("N = %d, want 2 (negated excluded)", ps.N())
+	}
+	if ps.TermIndex[0] != 0 || ps.TermIndex[1] != 2 {
+		t.Fatalf("TermIndex = %v", ps.TermIndex)
+	}
+	if !ps.Kleene[1] {
+		t.Fatal("kleene flag lost")
+	}
+	want := KleeneRate(0.5, 10) // 2^5/10 = 3.2
+	if math.Abs(ps.Rates[1]-want) > 1e-12 {
+		t.Fatalf("kleene rate = %g, want %g", ps.Rates[1], want)
+	}
+	// Combined: user predicate 0.1 × ts-order 0.5.
+	if math.Abs(ps.Sel[0][1]-0.05) > 1e-12 {
+		t.Fatalf("Sel[0][1] = %g", ps.Sel[0][1])
+	}
+}
+
+func TestForUnaryFilter(t *testing.T) {
+	st := New()
+	c := pattern.Cmp(pattern.Ref("a", "x"), pattern.Lt, pattern.Const(0))
+	st.SetSelectivity(c, 0.2)
+	p := pattern.And(event.Second, pattern.E("A", "a"), pattern.E("B", "b")).Where(c)
+	ps := For(p, st)
+	if ps.Sel[0][0] != 0.2 || ps.Sel[1][1] != 1 {
+		t.Fatalf("unary sels = %g, %g", ps.Sel[0][0], ps.Sel[1][1])
+	}
+}
+
+func TestPatternStatsClone(t *testing.T) {
+	st := New()
+	p := pattern.And(event.Second, pattern.E("A", "a"), pattern.E("B", "b"))
+	ps := For(p, st)
+	cp := ps.Clone()
+	cp.Rates[0] = 99
+	cp.Sel[0][1] = 99
+	if ps.Rates[0] == 99 || ps.Sel[0][1] == 99 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestOnlineRates(t *testing.T) {
+	o := NewOnline(10 * event.Second)
+	for i := 0; i < 20; i++ {
+		o.Observe(event.New(schemaA, event.Time(i)*event.Second, float64(i)))
+	}
+	// Window covers ts in [9, 19]: 11 events over a 10s window → 1.1 ev/s.
+	if got := o.Rate("A"); math.Abs(got-1.1) > 1e-9 {
+		t.Fatalf("online rate = %g, want 1.1", got)
+	}
+	if got := o.Rate("B"); got != 0 {
+		t.Fatalf("rate of unseen type = %g", got)
+	}
+}
+
+func TestOnlineSelectivityAndSnapshot(t *testing.T) {
+	o := NewOnline(100 * event.Second)
+	for i := 0; i < 10; i++ {
+		o.Observe(event.New(schemaA, event.Time(2*i)*event.Second, float64(i)))
+		o.Observe(event.New(schemaB, event.Time(2*i+1)*event.Second, 5))
+	}
+	c := pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+	at := map[string]string{"a": "A", "b": "B"}
+	sel, ok := o.Selectivity(c, at)
+	if !ok || math.Abs(sel-0.5) > 1e-9 {
+		t.Fatalf("online selectivity = %g, %v", sel, ok)
+	}
+	s := o.Snapshot([]pattern.Condition{c}, at)
+	if got := s.Selectivity(c); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("snapshot selectivity = %g", got)
+	}
+	if s.Rate("A") <= 0 {
+		t.Fatal("snapshot rate missing")
+	}
+	if _, ok := o.Selectivity(pattern.AttrCmp("a", "x", pattern.Lt, "z", "x"),
+		map[string]string{"a": "A", "z": "Z"}); ok {
+		t.Fatal("selectivity for unseen type should not be available")
+	}
+}
+
+func TestOnlineRejectsBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOnline(0)
+}

@@ -1,0 +1,235 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+)
+
+var (
+	schemaA = event.NewSchema("A", "x")
+	schemaB = event.NewSchema("B", "x")
+	schemaC = event.NewSchema("C", "x")
+	schemaD = event.NewSchema("D", "x")
+)
+
+func compile(t *testing.T, p *pattern.Pattern, s predicate.Strategy) *predicate.Compiled {
+	t.Helper()
+	c, err := predicate.Compile(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func feed(t *testing.T, e *Engine, events []*event.Event) []*match.Match {
+	t.Helper()
+	var out []*match.Match
+	for _, ev := range events {
+		out = append(out, append([]*match.Match(nil), e.Process(ev)...)...)
+	}
+	out = append(out, append([]*match.Match(nil), e.Flush()...)...)
+	return out
+}
+
+func stream(events []*event.Event) []*event.Event {
+	return event.Drain(event.NewSliceStream(events))
+}
+
+func TestNewValidatesPlan(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	if _, err := New(c, nil, Config{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	if _, err := New(c, plan.Join(plan.LeafNode(0), plan.LeafNode(1)), Config{}); err == nil {
+		t.Fatal("plan over negated position accepted")
+	}
+	if _, err := New(c, plan.LeafNode(0), Config{}); err == nil {
+		t.Fatal("partial plan accepted")
+	}
+	if _, err := New(c, plan.Join(plan.LeafNode(0), plan.LeafNode(2)), Config{}); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestBasicSequenceDetection(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	// Bushy plan joining (a b) with c.
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(1)), plan.LeafNode(2))
+	e, err := New(c, root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaC, 3, 0),
+		event.New(schemaC, 4, 0),
+	}))
+	if len(got) != 2 {
+		t.Fatalf("got %d matches, want 2", len(got))
+	}
+}
+
+func TestReorderedLeavesStillSequence(t *testing.T) {
+	// The Section 2.3 plan: (a c) joined with b — only expressible with
+	// leaf reordering.
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c")).
+		Where(pattern.AttrCmp("a", "x", pattern.Eq, "c", "x"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(2)), plan.LeafNode(1))
+	e, err := New(c, root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 7),
+		event.New(schemaB, 2, 0),
+		event.New(schemaC, 3, 7),
+		event.New(schemaC, 4, 5), // a.x ≠ c.x: no match
+	}))
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1", len(got))
+	}
+}
+
+func TestNSEQPlacementAtLCA(t *testing.T) {
+	p := pattern.Seq(10,
+		pattern.E("A", "a"), pattern.Not("B", "b"), pattern.E("C", "c"), pattern.E("D", "d"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	// Plan ((a c) d): anchors a (pos 0) and c (pos 2) meet at the inner node.
+	root := plan.Join(plan.Join(plan.LeafNode(0), plan.LeafNode(2)), plan.LeafNode(3))
+	e, err := New(c, root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := e.root.left
+	if len(inner.negSpecs) != 1 || inner.negSpecs[0].Pos != 1 {
+		t.Fatalf("NSEQ not placed at LCA: %+v", inner.negSpecs)
+	}
+	if len(e.root.negSpecs) != 0 {
+		t.Fatal("NSEQ duplicated at root")
+	}
+	// A B C D with B between A and C: vetoed early.
+	got := feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaC, 3, 0),
+		event.New(schemaD, 4, 0),
+	}))
+	if len(got) != 0 {
+		t.Fatalf("vetoed match emitted: %d", len(got))
+	}
+	if e.Stats().Matches != 0 {
+		t.Fatal("stats count a vetoed match")
+	}
+}
+
+func TestTrailingNegationPending(t *testing.T) {
+	p := pattern.Seq(5, pattern.E("A", "a"), pattern.E("B", "b"), pattern.Not("C", "nc"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	root := plan.Join(plan.LeafNode(0), plan.LeafNode(1))
+	e, err := New(c, root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Process(event.New(schemaA, 1, 0))
+	out := e.Process(event.New(schemaB, 2, 0))
+	if len(out) != 0 {
+		t.Fatal("emitted before negation window closed")
+	}
+	out = e.Process(event.New(schemaC, 4, 0)) // veto: ts 4 ∈ (2, 1+5]
+	if len(out) != 0 {
+		t.Fatal("veto event completed a match")
+	}
+	if len(e.Flush()) != 0 {
+		t.Fatal("vetoed match emitted at Flush")
+	}
+
+	e2, _ := New(c, root, Config{})
+	e2.Process(event.New(schemaA, 1, 0))
+	e2.Process(event.New(schemaB, 2, 0))
+	out = e2.Process(event.New(schemaD, 100, 0)) // deadline passed, no C seen
+	if len(out) != 1 {
+		t.Fatalf("pending match not released: %d", len(out))
+	}
+}
+
+func TestKleeneLeafGroups(t *testing.T) {
+	p := pattern.And(10, pattern.E("A", "a"), pattern.KL("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	root := plan.Join(plan.LeafNode(0), plan.LeafNode(1))
+	e, err := New(c, root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaB, 3, 0),
+	}))
+	// {b1}, {b2}, {b1,b2}.
+	if len(got) != 3 {
+		t.Fatalf("got %d matches, want 3", len(got))
+	}
+}
+
+func TestStatsAndCurrentCounters(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	root := plan.Join(plan.LeafNode(0), plan.LeafNode(1))
+	e, _ := New(c, root, Config{})
+	feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaA, 2, 0),
+		event.New(schemaB, 3, 0),
+	}))
+	st := e.Stats()
+	if st.Processed != 3 || st.Matches != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 3 leaf instances + 2 root completions.
+	if st.Created != 5 {
+		t.Fatalf("Created = %d", st.Created)
+	}
+	if st.PeakPartial < 2 {
+		t.Fatalf("PeakPartial = %d", st.PeakPartial)
+	}
+}
+
+func TestSkipTillNextConsumption(t *testing.T) {
+	p := pattern.Seq(10, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	root := plan.Join(plan.LeafNode(0), plan.LeafNode(1))
+	e, _ := New(c, root, Config{Strategy: predicate.SkipTillNextMatch})
+	got := feed(t, e, stream([]*event.Event{
+		event.New(schemaA, 1, 0),
+		event.New(schemaB, 2, 0),
+		event.New(schemaB, 3, 0),
+	}))
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1 (A consumed)", len(got))
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	p := pattern.Seq(5, pattern.E("A", "a"), pattern.E("B", "b"))
+	c := compile(t, p, predicate.SkipTillAnyMatch)
+	root := plan.Join(plan.LeafNode(0), plan.LeafNode(1))
+	e, _ := New(c, root, Config{})
+	var events []*event.Event
+	events = append(events, event.New(schemaA, 1, 0))
+	for ts := event.Time(100); ts < 200; ts++ {
+		events = append(events, event.New(schemaD, ts, 0))
+	}
+	events = append(events, event.New(schemaB, 200, 0))
+	if got := feed(t, e, stream(events)); len(got) != 0 {
+		t.Fatalf("expired instance completed: %d", len(got))
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// Category names the five pattern sets of the paper's evaluation
+// (Section 7.2).
+type Category string
+
+// The five evaluated pattern categories.
+const (
+	CatSequence    Category = "sequence"
+	CatNegation    Category = "negation"
+	CatConjunction Category = "conjunction"
+	CatKleene      Category = "kleene"
+	CatDisjunction Category = "disjunction"
+)
+
+// Categories lists all five in the paper's presentation order.
+func Categories() []Category {
+	return []Category{CatSequence, CatNegation, CatConjunction, CatKleene, CatDisjunction}
+}
+
+// Pattern generates one random pattern of the category. size is the number
+// of participating positive events; for CatDisjunction the pattern is a
+// disjunction of three sequences of `size` events each, following the
+// paper's "composite patterns, consisting of a disjunction of three
+// sequences". Predicates follow the paper's recipe — roughly size/2
+// conditions comparing `difference` attributes — extended with occasional
+// `bucket` equalities to diversify selectivities into the published
+// 0.002–0.88 range.
+func (s *Stocks) Pattern(cat Category, size int, window event.Time, rng *rand.Rand) *pattern.Pattern {
+	if size < 2 {
+		panic("workload: pattern size must be at least 2")
+	}
+	switch cat {
+	case CatSequence:
+		terms, aliases := s.terms(rng, size, "e")
+		return pattern.Seq(window, terms...).Where(s.conds(rng, aliases)...)
+	case CatConjunction:
+		terms, aliases := s.terms(rng, size, "e")
+		return pattern.And(window, terms...).Where(s.conds(rng, aliases)...)
+	case CatNegation:
+		terms, aliases := s.terms(rng, size, "e")
+		// Negate one non-edge event when possible (a middle NOT is the
+		// paper's SEQ(A, NOT(B), C, D) shape).
+		at := 1
+		if size > 2 {
+			at = 1 + rng.Intn(size-2)
+		}
+		terms[at].Event.Negated = true
+		aliases = append(aliases[:at], aliases[at+1:]...)
+		return pattern.Seq(window, terms...).Where(s.conds(rng, aliases)...)
+	case CatKleene:
+		terms, aliases := s.terms(rng, size, "e")
+		terms[rng.Intn(size)].Event.Kleene = true
+		return pattern.Seq(window, terms...).Where(s.conds(rng, aliases)...)
+	case CatDisjunction:
+		var subs []pattern.Term
+		var allConds []pattern.Condition
+		for d := 0; d < 3; d++ {
+			terms, aliases := s.terms(rng, size, fmt.Sprintf("d%d_", d))
+			sub := pattern.Seq(window, terms...)
+			subs = append(subs, pattern.Sub(sub))
+			allConds = append(allConds, s.conds(rng, aliases)...)
+		}
+		return pattern.Or(window, subs...).Where(allConds...)
+	}
+	panic(fmt.Sprintf("workload: unknown category %q", cat))
+}
+
+// terms picks `size` distinct symbols and builds positive event terms.
+func (s *Stocks) terms(rng *rand.Rand, size int, prefix string) ([]pattern.Term, []string) {
+	if size > len(s.Symbols) {
+		panic("workload: pattern size exceeds symbol count")
+	}
+	picked := rng.Perm(len(s.Symbols))[:size]
+	terms := make([]pattern.Term, size)
+	aliases := make([]string, size)
+	for i, idx := range picked {
+		alias := fmt.Sprintf("%s%d", prefix, i)
+		terms[i] = pattern.E(s.Symbols[idx], alias)
+		aliases[i] = alias
+	}
+	return terms, aliases
+}
+
+// conds builds roughly len(aliases)/2 pairwise predicates over distinct
+// alias pairs.
+func (s *Stocks) conds(rng *rand.Rand, aliases []string) []pattern.Condition {
+	n := len(aliases)
+	want := n / 2
+	if want == 0 {
+		return nil
+	}
+	var out []pattern.Condition
+	tried := 0
+	for len(out) < want && tried < 10*want {
+		tried++
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0, 1: // the paper's "m.difference < g.difference" (sel ≈ 0.5)
+			out = append(out, pattern.AttrCmp(aliases[i], AttrDifference, pattern.Lt, aliases[j], AttrDifference))
+		case 2: // bucket equality (sel ≈ 1/Buckets)
+			out = append(out, pattern.AttrCmp(aliases[i], AttrBucket, pattern.Eq, aliases[j], AttrBucket))
+		case 3: // bucket inequality (sel ≈ 0.45)
+			out = append(out, pattern.AttrCmp(aliases[i], AttrBucket, pattern.Lt, aliases[j], AttrBucket))
+		}
+	}
+	return out
+}
+
+// ChainConjunction builds a conjunction whose query graph is a chain:
+// consecutive events linked by one `difference` comparison each. Chain
+// graphs are the acyclic topology Section 4.3's polynomial algorithms
+// target, so this generator feeds the KBZ extension experiments.
+func (s *Stocks) ChainConjunction(size int, window event.Time, rng *rand.Rand) *pattern.Pattern {
+	terms, aliases := s.terms(rng, size, "e")
+	p := pattern.And(window, terms...)
+	for i := 0; i+1 < len(aliases); i++ {
+		p.Conds = append(p.Conds,
+			pattern.AttrCmp(aliases[i], AttrDifference, pattern.Lt, aliases[i+1], AttrDifference))
+	}
+	return p
+}
+
+// PatternSet generates `perSize` patterns for every size in sizes,
+// deterministic in the seed.
+func (s *Stocks) PatternSet(cat Category, sizes []int, perSize int, window event.Time, seed int64) []*pattern.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*pattern.Pattern
+	for _, size := range sizes {
+		for k := 0; k < perSize; k++ {
+			out = append(out, s.Pattern(cat, size, window, rng))
+		}
+	}
+	return out
+}

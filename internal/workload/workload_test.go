@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+func TestNewStocksDeterministic(t *testing.T) {
+	a := NewStocks(StockConfig{Symbols: 10, Seed: 42})
+	b := NewStocks(StockConfig{Symbols: 10, Seed: 42})
+	for _, sym := range a.Symbols {
+		if a.Rates[sym] != b.Rates[sym] {
+			t.Fatalf("rates differ for %s", sym)
+		}
+	}
+	c := NewStocks(StockConfig{Symbols: 10, Seed: 43})
+	same := true
+	for _, sym := range a.Symbols {
+		if a.Rates[sym] != c.Rates[sym] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical rates")
+	}
+}
+
+func TestRatesWithinPublishedRange(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 50, MinRate: 1, MaxRate: 45, Seed: 7})
+	for sym, r := range s.Rates {
+		if r < 1 || r > 45 {
+			t.Fatalf("%s rate %g outside [1,45]", sym, r)
+		}
+	}
+}
+
+func TestGenerateStreamProperties(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 8, Events: 5000, Seed: 11})
+	events := s.Generate()
+	if len(events) != 5000 {
+		t.Fatalf("generated %d events, want 5000", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("stream disordered at %d", i)
+		}
+		if events[i].Serial != events[i-1].Serial+1 {
+			t.Fatalf("serials not stamped at %d", i)
+		}
+	}
+	// difference must equal the actual price delta per symbol.
+	lastPrice := map[string]float64{}
+	for _, e := range events {
+		price := e.MustAttr(AttrPrice)
+		diff := e.MustAttr(AttrDifference)
+		if prev, ok := lastPrice[e.Type]; ok {
+			// price was clamped at 1, so allow the clamp case through
+			if math.Abs((prev+diff)-price) > 1e-9 && price != 1 {
+				t.Fatalf("difference inconsistent for %s: %g + %g != %g", e.Type, prev, diff, price)
+			}
+		}
+		lastPrice[e.Type] = price
+		b := e.MustAttr(AttrBucket)
+		if b < 0 || b > 9 || b != math.Floor(b) {
+			t.Fatalf("bucket out of range: %g", b)
+		}
+	}
+}
+
+func TestGeneratedRatesMatchMeasured(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 6, Events: 30000, Seed: 13})
+	events := s.Generate()
+	st := stats.Measure(events, nil, nil)
+	for _, sym := range s.Symbols {
+		want := s.Rates[sym]
+		got := st.Rate(sym)
+		if got < want*0.7 || got > want*1.3 {
+			t.Fatalf("%s: measured rate %g, assigned %g", sym, got, want)
+		}
+	}
+}
+
+func TestPatternCategories(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 30, Seed: 5})
+	rng := rand.New(rand.NewSource(1))
+	w := 10 * event.Second
+	for _, cat := range Categories() {
+		for size := 3; size <= 7; size++ {
+			p := s.Pattern(cat, size, w, rng)
+			if err := p.Validate(s.Registry); err != nil {
+				t.Fatalf("%s size %d: %v (%s)", cat, size, err, p)
+			}
+			switch cat {
+			case CatSequence:
+				if p.Op != pattern.OpSeq || p.Size() != size {
+					t.Fatalf("%s: %s", cat, p)
+				}
+			case CatConjunction:
+				if p.Op != pattern.OpAnd || p.Size() != size {
+					t.Fatalf("%s: %s", cat, p)
+				}
+			case CatNegation:
+				if len(p.Negatives()) != 1 || len(p.Positives()) != size-1 {
+					t.Fatalf("%s: %s", cat, p)
+				}
+			case CatKleene:
+				kl := 0
+				for _, term := range p.Terms {
+					if term.Event.Kleene {
+						kl++
+					}
+				}
+				if kl != 1 {
+					t.Fatalf("%s: %s", cat, p)
+				}
+			case CatDisjunction:
+				if p.Op != pattern.OpOr || len(p.Terms) != 3 || p.Size() != 3*size {
+					t.Fatalf("%s: %s", cat, p)
+				}
+			}
+			// Roughly size/2 predicates, as in the paper.
+			if cat != CatDisjunction && len(p.Conds) > size {
+				t.Fatalf("%s size %d: %d conds", cat, size, len(p.Conds))
+			}
+		}
+	}
+}
+
+func TestPatternSetDeterministic(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 30, Seed: 5})
+	a := s.PatternSet(CatSequence, []int{3, 4}, 2, event.Second, 99)
+	b := s.PatternSet(CatSequence, []int{3, 4}, 2, event.Second, 99)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("set sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("pattern %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSelectivitySpread(t *testing.T) {
+	// The predicate mix must produce a wide selectivity range, echoing the
+	// paper's 0.002–0.88.
+	s := NewStocks(StockConfig{Symbols: 12, Events: 20000, Seed: 3})
+	events := s.Generate()
+	rng := rand.New(rand.NewSource(2))
+	var min, max float64 = 1, 0
+	for k := 0; k < 20; k++ {
+		p := s.Pattern(CatConjunction, 4, 10*event.Second, rng)
+		st := stats.MeasurePattern(events, p)
+		for _, c := range p.Conds {
+			sel := st.Selectivity(c)
+			if sel < min {
+				min = sel
+			}
+			if sel > max {
+				max = sel
+			}
+		}
+	}
+	if min > 0.3 || max < 0.4 {
+		t.Fatalf("selectivity spread too narrow: [%g, %g]", min, max)
+	}
+}
+
+func TestPartitionAssignment(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 6, Events: 2000, Seed: 17, Partitions: 3})
+	events := s.Generate()
+	symIdx := map[string]int{}
+	for i, sym := range s.Symbols {
+		symIdx[sym] = i
+	}
+	seen := map[int]bool{}
+	for _, e := range events {
+		want := symIdx[e.Type] % 3
+		if e.Partition != want {
+			t.Fatalf("%s partition = %d, want %d", e.Type, e.Partition, want)
+		}
+		seen[e.Partition] = true
+		if e.PSerial == 0 {
+			t.Fatal("per-partition serials not stamped")
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("partitions used = %d", len(seen))
+	}
+}
+
+func TestChainConjunctionTopology(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 20, Seed: 5})
+	rng := rand.New(rand.NewSource(1))
+	p := s.ChainConjunction(6, 10*event.Second, rng)
+	if err := p.Validate(s.Registry); err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != pattern.OpAnd || len(p.Conds) != 5 {
+		t.Fatalf("pattern = %s", p)
+	}
+}
+
+func TestResetStream(t *testing.T) {
+	s := NewStocks(StockConfig{Symbols: 4, Events: 100, Seed: 1})
+	events := s.Generate()
+	events[0].Consume()
+	events = ResetStream(events)
+	if events[0].Consumed() {
+		t.Fatal("consumption not cleared")
+	}
+}

@@ -1,0 +1,37 @@
+package cep
+
+import (
+	"io"
+
+	"repro/internal/ingest"
+	"repro/internal/stats"
+)
+
+// CSVOptions configures ReadCSV; see the field documentation in
+// internal/ingest. Zero values select the "type"/"ts" column conventions.
+type CSVOptions = ingest.CSVOptions
+
+// ReadCSV ingests a headered CSV stream of events validated against the
+// registry: one row per event, a type column, a millisecond timestamp
+// column, and one column per schema attribute.
+func ReadCSV(r io.Reader, reg *Registry, opts CSVOptions) ([]*Event, error) {
+	return ingest.ReadCSV(r, reg, opts)
+}
+
+// ReadJSONL ingests newline-delimited JSON events:
+// {"type":"Stock","ts":1000,"attrs":{"price":99.5}}.
+func ReadJSONL(r io.Reader, reg *Registry) ([]*Event, error) {
+	return ingest.ReadJSONL(r, reg)
+}
+
+// WriteJSONL renders events in the ReadJSONL wire format.
+func WriteJSONL(w io.Writer, events []*Event) error {
+	return ingest.WriteJSONL(w, events)
+}
+
+// SaveStats persists measured statistics as JSON so an expensive offline
+// measurement pass can be reused across runs.
+func SaveStats(w io.Writer, s *Stats) error { return s.Save(w) }
+
+// LoadStats reads statistics previously written by SaveStats.
+func LoadStats(r io.Reader) (*Stats, error) { return stats.Load(r) }

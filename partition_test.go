@@ -1,0 +1,156 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func workloadStocks() *workload.Stocks {
+	return workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 3000, Seed: 41, MinRate: 1, MaxRate: 4, Partitions: 2,
+	})
+}
+
+func partitionedEvents() []*Event {
+	// Two partitions: matches must not mix them. A full match exists in
+	// partition 1 and in partition 2, plus a cross-partition combination
+	// that must NOT match.
+	evs := []*Event{
+		NewEvent(loginSchema, 1000, 1),
+		NewEvent(tradeSchema, 2000, 1, 900),
+		NewEvent(loginSchema, 2500, 2),
+		NewEvent(alertSchema, 3000, 1),
+		NewEvent(tradeSchema, 3500, 2, 800),
+		NewEvent(alertSchema, 4000, 2),
+	}
+	evs[0].Partition, evs[1].Partition, evs[3].Partition = 1, 1, 1
+	evs[2].Partition, evs[4].Partition, evs[5].Partition = 2, 2, 2
+	return Stamp(evs)
+}
+
+func TestPartitionedRuntimeIsolatesPartitions(t *testing.T) {
+	// Same-user predicate removed so that only partitioning separates the
+	// streams: without isolation there would be cross-partition matches.
+	p, err := ParsePattern(`PATTERN SEQ(Login l, Trade t, Alert a) WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPartitioned(p, nil, nil, WithAlgorithm(AlgGreedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ev := range partitionedEvents() {
+		ms, err := pr.Process(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ms)
+	}
+	total += len(pr.Flush())
+	// Partition 1: L@1000 T@2000 A@3000 → 1. Partition 2: L@2500 T@3500
+	// A@4000 → 1. Cross-partition sequences are excluded by construction.
+	if total != 2 {
+		t.Fatalf("got %d matches, want 2", total)
+	}
+	if pr.Matches() != 2 {
+		t.Fatalf("Matches() = %d", pr.Matches())
+	}
+	if got := len(pr.Partitions()); got != 2 {
+		t.Fatalf("Partitions() = %d", got)
+	}
+}
+
+func TestPartitionedRuntimePerPartitionPlans(t *testing.T) {
+	p, err := ParsePattern(`PATTERN SEQ(Login l, Trade t, Alert a) WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 1: Alert is rare → plan starts with a. Partition 2: Login
+	// is rare → plan starts with l.
+	st1, st2 := NewStats(), NewStats()
+	st1.SetRate("Login", 10)
+	st1.SetRate("Trade", 10)
+	st1.SetRate("Alert", 0.01)
+	st2.SetRate("Login", 0.01)
+	st2.SetRate("Trade", 10)
+	st2.SetRate("Alert", 10)
+	pr, err := NewPartitioned(p, nil, map[int]*Stats{1: st1, 2: st2},
+		WithAlgorithm(AlgDPLD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range partitionedEvents() {
+		if _, err := pr.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(pr.PlanFor(1), "[a ") {
+		t.Fatalf("partition 1 plan = %s", pr.PlanFor(1))
+	}
+	if !strings.Contains(pr.PlanFor(2), "[l ") {
+		t.Fatalf("partition 2 plan = %s", pr.PlanFor(2))
+	}
+	if pr.PlanFor(99) != "" {
+		t.Fatal("unseen partition should have no plan")
+	}
+}
+
+func TestPartitionedRuntimeFlushGuard(t *testing.T) {
+	p, _ := ParsePattern(`PATTERN SEQ(Login l, Trade t) WITHIN 1 s`)
+	pr, err := NewPartitioned(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Flush()
+	if _, err := pr.Process(NewEvent(loginSchema, 1, 1)); err == nil {
+		t.Fatal("Process after Flush should fail")
+	}
+}
+
+func TestPartitionedRuntimeOverWorkload(t *testing.T) {
+	// End-to-end: a partitioned stock stream, one runtime per partition,
+	// total matches equal the sum of per-partition independent runs.
+	stocks := workloadStocks()
+	events := stocks.Generate()
+	src := `PATTERN SEQ(S000 a, S001 b) WHERE a.difference < b.difference WITHIN 2 s`
+	p, err := ParsePatternWith(src, stocks.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPartitioned(p, Measure(events, p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, err := pr.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr.Flush()
+	// Reference: filter events per partition and run plain runtimes.
+	var want int64
+	parts := map[int][]*Event{}
+	for _, ev := range events {
+		parts[ev.Partition] = append(parts[ev.Partition], ev)
+	}
+	for _, evs := range parts {
+		rt, err := New(p, Measure(events, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += int64(len(rt.ProcessAll(Stamp(evs))))
+	}
+	if pr.Matches() != want {
+		t.Fatalf("partitioned matches = %d, per-partition reference = %d", pr.Matches(), want)
+	}
+}
+
+func TestPartitionedRuntimeBadAlgorithm(t *testing.T) {
+	p, _ := ParsePattern(`PATTERN SEQ(Login l, Trade t) WITHIN 1 s`)
+	if _, err := NewPartitioned(p, nil, nil, WithAlgorithm("NOPE")); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}

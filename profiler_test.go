@@ -1,0 +1,64 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProfiledLatencyAnchor exercises the Section 6.1 output profiler end
+// to end: for a conjunction (whose temporally last event is unknown a
+// priori), replaying history reveals that Alert always arrives last, and a
+// latency-dominated plan must then process Alert last.
+func TestProfiledLatencyAnchor(t *testing.T) {
+	p, err := ParsePattern(`PATTERN AND(Login l, Trade t, Alert a)
+	                        WHERE l.user = t.user AND t.user = a.user
+	                        WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// History in which the Alert is always the temporally last event.
+	var history []*Event
+	base := Time(0)
+	for i := 0; i < 20; i++ {
+		u := float64(i)
+		history = append(history,
+			NewEvent(loginSchema, base+1000, u),
+			NewEvent(tradeSchema, base+2000, u, 100),
+			NewEvent(alertSchema, base+3000, u),
+		)
+		base += 20_000
+	}
+	history = Stamp(history)
+	st := Measure(history, p)
+	// Make Alert statistically rare so the throughput-only plan would put
+	// it first — the profiler must override that for latency.
+	st.SetRate("Alert", 0.01)
+	st.SetRate("Login", 10)
+	st.SetRate("Trade", 10)
+
+	noProfile, err := New(p, st, WithAlgorithm(AlgDPLD), WithLatencyWeight(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without a profiler, conjunctions have no anchor: the latency term is
+	// disabled and the rare Alert is processed first.
+	if !strings.Contains(noProfile.Describe(), "[a ") {
+		t.Fatalf("unprofiled plan = %s", noProfile.Describe())
+	}
+
+	profiled, err := New(p, st,
+		WithAlgorithm(AlgDPLD),
+		WithLatencyWeight(1e9),
+		WithProfiledLatencyAnchor(history),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(profiled.Describe(), " a]") {
+		t.Fatalf("profiled plan should end with the Alert: %s", profiled.Describe())
+	}
+	// Matching still works.
+	if got := len(profiled.ProcessAll(Stamp(history))); got != 20 {
+		t.Fatalf("profiled runtime found %d matches, want 20", got)
+	}
+}
