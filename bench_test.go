@@ -6,6 +6,7 @@ package cep
 // per iteration; use cmd/cepbench for full-size tables.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -167,6 +168,114 @@ func BenchmarkTreeProcess(b *testing.B) {
 		e.Flush()
 	}
 	b.SetBytes(int64(len(events)))
+}
+
+// --- sharded runtime benchmarks ---
+
+var (
+	shardBenchOnce   sync.Once
+	shardBenchEvents []*Event
+	shardBenchP      *Pattern
+	shardBenchStats  *Stats
+)
+
+// shardBench shares one partitioned workload across the sharded benchmarks.
+func shardBench(b *testing.B) ([]*Event, *Pattern, *Stats) {
+	shardBenchOnce.Do(func() {
+		shardBenchEvents, shardBenchP, shardBenchStats = shardWorkload(b, 20000, 32)
+	})
+	return shardBenchEvents, shardBenchP, shardBenchStats
+}
+
+// BenchmarkPartitionedSequential is the single-goroutine baseline the
+// sharded runtime is measured against: the same partitioned stream through
+// the sequential PartitionedRuntime.
+func BenchmarkPartitionedSequential(b *testing.B) {
+	events, p, st := shardBench(b)
+	b.SetBytes(int64(len(events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := NewPartitioned(p, st, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range events {
+			if _, err := pr.Process(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pr.Flush()
+	}
+}
+
+// BenchmarkShardedThroughput measures the sharded runtime at doubling
+// worker counts (compare ns/op against BenchmarkPartitionedSequential; the
+// speedup materialises with GOMAXPROCS >= workers). Bytes/s is events/s.
+func BenchmarkShardedThroughput(b *testing.B) {
+	events, p, st := shardBench(b)
+	workers := []int{1, 2, 4, 8}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(events)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sr, err := NewSharded(p, st, nil, ShardConfig{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sr.Start(); err != nil {
+					b.Fatal(err)
+				}
+				const batch = 512
+				for j := 0; j < len(events); j += batch {
+					end := j + batch
+					if end > len(events) {
+						end = len(events)
+					}
+					if err := sr.SubmitBatch(events[j:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := sr.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSubmit isolates the routing and queueing overhead of the
+// submission path: one worker, one event per call, and an event type that
+// no pattern term accepts, so the engine contributes only its type filter.
+// Resubmitting the same event keeps timestamps trivially non-decreasing.
+func BenchmarkShardedSubmit(b *testing.B) {
+	events, p, st := shardBench(b)
+	var ev *Event
+	for _, e := range events {
+		if e.Type == "S007" { // not a term of the benchmark pattern
+			ev = e
+			break
+		}
+	}
+	if ev == nil {
+		b.Fatal("no S007 event in workload")
+	}
+	sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 1, QueueLen: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sr.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sr.Submit(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sr.Close()
 }
 
 // BenchmarkPlannerAlgorithms times full planning (stats assembly included)

@@ -11,17 +11,25 @@
 // 6–15 throughput/memory by pattern size per category; 16 cost-model
 // validation; 17 large-pattern plan quality and planning time; 18
 // throughput/latency trade-off; 19 selection strategies.
+//
+// Beyond the paper, `cepbench -fig shard` measures the sharded concurrent
+// runtime: events/second versus worker count on a bucket-partitioned stock
+// stream, against the sequential PartitionedRuntime baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
+	cep "repro"
 	"repro/internal/event"
 	"repro/internal/harness"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -35,8 +43,18 @@ func main() {
 		maxSize  = flag.Int("maxsize", 7, "largest pattern size for execution figures")
 		dpldCap  = flag.Int("dpld-cap", 18, "largest pattern size planned with DP-LD in Fig 17")
 		dpbCap   = flag.Int("dpb-cap", 14, "largest pattern size planned with DP-B in Fig 17")
+		shardGen = flag.Int("shard-events", 200000, "events in the sharded-throughput stream (-fig shard)")
+		shardPar = flag.Int("shard-partitions", 64, "partitions in the sharded-throughput stream (-fig shard)")
 	)
 	flag.Parse()
+
+	if *fig == "shard" {
+		if err := runShardScenario(*symbols, *shardGen, *shardPar, event.Time(*windowMS), *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: shard scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := make([]int, 0, *maxSize-2)
 	for s := 3; s <= *maxSize; s++ {
@@ -73,7 +91,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19 or 'all' or 'ext')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext' or 'shard')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}
@@ -90,4 +108,110 @@ func main() {
 		}
 		fmt.Printf("(figure %d computed in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runShardScenario measures the sharded runtime's scaling: one pattern over
+// a bucket-partitioned stock stream, detected sequentially by
+// PartitionedRuntime and then by ShardedRuntime at doubling worker counts.
+// Every run must reproduce the sequential match count — the table is also a
+// correctness check.
+func runShardScenario(symbols, events, partitions int, window event.Time, seed int64) error {
+	if symbols < 3 {
+		return fmt.Errorf("-symbols must be at least 3 (the scenario pattern spans three symbols), got %d", symbols)
+	}
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: symbols, Events: events, Seed: seed, MinRate: 1, MaxRate: 45,
+		Partitions: partitions, PartitionBy: workload.PartitionByBucket, Buckets: partitions,
+	})
+	stream := stocks.Generate()
+	// The pattern compares `difference` attributes only: partitioning is by
+	// bucket, so all events of one partition share a bucket value and any
+	// bucket predicate would degenerate to constant true/false.
+	rng := rand.New(rand.NewSource(seed + 17))
+	syms := rng.Perm(symbols)[:3]
+	src := fmt.Sprintf(
+		`PATTERN SEQ(S%03d e0, S%03d e1, S%03d e2) WHERE e0.difference < e1.difference WITHIN %d ms`,
+		syms[0], syms[1], syms[2], window)
+	p, err := cep.ParsePatternWith(src, stocks.Registry)
+	if err != nil {
+		return err
+	}
+	st := cep.Measure(stream, p)
+	fmt.Printf("shard scenario: %d events, %d partitions, window %dms, pattern %s\n\n",
+		len(stream), partitions, window, p)
+
+	// Sequential baseline.
+	pr, err := cep.NewPartitioned(p, st, nil)
+	if err != nil {
+		return err
+	}
+	maxWorkers := runtime.NumCPU()
+	if maxWorkers < 8 {
+		maxWorkers = 8 // show the scaling curve even on small machines
+	}
+	workerCounts := []int{}
+	for w := 1; w <= maxWorkers; w *= 2 {
+		workerCounts = append(workerCounts, w)
+	}
+	if last := workerCounts[len(workerCounts)-1]; last != maxWorkers {
+		workerCounts = append(workerCounts, maxWorkers) // e.g. 12 cores: 1 2 4 8 12
+	}
+	start := time.Now()
+	for _, ev := range stream {
+		if _, err := pr.Process(ev); err != nil {
+			return err
+		}
+	}
+	pr.Flush()
+	seqElapsed := time.Since(start)
+	seqRate := float64(len(stream)) / seqElapsed.Seconds()
+
+	table := harness.Table{
+		Title:   "Sharded runtime throughput (events/s) vs worker count",
+		Columns: []string{"workers", "events/s", "speedup", "matches", "stalls", "elapsed"},
+		Rows: [][]string{{
+			"seq", fmt.Sprintf("%.0f", seqRate), "1.00",
+			fmt.Sprint(pr.Matches()), "-", seqElapsed.Round(time.Millisecond).String(),
+		}},
+	}
+	for _, w := range workerCounts {
+		evs := workload.ResetStream(stream)
+		sr, err := cep.NewSharded(p, st, nil, cep.ShardConfig{Workers: w})
+		if err != nil {
+			return err
+		}
+		if err := sr.Start(); err != nil {
+			return err
+		}
+		start := time.Now()
+		const batch = 512
+		for i := 0; i < len(evs); i += batch {
+			end := i + batch
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if err := sr.SubmitBatch(evs[i:end]); err != nil {
+				return err
+			}
+		}
+		if _, err := sr.Close(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		rate := float64(len(evs)) / elapsed.Seconds()
+		var stalls int64
+		for _, s := range sr.Stats() {
+			stalls += s.Stalls
+		}
+		matches := fmt.Sprint(sr.Matches())
+		if sr.Matches() != pr.Matches() {
+			matches += " (MISMATCH vs sequential!)"
+		}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(w), fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.2f", rate/seqRate),
+			matches, fmt.Sprint(stalls), elapsed.Round(time.Millisecond).String(),
+		})
+	}
+	table.Fprint(os.Stdout)
+	return nil
 }

@@ -3,35 +3,83 @@ package cep
 import "sync"
 
 // Fleet runs several independent pattern runtimes concurrently over one
-// stream: each runtime receives every event on its own channel and is
-// driven by its own goroutine (engines are single-goroutine machines, so
+// stream: each runtime receives every event on its own bounded channel and
+// is driven by its own goroutine (engines are single-goroutine machines, so
 // the fleet is the concurrency boundary). This is the typical deployment
-// shape of a CEP service monitoring many patterns against one feed.
+// shape of a CEP service monitoring many patterns against one feed. For
+// scaling one pattern across partitions of a feed, use ShardedRuntime
+// instead.
 type Fleet struct {
 	runtimes []*Runtime
+	queueLen int
 }
 
 // NewFleet groups runtimes. The fleet takes ownership: drive the runtimes
 // through the fleet only.
 func NewFleet(runtimes ...*Runtime) *Fleet {
-	return &Fleet{runtimes: runtimes}
+	return &Fleet{runtimes: runtimes, queueLen: 256}
+}
+
+// SetQueueLen sets the per-runtime channel capacity (default 256) and
+// returns the fleet for chaining. The bound is the fleet's back-pressure
+// mechanism: once the slowest runtime falls that many events behind, the
+// broadcaster blocks instead of buffering the stream in memory.
+func (f *Fleet) SetQueueLen(n int) *Fleet {
+	if n > 0 {
+		f.queueLen = n
+	}
+	return f
 }
 
 // Size returns the number of runtimes.
 func (f *Fleet) Size() int { return len(f.runtimes) }
 
-// Run feeds the (timestamp-ordered) events to every runtime concurrently
-// and returns the matches per runtime, in fleet order, including flushed
-// pendings.
+// Run feeds the (timestamp-ordered, serial-stamped) events to every runtime
+// concurrently and returns the matches per runtime, in fleet order,
+// including flushed pendings.
 //
 // Caution: under SkipTillNextMatch the runtimes share consumption marks on
 // the events; concurrent fleets should use skip-till-any or disjoint event
 // slices per runtime.
 func (f *Fleet) Run(events []*Event) [][]*Match {
+	i := 0
+	return f.run(func() *Event {
+		if i >= len(events) {
+			return nil
+		}
+		e := events[i]
+		if e == nil {
+			// nil means end-of-stream to the broadcaster; a hole in the
+			// slice must fail loudly, not silently truncate the run.
+			panic("cep: nil event in Fleet.Run slice")
+		}
+		i++
+		return e
+	})
+}
+
+// RunStream drains an event source through every runtime concurrently and
+// returns the matches per runtime, in fleet order, including flushed
+// pendings. Events are pulled at the pace of the slowest runtime once its
+// queue fills (back-pressure), so an unbounded source is processed in
+// bounded memory. The SkipTillNextMatch caveat of Run applies.
+func (f *Fleet) RunStream(src EventSource) [][]*Match {
+	return f.run(src.Next)
+}
+
+// run broadcasts the pulled events to one bounded channel per runtime from
+// a single goroutine; a full channel blocks the broadcast, which is the
+// back-pressure bound on how far ahead of the slowest runtime the stream
+// can run.
+func (f *Fleet) run(next func() *Event) [][]*Match {
+	if len(f.runtimes) == 0 {
+		return nil // nothing consumes, so don't drain the source
+	}
 	results := make([][]*Match, len(f.runtimes))
+	feeds := make([]chan *Event, len(f.runtimes))
 	var wg sync.WaitGroup
 	for i, rt := range f.runtimes {
-		feed := make(chan *Event, 256)
+		feeds[i] = make(chan *Event, f.queueLen)
 		wg.Add(1)
 		go func(i int, rt *Runtime, feed <-chan *Event) {
 			defer wg.Done()
@@ -40,13 +88,15 @@ func (f *Fleet) Run(events []*Event) [][]*Match {
 				out = append(out, rt.Process(e)...)
 			}
 			results[i] = append(out, rt.Flush()...)
-		}(i, rt, feed)
-		go func(feed chan<- *Event) {
-			for _, e := range events {
-				feed <- e
-			}
-			close(feed)
-		}(feed)
+		}(i, rt, feeds[i])
+	}
+	for e := next(); e != nil; e = next() {
+		for _, feed := range feeds {
+			feed <- e
+		}
+	}
+	for _, feed := range feeds {
+		close(feed)
 	}
 	wg.Wait()
 	return results

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -115,5 +116,75 @@ func TestReadJSONLErrors(t *testing.T) {
 	}
 	if _, err := ReadJSONL(strings.NewReader(`{bad json`), registry()); err == nil {
 		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestAssignPartitions(t *testing.T) {
+	reg := registry()
+	stock, _ := reg.Lookup("Stock")
+	var evs []*event.Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, event.New(stock, event.Time(i), float64(i%7), 1))
+	}
+	out, err := AssignPartitions(evs, "price", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[float64]int{}
+	seen := map[int]bool{}
+	for _, e := range out {
+		p := e.Partition
+		if p < 0 || p >= 4 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		key := e.MustAttr("price")
+		if prev, ok := byKey[key]; ok && prev != p {
+			t.Fatalf("key %v split across partitions %d and %d", key, prev, p)
+		}
+		byKey[key] = p
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only %d partitions used", len(seen))
+	}
+	if out[99].PSerial == 0 {
+		t.Fatal("per-partition serials not restamped")
+	}
+	if _, err := AssignPartitions(evs, "nope", 4); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := AssignPartitions(evs, "price", 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}
+
+func TestAssignPartitionsNegativeZero(t *testing.T) {
+	reg := registry()
+	stock, _ := reg.Lookup("Stock")
+	neg := math.Copysign(0, -1)
+	evs := []*event.Event{
+		event.New(stock, 1, 0.0, 1),
+		event.New(stock, 2, neg, 1),
+	}
+	out, err := AssignPartitions(evs, "price", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -0.0 == 0.0 under every predicate, so the keys must co-locate.
+	if out[0].Partition != out[1].Partition {
+		t.Fatalf("0.0 in partition %d but -0.0 in partition %d", out[0].Partition, out[1].Partition)
+	}
+}
+
+func TestAssignPartitionsUnsortedInput(t *testing.T) {
+	reg := registry()
+	stock, _ := reg.Lookup("Stock")
+	evs := []*event.Event{
+		event.New(stock, 5, 1, 1),
+		event.New(stock, 2, 2, 1),
+	}
+	if _, err := AssignPartitions(evs, "price", 4); err == nil ||
+		!strings.Contains(err.Error(), "timestamp order") {
+		t.Fatalf("err = %v, want timestamp-order error", err)
 	}
 }

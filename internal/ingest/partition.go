@@ -1,0 +1,62 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/event"
+)
+
+// AssignPartitions sets each event's partition id to a hash of the named
+// attribute, modulo parts. It is the bridge between unpartitioned feeds and
+// the partitioned/sharded runtimes: events agreeing on the key land in the
+// same partition, so every match over that key survives partition-local
+// detection. The events must be timestamp-ordered; they are restamped
+// (global and per-partition serials) after assignment, and the slice is
+// modified in place and returned.
+func AssignPartitions(events []*event.Event, attr string, parts int) ([]*event.Event, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("ingest: partition count must be positive, got %d", parts)
+	}
+	// Validate everything before mutating, so an error leaves the slice
+	// exactly as it was handed in.
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			return nil, fmt.Errorf("ingest: events out of timestamp order at record %d", i+1)
+		}
+	}
+	for i, ev := range events {
+		if _, ok := ev.Attr(attr); !ok {
+			return nil, fmt.Errorf("ingest: event %d (type %q) has no attribute %q", i+1, ev.Type, attr)
+		}
+	}
+	for _, ev := range events {
+		v, _ := ev.Attr(attr)
+		ev.Partition = partitionOf(v, parts)
+	}
+	// Order was validated above; restamp in place (same 1-based numbering
+	// as event.SliceStream) without another validation pass.
+	pserials := make(map[int]int64)
+	for i, ev := range events {
+		ev.Serial = int64(i + 1)
+		pserials[ev.Partition]++
+		ev.PSerial = pserials[ev.Partition]
+	}
+	return events, nil
+}
+
+// partitionOf hashes an attribute value onto [0, parts). The value's bit
+// pattern is mixed (splitmix64 finalizer) so that small consecutive integer
+// keys still spread across partitions.
+func partitionOf(v float64, parts int) int {
+	if v == 0 {
+		v = 0 // collapse -0.0 onto +0.0: they compare equal, so they must co-locate
+	}
+	h := math.Float64bits(v)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int(h % uint64(parts))
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import "sync/atomic"
+
+// ShardCounters instruments one shard (worker) of a sharded runtime. All
+// fields are atomics: the owning worker goroutine increments them while any
+// other goroutine snapshots them, so a live dashboard never blocks the hot
+// path.
+type ShardCounters struct {
+	events     atomic.Int64
+	batches    atomic.Int64
+	matches    atomic.Int64
+	stalls     atomic.Int64
+	partitions atomic.Int64
+}
+
+// AddEvents records n events routed to the shard.
+func (c *ShardCounters) AddEvents(n int) { c.events.Add(int64(n)) }
+
+// AddBatch records one batch submission to the shard.
+func (c *ShardCounters) AddBatch() { c.batches.Add(1) }
+
+// AddMatches records n matches emitted by the shard.
+func (c *ShardCounters) AddMatches(n int) { c.matches.Add(int64(n)) }
+
+// AddStall records one back-pressure stall: a submission that found the
+// shard's queue full and had to block.
+func (c *ShardCounters) AddStall() { c.stalls.Add(1) }
+
+// SetPartitions records the number of partitions the shard currently owns.
+func (c *ShardCounters) SetPartitions(n int) { c.partitions.Store(int64(n)) }
+
+// ShardSnapshot is a point-in-time copy of one shard's counters.
+type ShardSnapshot struct {
+	// Shard is the shard (worker) index.
+	Shard int
+	// Events is the number of events the shard has accepted.
+	Events int64
+	// Batches is the number of batch submissions the shard has accepted.
+	Batches int64
+	// Matches is the number of matches the shard has emitted.
+	Matches int64
+	// Stalls counts submissions that found the shard's queue full and
+	// blocked — the back-pressure signal. A consistently stalling shard is
+	// either overloaded (add workers) or skewed (repartition the keys).
+	Stalls int64
+	// Partitions is the number of distinct partitions routed to the shard.
+	Partitions int64
+}
+
+// Snapshot copies the counters.
+func (c *ShardCounters) Snapshot(shard int) ShardSnapshot {
+	return ShardSnapshot{
+		Shard:      shard,
+		Events:     c.events.Load(),
+		Batches:    c.batches.Load(),
+		Matches:    c.matches.Load(),
+		Stalls:     c.stalls.Load(),
+		Partitions: c.partitions.Load(),
+	}
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardCountersSnapshot(t *testing.T) {
+	var c ShardCounters
+	c.AddEvents(3)
+	c.AddBatch()
+	c.AddMatches(2)
+	c.AddStall()
+	c.SetPartitions(4)
+	s := c.Snapshot(7)
+	want := ShardSnapshot{Shard: 7, Events: 3, Batches: 1, Matches: 2, Stalls: 1, Partitions: 4}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestShardCountersConcurrent(t *testing.T) {
+	// One writer per counter plus a snapshotting reader; run under -race.
+	var c ShardCounters
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			c.AddEvents(1)
+			c.AddMatches(1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			c.Snapshot(0)
+		}
+	}()
+	wg.Wait()
+	if s := c.Snapshot(1); s.Events != n || s.Matches != n {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

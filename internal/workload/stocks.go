@@ -31,11 +31,29 @@ type StockConfig struct {
 	Volatility float64 // price-step standard deviation; default 1.0
 	Buckets    int     // number of price buckets for equality predicates; default 10
 	Seed       int64   // RNG seed; default 1
-	// Partitions > 0 assigns each symbol's events to partition
-	// symbolIndex % Partitions (e.g. exchanges or shards), enabling the
-	// partition-contiguity strategy and per-partition planning.
+	// Partitions > 0 assigns each event a partition id per PartitionBy,
+	// enabling the partition-contiguity strategy, per-partition planning and
+	// sharded execution.
 	Partitions int
+	// PartitionBy selects the partitioning scheme when Partitions > 0.
+	PartitionBy PartitionScheme
 }
+
+// PartitionScheme selects how generated events map to partitions.
+type PartitionScheme int
+
+const (
+	// PartitionBySymbol assigns each symbol's events to partition
+	// symbolIndex % Partitions (e.g. exchanges or shards). Patterns over
+	// symbols from different residue classes never match, because matches
+	// do not span partitions.
+	PartitionBySymbol PartitionScheme = iota
+	// PartitionByBucket assigns each event to partition bucket % Partitions,
+	// co-locating every symbol in every partition: any pattern can match in
+	// any partition, which is the workload shape for sharded-throughput
+	// experiments. Set Buckets >= Partitions for full coverage.
+	PartitionByBucket
+)
 
 func (c StockConfig) withDefaults() StockConfig {
 	if c.Symbols <= 0 {
@@ -145,7 +163,12 @@ func (s *Stocks) Generate() []*event.Event {
 			}
 			ev := event.New(sc, event.Time(t*float64(event.Second)), price, step, bucket)
 			if cfg.Partitions > 0 {
-				ev.Partition = symIdx % cfg.Partitions
+				switch cfg.PartitionBy {
+				case PartitionByBucket:
+					ev.Partition = int(bucket) % cfg.Partitions
+				default:
+					ev.Partition = symIdx % cfg.Partitions
+				}
 			}
 			evs = append(evs, ev)
 		}

@@ -214,3 +214,20 @@ func TestResetStream(t *testing.T) {
 		t.Fatal("consumption not cleared")
 	}
 }
+
+func TestPartitionByBucket(t *testing.T) {
+	s := NewStocks(StockConfig{
+		Symbols: 6, Events: 2000, Seed: 17,
+		Partitions: 4, PartitionBy: PartitionByBucket, Buckets: 4,
+	})
+	seen := map[int]bool{}
+	for _, e := range s.Generate() {
+		if want := int(e.MustAttr(AttrBucket)) % 4; e.Partition != want {
+			t.Fatalf("%s partition = %d, want bucket-derived %d", e.Type, e.Partition, want)
+		}
+		seen[e.Partition] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("partitions used = %d", len(seen))
+	}
+}

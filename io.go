@@ -29,6 +29,15 @@ func WriteJSONL(w io.Writer, events []*Event) error {
 	return ingest.WriteJSONL(w, events)
 }
 
+// AssignPartitions partitions an unpartitioned feed by hashing the named
+// attribute onto [0, parts): events agreeing on the key land in the same
+// partition, making the feed consumable by PartitionedRuntime and
+// ShardedRuntime without losing matches over that key. The slice is
+// restamped in place and returned.
+func AssignPartitions(events []*Event, attr string, parts int) ([]*Event, error) {
+	return ingest.AssignPartitions(events, attr, parts)
+}
+
 // SaveStats persists measured statistics as JSON so an expensive offline
 // measurement pass can be reused across runs.
 func SaveStats(w io.Writer, s *Stats) error { return s.Save(w) }

@@ -28,22 +28,48 @@ type PartitionedRuntime struct {
 // NewPartitioned builds a partitioned runtime. defaults supplies statistics
 // for partitions absent from perPartition; both may be nil.
 func NewPartitioned(p *Pattern, defaults *Stats, perPartition map[int]*Stats, opts ...Option) (*PartitionedRuntime, error) {
+	pr := newPartitioned(p, defaults, perPartition, opts)
+	// Validate eagerly with the default statistics so that configuration
+	// errors surface at construction, not at the first event.
+	if _, err := New(p, pr.defaults, opts...); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// newPartitioned builds the runtime without the eager validation plan. The
+// sharded runtime uses it so that a pre-validated configuration is not
+// re-planned once per worker.
+func newPartitioned(p *Pattern, defaults *Stats, perPartition map[int]*Stats, opts []Option) *PartitionedRuntime {
 	if defaults == nil {
 		defaults = stats.New()
 	}
-	pr := &PartitionedRuntime{
+	return &PartitionedRuntime{
 		pattern:  p,
 		defaults: defaults,
 		perPart:  perPartition,
 		opts:     opts,
 		runtimes: make(map[int]*Runtime),
 	}
-	// Validate eagerly with the default statistics so that configuration
-	// errors surface at construction, not at the first event.
-	if _, err := New(p, defaults, opts...); err != nil {
+}
+
+// runtimeFor returns the partition's runtime, planning it on first contact
+// with the partition's own statistics (or the shared defaults).
+func (pr *PartitionedRuntime) runtimeFor(partition int) (*Runtime, error) {
+	rt, ok := pr.runtimes[partition]
+	if ok {
+		return rt, nil
+	}
+	st := pr.defaults
+	if s, ok := pr.perPart[partition]; ok {
+		st = s
+	}
+	rt, err := New(pr.pattern, st, pr.opts...)
+	if err != nil {
 		return nil, err
 	}
-	return pr, nil
+	pr.runtimes[partition] = rt
+	return rt, nil
 }
 
 // Process routes the event to its partition's runtime, creating it on first
@@ -52,18 +78,9 @@ func (pr *PartitionedRuntime) Process(e *Event) ([]*Match, error) {
 	if pr.flushOnce {
 		return nil, fmt.Errorf("cep: partitioned runtime already flushed")
 	}
-	rt, ok := pr.runtimes[e.Partition]
-	if !ok {
-		st := pr.defaults
-		if s, ok := pr.perPart[e.Partition]; ok {
-			st = s
-		}
-		var err error
-		rt, err = New(pr.pattern, st, pr.opts...)
-		if err != nil {
-			return nil, err
-		}
-		pr.runtimes[e.Partition] = rt
+	rt, err := pr.runtimeFor(e.Partition)
+	if err != nil {
+		return nil, err
 	}
 	ms := rt.Process(e)
 	pr.matches += int64(len(ms))

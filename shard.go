@@ -1,0 +1,383 @@
+package cep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ShardStats is a point-in-time snapshot of one shard's counters: events
+// accepted, batches accepted, matches emitted, back-pressure stalls and
+// owned partitions.
+type ShardStats = metrics.ShardSnapshot
+
+// ShardConfig configures a ShardedRuntime. The zero value selects the
+// defaults.
+type ShardConfig struct {
+	// Workers is the number of worker goroutines (shards). Default:
+	// runtime.NumCPU().
+	Workers int
+	// QueueLen is the per-worker input queue capacity, in messages (a batch
+	// counts as one message). When a worker's queue is full, Submit and
+	// SubmitBatch block until the worker catches up — this bound is the
+	// back-pressure mechanism that keeps a fast producer from buffering the
+	// whole stream in memory. Default: 1024.
+	QueueLen int
+	// OnMatch, when non-nil, receives every match (including end-of-stream
+	// flushes) instead of Close accumulating them. It is invoked from the
+	// worker goroutines: calls for the same partition are sequential and in
+	// stream order, but calls for different partitions on different shards
+	// run concurrently, so the callback must be safe for concurrent use.
+	// It must not call back into the runtime (Submit, SubmitBatch, Drain,
+	// Close): the worker is blocked inside the callback, so waiting on its
+	// own queue deadlocks.
+	OnMatch func(*Match)
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	return c
+}
+
+// ShardedRuntime is the concurrent deployment shape of PartitionedRuntime:
+// events are hash-routed by partition id across N worker goroutines, each
+// owning a disjoint set of per-partition engines. Engines stay
+// single-goroutine machines — the shard boundary is the concurrency
+// boundary — so the match set is exactly the sequential PartitionedRuntime's
+// on the same input: a partition's events are always handled by the same
+// worker, in submission order, and matches never span partitions.
+//
+// Lifecycle: NewSharded → Start → Submit/SubmitBatch (any number of
+// goroutines) → Close. Drain may be called mid-stream as a barrier. After
+// Close the runtime cannot be restarted.
+//
+// Submit and SubmitBatch are safe for concurrent use; to preserve the
+// engines' timestamp-order requirement, all events of one partition must be
+// submitted in timestamp order (a single producer, or producers partitioned
+// by key, both satisfy this).
+type ShardedRuntime struct {
+	cfg     ShardConfig
+	workers []*shardWorker
+
+	// mu guards the lifecycle flags and err. Submitters hold the read lock
+	// across their queue sends; Close takes the write lock to flip closed
+	// and close the queues, so no send can race a channel close.
+	mu      sync.RWMutex
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+
+	// err is guarded by its own mutex, not mu: workers record errors while
+	// producers may hold mu's read lock blocked on a full queue of that
+	// very worker — taking mu here would deadlock the pipeline.
+	errMu sync.Mutex
+	err   error // first worker error
+}
+
+// recordErr keeps the first worker error for Close to report.
+func (sr *ShardedRuntime) recordErr(err error) {
+	sr.errMu.Lock()
+	if sr.err == nil {
+		sr.err = err
+	}
+	sr.errMu.Unlock()
+}
+
+// shardMsg is one unit on a worker queue: a single event, a batch, or a
+// drain barrier token.
+type shardMsg struct {
+	ev    *Event
+	batch []*Event
+	drain *sync.WaitGroup
+}
+
+type shardWorker struct {
+	sr       *ShardedRuntime
+	in       chan shardMsg
+	pr       *PartitionedRuntime
+	dead     map[int]bool // partitions whose per-partition plan failed
+	counters metrics.ShardCounters
+	nParts   int
+	matches  []*Match // accumulated when cfg.OnMatch == nil
+}
+
+// NewSharded builds a sharded runtime over the pattern. defaults supplies
+// statistics for partitions absent from perPartition; both may be nil. The
+// per-partition plans are generated lazily on first contact, exactly as in
+// NewPartitioned. defaults and perPartition are read concurrently by the
+// workers and must not be mutated after this call.
+func NewSharded(p *Pattern, defaults *Stats, perPartition map[int]*Stats, cfg ShardConfig, opts ...Option) (*ShardedRuntime, error) {
+	cfg = cfg.withDefaults()
+	sr := &ShardedRuntime{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &shardWorker{
+			sr: sr,
+			in: make(chan shardMsg, cfg.QueueLen),
+			pr: newPartitioned(p, defaults, perPartition, opts),
+		}
+		sr.workers = append(sr.workers, w)
+	}
+	// Validate eagerly (once, not per worker) so that configuration errors
+	// surface at construction, not at the first event.
+	if _, err := New(p, sr.workers[0].pr.defaults, opts...); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// Workers returns the number of worker goroutines (shards).
+func (sr *ShardedRuntime) Workers() int { return len(sr.workers) }
+
+// Start launches the worker goroutines. It errors if the runtime was
+// already started or closed.
+func (sr *ShardedRuntime) Start() error {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.closed {
+		return fmt.Errorf("cep: sharded runtime already closed")
+	}
+	if sr.started {
+		return fmt.Errorf("cep: sharded runtime already started")
+	}
+	sr.started = true
+	for _, w := range sr.workers {
+		sr.wg.Add(1)
+		go w.run()
+	}
+	return nil
+}
+
+// workerIndexFor routes a partition id to its shard index. The
+// multiplicative hash decorrelates worker choice from common
+// partition-numbering schemes (e.g. symbol % P) so that shards stay
+// balanced even when Workers divides the partition stride.
+func (sr *ShardedRuntime) workerIndexFor(partition int) int {
+	h := uint64(partition) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return int(h % uint64(len(sr.workers)))
+}
+
+func (sr *ShardedRuntime) workerFor(partition int) *shardWorker {
+	return sr.workers[sr.workerIndexFor(partition)]
+}
+
+// send enqueues a message with back-pressure: a full queue blocks the
+// caller (after bumping the shard's stall counter) until the worker catches
+// up.
+func (sr *ShardedRuntime) send(w *shardWorker, msg shardMsg) {
+	select {
+	case w.in <- msg:
+	default:
+		w.counters.AddStall()
+		w.in <- msg
+	}
+}
+
+// openLocked reports whether the runtime is accepting events. Callers hold
+// at least the read lock.
+func (sr *ShardedRuntime) openLocked() error {
+	if !sr.started {
+		return fmt.Errorf("cep: sharded runtime not started")
+	}
+	if sr.closed {
+		return fmt.Errorf("cep: sharded runtime already closed")
+	}
+	return nil
+}
+
+// Submit routes one event to its partition's shard, blocking when that
+// shard's queue is full (back-pressure). A concurrent Close waits for
+// in-flight submissions, so Submit never races a queue close: it either
+// enqueues the event or returns the already-closed error.
+func (sr *ShardedRuntime) Submit(e *Event) error {
+	sr.mu.RLock()
+	defer sr.mu.RUnlock()
+	if err := sr.openLocked(); err != nil {
+		return err
+	}
+	sr.send(sr.workerFor(e.Partition), shardMsg{ev: e})
+	return nil
+}
+
+// SubmitBatch routes a slice of events, regrouping it into one sub-batch
+// per destination shard so that channel overhead amortises over the batch
+// (at most Workers queue operations per call, however interleaved the
+// partitions are). Events of one partition all route to one shard and keep
+// their relative order inside its sub-batch, so per-partition stream order
+// is preserved. The input slice is not retained; it may be reused as soon
+// as the call returns.
+func (sr *ShardedRuntime) SubmitBatch(events []*Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	sr.mu.RLock()
+	defer sr.mu.RUnlock()
+	if err := sr.openLocked(); err != nil {
+		return err
+	}
+	groups := make([][]*Event, len(sr.workers))
+	for _, e := range events {
+		i := sr.workerIndexFor(e.Partition)
+		groups[i] = append(groups[i], e)
+	}
+	for i, g := range groups {
+		if len(g) > 0 {
+			sr.send(sr.workers[i], shardMsg{batch: g})
+		}
+	}
+	return nil
+}
+
+// Drain is a mid-stream barrier: it blocks until every event submitted
+// before the call has been fully processed, then returns. Matches keep
+// flowing to OnMatch (or keep accumulating for Close); engines are not
+// flushed. Concurrent Submit calls during a Drain are allowed but are not
+// covered by the barrier.
+func (sr *ShardedRuntime) Drain() error {
+	sr.mu.RLock()
+	if err := sr.openLocked(); err != nil {
+		sr.mu.RUnlock()
+		return err
+	}
+	var barrier sync.WaitGroup
+	barrier.Add(len(sr.workers))
+	for _, w := range sr.workers {
+		// Plain blocking send: barrier tokens are not submissions and must
+		// not inflate the back-pressure stall counters.
+		w.in <- shardMsg{drain: &barrier}
+	}
+	// Wait outside the lock: the tokens are enqueued, so the barrier
+	// completes even if a concurrent Close closes the queues meanwhile.
+	sr.mu.RUnlock()
+	barrier.Wait()
+	return nil
+}
+
+// Close stops intake, waits for every queued event to be processed, flushes
+// all engines (releasing matches held back by trailing-negation windows)
+// and joins the workers. It returns the accumulated matches — every match
+// since Start, in per-partition stream order, concatenated shard by shard —
+// or nil when an OnMatch callback consumed them. The error is the first
+// engine-construction failure any worker encountered, if any.
+func (sr *ShardedRuntime) Close() ([]*Match, error) {
+	sr.mu.Lock()
+	if sr.closed {
+		sr.mu.Unlock()
+		return nil, fmt.Errorf("cep: sharded runtime already closed")
+	}
+	if !sr.started {
+		sr.mu.Unlock()
+		return nil, fmt.Errorf("cep: sharded runtime not started")
+	}
+	sr.closed = true
+	// Close the queues while still holding the write lock: submitters hold
+	// the read lock across their sends, so none can be mid-send here.
+	for _, w := range sr.workers {
+		close(w.in)
+	}
+	sr.mu.Unlock()
+	sr.wg.Wait()
+	var out []*Match
+	if sr.cfg.OnMatch == nil {
+		for _, w := range sr.workers {
+			out = append(out, w.matches...)
+		}
+	}
+	sr.errMu.Lock()
+	err := sr.err
+	sr.errMu.Unlock()
+	return out, err
+}
+
+// PlanFor describes the plan used by one partition, or "" if that partition
+// has not been seen. Unlike the counters it reads engine-owned state, so it
+// must only be called before Start or after Close.
+func (sr *ShardedRuntime) PlanFor(partition int) string {
+	return sr.workerFor(partition).pr.PlanFor(partition)
+}
+
+// Matches returns the total number of matches emitted so far across all
+// shards. It is safe to call concurrently with submission.
+func (sr *ShardedRuntime) Matches() int64 {
+	var total int64
+	for i, w := range sr.workers {
+		total += w.counters.Snapshot(i).Matches
+	}
+	return total
+}
+
+// Stats snapshots the per-shard counters. It is safe to call concurrently
+// with submission, so a monitoring loop can watch queue stalls and match
+// rates live.
+func (sr *ShardedRuntime) Stats() []ShardStats {
+	out := make([]ShardStats, len(sr.workers))
+	for i, w := range sr.workers {
+		out[i] = w.counters.Snapshot(i)
+	}
+	return out
+}
+
+// run is the worker loop: it owns the shard's per-partition engines
+// exclusively, so no engine is ever touched by two goroutines.
+func (w *shardWorker) run() {
+	defer w.sr.wg.Done()
+	for msg := range w.in {
+		switch {
+		case msg.drain != nil:
+			msg.drain.Done()
+		case msg.batch != nil:
+			w.counters.AddBatch()
+			for _, e := range msg.batch {
+				w.process(e)
+			}
+		default:
+			w.process(msg.ev)
+		}
+	}
+	w.emit(w.pr.Flush())
+}
+
+func (w *shardWorker) process(e *Event) {
+	if w.dead[e.Partition] {
+		return
+	}
+	rt, err := w.pr.runtimeFor(e.Partition)
+	if err != nil {
+		// Per-partition statistics produced an unplannable configuration;
+		// record the first error and drop this partition's events — marking
+		// the partition dead so later events skip the planner entirely.
+		w.sr.recordErr(err)
+		if w.dead == nil {
+			w.dead = make(map[int]bool)
+		}
+		w.dead[e.Partition] = true
+		return
+	}
+	if n := len(w.pr.runtimes); n != w.nParts {
+		w.nParts = n
+		w.counters.SetPartitions(n)
+	}
+	w.counters.AddEvents(1)
+	w.emit(rt.Process(e))
+}
+
+func (w *shardWorker) emit(ms []*Match) {
+	if len(ms) == 0 {
+		return
+	}
+	w.counters.AddMatches(len(ms))
+	if fn := w.sr.cfg.OnMatch; fn != nil {
+		for _, m := range ms {
+			fn(m)
+		}
+		return
+	}
+	w.matches = append(w.matches, ms...)
+}

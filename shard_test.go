@@ -1,0 +1,411 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// shardWorkload generates a bucket-partitioned stock stream and a pattern
+// that can match inside every partition, plus measured statistics.
+func shardWorkload(t testing.TB, nEvents, parts int) ([]*Event, *Pattern, *Stats) {
+	t.Helper()
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 8, Events: nEvents, Seed: 7, MinRate: 1, MaxRate: 8,
+		Partitions: parts, PartitionBy: workload.PartitionByBucket, Buckets: parts,
+	})
+	events := stocks.Generate()
+	p, err := ParsePatternWith(
+		`PATTERN SEQ(S000 a, S001 b, S002 c) WHERE a.difference < b.difference WITHIN 4 s`,
+		stocks.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, p, Measure(events, p)
+}
+
+// matchKeys returns the sorted multiset fingerprint of a match set.
+func matchKeys(ms []*Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = m.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sequentialOracle runs the events through the sequential PartitionedRuntime.
+func sequentialOracle(t testing.TB, p *Pattern, st *Stats, events []*Event, opts ...Option) []*Match {
+	t.Helper()
+	pr, err := NewPartitioned(p, st, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*Match
+	for _, ev := range events {
+		ms, err := pr.Process(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ms...)
+	}
+	return append(out, pr.Flush()...)
+}
+
+// TestShardedMatchesSequentialOracle is the core equivalence property: the
+// sharded runtime emits exactly the sequential PartitionedRuntime's match
+// set (as a multiset — shard interleaving permutes the order) for any
+// worker count and under both skip-till strategies.
+func TestShardedMatchesSequentialOracle(t *testing.T) {
+	events, p, st := shardWorkload(t, 6000, 16)
+	for _, strategy := range []Strategy{SkipTillAnyMatch, SkipTillNextMatch} {
+		want := matchKeys(sequentialOracle(t, p, st, workload.ResetStream(events), WithStrategy(strategy)))
+		if len(want) == 0 {
+			t.Fatalf("oracle found no matches under %v; workload too sparse to test", strategy)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			t.Run(fmt.Sprintf("strategy=%v/workers=%d", strategy, workers), func(t *testing.T) {
+				evs := workload.ResetStream(events)
+				sr, err := NewSharded(p, st, nil, ShardConfig{Workers: workers}, WithStrategy(strategy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sr.Start(); err != nil {
+					t.Fatal(err)
+				}
+				for _, ev := range evs {
+					if err := sr.Submit(ev); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := sr.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotKeys := matchKeys(got); !equalStrings(gotKeys, want) {
+					t.Fatalf("sharded (%d workers) emitted %d matches, oracle %d; match sets differ",
+						workers, len(gotKeys), len(want))
+				}
+				if sr.Matches() != int64(len(want)) {
+					t.Fatalf("Matches() = %d, want %d", sr.Matches(), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestShardedSubmitBatch checks that batched submission (including the
+// consecutive same-shard run grouping) preserves the match set, with a
+// deliberately tiny queue so the back-pressure path is exercised.
+func TestShardedSubmitBatch(t *testing.T) {
+	events, p, st := shardWorkload(t, 6000, 16)
+	want := matchKeys(sequentialOracle(t, p, st, workload.ResetStream(events)))
+	evs := workload.ResetStream(events)
+	sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 4, QueueLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	for i := 0; i < len(evs); i += batch {
+		end := i + batch
+		if end > len(evs) {
+			end = len(evs)
+		}
+		if err := sr.SubmitBatch(evs[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(matchKeys(got), want) {
+		t.Fatalf("batched sharded run emitted %d matches, oracle %d", len(got), len(want))
+	}
+	var batches int64
+	for _, s := range sr.Stats() {
+		batches += s.Batches
+	}
+	if batches == 0 {
+		t.Fatal("no batch submissions counted")
+	}
+}
+
+// TestShardedLifecycle exercises the Start/Drain/Close state machine and
+// the counter snapshots.
+func TestShardedLifecycle(t *testing.T) {
+	events, p, st := shardWorkload(t, 2000, 8)
+	sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Submit(events[0]); err == nil {
+		t.Fatal("Submit before Start should fail")
+	}
+	if err := sr.Drain(); err == nil {
+		t.Fatal("Drain before Start should fail")
+	}
+	if _, err := sr.Close(); err == nil {
+		t.Fatal("Close before Start should fail")
+	}
+	if err := sr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Start(); err == nil {
+		t.Fatal("double Start should fail")
+	}
+	half := len(events) / 2
+	if err := sr.SubmitBatch(events[:half]); err != nil {
+		t.Fatal(err)
+	}
+	// Drain is a barrier: once it returns, every submitted event is counted.
+	if err := sr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	for _, s := range sr.Stats() {
+		seen += s.Events
+	}
+	if seen != int64(half) {
+		t.Fatalf("after Drain, %d events counted, want %d", seen, half)
+	}
+	if err := sr.SubmitBatch(events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Submit(events[0]); err == nil {
+		t.Fatal("Submit after Close should fail")
+	}
+	if _, err := sr.Close(); err == nil {
+		t.Fatal("double Close should fail")
+	}
+	parts := map[int]bool{}
+	for _, ev := range events {
+		parts[ev.Partition] = true
+	}
+	var owned, total int64
+	for _, s := range sr.Stats() {
+		owned += s.Partitions
+		total += s.Events
+	}
+	if owned != int64(len(parts)) {
+		t.Fatalf("shards own %d partitions, stream has %d", owned, len(parts))
+	}
+	if total != int64(len(events)) {
+		t.Fatalf("shards counted %d events, stream has %d", total, len(events))
+	}
+}
+
+// TestShardedOnMatch checks the concurrent callback path: every match is
+// delivered exactly once, and Close then returns no accumulated matches.
+func TestShardedOnMatch(t *testing.T) {
+	events, p, st := shardWorkload(t, 6000, 16)
+	want := len(matchKeys(sequentialOracle(t, p, st, workload.ResetStream(events))))
+	evs := workload.ResetStream(events)
+	var delivered atomic.Int64
+	sr, err := NewSharded(p, st, nil, ShardConfig{
+		Workers: 4,
+		OnMatch: func(m *Match) { delivered.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.SubmitBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("Close returned %d matches despite OnMatch", len(got))
+	}
+	if delivered.Load() != int64(want) {
+		t.Fatalf("OnMatch delivered %d matches, oracle %d", delivered.Load(), want)
+	}
+}
+
+// TestShardedPerPartitionPlans mirrors the PartitionedRuntime per-partition
+// planning test through the sharded facade: partitions with opposite rate
+// skews get opposite plans.
+func TestShardedPerPartitionPlans(t *testing.T) {
+	p, err := ParsePattern(`PATTERN SEQ(Login l, Trade t, Alert a) WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, st2 := NewStats(), NewStats()
+	st1.SetRate("Login", 10)
+	st1.SetRate("Trade", 10)
+	st1.SetRate("Alert", 0.01)
+	st2.SetRate("Login", 0.01)
+	st2.SetRate("Trade", 10)
+	st2.SetRate("Alert", 10)
+	sr, err := NewSharded(p, nil, map[int]*Stats{1: st1, 2: st2},
+		ShardConfig{Workers: 2}, WithAlgorithm(AlgDPLD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.SubmitBatch(partitionedEvents()); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := sr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d matches, want 2", len(ms))
+	}
+	if plan := sr.PlanFor(1); !strings.Contains(plan, "[a ") {
+		t.Fatalf("partition 1 plan = %s", plan)
+	}
+	if plan := sr.PlanFor(2); !strings.Contains(plan, "[l ") {
+		t.Fatalf("partition 2 plan = %s", plan)
+	}
+	if sr.PlanFor(99) != "" {
+		t.Fatal("unseen partition should have no plan")
+	}
+}
+
+// TestShardedStressConcurrentProducers is the race-detector stress test:
+// many partitions, many workers, and one producer goroutine per partition
+// group submitting concurrently (each partition's events stay in order
+// within its producer). The total match count must equal the sequential
+// oracle's.
+func TestShardedStressConcurrentProducers(t *testing.T) {
+	const producers = 8
+	events, p, st := shardWorkload(t, 12000, 64)
+	want := len(matchKeys(sequentialOracle(t, p, st, workload.ResetStream(events))))
+	evs := workload.ResetStream(events)
+	// Partition-disjoint producer feeds: partition % producers → producer,
+	// preserving per-partition submission order.
+	feeds := make([][]*Event, producers)
+	for _, ev := range evs {
+		i := ev.Partition % producers
+		feeds[i] = append(feeds[i], ev)
+	}
+	sr, err := NewSharded(p, st, nil, ShardConfig{QueueLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, feed := range feeds {
+		wg.Add(1)
+		go func(feed []*Event) {
+			defer wg.Done()
+			for i := 0; i < len(feed); i += 32 {
+				end := i + 32
+				if end > len(feed) {
+					end = len(feed)
+				}
+				if err := sr.SubmitBatch(feed[i:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(feed)
+	}
+	// A concurrent monitor hammers the snapshot path while producers run.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				sr.Stats()
+				sr.Matches()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	got, err := sr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("concurrent producers yielded %d matches, oracle %d", len(got), want)
+	}
+}
+
+// TestShardedBadAlgorithm checks eager validation at construction.
+func TestShardedBadAlgorithm(t *testing.T) {
+	p, _ := ParsePattern(`PATTERN SEQ(Login l, Trade t) WITHIN 1 s`)
+	if _, err := NewSharded(p, nil, nil, ShardConfig{}, WithAlgorithm("NOPE")); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedSubmitCloseRace checks that Close never races a queue send: a
+// submitter either enqueues its event or gets the already-closed error —
+// no "send on closed channel" panic. Run under -race.
+func TestShardedSubmitCloseRace(t *testing.T) {
+	events, p, st := shardWorkload(t, 4000, 16)
+	for round := 0; round < 4; round++ {
+		evs := workload.ResetStream(events)
+		sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 2, QueueLen: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Partition-disjoint producers keep per-partition timestamp order
+		// even while racing Close.
+		feeds := make([][]*Event, 4)
+		for _, ev := range evs {
+			g := ev.Partition % 4
+			feeds[g] = append(feeds[g], ev)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(feed []*Event) {
+				defer wg.Done()
+				for _, ev := range feed {
+					if err := sr.Submit(ev); err != nil {
+						if !strings.Contains(err.Error(), "closed") {
+							t.Errorf("unexpected submit error: %v", err)
+						}
+						return
+					}
+				}
+			}(feeds[g])
+		}
+		if _, err := sr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+	}
+}
