@@ -19,9 +19,11 @@ const (
 )
 
 // AdaptiveRuntime is a pattern runtime that re-optimises its plan online
-// when the stream statistics drift (Section 6.3 of the paper).
+// when the stream statistics drift (Section 6.3 of the paper). It satisfies
+// the Detector contract.
 type AdaptiveRuntime struct {
-	ctrl *adaptive.Controller
+	ctrl   *adaptive.Controller
+	closed bool
 }
 
 // AdaptiveConfig tunes the re-optimisation loop; zero values select
@@ -53,11 +55,33 @@ func NewAdaptive(p *Pattern, initial *Stats, cfg AdaptiveConfig) (*AdaptiveRunti
 	return &AdaptiveRuntime{ctrl: ctrl}, nil
 }
 
-// Process consumes one event and returns emitted matches.
-func (a *AdaptiveRuntime) Process(e *Event) ([]*Match, error) { return a.ctrl.Process(e) }
+// Process consumes one event and returns emitted matches. A nil event
+// returns ErrNilEvent; after Flush or Close it returns ErrClosed.
+func (a *AdaptiveRuntime) Process(e *Event) ([]*Match, error) {
+	if a.closed {
+		return nil, ErrClosed
+	}
+	if e == nil {
+		return nil, ErrNilEvent
+	}
+	return a.ctrl.Process(e)
+}
 
-// Flush releases pending matches at end of stream.
-func (a *AdaptiveRuntime) Flush() []*Match { return a.ctrl.Flush() }
+// Flush ends the stream, releasing pending matches and closing the runtime
+// to further events. Flushing twice returns ErrClosed.
+func (a *AdaptiveRuntime) Flush() ([]*Match, error) {
+	if a.closed {
+		return nil, ErrClosed
+	}
+	a.closed = true
+	return a.ctrl.Flush(), nil
+}
+
+// Close releases the runtime without flushing; it is idempotent.
+func (a *AdaptiveRuntime) Close() error {
+	a.closed = true
+	return nil
+}
 
 // Replans returns how many times the plan was regenerated.
 func (a *AdaptiveRuntime) Replans() int64 { return a.ctrl.Stats().Replans }

@@ -18,7 +18,11 @@ func TestAdaptiveRuntimeBasics(t *testing.T) {
 		}
 		total += len(ms)
 	}
-	total += len(rt.Flush())
+	fl, err := rt.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += len(fl)
 	if total != 1 || rt.Matches() != 1 {
 		t.Fatalf("matches = %d / %d", total, rt.Matches())
 	}
@@ -35,7 +39,7 @@ func TestExtensionAlgorithmsViaFacade(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
-		if got := len(rt.ProcessAll(demoEvents())); got != 1 {
+		if got := len(processAll(t, rt, demoEvents())); got != 1 {
 			t.Fatalf("%s: %d matches", alg, got)
 		}
 	}

@@ -236,7 +236,7 @@ func BenchmarkShardedThroughput(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
-				if _, err := sr.Close(); err != nil {
+				if _, err := sr.Flush(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,19 +12,35 @@
 // paper: greedy ordering, iterative improvement, and Selinger dynamic
 // programming over left-deep and bushy plan spaces.
 //
+// Every runtime flavor — Runtime, AdaptiveRuntime, PartitionedRuntime,
+// ShardedRuntime, Fleet — satisfies the unified Detector contract
+// (Process/Flush/Close with errors, no panics on bad input). The front door
+// for serving is Session: register any number of named queries, each with
+// its own declarative QueryConfig, stream one feed through all of them with
+// context-aware cancellation and bounded queues, and receive matches on
+// per-query sinks tagged with the query name.
+//
 // Quick start:
 //
 //	p, _ := cep.ParsePattern(`PATTERN SEQ(Login l, Trade t, Alert a)
 //	                          WHERE l.user = t.user AND t.user = a.user
 //	                          WITHIN 10 s`)
-//	st := cep.Measure(history, p)          // arrival rates + selectivities
-//	rt, _ := cep.New(p, st, cep.WithAlgorithm(cep.AlgDPB))
-//	for _, e := range liveEvents {
-//	    for _, m := range rt.Process(e) {
-//	        fmt.Println("match:", m.Events())
-//	    }
-//	}
-//	rt.Flush()
+//	s := cep.NewSession(cep.SessionConfig{
+//	    OnMatch: func(query string, m *cep.Match) {
+//	        fmt.Println(query, "matched:", m.Events())
+//	    },
+//	})
+//	s.Register(cep.QueryConfig{
+//	    Name:      "laundering",
+//	    Pattern:   p,
+//	    Stats:     cep.Measure(history, p), // arrival rates + selectivities
+//	    Algorithm: cep.AlgDPB,
+//	})
+//	s.Run(context.Background(), cep.NewStream(liveEvents))
+//	s.Close()
+//
+// For one pattern on one goroutine, cep.New (or cep.NewFromConfig) builds a
+// plain Runtime with the same Detector contract.
 package cep
 
 import (

@@ -33,6 +33,17 @@ func demoPattern(t *testing.T) *Pattern {
 	return p
 }
 
+// processAll drives a runtime over a slice, failing the test on any error
+// of the Detector contract.
+func processAll(t testing.TB, rt *Runtime, events []*Event) []*Match {
+	t.Helper()
+	ms, err := rt.ProcessAll(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
 func TestQuickstartFlow(t *testing.T) {
 	p := demoPattern(t)
 	events := demoEvents()
@@ -42,7 +53,7 @@ func TestQuickstartFlow(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
-		ms := rt.ProcessAll(Stamp(events))
+		ms := processAll(t, rt, Stamp(events))
 		if len(ms) != 1 {
 			t.Fatalf("%s: got %d matches, want 1", alg, len(ms))
 		}
@@ -65,7 +76,7 @@ func TestProgrammaticPatternConstruction(t *testing.T) {
 	}
 	// login@1000 user7 → trade@2000 user7 matches; login@4000 user9 has no
 	// later trade, so exactly one match.
-	ms := rt.ProcessAll(demoEvents())
+	ms := processAll(t, rt, demoEvents())
 	if len(ms) != 1 {
 		t.Fatalf("got %d matches, want 1", len(ms))
 	}
@@ -120,7 +131,7 @@ func TestDisjunctionRuntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms := rt.ProcessAll(demoEvents())
+	ms := processAll(t, rt, demoEvents())
 	// login7→alert7, login9→alert9, trade7→alert7, trade9→alert9: 4 matches.
 	if len(ms) != 4 {
 		t.Fatalf("got %d matches, want 4", len(ms))
@@ -161,7 +172,7 @@ func TestStrategyOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	events := demoEvents()
-	ms := rt.ProcessAll(events)
+	ms := processAll(t, rt, events)
 	if len(ms) != 1 {
 		t.Fatalf("got %d matches", len(ms))
 	}
@@ -197,7 +208,7 @@ func TestMaxKleeneBasePropagates(t *testing.T) {
 		NewEvent(tradeSchema, 4000, 1, 3),
 		NewEvent(tradeSchema, 5000, 1, 4),
 	})
-	got := len(rt.ProcessAll(events))
+	got := len(processAll(t, rt, events))
 	// With an uncapped base there would be 2^4−1 = 15 matches; the cap of 2
 	// bounds the subsets enumerable per arrival.
 	if got >= 15 {

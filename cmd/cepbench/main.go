@@ -14,10 +14,14 @@
 //
 // Beyond the paper, `cepbench -fig shard` measures the sharded concurrent
 // runtime: events/second versus worker count on a bucket-partitioned stock
-// stream, against the sequential PartitionedRuntime baseline.
+// stream, against the sequential PartitionedRuntime baseline. And
+// `cepbench -fig session` measures the multi-query Session front door:
+// events/second versus the number of registered queries (1/4/16/64), with a
+// per-query match-count cross-check against independent sequential runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -45,12 +49,20 @@ func main() {
 		dpbCap   = flag.Int("dpb-cap", 14, "largest pattern size planned with DP-B in Fig 17")
 		shardGen = flag.Int("shard-events", 200000, "events in the sharded-throughput stream (-fig shard)")
 		shardPar = flag.Int("shard-partitions", 64, "partitions in the sharded-throughput stream (-fig shard)")
+		sessGen  = flag.Int("session-events", 50000, "events in the multi-query stream (-fig session)")
 	)
 	flag.Parse()
 
 	if *fig == "shard" {
 		if err := runShardScenario(*symbols, *shardGen, *shardPar, event.Time(*windowMS), *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "cepbench: shard scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "session" {
+		if err := runSessionScenario(*symbols, *sessGen, event.Time(*windowMS), *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: session scenario: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -91,7 +103,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext' or 'shard')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard' or 'session')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}
@@ -108,6 +120,120 @@ func main() {
 		}
 		fmt.Printf("(figure %d computed in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSessionScenario measures the multi-query Session: one stock stream fans
+// out to 1, 4, 16 and 64 registered queries, reporting the feed's
+// events/second (one pass through the session serves all queries) against
+// the summed time of independent sequential Runtime passes. Every session
+// run must reproduce the sequential per-query match counts — the table is
+// also a correctness check.
+func runSessionScenario(symbols, events int, window event.Time, seed int64) error {
+	if symbols < 4 {
+		return fmt.Errorf("-symbols must be at least 4 (query templates span four symbols), got %d", symbols)
+	}
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: symbols, Events: events, Seed: seed, MinRate: 1, MaxRate: 20,
+	})
+	stream := stocks.Generate()
+	fmt.Printf("session scenario: %d events over %d symbols, window %dms\n\n", len(stream), symbols, window)
+
+	// Deterministic query set: cycling templates over rng-drawn symbol
+	// combinations, each planned from its own measured statistics.
+	rng := rand.New(rand.NewSource(seed + 23))
+	makeQueries := func(n int) ([]cep.QueryConfig, error) {
+		out := make([]cep.QueryConfig, 0, n)
+		for i := 0; i < n; i++ {
+			syms := rng.Perm(symbols)
+			var src string
+			switch i % 3 {
+			case 0:
+				src = fmt.Sprintf(
+					`PATTERN SEQ(S%03d a, S%03d b) WHERE a.difference < b.difference WITHIN %d ms`,
+					syms[0], syms[1], window)
+			case 1:
+				src = fmt.Sprintf(
+					`PATTERN AND(S%03d a, S%03d b, S%03d c) WHERE a.bucket = b.bucket WITHIN %d ms`,
+					syms[0], syms[1], syms[2], window/2)
+			default:
+				src = fmt.Sprintf(
+					`PATTERN SEQ(S%03d a, NOT(S%03d n), S%03d b) WITHIN %d ms`,
+					syms[0], syms[1], syms[2], window)
+			}
+			p, err := cep.ParsePatternWith(src, stocks.Registry)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cep.QueryConfig{
+				Name:    fmt.Sprintf("q%02d", i),
+				Pattern: p,
+				Stats:   cep.Measure(stream, p),
+			})
+		}
+		return out, nil
+	}
+
+	table := harness.Table{
+		Title:   "Session throughput (feed events/s) vs registered queries",
+		Columns: []string{"queries", "events/s", "seq events/s", "speedup", "matches", "elapsed", "seq elapsed"},
+	}
+	for _, n := range []int{1, 4, 16, 64} {
+		queries, err := makeQueries(n)
+		if err != nil {
+			return err
+		}
+		// Sequential reference: one independent runtime pass per query.
+		seqCounts := make(map[string]int, n)
+		seqTotal := 0
+		seqStart := time.Now()
+		for _, qc := range queries {
+			rt, err := cep.NewFromConfig(qc)
+			if err != nil {
+				return err
+			}
+			ms, err := rt.ProcessAll(workload.ResetStream(stream))
+			if err != nil {
+				return err
+			}
+			seqCounts[qc.Name] = len(ms)
+			seqTotal += len(ms)
+		}
+		seqElapsed := time.Since(seqStart)
+		// The sequential reference re-reads the feed once per query.
+		seqRate := float64(len(stream)) / seqElapsed.Seconds()
+
+		s := cep.NewSession(cep.SessionConfig{QueueLen: 1024})
+		for _, qc := range queries {
+			if err := s.Register(qc); err != nil {
+				return err
+			}
+		}
+		evs := workload.ResetStream(stream)
+		start := time.Now()
+		if err := s.Run(context.Background(), cep.NewStream(evs)); err != nil {
+			return err
+		}
+		if _, err := s.Flush(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		rate := float64(len(stream)) / elapsed.Seconds()
+
+		matches := fmt.Sprint(seqTotal)
+		for _, qc := range queries {
+			if got := len(s.Matches(qc.Name)); got != seqCounts[qc.Name] {
+				matches = fmt.Sprintf("%s (MISMATCH: %s got %d, want %d)", matches, qc.Name, got, seqCounts[qc.Name])
+				break
+			}
+		}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(n), fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.0f", seqRate),
+			fmt.Sprintf("%.2f", rate/seqRate), matches,
+			elapsed.Round(time.Millisecond).String(), seqElapsed.Round(time.Millisecond).String(),
+		})
+	}
+	table.Fprint(os.Stdout)
+	return nil
 }
 
 // runShardScenario measures the sharded runtime's scaling: one pattern over
@@ -162,7 +288,9 @@ func runShardScenario(symbols, events, partitions int, window event.Time, seed i
 			return err
 		}
 	}
-	pr.Flush()
+	if _, err := pr.Flush(); err != nil {
+		return err
+	}
 	seqElapsed := time.Since(start)
 	seqRate := float64(len(stream)) / seqElapsed.Seconds()
 
@@ -194,7 +322,7 @@ func runShardScenario(symbols, events, partitions int, window event.Time, seed i
 				return err
 			}
 		}
-		if _, err := sr.Close(); err != nil {
+		if _, err := sr.Flush(); err != nil {
 			return err
 		}
 		elapsed := time.Since(start)

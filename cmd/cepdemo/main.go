@@ -77,7 +77,11 @@ func main() {
 	}
 	fmt.Print(rt.Describe())
 
-	matches := rt.ProcessAll(ticks)
+	matches, err := rt.ProcessAll(ticks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cepdemo:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\n%d events → %d matches (plan cost %.1f)\n", len(ticks), len(matches), rt.PlanCost())
 	for i, m := range matches {
 		if i >= *show {

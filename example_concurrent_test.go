@@ -30,7 +30,10 @@ func ExampleFleet() {
 		cep.NewEvent(alert, 2000, 7),
 		cep.NewEvent(alert, 3000, 9), // wrong user: only the AND matches it
 	})
-	results := cep.NewFleet(rt1, rt2).SetQueueLen(64).Run(events)
+	results, err := cep.NewFleet(rt1, rt2).SetQueueLen(64).Run(events)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(len(results[0]), len(results[1]), cep.TotalMatches(results))
 	// Output: 1 2 3
 }
@@ -58,7 +61,8 @@ func ExamplePartitionedRuntime() {
 		ms, _ := pr.Process(ev)
 		total += len(ms)
 	}
-	total += len(pr.Flush())
+	flushed, _ := pr.Flush() // partitions flush in ascending id order
+	total += len(flushed)
 	// One Login→Alert per partition; the cross-partition pairs are excluded.
 	fmt.Println(total, "matches over", len(pr.Partitions()), "partitions")
 	// Output: 2 matches over 2 partitions
@@ -89,7 +93,7 @@ func ExampleShardedRuntime() {
 	if err := sr.SubmitBatch(cep.Stamp(events)); err != nil {
 		panic(err)
 	}
-	matches, err := sr.Close() // drains queues, flushes engines, joins workers
+	matches, err := sr.Flush() // drains queues, flushes engines, joins workers
 	if err != nil {
 		panic(err)
 	}

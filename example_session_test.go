@@ -1,0 +1,109 @@
+package cep_test
+
+// Runnable examples for the Session front door and the config-first
+// QueryConfig construction.
+
+import (
+	"context"
+	"fmt"
+
+	cep "repro"
+)
+
+// ExampleSession serves two named queries over one feed: events fan out to
+// each query's worker over a bounded queue, and Flush returns the
+// accumulated matches (per-query, in registration order) after draining
+// and flushing every query.
+func ExampleSession() {
+	login := cep.NewSchema("Login", "user")
+	alert := cep.NewSchema("Alert", "user")
+	s := cep.NewSession(cep.SessionConfig{QueueLen: 64})
+	if err := s.Register(cep.QueryConfig{
+		Name: "same-user",
+		Source: `PATTERN SEQ(Login l, Alert a)
+		         WHERE l.user = a.user WITHIN 5 s`,
+	}); err != nil {
+		panic(err)
+	}
+	if err := s.Register(cep.QueryConfig{
+		Name:   "any-pair",
+		Source: `PATTERN AND(Login l, Alert a) WITHIN 5 s`,
+	}); err != nil {
+		panic(err)
+	}
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 1000, 7),
+		cep.NewEvent(alert, 2000, 7),
+		cep.NewEvent(alert, 3000, 9), // wrong user: only the AND matches it
+	})
+	if err := s.Run(context.Background(), cep.NewStream(events)); err != nil {
+		panic(err)
+	}
+	if _, err := s.Flush(); err != nil { // end of stream: flush pendings, join workers
+		panic(err)
+	}
+	fmt.Println("same-user:", len(s.Matches("same-user")), "any-pair:", len(s.Matches("any-pair")))
+	// Output: same-user: 1 any-pair: 2
+}
+
+// ExampleQueryConfig builds a single-query Runtime declaratively — the
+// config-first equivalent of cep.New with functional options.
+func ExampleQueryConfig() {
+	login := cep.NewSchema("Login", "user")
+	alert := cep.NewSchema("Alert", "user")
+	rt, err := cep.NewFromConfig(cep.QueryConfig{
+		Name: "same-user",
+		Source: `PATTERN SEQ(Login l, Alert a)
+		         WHERE l.user = a.user WITHIN 5 s`,
+		Algorithm: cep.AlgDPLD,
+		Strategy:  cep.SkipTillAnyMatch,
+	})
+	if err != nil {
+		panic(err)
+	}
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 1000, 7),
+		cep.NewEvent(alert, 2000, 7),
+	})
+	ms, err := rt.ProcessAll(events)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(ms), "match")
+	// Output: 1 match
+}
+
+// ExampleSession_RegisterDetector composes the Session with a sharded
+// multi-core runtime: the query is itself a Detector, so one session can
+// mix plain, adaptive and sharded queries under one lifecycle.
+func ExampleSession_RegisterDetector() {
+	login := cep.NewSchema("Login", "user")
+	alert := cep.NewSchema("Alert", "user")
+	p, _ := cep.ParsePattern(`PATTERN SEQ(Login l, Alert a) WITHIN 5 s`)
+	sharded, err := cep.NewSharded(p, nil, nil, cep.ShardConfig{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	s := cep.NewSession(cep.SessionConfig{})
+	if err := s.RegisterDetector("per-partition", sharded, nil); err != nil {
+		panic(err)
+	}
+	events := []*cep.Event{
+		cep.NewEvent(login, 1000, 7),
+		cep.NewEvent(login, 1500, 9),
+		cep.NewEvent(alert, 2000, 7),
+		cep.NewEvent(alert, 2500, 9),
+	}
+	for i, ev := range events {
+		ev.Partition = i % 2 // partition-local detection inside the shards
+	}
+	if err := s.Run(context.Background(), cep.NewStream(cep.Stamp(events))); err != nil {
+		panic(err)
+	}
+	ms, err := s.Flush()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(ms), "matches")
+	// Output: 2 matches
+}

@@ -33,7 +33,8 @@ func ExampleNew() {
 		cep.NewEvent(alert, 2000, 7),
 		cep.NewEvent(alert, 3000, 9), // wrong user
 	})
-	fmt.Println(len(rt.ProcessAll(events)), "match")
+	ms, _ := rt.ProcessAll(events)
+	fmt.Println(len(ms), "match")
 	// Output: 1 match
 }
 

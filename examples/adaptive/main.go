@@ -64,7 +64,9 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	rt.Flush()
+	if _, err := rt.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("processed %d events, %d matches, %d replans\n",
 		n, rt.Matches(), rt.Replans())
 	fmt.Println(`the controller re-estimated rates over a sliding window and swapped to a

@@ -1,8 +1,11 @@
-// Quickstart: declare a pattern in the SASE-style syntax, measure stream
-// statistics, let the optimizer pick an evaluation plan, and detect matches.
+// Quickstart: declare named queries with config-first construction, stream
+// one feed through a Session, and receive matches tagged with the query
+// that produced them. The optimizer picks each query's evaluation plan from
+// measured stream statistics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,16 +18,6 @@ func main() {
 	trade := cep.NewSchema("Trade", "user", "amount")
 	alert := cep.NewSchema("Alert", "user")
 
-	// Pattern: a login, then a large trade by the same user, then a risk
-	// alert for that user — all within ten seconds.
-	p, err := cep.ParsePattern(`
-		PATTERN SEQ(Login l, Trade t, Alert a)
-		WHERE l.user = t.user AND t.user = a.user AND t.amount > 500
-		WITHIN 10 s`)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// A small historical slice to measure arrival rates and predicate
 	// selectivities (the paper's preprocessing stage).
 	history := cep.Stamp([]*cep.Event{
@@ -36,15 +29,43 @@ func main() {
 		cep.NewEvent(trade, 12_000, 2, 800),
 		cep.NewEvent(alert, 13_000, 2),
 	})
-	st := cep.Measure(history, p)
 
-	// Plan with bushy-tree dynamic programming (the paper's best method)
-	// and run over the live stream.
-	rt, err := cep.New(p, st, cep.WithAlgorithm(cep.AlgDPB))
+	// Two queries over the same feed. The first is the paper-style
+	// laundering chain planned with bushy-tree dynamic programming; the
+	// second watches for any big trade.
+	launder := cep.QueryConfig{
+		Name: "laundering",
+		Source: `PATTERN SEQ(Login l, Trade t, Alert a)
+		         WHERE l.user = t.user AND t.user = a.user AND t.amount > 500
+		         WITHIN 10 s`,
+		Algorithm: cep.AlgDPB,
+	}
+	bigTrade := cep.QueryConfig{
+		Name:   "big-trade",
+		Source: `PATTERN SEQ(Trade t) WHERE t.amount > 700 WITHIN 1 s`,
+	}
+	// Measure statistics per query (each pattern has its own predicates).
+	p, err := cep.ParsePattern(launder.Source)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(rt.Describe())
+	launder.Stats = cep.Measure(history, p)
+
+	// One Session serves both queries: every event fans out to each query's
+	// worker over a bounded queue, and matches come back tagged.
+	s := cep.NewSession(cep.SessionConfig{
+		OnMatch: func(query string, m *cep.Match) {
+			fmt.Printf("[%s] match:\n", query)
+			for _, e := range m.Events() {
+				fmt.Printf("  %s\n", e)
+			}
+		},
+	})
+	for _, qc := range []cep.QueryConfig{launder, bigTrade} {
+		if err := s.Register(qc); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	live := cep.Stamp([]*cep.Event{
 		cep.NewEvent(login, 20_000, 7),
@@ -53,11 +74,11 @@ func main() {
 		cep.NewEvent(alert, 23_000, 7),
 		cep.NewEvent(alert, 24_000, 8), // wrong user
 	})
-	for _, m := range rt.ProcessAll(live) {
-		fmt.Println("match:")
-		for _, e := range m.Events() {
-			fmt.Printf("  %s\n", e)
-		}
+	if err := s.Run(context.Background(), cep.NewStream(live)); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("plan cost %.1f, %d matches\n", rt.PlanCost(), rt.Matches())
+	if err := s.Close(); err != nil { // end of stream: flush pendings, join workers
+		log.Fatal(err)
+	}
+	fmt.Printf("served %v over one feed\n", s.Queries())
 }

@@ -71,7 +71,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		matches := rt.ProcessAll(cep.Stamp(ticks))
+		matches, err := rt.ProcessAll(cep.Stamp(ticks))
+		if err != nil {
+			log.Fatal(err)
+		}
 		partial, buffered := rt.State()
 		fmt.Printf("%-8s plan cost %10.0f   matches %4d   final state: %d partial, %d buffered\n",
 			alg, rt.PlanCost(), len(matches), partial, buffered)

@@ -51,7 +51,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		matches := rt.ProcessAll(cep.Stamp(frames))
+		matches, err := rt.ProcessAll(cep.Stamp(frames))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-8s  matches %3d  plan cost %12.0f\n  %s",
 			alg, len(matches), rt.PlanCost(), rt.Describe())
 	}

@@ -1,17 +1,24 @@
 package cep
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Fleet runs several independent pattern runtimes concurrently over one
 // stream: each runtime receives every event on its own bounded channel and
 // is driven by its own goroutine (engines are single-goroutine machines, so
-// the fleet is the concurrency boundary). This is the typical deployment
-// shape of a CEP service monitoring many patterns against one feed. For
-// scaling one pattern across partitions of a feed, use ShardedRuntime
-// instead.
+// the fleet is the concurrency boundary).
+//
+// Deprecated: Fleet predates Session, which serves the same shape — many
+// queries, one feed — with named queries, per-query configuration, tagged
+// match sinks, context-aware streaming and the Start/Drain/Close lifecycle.
+// Fleet remains as a thin positional wrapper and satisfies the Detector
+// contract, but new code should register queries on a Session.
 type Fleet struct {
 	runtimes []*Runtime
 	queueLen int
+	closed   bool
 }
 
 // NewFleet groups runtimes. The fleet takes ownership: drive the runtimes
@@ -36,26 +43,34 @@ func (f *Fleet) Size() int { return len(f.runtimes) }
 
 // Run feeds the (timestamp-ordered, serial-stamped) events to every runtime
 // concurrently and returns the matches per runtime, in fleet order,
-// including flushed pendings.
+// including flushed pendings. A nil event in the slice aborts the run with
+// an error wrapping ErrNilEvent: a hole must fail loudly, not silently
+// truncate the stream.
 //
 // Caution: under SkipTillNextMatch the runtimes share consumption marks on
 // the events; concurrent fleets should use skip-till-any or disjoint event
 // slices per runtime.
-func (f *Fleet) Run(events []*Event) [][]*Match {
+func (f *Fleet) Run(events []*Event) ([][]*Match, error) {
 	i := 0
-	return f.run(func() *Event {
-		if i >= len(events) {
+	var nilErr error
+	results, err := f.run(func() *Event {
+		if i >= len(events) || nilErr != nil {
 			return nil
 		}
 		e := events[i]
 		if e == nil {
-			// nil means end-of-stream to the broadcaster; a hole in the
-			// slice must fail loudly, not silently truncate the run.
-			panic("cep: nil event in Fleet.Run slice")
+			// nil means end-of-stream to the broadcaster; record the hole so
+			// the truncated run is reported as an error, not as success.
+			nilErr = fmt.Errorf("cep: event %d in Fleet.Run slice: %w", i, ErrNilEvent)
+			return nil
 		}
 		i++
 		return e
 	})
+	if nilErr != nil {
+		return results, nilErr
+	}
+	return results, err
 }
 
 // RunStream drains an event source through every runtime concurrently and
@@ -63,19 +78,22 @@ func (f *Fleet) Run(events []*Event) [][]*Match {
 // pendings. Events are pulled at the pace of the slowest runtime once its
 // queue fills (back-pressure), so an unbounded source is processed in
 // bounded memory. The SkipTillNextMatch caveat of Run applies.
-func (f *Fleet) RunStream(src EventSource) [][]*Match {
+func (f *Fleet) RunStream(src EventSource) ([][]*Match, error) {
 	return f.run(src.Next)
 }
 
 // run broadcasts the pulled events to one bounded channel per runtime from
 // a single goroutine; a full channel blocks the broadcast, which is the
 // back-pressure bound on how far ahead of the slowest runtime the stream
-// can run.
-func (f *Fleet) run(next func() *Event) [][]*Match {
+// can run. The returned error is the first per-runtime processing failure,
+// if any; the other runtimes' results are still returned.
+func (f *Fleet) run(next func() *Event) ([][]*Match, error) {
 	if len(f.runtimes) == 0 {
-		return nil // nothing consumes, so don't drain the source
+		return nil, nil // nothing consumes, so don't drain the source
 	}
+	f.closed = true // the one-shot run consumes the runtimes
 	results := make([][]*Match, len(f.runtimes))
+	errs := make([]error, len(f.runtimes))
 	feeds := make([]chan *Event, len(f.runtimes))
 	var wg sync.WaitGroup
 	for i, rt := range f.runtimes {
@@ -85,9 +103,25 @@ func (f *Fleet) run(next func() *Event) [][]*Match {
 			defer wg.Done()
 			var out []*Match
 			for e := range feed {
-				out = append(out, rt.Process(e)...)
+				if errs[i] != nil {
+					continue // drain the feed so the broadcaster never blocks
+				}
+				ms, err := rt.Process(e)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out = append(out, ms...)
 			}
-			results[i] = append(out, rt.Flush()...)
+			if errs[i] != nil {
+				results[i] = out
+				return
+			}
+			fl, err := rt.Flush()
+			if err != nil {
+				errs[i] = err
+			}
+			results[i] = append(out, fl...)
 		}(i, rt, feeds[i])
 	}
 	for e := next(); e != nil; e = next() {
@@ -99,7 +133,60 @@ func (f *Fleet) run(next func() *Event) [][]*Match {
 		close(feed)
 	}
 	wg.Wait()
-	return results
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Process feeds one event to every runtime synchronously (fleet order) and
+// returns the concatenated matches — the Detector view of the fleet. Do not
+// mix Process with the concurrent Run/RunStream on the same fleet.
+func (f *Fleet) Process(e *Event) ([]*Match, error) {
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if e == nil {
+		return nil, ErrNilEvent
+	}
+	var out []*Match
+	for _, rt := range f.runtimes {
+		ms, err := rt.Process(e)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// Flush ends the stream for every runtime and returns the concatenated
+// pending matches in fleet order. Flushing twice returns ErrClosed.
+func (f *Fleet) Flush() ([]*Match, error) {
+	if f.closed {
+		return nil, ErrClosed
+	}
+	f.closed = true
+	var out []*Match
+	for _, rt := range f.runtimes {
+		ms, err := rt.Flush()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// Close releases every runtime without flushing; it is idempotent.
+func (f *Fleet) Close() error {
+	f.closed = true
+	for _, rt := range f.runtimes {
+		rt.Close()
+	}
+	return nil
 }
 
 // TotalMatches sums the matches over a Run result.

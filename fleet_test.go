@@ -1,6 +1,7 @@
 package cep
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/workload"
@@ -28,7 +29,7 @@ func TestFleetMatchesSequentialRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want = append(want, len(rt.ProcessAll(events)))
+		want = append(want, len(processAll(t, rt, events)))
 	}
 	// Concurrent fleet.
 	var rts []*Runtime
@@ -47,7 +48,10 @@ func TestFleetMatchesSequentialRuns(t *testing.T) {
 	if fleet.Size() != 3 {
 		t.Fatalf("Size = %d", fleet.Size())
 	}
-	results := fleet.Run(events)
+	results, err := fleet.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 3 {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -61,9 +65,38 @@ func TestFleetMatchesSequentialRuns(t *testing.T) {
 	}
 }
 
+// TestFleetNilEventError is the regression test for the old
+// panic("cep: nil event in Fleet.Run slice"): a hole in the slice must
+// surface as an error wrapping ErrNilEvent through the Detector error
+// contract, not as a panic and not as a silently truncated run.
+func TestFleetNilEventError(t *testing.T) {
+	p, err := ParsePattern(`PATTERN SEQ(Login l, Alert a) WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := demoEvents()
+	events[2] = nil
+	if _, err := NewFleet(rt).Run(events); !errors.Is(err, ErrNilEvent) {
+		t.Fatalf("Run over a slice with a nil hole returned %v, want ErrNilEvent", err)
+	}
+	// The synchronous Detector path refuses nil events the same way.
+	rt2, _ := New(p, nil)
+	if _, err := NewFleet(rt2).Process(nil); !errors.Is(err, ErrNilEvent) {
+		t.Fatalf("Process(nil) = %v, want ErrNilEvent", err)
+	}
+}
+
 func TestFleetEmpty(t *testing.T) {
 	f := NewFleet()
-	if got := f.Run(nil); len(got) != 0 {
+	got, err := f.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
 		t.Fatalf("empty fleet produced %d results", len(got))
 	}
 }

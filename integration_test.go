@@ -55,7 +55,7 @@ func TestRuntimeMatchesOracleOnWorkloadPatterns(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s %s: %v", cat, alg, err)
 				}
-				got := len(rt.ProcessAll(workload.ResetStream(events)))
+				got := len(processAll(t, rt, workload.ResetStream(events)))
 				if got != want {
 					t.Fatalf("%s %s on %s: %d matches, oracle %d", cat, alg, p, got, want)
 				}
@@ -81,7 +81,7 @@ func TestRuntimeKleeneMatchesOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := len(rt.ProcessAll(workload.ResetStream(events)))
+			got := len(processAll(t, rt, workload.ResetStream(events)))
 			if got != want {
 				t.Fatalf("%s on %s: %d matches, oracle %d", alg, p, got, want)
 			}

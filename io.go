@@ -38,6 +38,15 @@ func AssignPartitions(events []*Event, attr string, parts int) ([]*Event, error)
 	return ingest.AssignPartitions(events, attr, parts)
 }
 
+// SourceFunc adapts a plain pull function to an EventSource, so a custom
+// feed (a socket reader, a Kafka consumer, a generator) can be streamed
+// through Session.Run or Runtime.ProcessStream without a named type. The
+// function must return timestamp-ordered events and nil at end of stream.
+type SourceFunc func() *Event
+
+// Next pulls the next event.
+func (f SourceFunc) Next() *Event { return f() }
+
 // SaveStats persists measured statistics as JSON so an expensive offline
 // measurement pass can be reused across runs.
 func SaveStats(w io.Writer, s *Stats) error { return s.Save(w) }

@@ -1,7 +1,7 @@
 package cep
 
 import (
-	"fmt"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -73,29 +73,57 @@ func (pr *PartitionedRuntime) runtimeFor(partition int) (*Runtime, error) {
 }
 
 // Process routes the event to its partition's runtime, creating it on first
-// contact.
+// contact. A nil event returns ErrNilEvent; after Flush or Close it returns
+// ErrClosed.
 func (pr *PartitionedRuntime) Process(e *Event) ([]*Match, error) {
 	if pr.flushOnce {
-		return nil, fmt.Errorf("cep: partitioned runtime already flushed")
+		return nil, ErrClosed
+	}
+	if e == nil {
+		return nil, ErrNilEvent
 	}
 	rt, err := pr.runtimeFor(e.Partition)
 	if err != nil {
 		return nil, err
 	}
-	ms := rt.Process(e)
+	ms, err := rt.Process(e)
 	pr.matches += int64(len(ms))
-	return ms, nil
+	return ms, err
 }
 
-// Flush releases pending matches from every partition.
-func (pr *PartitionedRuntime) Flush() []*Match {
+// Flush ends the stream, releasing pending matches from every partition in
+// ascending partition-id order, so flushed output is reproducible across
+// runs regardless of partition-map iteration order. Flushing twice returns
+// ErrClosed.
+func (pr *PartitionedRuntime) Flush() ([]*Match, error) {
+	if pr.flushOnce {
+		return nil, ErrClosed
+	}
 	pr.flushOnce = true
+	ids := make([]int, 0, len(pr.runtimes))
+	for id := range pr.runtimes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var out []*Match
-	for _, rt := range pr.runtimes {
-		out = append(out, rt.Flush()...)
+	for _, id := range ids {
+		ms, err := pr.runtimes[id].Flush()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
 	}
 	pr.matches += int64(len(out))
-	return out
+	return out, nil
+}
+
+// Close releases the runtime without flushing; it is idempotent.
+func (pr *PartitionedRuntime) Close() error {
+	pr.flushOnce = true
+	for _, rt := range pr.runtimes {
+		rt.Close()
+	}
+	return nil
 }
 
 // Partitions returns the partition ids with active runtimes.

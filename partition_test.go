@@ -49,7 +49,11 @@ func TestPartitionedRuntimeIsolatesPartitions(t *testing.T) {
 		}
 		total += len(ms)
 	}
-	total += len(pr.Flush())
+	fl, err := pr.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += len(fl)
 	// Partition 1: L@1000 T@2000 A@3000 → 1. Partition 2: L@2500 T@3500
 	// A@4000 → 1. Cross-partition sequences are excluded by construction.
 	if total != 2 {
@@ -141,10 +145,72 @@ func TestPartitionedRuntimeOverWorkload(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want += int64(len(rt.ProcessAll(Stamp(evs))))
+		want += int64(len(processAll(t, rt, Stamp(evs))))
 	}
 	if pr.Matches() != want {
 		t.Fatalf("partitioned matches = %d, per-partition reference = %d", pr.Matches(), want)
+	}
+}
+
+// TestPartitionedFlushDeterministicOrder pins the Flush ordering contract:
+// matches held back by trailing-negation windows are released partition by
+// partition in ascending partition-id order, so two identical runs produce
+// byte-identical flushed output without any sort-after-collect.
+func TestPartitionedFlushDeterministicOrder(t *testing.T) {
+	// Trailing negation holds each partition's match until end of stream.
+	p, err := ParsePattern(`PATTERN SEQ(Login l, Trade t, NOT(Alert n)) WITHIN 1 minutes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch partitions in a scrambled order so map iteration (insertion
+	// order notwithstanding) would permute an unsorted flush.
+	buildEvents := func() []*Event {
+		var evs []*Event
+		ts := Time(0)
+		for _, part := range []int{7, 2, 9, 0, 5, 3} {
+			ts += 1000
+			l := NewEvent(loginSchema, ts, float64(part))
+			ts += 1000
+			tr := NewEvent(tradeSchema, ts, float64(part), 100)
+			l.Partition, tr.Partition = part, part
+			evs = append(evs, l, tr)
+		}
+		return Stamp(evs)
+	}
+	run := func() []*Match {
+		pr, err := NewPartitioned(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range buildEvents() {
+			if _, err := pr.Process(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fl, err := pr.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fl
+	}
+	first := run()
+	if len(first) != 6 {
+		t.Fatalf("flushed %d matches, want 6", len(first))
+	}
+	// Ascending partition order within one run...
+	prev := -1
+	for _, m := range first {
+		part := m.Events()[0].Partition
+		if part < prev {
+			t.Fatalf("flush order not sorted by partition: %d after %d", part, prev)
+		}
+		prev = part
+	}
+	// ...and byte-identical across runs.
+	for round := 0; round < 5; round++ {
+		if got := orderedKeys(run()); got != orderedKeys(first) {
+			t.Fatalf("round %d: flush order differs from first run", round)
+		}
 	}
 }
 

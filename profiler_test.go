@@ -58,7 +58,7 @@ func TestProfiledLatencyAnchor(t *testing.T) {
 		t.Fatalf("profiled plan should end with the Alert: %s", profiled.Describe())
 	}
 	// Matching still works.
-	if got := len(profiled.ProcessAll(Stamp(history))); got != 20 {
+	if got := len(processAll(t, profiled, Stamp(history))); got != 20 {
 		t.Fatalf("profiled runtime found %d matches, want 20", got)
 	}
 }

@@ -75,12 +75,13 @@ func WithProfiledLatencyAnchor(history []*Event) Option {
 }
 
 // Runtime is a planned, executable pattern: one evaluation engine per DNF
-// disjunct, sharing a single Process/Flush interface.
+// disjunct, behind the unified Detector contract.
 type Runtime struct {
 	pattern *Pattern
 	plan    *core.Plan
 	engines []metrics.Engine
 	matches int64
+	closed  bool
 }
 
 // New plans the pattern with the given statistics and builds its engines.
@@ -133,26 +134,37 @@ func New(p *Pattern, st *Stats, opts ...Option) (*Runtime, error) {
 
 // Process feeds one event (timestamps must be non-decreasing) and returns
 // the matches it completed. The returned slice is only valid until the next
-// call.
-func (rt *Runtime) Process(e *Event) []*Match {
+// call. A nil event returns ErrNilEvent; after Flush or Close it returns
+// ErrClosed.
+func (rt *Runtime) Process(e *Event) ([]*Match, error) {
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	if e == nil {
+		return nil, ErrNilEvent
+	}
 	var out []*Match
 	for _, eng := range rt.engines {
 		out = append(out, eng.Process(e)...)
 	}
 	rt.matches += int64(len(out))
-	return out
+	return out, nil
 }
 
 // ProcessAll feeds a whole (timestamp-ordered, serial-stamped) slice and
-// returns every match including flushed pendings.
-func (rt *Runtime) ProcessAll(events []*Event) []*Match {
+// returns every match including flushed pendings. The runtime is flushed —
+// and therefore closed — when it returns.
+func (rt *Runtime) ProcessAll(events []*Event) ([]*Match, error) {
 	var out []*Match
 	for _, e := range events {
-		for _, m := range rt.Process(e) {
-			out = append(out, m)
+		ms, err := rt.Process(e)
+		if err != nil {
+			return out, err
 		}
+		out = append(out, ms...)
 	}
-	return append(out, rt.Flush()...)
+	fl, err := rt.Flush()
+	return append(out, fl...), err
 }
 
 // EventSource is a pull-based event stream (satisfied by the slice streams
@@ -165,8 +177,9 @@ type EventSource interface {
 
 // ProcessStream drains an event source through the runtime, invoking fn for
 // every match (including flushed pendings). fn may be nil when only the
-// side effects of WithOnMatch are wanted.
-func (rt *Runtime) ProcessStream(src EventSource, fn func(*Match)) {
+// side effects of WithOnMatch are wanted. The runtime is flushed when it
+// returns.
+func (rt *Runtime) ProcessStream(src EventSource, fn func(*Match)) error {
 	emit := func(ms []*Match) {
 		if fn == nil {
 			return
@@ -176,20 +189,38 @@ func (rt *Runtime) ProcessStream(src EventSource, fn func(*Match)) {
 		}
 	}
 	for e := src.Next(); e != nil; e = src.Next() {
-		emit(rt.Process(e))
+		ms, err := rt.Process(e)
+		if err != nil {
+			return err
+		}
+		emit(ms)
 	}
-	emit(rt.Flush())
+	ms, err := rt.Flush()
+	emit(ms)
+	return err
 }
 
-// Flush releases matches held back by trailing-negation windows; call it at
-// end of stream.
-func (rt *Runtime) Flush() []*Match {
+// Flush ends the stream: it releases matches held back by trailing-negation
+// windows and closes the runtime to further events. Flushing twice returns
+// ErrClosed.
+func (rt *Runtime) Flush() ([]*Match, error) {
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	rt.closed = true
 	var out []*Match
 	for _, eng := range rt.engines {
 		out = append(out, eng.Flush()...)
 	}
 	rt.matches += int64(len(out))
-	return out
+	return out, nil
+}
+
+// Close releases the runtime without flushing: matches still held back by
+// trailing-negation windows are discarded. It is idempotent.
+func (rt *Runtime) Close() error {
+	rt.closed = true
+	return nil
 }
 
 // PlanCost returns the cost-model estimate of the chosen plan (summed over

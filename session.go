@@ -1,0 +1,588 @@
+package cep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// QueryConfig declares one named query — pattern, statistics and tuning —
+// as a plain struct, the config-first alternative to the functional-option
+// constructors for the common path. Zero values select the defaults
+// (AlgGreedy, SkipTillAnyMatch, no latency weighting).
+type QueryConfig struct {
+	// Name identifies the query inside a Session; match deliveries are
+	// tagged with it. Required when registering on a Session.
+	Name string
+	// Pattern is the parsed pattern AST. Exactly one of Pattern and Source
+	// must be set.
+	Pattern *Pattern
+	// Source is the SASE-style textual pattern, parsed (and, when Registry
+	// is set, validated) at construction.
+	Source string
+	// Registry optionally validates Source against declared schemas.
+	Registry *Registry
+	// Stats supplies the arrival rates and selectivities the planner
+	// minimises over; nil plans under neutral defaults.
+	Stats *Stats
+	// Algorithm is the plan-generation algorithm (default AlgGreedy).
+	Algorithm string
+	// Strategy is the event selection strategy (default SkipTillAnyMatch).
+	Strategy Strategy
+	// LatencyWeight is α of the hybrid cost model Cost_trpt + α·Cost_lat.
+	LatencyWeight float64
+	// MaxKleeneBase bounds Kleene-closure power-set enumeration (0 keeps
+	// the engine default).
+	MaxKleeneBase int
+	// OnMatch, when non-nil, receives this query's matches as they are
+	// emitted instead of the Session accumulating (or forwarding) them.
+	// Inside a Session it runs on the query's worker goroutine, in stream
+	// order; in a standalone NewFromConfig runtime it is installed as the
+	// engine's WithOnMatch callback.
+	OnMatch func(*Match)
+}
+
+// pattern resolves the Pattern/Source pair.
+func (qc QueryConfig) pattern() (*Pattern, error) {
+	switch {
+	case qc.Pattern != nil && qc.Source != "":
+		return nil, fmt.Errorf("cep: query %q sets both Pattern and Source", qc.Name)
+	case qc.Pattern != nil:
+		return qc.Pattern, nil
+	case qc.Source != "":
+		if qc.Registry != nil {
+			return ParsePatternWith(qc.Source, qc.Registry)
+		}
+		return ParsePattern(qc.Source)
+	default:
+		return nil, fmt.Errorf("cep: query %q has neither Pattern nor Source", qc.Name)
+	}
+}
+
+// options lowers the declarative fields onto the functional options of New.
+func (qc QueryConfig) options() []Option {
+	var opts []Option
+	if qc.Algorithm != "" {
+		opts = append(opts, WithAlgorithm(qc.Algorithm))
+	}
+	if qc.Strategy != 0 {
+		opts = append(opts, WithStrategy(qc.Strategy))
+	}
+	if qc.LatencyWeight != 0 {
+		opts = append(opts, WithLatencyWeight(qc.LatencyWeight))
+	}
+	if qc.MaxKleeneBase != 0 {
+		opts = append(opts, WithMaxKleeneBase(qc.MaxKleeneBase))
+	}
+	return opts
+}
+
+// NewFromConfig plans a single-query Runtime from a declarative QueryConfig
+// — the config-first equivalent of New with functional options.
+func NewFromConfig(qc QueryConfig) (*Runtime, error) {
+	p, err := qc.pattern()
+	if err != nil {
+		return nil, err
+	}
+	opts := qc.options()
+	if qc.OnMatch != nil {
+		opts = append(opts, WithOnMatch(qc.OnMatch))
+	}
+	return New(p, qc.Stats, opts...)
+}
+
+// MatchSink receives matches tagged with the name of the query that emitted
+// them. Sinks installed on a Session run on the worker goroutine of the
+// emitting query: calls for one query are sequential and in stream order,
+// but calls for different queries run concurrently, so a shared sink must
+// be safe for concurrent use. A sink must not call back into the Session
+// (Submit, Drain, Flush, Close) — the worker is blocked inside the
+// callback, so waiting on its own queue deadlocks.
+type MatchSink func(query string, m *Match)
+
+// SessionConfig configures a Session. The zero value selects the defaults.
+type SessionConfig struct {
+	// QueueLen is the per-query bounded input queue capacity (default 256).
+	// A full queue blocks Submit/Run until the query catches up — the
+	// back-pressure bound on how far the feed can run ahead of the slowest
+	// query.
+	QueueLen int
+	// OnMatch, when non-nil, receives every match of every query that does
+	// not install its own QueryConfig.OnMatch. See MatchSink for the
+	// concurrency rules.
+	OnMatch MatchSink
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.QueueLen <= 0 {
+		c.QueueLen = 256
+	}
+	return c
+}
+
+// Session is the front door for serving: any number of named queries over
+// one event feed, each query on its own worker goroutine behind a bounded
+// queue, under one lifecycle and one error model. It subsumes Fleet (many
+// queries, one feed) and composes with ShardedRuntime (one query,
+// partitioned feed): RegisterDetector accepts any Detector, so a query may
+// itself be sharded, partitioned or adaptive.
+//
+// Lifecycle: NewSession → Register/RegisterDetector → Start (or let
+// Run/Process auto-start) → Submit/Run → Flush (collect) or Close
+// (discard). Drain is a mid-stream barrier. Matches flow to the per-query
+// OnMatch, else to the session MatchSink, else they accumulate and are
+// returned by Flush and Results.
+//
+// Session itself satisfies Detector: Process is Submit, and Flush ends the
+// stream across every query, returning the accumulated matches in query
+// registration order.
+type Session struct {
+	cfg SessionConfig
+
+	// mu guards the lifecycle flags and the query list. Submitters hold the
+	// read lock across their queue sends; Flush takes the write lock to
+	// flip closed and close the queues, so no send can race a channel
+	// close. joined flips only after the workers are gone: it is the flag
+	// that makes reading q.matches safe, so Results/Matches gate on it
+	// rather than on closed (which is set while workers may still be
+	// draining).
+	mu      sync.RWMutex
+	started bool
+	closed  bool
+	joined  bool
+	queries []*sessionQuery
+	byName  map[string]*sessionQuery
+	wg      sync.WaitGroup
+
+	// errMu guards err separately from mu: workers record errors while
+	// producers may hold mu's read lock blocked on that worker's full
+	// queue.
+	errMu sync.Mutex
+	err   error // first query error
+}
+
+// sessionQuery is one registered query: a Detector driven by a dedicated
+// worker goroutine off a bounded feed.
+type sessionQuery struct {
+	name    string
+	det     Detector
+	feed    chan sessionMsg
+	onMatch func(*Match)
+	dead    bool     // stop processing after the first error
+	matches []*Match // accumulated when no sink applies
+}
+
+// sessionMsg is one unit on a query feed: an event or a drain barrier.
+type sessionMsg struct {
+	ev    *Event
+	drain *sync.WaitGroup
+}
+
+// NewSession builds an empty session.
+func NewSession(cfg SessionConfig) *Session {
+	return &Session{cfg: cfg.withDefaults(), byName: make(map[string]*sessionQuery)}
+}
+
+// Register plans the query described by the config and adds it under its
+// name. Registration must happen before the session starts.
+func (s *Session) Register(qc QueryConfig) error {
+	// Delivery is the session's job: strip OnMatch from the runtime build
+	// so the engine callback and the session sink never double-deliver.
+	rtCfg := qc
+	rtCfg.OnMatch = nil
+	rt, err := NewFromConfig(rtCfg)
+	if err != nil {
+		return err
+	}
+	return s.RegisterDetector(qc.Name, rt, qc.OnMatch)
+}
+
+// RegisterDetector adds a pre-built detector — a Runtime, an
+// AdaptiveRuntime, a ShardedRuntime, anything satisfying Detector — under
+// the name. onMatch may be nil to fall through to the session sink (or
+// accumulation). The session takes ownership: it will Flush and Close the
+// detector.
+func (s *Session) RegisterDetector(name string, d Detector, onMatch func(*Match)) error {
+	if name == "" {
+		return fmt.Errorf("cep: query name must not be empty")
+	}
+	if d == nil {
+		return fmt.Errorf("cep: query %q: nil detector", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cep: session: %w", ErrClosed)
+	}
+	if s.started {
+		return fmt.Errorf("cep: session already started; register queries before Start")
+	}
+	if _, dup := s.byName[name]; dup {
+		return fmt.Errorf("cep: duplicate query name %q", name)
+	}
+	q := &sessionQuery{
+		name:    name,
+		det:     d,
+		feed:    make(chan sessionMsg, s.cfg.QueueLen),
+		onMatch: onMatch,
+	}
+	s.queries = append(s.queries, q)
+	s.byName[name] = q
+	return nil
+}
+
+// Queries returns the registered query names in registration order.
+func (s *Session) Queries() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.queries))
+	for i, q := range s.queries {
+		out[i] = q.name
+	}
+	return out
+}
+
+// Size returns the number of registered queries.
+func (s *Session) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.queries)
+}
+
+// Start launches one worker goroutine per registered query. It errors if
+// the session is empty, already started, or closed. Run and Process start
+// the session implicitly; explicit Start is for Submit-driven feeds.
+func (s *Session) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.startLocked(true)
+}
+
+func (s *Session) startLocked(explicit bool) error {
+	if s.closed {
+		return fmt.Errorf("cep: session: %w", ErrClosed)
+	}
+	if s.started {
+		if explicit {
+			return fmt.Errorf("cep: session already started")
+		}
+		return nil
+	}
+	if len(s.queries) == 0 {
+		return fmt.Errorf("cep: session has no registered queries")
+	}
+	s.started = true
+	for _, q := range s.queries {
+		s.wg.Add(1)
+		go s.runQuery(q)
+	}
+	return nil
+}
+
+// ensureStarted starts the workers if they are not running yet. The
+// read-lock fast path keeps the per-event cost of the steady state at one
+// RLock for Detector-style callers driving Process per event.
+func (s *Session) ensureStarted() error {
+	s.mu.RLock()
+	started := s.started
+	s.mu.RUnlock()
+	if started {
+		return nil // closed is re-checked under the lock by the submit path
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.startLocked(false)
+}
+
+// openLocked reports whether the session is accepting events; the caller
+// holds at least the read lock.
+func (s *Session) openLocked() error {
+	if s.closed {
+		return fmt.Errorf("cep: session: %w", ErrClosed)
+	}
+	if !s.started {
+		return fmt.Errorf("cep: session not started")
+	}
+	return nil
+}
+
+// Submit broadcasts one event to every query, blocking on a full queue
+// (back-pressure). All events must be submitted in timestamp order by a
+// single goroutine (or with external ordering); queries consume them
+// concurrently with each other, never with the submitter's next Submit of
+// the same queue slot.
+func (s *Session) Submit(e *Event) error {
+	return s.submit(nil, e)
+}
+
+// submit broadcasts under the read lock; a non-nil ctx makes each blocking
+// queue send cancellable.
+func (s *Session) submit(ctx context.Context, e *Event) error {
+	if e == nil {
+		return ErrNilEvent
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.openLocked(); err != nil {
+		return err
+	}
+	msg := sessionMsg{ev: e}
+	for _, q := range s.queries {
+		if ctx == nil {
+			q.feed <- msg
+			continue
+		}
+		select {
+		case q.feed <- msg:
+		default:
+			// Queue full: block on the send, but stay cancellable.
+			select {
+			case q.feed <- msg:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// Run streams an event source through the session until the source is
+// exhausted or the context is cancelled, starting the workers if needed.
+// On normal end of source it drains the queues (a barrier, not a flush —
+// detection continues across Runs) and returns nil; on cancellation it
+// returns ctx.Err() without waiting for queued events. Matches flow to the
+// registered sinks throughout; call Flush after the final Run to release
+// end-of-stream pendings.
+//
+// Cancellation truncates the stream mid-broadcast: the final event may
+// have reached only a prefix of the queries (broadcast happens in
+// registration order), so per-query results harvested after a cancelled
+// Run are cut at slightly different stream positions. Treat them as
+// partial; the cross-query equivalence guarantee holds only for streams
+// that ended normally.
+func (s *Session) Run(ctx context.Context, src EventSource) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if src == nil {
+		return fmt.Errorf("cep: session: nil event source")
+	}
+	if err := s.ensureStarted(); err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		e := src.Next()
+		if e == nil {
+			return s.Drain()
+		}
+		if err := s.submit(ctx, e); err != nil {
+			return err
+		}
+	}
+}
+
+// Drain is a mid-stream barrier: it blocks until every event submitted
+// before the call has been processed by every query. Engines are not
+// flushed; detection continues seamlessly.
+func (s *Session) Drain() error {
+	s.mu.RLock()
+	if err := s.openLocked(); err != nil {
+		s.mu.RUnlock()
+		return err
+	}
+	var barrier sync.WaitGroup
+	barrier.Add(len(s.queries))
+	for _, q := range s.queries {
+		q.feed <- sessionMsg{drain: &barrier}
+	}
+	// Wait outside the lock: the tokens are enqueued, so the barrier
+	// completes even if a concurrent Flush closes the queues meanwhile.
+	s.mu.RUnlock()
+	barrier.Wait()
+	return nil
+}
+
+// Process submits one event — the Detector view of the session. Matches
+// are delivered asynchronously through the sinks (or accumulate for
+// Flush), so Process always returns a nil match slice. The session starts
+// implicitly on the first call.
+func (s *Session) Process(e *Event) ([]*Match, error) {
+	if e == nil {
+		return nil, ErrNilEvent
+	}
+	if err := s.ensureStarted(); err != nil {
+		return nil, err
+	}
+	return nil, s.Submit(e)
+}
+
+// Flush ends the stream: it stops intake, waits for every queued event,
+// flushes and closes every query's detector, joins the workers, and
+// returns the accumulated matches (of queries without a sink) concatenated
+// in query registration order — so the output is reproducible run to run.
+// The error is the first error any query reported. Flushing a flushed (or
+// closed) session returns ErrClosed; flushing a never-started session
+// closes it with no matches.
+func (s *Session) Flush() ([]*Match, error) {
+	if err := s.shutdown(); err != nil {
+		return nil, err
+	}
+	var out []*Match
+	for _, q := range s.queries {
+		out = append(out, q.matches...)
+	}
+	s.errMu.Lock()
+	err := s.err
+	s.errMu.Unlock()
+	return out, err
+}
+
+// Close ends the stream and discards accumulated matches (sink deliveries
+// still happen while draining, including end-of-stream flushes). It is
+// idempotent: closing a closed or flushed session returns nil. Use Flush
+// to collect the matches instead.
+func (s *Session) Close() error {
+	if err := s.shutdown(); err != nil {
+		return nil // already shut down: idempotent
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// shutdown flips closed, closes the feeds and joins the workers exactly
+// once; a second call returns ErrClosed.
+func (s *Session) shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("cep: session: %w", ErrClosed)
+	}
+	s.closed = true
+	if !s.started {
+		// Close the registered detectors even though no worker ever ran.
+		for _, q := range s.queries {
+			if err := q.det.Close(); err != nil {
+				s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
+			}
+		}
+		s.joined = true
+		s.mu.Unlock()
+		return nil
+	}
+	// Close the queues while still holding the write lock: submitters hold
+	// the read lock across their sends, so none can be mid-send here.
+	for _, q := range s.queries {
+		close(q.feed)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.joined = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Results returns the accumulated matches per query (queries with a sink
+// have none). It must be called after Flush or Close; before shutdown it
+// returns nil.
+func (s *Session) Results() map[string][]*Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.joined {
+		return nil
+	}
+	out := make(map[string][]*Match, len(s.queries))
+	for _, q := range s.queries {
+		out[q.name] = q.matches
+	}
+	return out
+}
+
+// Matches returns one query's accumulated matches after Flush or Close.
+func (s *Session) Matches(query string) []*Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.joined {
+		return nil
+	}
+	if q, ok := s.byName[query]; ok {
+		return q.matches
+	}
+	return nil
+}
+
+// Err returns the first error any query reported so far.
+func (s *Session) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// recordErr keeps the first query error.
+func (s *Session) recordErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// runQuery is the worker loop: it owns the query's detector exclusively.
+// On the first processing error the query is marked dead and later events
+// are dropped (the error is reported through Flush/Close/Err); the other
+// queries keep running.
+func (s *Session) runQuery(q *sessionQuery) {
+	defer s.wg.Done()
+	for msg := range q.feed {
+		if msg.drain != nil {
+			msg.drain.Done()
+			continue
+		}
+		if q.dead {
+			continue
+		}
+		ms, err := q.det.Process(msg.ev)
+		if err != nil {
+			s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
+			q.dead = true
+			continue
+		}
+		s.emit(q, ms)
+	}
+	if !q.dead {
+		ms, err := q.det.Flush()
+		if err != nil {
+			s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
+		}
+		s.emit(q, ms)
+	}
+	if err := q.det.Close(); err != nil {
+		s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
+	}
+}
+
+// emit routes matches to the query sink, else the session sink, else the
+// accumulation buffer.
+func (s *Session) emit(q *sessionQuery, ms []*Match) {
+	if len(ms) == 0 {
+		return
+	}
+	switch {
+	case q.onMatch != nil:
+		for _, m := range ms {
+			q.onMatch(m)
+		}
+	case s.cfg.OnMatch != nil:
+		for _, m := range ms {
+			s.cfg.OnMatch(q.name, m)
+		}
+	default:
+		q.matches = append(q.matches, ms...)
+	}
+}

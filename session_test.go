@@ -1,0 +1,439 @@
+package cep
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// orderedKeys fingerprints a match list preserving emission order; two
+// byte-identical fingerprints mean the same matches in the same order.
+func orderedKeys(ms []*Match) string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = m.Key()
+	}
+	return strings.Join(keys, "\n")
+}
+
+// trafficWorkload generates the paper's Figure 1 four-cameras stream: A, B,
+// C report frequently, the malfunctioning camera D rarely.
+func trafficWorkload(t testing.TB) ([]*Event, *Registry) {
+	t.Helper()
+	cams := make(map[string]*Schema, 4)
+	schemas := make([]*Schema, 0, 4)
+	for _, name := range []string{"A", "B", "C", "D"} {
+		cams[name] = NewSchema(name, "vehicleID")
+		schemas = append(schemas, cams[name])
+	}
+	rng := rand.New(rand.NewSource(19))
+	var frames []*Event
+	ts := Time(0)
+	for i := 0; i < 3000; i++ {
+		ts += Time(5 + rng.Int63n(20))
+		cam := []string{"A", "B", "C"}[rng.Intn(3)]
+		if rng.Intn(10) == 0 {
+			cam = "D"
+		}
+		frames = append(frames, NewEvent(cams[cam], ts, float64(rng.Intn(40))))
+	}
+	return Stamp(frames), NewRegistry(schemas...)
+}
+
+// sessionEquivalenceQueries builds N query configs over the stock registry.
+func stockQueries(t testing.TB, reg *Registry, events []*Event) []QueryConfig {
+	t.Helper()
+	sources := []string{
+		`PATTERN SEQ(S000 a, S001 b) WHERE a.difference < b.difference WITHIN 2 s`,
+		`PATTERN AND(S002 a, S003 b, S004 c) WHERE a.bucket = b.bucket WITHIN 2 s`,
+		`PATTERN SEQ(S005 a, NOT(S001 n), S002 b) WITHIN 2 s`,
+		`PATTERN SEQ(S003 a, S004 b, S005 c) WHERE a.difference < c.difference WITHIN 3 s`,
+	}
+	algs := []string{AlgGreedy, AlgDPLD, AlgDPB, AlgZStream}
+	out := make([]QueryConfig, len(sources))
+	for i, src := range sources {
+		p, err := ParsePatternWith(src, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = QueryConfig{
+			Name:      []string{"pairs", "bucket-conj", "negation", "chain"}[i],
+			Pattern:   p,
+			Stats:     Measure(events, p),
+			Algorithm: algs[i],
+		}
+	}
+	return out
+}
+
+// TestSessionMatchesIndependentRuntimes is the multi-query equivalence
+// property on the stock workload: a Session with N queries must produce,
+// per query, a byte-identical ordered match set to N independent
+// Runtime.ProcessAll runs over the same stream.
+func TestSessionMatchesIndependentRuntimes(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 4000, Seed: 11, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	queries := stockQueries(t, stocks.Registry, events)
+
+	// Independent sequential references.
+	want := make(map[string]string, len(queries))
+	total := 0
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := processAll(t, rt, workload.ResetStream(events))
+		want[qc.Name] = orderedKeys(ms)
+		total += len(ms)
+	}
+	if total == 0 {
+		t.Fatal("workload produced no matches; equivalence test is vacuous")
+	}
+
+	s := NewSession(SessionConfig{QueueLen: 32})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(context.Background(), NewStream(workload.ResetStream(events))); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != total {
+		t.Fatalf("session emitted %d matches, references %d", len(all), total)
+	}
+	results := s.Results()
+	for _, qc := range queries {
+		if got := orderedKeys(results[qc.Name]); got != want[qc.Name] {
+			t.Errorf("query %q: session match stream differs from independent runtime\nsession: %d matches\nreference: %d matches",
+				qc.Name, len(results[qc.Name]), strings.Count(want[qc.Name], "\n")+1)
+		}
+	}
+}
+
+// TestSessionMatchesIndependentRuntimesTraffic repeats the equivalence
+// property on the Figure 1 traffic workload with per-query algorithms.
+func TestSessionMatchesIndependentRuntimesTraffic(t *testing.T) {
+	frames, reg := trafficWorkload(t)
+	sources := []string{
+		`PATTERN SEQ(A a, B b, C c, D d) WHERE a.vehicleID = b.vehicleID AND
+		 b.vehicleID = c.vehicleID AND c.vehicleID = d.vehicleID WITHIN 30 s`,
+		`PATTERN SEQ(A a, D d) WHERE a.vehicleID = d.vehicleID WITHIN 10 s`,
+		`PATTERN AND(B b, C c) WHERE b.vehicleID = c.vehicleID WITHIN 1 s`,
+	}
+	queries := make([]QueryConfig, len(sources))
+	for i, src := range sources {
+		p, err := ParsePatternWith(src, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = QueryConfig{
+			Name:      []string{"crossing", "entry-exit", "mid-pair"}[i],
+			Pattern:   p,
+			Stats:     Measure(frames, p),
+			Algorithm: []string{AlgDPLD, AlgGreedy, AlgDPB}[i],
+		}
+	}
+	want := make(map[string]string, len(queries))
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qc.Name] = orderedKeys(processAll(t, rt, frames))
+	}
+	s := NewSession(SessionConfig{})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(context.Background(), NewStream(frames)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for name, ref := range want {
+		if got := orderedKeys(s.Matches(name)); got != ref {
+			t.Errorf("query %q: session match stream differs from independent runtime", name)
+		}
+	}
+}
+
+// TestSessionMatchSinkTagging checks that the session-level sink receives
+// every match tagged with the right query name, and that tagged queries do
+// not accumulate.
+func TestSessionMatchSinkTagging(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	s := NewSession(SessionConfig{
+		OnMatch: func(query string, m *Match) {
+			mu.Lock()
+			counts[query]++
+			mu.Unlock()
+		},
+	})
+	if err := s.Register(QueryConfig{
+		Name:   "logins",
+		Source: `PATTERN SEQ(Login l) WITHIN 1 s`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(QueryConfig{
+		Name:   "pairs",
+		Source: `PATTERN SEQ(Login l, Alert a) WHERE l.user = a.user WITHIN 10 s`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range demoEvents() {
+		if err := s.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("sink-consumed session still accumulated %d matches", len(ms))
+	}
+	if counts["logins"] != 2 || counts["pairs"] != 2 {
+		t.Fatalf("tagged deliveries = %v, want logins:2 pairs:2", counts)
+	}
+}
+
+// TestSessionContextCancellation cancels Run mid-stream while the single
+// query's sink is blocked: the bounded queue fills, Submit blocks, and the
+// cancellation must unblock Run with ctx.Err() instead of deadlocking.
+func TestSessionContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	blocked := make(chan struct{})
+	s := NewSession(SessionConfig{
+		QueueLen: 1,
+		OnMatch: func(query string, m *Match) {
+			once.Do(func() { close(blocked) })
+			<-release
+		},
+	})
+	if err := s.Register(QueryConfig{
+		Name:   "every-login",
+		Source: `PATTERN SEQ(Login l) WITHIN 1 s`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var ts Time
+	var serial int64
+	endless := SourceFunc(func() *Event {
+		ts += 1000
+		serial++
+		e := NewEvent(loginSchema, ts, 1)
+		e.Serial = serial
+		return e
+	})
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, endless) }()
+	<-blocked // the sink is wedged: queue will fill and Run will block
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionDoubleCloseIdempotent closes a running session from several
+// goroutines at once (run under -race): exactly one shutdown happens and
+// every Close returns nil.
+func TestSessionDoubleCloseIdempotent(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	if err := s.Register(QueryConfig{
+		Name:   "pairs",
+		Source: `PATTERN SEQ(Login l, Alert a) WITHIN 10 s`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range demoEvents() {
+		if err := s.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(); err != nil {
+				t.Errorf("concurrent Close returned %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after Close returned %v", err)
+	}
+	if _, err := s.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Submit(demoEvents()[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSessionResultsDuringShutdownRace hammers Results/Matches while Flush
+// is draining a deep queue (run under -race): the accessors must not touch
+// the accumulation buffers until the workers have joined, so they return
+// nil until shutdown completes rather than racing the appends.
+func TestSessionResultsDuringShutdownRace(t *testing.T) {
+	s := NewSession(SessionConfig{QueueLen: 4096})
+	if err := s.Register(QueryConfig{
+		Name:   "every-login",
+		Source: `PATTERN SEQ(Login l) WITHIN 1 s`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var ts Time
+	for i := 0; i < 3000; i++ {
+		ts += 10
+		e := NewEvent(loginSchema, ts, 1)
+		e.Serial = int64(i + 1)
+		if err := s.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Spin until shutdown completes; every pre-join call must see nil,
+		// and the first non-nil view must already be the full result set.
+		for {
+			if r := s.Results(); r != nil {
+				if len(r["every-login"]) != 3000 {
+					t.Errorf("Results visible before join with %d matches", len(r["every-login"]))
+				}
+				return
+			}
+		}
+	}()
+	ms, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3000 {
+		t.Fatalf("flushed %d matches, want 3000", len(ms))
+	}
+	<-done
+}
+
+// TestSessionComposesWithShardedRuntime registers a ShardedRuntime as one
+// query of a Session — the "one query, partitioned feed" shape under the
+// shared Detector lifecycle — and checks the match set against the
+// sequential partitioned oracle.
+func TestSessionComposesWithShardedRuntime(t *testing.T) {
+	events, p, st := shardWorkload(t, 4000, 8)
+	oracle := matchKeys(sequentialOracle(t, p, st, workload.ResetStream(events)))
+	if len(oracle) == 0 {
+		t.Fatal("oracle found no matches")
+	}
+	evs := workload.ResetStream(events)
+	sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(SessionConfig{})
+	if err := s.RegisterDetector("sharded", sr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), NewStream(evs)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(matchKeys(got), oracle) {
+		t.Fatalf("session-wrapped sharded runtime emitted %d matches, oracle %d", len(got), len(oracle))
+	}
+}
+
+// TestSessionRegistrationErrors exercises the registration error paths.
+func TestSessionRegistrationErrors(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	if err := s.Register(QueryConfig{Name: "", Source: `PATTERN SEQ(A a) WITHIN 1 s`}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Register(QueryConfig{Name: "q"}); err == nil {
+		t.Fatal("config without Pattern or Source accepted")
+	}
+	if err := s.Register(QueryConfig{Name: "q", Source: `PATTERN SEQ(A a) WITHIN 1 s`, Pattern: demoPattern(t)}); err == nil {
+		t.Fatal("config with both Pattern and Source accepted")
+	}
+	if err := s.Register(QueryConfig{Name: "q", Source: `PATTERN NOT A PATTERN`}); err == nil {
+		t.Fatal("unparsable source accepted")
+	}
+	if err := s.Register(QueryConfig{Name: "q", Source: `PATTERN SEQ(A a) WITHIN 1 s`, Algorithm: "NOPE"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := s.RegisterDetector("d", nil, nil); err == nil {
+		t.Fatal("nil detector accepted")
+	}
+	if err := s.Register(QueryConfig{Name: "q", Source: `PATTERN SEQ(Login a) WITHIN 1 s`}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(QueryConfig{Name: "q", Source: `PATTERN SEQ(Login a) WITHIN 1 s`}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(QueryConfig{Name: "late", Source: `PATTERN SEQ(Login a) WITHIN 1 s`}); err == nil {
+		t.Fatal("registration after Start accepted")
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("double explicit Start accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionEmptyStart checks that a session with no queries refuses to
+// start rather than silently consuming a stream into nothing.
+func TestSessionEmptyStart(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	if err := s.Start(); err == nil {
+		t.Fatal("empty session started")
+	}
+	if err := s.Run(context.Background(), NewStream(nil)); err == nil {
+		t.Fatal("empty session ran")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

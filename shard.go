@@ -1,6 +1,7 @@
 package cep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -55,8 +56,15 @@ func (c ShardConfig) withDefaults() ShardConfig {
 // worker, in submission order, and matches never span partitions.
 //
 // Lifecycle: NewSharded → Start → Submit/SubmitBatch (any number of
-// goroutines) → Close. Drain may be called mid-stream as a barrier. After
-// Close the runtime cannot be restarted.
+// goroutines) → Flush (collect) or Close (discard). Drain may be called
+// mid-stream as a barrier. After Flush or Close the runtime cannot be
+// restarted.
+//
+// ShardedRuntime satisfies the Detector contract: Process lazily starts the
+// workers and submits the event (matches are delivered asynchronously — via
+// OnMatch, or accumulated for Flush — so Process itself returns none), and
+// Flush stops intake, drains the queues, flushes every engine and returns
+// the accumulated matches.
 //
 // Submit and SubmitBatch are safe for concurrent use; to preserve the
 // engines' timestamp-order requirement, all events of one partition must be
@@ -141,15 +149,43 @@ func (sr *ShardedRuntime) Start() error {
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
 	if sr.closed {
-		return fmt.Errorf("cep: sharded runtime already closed")
+		return fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
 	}
 	if sr.started {
 		return fmt.Errorf("cep: sharded runtime already started")
 	}
+	sr.startLocked()
+	return nil
+}
+
+// startLocked launches the workers; the caller holds the write lock and has
+// checked the lifecycle flags.
+func (sr *ShardedRuntime) startLocked() {
 	sr.started = true
 	for _, w := range sr.workers {
 		sr.wg.Add(1)
 		go w.run()
+	}
+}
+
+// ensureStarted lazily starts the workers on the first Process call, so the
+// sharded runtime behaves like every other Detector without an explicit
+// Start. The read-lock fast path keeps the per-event cost of the steady
+// state at one RLock.
+func (sr *ShardedRuntime) ensureStarted() error {
+	sr.mu.RLock()
+	started := sr.started
+	sr.mu.RUnlock()
+	if started {
+		return nil // closed is re-checked under the lock by the submit path
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.closed {
+		return fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
+	}
+	if !sr.started {
+		sr.startLocked()
 	}
 	return nil
 }
@@ -187,9 +223,24 @@ func (sr *ShardedRuntime) openLocked() error {
 		return fmt.Errorf("cep: sharded runtime not started")
 	}
 	if sr.closed {
-		return fmt.Errorf("cep: sharded runtime already closed")
+		return fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
 	}
 	return nil
+}
+
+// Process lazily starts the workers (if Start was not called) and submits
+// the event to its partition's shard. Matches are delivered asynchronously —
+// through OnMatch, or accumulated for Flush — so Process always returns a
+// nil match slice. It is safe for concurrent use under the SubmitBatch
+// ordering rules.
+func (sr *ShardedRuntime) Process(e *Event) ([]*Match, error) {
+	if e == nil {
+		return nil, ErrNilEvent
+	}
+	if err := sr.ensureStarted(); err != nil {
+		return nil, err
+	}
+	return nil, sr.Submit(e)
 }
 
 // Submit routes one event to its partition's shard, blocking when that
@@ -197,6 +248,9 @@ func (sr *ShardedRuntime) openLocked() error {
 // in-flight submissions, so Submit never races a queue close: it either
 // enqueues the event or returns the already-closed error.
 func (sr *ShardedRuntime) Submit(e *Event) error {
+	if e == nil {
+		return ErrNilEvent
+	}
 	sr.mu.RLock()
 	defer sr.mu.RUnlock()
 	if err := sr.openLocked(); err != nil {
@@ -224,6 +278,9 @@ func (sr *ShardedRuntime) SubmitBatch(events []*Event) error {
 	}
 	groups := make([][]*Event, len(sr.workers))
 	for _, e := range events {
+		if e == nil {
+			return fmt.Errorf("cep: nil event in batch: %w", ErrNilEvent)
+		}
 		i := sr.workerIndexFor(e.Partition)
 		groups[i] = append(groups[i], e)
 	}
@@ -260,23 +317,27 @@ func (sr *ShardedRuntime) Drain() error {
 	return nil
 }
 
-// Close stops intake, waits for every queued event to be processed, flushes
-// all engines (releasing matches held back by trailing-negation windows)
-// and joins the workers. It returns the accumulated matches — every match
-// since Start, in per-partition stream order, concatenated shard by shard —
-// or nil when an OnMatch callback consumed them. The error is the first
-// engine-construction failure any worker encountered, if any.
-func (sr *ShardedRuntime) Close() ([]*Match, error) {
+// Flush ends the stream: it stops intake, waits for every queued event to
+// be processed, flushes all engines (releasing matches held back by
+// trailing-negation windows) and joins the workers. It returns the
+// accumulated matches — every match since Start, in per-partition stream
+// order, concatenated shard by shard — or nil when an OnMatch callback
+// consumed them. The error is the first engine-construction failure any
+// worker encountered, if any. Flushing a flushed (or closed) runtime
+// returns ErrClosed; flushing a never-started runtime succeeds with no
+// matches.
+func (sr *ShardedRuntime) Flush() ([]*Match, error) {
 	sr.mu.Lock()
 	if sr.closed {
 		sr.mu.Unlock()
-		return nil, fmt.Errorf("cep: sharded runtime already closed")
-	}
-	if !sr.started {
-		sr.mu.Unlock()
-		return nil, fmt.Errorf("cep: sharded runtime not started")
+		return nil, fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
 	}
 	sr.closed = true
+	if !sr.started {
+		// Nothing was ever submitted; close without spinning up workers.
+		sr.mu.Unlock()
+		return nil, nil
+	}
 	// Close the queues while still holding the write lock: submitters hold
 	// the read lock across their sends, so none can be mid-send here.
 	for _, w := range sr.workers {
@@ -294,6 +355,18 @@ func (sr *ShardedRuntime) Close() ([]*Match, error) {
 	err := sr.err
 	sr.errMu.Unlock()
 	return out, err
+}
+
+// Close stops intake, drains and joins the workers, and discards the
+// accumulated matches (OnMatch deliveries still happen while draining). It
+// is idempotent: closing a closed or flushed runtime returns nil. Use Flush
+// to collect the matches instead.
+func (sr *ShardedRuntime) Close() error {
+	_, err := sr.Flush()
+	if errors.Is(err, ErrClosed) {
+		return nil
+	}
+	return err
 }
 
 // PlanFor describes the plan used by one partition, or "" if that partition
@@ -341,7 +414,11 @@ func (w *shardWorker) run() {
 			w.process(msg.ev)
 		}
 	}
-	w.emit(w.pr.Flush())
+	ms, err := w.pr.Flush()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		w.sr.recordErr(err)
+	}
+	w.emit(ms)
 }
 
 func (w *shardWorker) process(e *Event) {
@@ -365,7 +442,12 @@ func (w *shardWorker) process(e *Event) {
 		w.counters.SetPartitions(n)
 	}
 	w.counters.AddEvents(1)
-	w.emit(rt.Process(e))
+	ms, err := rt.Process(e)
+	if err != nil {
+		w.sr.recordErr(err)
+		return
+	}
+	w.emit(ms)
 }
 
 func (w *shardWorker) emit(ms []*Match) {

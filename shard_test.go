@@ -1,6 +1,7 @@
 package cep
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,7 +55,11 @@ func sequentialOracle(t testing.TB, p *Pattern, st *Stats, events []*Event, opts
 		}
 		out = append(out, ms...)
 	}
-	return append(out, pr.Flush()...)
+	fl, err := pr.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, fl...)
 }
 
 // TestShardedMatchesSequentialOracle is the core equivalence property: the
@@ -83,7 +88,7 @@ func TestShardedMatchesSequentialOracle(t *testing.T) {
 						t.Fatal(err)
 					}
 				}
-				got, err := sr.Close()
+				got, err := sr.Flush()
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -123,7 +128,7 @@ func TestShardedSubmitBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := sr.Close()
+	got, err := sr.Flush()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,9 +158,6 @@ func TestShardedLifecycle(t *testing.T) {
 	if err := sr.Drain(); err == nil {
 		t.Fatal("Drain before Start should fail")
 	}
-	if _, err := sr.Close(); err == nil {
-		t.Fatal("Close before Start should fail")
-	}
 	if err := sr.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -180,14 +182,17 @@ func TestShardedLifecycle(t *testing.T) {
 	if err := sr.SubmitBatch(events[half:]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sr.Close(); err != nil {
+	if _, err := sr.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	if err := sr.Submit(events[0]); err == nil {
-		t.Fatal("Submit after Close should fail")
+		t.Fatal("Submit after Flush should fail")
 	}
-	if _, err := sr.Close(); err == nil {
-		t.Fatal("double Close should fail")
+	if _, err := sr.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double Flush = %v, want ErrClosed", err)
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatalf("Close after Flush must be idempotent, got %v", err)
 	}
 	parts := map[int]bool{}
 	for _, ev := range events {
@@ -226,7 +231,7 @@ func TestShardedOnMatch(t *testing.T) {
 	if err := sr.SubmitBatch(evs); err != nil {
 		t.Fatal(err)
 	}
-	got, err := sr.Close()
+	got, err := sr.Flush()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +269,7 @@ func TestShardedPerPartitionPlans(t *testing.T) {
 	if err := sr.SubmitBatch(partitionedEvents()); err != nil {
 		t.Fatal(err)
 	}
-	ms, err := sr.Close()
+	ms, err := sr.Flush()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +343,7 @@ func TestShardedStressConcurrentProducers(t *testing.T) {
 	}()
 	wg.Wait()
 	close(done)
-	got, err := sr.Close()
+	got, err := sr.Flush()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +408,7 @@ func TestShardedSubmitCloseRace(t *testing.T) {
 				}
 			}(feeds[g])
 		}
-		if _, err := sr.Close(); err != nil {
+		if err := sr.Close(); err != nil {
 			t.Fatal(err)
 		}
 		wg.Wait()
