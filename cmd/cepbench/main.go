@@ -14,20 +14,27 @@
 //
 // Beyond the paper, `cepbench -fig shard` measures the sharded concurrent
 // runtime: events/second versus worker count on a bucket-partitioned stock
-// stream, against the sequential PartitionedRuntime baseline. And
-// `cepbench -fig session` measures the multi-query Session front door:
-// events/second versus the number of registered queries (1/4/16/64), with a
-// per-query match-count cross-check against independent sequential runs.
+// stream, against the sequential PartitionedRuntime baseline. `cepbench
+// -fig session` measures the multi-query Session front door: events/second
+// versus the number of registered queries (1/4/16/64), with a per-query
+// match-count cross-check against independent sequential runs. And
+// `cepbench -fig mqo` measures the multi-query shared-subplan optimizer:
+// 4/16/64 overlapping queries served by a ShareSubplans session versus the
+// default per-query-worker session, with a shared-vs-unshared match-count
+// cross-check, emitting the rows as JSON for trend tracking.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	cep "repro"
@@ -50,6 +57,8 @@ func main() {
 		shardGen = flag.Int("shard-events", 200000, "events in the sharded-throughput stream (-fig shard)")
 		shardPar = flag.Int("shard-partitions", 64, "partitions in the sharded-throughput stream (-fig shard)")
 		sessGen  = flag.Int("session-events", 50000, "events in the multi-query stream (-fig session)")
+		mqoGen   = flag.Int("mqo-events", 50000, "events in the shared-subplan stream (-fig mqo)")
+		mqoQs    = flag.String("mqo-queries", "4,16,64", "overlapping query counts (-fig mqo)")
 	)
 	flag.Parse()
 
@@ -63,6 +72,13 @@ func main() {
 	if *fig == "session" {
 		if err := runSessionScenario(*symbols, *sessGen, event.Time(*windowMS), *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "cepbench: session scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "mqo" {
+		if err := runMQOScenario(*symbols, *mqoGen, *mqoQs, event.Time(*windowMS), *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: mqo scenario: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -103,7 +119,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard' or 'session')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session' or 'mqo')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}
@@ -233,6 +249,175 @@ func runSessionScenario(symbols, events int, window event.Time, seed int64) erro
 		})
 	}
 	table.Fprint(os.Stdout)
+	return nil
+}
+
+// mqoRow is one measurement of the shared-subplan scenario, emitted as
+// JSON for CI trend tracking.
+type mqoRow struct {
+	Queries        int     `json:"queries"`
+	SharedRate     float64 `json:"shared_events_per_sec"`
+	UnsharedRate   float64 `json:"unshared_events_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	Matches        int     `json:"matches"`
+	MatchesOK      bool    `json:"matches_ok"`
+	SharedQueries  int     `json:"shared_queries"`
+	DAGNodes       int     `json:"dag_nodes"`
+	DAGSharedNodes int     `json:"dag_shared_nodes"`
+	Restructured   int     `json:"restructured"`
+	ModelUnshared  float64 `json:"model_unshared_cost"`
+	ModelShared    float64 `json:"model_shared_cost"`
+}
+
+// runMQOScenario measures the multi-query shared-subplan optimizer: N
+// overlapping queries — all joining the same hot symbol pair, each with its
+// own tail symbol — served by a ShareSubplans session versus the default
+// per-query-worker session, on the same stream. Every run must reproduce
+// the unshared per-query match counts — the table is also a correctness
+// check. The rows are emitted both as a table and as a JSON array on
+// stdout.
+func runMQOScenario(symbols, events int, queryCounts string, window event.Time, seed int64) error {
+	if symbols < 4 {
+		return fmt.Errorf("-symbols must be at least 4 (hot pair + tails), got %d", symbols)
+	}
+	var counts []int
+	for _, part := range strings.Split(queryCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("invalid -mqo-queries %q", queryCounts)
+		}
+		counts = append(counts, n)
+	}
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: symbols, Events: events, Seed: seed, MinRate: 1, MaxRate: 20,
+	})
+	stream := stocks.Generate()
+	// The hot pair: the two fastest symbols, so the shared (a ⋈ b) sub-join
+	// carries the bulk of the work; tails cycle over the remaining symbols.
+	type symRate struct {
+		name string
+		rate float64
+	}
+	bySpeed := make([]symRate, 0, len(stocks.Symbols))
+	for _, s := range stocks.Symbols {
+		bySpeed = append(bySpeed, symRate{s, stocks.Rates[s]})
+	}
+	sort.Slice(bySpeed, func(i, j int) bool { return bySpeed[i].rate > bySpeed[j].rate })
+	hotA, hotB := bySpeed[0].name, bySpeed[1].name
+	tails := bySpeed[2:]
+	fmt.Printf("mqo scenario: %d events over %d symbols, window %dms, hot pair %s⋈%s\n\n",
+		len(stream), symbols, window, hotA, hotB)
+
+	makeQueries := func(n int) ([]cep.QueryConfig, error) {
+		out := make([]cep.QueryConfig, 0, n)
+		for i := 0; i < n; i++ {
+			tail := tails[i%len(tails)].name
+			src := fmt.Sprintf(
+				`PATTERN SEQ(%s a, %s b, %s c)
+				 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+				 WITHIN %d ms`,
+				hotA, hotB, tail, window)
+			p, err := cep.ParsePatternWith(src, stocks.Registry)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cep.QueryConfig{
+				Name:    fmt.Sprintf("q%02d", i),
+				Pattern: p,
+				Stats:   cep.Measure(stream, p),
+			})
+		}
+		return out, nil
+	}
+
+	runSession := func(queries []cep.QueryConfig, share bool) (time.Duration, map[string]int, *cep.ShareReport, error) {
+		s := cep.NewSession(cep.SessionConfig{QueueLen: 1024, ShareSubplans: share})
+		for _, qc := range queries {
+			if err := s.Register(qc); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		evs := workload.ResetStream(stream)
+		start := time.Now()
+		if err := s.Run(context.Background(), cep.NewStream(evs)); err != nil {
+			return 0, nil, nil, err
+		}
+		if _, err := s.Flush(); err != nil {
+			return 0, nil, nil, err
+		}
+		elapsed := time.Since(start)
+		perQuery := make(map[string]int, len(queries))
+		for _, qc := range queries {
+			perQuery[qc.Name] = len(s.Matches(qc.Name))
+		}
+		return elapsed, perQuery, s.ShareReport(), nil
+	}
+
+	table := harness.Table{
+		Title: "Shared-subplan session throughput (feed events/s), shared vs unshared",
+		Columns: []string{"queries", "shared ev/s", "unshared ev/s", "speedup",
+			"matches", "shared queries", "dag nodes", "elapsed", "unshared elapsed"},
+	}
+	var rows []mqoRow
+	for _, n := range counts {
+		queries, err := makeQueries(n)
+		if err != nil {
+			return err
+		}
+		unElapsed, unCounts, _, err := runSession(queries, false)
+		if err != nil {
+			return err
+		}
+		shElapsed, shCounts, report, err := runSession(queries, true)
+		if err != nil {
+			return err
+		}
+		row := mqoRow{
+			Queries:      n,
+			SharedRate:   float64(len(stream)) / shElapsed.Seconds(),
+			UnsharedRate: float64(len(stream)) / unElapsed.Seconds(),
+			MatchesOK:    true,
+		}
+		row.Speedup = row.SharedRate / row.UnsharedRate
+		matches := 0
+		for name, want := range unCounts {
+			matches += want
+			if shCounts[name] != want {
+				row.MatchesOK = false
+			}
+		}
+		row.Matches = matches
+		if report != nil {
+			row.SharedQueries = report.Shared
+			row.DAGNodes = report.Nodes
+			row.DAGSharedNodes = report.SharedNodes
+			row.Restructured = report.Restructured
+			row.ModelUnshared = report.UnsharedCost
+			row.ModelShared = report.SharedCost
+		}
+		rows = append(rows, row)
+		matchCell := fmt.Sprint(matches)
+		if !row.MatchesOK {
+			matchCell += " (MISMATCH shared vs unshared!)"
+		}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(n), fmt.Sprintf("%.0f", row.SharedRate), fmt.Sprintf("%.0f", row.UnsharedRate),
+			fmt.Sprintf("%.2f", row.Speedup), matchCell, fmt.Sprint(row.SharedQueries),
+			fmt.Sprint(row.DAGNodes),
+			shElapsed.Round(time.Millisecond).String(), unElapsed.Round(time.Millisecond).String(),
+		})
+	}
+	table.Fprint(os.Stdout)
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJSON: %s\n", blob)
+	for _, row := range rows {
+		if !row.MatchesOK {
+			return fmt.Errorf("match-count mismatch at %d queries", row.Queries)
+		}
+	}
 	return nil
 }
 

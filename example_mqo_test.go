@@ -1,0 +1,56 @@
+package cep_test
+
+// Runnable example for the multi-query shared-subplan optimizer.
+
+import (
+	"context"
+	"fmt"
+
+	cep "repro"
+)
+
+// ExampleSessionConfig_shareSubplans serves three overlapping queries with
+// SessionConfig.ShareSubplans: the optimizer detects that all three join
+// the same (Login ⋈ Trade) sub-join under the same window, materializes it
+// once on a shared evaluation DAG, and fans its partial matches out to each
+// query's residual plan. Per-query match sets are identical to unshared
+// evaluation — only the work is deduplicated.
+func ExampleSessionConfig_shareSubplans() {
+	login := cep.NewSchema("Login", "user")
+	trade := cep.NewSchema("Trade", "user")
+	alert := cep.NewSchema("Alert", "user")
+	s := cep.NewSession(cep.SessionConfig{ShareSubplans: true})
+	queries := []cep.QueryConfig{
+		{Name: "login-trade", Query: `PATTERN SEQ(Login l, Trade t)
+		                              WHERE l.user = t.user WITHIN 10 s`},
+		{Name: "laundering", Query: `PATTERN SEQ(Login l, Trade t, Alert a)
+		                             WHERE l.user = t.user WITHIN 10 s`},
+		{Name: "laundering-2", Query: `PATTERN SEQ(Login l, Trade t, Alert a)
+		                               WHERE l.user = t.user WITHIN 10 s`},
+	}
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			panic(err)
+		}
+	}
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 1000, 7),
+		cep.NewEvent(trade, 2000, 7),
+		cep.NewEvent(alert, 3000, 7),
+	})
+	if err := s.Run(context.Background(), cep.NewStream(events)); err != nil {
+		panic(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		panic(err)
+	}
+	r := s.ShareReport()
+	fmt.Printf("shared %d of %d eligible queries on %d groups\n",
+		r.Shared, r.Eligible, len(r.Groups))
+	fmt.Println("login-trade:", len(s.Matches("login-trade")),
+		"laundering:", len(s.Matches("laundering")),
+		"laundering-2:", len(s.Matches("laundering-2")))
+	// Output:
+	// shared 3 of 3 eligible queries on 1 groups
+	// login-trade: 1 laundering: 1 laundering-2: 1
+}

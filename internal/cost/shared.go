@@ -1,0 +1,59 @@
+// Shared-plan objective for multi-query optimization: the Section 4 node
+// cost PM(N), summed over the distinct nodes of a shared evaluation DAG and
+// weighted by consumer count. A node evaluated for c consuming plans is
+// paid once for the join work plus a fan-out term per extra consumer — the
+// hand-off of each produced partial match to another parent is cheaper than
+// recomputing it, which is what makes materializing common sub-joins once
+// the dominant win at scale.
+package cost
+
+import (
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// DefaultFanoutFactor is the modeled relative cost of fanning one node's
+// partial matches out to one additional consumer, as a fraction of
+// computing the node from scratch. Sharing an identical sub-join is
+// therefore always predicted to win (factor < 1), while a restructure that
+// bends a query's plan toward a shareable sub-join must overcome its
+// residual-cost increase.
+const DefaultFanoutFactor = 0.25
+
+// SharedNode is one distinct node of a shared evaluation DAG: its modeled
+// partial-match count and the number of consuming parents/queries.
+type SharedNode struct {
+	PM        float64
+	Consumers int
+}
+
+// Shared computes the shared-plan objective
+//
+//	Σ_N PM(N) · (1 + fanout·(consumers(N)−1)),
+//
+// the multi-query counterpart of Cost_tree: each distinct node is paid
+// once, plus the fan-out term per consumer beyond the first. A fanout of 0
+// prices pure sharing (hand-off free); a fanout of 1 degenerates to the
+// unshared sum of per-query costs.
+func Shared(nodes []SharedNode, fanout float64) float64 {
+	total := 0.0
+	for _, n := range nodes {
+		c := n.Consumers
+		if c < 1 {
+			c = 1
+		}
+		total += n.PM * (1 + fanout*float64(c-1))
+	}
+	return total
+}
+
+// SharedSaving models the objective reduction from evaluating the subtree
+// once for `consumers` plans instead of once per plan:
+//
+//	(consumers−1) · (1−fanout) · Cost_tree(subtree).
+func SharedSaving(ps *stats.PatternStats, root *plan.TreeNode, consumers int, fanout float64) float64 {
+	if consumers < 2 {
+		return 0
+	}
+	return float64(consumers-1) * (1 - fanout) * Tree(ps, root)
+}

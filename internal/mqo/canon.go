@@ -1,0 +1,193 @@
+// Package mqo is the multi-query shared-subplan optimizer: given the
+// compiled tree-based plans of the queries registered in a Session, it
+// canonicalizes every plan subtree (positive event-type multiset, predicate
+// set and window), detects common subexpressions across queries, selects
+// which to materialize once with a cost-model-driven greedy selector, and
+// builds a shared evaluation DAG in which each common sub-join buffer is
+// computed once and its partial matches fan out to every consuming query's
+// residual plan.
+//
+// Sharing is restricted to queries whose match sets are provably
+// plan-independent — single conjunctive or sequence disjuncts without
+// negation or Kleene closure under skip-till-any-match — so the shared DAG
+// produces, per query, exactly the matches of unshared evaluation.
+package mqo
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/predicate"
+)
+
+// Canonical signatures are alias-free renderings of the compiled predicate
+// tables: two subtrees of different queries share a canonical key exactly
+// when there is a leaf bijection under which their event types, unary
+// filters, pairwise predicates and window coincide — i.e. when they compute
+// the same sub-join. Aliases are query-local names, so every predicate
+// description is rewritten with positional placeholders before comparison.
+
+// aliasRe builds a single-pass replacement regexp for attribute references
+// `alias.attr` of the given aliases.
+func aliasRe(aliases ...string) *regexp.Regexp {
+	quoted := make([]string, len(aliases))
+	for i, a := range aliases {
+		quoted[i] = regexp.QuoteMeta(a)
+	}
+	return regexp.MustCompile(`\b(` + strings.Join(quoted, "|") + `)\.`)
+}
+
+// normUnary rewrites a unary predicate description, replacing the
+// position's alias with a positional placeholder.
+func normUnary(desc, alias string) string {
+	re := aliasRe(alias)
+	return re.ReplaceAllString(desc, "$$self.")
+}
+
+// normPair rewrites a pairwise predicate description between term positions
+// i < j, replacing alias(i) with $x and alias(j) with $y in one pass.
+func normPair(desc, aliasI, aliasJ string) string {
+	re := aliasRe(aliasI, aliasJ)
+	return re.ReplaceAllStringFunc(desc, func(m string) string {
+		switch strings.TrimSuffix(m, ".") {
+		case aliasI:
+			return "$x."
+		default:
+			return "$y."
+		}
+	})
+}
+
+// leafSig is the canonical signature of one term position: its event type
+// plus the sorted set of normalized unary filter descriptions.
+func leafSig(c *predicate.Compiled, pos int) string {
+	descs := []string(nil)
+	for _, u := range c.Preds.Unaries(pos) {
+		descs = append(descs, normUnary(u.Desc, c.Aliases[pos]))
+	}
+	sort.Strings(descs)
+	return c.Types[pos] + "{" + strings.Join(descs, "&") + "}"
+}
+
+// pairSig is the canonical signature of the predicates between term
+// positions i < j, oriented so that $x refers to i and $y to j. The empty
+// string means no predicate links the pair.
+func pairSig(c *predicate.Compiled, i, j int) string {
+	pairs := c.Preds.Pairs(i, j)
+	if len(pairs) == 0 {
+		return ""
+	}
+	descs := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		descs = append(descs, normPair(p.Desc, c.Aliases[p.I], c.Aliases[p.J]))
+	}
+	sort.Strings(descs)
+	return strings.Join(descs, "&")
+}
+
+// sigCache memoizes the canonical signatures of one compiled pattern: leaf
+// and pair signatures depend only on (pattern, position), but subsetKey is
+// evaluated for every position subset during candidate enumeration and for
+// every tree node on every objective evaluation — without the cache each
+// evaluation would recompile the alias regexps from scratch.
+type sigCache struct {
+	c    *predicate.Compiled
+	leaf []string
+	pair [][]string // pair[i][j] for i < j; "" when no predicate links them
+}
+
+func newSigCache(c *predicate.Compiled) *sigCache {
+	sc := &sigCache{c: c, leaf: make([]string, c.N), pair: make([][]string, c.N)}
+	for i := 0; i < c.N; i++ {
+		sc.leaf[i] = leafSig(c, i)
+		sc.pair[i] = make([]string, c.N)
+		for j := i + 1; j < c.N; j++ {
+			sc.pair[i][j] = pairSig(c, i, j)
+		}
+	}
+	return sc
+}
+
+// oriented renders the predicates between canonical slots holding term
+// positions pa and pb: the stored pair is normalized to pa < pb, so a
+// reversed slot order flips the orientation marker instead of the
+// description.
+func (sc *sigCache) oriented(pa, pb int) string {
+	if pa < pb {
+		if s := sc.pair[pa][pb]; s != "" {
+			return ">" + s
+		}
+		return ""
+	}
+	if s := sc.pair[pb][pa]; s != "" {
+		return "<" + s
+	}
+	return ""
+}
+
+// canonOrder sorts the subset of term positions into canonical slot order:
+// primarily by leaf signature, refined (for duplicate signatures) by one
+// Weisfeiler-Leman-style round over the incident pairwise predicates, with
+// the query-local position index as the final tie-break. The tie-break is
+// query-local, so ambiguous automorphic duplicates may canonicalize
+// differently across queries — which only misses a sharing opportunity; it
+// can never alias two semantically different subtrees, because the full
+// slot-indexed predicate matrix is part of the canonical key.
+func canonOrder(sc *sigCache, subset []int) []int {
+	order := append([]int(nil), subset...)
+	refined := make(map[int]string, len(order))
+	for _, p := range order {
+		inc := []string(nil)
+		for _, q := range order {
+			if q == p {
+				continue
+			}
+			if s := sc.oriented(p, q); s != "" {
+				inc = append(inc, s+"@"+sc.leaf[q])
+			}
+		}
+		sort.Strings(inc)
+		refined[p] = strings.Join(inc, ";")
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := order[a], order[b]
+		if sc.leaf[pa] != sc.leaf[pb] {
+			return sc.leaf[pa] < sc.leaf[pb]
+		}
+		if refined[pa] != refined[pb] {
+			return refined[pa] < refined[pb]
+		}
+		return pa < pb
+	})
+	return order
+}
+
+// subsetKey computes the canonical key of the sub-join over the given term
+// positions and the canonical slot order behind it: window, the leaf
+// signatures slot by slot, and the full slot-indexed matrix of oriented
+// pairwise predicate signatures. Two equal keys denote semantically
+// identical sub-joins.
+func subsetKey(sc *sigCache, subset []int) (string, []int) {
+	ord := canonOrder(sc, subset)
+	var b strings.Builder
+	fmt.Fprintf(&b, "w%d|", sc.c.Window)
+	for i, p := range ord {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sc.leaf[p])
+	}
+	b.WriteByte('|')
+	for a := 0; a < len(ord); a++ {
+		for bIdx := a + 1; bIdx < len(ord); bIdx++ {
+			s := sc.oriented(ord[a], ord[bIdx])
+			if s == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "(%d,%d)%s;", a, bIdx, s)
+		}
+	}
+	return b.String(), ord
+}

@@ -1,0 +1,316 @@
+package mqo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/match"
+	"repro/internal/predicate"
+)
+
+const compactEvery = 64
+
+// Tagged is one match produced by the shared DAG, tagged with the consuming
+// query's name.
+type Tagged struct {
+	Query string
+	M     *match.Match
+}
+
+// EngineStats exposes the shared engine's load counters.
+type EngineStats struct {
+	Processed   int64
+	Matches     int64
+	Created     int64 // instances created across all nodes
+	PeakPartial int   // peak buffered instances
+	Nodes       int   // distinct DAG nodes
+	SharedNodes int   // nodes with more than one consuming parent or query
+	Queries     int
+}
+
+// consumer is one query whose root is a given DAG node.
+type consumer struct {
+	name   string
+	n      int   // term-position count of the compiled pattern
+	termOf []int // node slot -> compiled term position
+}
+
+// edge links a node to one consuming parent; side is 0 when the node feeds
+// the parent's left input, 1 for the right. A self-join parent holds two
+// edges to the same child, one per side.
+type edge struct {
+	parent *node
+	side   int
+}
+
+// crossPred is one pairwise predicate evaluated at a join node, expressed
+// in child slot space: fn receives the left child's event at slot l and the
+// right child's event at slot r.
+type crossPred struct {
+	l, r int
+	fn   predicate.PairFn
+}
+
+// node is one DAG node: a leaf (event-type intake with unary filters) or a
+// join over two children. Its buffer holds the sub-join's live partial
+// matches — computed once however many parents and query roots consume
+// them.
+type node struct {
+	key    string
+	window event.Time
+	slots  int
+
+	// leaf fields
+	leafType string
+	unary    []predicate.UnaryFn
+
+	// join fields
+	left, right       *node
+	leftMap, rightMap []int // child slot -> this node's slot
+	cross             []crossPred
+	needDisjoint      bool // left/right type multisets intersect
+
+	parents   []edge
+	consumers []consumer
+	buffer    []*inst
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// inst is one partial match of a node's sub-join: exactly one event per
+// slot (Kleene closure is outside the shareable fragment).
+type inst struct {
+	ev    []*event.Event
+	minTS event.Time
+	maxTS event.Time
+}
+
+// Engine is the shared evaluation DAG: a single-goroutine detection machine
+// evaluating every member query at once. Events enter at type-indexed
+// leaves, partial matches propagate along parent edges (fanning out at
+// shared nodes), and full matches emit at query roots tagged with the query
+// name.
+type Engine struct {
+	nodes  []*node
+	byType map[string][]*node
+	names  []string // member query names, registration order
+
+	now      event.Time
+	nPartial int
+	closed   bool
+	st       EngineStats
+	out      []Tagged
+}
+
+// Names returns the member query names in registration order.
+func (e *Engine) Names() []string { return append([]string(nil), e.names...) }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() EngineStats { return e.st }
+
+// CurrentPartial returns the number of live buffered instances.
+func (e *Engine) CurrentPartial() int { return e.nPartial }
+
+// Process consumes one event (timestamps non-decreasing) and returns the
+// tagged matches it completed across all member queries. The returned slice
+// is reused by the next call.
+func (e *Engine) Process(ev *event.Event) []Tagged {
+	e.st.Processed++
+	e.now = ev.TS
+	e.out = e.out[:0]
+	for _, leaf := range e.byType[ev.Type] {
+		ok := true
+		for _, fn := range leaf.unary {
+			if !fn(ev) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		in := &inst{ev: []*event.Event{ev}, minTS: ev.TS, maxTS: ev.TS}
+		e.insert(leaf, in)
+	}
+	if e.st.Processed%compactEvery == 0 {
+		e.compact()
+	}
+	return e.out
+}
+
+// insert registers an instance at a node: it emits at every query root
+// anchored here, then — if any parent consumes this sub-join — buffers the
+// instance and combines it with each parent's sibling buffer, recursing
+// towards the roots. This is the fan-out: one insertion serves every
+// consuming plan.
+func (e *Engine) insert(n *node, in *inst) {
+	e.st.Created++
+	for i := range n.consumers {
+		e.emit(&n.consumers[i], in)
+	}
+	if len(n.parents) == 0 {
+		return
+	}
+	n.buffer = append(n.buffer, in)
+	e.nPartial++
+	if e.nPartial > e.st.PeakPartial {
+		e.st.PeakPartial = e.nPartial
+	}
+	for _, ed := range n.parents {
+		p := ed.parent
+		sib := p.right
+		if ed.side == 1 {
+			sib = p.left
+		}
+		// Snapshot: recursive inserts only extend ancestors' buffers, never
+		// the sibling's — except in the self-join case (sib == n), where the
+		// snapshot already contains `in` itself and the event-disjointness
+		// check rejects the self-pairing.
+		sibBuf := sib.buffer
+		for _, other := range sibBuf {
+			li, ri := in, other
+			if ed.side == 1 {
+				li, ri = other, in
+			}
+			if merged := e.combine(p, li, ri); merged != nil {
+				e.insert(p, merged)
+			}
+		}
+	}
+}
+
+// combine merges a left and right child instance at a join node if window,
+// event-disjointness and the node's pairwise predicates allow.
+func (e *Engine) combine(p *node, li, ri *inst) *inst {
+	min, max := li.minTS, li.maxTS
+	if ri.minTS < min {
+		min = ri.minTS
+	}
+	if ri.maxTS > max {
+		max = ri.maxTS
+	}
+	if max-min > p.window {
+		return nil
+	}
+	if e.now-min > p.window {
+		return nil // expired instance on the other side
+	}
+	if p.needDisjoint {
+		// An event may fill at most one slot: with type-disjoint children
+		// this cannot trigger, but queries may repeat a type (self-joins).
+		for _, a := range li.ev {
+			for _, b := range ri.ev {
+				if a == b {
+					return nil
+				}
+			}
+		}
+	}
+	for _, cp := range p.cross {
+		if !cp.fn(li.ev[cp.l], ri.ev[cp.r]) {
+			return nil
+		}
+	}
+	merged := &inst{ev: make([]*event.Event, p.slots), minTS: min, maxTS: max}
+	for i, s := range p.leftMap {
+		merged.ev[s] = li.ev[i]
+	}
+	for i, s := range p.rightMap {
+		merged.ev[s] = ri.ev[i]
+	}
+	return merged
+}
+
+// emit materializes a root instance as one query's match, remapping node
+// slots to the query's compiled term positions.
+func (e *Engine) emit(cons *consumer, in *inst) {
+	m := match.New(cons.n)
+	for slot, ev := range in.ev {
+		m.Positions[cons.termOf[slot]] = []*event.Event{ev}
+	}
+	e.st.Matches++
+	e.out = append(e.out, Tagged{Query: cons.name, M: m})
+}
+
+// compact sweeps expired instances from every buffering node.
+func (e *Engine) compact() {
+	total := 0
+	for _, n := range e.nodes {
+		if len(n.parents) == 0 {
+			continue
+		}
+		keep := n.buffer[:0]
+		for _, in := range n.buffer {
+			if e.now-in.minTS > n.window {
+				continue
+			}
+			keep = append(keep, in)
+		}
+		// Release the dropped tail so expired instances are collectable.
+		for i := len(keep); i < len(n.buffer); i++ {
+			n.buffer[i] = nil
+		}
+		n.buffer = keep
+		total += len(keep)
+	}
+	e.nPartial = total
+}
+
+// Flush ends the stream. The shareable fragment has no trailing-negation
+// pendings, so nothing is released; the engine just closes.
+func (e *Engine) Flush() []Tagged {
+	e.closed = true
+	return nil
+}
+
+// Close releases the engine's buffers.
+func (e *Engine) Close() {
+	e.closed = true
+	for _, n := range e.nodes {
+		n.buffer = nil
+	}
+	e.nPartial = 0
+}
+
+// Describe renders the DAG for logs and debugging: each node with its leaf
+// span, consumer count and parent fan-out, roots labelled with their query
+// names.
+func (e *Engine) Describe() string {
+	var b strings.Builder
+	for i, n := range e.nodes {
+		span := n.leafType
+		if !n.isLeaf() {
+			types := make([]string, len(n.slots2types()))
+			copy(types, n.slots2types())
+			span = strings.Join(types, "⋈")
+		}
+		fmt.Fprintf(&b, "node %d: %s fanout=%d", i, span, len(n.parents))
+		if len(n.consumers) > 0 {
+			names := make([]string, len(n.consumers))
+			for k, c := range n.consumers {
+				names[k] = c.name
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&b, " roots=[%s]", strings.Join(names, " "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// slots2types lists the event types slot by slot for diagnostics.
+func (n *node) slots2types() []string {
+	if n.isLeaf() {
+		return []string{n.leafType}
+	}
+	out := make([]string, n.slots)
+	for i, s := range n.leftMap {
+		out[s] = n.left.slots2types()[i]
+	}
+	for i, s := range n.rightMap {
+		out[s] = n.right.slots2types()[i]
+	}
+	return out
+}

@@ -1,0 +1,722 @@
+package mqo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+)
+
+// Query is one candidate query for subplan sharing: its name and the
+// per-query plan the single-query planner produced.
+type Query struct {
+	Name string
+	SP   *core.SimplePlan
+}
+
+// Options tunes the optimizer. The zero value selects the defaults.
+type Options struct {
+	// FanoutFactor is the modeled relative cost of fanning a shared node's
+	// partial matches out to one extra consumer (default
+	// cost.DefaultFanoutFactor).
+	FanoutFactor float64
+	// MaxCandidates bounds how many canonical sub-join candidates the
+	// greedy selector examines, best modeled saving first (default 128).
+	MaxCandidates int
+	// MaxSubsetSize bounds the position-subset enumeration per query
+	// (default 10; enumeration is 2^n).
+	MaxSubsetSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FanoutFactor <= 0 || o.FanoutFactor >= 1 {
+		o.FanoutFactor = cost.DefaultFanoutFactor
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 128
+	}
+	if o.MaxSubsetSize <= 0 {
+		o.MaxSubsetSize = 10
+	}
+	return o
+}
+
+// Group is one connected sharing component: a shared evaluation DAG and the
+// names of the queries it serves.
+type Group struct {
+	Engine  *Engine
+	Members []string
+}
+
+// Report summarizes what the optimizer decided, in cost-model terms.
+type Report struct {
+	// Eligible counts the queries that satisfied the shareable-fragment
+	// conditions (single positive SEQ/AND disjunct, skip-till-any-match).
+	Eligible int
+	// Shared counts the queries placed on shared DAGs.
+	Shared int
+	// Restructured counts the queries whose private-optimal tree was bent
+	// toward a shareable sub-join because the model predicted a win.
+	Restructured int
+	// Nodes and SharedNodes count distinct DAG nodes and those consumed by
+	// more than one parent edge or query root.
+	Nodes       int
+	SharedNodes int
+	// UnsharedCost is Σ Cost_tree of the members' private plans;
+	// SharedCost is the shared-plan objective of the final DAGs.
+	UnsharedCost float64
+	SharedCost   float64
+}
+
+// Result is the optimizer's output: the shared groups plus the eligible
+// queries the model left on their private engines.
+type Result struct {
+	Groups  []Group
+	Private []string
+	Report  Report
+}
+
+// Eligible reports whether a planned query may participate in subplan
+// sharing: exactly one disjunct, no negated or Kleene positions, evaluated
+// under skip-till-any-match — the fragment whose match sets are provably
+// plan-independent (Section 3's equivalence of all plans), which is what
+// makes evaluating a query on a restructured shared plan match-for-match
+// identical to its private plan.
+func Eligible(pl *core.Plan, strategy predicate.Strategy) bool {
+	if pl == nil || len(pl.Simple) != 1 {
+		return false
+	}
+	sp := pl.Simple[0]
+	if strategy != predicate.SkipTillAnyMatch {
+		return false
+	}
+	c := sp.Compiled
+	if len(c.Negs) > 0 {
+		return false
+	}
+	for _, k := range c.Kleene {
+		if k {
+			return false
+		}
+	}
+	// The shareable fragment has no negated terms, so planning positions
+	// and compiled term positions coincide; the builder relies on it.
+	for k, ti := range sp.Stats.TermIndex {
+		if ti != k {
+			return false
+		}
+	}
+	return true
+}
+
+// qstate is the optimizer's working state for one query.
+type qstate struct {
+	name string
+	sp   *core.SimplePlan
+	c    *predicate.Compiled
+	sigs *sigCache
+	ps   *stats.PatternStats
+	tree *plan.TreeNode // current (possibly restructured) tree, term positions
+	// baseCost is Cost_tree of the private-optimal plan; cost tracks the
+	// current (possibly restructured) tree.
+	baseCost float64
+	cost     float64
+	// locked marks positions inside an adopted shared sub-join; a later
+	// restructure may not cut across them.
+	locked map[int]bool
+}
+
+// newQState prepares one query's working state.
+func newQState(name string, sp *core.SimplePlan) *qstate {
+	tree := sp.Tree
+	if tree == nil {
+		// Theorem 1: an order-based plan is the left-deep tree over the
+		// same processing order.
+		tree = plan.LeftDeep(sp.Order)
+	}
+	tree = tree.Clone()
+	c := cost.Tree(sp.Stats, tree)
+	return &qstate{
+		name:     name,
+		sp:       sp,
+		c:        sp.Compiled,
+		sigs:     newSigCache(sp.Compiled),
+		ps:       sp.Stats,
+		tree:     tree,
+		baseCost: c,
+		cost:     c,
+		locked:   make(map[int]bool),
+	}
+}
+
+// candidate is one canonical sub-join that at least two queries could
+// evaluate: where it occurs (per query: the position subset), and the
+// modeled per-consumer cost of computing it.
+type candidate struct {
+	key     string
+	subsets map[int][]int // query index -> term-position subset
+	shape   *plan.TreeNode
+	shapeQ  int     // query whose positions shape's leaves use
+	pm      float64 // Cost_tree of the sub-join under shapeQ's stats
+	saving  float64 // modeled saving if every supporter shared it
+}
+
+// Optimize selects which sub-joins to materialize once across the queries
+// and builds one shared evaluation DAG per connected sharing component.
+// Queries that end up sharing nothing are reported in Result.Private — the
+// caller should keep them on their private engines (and their private
+// workers) rather than serializing them through a DAG for no modeled win.
+func Optimize(queries []Query, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	qs := make([]*qstate, len(queries))
+	for i, q := range queries {
+		qs[i] = newQState(q.Name, q.SP)
+	}
+
+	cands := enumerateCandidates(qs, opt)
+	restructured := greedySelect(qs, cands, opt)
+
+	// Final grouping: dedup every subtree of every final tree by canonical
+	// key; queries sharing at least one internal-node key form components.
+	type keyInfo struct {
+		users []int // query indices
+	}
+	keys := map[string]*keyInfo{}
+	for qi, q := range qs {
+		for _, sub := range q.tree.Subtrees() {
+			key, _ := subsetKey(q.sigs, sub.Leaves())
+			ki := keys[key]
+			if ki == nil {
+				ki = &keyInfo{}
+				keys[key] = ki
+			}
+			if len(ki.users) == 0 || ki.users[len(ki.users)-1] != qi {
+				ki.users = append(ki.users, qi)
+			}
+		}
+	}
+	parent := make([]int, len(qs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	sharedQ := make(map[int]bool)
+	for _, ki := range keys {
+		if len(ki.users) < 2 {
+			continue
+		}
+		for _, u := range ki.users {
+			sharedQ[u] = true
+			union(ki.users[0], u)
+		}
+	}
+
+	res := &Result{Report: Report{Eligible: len(qs), Restructured: restructured}}
+	comps := map[int][]int{}
+	for qi := range qs {
+		if !sharedQ[qi] {
+			res.Private = append(res.Private, qs[qi].name)
+			continue
+		}
+		root := find(qi)
+		comps[root] = append(comps[root], qi)
+	}
+	roots := make([]int, 0, len(comps))
+	for r := range comps {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		members := comps[r]
+		sort.Ints(members)
+		group := make([]*qstate, len(members))
+		for i, qi := range members {
+			group[i] = qs[qi]
+		}
+		eng, err := buildEngine(group)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(group))
+		for i, q := range group {
+			names[i] = q.name
+			res.Report.UnsharedCost += q.baseCost
+		}
+		res.Groups = append(res.Groups, Group{Engine: eng, Members: names})
+		res.Report.Shared += len(group)
+		res.Report.Nodes += eng.st.Nodes
+		res.Report.SharedNodes += eng.st.SharedNodes
+		res.Report.SharedCost += sharedObjective(group, opt.FanoutFactor)
+	}
+	return res, nil
+}
+
+// enumerateCandidates computes, for every canonical sub-join of size >= 2
+// that at least two queries could evaluate, where it occurs and what
+// sharing it would save.
+func enumerateCandidates(qs []*qstate, opt Options) []*candidate {
+	byKey := map[string]*candidate{}
+	for qi, q := range qs {
+		n := q.ps.N()
+		if n > opt.MaxSubsetSize {
+			continue
+		}
+		positions := make([]int, n)
+		for i := range positions {
+			positions[i] = i
+		}
+		for mask := 1; mask < 1<<n; mask++ {
+			if popcount(mask) < 2 {
+				continue
+			}
+			subset := subsetOf(positions, mask)
+			key, _ := subsetKey(q.sigs, subset)
+			cand := byKey[key]
+			if cand == nil {
+				cand = &candidate{key: key, subsets: map[int][]int{}}
+				byKey[key] = cand
+			}
+			if _, seen := cand.subsets[qi]; !seen {
+				cand.subsets[qi] = subset
+			}
+		}
+	}
+	var out []*candidate
+	for _, cand := range byKey {
+		if len(cand.subsets) < 2 {
+			continue
+		}
+		// Representative shape: prefer a subtree already present in some
+		// query's current tree; otherwise plan one over the restricted
+		// statistics.
+		for qi, q := range qs {
+			sub, ok := cand.subsets[qi]
+			if !ok {
+				continue
+			}
+			if t := findSubtree(q.tree, sub); t != nil {
+				cand.shape, cand.shapeQ = t.Clone(), qi
+				break
+			}
+		}
+		if cand.shape == nil {
+			qi := anyKey(cand.subsets)
+			cand.shape, cand.shapeQ = planSubset(qs[qi], cand.subsets[qi]), qi
+		}
+		cand.pm = cost.Tree(qs[cand.shapeQ].ps, cand.shape)
+		cand.saving = cost.SharedSaving(qs[cand.shapeQ].ps, cand.shape, len(cand.subsets), opt.FanoutFactor)
+		out = append(out, cand)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].saving != out[b].saving {
+			return out[a].saving > out[b].saving
+		}
+		return out[a].key < out[b].key // deterministic tie-break
+	})
+	if len(out) > opt.MaxCandidates {
+		out = out[:opt.MaxCandidates]
+	}
+	return out
+}
+
+// greedySelect walks the candidates in descending modeled saving and, per
+// candidate, restructures supporting queries toward the common sub-join
+// when — and only when — the global shared-plan objective (cost.Shared over
+// the deduplicated nodes of every query's current tree) improves. Owners,
+// whose current tree already contains the sub-join, share syntactically
+// without any change; evaluating restructures against the global objective
+// keeps a locally attractive merge from breaking sharing established by an
+// earlier (larger-saving) candidate. Returns the number of restructured
+// queries.
+func greedySelect(qs []*qstate, cands []*candidate, opt Options) int {
+	restructured := map[int]bool{}
+	objective := sharedObjective(qs, opt.FanoutFactor)
+	for _, cand := range cands {
+		type adopter struct {
+			qi      int
+			subset  []int
+			newTree *plan.TreeNode
+			dCost   float64 // residual-cost increase when restructuring
+		}
+		var ads []adopter
+		owners := 0
+		for qi, q := range qs {
+			subset := cand.subsets[qi]
+			if subset == nil {
+				continue
+			}
+			if overlapsLocked(q, subset) {
+				continue
+			}
+			if findSubtree(q.tree, subset) != nil {
+				owners++
+				continue
+			}
+			nt, ok := restructure(q, subset, cand, qs)
+			if !ok {
+				continue
+			}
+			ads = append(ads, adopter{
+				qi: qi, subset: subset, newTree: nt,
+				dCost: cost.Tree(q.ps, nt) - q.cost,
+			})
+		}
+		if len(ads) == 0 || owners+len(ads) < 2 {
+			continue
+		}
+		sort.Slice(ads, func(a, b int) bool {
+			if ads[a].dCost != ads[b].dCost {
+				return ads[a].dCost < ads[b].dCost
+			}
+			return ads[a].qi < ads[b].qi
+		})
+		tryAdopt := func(batch []adopter) bool {
+			type saved struct {
+				tree *plan.TreeNode
+				cost float64
+			}
+			olds := make([]saved, len(batch))
+			for i, a := range batch {
+				olds[i] = saved{qs[a.qi].tree, qs[a.qi].cost}
+				qs[a.qi].tree = a.newTree
+				qs[a.qi].cost = olds[i].cost + a.dCost
+			}
+			if newObj := sharedObjective(qs, opt.FanoutFactor); newObj < objective-1e-9 {
+				objective = newObj
+				for _, a := range batch {
+					restructured[a.qi] = true
+					for _, p := range a.subset {
+						qs[a.qi].locked[p] = true
+					}
+				}
+				return true
+			}
+			for i, a := range batch {
+				qs[a.qi].tree = olds[i].tree
+				qs[a.qi].cost = olds[i].cost
+			}
+			return false
+		}
+		if owners > 0 {
+			for _, a := range ads {
+				tryAdopt([]adopter{a})
+			}
+			continue
+		}
+		// No owner computes the sub-join yet: a single restructure cannot
+		// pay off alone, so the two cheapest supporters move jointly; the
+		// rest follow marginally.
+		if tryAdopt(ads[:2]) {
+			for _, a := range ads[2:] {
+				tryAdopt([]adopter{a})
+			}
+		}
+	}
+	return len(restructured)
+}
+
+// restructure replans a query so that its tree contains the candidate
+// sub-join as a subtree: the subset is contracted to a virtual position
+// whose statistics reproduce the sub-join's output volume, the residual is
+// replanned over the contracted statistics, and the virtual leaf is
+// expanded back into the candidate's shape translated into this query's
+// positions via the canonical slot correspondence.
+func restructure(q *qstate, subset []int, cand *candidate, qs []*qstate) (*plan.TreeNode, bool) {
+	psC, keep := stats.Contract(q.ps, subset)
+	model := q.sp.Model
+	model.Alpha = 0 // the latency anchor does not survive contraction
+	model.LastPos = -1
+	treeC := core.ZStreamOrd{}.Tree(psC, model)
+	if treeC == nil {
+		return nil, false
+	}
+	// Translate the candidate shape into this query's positions: shape
+	// leaves are shapeQ positions; map them through the canonical orders.
+	_, shapeOrd := subsetKey(qs[cand.shapeQ].sigs, cand.subsets[cand.shapeQ])
+	_, qOrd := subsetKey(q.sigs, subset)
+	slotOf := make(map[int]int, len(shapeOrd))
+	for slot, pos := range shapeOrd {
+		slotOf[pos] = slot
+	}
+	var expandShape func(t *plan.TreeNode) *plan.TreeNode
+	expandShape = func(t *plan.TreeNode) *plan.TreeNode {
+		if t.IsLeaf() {
+			return plan.LeafNode(qOrd[slotOf[t.Leaf]])
+		}
+		return plan.Join(expandShape(t.Left), expandShape(t.Right))
+	}
+	virtual := len(keep)
+	var expand func(t *plan.TreeNode) *plan.TreeNode
+	expand = func(t *plan.TreeNode) *plan.TreeNode {
+		if t.IsLeaf() {
+			if t.Leaf == virtual {
+				return expandShape(cand.shape)
+			}
+			return plan.LeafNode(keep[t.Leaf])
+		}
+		return plan.Join(expand(t.Left), expand(t.Right))
+	}
+	out := expand(treeC)
+	if _, err := plan.NewTree(out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// planSubset builds a tree shape for a position subset with no syntactic
+// owner, using the ZStream topology search over the restricted statistics.
+func planSubset(q *qstate, subset []int) *plan.TreeNode {
+	rs := restrictStats(q.ps, subset)
+	t := core.ZStream{}.Tree(rs, cost.DefaultModel())
+	var remap func(n *plan.TreeNode) *plan.TreeNode
+	remap = func(n *plan.TreeNode) *plan.TreeNode {
+		if n.IsLeaf() {
+			return plan.LeafNode(subset[n.Leaf])
+		}
+		return plan.Join(remap(n.Left), remap(n.Right))
+	}
+	return remap(t)
+}
+
+// restrictStats projects PatternStats onto the given positions, in order.
+func restrictStats(ps *stats.PatternStats, subset []int) *stats.PatternStats {
+	n := len(subset)
+	rs := &stats.PatternStats{
+		W:         ps.W,
+		Types:     make([]string, n),
+		Aliases:   make([]string, n),
+		TermIndex: make([]int, n),
+		Kleene:    make([]bool, n),
+		Rates:     make([]float64, n),
+		Sel:       make([][]float64, n),
+	}
+	for i, p := range subset {
+		rs.Types[i] = ps.Types[p]
+		rs.Aliases[i] = ps.Aliases[p]
+		rs.TermIndex[i] = ps.TermIndex[p]
+		rs.Kleene[i] = ps.Kleene[p]
+		rs.Rates[i] = ps.Rates[p]
+		rs.Sel[i] = make([]float64, n)
+		for j, q := range subset {
+			rs.Sel[i][j] = ps.Sel[p][q]
+		}
+	}
+	return rs
+}
+
+// findSubtree returns the subtree of t whose leaf set equals subset, if
+// any.
+func findSubtree(t *plan.TreeNode, subset []int) *plan.TreeNode {
+	want := make(map[int]bool, len(subset))
+	for _, p := range subset {
+		want[p] = true
+	}
+	var found *plan.TreeNode
+	var rec func(n *plan.TreeNode) int // returns count of wanted leaves below
+	rec = func(n *plan.TreeNode) int {
+		if found != nil {
+			return 0
+		}
+		if n.IsLeaf() {
+			if want[n.Leaf] {
+				return 1
+			}
+			return 0
+		}
+		c := rec(n.Left) + rec(n.Right)
+		if c == len(subset) && n.Size() == len(subset) && found == nil {
+			found = n
+		}
+		return c
+	}
+	rec(t)
+	return found
+}
+
+// overlapsLocked reports whether the subset cuts across a previously
+// adopted shared sub-join without containing it entirely.
+func overlapsLocked(q *qstate, subset []int) bool {
+	for _, p := range subset {
+		if q.locked[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// sharedObjective evaluates cost.Shared over the final DAG nodes of one
+// component.
+func sharedObjective(group []*qstate, fanout float64) float64 {
+	type entry struct {
+		pm        float64
+		consumers int
+	}
+	nodes := map[string]*entry{}
+	for _, q := range group {
+		var rec func(t *plan.TreeNode) string
+		rec = func(t *plan.TreeNode) string {
+			key, _ := subsetKey(q.sigs, t.Leaves())
+			en := nodes[key]
+			if en == nil {
+				en = &entry{pm: cost.TreePM(q.ps, t)}
+				nodes[key] = en
+			}
+			en.consumers++
+			if !t.IsLeaf() {
+				rec(t.Left)
+				rec(t.Right)
+			}
+			return key
+		}
+		rec(q.tree)
+	}
+	list := make([]cost.SharedNode, 0, len(nodes))
+	for _, en := range nodes {
+		list = append(list, cost.SharedNode{PM: en.pm, Consumers: en.consumers})
+	}
+	return cost.Shared(list, fanout)
+}
+
+// buildEngine constructs the shared evaluation DAG for one component from
+// the members' final trees, deduplicating nodes by canonical key.
+func buildEngine(group []*qstate) (*Engine, error) {
+	eng := &Engine{byType: map[string][]*node{}}
+	byKey := map[string]*node{}
+
+	var build func(q *qstate, t *plan.TreeNode) (*node, []int, error)
+	build = func(q *qstate, t *plan.TreeNode) (*node, []int, error) {
+		subset := t.Leaves()
+		key, ord := subsetKey(q.sigs, subset)
+		if n := byKey[key]; n != nil {
+			return n, ord, nil
+		}
+		n := &node{key: key, window: q.c.Window, slots: len(ord)}
+		if t.IsLeaf() {
+			pos := t.Leaf
+			n.leafType = q.c.Types[pos]
+			for _, u := range q.c.Preds.Unaries(pos) {
+				n.unary = append(n.unary, u.Fn)
+			}
+			eng.byType[n.leafType] = append(eng.byType[n.leafType], n)
+		} else {
+			ln, lord, err := build(q, t.Left)
+			if err != nil {
+				return nil, nil, err
+			}
+			rn, rord, err := build(q, t.Right)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.left, n.right = ln, rn
+			slotOf := make(map[int]int, len(ord))
+			for slot, pos := range ord {
+				slotOf[pos] = slot
+			}
+			n.leftMap = make([]int, len(lord))
+			for i, pos := range lord {
+				n.leftMap[i] = slotOf[pos]
+			}
+			n.rightMap = make([]int, len(rord))
+			for i, pos := range rord {
+				n.rightMap[i] = slotOf[pos]
+			}
+			ltypes := map[string]bool{}
+			for _, pos := range lord {
+				ltypes[q.c.Types[pos]] = true
+			}
+			for _, pos := range rord {
+				if ltypes[q.c.Types[pos]] {
+					n.needDisjoint = true
+					break
+				}
+			}
+			for li, lpos := range lord {
+				for ri, rpos := range rord {
+					lo, hi := lpos, rpos
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					for _, pr := range q.c.Preds.Pairs(lo, hi) {
+						fn := pr.Fn
+						if pr.I != lpos {
+							orig := fn
+							fn = func(a, b *event.Event) bool { return orig(b, a) }
+						}
+						n.cross = append(n.cross, crossPred{l: li, r: ri, fn: fn})
+					}
+				}
+			}
+			ln.parents = append(ln.parents, edge{parent: n, side: 0})
+			rn.parents = append(rn.parents, edge{parent: n, side: 1})
+		}
+		byKey[key] = n
+		eng.nodes = append(eng.nodes, n)
+		return n, ord, nil
+	}
+
+	for _, q := range group {
+		root, ord, err := build(q, q.tree)
+		if err != nil {
+			return nil, err
+		}
+		termOf := make([]int, len(ord))
+		copy(termOf, ord)
+		root.consumers = append(root.consumers, consumer{
+			name: q.name, n: q.c.N, termOf: termOf,
+		})
+		eng.names = append(eng.names, q.name)
+	}
+	eng.st.Nodes = len(eng.nodes)
+	eng.st.Queries = len(group)
+	for _, n := range eng.nodes {
+		if len(n.parents)+len(n.consumers) > 1 {
+			eng.st.SharedNodes++
+		}
+	}
+	if eng.st.Nodes == 0 {
+		return nil, fmt.Errorf("mqo: empty component")
+	}
+	return eng, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func subsetOf(positions []int, mask int) []int {
+	var out []int
+	for i, p := range positions {
+		if mask&(1<<i) != 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func anyKey(m map[int][]int) int {
+	best := -1
+	for k := range m {
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -161,6 +161,24 @@ func (t *TreeNode) Nodes() []*TreeNode {
 	return out
 }
 
+// Subtrees appends every internal (join) node of the subtree in post-order —
+// the candidate sub-joins a multi-query optimizer can materialize once and
+// fan out to several consuming plans.
+func (t *TreeNode) Subtrees() []*TreeNode {
+	var out []*TreeNode
+	var rec func(n *TreeNode)
+	rec = func(n *TreeNode) {
+		if n.IsLeaf() {
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+		out = append(out, n)
+	}
+	rec(t)
+	return out
+}
+
 // AllTrees enumerates the full bushy plan space over positions 0..n-1 up to
 // child-swap symmetry (position 0 is pinned to the left subtree at every
 // split, yielding (2n-3)!! distinct trees). Child order never affects plan

@@ -1,0 +1,91 @@
+package stats
+
+import "fmt"
+
+// ContractedType is the synthetic event-type name of a contracted position.
+const ContractedType = "⟨subjoin⟩"
+
+// Contract returns a copy of ps in which the positions of subset are
+// replaced by one virtual position representing their materialized sub-join
+// — the statistics-side transformation behind multi-query subplan sharing:
+// a shared sub-join buffer behaves, to the residual plan of a consuming
+// query, like a primitive input whose arrival volume is the sub-join's
+// partial-match count.
+//
+// The virtual position is appended last. Its leaf term W·r·sel reproduces
+// PM(subset) under the skip-till-any-match product form of Section 4.2, and
+// its selectivity against every remaining position j is the product of the
+// members' selectivities against j, so Cost_tree of a plan over the
+// contracted statistics equals the cost of the corresponding expanded plan
+// minus the (shared, already-paid) internal nodes of the sub-join.
+//
+// keep maps the contracted positions to the original ones: keep[i] is the
+// original position of contracted position i for i < len(keep); the virtual
+// position is len(keep), i.e. the last contracted index.
+func Contract(ps *PatternStats, subset []int) (cp *PatternStats, keep []int) {
+	in := make(map[int]bool, len(subset))
+	for _, p := range subset {
+		if p < 0 || p >= ps.N() {
+			panic(fmt.Sprintf("stats: Contract position %d out of range", p))
+		}
+		in[p] = true
+	}
+	for p := 0; p < ps.N(); p++ {
+		if !in[p] {
+			keep = append(keep, p)
+		}
+	}
+	n := len(keep) + 1
+	v := n - 1 // virtual position index
+	cp = &PatternStats{
+		W:         ps.W,
+		Types:     make([]string, n),
+		Aliases:   make([]string, n),
+		TermIndex: make([]int, n),
+		Kleene:    make([]bool, n),
+		Rates:     make([]float64, n),
+		Sel:       make([][]float64, n),
+	}
+	for i := range cp.Sel {
+		cp.Sel[i] = make([]float64, n)
+		for j := range cp.Sel[i] {
+			cp.Sel[i][j] = 1
+		}
+	}
+	for i, p := range keep {
+		cp.Types[i] = ps.Types[p]
+		cp.Aliases[i] = ps.Aliases[p]
+		cp.TermIndex[i] = ps.TermIndex[p]
+		cp.Kleene[i] = ps.Kleene[p]
+		cp.Rates[i] = ps.Rates[p]
+		for j, q := range keep {
+			cp.Sel[i][j] = ps.Sel[p][q]
+		}
+	}
+	// PM(subset) under the any-match product form.
+	pm := 1.0
+	for a, p := range subset {
+		pm *= ps.W * ps.Rates[p] * ps.Sel[p][p]
+		for _, q := range subset[a+1:] {
+			pm *= ps.Sel[p][q]
+		}
+	}
+	cp.Types[v] = ContractedType
+	cp.Aliases[v] = ContractedType
+	cp.TermIndex[v] = -1
+	if ps.W > 0 {
+		cp.Rates[v] = pm / ps.W
+	} else {
+		cp.Rates[v] = pm
+	}
+	cp.Sel[v][v] = 1
+	for i, p := range keep {
+		sel := 1.0
+		for _, q := range subset {
+			sel *= ps.Sel[p][q]
+		}
+		cp.Sel[i][v] = sel
+		cp.Sel[v][i] = sel
+	}
+	return cp, keep
+}

@@ -1,0 +1,317 @@
+package cep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+// keysOf fingerprints a match list as an unordered set. Shared evaluation
+// preserves per-query match sets, not emission interleaving, so the MQO
+// equivalence suite compares sets.
+func keysOf(ms []*Match) map[string]bool { return match.KeySet(ms) }
+
+func diffKeys(got, want []*Match) (extra, missing []string) { return match.Diff(got, want) }
+
+// shareQueries builds an overlapping query set over the stock registry:
+// four queries sharing the (S000 ⋈ S001) prefix with distinct tails, a
+// duplicated identical query, a negation query (ineligible, private
+// fallback), a disjunction (private fallback) and one skip-till-next query
+// (ineligible by strategy, private fallback).
+func shareQueries(t testing.TB, stocks *workload.Stocks, events []*Event) []QueryConfig {
+	t.Helper()
+	reg := stocks.Registry
+	var out []QueryConfig
+	add := func(name, src, alg string, strat Strategy) {
+		p, err := ParsePatternWith(src, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, QueryConfig{
+			Name:      name,
+			Pattern:   p,
+			Stats:     Measure(events, p),
+			Algorithm: alg,
+			Strategy:  strat,
+		})
+	}
+	for i, tail := range []string{"S002", "S003", "S004", "S005"} {
+		add(fmt.Sprintf("prefix-%d", i),
+			fmt.Sprintf(`PATTERN SEQ(S000 a, S001 b, %s c)
+			             WHERE a.difference < b.difference WITHIN 2 s`, tail),
+			"", SkipTillAnyMatch)
+	}
+	// Two identical queries under different names: guaranteed full sharing.
+	add("twin-1", `PATTERN SEQ(S000 a, S001 b) WHERE a.bucket = b.bucket WITHIN 2 s`, AlgZStream, 0)
+	add("twin-2", `PATTERN SEQ(S000 a, S001 b) WHERE a.bucket = b.bucket WITHIN 2 s`, AlgZStream, 0)
+	// Ineligible shapes ride along on private lanes.
+	add("negated", `PATTERN SEQ(S002 a, NOT(S001 n), S003 b) WITHIN 2 s`, AlgGreedy, 0)
+	add("either", `PATTERN OR(SEQ(S004 a, S005 b), SEQ(S005 x, S004 y)) WITHIN 1 s`, AlgGreedy, 0)
+	add("next-match", `PATTERN SEQ(S003 a, S004 b) WITHIN 2 s`, AlgZStream, SkipTillNextMatch)
+	return out
+}
+
+// TestShareSubplansEquivalenceStocks is the MQO equivalence property on the
+// stock workload: a ShareSubplans session must produce, per query, exactly
+// the match set of an independent single-query runtime — across shared DAG
+// members, restructured plans, private fallbacks, and both skip-till
+// strategies.
+func TestShareSubplansEquivalenceStocks(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 4000, Seed: 11, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	queries := shareQueries(t, stocks, events)
+
+	want := make(map[string][]*Match, len(queries))
+	total := 0
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := rt.ProcessAll(workload.ResetStream(events))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qc.Name] = ms
+		total += len(ms)
+	}
+	if total == 0 {
+		t.Fatal("workload produced no matches; equivalence test is vacuous")
+	}
+
+	s := NewSession(SessionConfig{QueueLen: 64, ShareSubplans: true})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(context.Background(), NewStream(workload.ResetStream(events))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	report := s.ShareReport()
+	if report == nil {
+		t.Fatal("ShareSubplans session produced no ShareReport")
+	}
+	if report.Shared < 2 {
+		t.Fatalf("optimizer shared %d queries, want at least the identical twins; report %+v",
+			report.Shared, report)
+	}
+	if report.SharedCost >= report.UnsharedCost {
+		t.Fatalf("shared objective %.2f not below unshared %.2f",
+			report.SharedCost, report.UnsharedCost)
+	}
+	for _, qc := range queries {
+		got := s.Matches(qc.Name)
+		extra, missing := diffKeys(got, want[qc.Name])
+		if len(extra) > 0 || len(missing) > 0 {
+			t.Errorf("query %q: shared session diverges from independent runtime (%d vs %d matches; %d extra, %d missing)",
+				qc.Name, len(got), len(want[qc.Name]), len(extra), len(missing))
+		}
+	}
+}
+
+// TestShareSubplansEquivalenceTraffic repeats the equivalence property on
+// the Figure 1 traffic workload, whose queries share the (A ⋈ B) camera
+// prefix.
+func TestShareSubplansEquivalenceTraffic(t *testing.T) {
+	frames, reg := trafficWorkload(t)
+	sources := map[string]string{
+		"crossing": `PATTERN SEQ(A a, B b, C c, D d) WHERE a.vehicleID = b.vehicleID AND
+		             b.vehicleID = c.vehicleID AND c.vehicleID = d.vehicleID WITHIN 30 s`,
+		"ab-pair": `PATTERN SEQ(A a, B b) WHERE a.vehicleID = b.vehicleID WITHIN 30 s`,
+		"abc":     `PATTERN SEQ(A a, B b, C c) WHERE a.vehicleID = b.vehicleID AND b.vehicleID = c.vehicleID WITHIN 30 s`,
+		"mid":     `PATTERN AND(B b, C c) WHERE b.vehicleID = c.vehicleID WITHIN 1 s`,
+	}
+	var queries []QueryConfig
+	for _, name := range []string{"crossing", "ab-pair", "abc", "mid"} {
+		p, err := ParsePatternWith(sources[name], reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, QueryConfig{Name: name, Pattern: p, Stats: Measure(frames, p)})
+	}
+	want := make(map[string][]*Match, len(queries))
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := rt.ProcessAll(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qc.Name] = ms
+	}
+	s := NewSession(SessionConfig{ShareSubplans: true})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(context.Background(), NewStream(frames)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for name, ref := range want {
+		extra, missing := diffKeys(s.Matches(name), ref)
+		if len(extra) > 0 || len(missing) > 0 {
+			t.Errorf("query %q: shared session diverges from independent runtime (%d extra, %d missing)",
+				name, len(extra), len(missing))
+		}
+	}
+}
+
+// TestShareSubplansConcurrentProducersRace streams a ShareSubplans session
+// from several producer goroutines (externally ordered through a mutex, as
+// the Submit contract requires) with a concurrent mid-stream Drain, under
+// the race detector, and checks the total match count against sequential
+// references.
+func TestShareSubplansConcurrentProducersRace(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 3000, Seed: 29, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	queries := shareQueries(t, stocks, events)
+
+	wantTotal := 0
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := rt.ProcessAll(workload.ResetStream(events))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTotal += len(ms)
+	}
+
+	var delivered atomic.Int64
+	s := NewSession(SessionConfig{
+		QueueLen:      32,
+		ShareSubplans: true,
+		OnMatch:       func(string, *Match) { delivered.Add(1) },
+	})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feed := workload.ResetStream(events)
+	var feedMu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// External ordering: the lock spans pick-and-submit, so the
+				// timestamp order of Submit calls matches the stream.
+				feedMu.Lock()
+				if next >= len(feed) {
+					feedMu.Unlock()
+					return
+				}
+				e := feed[next]
+				next++
+				if err := s.Submit(e); err != nil {
+					feedMu.Unlock()
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				feedMu.Unlock()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.Drain(); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	}()
+	wg.Wait()
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := delivered.Load(); got != int64(wantTotal) {
+		t.Fatalf("concurrent producers delivered %d matches, want %d", got, wantTotal)
+	}
+}
+
+// TestQueryConfigQueryField covers the string-first registration path and
+// its error paths.
+func TestQueryConfigQueryField(t *testing.T) {
+	rt, err := NewFromConfig(QueryConfig{
+		Name:  "q",
+		Query: `PATTERN SEQ(Login l, Alert a) WHERE l.user = a.user WITHIN 10 s`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Source stays accepted as the deprecated alias.
+	if _, err := NewFromConfig(QueryConfig{
+		Name:   "q",
+		Source: `PATTERN SEQ(Login l) WITHIN 1 s`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		qc   QueryConfig
+		want string
+	}{
+		{"both Query and Source", QueryConfig{
+			Name:   "q",
+			Query:  `PATTERN SEQ(Login l) WITHIN 1 s`,
+			Source: `PATTERN SEQ(Login l) WITHIN 1 s`,
+		}, "both Query and Source"},
+		{"both Pattern and Query", QueryConfig{
+			Name:    "q",
+			Pattern: demoPattern(t),
+			Query:   `PATTERN SEQ(Login l) WITHIN 1 s`,
+		}, "both Pattern and Query"},
+		{"neither", QueryConfig{Name: "q"}, "neither Pattern nor Query"},
+		{"malformed", QueryConfig{Name: "q", Query: `PATTERN WAT`}, ""},
+		{"missing window", QueryConfig{Name: "q", Query: `PATTERN SEQ(Login l)`}, ""},
+		{"unknown type", QueryConfig{
+			Name:     "q",
+			Query:    `PATTERN SEQ(Nope n) WITHIN 1 s`,
+			Registry: NewRegistry(loginSchema),
+		}, ""},
+	}
+	for _, tc := range cases {
+		_, err := NewFromConfig(tc.qc)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		s := NewSession(SessionConfig{})
+		if rerr := s.Register(tc.qc); rerr == nil {
+			t.Errorf("%s: Session.Register accepted", tc.name)
+		}
+	}
+}

@@ -2,8 +2,12 @@ package cep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/mqo"
+	"repro/internal/pool"
 )
 
 // QueryConfig declares one named query — pattern, statistics and tuning —
@@ -14,13 +18,17 @@ type QueryConfig struct {
 	// Name identifies the query inside a Session; match deliveries are
 	// tagged with it. Required when registering on a Session.
 	Name string
-	// Pattern is the parsed pattern AST. Exactly one of Pattern and Source
-	// must be set.
+	// Pattern is the parsed pattern AST. Exactly one of Pattern, Query and
+	// Source must be set.
 	Pattern *Pattern
-	// Source is the SASE-style textual pattern, parsed (and, when Registry
-	// is set, validated) at construction.
+	// Query is the SASE-style textual pattern, parsed (and, when Registry
+	// is set, validated) at construction — the string-first alternative to
+	// building a *Pattern by hand.
+	Query string
+	// Source is the original name of the Query field, retained for
+	// compatibility; new code should set Query.
 	Source string
-	// Registry optionally validates Source against declared schemas.
+	// Registry optionally validates Query against declared schemas.
 	Registry *Registry
 	// Stats supplies the arrival rates and selectivities the planner
 	// minimises over; nil plans under neutral defaults.
@@ -42,20 +50,27 @@ type QueryConfig struct {
 	OnMatch func(*Match)
 }
 
-// pattern resolves the Pattern/Source pair.
+// pattern resolves the Pattern/Query/Source fields.
 func (qc QueryConfig) pattern() (*Pattern, error) {
+	src := qc.Query
 	switch {
-	case qc.Pattern != nil && qc.Source != "":
-		return nil, fmt.Errorf("cep: query %q sets both Pattern and Source", qc.Name)
+	case qc.Query != "" && qc.Source != "":
+		return nil, fmt.Errorf("cep: query %q sets both Query and Source (Source is the deprecated alias)", qc.Name)
+	case qc.Source != "":
+		src = qc.Source
+	}
+	switch {
+	case qc.Pattern != nil && src != "":
+		return nil, fmt.Errorf("cep: query %q sets both Pattern and Query", qc.Name)
 	case qc.Pattern != nil:
 		return qc.Pattern, nil
-	case qc.Source != "":
+	case src != "":
 		if qc.Registry != nil {
-			return ParsePatternWith(qc.Source, qc.Registry)
+			return ParsePatternWith(src, qc.Registry)
 		}
-		return ParsePattern(qc.Source)
+		return ParsePattern(src)
 	default:
-		return nil, fmt.Errorf("cep: query %q has neither Pattern nor Source", qc.Name)
+		return nil, fmt.Errorf("cep: query %q has neither Pattern nor Query", qc.Name)
 	}
 }
 
@@ -111,6 +126,21 @@ type SessionConfig struct {
 	// not install its own QueryConfig.OnMatch. See MatchSink for the
 	// concurrency rules.
 	OnMatch MatchSink
+	// ShareSubplans enables the multi-query shared-subplan optimizer
+	// (internal/mqo): when the session starts, the compiled tree plans of
+	// the registered queries are canonicalized, common sub-joins are
+	// detected across queries, and groups that the cost model predicts to
+	// benefit are evaluated on a shared evaluation DAG in which each common
+	// sub-join buffer is computed once and its partial matches fan out to
+	// every consuming query's residual plan. The per-query match sets are
+	// identical to unshared evaluation.
+	//
+	// Sharing applies to queries registered with Register (not
+	// RegisterDetector) that compile to a single conjunctive or sequence
+	// disjunct without negation or Kleene closure under SkipTillAnyMatch —
+	// the strategy whose match sets are provably plan-independent. All
+	// other queries keep their private engines and per-query workers.
+	ShareSubplans bool
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -125,7 +155,9 @@ func (c SessionConfig) withDefaults() SessionConfig {
 // queue, under one lifecycle and one error model. It subsumes Fleet (many
 // queries, one feed) and composes with ShardedRuntime (one query,
 // partitioned feed): RegisterDetector accepts any Detector, so a query may
-// itself be sharded, partitioned or adaptive.
+// itself be sharded, partitioned or adaptive. With
+// SessionConfig.ShareSubplans, overlapping queries are grouped onto shared
+// evaluation lanes that compute common sub-joins once.
 //
 // Lifecycle: NewSession → Register/RegisterDetector → Start (or let
 // Run/Process auto-start) → Submit/Run → Flush (collect) or Close
@@ -136,51 +168,70 @@ func (c SessionConfig) withDefaults() SessionConfig {
 // Session itself satisfies Detector: Process is Submit, and Flush ends the
 // stream across every query, returning the accumulated matches in query
 // registration order.
+//
+// The worker/lifecycle machinery — bounded queues, drain barriers,
+// close-under-write-lock shutdown, first-error recording — is the shared
+// internal/pool helper also driving ShardedRuntime. Worker-owned state
+// (per-query accumulation buffers) is read only after the pool reports
+// joined.
 type Session struct {
-	cfg SessionConfig
+	cfg  SessionConfig
+	pool *pool.Pool[*Event]
 
-	// mu guards the lifecycle flags and the query list. Submitters hold the
-	// read lock across their queue sends; Flush takes the write lock to
-	// flip closed and close the queues, so no send can race a channel
-	// close. joined flips only after the workers are gone: it is the flag
-	// that makes reading q.matches safe, so Results/Matches gate on it
-	// rather than on closed (which is set while workers may still be
-	// draining).
-	mu      sync.RWMutex
+	// mu guards registration (the query list) and the session-level
+	// lifecycle decisions (started/closed); the pool owns the queue-level
+	// machinery — bounded queues, drain barriers, close-under-write-lock
+	// shutdown, joined, first-error — behind its own lock.
+	mu      sync.Mutex
 	started bool
 	closed  bool
-	joined  bool
 	queries []*sessionQuery
 	byName  map[string]*sessionQuery
-	wg      sync.WaitGroup
-
-	// errMu guards err separately from mu: workers record errors while
-	// producers may hold mu's read lock blocked on that worker's full
-	// queue.
-	errMu sync.Mutex
-	err   error // first query error
+	lanes   []*sessionLane
+	share   *ShareReport
 }
 
-// sessionQuery is one registered query: a Detector driven by a dedicated
-// worker goroutine off a bounded feed.
+// sessionQuery is one registered query. Before Start it is only a
+// declaration; startLocked assigns it to a lane — a private lane driving
+// its own Detector, or a shared MQO lane evaluating several queries at
+// once.
 type sessionQuery struct {
 	name    string
 	det     Detector
-	feed    chan sessionMsg
+	rt      *Runtime     // non-nil when registered via Register (plan available for sharing)
+	qc      *QueryConfig // non-nil when registered via Register
 	onMatch func(*Match)
 	dead    bool     // stop processing after the first error
 	matches []*Match // accumulated when no sink applies
 }
 
-// sessionMsg is one unit on a query feed: an event or a drain barrier.
-type sessionMsg struct {
-	ev    *Event
-	drain *sync.WaitGroup
-}
-
 // NewSession builds an empty session.
 func NewSession(cfg SessionConfig) *Session {
-	return &Session{cfg: cfg.withDefaults(), byName: make(map[string]*sessionQuery)}
+	s := &Session{cfg: cfg.withDefaults(), byName: make(map[string]*sessionQuery)}
+	s.pool = pool.New(pool.Hooks[*Event]{
+		Work:   func(lane int, e *Event) { s.lanes[lane].work(e) },
+		Finish: func(lane int) { s.lanes[lane].finish() },
+	})
+	return s
+}
+
+// sessErr translates pool lifecycle sentinels into the session's error
+// vocabulary.
+func sessErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, pool.ErrClosed):
+		return fmt.Errorf("cep: session: %w", ErrClosed)
+	case errors.Is(err, pool.ErrNotStarted):
+		return fmt.Errorf("cep: session not started")
+	case errors.Is(err, pool.ErrStarted):
+		return fmt.Errorf("cep: session already started")
+	case errors.Is(err, pool.ErrNoLanes):
+		return fmt.Errorf("cep: session has no registered queries")
+	default:
+		return err
+	}
 }
 
 // Register plans the query described by the config and adds it under its
@@ -194,20 +245,25 @@ func (s *Session) Register(qc QueryConfig) error {
 	if err != nil {
 		return err
 	}
-	return s.RegisterDetector(qc.Name, rt, qc.OnMatch)
+	return s.register(qc.Name, rt, rt, &rtCfg, qc.OnMatch)
 }
 
 // RegisterDetector adds a pre-built detector — a Runtime, an
 // AdaptiveRuntime, a ShardedRuntime, anything satisfying Detector — under
 // the name. onMatch may be nil to fall through to the session sink (or
 // accumulation). The session takes ownership: it will Flush and Close the
-// detector.
+// detector. Detector queries never participate in subplan sharing — their
+// evaluation plan is opaque to the session.
 func (s *Session) RegisterDetector(name string, d Detector, onMatch func(*Match)) error {
-	if name == "" {
-		return fmt.Errorf("cep: query name must not be empty")
-	}
 	if d == nil {
 		return fmt.Errorf("cep: query %q: nil detector", name)
+	}
+	return s.register(name, d, nil, nil, onMatch)
+}
+
+func (s *Session) register(name string, d Detector, rt *Runtime, qc *QueryConfig, onMatch func(*Match)) error {
+	if name == "" {
+		return fmt.Errorf("cep: query name must not be empty")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -220,12 +276,7 @@ func (s *Session) RegisterDetector(name string, d Detector, onMatch func(*Match)
 	if _, dup := s.byName[name]; dup {
 		return fmt.Errorf("cep: duplicate query name %q", name)
 	}
-	q := &sessionQuery{
-		name:    name,
-		det:     d,
-		feed:    make(chan sessionMsg, s.cfg.QueueLen),
-		onMatch: onMatch,
-	}
+	q := &sessionQuery{name: name, det: d, rt: rt, qc: qc, onMatch: onMatch}
 	s.queries = append(s.queries, q)
 	s.byName[name] = q
 	return nil
@@ -233,8 +284,8 @@ func (s *Session) RegisterDetector(name string, d Detector, onMatch func(*Match)
 
 // Queries returns the registered query names in registration order.
 func (s *Session) Queries() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, len(s.queries))
 	for i, q := range s.queries {
 		out[i] = q.name
@@ -244,12 +295,13 @@ func (s *Session) Queries() []string {
 
 // Size returns the number of registered queries.
 func (s *Session) Size() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.queries)
 }
 
-// Start launches one worker goroutine per registered query. It errors if
+// Start launches the session's workers: one per private query, plus one per
+// shared MQO lane when ShareSubplans grouped queries together. It errors if
 // the session is empty, already started, or closed. Run and Process start
 // the session implicitly; explicit Start is for Submit-driven feeds.
 func (s *Session) Start() error {
@@ -271,42 +323,29 @@ func (s *Session) startLocked(explicit bool) error {
 	if len(s.queries) == 0 {
 		return fmt.Errorf("cep: session has no registered queries")
 	}
-	s.started = true
-	for _, q := range s.queries {
-		s.wg.Add(1)
-		go s.runQuery(q)
+	if err := s.buildLanes(); err != nil {
+		return err
 	}
+	if err := sessErr(s.pool.Start()); err != nil {
+		return err
+	}
+	s.started = true
 	return nil
 }
 
 // ensureStarted starts the workers if they are not running yet. The
-// read-lock fast path keeps the per-event cost of the steady state at one
-// RLock for Detector-style callers driving Process per event.
+// fast path keeps the per-event cost of the steady state at one RLock for
+// Detector-style callers driving Process per event.
 func (s *Session) ensureStarted() error {
-	s.mu.RLock()
-	started := s.started
-	s.mu.RUnlock()
-	if started {
-		return nil // closed is re-checked under the lock by the submit path
+	if s.pool.Started() {
+		return nil // closed is re-checked under the pool lock by the submit path
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.startLocked(false)
 }
 
-// openLocked reports whether the session is accepting events; the caller
-// holds at least the read lock.
-func (s *Session) openLocked() error {
-	if s.closed {
-		return fmt.Errorf("cep: session: %w", ErrClosed)
-	}
-	if !s.started {
-		return fmt.Errorf("cep: session not started")
-	}
-	return nil
-}
-
-// Submit broadcasts one event to every query, blocking on a full queue
+// Submit broadcasts one event to every lane, blocking on a full queue
 // (back-pressure). All events must be submitted in timestamp order by a
 // single goroutine (or with external ordering); queries consume them
 // concurrently with each other, never with the submitter's next Submit of
@@ -315,35 +354,13 @@ func (s *Session) Submit(e *Event) error {
 	return s.submit(nil, e)
 }
 
-// submit broadcasts under the read lock; a non-nil ctx makes each blocking
-// queue send cancellable.
+// submit broadcasts under the pool's read lock; a non-nil ctx makes each
+// blocking queue send cancellable.
 func (s *Session) submit(ctx context.Context, e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if err := s.openLocked(); err != nil {
-		return err
-	}
-	msg := sessionMsg{ev: e}
-	for _, q := range s.queries {
-		if ctx == nil {
-			q.feed <- msg
-			continue
-		}
-		select {
-		case q.feed <- msg:
-		default:
-			// Queue full: block on the send, but stay cancellable.
-			select {
-			case q.feed <- msg:
-			case <-ctx.Done():
-				return ctx.Err()
-			}
-		}
-	}
-	return nil
+	return sessErr(s.pool.Broadcast(ctx, e))
 }
 
 // Run streams an event source through the session until the source is
@@ -355,7 +372,7 @@ func (s *Session) submit(ctx context.Context, e *Event) error {
 // end-of-stream pendings.
 //
 // Cancellation truncates the stream mid-broadcast: the final event may
-// have reached only a prefix of the queries (broadcast happens in
+// have reached only a prefix of the lanes (broadcast happens in
 // registration order), so per-query results harvested after a cancelled
 // Run are cut at slightly different stream positions. Treat them as
 // partial; the cross-query equivalence guarantee holds only for streams
@@ -390,21 +407,7 @@ func (s *Session) Run(ctx context.Context, src EventSource) error {
 // before the call has been processed by every query. Engines are not
 // flushed; detection continues seamlessly.
 func (s *Session) Drain() error {
-	s.mu.RLock()
-	if err := s.openLocked(); err != nil {
-		s.mu.RUnlock()
-		return err
-	}
-	var barrier sync.WaitGroup
-	barrier.Add(len(s.queries))
-	for _, q := range s.queries {
-		q.feed <- sessionMsg{drain: &barrier}
-	}
-	// Wait outside the lock: the tokens are enqueued, so the barrier
-	// completes even if a concurrent Flush closes the queues meanwhile.
-	s.mu.RUnlock()
-	barrier.Wait()
-	return nil
+	return sessErr(s.pool.Drain())
 }
 
 // Process submits one event — the Detector view of the session. Matches
@@ -436,10 +439,7 @@ func (s *Session) Flush() ([]*Match, error) {
 	for _, q := range s.queries {
 		out = append(out, q.matches...)
 	}
-	s.errMu.Lock()
-	err := s.err
-	s.errMu.Unlock()
-	return out, err
+	return out, s.pool.Err()
 }
 
 // Close ends the stream and discards accumulated matches (sink deliveries
@@ -450,13 +450,12 @@ func (s *Session) Close() error {
 	if err := s.shutdown(); err != nil {
 		return nil // already shut down: idempotent
 	}
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	return s.err
+	return s.pool.Err()
 }
 
-// shutdown flips closed, closes the feeds and joins the workers exactly
-// once; a second call returns ErrClosed.
+// shutdown stops intake, drains and joins the workers exactly once; a
+// second call returns ErrClosed. Shutting down a never-started session
+// closes the registered detectors inline, since no worker ever owned them.
 func (s *Session) shutdown() error {
 	s.mu.Lock()
 	if s.closed {
@@ -464,37 +463,27 @@ func (s *Session) shutdown() error {
 		return fmt.Errorf("cep: session: %w", ErrClosed)
 	}
 	s.closed = true
-	if !s.started {
-		// Close the registered detectors even though no worker ever ran.
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		// Mark the pool closed+joined (no workers ever ran), then close the
+		// detectors the session took ownership of.
+		_ = s.pool.Shutdown()
 		for _, q := range s.queries {
 			if err := q.det.Close(); err != nil {
-				s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
+				s.recordErr(q, err)
 			}
 		}
-		s.joined = true
-		s.mu.Unlock()
 		return nil
 	}
-	// Close the queues while still holding the write lock: submitters hold
-	// the read lock across their sends, so none can be mid-send here.
-	for _, q := range s.queries {
-		close(q.feed)
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	s.mu.Lock()
-	s.joined = true
-	s.mu.Unlock()
-	return nil
+	return sessErr(s.pool.Shutdown())
 }
 
 // Results returns the accumulated matches per query (queries with a sink
 // have none). It must be called after Flush or Close; before shutdown it
 // returns nil.
 func (s *Session) Results() map[string][]*Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if !s.joined {
+	if !s.pool.Joined() {
 		return nil
 	}
 	out := make(map[string][]*Match, len(s.queries))
@@ -506,9 +495,7 @@ func (s *Session) Results() map[string][]*Match {
 
 // Matches returns one query's accumulated matches after Flush or Close.
 func (s *Session) Matches(query string) []*Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if !s.joined {
+	if !s.pool.Joined() {
 		return nil
 	}
 	if q, ok := s.byName[query]; ok {
@@ -518,53 +505,11 @@ func (s *Session) Matches(query string) []*Match {
 }
 
 // Err returns the first error any query reported so far.
-func (s *Session) Err() error {
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	return s.err
-}
+func (s *Session) Err() error { return s.pool.Err() }
 
 // recordErr keeps the first query error.
-func (s *Session) recordErr(err error) {
-	s.errMu.Lock()
-	if s.err == nil {
-		s.err = err
-	}
-	s.errMu.Unlock()
-}
-
-// runQuery is the worker loop: it owns the query's detector exclusively.
-// On the first processing error the query is marked dead and later events
-// are dropped (the error is reported through Flush/Close/Err); the other
-// queries keep running.
-func (s *Session) runQuery(q *sessionQuery) {
-	defer s.wg.Done()
-	for msg := range q.feed {
-		if msg.drain != nil {
-			msg.drain.Done()
-			continue
-		}
-		if q.dead {
-			continue
-		}
-		ms, err := q.det.Process(msg.ev)
-		if err != nil {
-			s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
-			q.dead = true
-			continue
-		}
-		s.emit(q, ms)
-	}
-	if !q.dead {
-		ms, err := q.det.Flush()
-		if err != nil {
-			s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
-		}
-		s.emit(q, ms)
-	}
-	if err := q.det.Close(); err != nil {
-		s.recordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
-	}
+func (s *Session) recordErr(q *sessionQuery, err error) {
+	s.pool.RecordErr(fmt.Errorf("cep: query %q: %w", q.name, err))
 }
 
 // emit routes matches to the query sink, else the session sink, else the
@@ -585,4 +530,163 @@ func (s *Session) emit(q *sessionQuery, ms []*Match) {
 	default:
 		q.matches = append(q.matches, ms...)
 	}
+}
+
+// emitOne routes a single match.
+func (s *Session) emitOne(q *sessionQuery, m *Match) {
+	switch {
+	case q.onMatch != nil:
+		q.onMatch(m)
+	case s.cfg.OnMatch != nil:
+		s.cfg.OnMatch(q.name, m)
+	default:
+		q.matches = append(q.matches, m)
+	}
+}
+
+// sessionLane is one worker lane of the session: either a private lane
+// driving a single query's Detector, or a shared lane evaluating a group of
+// overlapping queries on one MQO DAG engine. The lane's worker goroutine
+// owns all state reachable from it exclusively.
+type sessionLane struct {
+	s *Session
+	q *sessionQuery // private lane: the one query driven by this lane
+
+	// shared lane: the MQO evaluation DAG and its member queries.
+	eng     *mqo.Engine
+	members map[string]*sessionQuery
+}
+
+// work processes one event on the lane's worker goroutine. On the first
+// processing error a private query is marked dead and later events are
+// dropped (the error is reported through Flush/Close/Err); the other lanes
+// keep running.
+func (l *sessionLane) work(e *Event) {
+	if l.eng != nil {
+		for _, tm := range l.eng.Process(e) {
+			l.s.emitOne(l.members[tm.Query], tm.M)
+		}
+		return
+	}
+	q := l.q
+	if q.dead {
+		return
+	}
+	ms, err := q.det.Process(e)
+	if err != nil {
+		l.s.recordErr(q, err)
+		q.dead = true
+		return
+	}
+	l.s.emit(q, ms)
+}
+
+// finish runs after the lane's queue closed: flush and close the engines.
+func (l *sessionLane) finish() {
+	if l.eng != nil {
+		for _, tm := range l.eng.Flush() {
+			l.s.emitOne(l.members[tm.Query], tm.M)
+		}
+		l.eng.Close()
+		for _, q := range l.members {
+			// The members' private runtimes never ran; release them anyway —
+			// the session took ownership at registration.
+			if err := q.det.Close(); err != nil {
+				l.s.recordErr(q, err)
+			}
+		}
+		return
+	}
+	q := l.q
+	if !q.dead {
+		ms, err := q.det.Flush()
+		if err != nil {
+			l.s.recordErr(q, err)
+		}
+		l.s.emit(q, ms)
+	}
+	if err := q.det.Close(); err != nil {
+		l.s.recordErr(q, err)
+	}
+}
+
+// ShareReport summarizes what the shared-subplan optimizer decided at
+// Start, in cost-model terms: how many queries were eligible for sharing,
+// how many share an evaluation DAG (and which, lane by lane), how many had
+// their plans restructured toward a common sub-join, the distinct DAG node
+// counts, and the modeled unshared vs shared cost.
+type ShareReport struct {
+	Eligible     int
+	Shared       int
+	Restructured int
+	Nodes        int
+	SharedNodes  int
+	UnsharedCost float64
+	SharedCost   float64
+	// Groups lists the member query names of each shared lane.
+	Groups [][]string
+}
+
+// ShareReport returns the optimizer's decision report, or nil before the
+// session started or when ShareSubplans is off.
+func (s *Session) ShareReport() *ShareReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.share
+}
+
+// buildLanes assigns every registered query to a worker lane. Without
+// ShareSubplans each query gets its own private lane; with it, the MQO
+// optimizer canonicalizes the eligible queries' tree plans, groups
+// overlapping queries whose sharing the cost model predicts to win onto
+// shared evaluation lanes, and leaves the rest on private lanes (keeping
+// their worker-per-query parallelism).
+func (s *Session) buildLanes() error {
+	s.lanes = s.lanes[:0]
+	sharedBy := map[string]*sessionLane{}
+	if s.cfg.ShareSubplans {
+		var cand []mqo.Query
+		for _, q := range s.queries {
+			if q.rt == nil || q.qc == nil {
+				continue
+			}
+			if !mqo.Eligible(q.rt.plan, q.qc.Strategy) {
+				continue
+			}
+			cand = append(cand, mqo.Query{Name: q.name, SP: q.rt.plan.Simple[0]})
+		}
+		report := &ShareReport{Eligible: len(cand)}
+		if len(cand) >= 2 {
+			res, err := mqo.Optimize(cand, mqo.Options{})
+			if err != nil {
+				return fmt.Errorf("cep: subplan sharing: %w", err)
+			}
+			for _, g := range res.Groups {
+				lane := &sessionLane{s: s, eng: g.Engine, members: map[string]*sessionQuery{}}
+				for _, name := range g.Members {
+					q := s.byName[name]
+					lane.members[name] = q
+					sharedBy[name] = lane
+				}
+				s.lanes = append(s.lanes, lane)
+				s.pool.AddLane(s.cfg.QueueLen)
+				report.Groups = append(report.Groups, append([]string(nil), g.Members...))
+			}
+			report.Shared = res.Report.Shared
+			report.Restructured = res.Report.Restructured
+			report.Nodes = res.Report.Nodes
+			report.SharedNodes = res.Report.SharedNodes
+			report.UnsharedCost = res.Report.UnsharedCost
+			report.SharedCost = res.Report.SharedCost
+		}
+		s.share = report
+	}
+	for _, q := range s.queries {
+		if sharedBy[q.name] != nil {
+			continue
+		}
+		s.lanes = append(s.lanes, &sessionLane{s: s, q: q})
+		s.pool.AddLane(s.cfg.QueueLen)
+	}
+	return nil
 }

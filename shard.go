@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/pool"
 )
 
 // ShardStats is a point-in-time snapshot of one shard's counters: events
@@ -69,46 +69,42 @@ func (c ShardConfig) withDefaults() ShardConfig {
 // Submit and SubmitBatch are safe for concurrent use; to preserve the
 // engines' timestamp-order requirement, all events of one partition must be
 // submitted in timestamp order (a single producer, or producers partitioned
-// by key, both satisfy this).
+// by key, both satisfy this). The queueing, lifecycle and error machinery
+// is the shared internal/pool helper also driving Session.
 type ShardedRuntime struct {
 	cfg     ShardConfig
 	workers []*shardWorker
+	pool    *pool.Pool[shardMsg]
+}
 
-	// mu guards the lifecycle flags and err. Submitters hold the read lock
-	// across their queue sends; Close takes the write lock to flip closed
-	// and close the queues, so no send can race a channel close.
-	mu      sync.RWMutex
-	started bool
-	closed  bool
-	wg      sync.WaitGroup
-
-	// err is guarded by its own mutex, not mu: workers record errors while
-	// producers may hold mu's read lock blocked on a full queue of that
-	// very worker — taking mu here would deadlock the pipeline.
-	errMu sync.Mutex
-	err   error // first worker error
+// shardErr translates pool lifecycle sentinels into the runtime's error
+// vocabulary.
+func shardErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, pool.ErrClosed):
+		return fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
+	case errors.Is(err, pool.ErrNotStarted):
+		return fmt.Errorf("cep: sharded runtime not started")
+	case errors.Is(err, pool.ErrStarted):
+		return fmt.Errorf("cep: sharded runtime already started")
+	default:
+		return err
+	}
 }
 
 // recordErr keeps the first worker error for Close to report.
-func (sr *ShardedRuntime) recordErr(err error) {
-	sr.errMu.Lock()
-	if sr.err == nil {
-		sr.err = err
-	}
-	sr.errMu.Unlock()
-}
+func (sr *ShardedRuntime) recordErr(err error) { sr.pool.RecordErr(err) }
 
-// shardMsg is one unit on a worker queue: a single event, a batch, or a
-// drain barrier token.
+// shardMsg is one unit on a worker queue: a single event or a batch.
 type shardMsg struct {
 	ev    *Event
 	batch []*Event
-	drain *sync.WaitGroup
 }
 
 type shardWorker struct {
 	sr       *ShardedRuntime
-	in       chan shardMsg
 	pr       *PartitionedRuntime
 	dead     map[int]bool // partitions whose per-partition plan failed
 	counters metrics.ShardCounters
@@ -124,13 +120,18 @@ type shardWorker struct {
 func NewSharded(p *Pattern, defaults *Stats, perPartition map[int]*Stats, cfg ShardConfig, opts ...Option) (*ShardedRuntime, error) {
 	cfg = cfg.withDefaults()
 	sr := &ShardedRuntime{cfg: cfg}
+	sr.pool = pool.New(pool.Hooks[shardMsg]{
+		Work:    sr.work,
+		Finish:  sr.finish,
+		OnStall: func(lane int) { sr.workers[lane].counters.AddStall() },
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		w := &shardWorker{
 			sr: sr,
-			in: make(chan shardMsg, cfg.QueueLen),
 			pr: newPartitioned(p, defaults, perPartition, opts),
 		}
 		sr.workers = append(sr.workers, w)
+		sr.pool.AddLane(cfg.QueueLen)
 	}
 	// Validate eagerly (once, not per worker) so that configuration errors
 	// surface at construction, not at the first event.
@@ -145,50 +146,7 @@ func (sr *ShardedRuntime) Workers() int { return len(sr.workers) }
 
 // Start launches the worker goroutines. It errors if the runtime was
 // already started or closed.
-func (sr *ShardedRuntime) Start() error {
-	sr.mu.Lock()
-	defer sr.mu.Unlock()
-	if sr.closed {
-		return fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
-	}
-	if sr.started {
-		return fmt.Errorf("cep: sharded runtime already started")
-	}
-	sr.startLocked()
-	return nil
-}
-
-// startLocked launches the workers; the caller holds the write lock and has
-// checked the lifecycle flags.
-func (sr *ShardedRuntime) startLocked() {
-	sr.started = true
-	for _, w := range sr.workers {
-		sr.wg.Add(1)
-		go w.run()
-	}
-}
-
-// ensureStarted lazily starts the workers on the first Process call, so the
-// sharded runtime behaves like every other Detector without an explicit
-// Start. The read-lock fast path keeps the per-event cost of the steady
-// state at one RLock.
-func (sr *ShardedRuntime) ensureStarted() error {
-	sr.mu.RLock()
-	started := sr.started
-	sr.mu.RUnlock()
-	if started {
-		return nil // closed is re-checked under the lock by the submit path
-	}
-	sr.mu.Lock()
-	defer sr.mu.Unlock()
-	if sr.closed {
-		return fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
-	}
-	if !sr.started {
-		sr.startLocked()
-	}
-	return nil
-}
+func (sr *ShardedRuntime) Start() error { return shardErr(sr.pool.Start()) }
 
 // workerIndexFor routes a partition id to its shard index. The
 // multiplicative hash decorrelates worker choice from common
@@ -204,30 +162,6 @@ func (sr *ShardedRuntime) workerFor(partition int) *shardWorker {
 	return sr.workers[sr.workerIndexFor(partition)]
 }
 
-// send enqueues a message with back-pressure: a full queue blocks the
-// caller (after bumping the shard's stall counter) until the worker catches
-// up.
-func (sr *ShardedRuntime) send(w *shardWorker, msg shardMsg) {
-	select {
-	case w.in <- msg:
-	default:
-		w.counters.AddStall()
-		w.in <- msg
-	}
-}
-
-// openLocked reports whether the runtime is accepting events. Callers hold
-// at least the read lock.
-func (sr *ShardedRuntime) openLocked() error {
-	if !sr.started {
-		return fmt.Errorf("cep: sharded runtime not started")
-	}
-	if sr.closed {
-		return fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
-	}
-	return nil
-}
-
 // Process lazily starts the workers (if Start was not called) and submits
 // the event to its partition's shard. Matches are delivered asynchronously —
 // through OnMatch, or accumulated for Flush — so Process always returns a
@@ -237,8 +171,8 @@ func (sr *ShardedRuntime) Process(e *Event) ([]*Match, error) {
 	if e == nil {
 		return nil, ErrNilEvent
 	}
-	if err := sr.ensureStarted(); err != nil {
-		return nil, err
+	if err := sr.pool.EnsureStarted(); err != nil {
+		return nil, shardErr(err)
 	}
 	return nil, sr.Submit(e)
 }
@@ -251,13 +185,7 @@ func (sr *ShardedRuntime) Submit(e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
-	sr.mu.RLock()
-	defer sr.mu.RUnlock()
-	if err := sr.openLocked(); err != nil {
-		return err
-	}
-	sr.send(sr.workerFor(e.Partition), shardMsg{ev: e})
-	return nil
+	return shardErr(sr.pool.Send(sr.workerIndexFor(e.Partition), shardMsg{ev: e}))
 }
 
 // SubmitBatch routes a slice of events, regrouping it into one sub-batch
@@ -271,11 +199,6 @@ func (sr *ShardedRuntime) SubmitBatch(events []*Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	sr.mu.RLock()
-	defer sr.mu.RUnlock()
-	if err := sr.openLocked(); err != nil {
-		return err
-	}
 	groups := make([][]*Event, len(sr.workers))
 	for _, e := range events {
 		if e == nil {
@@ -284,12 +207,15 @@ func (sr *ShardedRuntime) SubmitBatch(events []*Event) error {
 		i := sr.workerIndexFor(e.Partition)
 		groups[i] = append(groups[i], e)
 	}
+	pairs := make([]pool.Grouped[shardMsg], 0, len(sr.workers))
 	for i, g := range groups {
 		if len(g) > 0 {
-			sr.send(sr.workers[i], shardMsg{batch: g})
+			pairs = append(pairs, pool.Grouped[shardMsg]{Lane: i, Item: shardMsg{batch: g}})
 		}
 	}
-	return nil
+	// One lifecycle check covers the whole batch: a concurrent Close cannot
+	// interleave mid-batch.
+	return shardErr(sr.pool.SendGrouped(pairs))
 }
 
 // Drain is a mid-stream barrier: it blocks until every event submitted
@@ -297,25 +223,7 @@ func (sr *ShardedRuntime) SubmitBatch(events []*Event) error {
 // flowing to OnMatch (or keep accumulating for Close); engines are not
 // flushed. Concurrent Submit calls during a Drain are allowed but are not
 // covered by the barrier.
-func (sr *ShardedRuntime) Drain() error {
-	sr.mu.RLock()
-	if err := sr.openLocked(); err != nil {
-		sr.mu.RUnlock()
-		return err
-	}
-	var barrier sync.WaitGroup
-	barrier.Add(len(sr.workers))
-	for _, w := range sr.workers {
-		// Plain blocking send: barrier tokens are not submissions and must
-		// not inflate the back-pressure stall counters.
-		w.in <- shardMsg{drain: &barrier}
-	}
-	// Wait outside the lock: the tokens are enqueued, so the barrier
-	// completes even if a concurrent Close closes the queues meanwhile.
-	sr.mu.RUnlock()
-	barrier.Wait()
-	return nil
-}
+func (sr *ShardedRuntime) Drain() error { return shardErr(sr.pool.Drain()) }
 
 // Flush ends the stream: it stops intake, waits for every queued event to
 // be processed, flushes all engines (releasing matches held back by
@@ -327,34 +235,16 @@ func (sr *ShardedRuntime) Drain() error {
 // returns ErrClosed; flushing a never-started runtime succeeds with no
 // matches.
 func (sr *ShardedRuntime) Flush() ([]*Match, error) {
-	sr.mu.Lock()
-	if sr.closed {
-		sr.mu.Unlock()
-		return nil, fmt.Errorf("cep: sharded runtime: %w", ErrClosed)
+	if err := sr.pool.Shutdown(); err != nil {
+		return nil, shardErr(err)
 	}
-	sr.closed = true
-	if !sr.started {
-		// Nothing was ever submitted; close without spinning up workers.
-		sr.mu.Unlock()
-		return nil, nil
-	}
-	// Close the queues while still holding the write lock: submitters hold
-	// the read lock across their sends, so none can be mid-send here.
-	for _, w := range sr.workers {
-		close(w.in)
-	}
-	sr.mu.Unlock()
-	sr.wg.Wait()
 	var out []*Match
 	if sr.cfg.OnMatch == nil {
 		for _, w := range sr.workers {
 			out = append(out, w.matches...)
 		}
 	}
-	sr.errMu.Lock()
-	err := sr.err
-	sr.errMu.Unlock()
-	return out, err
+	return out, sr.pool.Err()
 }
 
 // Close stops intake, drains and joins the workers, and discards the
@@ -397,26 +287,28 @@ func (sr *ShardedRuntime) Stats() []ShardStats {
 	return out
 }
 
-// run is the worker loop: it owns the shard's per-partition engines
-// exclusively, so no engine is ever touched by two goroutines.
-func (w *shardWorker) run() {
-	defer w.sr.wg.Done()
-	for msg := range w.in {
-		switch {
-		case msg.drain != nil:
-			msg.drain.Done()
-		case msg.batch != nil:
-			w.counters.AddBatch()
-			for _, e := range msg.batch {
-				w.process(e)
-			}
-		default:
-			w.process(msg.ev)
+// work is the pool Work hook: it runs on the lane's worker goroutine, which
+// owns the shard's per-partition engines exclusively, so no engine is ever
+// touched by two goroutines.
+func (sr *ShardedRuntime) work(lane int, msg shardMsg) {
+	w := sr.workers[lane]
+	if msg.batch != nil {
+		w.counters.AddBatch()
+		for _, e := range msg.batch {
+			w.process(e)
 		}
+		return
 	}
+	w.process(msg.ev)
+}
+
+// finish is the pool Finish hook: the lane's queue is closed and drained,
+// so flush the shard's engines.
+func (sr *ShardedRuntime) finish(lane int) {
+	w := sr.workers[lane]
 	ms, err := w.pr.Flush()
 	if err != nil && !errors.Is(err, ErrClosed) {
-		w.sr.recordErr(err)
+		sr.recordErr(err)
 	}
 	w.emit(ms)
 }
