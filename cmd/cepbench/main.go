@@ -19,9 +19,14 @@
 // versus the number of registered queries (1/4/16/64), with a per-query
 // match-count cross-check against independent sequential runs. And
 // `cepbench -fig mqo` measures the multi-query shared-subplan optimizer:
-// 4/16/64 overlapping queries served by a ShareSubplans session versus the
-// default per-query-worker session, with a shared-vs-unshared match-count
-// cross-check, emitting the rows as JSON for trend tracking.
+// 4/16/64 overlapping queries (every fourth a negation pattern sharing the
+// positive core) served by a ShareSubplans session versus the default
+// per-query-worker session, with a shared-vs-unshared match-count
+// cross-check, emitting the rows as JSON for trend tracking. Finally,
+// `cepbench -fig churn` measures dynamic multi-query optimization: queries
+// register and deregister mid-feed on a live sharing session, reporting
+// feed throughput, per-operation re-optimization latency and a match-count
+// cross-check against private runtimes, as JSON rows.
 package main
 
 import (
@@ -59,6 +64,9 @@ func main() {
 		sessGen  = flag.Int("session-events", 50000, "events in the multi-query stream (-fig session)")
 		mqoGen   = flag.Int("mqo-events", 50000, "events in the shared-subplan stream (-fig mqo)")
 		mqoQs    = flag.String("mqo-queries", "4,16,64", "overlapping query counts (-fig mqo)")
+		churnGen = flag.Int("churn-events", 40000, "events in the churn stream (-fig churn)")
+		churnQs  = flag.Int("churn-queries", 8, "queries registered up front (-fig churn)")
+		churnOps = flag.Int("churn-ops", 8, "AddQuery/RemoveQuery operations mid-feed (-fig churn)")
 	)
 	flag.Parse()
 
@@ -79,6 +87,13 @@ func main() {
 	if *fig == "mqo" {
 		if err := runMQOScenario(*symbols, *mqoGen, *mqoQs, event.Time(*windowMS), *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "cepbench: mqo scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "churn" {
+		if err := runChurnScenario(*symbols, *churnGen, *churnQs, *churnOps, event.Time(*windowMS), *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: churn scenario: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -119,7 +134,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session' or 'mqo')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo' or 'churn')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}
@@ -312,11 +327,24 @@ func runMQOScenario(symbols, events int, queryCounts string, window event.Time, 
 		out := make([]cep.QueryConfig, 0, n)
 		for i := 0; i < n; i++ {
 			tail := tails[i%len(tails)].name
-			src := fmt.Sprintf(
-				`PATTERN SEQ(%s a, %s b, %s c)
-				 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
-				 WITHIN %d ms`,
-				hotA, hotB, tail, window)
+			var src string
+			if i%4 == 3 {
+				// Every fourth query is a negation pattern: the positive core
+				// (a, b, c) still shares with the plain queries; the NOT is
+				// checked at this query's root only.
+				neg := tails[(i+1)%len(tails)].name
+				src = fmt.Sprintf(
+					`PATTERN SEQ(%s a, %s b, NOT(%s n), %s c)
+					 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+					 WITHIN %d ms`,
+					hotA, hotB, neg, tail, window)
+			} else {
+				src = fmt.Sprintf(
+					`PATTERN SEQ(%s a, %s b, %s c)
+					 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+					 WITHIN %d ms`,
+					hotA, hotB, tail, window)
+			}
 			p, err := cep.ParsePatternWith(src, stocks.Registry)
 			if err != nil {
 				return nil, err
@@ -526,5 +554,241 @@ func runShardScenario(symbols, events, partitions int, window event.Time, seed i
 		})
 	}
 	table.Fprint(os.Stdout)
+	return nil
+}
+
+// churnRow is the churn scenario's JSON measurement.
+type churnRow struct {
+	Events       int     `json:"events"`
+	BaseQueries  int     `json:"base_queries"`
+	Adds         int     `json:"adds"`
+	Removes      int     `json:"removes"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AvgReoptMS   float64 `json:"avg_reopt_ms"`
+	MaxReoptMS   float64 `json:"max_reopt_ms"`
+	FinalShared  int     `json:"final_shared_queries"`
+	Generations  int     `json:"reopt_generations"`
+	MatchesOK    bool    `json:"matches_ok"`
+	CheckedTotal int     `json:"checked_matches"`
+	FinalQueries int     `json:"final_queries"`
+}
+
+// runChurnScenario measures dynamic multi-query optimization: baseQ
+// overlapping queries (the -fig mqo template mix, negation included) are
+// registered up front on a ShareSubplans session, then ops AddQuery /
+// RemoveQuery operations land at evenly spaced positions of the middle half
+// of the feed, each timed individually — the re-optimization latency a
+// live deployment would observe, drain included. Base queries present for
+// the whole stream are cross-checked match-for-match against private
+// runtimes; queries added mid-feed are checked against private runtimes
+// over their suffix of the stream.
+func runChurnScenario(symbols, events, baseQ, ops int, window event.Time, seed int64) error {
+	if symbols < 4 {
+		return fmt.Errorf("-symbols must be at least 4 (hot pair + tails), got %d", symbols)
+	}
+	if baseQ < 2 {
+		return fmt.Errorf("-churn-queries must be at least 2, got %d", baseQ)
+	}
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: symbols, Events: events, Seed: seed, MinRate: 1, MaxRate: 20,
+	})
+	stream := stocks.Generate()
+	type symRate struct {
+		name string
+		rate float64
+	}
+	bySpeed := make([]symRate, 0, len(stocks.Symbols))
+	for _, s := range stocks.Symbols {
+		bySpeed = append(bySpeed, symRate{s, stocks.Rates[s]})
+	}
+	sort.Slice(bySpeed, func(i, j int) bool { return bySpeed[i].rate > bySpeed[j].rate })
+	hotA, hotB := bySpeed[0].name, bySpeed[1].name
+	tails := bySpeed[2:]
+	makeQuery := func(i int, prefix string) (cep.QueryConfig, error) {
+		tail := tails[i%len(tails)].name
+		var src string
+		if i%4 == 3 {
+			neg := tails[(i+1)%len(tails)].name
+			src = fmt.Sprintf(
+				`PATTERN SEQ(%s a, %s b, NOT(%s n), %s c)
+				 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+				 WITHIN %d ms`,
+				hotA, hotB, neg, tail, window)
+		} else {
+			src = fmt.Sprintf(
+				`PATTERN SEQ(%s a, %s b, %s c)
+				 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+				 WITHIN %d ms`,
+				hotA, hotB, tail, window)
+		}
+		p, err := cep.ParsePatternWith(src, stocks.Registry)
+		if err != nil {
+			return cep.QueryConfig{}, err
+		}
+		return cep.QueryConfig{
+			Name:    fmt.Sprintf("%s%02d", prefix, i),
+			Pattern: p,
+			Stats:   cep.Measure(stream, p),
+		}, nil
+	}
+
+	s := cep.NewSession(cep.SessionConfig{QueueLen: 1024, ShareSubplans: true})
+	base := make([]cep.QueryConfig, 0, baseQ)
+	for i := 0; i < baseQ; i++ {
+		qc, err := makeQuery(i, "q")
+		if err != nil {
+			return err
+		}
+		base = append(base, qc)
+		if err := s.Register(qc); err != nil {
+			return err
+		}
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("churn scenario: %d events, %d base queries, %d mid-feed operations, hot pair %s⋈%s\n\n",
+		len(stream), baseQ, ops, hotA, hotB)
+
+	// Operation schedule: evenly spaced through the middle half of the feed,
+	// alternating add (of a fresh query) and remove (of the last add).
+	type op struct {
+		at   int
+		add  bool
+		qc   cep.QueryConfig
+		name string
+	}
+	var plan []op
+	var pendingAdds []cep.QueryConfig
+	for k := 0; k < ops; k++ {
+		at := len(stream)/4 + (k+1)*(len(stream)/2)/(ops+1)
+		if k%2 == 0 {
+			qc, err := makeQuery(k, "live")
+			if err != nil {
+				return err
+			}
+			plan = append(plan, op{at: at, add: true, qc: qc, name: qc.Name})
+			pendingAdds = append(pendingAdds, qc)
+		} else {
+			last := pendingAdds[len(pendingAdds)-1]
+			pendingAdds = pendingAdds[:len(pendingAdds)-1]
+			plan = append(plan, op{at: at, add: false, name: last.Name})
+		}
+	}
+
+	feed := workload.ResetStream(stream)
+	addedAt := map[string]int{}
+	var reopts []time.Duration
+	adds, removes := 0, 0
+	next := 0
+	start := time.Now()
+	for _, o := range plan {
+		for ; next < o.at && next < len(feed); next++ {
+			if err := s.Submit(feed[next]); err != nil {
+				return err
+			}
+		}
+		opStart := time.Now()
+		if o.add {
+			if err := s.AddQuery(o.qc); err != nil {
+				return err
+			}
+			addedAt[o.name] = next
+			adds++
+		} else {
+			if err := s.RemoveQuery(o.name); err != nil {
+				return err
+			}
+			delete(addedAt, o.name)
+			removes++
+		}
+		reopts = append(reopts, time.Since(opStart))
+	}
+	for ; next < len(feed); next++ {
+		if err := s.Submit(feed[next]); err != nil {
+			return err
+		}
+	}
+	report := s.ShareReport()
+	if _, err := s.Flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	row := churnRow{
+		Events:       len(stream),
+		BaseQueries:  baseQ,
+		Adds:         adds,
+		Removes:      removes,
+		EventsPerSec: float64(len(stream)) / elapsed.Seconds(),
+		MatchesOK:    true,
+		FinalQueries: baseQ + len(addedAt),
+	}
+	if report != nil {
+		row.FinalShared = report.Shared
+		row.Generations = report.Generation
+	}
+	var sum time.Duration
+	for _, d := range reopts {
+		sum += d
+		if ms := float64(d.Microseconds()) / 1000; ms > row.MaxReoptMS {
+			row.MaxReoptMS = ms
+		}
+	}
+	if len(reopts) > 0 {
+		row.AvgReoptMS = float64(sum.Microseconds()) / 1000 / float64(len(reopts))
+	}
+
+	// Correctness: base queries against full-stream private runtimes,
+	// added-and-kept queries against their suffix.
+	check := func(qc cep.QueryConfig, suffix []*event.Event) error {
+		rt, err := cep.NewFromConfig(qc)
+		if err != nil {
+			return err
+		}
+		want, err := rt.ProcessAll(suffix)
+		if err != nil {
+			return err
+		}
+		if got := len(s.Matches(qc.Name)); got != len(want) {
+			row.MatchesOK = false
+			fmt.Printf("MISMATCH %s: session %d, private %d\n", qc.Name, got, len(want))
+		}
+		row.CheckedTotal += len(want)
+		return nil
+	}
+	for _, qc := range base {
+		if err := check(qc, workload.ResetStream(stream)); err != nil {
+			return err
+		}
+	}
+	for _, qc := range pendingAdds {
+		if err := check(qc, workload.ResetStream(stream)[addedAt[qc.Name]:]); err != nil {
+			return err
+		}
+	}
+
+	table := harness.Table{
+		Title: "Dynamic MQO churn: live AddQuery/RemoveQuery on a sharing session",
+		Columns: []string{"events/s", "adds", "removes", "avg reopt", "max reopt",
+			"final shared", "generations", "checked matches"},
+		Rows: [][]string{{
+			fmt.Sprintf("%.0f", row.EventsPerSec), fmt.Sprint(adds), fmt.Sprint(removes),
+			fmt.Sprintf("%.2fms", row.AvgReoptMS), fmt.Sprintf("%.2fms", row.MaxReoptMS),
+			fmt.Sprint(row.FinalShared), fmt.Sprint(row.Generations), fmt.Sprint(row.CheckedTotal),
+		}},
+	}
+	table.Fprint(os.Stdout)
+	blob, err := json.MarshalIndent([]churnRow{row}, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJSON: %s\n", blob)
+	if !row.MatchesOK {
+		return fmt.Errorf("churn match-count mismatch")
+	}
+	if row.CheckedTotal == 0 {
+		return fmt.Errorf("churn cross-check was vacuous (no matches)")
+	}
 	return nil
 }

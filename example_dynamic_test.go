@@ -1,0 +1,153 @@
+package cep_test
+
+// Runnable examples for live query management: AddQuery/RemoveQuery on a
+// running Session and the churn-safe ShareReport snapshot.
+
+import (
+	"fmt"
+
+	cep "repro"
+)
+
+// ExampleSession_AddQuery registers a query on a session that is already
+// running. The new query observes exactly the events submitted after
+// AddQuery returns: the first (Login, Trade) pair below completes before
+// registration and belongs only to the pre-existing query, the second pair
+// is seen by both. On a ShareSubplans session the affected sharing
+// component is re-optimized incrementally — pre-existing queries keep
+// their buffered partial matches across the splice.
+func ExampleSession_AddQuery() {
+	login := cep.NewSchema("Login", "user")
+	trade := cep.NewSchema("Trade", "user")
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 1000, 7),
+		cep.NewEvent(trade, 2000, 7),
+		cep.NewEvent(login, 3000, 9),
+		cep.NewEvent(trade, 4000, 9),
+	})
+
+	s := cep.NewSession(cep.SessionConfig{ShareSubplans: true})
+	if err := s.Register(cep.QueryConfig{
+		Name:  "pairs",
+		Query: `PATTERN SEQ(Login l, Trade t) WHERE l.user = t.user WITHIN 10 s`,
+	}); err != nil {
+		panic(err)
+	}
+	if err := s.Start(); err != nil {
+		panic(err)
+	}
+	for _, e := range events[:2] {
+		if err := s.Submit(e); err != nil {
+			panic(err)
+		}
+	}
+	// Mid-feed: a second, overlapping query goes live.
+	if err := s.AddQuery(cep.QueryConfig{
+		Name:  "late-pairs",
+		Query: `PATTERN SEQ(Login l, Trade t) WHERE l.user = t.user WITHIN 10 s`,
+	}); err != nil {
+		panic(err)
+	}
+	for _, e := range events[2:] {
+		if err := s.Submit(e); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Println("pairs:", len(s.Matches("pairs")), "late-pairs:", len(s.Matches("late-pairs")))
+	// Output:
+	// pairs: 2 late-pairs: 1
+}
+
+// ExampleSession_RemoveQuery retires a query from a running session. The
+// removal is a barrier: events submitted before the call are fully
+// processed and delivered first, afterwards the name is gone (and may be
+// reused by a later AddQuery).
+func ExampleSession_RemoveQuery() {
+	login := cep.NewSchema("Login", "user")
+	trade := cep.NewSchema("Trade", "user")
+
+	var delivered []string
+	s := cep.NewSession(cep.SessionConfig{
+		OnMatch: func(query string, m *cep.Match) {
+			delivered = append(delivered, query)
+		},
+	})
+	for _, qc := range []cep.QueryConfig{
+		{Name: "watch", Query: `PATTERN SEQ(Login l, Trade t) WHERE l.user = t.user WITHIN 10 s`},
+		{Name: "keep", Query: `PATTERN SEQ(Trade t) WHERE t.user > 8 WITHIN 1 s`},
+	} {
+		if err := s.Register(qc); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		panic(err)
+	}
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(login, 1000, 7),
+		cep.NewEvent(trade, 2000, 7),
+		cep.NewEvent(trade, 3000, 9),
+	})
+	if err := s.Submit(events[0]); err != nil {
+		panic(err)
+	}
+	if err := s.Submit(events[1]); err != nil {
+		panic(err)
+	}
+	// The pair above is delivered before RemoveQuery returns (the removal
+	// barrier); the trade afterwards is seen only by the surviving query,
+	// so the two sink appends can never race.
+	if err := s.RemoveQuery("watch"); err != nil {
+		panic(err)
+	}
+	if err := s.Submit(events[2]); err != nil {
+		panic(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Println(delivered)
+	// Output:
+	// [watch keep]
+}
+
+// ExampleSession_ShareReport reads the optimizer's decision snapshot while
+// the query set churns: Generation counts the incremental
+// re-optimizations, and each component reports the generation that last
+// rebuilt it. Snapshots are immutable — a concurrent AddQuery never
+// mutates one already returned.
+func ExampleSession_ShareReport() {
+	s := cep.NewSession(cep.SessionConfig{ShareSubplans: true})
+	for _, qc := range []cep.QueryConfig{
+		{Name: "twin-1", Query: `PATTERN SEQ(Login l, Trade t) WHERE l.user = t.user WITHIN 10 s`},
+		{Name: "twin-2", Query: `PATTERN SEQ(Login l, Trade t) WHERE l.user = t.user WITHIN 10 s`},
+	} {
+		if err := s.Register(qc); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		panic(err)
+	}
+	before := s.ShareReport()
+	// An overlapping query joins the twins' component live.
+	if err := s.AddQuery(cep.QueryConfig{
+		Name:  "triplet",
+		Query: `PATTERN SEQ(Login l, Trade t, Alert a) WHERE l.user = t.user WITHIN 10 s`,
+	}); err != nil {
+		panic(err)
+	}
+	after := s.ShareReport()
+	fmt.Printf("before: shared=%d generation=%d\n", before.Shared, before.Generation)
+	fmt.Printf("after:  shared=%d generation=%d components=%d\n",
+		after.Shared, after.Generation, len(after.Components))
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// before: shared=2 generation=0
+	// after:  shared=3 generation=1 components=1
+}

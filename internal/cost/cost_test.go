@@ -347,3 +347,51 @@ func TestOrderCostPositive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBalance pins the LPT partition used to split hot sharing components
+// across worker lanes.
+func TestBalance(t *testing.T) {
+	bins := Balance([]float64{8, 1, 1, 1, 1, 4}, 2)
+	if len(bins) != 2 {
+		t.Fatalf("got %d bins, want 2", len(bins))
+	}
+	load := func(bin []int, costs []float64) float64 {
+		total := 0.0
+		for _, i := range bin {
+			total += costs[i]
+		}
+		return total
+	}
+	costs := []float64{8, 1, 1, 1, 1, 4}
+	l0, l1 := load(bins[0], costs), load(bins[1], costs)
+	if l0+l1 != 16 {
+		t.Fatalf("items lost: loads %.0f + %.0f != 16", l0, l1)
+	}
+	if diff := l0 - l1; diff > 2 || diff < -2 {
+		t.Fatalf("LPT imbalance too large: %.0f vs %.0f", l0, l1)
+	}
+	seen := map[int]bool{}
+	for _, bin := range bins {
+		for _, i := range bin {
+			if seen[i] {
+				t.Fatalf("item %d in two bins", i)
+			}
+			seen[i] = true
+		}
+	}
+	// More bins than items: surplus bins are dropped, never empty.
+	small := Balance([]float64{3, 7}, 5)
+	if len(small) != 2 {
+		t.Fatalf("got %d bins for 2 items, want 2", len(small))
+	}
+	if got := Balance(nil, 3); len(got) != 0 {
+		t.Fatalf("empty input produced bins: %v", got)
+	}
+	// All-zero costs (a measured selectivity of 0 zeroes modeled plan
+	// costs): ties fall back to occupancy, so no bin comes back empty.
+	for _, bin := range Balance([]float64{0, 0, 0, 0}, 2) {
+		if len(bin) != 2 {
+			t.Fatalf("zero-cost items not round-robined: %v", Balance([]float64{0, 0, 0, 0}, 2))
+		}
+	}
+}

@@ -8,6 +8,8 @@
 package cost
 
 import (
+	"sort"
+
 	"repro/internal/plan"
 	"repro/internal/stats"
 )
@@ -56,4 +58,53 @@ func SharedSaving(ps *stats.PatternStats, root *plan.TreeNode, consumers int, fa
 		return 0
 	}
 	return float64(consumers-1) * (1 - fanout) * Tree(ps, root)
+}
+
+// Balance partitions the items (given by their modeled costs) into at most
+// `bins` load-balanced groups of input indices, using the LPT greedy
+// heuristic: items are placed heaviest-first onto the currently lightest
+// bin. It is deterministic (ties broken by index) and never returns an
+// empty bin — with fewer items than bins, the surplus bins are dropped.
+// The multi-query optimizer uses it to split a hot sharing component's
+// root fan-out across worker lanes.
+func Balance(costs []float64, bins int) [][]int {
+	if bins < 1 {
+		bins = 1
+	}
+	if bins > len(costs) {
+		bins = len(costs)
+	}
+	if bins == 0 {
+		return nil
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] > costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := make([][]int, bins)
+	load := make([]float64, bins)
+	for _, idx := range order {
+		lightest := 0
+		for b := 1; b < bins; b++ {
+			// Equal loads fall back to occupancy, so zero-cost items still
+			// round-robin instead of piling onto bin 0 (which would leave
+			// empty bins behind).
+			if load[b] < load[lightest] ||
+				(load[b] == load[lightest] && len(out[b]) < len(out[lightest])) {
+				lightest = b
+			}
+		}
+		out[lightest] = append(out[lightest], idx)
+		load[lightest] += costs[idx]
+	}
+	for b := range out {
+		sort.Ints(out[b])
+	}
+	return out
 }

@@ -7,10 +7,21 @@
 // computed once and its partial matches fan out to every consuming query's
 // residual plan.
 //
-// Sharing is restricted to queries whose match sets are provably
+// Sharing is restricted to queries whose positive match sets are provably
 // plan-independent — single conjunctive or sequence disjuncts without
-// negation or Kleene closure under skip-till-any-match — so the shared DAG
-// produces, per query, exactly the matches of unshared evaluation.
+// Kleene closure under skip-till-any-match — so the shared DAG produces,
+// per query, exactly the matches of unshared evaluation. Negation patterns
+// participate through their positive core: the canonical signatures below
+// range over the positive planning positions only, and each consuming
+// query's negation checks are applied at its root (see engine.go), never
+// inside a shared sub-join.
+//
+// The DAG is dynamic: queries carry a Since watermark (the stream sequence
+// number from which they observe events), engines can adopt the buffered
+// state of predecessor engines on a live re-optimization (Engine.AdoptFrom),
+// and missing sub-join buffers are backfilled bottom-up from surviving
+// children, so registering or deregistering a query never drops or
+// duplicates the matches of the others.
 package mqo
 
 import (
@@ -87,24 +98,33 @@ func pairSig(c *predicate.Compiled, i, j int) string {
 	return strings.Join(descs, "&")
 }
 
-// sigCache memoizes the canonical signatures of one compiled pattern: leaf
-// and pair signatures depend only on (pattern, position), but subsetKey is
-// evaluated for every position subset during candidate enumeration and for
-// every tree node on every objective evaluation — without the cache each
-// evaluation would recompile the alias regexps from scratch.
+// sigCache memoizes the canonical signatures of one compiled pattern over
+// its PLANNING positions — the positive events the planner ranges over.
+// term maps planning position -> compiled term position (stats.TermIndex);
+// for negation-free patterns it is the identity, for negation patterns it
+// skips the negated terms, so the cache describes exactly the positive core
+// that a shared sub-join may compute. Leaf and pair signatures depend only
+// on (pattern, position), but subsetKey is evaluated for every position
+// subset during candidate enumeration and for every tree node on every
+// objective evaluation — without the cache each evaluation would recompile
+// the alias regexps from scratch.
 type sigCache struct {
 	c    *predicate.Compiled
-	leaf []string
-	pair [][]string // pair[i][j] for i < j; "" when no predicate links them
+	term []int      // planning position -> compiled term position
+	leaf []string   // indexed by planning position
+	pair [][]string // pair[i][j] for planning i < j; "" when no predicate links them
 }
 
-func newSigCache(c *predicate.Compiled) *sigCache {
-	sc := &sigCache{c: c, leaf: make([]string, c.N), pair: make([][]string, c.N)}
-	for i := 0; i < c.N; i++ {
-		sc.leaf[i] = leafSig(c, i)
-		sc.pair[i] = make([]string, c.N)
-		for j := i + 1; j < c.N; j++ {
-			sc.pair[i][j] = pairSig(c, i, j)
+func newSigCache(c *predicate.Compiled, term []int) *sigCache {
+	n := len(term)
+	sc := &sigCache{c: c, term: term, leaf: make([]string, n), pair: make([][]string, n)}
+	for i := 0; i < n; i++ {
+		sc.leaf[i] = leafSig(c, term[i])
+		sc.pair[i] = make([]string, n)
+		for j := i + 1; j < n; j++ {
+			// TermIndex is strictly increasing, so planning order preserves
+			// term order and the i < j orientation survives the mapping.
+			sc.pair[i][j] = pairSig(c, term[i], term[j])
 		}
 	}
 	return sc

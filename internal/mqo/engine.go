@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/match"
+	"repro/internal/oracle"
 	"repro/internal/predicate"
 )
 
@@ -19,23 +20,50 @@ type Tagged struct {
 	M     *match.Match
 }
 
-// EngineStats exposes the shared engine's load counters.
+// EngineStats exposes the shared engine's load counters. Across a splice
+// (AdoptFrom) only Processed continues — it is the stream position, the
+// maximum over the sources (every source saw the same broadcast stream).
+// Matches, Created and Backfilled are per-engine-lifetime counters and
+// restart with each successor engine.
 type EngineStats struct {
 	Processed   int64
 	Matches     int64
 	Created     int64 // instances created across all nodes
+	Backfilled  int64 // instances recomputed bottom-up during AdoptFrom
 	PeakPartial int   // peak buffered instances
 	Nodes       int   // distinct DAG nodes
 	SharedNodes int   // nodes with more than one consuming parent or query
 	Queries     int
 }
 
-// consumer is one query whose root is a given DAG node.
+// consumer is one query whose root is a given DAG node. Negation queries
+// share the positive core: the sub-joins below the root know nothing about
+// the negated terms, and the consumer applies the checks of Section 5.3 —
+// completion-time checks for anchored and leading negations, a pending
+// queue for negations whose violators may arrive after completion — exactly
+// as the private tree engine would.
 type consumer struct {
 	name   string
-	n      int   // term-position count of the compiled pattern
+	c      *predicate.Compiled
 	termOf []int // node slot -> compiled term position
+	// since is the stream sequence number from which this query observes
+	// events: a match is emitted only when every constituent event arrived
+	// at or after it. Queries registered before the first event have 0;
+	// queries added to a live session have the splice watermark, so shared
+	// buffers never leak pre-registration matches into them.
+	since uint64
+	// negComplete are the negation specs checkable when a match completes
+	// (the violation range is closed by then); negPending are the specs
+	// whose violators may still arrive, forcing the pending queue.
+	negComplete []predicate.NegSpec
+	negPending  []predicate.NegSpec
+	// negBufs buffers the in-window events of each negated position,
+	// indexed like c.Negs (negComplete ++ negPending share it via spec.Pos).
+	negBufs map[int][]*event.Event
 }
+
+// hasNegs reports whether the consumer carries negation state.
+func (cons *consumer) hasNegs() bool { return len(cons.c.Negs) > 0 }
 
 // edge links a node to one consuming parent; side is 0 when the node feeds
 // the parent's left input, 1 for the right. A self-join parent holds two
@@ -75,30 +103,53 @@ type node struct {
 	parents   []edge
 	consumers []consumer
 	buffer    []*inst
+
+	// sinceSeq is the stream sequence number from which the buffer is
+	// complete: it holds every live instance all of whose constituents
+	// arrived at or after it (and possibly older bonus instances from
+	// backfill). 0 for nodes alive since the engine's first event; the
+	// splice watermark for nodes created empty mid-stream.
+	sinceSeq uint64
 }
 
 func (n *node) isLeaf() bool { return n.left == nil }
 
 // inst is one partial match of a node's sub-join: exactly one event per
-// slot (Kleene closure is outside the shareable fragment).
+// slot (Kleene closure is outside the shareable fragment). minSeq is the
+// smallest stream sequence number among the constituents — the value the
+// per-consumer Since watermark filters on.
 type inst struct {
-	ev    []*event.Event
-	minTS event.Time
-	maxTS event.Time
+	ev     []*event.Event
+	minTS  event.Time
+	maxTS  event.Time
+	minSeq uint64
+}
+
+// pending is a completed match held back because a negation's violators may
+// still arrive (trailing or unanchored NOT); it is emitted when the window
+// closes, unless a violator kills it first.
+type pending struct {
+	cons     *consumer
+	m        *match.Match
+	deadline event.Time
+	dead     bool
 }
 
 // Engine is the shared evaluation DAG: a single-goroutine detection machine
 // evaluating every member query at once. Events enter at type-indexed
 // leaves, partial matches propagate along parent edges (fanning out at
 // shared nodes), and full matches emit at query roots tagged with the query
-// name.
+// name. Negation members additionally buffer their negated types and apply
+// the violation checks at their root.
 type Engine struct {
-	nodes  []*node
-	byType map[string][]*node
-	names  []string // member query names, registration order
+	nodes   []*node
+	byType  map[string][]*node
+	names   []string    // member query names, registration order
+	negCons []*consumer // consumers carrying negation state, cached off the hot path
 
 	now      event.Time
 	nPartial int
+	pendings []*pending
 	closed   bool
 	st       EngineStats
 	out      []Tagged
@@ -110,16 +161,35 @@ func (e *Engine) Names() []string { return append([]string(nil), e.names...) }
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() EngineStats { return e.st }
 
-// CurrentPartial returns the number of live buffered instances.
-func (e *Engine) CurrentPartial() int { return e.nPartial }
+// CurrentPartial returns the number of live buffered instances plus pending
+// matches.
+func (e *Engine) CurrentPartial() int { return e.nPartial + len(e.pendings) }
 
 // Process consumes one event (timestamps non-decreasing) and returns the
-// tagged matches it completed across all member queries. The returned slice
-// is reused by the next call.
-func (e *Engine) Process(ev *event.Event) []Tagged {
+// tagged matches it completed across all member queries. seq is the
+// event's stream sequence number (strictly increasing with submission
+// order); it seeds the instance watermarks the per-consumer Since filter
+// compares against. The returned slice is reused by the next call.
+func (e *Engine) Process(ev *event.Event, seq uint64) []Tagged {
 	e.st.Processed++
 	e.now = ev.TS
 	e.out = e.out[:0]
+
+	e.expirePendings()
+	e.killPendings(ev)
+
+	// Buffer negated positions first: an arriving negated-type event must be
+	// visible to the violation checks of any match completed by this very
+	// call (it may serve a positive leaf and a negated position at once).
+	for _, cons := range e.negCons {
+		for _, spec := range cons.c.Negs {
+			pos := spec.Pos
+			if cons.c.Types[pos] == ev.Type && cons.c.Preds.CheckUnary(pos, ev) {
+				cons.negBufs[pos] = append(cons.negBufs[pos], ev)
+			}
+		}
+	}
+
 	for _, leaf := range e.byType[ev.Type] {
 		ok := true
 		for _, fn := range leaf.unary {
@@ -131,7 +201,7 @@ func (e *Engine) Process(ev *event.Event) []Tagged {
 		if !ok {
 			continue
 		}
-		in := &inst{ev: []*event.Event{ev}, minTS: ev.TS, maxTS: ev.TS}
+		in := &inst{ev: []*event.Event{ev}, minTS: ev.TS, maxTS: ev.TS, minSeq: seq}
 		e.insert(leaf, in)
 	}
 	if e.st.Processed%compactEvery == 0 {
@@ -155,8 +225,8 @@ func (e *Engine) insert(n *node, in *inst) {
 	}
 	n.buffer = append(n.buffer, in)
 	e.nPartial++
-	if e.nPartial > e.st.PeakPartial {
-		e.st.PeakPartial = e.nPartial
+	if cur := e.CurrentPartial(); cur > e.st.PeakPartial {
+		e.st.PeakPartial = cur
 	}
 	for _, ed := range n.parents {
 		p := ed.parent
@@ -213,7 +283,10 @@ func (e *Engine) combine(p *node, li, ri *inst) *inst {
 			return nil
 		}
 	}
-	merged := &inst{ev: make([]*event.Event, p.slots), minTS: min, maxTS: max}
+	merged := &inst{ev: make([]*event.Event, p.slots), minTS: min, maxTS: max, minSeq: li.minSeq}
+	if ri.minSeq < merged.minSeq {
+		merged.minSeq = ri.minSeq
+	}
 	for i, s := range p.leftMap {
 		merged.ev[s] = li.ev[i]
 	}
@@ -224,17 +297,97 @@ func (e *Engine) combine(p *node, li, ri *inst) *inst {
 }
 
 // emit materializes a root instance as one query's match, remapping node
-// slots to the query's compiled term positions.
+// slots to the query's compiled term positions, filtering by the consumer's
+// Since watermark and applying its negation checks.
 func (e *Engine) emit(cons *consumer, in *inst) {
-	m := match.New(cons.n)
+	if in.minSeq < cons.since {
+		return // predates the query's registration
+	}
+	m := match.New(cons.c.N)
 	for slot, ev := range in.ev {
 		m.Positions[cons.termOf[slot]] = []*event.Event{ev}
 	}
+	for _, spec := range cons.negComplete {
+		if e.violated(cons, m, spec) {
+			return
+		}
+	}
+	if len(cons.negPending) > 0 {
+		for _, spec := range cons.negPending {
+			if e.violated(cons, m, spec) {
+				return
+			}
+		}
+		e.pendings = append(e.pendings, &pending{
+			cons: cons, m: m, deadline: in.minTS + cons.c.Window,
+		})
+		if cur := e.CurrentPartial(); cur > e.st.PeakPartial {
+			e.st.PeakPartial = cur
+		}
+		return
+	}
+	e.deliver(cons, m)
+}
+
+// deliver appends one tagged match to the output batch.
+func (e *Engine) deliver(cons *consumer, m *match.Match) {
 	e.st.Matches++
 	e.out = append(e.out, Tagged{Query: cons.name, M: m})
 }
 
-// compact sweeps expired instances from every buffering node.
+// violated reports whether a buffered in-window event of the spec's negated
+// type invalidates the match.
+func (e *Engine) violated(cons *consumer, m *match.Match, spec predicate.NegSpec) bool {
+	for _, b := range cons.negBufs[spec.Pos] {
+		if e.now-b.TS > cons.c.Window {
+			continue
+		}
+		if oracle.Violates(cons.c, m, spec, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// expirePendings emits pending matches whose negation verdict can no longer
+// change (the window closed without a violator).
+func (e *Engine) expirePendings() {
+	if len(e.pendings) == 0 {
+		return
+	}
+	keep := e.pendings[:0]
+	for _, pd := range e.pendings {
+		switch {
+		case pd.dead:
+		case pd.deadline < e.now:
+			e.deliver(pd.cons, pd.m)
+		default:
+			keep = append(keep, pd)
+		}
+	}
+	for i := len(keep); i < len(e.pendings); i++ {
+		e.pendings[i] = nil
+	}
+	e.pendings = keep
+}
+
+// killPendings marks pending matches violated by the arriving event.
+func (e *Engine) killPendings(ev *event.Event) {
+	for _, pd := range e.pendings {
+		if pd.dead {
+			continue
+		}
+		for _, spec := range pd.cons.negPending {
+			if oracle.Violates(pd.cons.c, pd.m, spec, ev) {
+				pd.dead = true
+				break
+			}
+		}
+	}
+}
+
+// compact sweeps expired instances from every buffering node and expired
+// events from the negation buffers.
 func (e *Engine) compact() {
 	total := 0
 	for _, n := range e.nodes {
@@ -256,13 +409,29 @@ func (e *Engine) compact() {
 		total += len(keep)
 	}
 	e.nPartial = total
+	for _, cons := range e.negCons {
+		for pos, buf := range cons.negBufs {
+			i := 0
+			for i < len(buf) && e.now-buf[i].TS > cons.c.Window {
+				i++
+			}
+			cons.negBufs[pos] = buf[i:]
+		}
+	}
 }
 
-// Flush ends the stream. The shareable fragment has no trailing-negation
-// pendings, so nothing is released; the engine just closes.
+// Flush ends the stream: pending matches whose violator never arrived are
+// released, tagged like regular emissions.
 func (e *Engine) Flush() []Tagged {
 	e.closed = true
-	return nil
+	e.out = e.out[:0]
+	for _, pd := range e.pendings {
+		if !pd.dead {
+			e.deliver(pd.cons, pd.m)
+		}
+	}
+	e.pendings = nil
+	return e.out
 }
 
 // Close releases the engine's buffers.
@@ -271,7 +440,134 @@ func (e *Engine) Close() {
 	for _, n := range e.nodes {
 		n.buffer = nil
 	}
+	e.pendings = nil
 	e.nPartial = 0
+}
+
+// AdoptFrom transfers the live detection state of the predecessor engines
+// into this (freshly built, never processed) engine — the splice step of
+// incremental re-optimization. Nodes are matched by canonical key: a
+// buffer present in a predecessor (preferring the source complete from the
+// earliest watermark) is copied; a buffering node with no source is
+// backfilled bottom-up by re-joining its children's buffers, so replanning
+// a surviving query never loses the partial matches its old tree had
+// accumulated. Consumers recover their negation buffers and pending
+// matches by query name. spliceSeq is the watermark stamped on nodes that
+// cannot be reconstructed (their sub-join was never live before).
+//
+// The caller must guarantee quiescence: no Process call may be in flight on
+// any engine involved, and the predecessors are discarded afterwards.
+func (e *Engine) AdoptFrom(olds []*Engine, spliceSeq uint64) {
+	// Only the stream clock carries over (every predecessor saw the same
+	// broadcast events, so max is the true count and keeps the compaction
+	// cadence). Matches/Created restart at zero: they are per-engine-
+	// lifetime counters, and summing predecessors would multiply-count
+	// history when one splice fans out into several successor lanes.
+	for _, old := range olds {
+		if old.st.Processed > e.st.Processed {
+			e.st.Processed = old.st.Processed
+		}
+		if old.now > e.now {
+			e.now = old.now
+		}
+	}
+
+	// Index predecessor nodes by key, keeping the most complete source.
+	best := map[string]*node{}
+	for _, old := range olds {
+		for _, n := range old.nodes {
+			if len(n.parents) == 0 {
+				continue // never buffered: not a usable source
+			}
+			if cur, ok := best[n.key]; !ok || n.sinceSeq < cur.sinceSeq {
+				best[n.key] = n
+			}
+		}
+	}
+
+	// e.nodes is in build order (children precede parents), so a backfill
+	// always finds its children's buffers already settled.
+	for _, n := range e.nodes {
+		if len(n.parents) == 0 && len(n.consumers) > 0 && !n.isLeaf() {
+			// Pure roots never buffer; completeness is inherited lazily from
+			// the children at combine time.
+			n.sinceSeq = 0
+		}
+		if len(n.parents) == 0 {
+			continue
+		}
+		if src, ok := best[n.key]; ok {
+			n.sinceSeq = src.sinceSeq
+			n.buffer = make([]*inst, 0, len(src.buffer))
+			for _, in := range src.buffer {
+				if e.now-in.minTS > n.window {
+					continue
+				}
+				n.buffer = append(n.buffer, in)
+			}
+			continue
+		}
+		if n.isLeaf() {
+			// Raw events are gone; the leaf restarts at the splice.
+			n.sinceSeq = spliceSeq
+			continue
+		}
+		// Backfill: the sub-join was not materialized before, but both
+		// children carry buffers — recompute the cross product once, during
+		// the splice pause. Completeness is bounded by the children's.
+		n.sinceSeq = n.left.sinceSeq
+		if n.right.sinceSeq > n.sinceSeq {
+			n.sinceSeq = n.right.sinceSeq
+		}
+		for _, li := range n.left.buffer {
+			for _, ri := range n.right.buffer {
+				if merged := e.combine(n, li, ri); merged != nil {
+					n.buffer = append(n.buffer, merged)
+					e.st.Backfilled++
+				}
+			}
+		}
+	}
+	total := 0
+	for _, n := range e.nodes {
+		total += len(n.buffer)
+	}
+	e.nPartial = total
+	if cur := e.CurrentPartial(); cur > e.st.PeakPartial {
+		e.st.PeakPartial = cur
+	}
+
+	// Surviving consumers recover negation buffers and pending matches.
+	byName := map[string]*consumer{}
+	for _, n := range e.nodes {
+		for ci := range n.consumers {
+			byName[n.consumers[ci].name] = &n.consumers[ci]
+		}
+	}
+	for _, old := range olds {
+		for _, n := range old.nodes {
+			for ci := range n.consumers {
+				oc := &n.consumers[ci]
+				nc := byName[oc.name]
+				if nc == nil || !nc.hasNegs() {
+					continue
+				}
+				for pos, buf := range oc.negBufs {
+					nc.negBufs[pos] = append(nc.negBufs[pos], buf...)
+				}
+			}
+		}
+		for _, pd := range old.pendings {
+			if pd.dead {
+				continue
+			}
+			if nc := byName[pd.cons.name]; nc != nil {
+				e.pendings = append(e.pendings, &pending{
+					cons: nc, m: pd.m, deadline: pd.deadline,
+				})
+			}
+		}
+	}
 }
 
 // Describe renders the DAG for logs and debugging: each node with its leaf
@@ -291,6 +587,9 @@ func (e *Engine) Describe() string {
 			names := make([]string, len(n.consumers))
 			for k, c := range n.consumers {
 				names[k] = c.name
+				if len(c.c.Negs) > 0 {
+					names[k] += "¬"
+				}
 			}
 			sort.Strings(names)
 			fmt.Fprintf(&b, " roots=[%s]", strings.Join(names, " "))

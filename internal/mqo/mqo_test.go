@@ -39,14 +39,14 @@ func TestCanonicalKeysAliasFree(t *testing.T) {
 	st := stats.New()
 	sp1 := planSimple(t, seqAB(20, "x1", "y1"), st, core.AlgZStream)
 	sp2 := planSimple(t, seqAB(20, "p", "q"), st, core.AlgZStream)
-	k1, _ := subsetKey(newSigCache(sp1.Compiled), []int{0, 1})
-	k2, _ := subsetKey(newSigCache(sp2.Compiled), []int{0, 1})
+	k1, _ := subsetKey(newSigCache(sp1.Compiled, sp1.Stats.TermIndex), []int{0, 1})
+	k2, _ := subsetKey(newSigCache(sp2.Compiled, sp2.Stats.TermIndex), []int{0, 1})
 	if k1 != k2 {
 		t.Fatalf("alias renaming changed the canonical key:\n%s\n%s", k1, k2)
 	}
 	// Different window: different key.
 	sp3 := planSimple(t, seqAB(30, "x1", "y1"), st, core.AlgZStream)
-	k3, _ := subsetKey(newSigCache(sp3.Compiled), []int{0, 1})
+	k3, _ := subsetKey(newSigCache(sp3.Compiled, sp3.Stats.TermIndex), []int{0, 1})
 	if k1 == k3 {
 		t.Fatal("window is not part of the canonical key")
 	}
@@ -55,7 +55,7 @@ func TestCanonicalKeysAliasFree(t *testing.T) {
 		Where(pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"),
 			pattern.AttrCmp("a", "y", pattern.Eq, "b", "y"))
 	sp4 := planSimple(t, p4, st, core.AlgZStream)
-	k4, _ := subsetKey(newSigCache(sp4.Compiled), []int{0, 1})
+	k4, _ := subsetKey(newSigCache(sp4.Compiled, sp4.Stats.TermIndex), []int{0, 1})
 	if k1 == k4 {
 		t.Fatal("predicate set is not part of the canonical key")
 	}
@@ -63,7 +63,7 @@ func TestCanonicalKeysAliasFree(t *testing.T) {
 	p5 := pattern.And(20, pattern.E("A", "a"), pattern.E("B", "b")).
 		Where(pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"))
 	sp5 := planSimple(t, p5, st, core.AlgZStream)
-	k5, _ := subsetKey(newSigCache(sp5.Compiled), []int{0, 1})
+	k5, _ := subsetKey(newSigCache(sp5.Compiled, sp5.Stats.TermIndex), []int{0, 1})
 	if k1 == k5 {
 		t.Fatal("sequence order is not part of the canonical key")
 	}
@@ -88,8 +88,8 @@ func TestEligible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if Eligible(npl, predicate.SkipTillAnyMatch) {
-		t.Fatal("negation accepted")
+	if !Eligible(npl, predicate.SkipTillAnyMatch) {
+		t.Fatal("negation rejected — the positive core is shareable")
 	}
 	kl := pattern.Seq(20, pattern.E("A", "a"), pattern.KL("B", "b"))
 	kpl, err := pl.Plan(kl, st)
@@ -119,13 +119,13 @@ func TestEngineMatchesTreeEngine(t *testing.T) {
 		}
 		enginetest.Reset(events)
 
-		eng, err := buildEngine([]*qstate{newQState("q", sp)})
+		eng, err := buildEngine([]*qstate{newQState(Query{Name: "q", SP: sp})})
 		if err != nil {
 			t.Fatal(err)
 		}
 		var got []*match.Match
-		for _, ev := range events {
-			for _, tm := range eng.Process(ev) {
+		for i, ev := range events {
+			for _, tm := range eng.Process(ev, uint64(i+1)) {
 				if tm.Query != "q" {
 					t.Fatalf("unexpected tag %q", tm.Query)
 				}
@@ -166,8 +166,8 @@ func TestOptimizeSharesIdenticalQueries(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	events := enginetest.Stream(rng, 80, []string{"A", "B"}, 2)
 	perQuery := map[string]int{}
-	for _, ev := range events {
-		for _, tm := range g.Engine.Process(ev) {
+	for i, ev := range events {
+		for _, tm := range g.Engine.Process(ev, uint64(i+1)) {
 			perQuery[tm.Query]++
 		}
 	}
@@ -247,8 +247,8 @@ func TestOptimizeRestructuresForSharing(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	events := enginetest.Stream(rng, 400, []string{"A", "B", "C", "D"}, 2)
 	got := map[string][]*match.Match{}
-	for _, ev := range events {
-		for _, tm := range res.Groups[0].Engine.Process(ev) {
+	for i, ev := range events {
+		for _, tm := range res.Groups[0].Engine.Process(ev, uint64(i+1)) {
 			got[tm.Query] = append(got[tm.Query], tm.M)
 		}
 	}
@@ -274,7 +274,7 @@ func TestSelfJoinSharing(t *testing.T) {
 	st := stats.New()
 	p := pattern.Seq(25, pattern.E("A", "a1"), pattern.E("A", "a2"))
 	sp := planSimple(t, p, st, core.AlgZStream)
-	eng, err := buildEngine([]*qstate{newQState("self", sp)})
+	eng, err := buildEngine([]*qstate{newQState(Query{Name: "self", SP: sp})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,8 +284,8 @@ func TestSelfJoinSharing(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	events := enginetest.Stream(rng, 50, []string{"A"}, 2)
 	var got []*match.Match
-	for _, ev := range events {
-		for _, tm := range eng.Process(ev) {
+	for i, ev := range events {
+		for _, tm := range eng.Process(ev, uint64(i+1)) {
 			got = append(got, tm.M)
 		}
 	}
@@ -342,5 +342,283 @@ func TestSharedObjective(t *testing.T) {
 	}
 	if cost.Shared(nodes, 0) != 14 {
 		t.Fatal("zero fanout must price pure sharing")
+	}
+}
+
+// TestEngineMatchesTreeEngineNegation repeats the faithfulness property over
+// random patterns WITH negation: the shared DAG computes the positive core
+// and applies the root negation checks, and must still coincide with the
+// private tree engine match-for-match (including flushed pendings).
+func TestEngineMatchesTreeEngineNegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	st := stats.New()
+	for trial := 0; trial < 40; trial++ {
+		p := enginetest.RandomPattern(rng, 30, true, false)
+		sp := planSimple(t, p, st, core.AlgZStream)
+		events := enginetest.Stream(rng, 60, enginetest.TypeNames, 3)
+
+		want, _, err := enginetest.RunTree(sp.Compiled, sp.TreeTerms(), events, tree.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enginetest.Reset(events)
+
+		eng, err := buildEngine([]*qstate{newQState(Query{Name: "q", SP: sp})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*match.Match
+		for i, ev := range events {
+			for _, tm := range eng.Process(ev, uint64(i+1)) {
+				got = append(got, tm.M)
+			}
+		}
+		for _, tm := range eng.Flush() {
+			got = append(got, tm.M)
+		}
+		onlyG, onlyW := match.Diff(got, want)
+		if len(onlyG) > 0 || len(onlyW) > 0 {
+			t.Fatalf("trial %d (%s): negation DAG diverges from tree engine\nextra: %v\nmissing: %v",
+				trial, p, onlyG, onlyW)
+		}
+		enginetest.Reset(events)
+	}
+}
+
+// TestNegationSharesPositiveCore groups a plain query with a negation query
+// over the same positive sub-join: the DAG must share the core (fewer nodes
+// than the sum of both trees) while keeping both match sets private-exact.
+func TestNegationSharesPositiveCore(t *testing.T) {
+	st := stats.New()
+	plain := pattern.Seq(20, pattern.E("A", "a"), pattern.E("B", "b")).
+		Where(pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"))
+	negated := pattern.Seq(20, pattern.E("A", "p"), pattern.Not("C", "n"), pattern.E("B", "q")).
+		Where(pattern.AttrCmp("p", "x", pattern.Lt, "q", "x"))
+	spPlain := planSimple(t, plain, st, core.AlgZStream)
+	spNeg := planSimple(t, negated, st, core.AlgZStream)
+	res, err := Optimize([]Query{{Name: "plain", SP: spPlain}, {Name: "neg", SP: spNeg}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("want one shared group, got %d (private=%v)", len(res.Groups), res.Private)
+	}
+	eng := res.Groups[0].Engine
+	// Identical positive cores collapse: 2 leaves + 1 join, consumed by both.
+	if eng.st.Nodes != 3 {
+		t.Fatalf("DAG has %d nodes, want 3 (core fully shared)", eng.st.Nodes)
+	}
+	rng := rand.New(rand.NewSource(5))
+	events := enginetest.Stream(rng, 300, []string{"A", "B", "C"}, 2)
+	got := map[string][]*match.Match{}
+	for i, ev := range events {
+		for _, tm := range eng.Process(ev, uint64(i+1)) {
+			got[tm.Query] = append(got[tm.Query], tm.M)
+		}
+	}
+	for _, tm := range eng.Flush() {
+		got[tm.Query] = append(got[tm.Query], tm.M)
+	}
+	for name, sp := range map[string]*core.SimplePlan{"plain": spPlain, "neg": spNeg} {
+		enginetest.Reset(events)
+		want, _, err := enginetest.RunTree(sp.Compiled, sp.TreeTerms(), events, tree.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		onlyG, onlyW := match.Diff(got[name], want)
+		if len(onlyG) > 0 || len(onlyW) > 0 {
+			t.Fatalf("query %s diverges: extra %v missing %v", name, onlyG, onlyW)
+		}
+		enginetest.Reset(events)
+	}
+	if len(got["neg"]) == 0 || len(got["plain"]) == 0 {
+		t.Fatal("vacuous: a query produced no matches")
+	}
+	if len(got["neg"]) >= len(got["plain"]) {
+		t.Fatal("vacuous: negation filtered nothing")
+	}
+}
+
+// TestAdoptFromSplicesWithoutLoss simulates the live-registration splice: a
+// singleton engine processes the first half of a stream, then a second
+// query arrives, the pair is re-optimized, the successor engine adopts the
+// old state, and the second half flows through it. The old query must see
+// exactly its full-stream matches (nothing dropped or duplicated across the
+// splice); the new query exactly its suffix matches.
+func TestAdoptFromSplicesWithoutLoss(t *testing.T) {
+	st := stats.New()
+	p1 := pattern.Seq(25, pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c")).
+		Where(pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"))
+	p2 := pattern.Seq(25, pattern.E("A", "u"), pattern.E("B", "v"), pattern.E("D", "w")).
+		Where(pattern.AttrCmp("u", "x", pattern.Lt, "v", "x"))
+	sp1 := planSimple(t, p1, st, core.AlgZStream)
+	sp2 := planSimple(t, p2, st, core.AlgZStream)
+
+	rng := rand.New(rand.NewSource(23))
+	events := enginetest.Stream(rng, 400, enginetest.TypeNames, 2)
+	half := len(events) / 2
+
+	g1, err := Single(Query{Name: "q1", SP: sp1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]*match.Match{}
+	collect := func(tms []Tagged) {
+		for _, tm := range tms {
+			got[tm.Query] = append(got[tm.Query], tm.M)
+		}
+	}
+	for i, ev := range events[:half] {
+		collect(g1.Engine.Process(ev, uint64(i+1)))
+	}
+
+	spliceSeq := uint64(half + 1)
+	res, err := Optimize([]Query{
+		{Name: "q1", SP: sp1},
+		{Name: "q2", SP: sp2, Since: spliceSeq},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engines []*Engine
+	for _, g := range res.Groups {
+		g.Engine.AdoptFrom([]*Engine{g1.Engine}, spliceSeq)
+		engines = append(engines, g.Engine)
+	}
+	for _, name := range res.Private {
+		q := Query{Name: name, SP: sp1}
+		if name == "q2" {
+			q = Query{Name: name, SP: sp2, Since: spliceSeq}
+		}
+		g, err := Single(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Engine.AdoptFrom([]*Engine{g1.Engine}, spliceSeq)
+		engines = append(engines, g.Engine)
+	}
+	for i, ev := range events[half:] {
+		for _, eng := range engines {
+			collect(eng.Process(ev, spliceSeq+uint64(i)))
+		}
+	}
+	for _, eng := range engines {
+		collect(eng.Flush())
+	}
+
+	enginetest.Reset(events)
+	want1, _, err := enginetest.RunTree(sp1.Compiled, sp1.TreeTerms(), events, tree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginetest.Reset(events)
+	want2, _, err := enginetest.RunTree(sp2.Compiled, sp2.TreeTerms(), events[half:], tree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want1) == 0 || len(want2) == 0 {
+		t.Fatal("vacuous workload")
+	}
+	if onlyG, onlyW := match.Diff(got["q1"], want1); len(onlyG) > 0 || len(onlyW) > 0 {
+		t.Fatalf("q1 across splice: %d extra, %d missing (of %d)", len(onlyG), len(onlyW), len(want1))
+	}
+	if onlyG, onlyW := match.Diff(got["q2"], want2); len(onlyG) > 0 || len(onlyW) > 0 {
+		t.Fatalf("q2 suffix: %d extra, %d missing (of %d)", len(onlyG), len(onlyW), len(want2))
+	}
+}
+
+// TestQueryKeysOverlap checks the affected-component index: overlapping
+// queries expose a common canonical key, disjoint ones do not.
+func TestQueryKeysOverlap(t *testing.T) {
+	st := stats.New()
+	k1 := QueryKeys(Query{Name: "a", SP: planSimple(t, seqAB(20, "a", "b"), st, core.AlgZStream)}, Options{})
+	k2 := QueryKeys(Query{Name: "b", SP: planSimple(t, seqAB(20, "p", "q"), st, core.AlgZStream)}, Options{})
+	p3 := pattern.Seq(20, pattern.E("C", "c"), pattern.E("D", "d"))
+	k3 := QueryKeys(Query{Name: "c", SP: planSimple(t, p3, st, core.AlgZStream)}, Options{})
+	inter := func(x, y []string) bool {
+		set := map[string]bool{}
+		for _, k := range x {
+			set[k] = true
+		}
+		for _, k := range y {
+			if set[k] {
+				return true
+			}
+		}
+		return false
+	}
+	if !inter(k1, k2) {
+		t.Fatal("identical queries expose no common key")
+	}
+	if inter(k1, k3) {
+		t.Fatal("disjoint queries expose a common key")
+	}
+}
+
+// TestGroupWorkersSplit checks the parallel-lane partition: a component of
+// four members under GroupWorkers=2 splits into two lanes of the same
+// component, members disjoint and complete, detection still exact.
+func TestGroupWorkersSplit(t *testing.T) {
+	st := stats.New()
+	// Rare A and B, frequent C: every private-optimal tree joins (A⋈B)
+	// first, so the four distinct queries form one connected component.
+	st.SetRate("A", 1)
+	st.SetRate("B", 1)
+	st.SetRate("C", 10)
+	var queries []Query
+	sps := map[string]*core.SimplePlan{}
+	tailPred := []pattern.CmpOp{pattern.Lt, pattern.Le, pattern.Ne, pattern.Gt}
+	for i, op := range tailPred {
+		p := pattern.Seq(20, pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "t")).
+			Where(pattern.AttrCmp("a", "x", pattern.Lt, "b", "x"),
+				pattern.AttrCmp("b", "x", op, "t", "x"))
+		name := fmt.Sprintf("q%d", i)
+		sp := planSimple(t, p, st, core.AlgZStream)
+		sps[name] = sp
+		queries = append(queries, Query{Name: name, SP: sp})
+	}
+	res, err := Optimize(queries, Options{GroupWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("want 2 lanes, got %d (private=%v)", len(res.Groups), res.Private)
+	}
+	seen := map[string]bool{}
+	for _, g := range res.Groups {
+		if g.Component != res.Groups[0].Component {
+			t.Fatalf("lanes of one component disagree on id: %d vs %d",
+				g.Component, res.Groups[0].Component)
+		}
+		for _, m := range g.Members {
+			if seen[m] {
+				t.Fatalf("member %s on two lanes", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("members lost in split: %v", seen)
+	}
+	rng := rand.New(rand.NewSource(13))
+	events := enginetest.Stream(rng, 300, enginetest.TypeNames, 2)
+	got := map[string][]*match.Match{}
+	for i, ev := range events {
+		for _, g := range res.Groups {
+			for _, tm := range g.Engine.Process(ev, uint64(i+1)) {
+				got[tm.Query] = append(got[tm.Query], tm.M)
+			}
+		}
+	}
+	for name, sp := range sps {
+		enginetest.Reset(events)
+		want, _, err := enginetest.RunTree(sp.Compiled, sp.TreeTerms(), events, tree.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if onlyG, onlyW := match.Diff(got[name], want); len(onlyG) > 0 || len(onlyW) > 0 {
+			t.Fatalf("split lane query %s diverges: extra %v missing %v", name, onlyG, onlyW)
+		}
+		enginetest.Reset(events)
 	}
 }

@@ -12,11 +12,14 @@ import (
 	"repro/internal/stats"
 )
 
-// Query is one candidate query for subplan sharing: its name and the
-// per-query plan the single-query planner produced.
+// Query is one candidate query for subplan sharing: its name, the
+// per-query plan the single-query planner produced, and — for queries
+// joining a live session — the stream sequence watermark from which the
+// query observes events (0 for queries registered before the first event).
 type Query struct {
-	Name string
-	SP   *core.SimplePlan
+	Name  string
+	SP    *core.SimplePlan
+	Since uint64
 }
 
 // Options tunes the optimizer. The zero value selects the defaults.
@@ -31,6 +34,15 @@ type Options struct {
 	// MaxSubsetSize bounds the position-subset enumeration per query
 	// (default 10; enumeration is 2^n).
 	MaxSubsetSize int
+	// GroupWorkers partitions a sharing component's root fan-out across up
+	// to this many evaluation DAGs, each served by its own worker lane, so
+	// one hot component no longer serializes on a single goroutine. Members
+	// are cost-balanced across the lanes (cost.Balance); sub-joins shared
+	// across lanes are evaluated once per lane, so the split trades some
+	// recomputation for parallelism. 0 or 1 keeps one DAG per component; a
+	// lane always holds at least two members (components too small to split
+	// stay whole).
+	GroupWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -43,14 +55,28 @@ func (o Options) withDefaults() Options {
 	if o.MaxSubsetSize <= 0 {
 		o.MaxSubsetSize = 10
 	}
+	if o.GroupWorkers <= 0 {
+		o.GroupWorkers = 1
+	}
 	return o
 }
 
-// Group is one connected sharing component: a shared evaluation DAG and the
-// names of the queries it serves.
+// Group is one shared evaluation lane: a shared evaluation DAG and the
+// names of the queries it serves. Component identifies the connected
+// sharing component the lane belongs to (lanes of a split component share
+// it); the cost fields are the modeled unshared vs shared cost of this
+// lane's members, and Restructured counts the members whose private-optimal
+// tree was bent toward a common sub-join.
 type Group struct {
 	Engine  *Engine
 	Members []string
+
+	Component    int
+	Restructured int
+	Nodes        int
+	SharedNodes  int
+	UnsharedCost float64
+	SharedCost   float64
 }
 
 // Report summarizes what the optimizer decided, in cost-model terms.
@@ -74,19 +100,25 @@ type Report struct {
 }
 
 // Result is the optimizer's output: the shared groups plus the eligible
-// queries the model left on their private engines.
+// queries the model left on their private engines. Keys maps every input
+// query to its sharing-relevant canonical keys — the index a session keeps
+// to decide, when a query registers or deregisters live, which sharing
+// component is affected and must be re-optimized.
 type Result struct {
 	Groups  []Group
 	Private []string
 	Report  Report
+	Keys    map[string][]string
 }
 
 // Eligible reports whether a planned query may participate in subplan
-// sharing: exactly one disjunct, no negated or Kleene positions, evaluated
-// under skip-till-any-match — the fragment whose match sets are provably
+// sharing: exactly one disjunct without Kleene positions, evaluated under
+// skip-till-any-match — the fragment whose positive match sets are provably
 // plan-independent (Section 3's equivalence of all plans), which is what
 // makes evaluating a query on a restructured shared plan match-for-match
-// identical to its private plan.
+// identical to its private plan. Negated positions are allowed: the shared
+// DAG evaluates the positive core and the consuming root applies the
+// negation checks of Section 5.3 itself.
 func Eligible(pl *core.Plan, strategy predicate.Strategy) bool {
 	if pl == nil || len(pl.Simple) != 1 {
 		return false
@@ -95,33 +127,26 @@ func Eligible(pl *core.Plan, strategy predicate.Strategy) bool {
 	if strategy != predicate.SkipTillAnyMatch {
 		return false
 	}
-	c := sp.Compiled
-	if len(c.Negs) > 0 {
-		return false
-	}
-	for _, k := range c.Kleene {
+	for _, k := range sp.Compiled.Kleene {
 		if k {
-			return false
-		}
-	}
-	// The shareable fragment has no negated terms, so planning positions
-	// and compiled term positions coincide; the builder relies on it.
-	for k, ti := range sp.Stats.TermIndex {
-		if ti != k {
 			return false
 		}
 	}
 	return true
 }
 
-// qstate is the optimizer's working state for one query.
+// qstate is the optimizer's working state for one query. Trees and
+// position subsets are in planning-position space (positive events only);
+// sigs and term translate to compiled term positions where the predicate
+// tables live.
 type qstate struct {
-	name string
-	sp   *core.SimplePlan
-	c    *predicate.Compiled
-	sigs *sigCache
-	ps   *stats.PatternStats
-	tree *plan.TreeNode // current (possibly restructured) tree, term positions
+	name  string
+	sp    *core.SimplePlan
+	c     *predicate.Compiled
+	sigs  *sigCache
+	ps    *stats.PatternStats
+	since uint64
+	tree  *plan.TreeNode // current (possibly restructured) tree, planning positions
 	// baseCost is Cost_tree of the private-optimal plan; cost tracks the
 	// current (possibly restructured) tree.
 	baseCost float64
@@ -131,8 +156,12 @@ type qstate struct {
 	locked map[int]bool
 }
 
+// term translates a planning position to its compiled term position.
+func (q *qstate) term(pos int) int { return q.ps.TermIndex[pos] }
+
 // newQState prepares one query's working state.
-func newQState(name string, sp *core.SimplePlan) *qstate {
+func newQState(in Query) *qstate {
+	sp := in.SP
 	tree := sp.Tree
 	if tree == nil {
 		// Theorem 1: an order-based plan is the left-deep tree over the
@@ -142,11 +171,12 @@ func newQState(name string, sp *core.SimplePlan) *qstate {
 	tree = tree.Clone()
 	c := cost.Tree(sp.Stats, tree)
 	return &qstate{
-		name:     name,
+		name:     in.Name,
 		sp:       sp,
 		c:        sp.Compiled,
-		sigs:     newSigCache(sp.Compiled),
+		sigs:     newSigCache(sp.Compiled, sp.Stats.TermIndex),
 		ps:       sp.Stats,
+		since:    in.Since,
 		tree:     tree,
 		baseCost: c,
 		cost:     c,
@@ -159,7 +189,7 @@ func newQState(name string, sp *core.SimplePlan) *qstate {
 // modeled per-consumer cost of computing it.
 type candidate struct {
 	key     string
-	subsets map[int][]int // query index -> term-position subset
+	subsets map[int][]int // query index -> planning-position subset
 	shape   *plan.TreeNode
 	shapeQ  int     // query whose positions shape's leaves use
 	pm      float64 // Cost_tree of the sub-join under shapeQ's stats
@@ -167,15 +197,17 @@ type candidate struct {
 }
 
 // Optimize selects which sub-joins to materialize once across the queries
-// and builds one shared evaluation DAG per connected sharing component.
-// Queries that end up sharing nothing are reported in Result.Private — the
-// caller should keep them on their private engines (and their private
-// workers) rather than serializing them through a DAG for no modeled win.
+// and builds the shared evaluation DAGs, one or more per connected sharing
+// component (Options.GroupWorkers splits large components across several
+// lanes). Queries that end up sharing nothing are reported in
+// Result.Private — the caller should keep them on their private engines
+// (and their private workers) rather than serializing them through a DAG
+// for no modeled win.
 func Optimize(queries []Query, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	qs := make([]*qstate, len(queries))
 	for i, q := range queries {
-		qs[i] = newQState(q.Name, q.SP)
+		qs[i] = newQState(q)
 	}
 
 	cands := enumerateCandidates(qs, opt)
@@ -224,7 +256,13 @@ func Optimize(queries []Query, opt Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{Report: Report{Eligible: len(qs), Restructured: restructured}}
+	res := &Result{
+		Report: Report{Eligible: len(qs), Restructured: len(restructured)},
+		Keys:   make(map[string][]string, len(qs)),
+	}
+	for _, q := range qs {
+		res.Keys[q.name] = shareKeys(q, opt)
+	}
 	comps := map[int][]int{}
 	for qi := range qs {
 		if !sharedQ[qi] {
@@ -239,29 +277,131 @@ func Optimize(queries []Query, opt Options) (*Result, error) {
 		roots = append(roots, r)
 	}
 	sort.Ints(roots)
-	for _, r := range roots {
+	for compID, r := range roots {
 		members := comps[r]
 		sort.Ints(members)
-		group := make([]*qstate, len(members))
-		for i, qi := range members {
-			group[i] = qs[qi]
+		for _, bin := range splitComponent(qs, members, opt.GroupWorkers) {
+			group := make([]*qstate, len(bin))
+			for i, qi := range bin {
+				group[i] = qs[qi]
+			}
+			eng, err := buildEngine(group)
+			if err != nil {
+				return nil, err
+			}
+			g := Group{Engine: eng, Component: compID}
+			for _, q := range group {
+				g.Members = append(g.Members, q.name)
+				g.UnsharedCost += q.baseCost
+				if restructured[q.name] {
+					g.Restructured++
+				}
+			}
+			g.Nodes = eng.st.Nodes
+			g.SharedNodes = eng.st.SharedNodes
+			g.SharedCost = sharedObjective(group, opt.FanoutFactor)
+			res.Groups = append(res.Groups, g)
+			res.Report.Shared += len(group)
+			res.Report.Nodes += g.Nodes
+			res.Report.SharedNodes += g.SharedNodes
+			res.Report.UnsharedCost += g.UnsharedCost
+			res.Report.SharedCost += g.SharedCost
 		}
-		eng, err := buildEngine(group)
-		if err != nil {
-			return nil, err
-		}
-		names := make([]string, len(group))
-		for i, q := range group {
-			names[i] = q.name
-			res.Report.UnsharedCost += q.baseCost
-		}
-		res.Groups = append(res.Groups, Group{Engine: eng, Members: names})
-		res.Report.Shared += len(group)
-		res.Report.Nodes += eng.st.Nodes
-		res.Report.SharedNodes += eng.st.SharedNodes
-		res.Report.SharedCost += sharedObjective(group, opt.FanoutFactor)
 	}
 	return res, nil
+}
+
+// Single builds a one-member evaluation lane for an eligible query — the
+// shape a session uses for eligible queries outside any sharing group, so
+// that their detection state lives in canonical-key node buffers and can be
+// adopted by a later re-optimization that pulls them into a group.
+func Single(q Query) (Group, error) {
+	st := newQState(q)
+	eng, err := buildEngine([]*qstate{st})
+	if err != nil {
+		return Group{}, err
+	}
+	return Group{
+		Engine:       eng,
+		Members:      []string{st.name},
+		Component:    -1,
+		Nodes:        eng.st.Nodes,
+		SharedNodes:  eng.st.SharedNodes,
+		UnsharedCost: st.baseCost,
+		SharedCost:   st.baseCost,
+	}, nil
+}
+
+// QueryKeys computes a query's sharing-relevant canonical keys without
+// running the optimizer: the keys of every position subset the candidate
+// enumeration would consider, or — for patterns too large to enumerate —
+// the subtree keys of its private-optimal tree. A live session intersects
+// these with its standing key index to find the sharing component a newly
+// registered query affects.
+func QueryKeys(q Query, opt Options) []string {
+	opt = opt.withDefaults()
+	return shareKeys(newQState(q), opt)
+}
+
+// shareKeys lists the canonical keys under which a query could share: its
+// enumerated position subsets when small enough, else only its current
+// tree's internal nodes.
+func shareKeys(q *qstate, opt Options) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	if n := q.ps.N(); n <= opt.MaxSubsetSize {
+		positions := make([]int, n)
+		for i := range positions {
+			positions[i] = i
+		}
+		for mask := 1; mask < 1<<n; mask++ {
+			if popcount(mask) < 2 {
+				continue
+			}
+			key, _ := subsetKey(q.sigs, subsetOf(positions, mask))
+			add(key)
+		}
+	}
+	for _, sub := range q.tree.Subtrees() {
+		key, _ := subsetKey(q.sigs, sub.Leaves())
+		add(key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitComponent partitions a component's members across up to workers
+// cost-balanced bins of at least two members each; components too small to
+// split stay whole.
+func splitComponent(qs []*qstate, members []int, workers int) [][]int {
+	bins := workers
+	if max := len(members) / 2; bins > max {
+		bins = max
+	}
+	if bins < 2 {
+		return [][]int{members}
+	}
+	costs := make([]float64, len(members))
+	for i, qi := range members {
+		costs[i] = qs[qi].baseCost
+	}
+	parts := cost.Balance(costs, bins)
+	out := make([][]int, 0, len(parts))
+	for _, part := range parts {
+		bin := make([]int, len(part))
+		for i, k := range part {
+			bin[i] = members[k]
+		}
+		sort.Ints(bin)
+		out = append(out, bin)
+	}
+	return out
 }
 
 // enumerateCandidates computes, for every canonical sub-join of size >= 2
@@ -339,10 +479,9 @@ func enumerateCandidates(qs []*qstate, opt Options) []*candidate {
 // whose current tree already contains the sub-join, share syntactically
 // without any change; evaluating restructures against the global objective
 // keeps a locally attractive merge from breaking sharing established by an
-// earlier (larger-saving) candidate. Returns the number of restructured
-// queries.
-func greedySelect(qs []*qstate, cands []*candidate, opt Options) int {
-	restructured := map[int]bool{}
+// earlier (larger-saving) candidate. Returns the restructured query names.
+func greedySelect(qs []*qstate, cands []*candidate, opt Options) map[string]bool {
+	restructured := map[string]bool{}
 	objective := sharedObjective(qs, opt.FanoutFactor)
 	for _, cand := range cands {
 		type adopter struct {
@@ -397,7 +536,7 @@ func greedySelect(qs []*qstate, cands []*candidate, opt Options) int {
 			if newObj := sharedObjective(qs, opt.FanoutFactor); newObj < objective-1e-9 {
 				objective = newObj
 				for _, a := range batch {
-					restructured[a.qi] = true
+					restructured[qs[a.qi].name] = true
 					for _, p := range a.subset {
 						qs[a.qi].locked[p] = true
 					}
@@ -425,7 +564,7 @@ func greedySelect(qs []*qstate, cands []*candidate, opt Options) int {
 			}
 		}
 	}
-	return len(restructured)
+	return restructured
 }
 
 // restructure replans a query so that its tree contains the candidate
@@ -479,7 +618,7 @@ func restructure(q *qstate, subset []int, cand *candidate, qs []*qstate) (*plan.
 // planSubset builds a tree shape for a position subset with no syntactic
 // owner, using the ZStream topology search over the restricted statistics.
 func planSubset(q *qstate, subset []int) *plan.TreeNode {
-	rs := restrictStats(q.ps, subset)
+	rs := stats.Restrict(q.ps, subset)
 	t := core.ZStream{}.Tree(rs, cost.DefaultModel())
 	var remap func(n *plan.TreeNode) *plan.TreeNode
 	remap = func(n *plan.TreeNode) *plan.TreeNode {
@@ -489,32 +628,6 @@ func planSubset(q *qstate, subset []int) *plan.TreeNode {
 		return plan.Join(remap(n.Left), remap(n.Right))
 	}
 	return remap(t)
-}
-
-// restrictStats projects PatternStats onto the given positions, in order.
-func restrictStats(ps *stats.PatternStats, subset []int) *stats.PatternStats {
-	n := len(subset)
-	rs := &stats.PatternStats{
-		W:         ps.W,
-		Types:     make([]string, n),
-		Aliases:   make([]string, n),
-		TermIndex: make([]int, n),
-		Kleene:    make([]bool, n),
-		Rates:     make([]float64, n),
-		Sel:       make([][]float64, n),
-	}
-	for i, p := range subset {
-		rs.Types[i] = ps.Types[p]
-		rs.Aliases[i] = ps.Aliases[p]
-		rs.TermIndex[i] = ps.TermIndex[p]
-		rs.Kleene[i] = ps.Kleene[p]
-		rs.Rates[i] = ps.Rates[p]
-		rs.Sel[i] = make([]float64, n)
-		for j, q := range subset {
-			rs.Sel[i][j] = ps.Sel[p][q]
-		}
-	}
-	return rs
 }
 
 // findSubtree returns the subtree of t whose leaf set equals subset, if
@@ -591,7 +704,10 @@ func sharedObjective(group []*qstate, fanout float64) float64 {
 }
 
 // buildEngine constructs the shared evaluation DAG for one component from
-// the members' final trees, deduplicating nodes by canonical key.
+// the members' final trees, deduplicating nodes by canonical key. Trees are
+// in planning-position space; every access to the compiled predicate tables
+// goes through the query's planning→term translation, so negation queries
+// contribute only their positive core to the DAG.
 func buildEngine(group []*qstate) (*Engine, error) {
 	eng := &Engine{byType: map[string][]*node{}}
 	byKey := map[string]*node{}
@@ -605,7 +721,7 @@ func buildEngine(group []*qstate) (*Engine, error) {
 		}
 		n := &node{key: key, window: q.c.Window, slots: len(ord)}
 		if t.IsLeaf() {
-			pos := t.Leaf
+			pos := q.term(t.Leaf)
 			n.leafType = q.c.Types[pos]
 			for _, u := range q.c.Preds.Unaries(pos) {
 				n.unary = append(n.unary, u.Fn)
@@ -635,23 +751,23 @@ func buildEngine(group []*qstate) (*Engine, error) {
 			}
 			ltypes := map[string]bool{}
 			for _, pos := range lord {
-				ltypes[q.c.Types[pos]] = true
+				ltypes[q.c.Types[q.term(pos)]] = true
 			}
 			for _, pos := range rord {
-				if ltypes[q.c.Types[pos]] {
+				if ltypes[q.c.Types[q.term(pos)]] {
 					n.needDisjoint = true
 					break
 				}
 			}
 			for li, lpos := range lord {
 				for ri, rpos := range rord {
-					lo, hi := lpos, rpos
+					lo, hi := q.term(lpos), q.term(rpos)
 					if lo > hi {
 						lo, hi = hi, lo
 					}
 					for _, pr := range q.c.Preds.Pairs(lo, hi) {
 						fn := pr.Fn
-						if pr.I != lpos {
+						if pr.I != q.term(lpos) {
 							orig := fn
 							fn = func(a, b *event.Event) bool { return orig(b, a) }
 						}
@@ -673,10 +789,21 @@ func buildEngine(group []*qstate) (*Engine, error) {
 			return nil, err
 		}
 		termOf := make([]int, len(ord))
-		copy(termOf, ord)
-		root.consumers = append(root.consumers, consumer{
-			name: q.name, n: q.c.N, termOf: termOf,
-		})
+		for i, pos := range ord {
+			termOf[i] = q.term(pos)
+		}
+		cons := consumer{name: q.name, c: q.c, termOf: termOf, since: q.since}
+		for _, spec := range q.c.Negs {
+			if spec.High >= 0 {
+				cons.negComplete = append(cons.negComplete, spec)
+			} else {
+				cons.negPending = append(cons.negPending, spec)
+			}
+		}
+		if cons.hasNegs() {
+			cons.negBufs = make(map[int][]*event.Event, len(q.c.Negs))
+		}
+		root.consumers = append(root.consumers, cons)
 		eng.names = append(eng.names, q.name)
 	}
 	eng.st.Nodes = len(eng.nodes)
@@ -684,6 +811,11 @@ func buildEngine(group []*qstate) (*Engine, error) {
 	for _, n := range eng.nodes {
 		if len(n.parents)+len(n.consumers) > 1 {
 			eng.st.SharedNodes++
+		}
+		for ci := range n.consumers {
+			if n.consumers[ci].hasNegs() {
+				eng.negCons = append(eng.negCons, &n.consumers[ci])
+			}
 		}
 	}
 	if eng.st.Nodes == 0 {

@@ -57,19 +57,31 @@ type msg[T any] struct {
 	drain *sync.WaitGroup
 }
 
+// lane is one worker lane: its bounded queue plus a retirement flag. A
+// retired lane's queue is closed and its worker has drained (or is
+// draining) it; senders skip it. Lane indices are stable for the life of
+// the pool — retiring a lane leaves a tombstone, it never renumbers the
+// others.
+type lane[T any] struct {
+	ch      chan msg[T]
+	retired bool
+}
+
 // Pool runs one worker goroutine per lane, each draining a bounded queue.
-// Lanes are added before Start; sends are safe for concurrent use and block
-// when the destination queue is full (back-pressure).
+// Lanes are added before Start with AddLane or while running with
+// AddLaneRunning, and retired individually with CloseLane; sends are safe
+// for concurrent use and block when the destination queue is full
+// (back-pressure).
 type Pool[T any] struct {
 	hooks Hooks[T]
 
 	// mu guards the lifecycle flags and the lane list. Senders hold the read
-	// lock across queue sends; Shutdown takes the write lock to flip closed
-	// and close the queues, so no send can race a channel close. joined
-	// flips only after the workers are gone: it is the flag that makes
+	// lock across queue sends; Shutdown and CloseLane take the write lock to
+	// flip closed and close the queues, so no send can race a channel close.
+	// joined flips only after the workers are gone: it is the flag that makes
 	// reading worker-owned state safe.
 	mu      sync.RWMutex
-	lanes   []chan msg[T]
+	lanes   []*lane[T]
 	started bool
 	closed  bool
 	joined  bool
@@ -87,25 +99,90 @@ func New[T any](hooks Hooks[T]) *Pool[T] {
 }
 
 // AddLane registers one worker lane with a bounded queue of the given
-// capacity and returns its index. Lanes must be added before Start.
+// capacity and returns its index. Lanes must be added before Start; use
+// AddLaneRunning to grow a started pool.
 func (p *Pool[T]) AddLane(queueLen int) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.started || p.closed {
 		panic("pool: AddLane after Start or Shutdown")
 	}
+	return p.addLaneLocked(queueLen)
+}
+
+// AddLaneRunning registers one worker lane on a pool that may already be
+// running: if the workers were launched, the new lane's worker starts
+// immediately; before Start it behaves like AddLane. The new lane receives
+// only items sent after it was added — a Broadcast in flight when the lane
+// appears does not reach it. It errors on a closed pool.
+func (p *Pool[T]) AddLaneRunning(queueLen int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	i := p.addLaneLocked(queueLen)
+	if p.started {
+		p.wg.Add(1)
+		go p.runWorker(i, p.lanes[i].ch)
+	}
+	return i, nil
+}
+
+func (p *Pool[T]) addLaneLocked(queueLen int) int {
 	if queueLen <= 0 {
 		queueLen = 1
 	}
-	p.lanes = append(p.lanes, make(chan msg[T], queueLen))
+	p.lanes = append(p.lanes, &lane[T]{ch: make(chan msg[T], queueLen)})
 	return len(p.lanes) - 1
 }
 
-// Lanes returns the number of registered lanes.
+// CloseLane retires one lane: its queue is closed, so its worker drains the
+// remaining items, runs the Finish hook and exits, while the other lanes
+// keep running. Senders skip retired lanes. Retiring a retired lane is a
+// no-op; lane indices never shift. It errors on a closed pool or an
+// out-of-range index.
+func (p *Pool[T]) CloseLane(i int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if i < 0 || i >= len(p.lanes) {
+		return ErrNoLanes
+	}
+	l := p.lanes[i]
+	if l.retired {
+		return nil
+	}
+	l.retired = true
+	if p.started {
+		// Close under the write lock: no sender can be mid-send here. Before
+		// Start no worker owns the queue, so leave it for garbage collection.
+		close(l.ch)
+	}
+	return nil
+}
+
+// Lanes returns the number of registered lanes, including retired ones
+// (lane indices are stable tombstones).
 func (p *Pool[T]) Lanes() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return len(p.lanes)
+}
+
+// LiveLanes returns the number of lanes accepting sends.
+func (p *Pool[T]) LiveLanes() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, l := range p.lanes {
+		if !l.retired {
+			n++
+		}
+	}
+	return n
 }
 
 // Start launches the worker goroutines. It errors on a closed, running or
@@ -148,9 +225,12 @@ func (p *Pool[T]) startLocked() error {
 		return ErrNoLanes
 	}
 	p.started = true
-	for i := range p.lanes {
+	for i, l := range p.lanes {
+		if l.retired {
+			continue
+		}
 		p.wg.Add(1)
-		go p.runWorker(i)
+		go p.runWorker(i, l.ch)
 	}
 	return nil
 }
@@ -170,27 +250,29 @@ func (p *Pool[T]) openLocked() error {
 // send enqueues with back-pressure, bumping the stall hook when the queue
 // is full. The caller holds the read lock.
 func (p *Pool[T]) send(lane int, m msg[T]) {
+	ch := p.lanes[lane].ch
 	select {
-	case p.lanes[lane] <- m:
+	case ch <- m:
 	default:
 		if p.hooks.OnStall != nil {
 			p.hooks.OnStall(lane)
 		}
-		p.lanes[lane] <- m
+		ch <- m
 	}
 }
 
 // sendCtx is send with a cancellable blocking phase.
 func (p *Pool[T]) sendCtx(ctx context.Context, lane int, m msg[T]) error {
+	ch := p.lanes[lane].ch
 	select {
-	case p.lanes[lane] <- m:
+	case ch <- m:
 		return nil
 	default:
 		if p.hooks.OnStall != nil {
 			p.hooks.OnStall(lane)
 		}
 		select {
-		case p.lanes[lane] <- m:
+		case ch <- m:
 			return nil
 		case <-ctx.Done():
 			return ctx.Err()
@@ -206,6 +288,9 @@ func (p *Pool[T]) Send(lane int, item T) error {
 	defer p.mu.RUnlock()
 	if err := p.openLocked(); err != nil {
 		return err
+	}
+	if p.lanes[lane].retired {
+		return ErrClosed
 	}
 	p.send(lane, msg[T]{item: item})
 	return nil
@@ -227,14 +312,17 @@ func (p *Pool[T]) SendGrouped(pairs []Grouped[T]) error {
 		return err
 	}
 	for _, g := range pairs {
+		if p.lanes[g.Lane].retired {
+			return ErrClosed
+		}
 		p.send(g.Lane, msg[T]{item: g.Item})
 	}
 	return nil
 }
 
-// Broadcast enqueues the item on every lane, in lane order. A non-nil ctx
-// makes each blocking send cancellable; on cancellation the item may have
-// reached only a prefix of the lanes.
+// Broadcast enqueues the item on every live lane, in lane order (retired
+// lanes are skipped). A non-nil ctx makes each blocking send cancellable;
+// on cancellation the item may have reached only a prefix of the lanes.
 func (p *Pool[T]) Broadcast(ctx context.Context, item T) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -242,12 +330,15 @@ func (p *Pool[T]) Broadcast(ctx context.Context, item T) error {
 		return err
 	}
 	m := msg[T]{item: item}
-	for lane := range p.lanes {
-		if ctx == nil {
-			p.lanes[lane] <- m
+	for i, l := range p.lanes {
+		if l.retired {
 			continue
 		}
-		if err := p.sendCtx(ctx, lane, m); err != nil {
+		if ctx == nil {
+			l.ch <- m
+			continue
+		}
+		if err := p.sendCtx(ctx, i, m); err != nil {
 			return err
 		}
 	}
@@ -264,10 +355,13 @@ func (p *Pool[T]) Drain() error {
 		return err
 	}
 	var barrier sync.WaitGroup
-	barrier.Add(len(p.lanes))
-	for _, lane := range p.lanes {
+	for _, l := range p.lanes {
+		if l.retired {
+			continue
+		}
 		// Plain blocking send: tokens must not inflate stall counters.
-		lane <- msg[T]{drain: &barrier}
+		barrier.Add(1)
+		l.ch <- msg[T]{drain: &barrier}
 	}
 	// Wait outside the lock: the tokens are enqueued, so the barrier
 	// completes even if a concurrent Shutdown closes the queues meanwhile.
@@ -294,9 +388,12 @@ func (p *Pool[T]) Shutdown() error {
 		return nil
 	}
 	// Close the queues while still holding the write lock: senders hold the
-	// read lock across their sends, so none can be mid-send here.
-	for _, lane := range p.lanes {
-		close(lane)
+	// read lock across their sends, so none can be mid-send here. Retired
+	// lanes are already closed.
+	for _, l := range p.lanes {
+		if !l.retired {
+			close(l.ch)
+		}
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
@@ -348,10 +445,12 @@ func (p *Pool[T]) Err() error {
 	return p.err
 }
 
-// runWorker is the worker loop: it owns lane-local state exclusively.
-func (p *Pool[T]) runWorker(lane int) {
+// runWorker is the worker loop: it owns lane-local state exclusively. The
+// channel is captured at spawn so the loop never touches the lane slice,
+// which AddLaneRunning may be growing concurrently.
+func (p *Pool[T]) runWorker(lane int, ch chan msg[T]) {
 	defer p.wg.Done()
-	for m := range p.lanes[lane] {
+	for m := range ch {
 		if m.drain != nil {
 			m.drain.Done()
 			continue

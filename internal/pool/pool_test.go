@@ -205,3 +205,117 @@ func TestConcurrentShutdownIdempotent(t *testing.T) {
 		t.Fatalf("%d of 4 concurrent Shutdowns saw ErrClosed, want 3", closedErrs.Load())
 	}
 }
+
+// TestDynamicLanes grows a running pool with AddLaneRunning and retires a
+// lane with CloseLane: the new lane's worker must process items sent after
+// it appeared, the retired lane must drain its queue, run Finish once, and
+// drop out of Broadcast/Drain, and lane indices must stay stable.
+func TestDynamicLanes(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int][]int{}
+	finished := map[int]int{}
+	p := New(Hooks[int]{
+		Work: func(lane, item int) {
+			mu.Lock()
+			got[lane] = append(got[lane], item)
+			mu.Unlock()
+		},
+		Finish: func(lane int) {
+			mu.Lock()
+			finished[lane]++
+			mu.Unlock()
+		},
+	})
+	p.AddLane(4)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Broadcast(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := p.AddLaneRunning(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("new lane index %d, want 1", idx)
+	}
+	if err := p.Broadcast(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(got[0]) != 2 || len(got[1]) != 1 || got[1][0] != 2 {
+		t.Fatalf("pre-close distribution wrong: %v", got)
+	}
+	mu.Unlock()
+
+	if err := p.CloseLane(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CloseLane(0); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if p.LiveLanes() != 1 || p.Lanes() != 2 {
+		t.Fatalf("live=%d total=%d, want 1/2", p.LiveLanes(), p.Lanes())
+	}
+	if err := p.Broadcast(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(0, 9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send to retired lane = %v, want ErrClosed", err)
+	}
+	if err := p.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got[0]) != 2 {
+		t.Fatalf("retired lane received items after close: %v", got[0])
+	}
+	if len(got[1]) != 2 || got[1][1] != 3 {
+		t.Fatalf("surviving lane missed items: %v", got[1])
+	}
+	if finished[0] != 1 || finished[1] != 1 {
+		t.Fatalf("finish counts %v, want exactly once per lane", finished)
+	}
+}
+
+// TestAddLaneRunningConcurrentBroadcast races lane growth against a hot
+// broadcast loop (run under -race): every broadcast must reach a
+// consistent prefix of lanes and the pool must stay coherent.
+func TestAddLaneRunningConcurrentBroadcast(t *testing.T) {
+	var count atomic.Int64
+	p := New(Hooks[int]{Work: func(int, int) { count.Add(1) }})
+	p.AddLane(16)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			if err := p.Broadcast(context.Background(), i); err != nil {
+				t.Errorf("Broadcast: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		if _, err := p.AddLaneRunning(16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := p.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count.Load(); n < 500 {
+		t.Fatalf("only %d work calls for 500 broadcasts over >=1 lanes", n)
+	}
+}

@@ -5,6 +5,34 @@ import "fmt"
 // ContractedType is the synthetic event-type name of a contracted position.
 const ContractedType = "⟨subjoin⟩"
 
+// Restrict projects PatternStats onto the given positions, in order — the
+// statistics of the sub-join over just those positions, used to plan a
+// candidate sub-join shape that no query's current tree computes yet.
+func Restrict(ps *PatternStats, subset []int) *PatternStats {
+	n := len(subset)
+	rs := &PatternStats{
+		W:         ps.W,
+		Types:     make([]string, n),
+		Aliases:   make([]string, n),
+		TermIndex: make([]int, n),
+		Kleene:    make([]bool, n),
+		Rates:     make([]float64, n),
+		Sel:       make([][]float64, n),
+	}
+	for i, p := range subset {
+		rs.Types[i] = ps.Types[p]
+		rs.Aliases[i] = ps.Aliases[p]
+		rs.TermIndex[i] = ps.TermIndex[p]
+		rs.Kleene[i] = ps.Kleene[p]
+		rs.Rates[i] = ps.Rates[p]
+		rs.Sel[i] = make([]float64, n)
+		for j, q := range subset {
+			rs.Sel[i][j] = ps.Sel[p][q]
+		}
+	}
+	return rs
+}
+
 // Contract returns a copy of ps in which the positions of subset are
 // replaced by one virtual position representing their materialized sub-join
 // — the statistics-side transformation behind multi-query subplan sharing:

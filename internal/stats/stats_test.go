@@ -244,3 +244,37 @@ func TestOnlineRejectsBadWindow(t *testing.T) {
 	}()
 	NewOnline(0)
 }
+
+// TestRestrict checks the sub-join statistics projection: rates, types and
+// the selectivity submatrix follow the subset, in order.
+func TestRestrict(t *testing.T) {
+	st := New()
+	st.SetRate("A", 2)
+	st.SetRate("B", 3)
+	st.SetRate("C", 5)
+	p := pattern.Seq(10*event.Second,
+		pattern.E("A", "a"), pattern.E("B", "b"), pattern.E("C", "c"),
+	).Where(pattern.AttrCmp("a", "x", pattern.Lt, "c", "x"))
+	ps := For(p, st)
+	rs := Restrict(ps, []int{2, 0})
+	if rs.N() != 2 {
+		t.Fatalf("N = %d, want 2", rs.N())
+	}
+	if rs.Types[0] != "C" || rs.Types[1] != "A" {
+		t.Fatalf("types %v, want [C A] (subset order preserved)", rs.Types)
+	}
+	if rs.Rates[0] != 5 || rs.Rates[1] != 2 {
+		t.Fatalf("rates %v", rs.Rates)
+	}
+	if rs.TermIndex[0] != 2 || rs.TermIndex[1] != 0 {
+		t.Fatalf("term index %v", rs.TermIndex)
+	}
+	if rs.Sel[0][1] != ps.Sel[2][0] || rs.Sel[1][0] != ps.Sel[0][2] {
+		t.Fatal("selectivity submatrix not projected")
+	}
+	// Mutating the projection must not touch the original.
+	rs.Sel[0][1] = 0.123
+	if ps.Sel[2][0] == 0.123 {
+		t.Fatal("Restrict aliases the source matrix")
+	}
+}

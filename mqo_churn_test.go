@@ -1,0 +1,485 @@
+package cep
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// churnPool builds the template pool the churn tests draw from: overlapping
+// prefix queries, identical twins, a negation query over the shared prefix,
+// and ineligible shapes (disjunction, skip-till-next) that always ride on
+// private lanes.
+func churnPool(t testing.TB, reg *Registry, events []*Event) []QueryConfig {
+	t.Helper()
+	sources := []struct {
+		name, src string
+		strat     Strategy
+	}{
+		{"prefix-2", `PATTERN SEQ(S000 a, S001 b, S002 c) WHERE a.difference < b.difference WITHIN 2 s`, 0},
+		{"prefix-3", `PATTERN SEQ(S000 a, S001 b, S003 c) WHERE a.difference < b.difference WITHIN 2 s`, 0},
+		{"prefix-4", `PATTERN SEQ(S000 a, S001 b, S004 c) WHERE a.difference < b.difference WITHIN 2 s`, 0},
+		{"prefix-5", `PATTERN SEQ(S000 a, S001 b, S005 c) WHERE a.difference < b.difference WITHIN 2 s`, 0},
+		{"twin-1", `PATTERN SEQ(S000 a, S001 b) WHERE a.bucket = b.bucket WITHIN 2 s`, 0},
+		{"twin-2", `PATTERN SEQ(S000 a, S001 b) WHERE a.bucket = b.bucket WITHIN 2 s`, 0},
+		{"neg-prefix", `PATTERN SEQ(S000 a, NOT(S002 n), S001 b) WHERE a.difference < b.difference WITHIN 2 s`, 0},
+		{"neg-tail", `PATTERN SEQ(S002 a, NOT(S001 n), S003 b) WITHIN 2 s`, 0},
+		{"either", `PATTERN OR(SEQ(S004 a, S005 b), SEQ(S005 x, S004 y)) WITHIN 1 s`, 0},
+		{"next-match", `PATTERN SEQ(S003 a, S004 b) WITHIN 2 s`, SkipTillNextMatch},
+	}
+	out := make([]QueryConfig, 0, len(sources))
+	for _, spec := range sources {
+		p, err := ParsePatternWith(spec.src, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, QueryConfig{
+			Name:     spec.name,
+			Pattern:  p,
+			Stats:    Measure(events, p),
+			Strategy: spec.strat,
+		})
+	}
+	return out
+}
+
+// suffixReference runs a fresh private runtime over the stream suffix a
+// query observed — the ground truth for a query registered mid-feed.
+func suffixReference(t testing.TB, qc QueryConfig, suffix []*Event) []*Match {
+	t.Helper()
+	rt, err := NewFromConfig(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := rt.ProcessAll(suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// TestLiveChurnBeforeFeedMatchesStaticSession registers, removes and
+// re-registers queries on an already-RUNNING sharing session before any
+// event flows, then feeds the whole stream: every query must produce
+// exactly the match set of a statically-built session with the same final
+// query set — the strongest form of the splice-equivalence guarantee.
+func TestLiveChurnBeforeFeedMatchesStaticSession(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 4000, Seed: 11, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+
+	// Live session: start with the first two queries, then churn the rest
+	// through AddQuery/RemoveQuery while the session is running but idle.
+	live := NewSession(SessionConfig{QueueLen: 64, ShareSubplans: true})
+	for _, qc := range pool[:2] {
+		if err := live.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, qc := range pool[2:] {
+		if err := live.AddQuery(qc); err != nil {
+			t.Fatalf("AddQuery(%s): %v", qc.Name, err)
+		}
+	}
+	// Remove a shared member, a twin and a private query, then re-add one.
+	for _, name := range []string{"prefix-3", "twin-2", "either"} {
+		if err := live.RemoveQuery(name); err != nil {
+			t.Fatalf("RemoveQuery(%s): %v", name, err)
+		}
+	}
+	if err := live.AddQuery(pool[0]); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate AddQuery = %v, want duplicate-name error", err)
+	}
+	var readd QueryConfig
+	for _, qc := range pool {
+		if qc.Name == "twin-2" {
+			readd = qc
+		}
+	}
+	if err := live.AddQuery(readd); err != nil {
+		t.Fatalf("re-AddQuery(twin-2): %v", err)
+	}
+
+	finalNames := live.Queries()
+	if err := live.Run(context.Background(), NewStream(workload.ResetStream(events))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	static := NewSession(SessionConfig{QueueLen: 64, ShareSubplans: true})
+	byName := map[string]QueryConfig{}
+	for _, qc := range pool {
+		byName[qc.Name] = qc
+	}
+	for _, name := range finalNames {
+		if err := static.Register(byName[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := static.Run(context.Background(), NewStream(workload.ResetStream(events))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := static.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for _, name := range finalNames {
+		got, want := live.Matches(name), static.Matches(name)
+		extra, missing := diffKeys(got, want)
+		if len(extra) > 0 || len(missing) > 0 {
+			t.Errorf("query %q: churned session diverges from static session (%d vs %d matches; %d extra, %d missing)",
+				name, len(got), len(want), len(extra), len(missing))
+		}
+		total += len(want)
+	}
+	if total == 0 {
+		t.Fatal("workload produced no matches; equivalence is vacuous")
+	}
+	for _, name := range []string{"prefix-3", "either"} {
+		if ms := live.Matches(name); ms != nil {
+			t.Errorf("removed query %q still reports %d matches", name, len(ms))
+		}
+	}
+}
+
+// churnEquivalence feeds the stream in chunks, randomly adding and
+// removing queries at chunk boundaries, and cross-checks every surviving
+// query match-for-match against a fresh private runtime over exactly the
+// suffix of events submitted while the query was registered.
+func churnEquivalence(t *testing.T, pool []QueryConfig, events []*Event, seed int64, shared bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	byName := map[string]QueryConfig{}
+	for _, qc := range pool {
+		byName[qc.Name] = qc
+	}
+
+	s := NewSession(SessionConfig{QueueLen: 64, ShareSubplans: shared, SharedWorkers: 2})
+	regAt := map[string]int{} // name -> index of first event the query observes
+	live := map[string]bool{}
+	for _, qc := range pool[:3] {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+		regAt[qc.Name] = 0
+		live[qc.Name] = true
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	feed := workload.ResetStream(events)
+	chunk := len(feed) / 12
+	for next := 0; next < len(feed); {
+		end := next + chunk
+		if end > len(feed) {
+			end = len(feed)
+		}
+		for ; next < end; next++ {
+			if err := s.Submit(feed[next]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if next >= len(feed) {
+			break
+		}
+		// Random churn: add an absent query or remove a present one.
+		for step := 0; step < 1+rng.Intn(2); step++ {
+			qc := pool[rng.Intn(len(pool))]
+			if live[qc.Name] {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				if err := s.RemoveQuery(qc.Name); err != nil {
+					t.Fatalf("RemoveQuery(%s) at %d: %v", qc.Name, next, err)
+				}
+				delete(live, qc.Name)
+				delete(regAt, qc.Name)
+			} else {
+				if err := s.AddQuery(qc); err != nil {
+					t.Fatalf("AddQuery(%s) at %d: %v", qc.Name, next, err)
+				}
+				live[qc.Name] = true
+				regAt[qc.Name] = next
+			}
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	checked, totalMatches := 0, 0
+	for name, at := range regAt {
+		want := suffixReference(t, byName[name], workload.ResetStream(events)[at:])
+		got := s.Matches(name)
+		extra, missing := diffKeys(got, want)
+		if len(extra) > 0 || len(missing) > 0 {
+			t.Errorf("query %q (registered at event %d): %d vs %d matches; %d extra, %d missing",
+				name, at, len(got), len(want), len(extra), len(missing))
+		}
+		checked++
+		totalMatches += len(want)
+	}
+	if checked < 2 || totalMatches == 0 {
+		t.Fatalf("vacuous churn run: %d queries, %d matches", checked, totalMatches)
+	}
+}
+
+// TestChurnEquivalenceStocks runs randomized add/remove sequences on the
+// stock workload, shared and unshared, across several seeds.
+func TestChurnEquivalenceStocks(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 3600, Seed: 11, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+	for _, shared := range []bool{true, false} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("shared=%v/seed=%d", shared, seed), func(t *testing.T) {
+				churnEquivalence(t, pool, events, seed, shared)
+			})
+		}
+	}
+}
+
+// TestChurnEquivalenceTraffic repeats the churn property on the Figure 1
+// traffic workload, whose queries share the (A ⋈ B) camera prefix.
+func TestChurnEquivalenceTraffic(t *testing.T) {
+	frames, reg := trafficWorkload(t)
+	sources := map[string]string{
+		"crossing": `PATTERN SEQ(A a, B b, C c, D d) WHERE a.vehicleID = b.vehicleID AND
+		             b.vehicleID = c.vehicleID AND c.vehicleID = d.vehicleID WITHIN 30 s`,
+		"ab-pair": `PATTERN SEQ(A a, B b) WHERE a.vehicleID = b.vehicleID WITHIN 30 s`,
+		"abc":     `PATTERN SEQ(A a, B b, C c) WHERE a.vehicleID = b.vehicleID AND b.vehicleID = c.vehicleID WITHIN 30 s`,
+		"mid":     `PATTERN AND(B b, C c) WHERE b.vehicleID = c.vehicleID WITHIN 1 s`,
+		"no-d":    `PATTERN SEQ(A a, NOT(D n), B b) WHERE a.vehicleID = b.vehicleID WITHIN 30 s`,
+	}
+	var pool []QueryConfig
+	for _, name := range []string{"crossing", "ab-pair", "abc", "mid", "no-d"} {
+		p, err := ParsePatternWith(sources[name], reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, QueryConfig{Name: name, Pattern: p, Stats: Measure(frames, p)})
+	}
+	churnEquivalence(t, pool, frames, 7, true)
+}
+
+// TestChurnConcurrentRace churns a sharing session while a separate
+// goroutine feeds it (externally ordered through a mutex, as the Submit
+// contract requires), under the race detector. The feed position is
+// captured inside the same critical section as the AddQuery call, so the
+// suffix references stay exact.
+func TestChurnConcurrentRace(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 2400, Seed: 29, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+	byName := map[string]QueryConfig{}
+	for _, qc := range pool {
+		byName[qc.Name] = qc
+	}
+
+	s := NewSession(SessionConfig{QueueLen: 32, ShareSubplans: true})
+	regAt := map[string]int{}
+	for _, qc := range pool[:4] {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+		regAt[qc.Name] = 0
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	feed := workload.ResetStream(events)
+	var feedMu sync.Mutex
+	next := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			feedMu.Lock()
+			if next >= len(feed) {
+				feedMu.Unlock()
+				return
+			}
+			e := feed[next]
+			next++
+			if err := s.Submit(e); err != nil {
+				feedMu.Unlock()
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			feedMu.Unlock()
+		}
+	}()
+	churn := []string{"twin-1", "neg-prefix", "twin-2", "next-match"}
+	for i, name := range churn {
+		feedMu.Lock()
+		at := next
+		var err error
+		if i%4 == 3 {
+			err = s.RemoveQuery("prefix-2")
+			delete(regAt, "prefix-2")
+		} else {
+			err = s.AddQuery(byName[name])
+			regAt[name] = at
+		}
+		feedMu.Unlock()
+		if err != nil {
+			t.Fatalf("churn %s: %v", name, err)
+		}
+	}
+	<-done
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for name, at := range regAt {
+		want := suffixReference(t, byName[name], workload.ResetStream(events)[at:])
+		got := s.Matches(name)
+		extra, missing := diffKeys(got, want)
+		if len(extra) > 0 || len(missing) > 0 {
+			t.Errorf("query %q (registered at %d): %d extra, %d missing of %d",
+				name, at, len(extra), len(missing), len(want))
+		}
+		total += len(want)
+	}
+	if total == 0 {
+		t.Fatal("vacuous concurrent churn run")
+	}
+}
+
+// TestShareReportChurn checks the report's churn semantics: snapshots are
+// immutable copies, Generation counts re-optimizations, and the component
+// listing follows membership.
+func TestShareReportChurn(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 800, Seed: 3, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+	byName := map[string]QueryConfig{}
+	for _, qc := range pool {
+		byName[qc.Name] = qc
+	}
+
+	s := NewSession(SessionConfig{ShareSubplans: true})
+	for _, name := range []string{"twin-1", "twin-2"} {
+		if err := s.Register(byName[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ShareReport() != nil {
+		t.Fatal("report before Start must be nil")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.ShareReport()
+	if before == nil || before.Generation != 0 {
+		t.Fatalf("initial report %+v, want generation 0", before)
+	}
+	if before.Shared != 2 || len(before.Components) != 1 {
+		t.Fatalf("initial report %+v, want the twins in one component", before)
+	}
+
+	// A disjoint eligible query lands on its own lane: nothing re-optimizes.
+	if err := s.AddQuery(byName["prefix-2"]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShareReport(); got.Generation != 0 || got.Shared != 2 {
+		t.Fatalf("disjoint AddQuery moved the report: %+v", got)
+	}
+	// An ineligible query changes nothing either.
+	if err := s.AddQuery(byName["either"]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShareReport(); got.Generation != 0 || got.Shared != 2 {
+		t.Fatalf("ineligible AddQuery moved the report: %+v", got)
+	}
+
+	// An AddQuery overlapping the singleton prefix-2 lane must re-optimize
+	// it into a new component.
+	if err := s.AddQuery(byName["prefix-3"]); err != nil {
+		t.Fatal(err)
+	}
+	after := s.ShareReport()
+	if after.Generation != 1 {
+		t.Fatalf("generation after overlapping AddQuery = %d, want 1", after.Generation)
+	}
+	if after.Shared != 4 || len(after.Components) != 2 {
+		t.Fatalf("report after AddQuery %+v, want twins + prefix pair", after)
+	}
+	// The earlier snapshot must be untouched.
+	if before.Generation != 0 || before.Shared != 2 {
+		t.Fatalf("earlier snapshot mutated: %+v", before)
+	}
+
+	if err := s.RemoveQuery("prefix-3"); err != nil {
+		t.Fatal(err)
+	}
+	final := s.ShareReport()
+	if final.Generation != 2 || final.Shared != 2 {
+		t.Fatalf("after RemoveQuery: %+v, want generation 2, twins shared", final)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicErrors covers the live-mutation error paths.
+func TestDynamicErrors(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 200, Seed: 5, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+
+	s := NewSession(SessionConfig{ShareSubplans: true})
+	if err := s.RemoveQuery("nope"); err == nil || !strings.Contains(err.Error(), "unknown query") {
+		t.Fatalf("RemoveQuery(unknown) = %v", err)
+	}
+	if err := s.AddQuery(pool[0]); err != nil {
+		t.Fatal(err) // pre-start AddQuery == Register
+	}
+	if err := s.AddQuery(pool[0]); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("pre-start duplicate = %v", err)
+	}
+	if err := s.RemoveQuery(pool[0].Name); err != nil {
+		t.Fatalf("pre-start RemoveQuery = %v", err)
+	}
+	if err := s.AddQuery(pool[0]); err != nil {
+		t.Fatalf("name reuse after pre-start removal: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(pool[1]); err == nil || !strings.Contains(err.Error(), "AddQuery") {
+		t.Fatalf("Register on running session = %v, want pointer to AddQuery", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddQuery(pool[1]); err == nil {
+		t.Fatal("AddQuery after Close accepted")
+	}
+	if err := s.RemoveQuery(pool[0].Name); err == nil {
+		t.Fatal("RemoveQuery after Close accepted")
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mqo"
 	"repro/internal/pool"
@@ -111,8 +113,8 @@ func NewFromConfig(qc QueryConfig) (*Runtime, error) {
 // emitting query: calls for one query are sequential and in stream order,
 // but calls for different queries run concurrently, so a shared sink must
 // be safe for concurrent use. A sink must not call back into the Session
-// (Submit, Drain, Flush, Close) — the worker is blocked inside the
-// callback, so waiting on its own queue deadlocks.
+// (Submit, Drain, Flush, Close, AddQuery, RemoveQuery) — the worker is
+// blocked inside the callback, so waiting on its own queue deadlocks.
 type MatchSink func(query string, m *Match)
 
 // SessionConfig configures a Session. The zero value selects the defaults.
@@ -135,12 +137,26 @@ type SessionConfig struct {
 	// every consuming query's residual plan. The per-query match sets are
 	// identical to unshared evaluation.
 	//
-	// Sharing applies to queries registered with Register (not
+	// Sharing applies to queries registered with Register or AddQuery (not
 	// RegisterDetector) that compile to a single conjunctive or sequence
-	// disjunct without negation or Kleene closure under SkipTillAnyMatch —
-	// the strategy whose match sets are provably plan-independent. All
-	// other queries keep their private engines and per-query workers.
+	// disjunct without Kleene closure under SkipTillAnyMatch — the strategy
+	// whose match sets are provably plan-independent. Negation patterns
+	// participate through their positive core: the shared DAG computes the
+	// positive sub-joins and each consuming root applies its own negation
+	// checks. All other queries keep their private engines and per-query
+	// workers.
+	//
+	// Sharing is dynamic: AddQuery and RemoveQuery on a running session
+	// incrementally re-optimize just the affected sharing component,
+	// draining and splicing its evaluation DAG without dropping or
+	// duplicating the surviving queries' matches.
 	ShareSubplans bool
+	// SharedWorkers partitions a sharing component's root fan-out across up
+	// to this many worker lanes (cost-balanced), so one hot component no
+	// longer serializes on a single goroutine. Sub-joins shared across
+	// lanes are evaluated once per lane — the split trades some
+	// recomputation for parallelism. 0 or 1 keeps one lane per component.
+	SharedWorkers int
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -150,8 +166,16 @@ func (c SessionConfig) withDefaults() SessionConfig {
 	return c
 }
 
+// sessionItem is one queue unit: the event plus its stream sequence number
+// — the watermark the shared lanes use so queries added mid-stream never
+// observe pre-registration events.
+type sessionItem struct {
+	ev  *Event
+	seq uint64
+}
+
 // Session is the front door for serving: any number of named queries over
-// one event feed, each query on its own worker goroutine behind a bounded
+// one event feed, each query on its own worker lane behind a bounded
 // queue, under one lifecycle and one error model. It subsumes Fleet (many
 // queries, one feed) and composes with ShardedRuntime (one query,
 // partitioned feed): RegisterDetector accepts any Detector, so a query may
@@ -165,6 +189,11 @@ func (c SessionConfig) withDefaults() SessionConfig {
 // OnMatch, else to the session MatchSink, else they accumulate and are
 // returned by Flush and Results.
 //
+// The query set is dynamic: AddQuery registers a query before or after
+// Start, and RemoveQuery deregisters one, both safe against a concurrent
+// feed. On a sharing session the affected component is incrementally
+// re-optimized (see ShareReport for the decision trail).
+//
 // Session itself satisfies Detector: Process is Submit, and Flush ends the
 // stream across every query, returning the accumulated matches in query
 // registration order.
@@ -176,41 +205,67 @@ func (c SessionConfig) withDefaults() SessionConfig {
 // joined.
 type Session struct {
 	cfg  SessionConfig
-	pool *pool.Pool[*Event]
+	pool *pool.Pool[sessionItem]
 
-	// mu guards registration (the query list) and the session-level
-	// lifecycle decisions (started/closed); the pool owns the queue-level
-	// machinery — bounded queues, drain barriers, close-under-write-lock
-	// shutdown, joined, first-error — behind its own lock.
+	// mu guards registration (the query list), the lane table mutations and
+	// the session-level lifecycle decisions (started/closed); the pool owns
+	// the queue-level machinery behind its own lock.
 	mu      sync.Mutex
 	started bool
 	closed  bool
 	queries []*sessionQuery
 	byName  map[string]*sessionQuery
-	lanes   []*sessionLane
-	share   *ShareReport
+
+	// laneTab is the pool-lane-index → lane table, copy-on-write: workers
+	// load it atomically on every item, AddQuery/RemoveQuery swap in a
+	// grown copy under mu, so live lane additions never race the feed.
+	// Retired lanes stay as tombstones — pool lane indices are stable.
+	laneTab atomic.Pointer[[]*sessionLane]
+
+	// intakeMu serializes event intake against lane splicing: Submit holds
+	// the read side across the broadcast, AddQuery/RemoveQuery hold the
+	// write side while they drain and rebuild lanes, so a splice observes a
+	// quiescent DAG and the feed observes atomically swapped lanes.
+	intakeMu sync.RWMutex
+	// seq numbers submitted events (1, 2, ...), in submission order.
+	seq atomic.Uint64
+
+	// reoptGen counts completed re-optimizations; nextComp allocates global
+	// sharing-component ids.
+	reoptGen int
+	nextComp int
 }
 
 // sessionQuery is one registered query. Before Start it is only a
-// declaration; startLocked assigns it to a lane — a private lane driving
-// its own Detector, or a shared MQO lane evaluating several queries at
-// once.
+// declaration; Start (or a live AddQuery) assigns it to a lane — a private
+// lane driving its own Detector, or a shared MQO lane evaluating several
+// queries at once.
 type sessionQuery struct {
 	name    string
 	det     Detector
-	rt      *Runtime     // non-nil when registered via Register (plan available for sharing)
-	qc      *QueryConfig // non-nil when registered via Register
+	rt      *Runtime     // non-nil when registered via Register/AddQuery (plan available for sharing)
+	qc      *QueryConfig // non-nil when registered via Register/AddQuery
 	onMatch func(*Match)
 	dead    bool     // stop processing after the first error
 	matches []*Match // accumulated when no sink applies
+
+	lane     *sessionLane // current lane, set once started
+	eligible bool         // may participate in subplan sharing
+	since    uint64       // stream sequence watermark of registration
+	// shareKeys are the canonical sub-join keys this query could share
+	// under — the index AddQuery/RemoveQuery consult to find the affected
+	// sharing component.
+	shareKeys []string
 }
 
 // NewSession builds an empty session.
 func NewSession(cfg SessionConfig) *Session {
 	s := &Session{cfg: cfg.withDefaults(), byName: make(map[string]*sessionQuery)}
-	s.pool = pool.New(pool.Hooks[*Event]{
-		Work:   func(lane int, e *Event) { s.lanes[lane].work(e) },
-		Finish: func(lane int) { s.lanes[lane].finish() },
+	empty := []*sessionLane{}
+	s.laneTab.Store(&empty)
+	s.pool = pool.New(pool.Hooks[sessionItem]{
+		Work:   func(lane int, it sessionItem) { (*s.laneTab.Load())[lane].work(it) },
+		Finish: func(lane int) { (*s.laneTab.Load())[lane].finish() },
 	})
 	return s
 }
@@ -235,17 +290,59 @@ func sessErr(err error) error {
 }
 
 // Register plans the query described by the config and adds it under its
-// name. Registration must happen before the session starts.
+// name. Registration must happen before the session starts; use AddQuery to
+// register on a running session.
 func (s *Session) Register(qc QueryConfig) error {
-	// Delivery is the session's job: strip OnMatch from the runtime build
-	// so the engine callback and the session sink never double-deliver.
+	q, err := s.planQuery(qc)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started && !s.closed {
+		return fmt.Errorf("cep: session already started; use AddQuery to register on a running session")
+	}
+	return s.registerLocked(q)
+}
+
+// AddQuery registers a query on a session in any pre-close state. Before
+// Start it is equivalent to Register. On a running session the query goes
+// live atomically with respect to the feed: it observes exactly the events
+// submitted after AddQuery returns, and (on a sharing session) the affected
+// sharing component — every query that could share a sub-join with the new
+// one, transitively — is re-optimized incrementally: the component's lanes
+// are drained, a new shared DAG is built, and the surviving queries'
+// buffered partial matches are spliced into it, so no query drops or
+// duplicates a match across the transition. Queries outside the affected
+// component are untouched. When the cost model finds nothing worth sharing
+// the query runs on its own lane.
+func (s *Session) AddQuery(qc QueryConfig) error {
+	q, err := s.planQuery(qc)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.closed {
+		return s.registerLocked(q)
+	}
+	if err := s.checkNameLocked(q.name); err != nil {
+		return err
+	}
+	return s.spliceAddLocked(q)
+}
+
+// planQuery builds the runtime for a config, with delivery stripped:
+// delivery is the session's job, so the engine callback and the session
+// sink never double-deliver.
+func (s *Session) planQuery(qc QueryConfig) (*sessionQuery, error) {
 	rtCfg := qc
 	rtCfg.OnMatch = nil
 	rt, err := NewFromConfig(rtCfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return s.register(qc.Name, rt, rt, &rtCfg, qc.OnMatch)
+	return &sessionQuery{name: qc.Name, det: rt, rt: rt, qc: &rtCfg, onMatch: qc.OnMatch}, nil
 }
 
 // RegisterDetector adds a pre-built detector — a Runtime, an
@@ -258,28 +355,76 @@ func (s *Session) RegisterDetector(name string, d Detector, onMatch func(*Match)
 	if d == nil {
 		return fmt.Errorf("cep: query %q: nil detector", name)
 	}
-	return s.register(name, d, nil, nil, onMatch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started && !s.closed {
+		return fmt.Errorf("cep: session already started; register queries before Start")
+	}
+	return s.registerLocked(&sessionQuery{name: name, det: d, onMatch: onMatch})
 }
 
-func (s *Session) register(name string, d Detector, rt *Runtime, qc *QueryConfig, onMatch func(*Match)) error {
+func (s *Session) checkNameLocked(name string) error {
 	if name == "" {
 		return fmt.Errorf("cep: query name must not be empty")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if _, dup := s.byName[name]; dup {
+		return fmt.Errorf("cep: duplicate query name %q", name)
+	}
+	return nil
+}
+
+func (s *Session) registerLocked(q *sessionQuery) error {
 	if s.closed {
 		return fmt.Errorf("cep: session: %w", ErrClosed)
 	}
 	if s.started {
 		return fmt.Errorf("cep: session already started; register queries before Start")
 	}
-	if _, dup := s.byName[name]; dup {
-		return fmt.Errorf("cep: duplicate query name %q", name)
+	if err := s.checkNameLocked(q.name); err != nil {
+		return err
 	}
-	q := &sessionQuery{name: name, det: d, rt: rt, qc: qc, onMatch: onMatch}
 	s.queries = append(s.queries, q)
-	s.byName[name] = q
+	s.byName[q.name] = q
 	return nil
+}
+
+// RemoveQuery deregisters a query. On a running session the removal is a
+// barrier: events already submitted are fully processed (and delivered)
+// first, then the query's lane is retired — afterwards no sink sees the
+// name again and the name may be reused. A removed member of a shared lane
+// triggers an incremental re-optimization of its component; the remaining
+// members keep their buffered state. Matches the removed query had
+// accumulated (rather than delivered) are discarded; end-of-stream
+// pendings of negation patterns are discarded, not flushed.
+func (s *Session) RemoveQuery(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cep: session: %w", ErrClosed)
+	}
+	q := s.byName[name]
+	if q == nil {
+		return fmt.Errorf("cep: unknown query %q", name)
+	}
+	if !s.started {
+		s.dropQueryLocked(q)
+		if err := q.det.Close(); err != nil {
+			return fmt.Errorf("cep: query %q: %w", name, err)
+		}
+		return nil
+	}
+	return s.spliceRemoveLocked(q)
+}
+
+// dropQueryLocked removes the query from the registration bookkeeping.
+func (s *Session) dropQueryLocked(q *sessionQuery) {
+	delete(s.byName, q.name)
+	for i, other := range s.queries {
+		if other == q {
+			s.queries = append(s.queries[:i], s.queries[i+1:]...)
+			break
+		}
+	}
 }
 
 // Queries returns the registered query names in registration order.
@@ -354,13 +499,16 @@ func (s *Session) Submit(e *Event) error {
 	return s.submit(nil, e)
 }
 
-// submit broadcasts under the pool's read lock; a non-nil ctx makes each
-// blocking queue send cancellable.
+// submit broadcasts under the intake read lock (so a lane splice never
+// interleaves a broadcast) and the pool's read lock; a non-nil ctx makes
+// each blocking queue send cancellable.
 func (s *Session) submit(ctx context.Context, e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
-	return sessErr(s.pool.Broadcast(ctx, e))
+	s.intakeMu.RLock()
+	defer s.intakeMu.RUnlock()
+	return sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1)}))
 }
 
 // Run streams an event source through the session until the source is
@@ -544,26 +692,48 @@ func (s *Session) emitOne(q *sessionQuery, m *Match) {
 	}
 }
 
+// laneShare carries a shared lane's optimizer decision for ShareReport.
+type laneShare struct {
+	members      []string
+	restructured int
+	nodes        int
+	sharedNodes  int
+	unshared     float64
+	shared       float64
+}
+
 // sessionLane is one worker lane of the session: either a private lane
-// driving a single query's Detector, or a shared lane evaluating a group of
-// overlapping queries on one MQO DAG engine. The lane's worker goroutine
-// owns all state reachable from it exclusively.
+// driving a single query's Detector, or a shared lane evaluating one or
+// more queries on an MQO DAG engine. The lane's worker goroutine owns all
+// state reachable from it exclusively — except across a splice, where the
+// drain barrier plus the queue hand the state over race-free.
 type sessionLane struct {
-	s *Session
-	q *sessionQuery // private lane: the one query driven by this lane
+	s   *Session
+	idx int           // pool lane index (stable)
+	q   *sessionQuery // private lane: the one query driven by this lane
 
 	// shared lane: the MQO evaluation DAG and its member queries.
 	eng     *mqo.Engine
 	members map[string]*sessionQuery
+	comp    int       // global sharing-component id
+	gen     int       // re-optimization generation that built this lane
+	info    laneShare // optimizer decision snapshot for ShareReport
+
+	// retired marks a lane spliced away (state adopted elsewhere): finish
+	// is a no-op. discard marks a removed private query: finish closes the
+	// detector without flushing. Both are written strictly before the
+	// lane's queue closes, so the worker observes them.
+	retired bool
+	discard bool
 }
 
 // work processes one event on the lane's worker goroutine. On the first
 // processing error a private query is marked dead and later events are
 // dropped (the error is reported through Flush/Close/Err); the other lanes
 // keep running.
-func (l *sessionLane) work(e *Event) {
+func (l *sessionLane) work(it sessionItem) {
 	if l.eng != nil {
-		for _, tm := range l.eng.Process(e) {
+		for _, tm := range l.eng.Process(it.ev, it.seq) {
 			l.s.emitOne(l.members[tm.Query], tm.M)
 		}
 		return
@@ -572,7 +742,7 @@ func (l *sessionLane) work(e *Event) {
 	if q.dead {
 		return
 	}
-	ms, err := q.det.Process(e)
+	ms, err := q.det.Process(it.ev)
 	if err != nil {
 		l.s.recordErr(q, err)
 		q.dead = true
@@ -583,6 +753,9 @@ func (l *sessionLane) work(e *Event) {
 
 // finish runs after the lane's queue closed: flush and close the engines.
 func (l *sessionLane) finish() {
+	if l.retired {
+		return // spliced away: a successor lane owns the state now
+	}
 	if l.eng != nil {
 		for _, tm := range l.eng.Flush() {
 			l.s.emitOne(l.members[tm.Query], tm.M)
@@ -598,7 +771,7 @@ func (l *sessionLane) finish() {
 		return
 	}
 	q := l.q
-	if !q.dead {
+	if !q.dead && !l.discard {
 		ms, err := q.det.Flush()
 		if err != nil {
 			l.s.recordErr(q, err)
@@ -610,9 +783,9 @@ func (l *sessionLane) finish() {
 	}
 }
 
-// ShareReport summarizes what the shared-subplan optimizer decided at
-// Start, in cost-model terms: how many queries were eligible for sharing,
-// how many share an evaluation DAG (and which, lane by lane), how many had
+// ShareReport summarizes what the shared-subplan optimizer has decided so
+// far, in cost-model terms: how many queries are eligible for sharing, how
+// many share an evaluation DAG (and which, lane by lane), how many had
 // their plans restructured toward a common sub-join, the distinct DAG node
 // counts, and the modeled unshared vs shared cost.
 type ShareReport struct {
@@ -625,68 +798,469 @@ type ShareReport struct {
 	SharedCost   float64
 	// Groups lists the member query names of each shared lane.
 	Groups [][]string
+	// Generation counts the incremental re-optimizations performed so far
+	// (0 until the first live AddQuery/RemoveQuery touches a component).
+	Generation int
+	// Components describes each live sharing component.
+	Components []ComponentReport
 }
 
-// ShareReport returns the optimizer's decision report, or nil before the
-// session started or when ShareSubplans is off.
+// ComponentReport describes one connected sharing component: its member
+// query names (sorted), the number of worker lanes serving it (more than
+// one when SessionConfig.SharedWorkers split its root fan-out), and the
+// re-optimization generation that last rebuilt it.
+type ComponentReport struct {
+	Members    []string
+	Lanes      int
+	Generation int
+}
+
+// ShareReport returns a snapshot of the optimizer's current decisions, or
+// nil before the session started or when ShareSubplans is off. The
+// snapshot is immutable and consistent — it reflects one instant of a
+// session whose query set may be churning — but two calls around an
+// AddQuery/RemoveQuery may differ arbitrarily; compare Generation (and the
+// per-component generations) to detect intervening re-optimizations.
 func (s *Session) ShareReport() *ShareReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.share
+	if !s.cfg.ShareSubplans || !s.started {
+		return nil
+	}
+	rep := &ShareReport{Generation: s.reoptGen}
+	for _, q := range s.queries {
+		if q.eligible {
+			rep.Eligible++
+		}
+	}
+	type compAgg struct {
+		members []string
+		lanes   int
+		gen     int
+	}
+	comps := map[int]*compAgg{}
+	var compOrder []int
+	for _, l := range *s.laneTab.Load() {
+		if l.retired || l.eng == nil {
+			continue
+		}
+		ca := comps[l.comp]
+		if ca == nil {
+			ca = &compAgg{}
+			comps[l.comp] = ca
+			compOrder = append(compOrder, l.comp)
+		}
+		ca.members = append(ca.members, l.info.members...)
+		ca.lanes++
+		if l.gen > ca.gen {
+			ca.gen = l.gen
+		}
+	}
+	sort.Ints(compOrder)
+	for _, id := range compOrder {
+		ca := comps[id]
+		if len(ca.members) < 2 {
+			continue // an unshared eligible query on its own lane
+		}
+		members := append([]string(nil), ca.members...)
+		sort.Strings(members)
+		rep.Components = append(rep.Components, ComponentReport{
+			Members: members, Lanes: ca.lanes, Generation: ca.gen,
+		})
+		rep.Shared += len(ca.members)
+	}
+	for _, l := range *s.laneTab.Load() {
+		if l.retired || l.eng == nil {
+			continue
+		}
+		if ca := comps[l.comp]; ca == nil || len(ca.members) < 2 {
+			continue
+		}
+		rep.Groups = append(rep.Groups, append([]string(nil), l.info.members...))
+		rep.Restructured += l.info.restructured
+		rep.Nodes += l.info.nodes
+		rep.SharedNodes += l.info.sharedNodes
+		rep.UnsharedCost += l.info.unshared
+		rep.SharedCost += l.info.shared
+	}
+	return rep
 }
 
-// buildLanes assigns every registered query to a worker lane. Without
-// ShareSubplans each query gets its own private lane; with it, the MQO
-// optimizer canonicalizes the eligible queries' tree plans, groups
+// mqoOpts returns the optimizer options the session runs under.
+func (s *Session) mqoOpts() mqo.Options {
+	return mqo.Options{GroupWorkers: s.cfg.SharedWorkers}
+}
+
+// mqoQuery lowers a registered query into the optimizer's input form.
+func mqoQuery(q *sessionQuery) mqo.Query {
+	return mqo.Query{Name: q.name, SP: q.rt.plan.Simple[0], Since: q.since}
+}
+
+// addLaneLocked appends a lane to both the pool and the lane table. The
+// caller holds mu (and, on a running session, intakeMu).
+func (s *Session) addLaneLocked(l *sessionLane) error {
+	idx, err := s.pool.AddLaneRunning(s.cfg.QueueLen)
+	if err != nil {
+		return sessErr(err)
+	}
+	l.idx = idx
+	tab := *s.laneTab.Load()
+	next := make([]*sessionLane, len(tab), len(tab)+1)
+	copy(next, tab)
+	next = append(next, l)
+	if idx != len(next)-1 {
+		return fmt.Errorf("cep: internal: lane table out of sync (pool %d, table %d)", idx, len(next)-1)
+	}
+	s.laneTab.Store(&next)
+	return nil
+}
+
+// engineLane wires a shared-group lane and points its members at it.
+func (s *Session) engineLane(g mqo.Group, comp int) *sessionLane {
+	lane := &sessionLane{
+		s: s, eng: g.Engine, members: map[string]*sessionQuery{},
+		comp: comp, gen: s.reoptGen,
+		info: laneShare{
+			members:      append([]string(nil), g.Members...),
+			restructured: g.Restructured,
+			nodes:        g.Nodes,
+			sharedNodes:  g.SharedNodes,
+			unshared:     g.UnsharedCost,
+			shared:       g.SharedCost,
+		},
+	}
+	for _, name := range g.Members {
+		q := s.byName[name]
+		lane.members[name] = q
+		q.lane = lane
+	}
+	return lane
+}
+
+// buildLanes assigns every registered query to a worker lane at Start.
+// Without ShareSubplans each query gets its own private lane; with it, the
+// MQO optimizer canonicalizes the eligible queries' tree plans, groups
 // overlapping queries whose sharing the cost model predicts to win onto
-// shared evaluation lanes, and leaves the rest on private lanes (keeping
-// their worker-per-query parallelism).
+// shared evaluation lanes (splitting hot components across
+// SessionConfig.SharedWorkers lanes), and gives every other eligible query
+// a singleton DAG lane — the shape whose buffered state a later live
+// re-optimization can adopt. Ineligible queries keep private lanes.
 func (s *Session) buildLanes() error {
-	s.lanes = s.lanes[:0]
-	sharedBy := map[string]*sessionLane{}
+	var lanes []*sessionLane
+	onShared := map[string]bool{}
 	if s.cfg.ShareSubplans {
 		var cand []mqo.Query
 		for _, q := range s.queries {
-			if q.rt == nil || q.qc == nil {
+			if q.rt == nil || q.qc == nil || !mqo.Eligible(q.rt.plan, q.qc.Strategy) {
 				continue
 			}
-			if !mqo.Eligible(q.rt.plan, q.qc.Strategy) {
-				continue
-			}
-			cand = append(cand, mqo.Query{Name: q.name, SP: q.rt.plan.Simple[0]})
+			q.eligible = true
+			cand = append(cand, mqoQuery(q))
 		}
-		report := &ShareReport{Eligible: len(cand)}
+		var groups []mqo.Group
 		if len(cand) >= 2 {
-			res, err := mqo.Optimize(cand, mqo.Options{})
+			res, err := mqo.Optimize(cand, s.mqoOpts())
 			if err != nil {
 				return fmt.Errorf("cep: subplan sharing: %w", err)
 			}
-			for _, g := range res.Groups {
-				lane := &sessionLane{s: s, eng: g.Engine, members: map[string]*sessionQuery{}}
-				for _, name := range g.Members {
-					q := s.byName[name]
-					lane.members[name] = q
-					sharedBy[name] = lane
-				}
-				s.lanes = append(s.lanes, lane)
-				s.pool.AddLane(s.cfg.QueueLen)
-				report.Groups = append(report.Groups, append([]string(nil), g.Members...))
+			groups = res.Groups
+			for name, keys := range res.Keys {
+				s.byName[name].shareKeys = keys
 			}
-			report.Shared = res.Report.Shared
-			report.Restructured = res.Report.Restructured
-			report.Nodes = res.Report.Nodes
-			report.SharedNodes = res.Report.SharedNodes
-			report.UnsharedCost = res.Report.UnsharedCost
-			report.SharedCost = res.Report.SharedCost
+			for _, name := range res.Private {
+				g, err := mqo.Single(mqoQuery(s.byName[name]))
+				if err != nil {
+					return fmt.Errorf("cep: subplan sharing: %w", err)
+				}
+				groups = append(groups, g)
+			}
+		} else if len(cand) == 1 {
+			q := s.byName[cand[0].Name]
+			g, err := mqo.Single(cand[0])
+			if err != nil {
+				return fmt.Errorf("cep: subplan sharing: %w", err)
+			}
+			groups = append(groups, g)
+			q.shareKeys = mqo.QueryKeys(cand[0], s.mqoOpts())
 		}
-		s.share = report
+		compOf := map[int]int{}
+		for _, g := range groups {
+			comp := s.nextComp
+			if g.Component >= 0 {
+				if id, ok := compOf[g.Component]; ok {
+					comp = id
+				} else {
+					compOf[g.Component] = comp
+					s.nextComp++
+				}
+			} else {
+				s.nextComp++
+			}
+			lane := s.engineLane(g, comp)
+			lanes = append(lanes, lane)
+			for _, name := range g.Members {
+				onShared[name] = true
+			}
+		}
 	}
 	for _, q := range s.queries {
-		if sharedBy[q.name] != nil {
+		if onShared[q.name] {
 			continue
 		}
-		s.lanes = append(s.lanes, &sessionLane{s: s, q: q})
+		lane := &sessionLane{s: s, q: q}
+		q.lane = lane
+		lanes = append(lanes, lane)
+	}
+	for i, lane := range lanes {
+		lane.idx = i
 		s.pool.AddLane(s.cfg.QueueLen)
+	}
+	s.laneTab.Store(&lanes)
+	return nil
+}
+
+// spliceAddLocked brings a query live on a running session. The caller
+// holds mu.
+func (s *Session) spliceAddLocked(q *sessionQuery) error {
+	s.intakeMu.Lock()
+	defer s.intakeMu.Unlock()
+	q.since = s.seq.Load() + 1
+	q.eligible = s.cfg.ShareSubplans && q.rt != nil && q.qc != nil &&
+		mqo.Eligible(q.rt.plan, q.qc.Strategy)
+
+	if !q.eligible {
+		lane := &sessionLane{s: s, q: q}
+		q.lane = lane
+		if err := s.addLaneLocked(lane); err != nil {
+			return err
+		}
+		s.queries = append(s.queries, q)
+		s.byName[q.name] = q
+		return nil
+	}
+
+	mq := mqoQuery(q)
+	keys := mqo.QueryKeys(mq, s.mqoOpts())
+	affected := s.affectedLanesLocked(keys)
+	if len(affected) == 0 {
+		// Nothing to share with: a singleton DAG lane, ready for future
+		// adoption. The feed keeps flowing — no drain needed, the new lane
+		// sees exactly the events submitted after it appears.
+		g, err := mqo.Single(mq)
+		if err != nil {
+			return fmt.Errorf("cep: subplan sharing: %w", err)
+		}
+		q.shareKeys = keys
+		s.queries = append(s.queries, q)
+		s.byName[q.name] = q
+		lane := s.engineLane(g, s.nextComp)
+		s.nextComp++
+		return s.addLaneLocked(lane)
+	}
+
+	// Re-optimize the affected component together with the new query,
+	// splicing the drained DAG state into the successor lanes.
+	if err := sessErr(s.pool.Drain()); err != nil {
+		return err
+	}
+	input := []mqo.Query{mq}
+	for _, lane := range affected {
+		for _, m := range lane.members {
+			input = append(input, mqoQuery(m))
+		}
+	}
+	s.queries = append(s.queries, q)
+	s.byName[q.name] = q
+	if err := s.applySpliceLocked(affected, input); err != nil {
+		s.dropQueryLocked(q)
+		return err
+	}
+	return nil
+}
+
+// spliceRemoveLocked takes a query off a running session. The caller holds
+// mu.
+func (s *Session) spliceRemoveLocked(q *sessionQuery) error {
+	s.intakeMu.Lock()
+	defer s.intakeMu.Unlock()
+	// Barrier: events already submitted are fully processed under the old
+	// lane set, so deliveries for the removed name end here.
+	if err := sessErr(s.pool.Drain()); err != nil {
+		return err
+	}
+	lane := q.lane
+	switch {
+	case lane.eng == nil:
+		// Private lane: retire it; the worker closes the detector without
+		// flushing.
+		lane.discard = true
+		if err := sessErr(s.pool.CloseLane(lane.idx)); err != nil {
+			return err
+		}
+		s.dropQueryLocked(q)
+		return nil
+	case len(lane.members) == 1:
+		// Singleton DAG lane: discard the engine state, close the runtime
+		// inline (the lane worker never drives member detectors except at
+		// finish, which retirement skips).
+		lane.retired = true
+		if err := sessErr(s.pool.CloseLane(lane.idx)); err != nil {
+			return err
+		}
+		lane.eng.Close()
+		lane.eng = nil
+		lane.members = nil
+		s.dropQueryLocked(q)
+		if err := q.det.Close(); err != nil {
+			s.recordErr(q, err)
+		}
+		return nil
+	default:
+		// Shared member: re-optimize the component without it.
+		affected := s.componentLanesLocked(lane.comp)
+		var input []mqo.Query
+		for _, al := range affected {
+			for _, m := range al.members {
+				if m != q {
+					input = append(input, mqoQuery(m))
+				}
+			}
+		}
+		s.dropQueryLocked(q)
+		if err := s.applySpliceLocked(affected, input); err != nil {
+			return err
+		}
+		if err := q.det.Close(); err != nil {
+			s.recordErr(q, err)
+		}
+		return nil
+	}
+}
+
+// affectedLanesLocked returns the live shared lanes whose members could
+// share a sub-join under any of the given keys.
+func (s *Session) affectedLanesLocked(keys []string) []*sessionLane {
+	keySet := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		keySet[k] = true
+	}
+	seen := map[*sessionLane]bool{}
+	var out []*sessionLane
+	for _, l := range *s.laneTab.Load() {
+		if l.retired || l.eng == nil || seen[l] {
+			continue
+		}
+		hit := false
+	scan:
+		for _, m := range l.members {
+			for _, k := range m.shareKeys {
+				if keySet[k] {
+					hit = true
+					break scan
+				}
+			}
+		}
+		if !hit {
+			continue
+		}
+		// Pull in the whole component: a split component's other lanes must
+		// re-optimize together with this one.
+		for _, cl := range s.componentLanesLocked(l.comp) {
+			if !seen[cl] {
+				seen[cl] = true
+				out = append(out, cl)
+			}
+		}
+	}
+	return out
+}
+
+// componentLanesLocked returns the live shared lanes of one component.
+func (s *Session) componentLanesLocked(comp int) []*sessionLane {
+	var out []*sessionLane
+	for _, l := range *s.laneTab.Load() {
+		if !l.retired && l.eng != nil && l.comp == comp {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// applySpliceLocked re-optimizes the given queries, adopts the affected
+// lanes' DAG state into the successor engines, retires the old lanes and
+// starts the new ones. The caller holds mu and intakeMu, and has drained
+// the pool, so every engine involved is quiescent. On error the session is
+// unchanged (all fallible work happens before the first mutation).
+func (s *Session) applySpliceLocked(affected []*sessionLane, input []mqo.Query) error {
+	var groups []mqo.Group
+	if len(input) >= 2 {
+		res, err := mqo.Optimize(input, s.mqoOpts())
+		if err != nil {
+			return fmt.Errorf("cep: subplan sharing: %w", err)
+		}
+		groups = res.Groups
+		byName := map[string]mqo.Query{}
+		for _, in := range input {
+			byName[in.Name] = in
+		}
+		for _, name := range res.Private {
+			g, err := mqo.Single(byName[name])
+			if err != nil {
+				return fmt.Errorf("cep: subplan sharing: %w", err)
+			}
+			groups = append(groups, g)
+		}
+		for name, keys := range res.Keys {
+			s.byName[name].shareKeys = keys
+		}
+	} else if len(input) == 1 {
+		g, err := mqo.Single(input[0])
+		if err != nil {
+			return fmt.Errorf("cep: subplan sharing: %w", err)
+		}
+		groups = append(groups, g)
+		s.byName[input[0].Name].shareKeys = mqo.QueryKeys(input[0], s.mqoOpts())
+	}
+
+	spliceSeq := s.seq.Load() + 1
+	olds := make([]*mqo.Engine, len(affected))
+	for i, l := range affected {
+		olds[i] = l.eng
+	}
+	s.reoptGen++
+	for _, l := range affected {
+		l.retired = true
+		if err := sessErr(s.pool.CloseLane(l.idx)); err != nil {
+			return err
+		}
+	}
+	compOf := map[int]int{}
+	for _, g := range groups {
+		g.Engine.AdoptFrom(olds, spliceSeq)
+		comp := s.nextComp
+		if g.Component >= 0 {
+			if id, ok := compOf[g.Component]; ok {
+				comp = id
+			} else {
+				compOf[g.Component] = comp
+				s.nextComp++
+			}
+		} else {
+			s.nextComp++
+		}
+		lane := s.engineLane(g, comp)
+		if err := s.addLaneLocked(lane); err != nil {
+			return err
+		}
+	}
+	// The successors own the state now: release the predecessor engines so
+	// the retired tombstone lanes stop holding a generation of buffered
+	// partial matches alive. (The retired workers never touch l.eng — their
+	// finish hook returns on the retired flag.)
+	for _, l := range affected {
+		l.eng.Close()
+		l.eng = nil
+		l.members = nil
 	}
 	return nil
 }
