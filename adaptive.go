@@ -27,7 +27,10 @@ type AdaptiveRuntime struct {
 }
 
 // AdaptiveConfig tunes the re-optimisation loop; zero values select
-// sensible defaults (check every 512 events, 25% improvement threshold).
+// sensible defaults: check every 512 events, 25% improvement threshold, a
+// warm-up of one check interval (512 events) before the first check, and
+// the AlgGreedy planner under SkipTillAnyMatch. The defaults are asserted
+// in TestAdaptiveConfigDefaults — change both together.
 type AdaptiveConfig struct {
 	Algorithm    string
 	Strategy     Strategy

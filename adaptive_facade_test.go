@@ -31,6 +31,31 @@ func TestAdaptiveRuntimeBasics(t *testing.T) {
 	}
 }
 
+// TestAdaptiveConfigDefaults pins the documented zero-value defaults of
+// AdaptiveConfig to the values the internal controller actually applies:
+// "check every 512 events, 25% improvement threshold, warm-up of one check
+// interval". If this test fails, fix the AdaptiveConfig doc comment or the
+// internal defaults — whichever drifted.
+func TestAdaptiveConfigDefaults(t *testing.T) {
+	rt, err := NewAdaptive(demoPattern(t), nil, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.ctrl.Config()
+	if cfg.CheckEvery != 512 {
+		t.Fatalf("default CheckEvery = %d, doc promises 512", cfg.CheckEvery)
+	}
+	if cfg.Threshold != 0.25 {
+		t.Fatalf("default Threshold = %v, doc promises 0.25", cfg.Threshold)
+	}
+	if cfg.WarmupEvents != 512 {
+		t.Fatalf("default WarmupEvents = %d, doc promises one check interval (512)", cfg.WarmupEvents)
+	}
+	if cfg.Planner == nil || cfg.Planner.Algorithm != AlgGreedy {
+		t.Fatalf("default planner = %+v, doc promises AlgGreedy", cfg.Planner)
+	}
+}
+
 func TestExtensionAlgorithmsViaFacade(t *testing.T) {
 	p := demoPattern(t)
 	st := Measure(demoEvents(), p)

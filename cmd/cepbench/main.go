@@ -22,11 +22,19 @@
 // 4/16/64 overlapping queries (every fourth a negation pattern sharing the
 // positive core) served by a ShareSubplans session versus the default
 // per-query-worker session, with a shared-vs-unshared match-count
-// cross-check, emitting the rows as JSON for trend tracking. Finally,
-// `cepbench -fig churn` measures dynamic multi-query optimization: queries
-// register and deregister mid-feed on a live sharing session, reporting
-// feed throughput, per-operation re-optimization latency and a match-count
-// cross-check against private runtimes, as JSON rows.
+// cross-check, emitting the rows as JSON for trend tracking. `cepbench
+// -fig churn` measures dynamic multi-query optimization: queries register
+// and deregister mid-feed on a live sharing session, reporting feed
+// throughput, per-operation re-optimization latency and a match-count
+// cross-check against private runtimes, as JSON rows. Finally, `cepbench
+// -fig drift` measures session-level adaptivity: a mid-stream regime shift
+// (symbol rates invert) is processed by a static-shared, an
+// adaptive-shared and an oracle-replanned session; the adaptive session
+// must detect the drift, re-optimize the affected sharing components
+// (dissolving the sharing that stopped winning, forming the newly
+// profitable one), recover at least half of the static-to-oracle phase-2
+// throughput gap, reproduce the private runtimes' match counts exactly,
+// and keep a stationary control run at zero re-optimizations.
 package main
 
 import (
@@ -67,6 +75,8 @@ func main() {
 		churnGen = flag.Int("churn-events", 40000, "events in the churn stream (-fig churn)")
 		churnQs  = flag.Int("churn-queries", 8, "queries registered up front (-fig churn)")
 		churnOps = flag.Int("churn-ops", 8, "AddQuery/RemoveQuery operations mid-feed (-fig churn)")
+		driftGen = flag.Int("drift-events", 40000, "events in the regime-shift stream (-fig drift)")
+		driftFam = flag.Int("drift-family", 4, "queries per sharing family (-fig drift, max 4)")
 	)
 	flag.Parse()
 
@@ -94,6 +104,13 @@ func main() {
 	if *fig == "churn" {
 		if err := runChurnScenario(*symbols, *churnGen, *churnQs, *churnOps, event.Time(*windowMS), *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "cepbench: churn scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "drift" {
+		if err := runDriftScenario(*driftGen, *driftFam, event.Time(*windowMS), *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: drift scenario: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -134,7 +151,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo' or 'churn')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn' or 'drift')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}
@@ -445,6 +462,351 @@ func runMQOScenario(symbols, events int, queryCounts string, window event.Time, 
 		if !row.MatchesOK {
 			return fmt.Errorf("match-count mismatch at %d queries", row.Queries)
 		}
+	}
+	return nil
+}
+
+// driftRow is the drift scenario's JSON measurement.
+type driftRow struct {
+	Events        int     `json:"events"`
+	Queries       int     `json:"queries"`
+	StaticEPS2    float64 `json:"static_phase2_events_per_sec"`
+	AdaptiveEPS2  float64 `json:"adaptive_phase2_events_per_sec"`
+	OracleEPS2    float64 `json:"oracle_phase2_events_per_sec"`
+	Recovered     float64 `json:"recovered_fraction"`
+	Reopts        int64   `json:"drift_reopts"`
+	Checks        int64   `json:"drift_checks"`
+	Generation    int     `json:"reopt_generation"`
+	SharedBefore  int     `json:"shared_queries_before"`
+	SharedAfter   int     `json:"shared_queries_after"`
+	FormedShared  int     `json:"formed_shared_queries"`
+	MatchesOK     bool    `json:"matches_ok"`
+	ControlReopts int64   `json:"control_reopts"`
+}
+
+// driftStream generates a stock stream with explicit per-symbol rates.
+func driftStream(stocks *workload.Stocks, events int, seed int64, rates map[string]float64) []*event.Event {
+	gen := workload.NewStocks(workload.StockConfig{
+		Symbols: stocks.Config.Symbols, Events: events, Seed: seed,
+	})
+	for sym := range gen.Rates {
+		gen.Rates[sym] = 0
+	}
+	for sym, r := range rates {
+		gen.Rates[sym] = r
+	}
+	return gen.Generate()
+}
+
+// runDriftScenario measures session-level adaptivity under a mid-stream
+// regime shift. Two sharing families run on one session:
+//
+//   - the dissolve family SEQ(A a, B b, T_i c) shares the (A,B) head pair,
+//     cheap at planning time; after the shift A and B become the hottest
+//     symbols and the tails go quiet, so keeping the shared pair means
+//     paying a huge unselective cross product that a fresh replan avoids by
+//     joining each query's (b, c) pair — with its selective bucket equality
+//     — first (sharing dissolves to singleton lanes);
+//
+//   - the form family SEQ(U_j u, C b, D c) has a common (C,D) sub-join that
+//     is too hot to share at planning time; after the shift it becomes cheap
+//     and profitable, so the re-optimization forms the shared group.
+//
+// Three sessions process the identical stream: static-shared (planned on
+// phase-1 statistics, no adaptivity), adaptive-shared (same plans plus
+// drift monitoring) and oracle-shared (planned from scratch on phase-2
+// statistics — the replan target). Phase-2 throughput is timed separately;
+// the adaptive session must recover at least half of the static→oracle gap,
+// reproduce the private runtimes' per-query match counts exactly (no
+// dropped or duplicated matches across the re-optimization splices), and a
+// stationary control run must trigger zero re-optimizations.
+func runDriftScenario(events, perFamily int, window event.Time, seed int64) error {
+	if perFamily < 2 {
+		return fmt.Errorf("-drift-family must be at least 2, got %d", perFamily)
+	}
+	if perFamily > 4 {
+		perFamily = 4
+	}
+	const symbols = 12
+	stocks := workload.NewStocks(workload.StockConfig{Symbols: symbols, Events: events / 2, Seed: seed})
+	// Roles: S000/S001 the dissolve family's head pair, S002/S003 the form
+	// family's common pair, S004-S007 tails, S008-S011 heads.
+	hotA, hotB := "S000", "S001"
+	pairC, pairD := "S002", "S003"
+	tails := []string{"S004", "S005", "S006", "S007"}[:perFamily]
+	heads := []string{"S008", "S009", "S010", "S011"}[:perFamily]
+
+	// Phase-1 margins are wide (the cheapest join beats the runner-up ~3x)
+	// so measurement noise on a stationary stream never flips a plan; the
+	// phase-2 inversion then flips every margin decisively.
+	rates1 := map[string]float64{hotA: 2, hotB: 2, pairC: 20, pairD: 20}
+	rates2 := map[string]float64{hotA: 25, hotB: 25, pairC: 0.75, pairD: 0.75}
+	for _, t := range tails {
+		rates1[t], rates2[t] = 30, 0.5
+	}
+	for _, u := range heads {
+		rates1[u], rates2[u] = 1.5, 15
+	}
+
+	phase1 := driftStream(stocks, events/2, seed, rates1)
+	phase2 := driftStream(stocks, events-events/2, seed+101, rates2)
+	if len(phase1) == 0 || len(phase2) == 0 {
+		return fmt.Errorf("empty phase stream")
+	}
+	shift := phase1[len(phase1)-1].TS + 1
+	for _, ev := range phase2 {
+		ev.TS += shift
+	}
+	stream := append(append([]*event.Event(nil), phase1...), phase2...)
+	boundary := len(phase1)
+	fmt.Printf("drift scenario: %d events (%d + %d), window %dms, %d+%d queries, rate shift at t=%dms\n\n",
+		len(stream), len(phase1), len(phase2), window, perFamily, perFamily, shift)
+
+	makeQueries := func(history []*event.Event) ([]cep.QueryConfig, error) {
+		var out []cep.QueryConfig
+		for i, tail := range tails {
+			src := fmt.Sprintf(
+				`PATTERN SEQ(%s a, %s b, %s c)
+				 WHERE a.difference < b.difference AND b.bucket = c.bucket
+				 WITHIN %d ms`, hotA, hotB, tail, window)
+			p, err := cep.ParsePatternWith(src, stocks.Registry)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cep.QueryConfig{
+				Name: fmt.Sprintf("dis%02d", i), Pattern: p,
+				Stats: cep.Measure(history, p),
+			})
+		}
+		for j, head := range heads {
+			src := fmt.Sprintf(
+				`PATTERN SEQ(%s u, %s b, %s c)
+				 WHERE u.difference < b.difference AND b.bucket = c.bucket
+				 WITHIN %d ms`, head, pairC, pairD, window)
+			p, err := cep.ParsePatternWith(src, stocks.Registry)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cep.QueryConfig{
+				Name: fmt.Sprintf("frm%02d", j), Pattern: p,
+				Stats: cep.Measure(history, p),
+			})
+		}
+		return out, nil
+	}
+
+	adaptiveCfg := func() *cep.AdaptiveSessionConfig {
+		return &cep.AdaptiveSessionConfig{
+			CheckEvery:   400,
+			WarmupEvents: 1600,
+			MinInterval:  1600,
+			Threshold:    0.25,
+			Hysteresis:   2,
+			MaxPerCheck:  2,
+			Window:       2 * window,
+		}
+	}
+
+	type runOut struct {
+		t1, t2   time.Duration
+		counts   map[string]int
+		share    *cep.ShareReport
+		preShare *cep.ShareReport
+		drift    *cep.DriftReport
+	}
+	run := func(queries []cep.QueryConfig, adaptive *cep.AdaptiveSessionConfig, feed []*event.Event, split int) (*runOut, error) {
+		// Matches flow to per-query counting sinks rather than accumulating:
+		// on this single-box measurement the GC pressure of retaining every
+		// match would swamp the throughput signal.
+		counters := make([]int, len(queries))
+		s := cep.NewSession(cep.SessionConfig{QueueLen: 1024, ShareSubplans: true, Adaptive: adaptive})
+		for i, qc := range queries {
+			i := i
+			qc.OnMatch = func(*cep.Match) { counters[i]++ }
+			if err := s.Register(qc); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Start(); err != nil {
+			return nil, err
+		}
+		out := &runOut{counts: map[string]int{}, preShare: s.ShareReport()}
+		start := time.Now()
+		for _, ev := range feed[:split] {
+			if err := s.Submit(ev); err != nil {
+				return nil, err
+			}
+		}
+		out.t1 = time.Since(start)
+		start = time.Now()
+		for _, ev := range feed[split:] {
+			if err := s.Submit(ev); err != nil {
+				return nil, err
+			}
+		}
+		out.share = s.ShareReport()
+		out.drift = s.DriftReport()
+		if _, err := s.Flush(); err != nil {
+			return nil, err
+		}
+		out.t2 = time.Since(start)
+		for i, qc := range queries {
+			out.counts[qc.Name] = counters[i]
+		}
+		return out, nil
+	}
+	// best runs a variant twice and keeps the faster phase-2 timing (the
+	// classic min-time estimator: on a shared single-CPU box, GC pauses and
+	// scheduling noise only ever inflate a measurement). Match counts must
+	// agree between the repetitions.
+	best := func(queries []cep.QueryConfig, adaptive func() *cep.AdaptiveSessionConfig) (*runOut, error) {
+		var pick *runOut
+		for rep := 0; rep < 2; rep++ {
+			var cfg *cep.AdaptiveSessionConfig
+			if adaptive != nil {
+				cfg = adaptive()
+			}
+			out, err := run(queries, cfg, workload.ResetStream(stream), boundary)
+			if err != nil {
+				return nil, err
+			}
+			if pick == nil || out.t2 < pick.t2 {
+				pick, out = out, pick
+			}
+			if out != nil {
+				for name, n := range out.counts {
+					if pick.counts[name] != n {
+						return nil, fmt.Errorf("repetition mismatch for %s: %d vs %d", name, pick.counts[name], n)
+					}
+				}
+			}
+		}
+		return pick, nil
+	}
+
+	queries, err := makeQueries(phase1)
+	if err != nil {
+		return err
+	}
+	oracleQueries, err := makeQueries(phase2)
+	if err != nil {
+		return err
+	}
+
+	static, err := best(queries, nil)
+	if err != nil {
+		return err
+	}
+	adapt, err := best(queries, adaptiveCfg)
+	if err != nil {
+		return err
+	}
+	oracle, err := best(oracleQueries, nil)
+	if err != nil {
+		return err
+	}
+
+	// Reference match counts from private runtimes (plan-independent for
+	// the shareable fragment), checked against all three sessions.
+	row := driftRow{
+		Events: len(stream), Queries: 2 * perFamily, MatchesOK: true,
+		StaticEPS2:   float64(len(stream)-boundary) / static.t2.Seconds(),
+		AdaptiveEPS2: float64(len(stream)-boundary) / adapt.t2.Seconds(),
+		OracleEPS2:   float64(len(stream)-boundary) / oracle.t2.Seconds(),
+	}
+	checked := 0
+	for _, qc := range queries {
+		rt, err := cep.NewFromConfig(qc)
+		if err != nil {
+			return err
+		}
+		want, err := rt.ProcessAll(workload.ResetStream(stream))
+		if err != nil {
+			return err
+		}
+		checked += len(want)
+		for who, out := range map[string]*runOut{"static": static, "adaptive": adapt, "oracle": oracle} {
+			if got := out.counts[qc.Name]; got != len(want) {
+				row.MatchesOK = false
+				fmt.Printf("MISMATCH %s/%s: session %d, private %d\n", who, qc.Name, got, len(want))
+			}
+		}
+	}
+	if adapt.preShare != nil {
+		row.SharedBefore = adapt.preShare.Shared
+	}
+	if adapt.share != nil {
+		row.SharedAfter = adapt.share.Shared
+		for _, comp := range adapt.share.Components {
+			formed := 0
+			for _, m := range comp.Members {
+				if strings.HasPrefix(m, "frm") {
+					formed++
+				}
+			}
+			if formed >= 2 {
+				row.FormedShared += formed
+			}
+		}
+	}
+	if adapt.drift != nil {
+		row.Reopts = adapt.drift.Reopts
+		row.Checks = adapt.drift.Checks
+		row.Generation = adapt.drift.Generation
+	}
+	if gap := row.OracleEPS2 - row.StaticEPS2; gap > 0 {
+		row.Recovered = (row.AdaptiveEPS2 - row.StaticEPS2) / gap
+	}
+
+	// Control: the same adaptive configuration on a stationary stream must
+	// never re-optimize.
+	control := driftStream(stocks, events, seed+211, rates1)
+	ctl, err := run(queries, adaptiveCfg(), workload.ResetStream(control), len(control)/2)
+	if err != nil {
+		return err
+	}
+	if ctl.drift != nil {
+		row.ControlReopts = ctl.drift.Reopts
+	}
+
+	table := harness.Table{
+		Title: "Drift adaptivity: phase-2 throughput after a regime shift (events/s)",
+		Columns: []string{"variant", "phase2 ev/s", "vs static", "reopts", "shared before/after",
+			"phase1", "phase2"},
+		Rows: [][]string{
+			{"static-shared", fmt.Sprintf("%.0f", row.StaticEPS2), "1.00", "0",
+				fmt.Sprintf("%d/%d", static.preShare.Shared, static.share.Shared),
+				static.t1.Round(time.Millisecond).String(), static.t2.Round(time.Millisecond).String()},
+			{"adaptive-shared", fmt.Sprintf("%.0f", row.AdaptiveEPS2),
+				fmt.Sprintf("%.2f", row.AdaptiveEPS2/row.StaticEPS2), fmt.Sprint(row.Reopts),
+				fmt.Sprintf("%d/%d", row.SharedBefore, row.SharedAfter),
+				adapt.t1.Round(time.Millisecond).String(), adapt.t2.Round(time.Millisecond).String()},
+			{"oracle-replanned", fmt.Sprintf("%.0f", row.OracleEPS2),
+				fmt.Sprintf("%.2f", row.OracleEPS2/row.StaticEPS2), "0",
+				fmt.Sprintf("%d/%d", oracle.preShare.Shared, oracle.share.Shared),
+				oracle.t1.Round(time.Millisecond).String(), oracle.t2.Round(time.Millisecond).String()},
+		},
+	}
+	table.Fprint(os.Stdout)
+	fmt.Printf("recovered %.0f%% of the static→oracle gap; %d matches cross-checked; control reopts %d\n",
+		100*row.Recovered, checked, row.ControlReopts)
+	blob, err := json.MarshalIndent([]driftRow{row}, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJSON: %s\n", blob)
+
+	switch {
+	case !row.MatchesOK:
+		return fmt.Errorf("match-count mismatch across the re-optimization splice")
+	case checked == 0:
+		return fmt.Errorf("match cross-check was vacuous")
+	case row.Reopts == 0:
+		return fmt.Errorf("adaptive session did not detect the regime shift")
+	case row.ControlReopts != 0:
+		return fmt.Errorf("stationary control re-optimized %d times (flapping)", row.ControlReopts)
+	case row.OracleEPS2 >= 1.3*row.StaticEPS2 && row.Recovered < 0.5:
+		return fmt.Errorf("adaptive session recovered only %.0f%% of the throughput gap", 100*row.Recovered)
 	}
 	return nil
 }

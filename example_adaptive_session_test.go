@@ -1,0 +1,63 @@
+package cep_test
+
+// Runnable example for session-level adaptivity: drift monitoring with
+// SessionConfig.Adaptive and the DriftReport observability snapshot.
+
+import (
+	"fmt"
+
+	cep "repro"
+)
+
+// ExampleSessionConfig_adaptive serves two overlapping queries on a
+// sharing session with statistics-drift monitoring enabled. The collector
+// shadows every submitted event; every CheckEvery events the session
+// re-prices each sharing component's running plans under the measured
+// rates and selectivities and re-optimizes — draining, re-planning and
+// splicing the affected shared DAG without dropping or duplicating matches
+// — when the modeled improvement clears the threshold on consecutive
+// checks. On this short, stationary stream the detector performs checks
+// but never fires.
+func ExampleSessionConfig_adaptive() {
+	login := cep.NewSchema("Login", "user")
+	trade := cep.NewSchema("Trade", "user")
+
+	s := cep.NewSession(cep.SessionConfig{
+		ShareSubplans: true,
+		Adaptive: &cep.AdaptiveSessionConfig{
+			CheckEvery: 8,    // drift check cadence, in events
+			Threshold:  0.25, // min modeled cost improvement to re-optimize
+			Hysteresis: 2,    // consecutive over-threshold checks required
+		},
+	})
+	for _, name := range []string{"flow", "audit"} {
+		if err := s.Register(cep.QueryConfig{
+			Name:  name,
+			Query: `PATTERN SEQ(Login l, Trade t) WHERE l.user = t.user WITHIN 1 s`,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		panic(err)
+	}
+	var events []*cep.Event
+	for i := 0; i < 32; i++ {
+		events = append(events,
+			cep.NewEvent(login, cep.Time(i*1000), float64(i%4)),
+			cep.NewEvent(trade, cep.Time(i*1000+500), float64(i%4)),
+		)
+	}
+	for _, e := range cep.Stamp(events) {
+		if err := s.Submit(e); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		panic(err)
+	}
+	rep := s.DriftReport()
+	fmt.Println("observed:", rep.Events, "reopts:", rep.Reopts,
+		"flow:", len(s.Matches("flow")), "audit:", len(s.Matches("audit")))
+	// Output: observed: 64 reopts: 0 flow: 32 audit: 32
+}

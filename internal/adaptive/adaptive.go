@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/event"
 	"repro/internal/match"
 	"repro/internal/metrics"
@@ -27,19 +28,45 @@ import (
 	"repro/internal/tree"
 )
 
+// Source supplies fresh stream statistics to the re-optimisation loop in
+// place of the controller's private sliding-window estimator. A session
+// whose lanes all observe the same broadcast feed implements it with one
+// shared collector (internal/drift.Collector satisfies the contract), so
+// every private runtime's controller folds onto the same measurement
+// machinery as the shared evaluation DAGs. Implementations must be safe for
+// concurrent use: Snapshot runs on the controller's worker goroutine while
+// the feed keeps observing.
+type Source interface {
+	// Ready reports whether the estimates are trustworthy yet (warmup).
+	Ready() bool
+	// Snapshot freezes current estimates into a Stats for plan generation.
+	Snapshot(conds []pattern.Condition, aliasTypes map[string]string) *stats.Stats
+}
+
 // Config tunes the adaptivity loop.
 type Config struct {
 	// Planner generates plans; its algorithm and strategy are reused for
 	// every re-optimisation.
 	Planner *core.Planner
+	// InitialPlan, when non-nil, is installed as the first plan instead of
+	// running the planner on the initial statistics — for callers (like a
+	// session wrapping an already-planned query) that have the plan in
+	// hand. Re-optimisations still go through Planner.
+	InitialPlan *core.Plan
+	// Source, when non-nil, supplies the fresh statistics at each check and
+	// the controller performs no estimation of its own (EstimationWindow is
+	// ignored; events are not observed). When nil the controller runs a
+	// private sliding-window estimator over the events it processes.
+	Source Source
 	// EstimationWindow is the sliding window of the online statistics
 	// estimator; defaults to 4× the pattern window.
 	EstimationWindow event.Time
 	// CheckEvery is the number of events between re-optimisation checks;
 	// default 512.
 	CheckEvery int
-	// Threshold is the minimum relative cost improvement
-	// (currentCost/newCost − 1) that triggers a plan swap; default 0.25.
+	// Threshold is the minimum drift score (cost.DriftScore of the current
+	// plan re-priced under fresh statistics versus a fresh replan) that
+	// triggers a plan swap; default 0.25.
 	Threshold float64
 	// WarmupEvents suppresses re-optimisation until the estimator has seen
 	// enough data; default CheckEvery.
@@ -79,7 +106,7 @@ type Stats struct {
 type Controller struct {
 	cfg     Config
 	pat     *pattern.Pattern
-	online  *stats.Online
+	online  *stats.Online // nil when an external Source supplies statistics
 	alias   map[string]string
 	conds   []pattern.Condition
 	plan    *core.Plan
@@ -96,11 +123,19 @@ func New(p *pattern.Pattern, initial *stats.Stats, cfg Config) (*Controller, err
 		initial = stats.New()
 	}
 	c := &Controller{
-		cfg:    cfg,
-		pat:    p,
-		online: stats.NewOnline(cfg.EstimationWindow),
-		alias:  stats.AliasTypes(p),
-		conds:  p.Conds,
+		cfg:   cfg,
+		pat:   p,
+		alias: stats.AliasTypes(p),
+		conds: p.Conds,
+	}
+	if cfg.Source == nil {
+		c.online = stats.NewOnline(cfg.EstimationWindow)
+	}
+	if cfg.InitialPlan != nil {
+		if err := c.installPlan(cfg.InitialPlan); err != nil {
+			return nil, err
+		}
+		return c, nil
 	}
 	if err := c.install(initial); err != nil {
 		return nil, err
@@ -114,6 +149,12 @@ func (c *Controller) install(st *stats.Stats) error {
 	if err != nil {
 		return err
 	}
+	return c.installPlan(pl)
+}
+
+// installPlan builds and swaps in the engines for an already-generated
+// plan.
+func (c *Controller) installPlan(pl *core.Plan) error {
 	engines := make([]metrics.Engine, 0, len(pl.Simple))
 	for _, sp := range pl.Simple {
 		if sp.IsTree() {
@@ -146,7 +187,9 @@ func (c *Controller) install(st *stats.Stats) error {
 // drifted from optimal by more than the threshold.
 func (c *Controller) Process(ev *event.Event) ([]*match.Match, error) {
 	c.st.Processed++
-	c.online.Observe(ev)
+	if c.online != nil {
+		c.online.Observe(ev)
+	}
 	c.out = c.out[:0]
 	for _, e := range c.engines {
 		c.out = append(c.out, e.Process(ev)...)
@@ -166,7 +209,15 @@ func (c *Controller) Process(ev *event.Event) ([]*match.Match, error) {
 // threshold.
 func (c *Controller) maybeReplan() error {
 	c.st.Checks++
-	fresh := c.online.Snapshot(c.conds, c.alias)
+	var fresh *stats.Stats
+	if c.cfg.Source != nil {
+		if !c.cfg.Source.Ready() {
+			return nil
+		}
+		fresh = c.cfg.Source.Snapshot(c.conds, c.alias)
+	} else {
+		fresh = c.online.Snapshot(c.conds, c.alias)
+	}
 	newPlan, err := c.cfg.Planner.Plan(c.pat, fresh)
 	if err != nil {
 		return err
@@ -175,10 +226,7 @@ func (c *Controller) maybeReplan() error {
 	if err != nil {
 		return err
 	}
-	if newPlan.TotalCost <= 0 || currentCost <= 0 {
-		return nil
-	}
-	if currentCost/newPlan.TotalCost-1 < c.cfg.Threshold {
+	if cost.DriftScore(currentCost, newPlan.TotalCost) < c.cfg.Threshold {
 		return nil
 	}
 	c.st.Replans++
@@ -214,6 +262,10 @@ func (c *Controller) Flush() []*match.Match {
 
 // Stats returns the controller counters.
 func (c *Controller) Stats() Stats { return c.st }
+
+// Config returns the defaults-applied configuration the controller runs
+// under, so callers (and tests) can verify what the zero value selected.
+func (c *Controller) Config() Config { return c.cfg }
 
 // CurrentPlan renders the active plan's orders/trees for inspection.
 func (c *Controller) CurrentPlan() *core.Plan { return c.plan }

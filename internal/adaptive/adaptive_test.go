@@ -164,6 +164,75 @@ func TestControllerDetectsMatches(t *testing.T) {
 	}
 }
 
+// fixedSource is a Source stub: a readiness flag and a canned snapshot.
+type fixedSource struct {
+	ready bool
+	stats *stats.Stats
+}
+
+func (f *fixedSource) Ready() bool { return f.ready }
+func (f *fixedSource) Snapshot([]pattern.Condition, map[string]string) *stats.Stats {
+	return f.stats
+}
+
+func TestControllerExternalSource(t *testing.T) {
+	p := seqPattern()
+	// Selective predicates keep plan costs order-sensitive (see seqPattern);
+	// the selectivities are stationary, only the rates invert.
+	sel := func(s *stats.Stats) {
+		for _, c := range p.Conds {
+			s.SetSelectivity(c, 0.2)
+		}
+	}
+	initial := stats.New()
+	initial.SetRate("A", 0.5)
+	initial.SetRate("B", 50)
+	initial.SetRate("C", 50)
+	sel(initial)
+	// The external measurements say the rates inverted: B is now rare.
+	shifted := stats.New()
+	shifted.SetRate("A", 50)
+	shifted.SetRate("B", 0.5)
+	shifted.SetRate("C", 50)
+	sel(shifted)
+	src := &fixedSource{ready: false, stats: shifted}
+	ctrl, err := New(p, initial, Config{
+		Planner:    core.NewPlanner(core.AlgDPLD),
+		CheckEvery: 100,
+		Threshold:  0.10,
+		Source:     src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.online != nil {
+		t.Fatal("controller built a private estimator despite an external source")
+	}
+	feed := func(n int) {
+		ts := event.Time(0)
+		for i := 0; i < n; i++ {
+			ts += 10
+			if _, err := ctrl.Process(event.New(schemaC, ts, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Source not ready: checks happen, replans are suppressed.
+	feed(300)
+	if st := ctrl.Stats(); st.Checks == 0 || st.Replans != 0 {
+		t.Fatalf("warmup suppression failed: %+v", st)
+	}
+	src.ready = true
+	feed(300)
+	if st := ctrl.Stats(); st.Replans == 0 {
+		t.Fatalf("ready source with inverted rates did not trigger a replan: %+v", st)
+	}
+	order := ctrl.CurrentPlan().Simple[0].OrderTerms()
+	if order[0] != 1 {
+		t.Fatalf("post-replan plan starts with term %d, want 1 (B): %v", order[0], order)
+	}
+}
+
 func TestControllerDefaults(t *testing.T) {
 	p := seqPattern()
 	ctrl, err := New(p, nil, Config{})

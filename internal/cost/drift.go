@@ -1,0 +1,21 @@
+package cost
+
+// DriftScore is the cost-ratio drift statistic of the Section 6.3
+// adaptivity loop: the relative modeled improvement a freshly generated
+// plan offers over the currently running one, both priced under the same
+// (current) statistics,
+//
+//	staleCost/freshCost − 1.
+//
+// A score of 0.25 means the running plan is modeled 25% more expensive
+// than a replan. Non-positive costs carry no evidence and score 0, so a
+// threshold test on the score never fires on degenerate inputs. Both the
+// single-runtime re-optimization controller (internal/adaptive) and the
+// session-level shared-DAG drift detector (internal/drift) threshold this
+// quantity.
+func DriftScore(staleCost, freshCost float64) float64 {
+	if staleCost <= 0 || freshCost <= 0 {
+		return 0
+	}
+	return staleCost/freshCost - 1
+}

@@ -1,0 +1,22 @@
+package cost
+
+import "testing"
+
+func TestDriftScore(t *testing.T) {
+	cases := []struct {
+		stale, fresh, want float64
+	}{
+		{3, 2, 0.5},  // running plan 50% more expensive than a replan
+		{2, 2, 0},    // no drift
+		{1, 2, -0.5}, // running plan still better (negative drift)
+		{0, 2, 0},    // degenerate stale cost: no evidence
+		{2, 0, 0},    // degenerate fresh cost: no evidence
+		{-1, -1, 0},  // negative costs: no evidence
+		{100, 25, 3}, // 4x drift
+	}
+	for _, c := range cases {
+		if got := DriftScore(c.stale, c.fresh); got != c.want {
+			t.Fatalf("DriftScore(%v, %v) = %v, want %v", c.stale, c.fresh, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package drift is the statistics-drift half of the adaptivity loop the
+// paper calls for in Section 6.3: a CEP engine "must continuously estimate
+// the current statistic values and, when a significant deviation is
+// detected, adapt itself by recalculating the affected evaluation plans".
+//
+// The package provides the two pieces a serving runtime composes:
+//
+//   - Collector, a concurrency-safe online estimator of per-type arrival
+//     rates (epoch-bucketed atomic counters over a sliding window) and
+//     per-predicate selectivities (sampled per-type reservoirs, evaluated
+//     lazily at snapshot time). One collector shadows a whole Session: every
+//     submitted event is observed once, however many shared or private lanes
+//     consume it.
+//
+//   - Detector, the decision logic: given the modeled cost of the currently
+//     running plan re-priced under fresh measurements (stale) and the cost
+//     of a freshly generated plan (fresh), it applies a cost-ratio test with
+//     warmup, hysteresis (consecutive over-threshold checks), a per-component
+//     minimum re-optimization interval and a global re-optimization budget —
+//     the machinery that keeps a noisy but stationary stream from flapping
+//     between plans.
+//
+// The session-facing controller that drains, re-plans and splices the
+// affected shared DAG lives in the root package (session_adaptive.go); the
+// private-runtime counterpart is internal/adaptive, whose Controller can
+// draw its statistics from the same Collector.
+package drift
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+const (
+	// rateBuckets is the number of epoch buckets the sliding rate window is
+	// divided into; finer buckets react faster to a regime shift at the cost
+	// of noisier estimates.
+	rateBuckets = 8
+	// reservoirSize is the number of recent events retained per type for
+	// selectivity sampling.
+	reservoirSize = 64
+	// reservoirStride samples every strideth event of a type into the
+	// reservoir, bounding the mutex work on hot types.
+	reservoirStride = 4
+	// maxSelPairs bounds the reservoir pairs examined per pairwise
+	// selectivity estimate, keeping drift checks cheap on the hot path
+	// (deterministic strided sampling, like the offline collector). 256
+	// samples resolve a selectivity to ±0.03 — far finer than any drift
+	// threshold worth acting on.
+	maxSelPairs = 256
+)
+
+// Collector estimates rates and selectivities over a sliding window of the
+// live stream. Observe is safe for concurrent use and cheap on the hot path
+// (per-type atomic counters, a sampled reservoir write every
+// reservoirStride events); Snapshot and Rate may run concurrently with
+// Observe and see slightly stale but never corrupt data.
+type Collector struct {
+	window   event.Time
+	epochLen event.Time
+	warmup   int64
+
+	mu    sync.RWMutex // guards the types map (growth only)
+	types map[string]*typeState
+
+	events   atomic.Int64
+	firstTS  atomic.Int64
+	hasFirst atomic.Bool
+	lastTS   atomic.Int64
+}
+
+// typeState is one event type's windowed counters and reservoir.
+type typeState struct {
+	total atomic.Int64
+	// counts[i] holds the arrivals of the epoch stamped in epochs[i]; a slot
+	// is recycled (reset under mu) when its epoch falls out of the ring.
+	counts [rateBuckets]atomic.Int64
+	epochs [rateBuckets]atomic.Int64
+	mu     sync.Mutex // serializes slot recycling and reservoir writes
+	res    []*event.Event
+	resPos int
+}
+
+// NewCollector builds a collector over the given sliding window.
+// warmupEvents is the observation count below which Ready reports false.
+func NewCollector(window event.Time, warmupEvents int64) *Collector {
+	if window <= 0 {
+		panic("drift: collector window must be positive")
+	}
+	epochLen := window / rateBuckets
+	if epochLen <= 0 {
+		epochLen = 1
+	}
+	return &Collector{
+		window:   window,
+		epochLen: epochLen,
+		warmup:   warmupEvents,
+		types:    make(map[string]*typeState),
+	}
+}
+
+// Window returns the sliding estimation window.
+func (c *Collector) Window() event.Time { return c.window }
+
+// Events returns the total number of observed events.
+func (c *Collector) Events() int64 { return c.events.Load() }
+
+// TypeTotal returns the lifetime observation count of one type.
+func (c *Collector) TypeTotal(typ string) int64 {
+	c.mu.RLock()
+	ts := c.types[typ]
+	c.mu.RUnlock()
+	if ts == nil {
+		return 0
+	}
+	return ts.total.Load()
+}
+
+// Ready reports whether the collector has seen enough of the stream for its
+// estimates to be trusted: at least warmupEvents observations spanning at
+// least one full window.
+func (c *Collector) Ready() bool {
+	if c.events.Load() < c.warmup {
+		return false
+	}
+	return c.lastTS.Load()-c.firstTS.Load() >= c.window
+}
+
+// state returns (creating if needed) the per-type state.
+func (c *Collector) state(typ string) *typeState {
+	c.mu.RLock()
+	ts := c.types[typ]
+	c.mu.RUnlock()
+	if ts != nil {
+		return ts
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts = c.types[typ]; ts == nil {
+		ts = &typeState{}
+		c.types[typ] = ts
+	}
+	return ts
+}
+
+// Observe feeds one event. Events should be close to timestamp order (the
+// session submit path is); mild disorder only blurs the windowed estimates,
+// never the lifetime totals.
+func (c *Collector) Observe(e *event.Event) {
+	c.events.Add(1)
+	if c.hasFirst.CompareAndSwap(false, true) {
+		c.firstTS.Store(e.TS)
+	}
+	for {
+		last := c.lastTS.Load()
+		if e.TS <= last || c.lastTS.CompareAndSwap(last, e.TS) {
+			break
+		}
+	}
+	ts := c.state(e.Type)
+	n := ts.total.Add(1)
+
+	ep := e.TS / c.epochLen
+	slot := int(ep % rateBuckets)
+	if ts.epochs[slot].Load() != ep {
+		ts.mu.Lock()
+		if ts.epochs[slot].Load() != ep {
+			ts.counts[slot].Store(0)
+			ts.epochs[slot].Store(ep)
+		}
+		ts.mu.Unlock()
+	}
+	ts.counts[slot].Add(1)
+
+	if n%reservoirStride == 0 {
+		ts.mu.Lock()
+		if len(ts.res) < reservoirSize {
+			ts.res = append(ts.res, e)
+		} else {
+			ts.res[ts.resPos%reservoirSize] = e
+			ts.resPos++
+		}
+		ts.mu.Unlock()
+	}
+}
+
+// Rate returns the current arrival-rate estimate for the type in
+// events/second, 0 for never-seen types. A type that was active earlier but
+// has gone quiet inside the window reports a small positive floor (half an
+// event per window) rather than zero, so replanning still knows the type
+// exists — and knows it is now rare.
+func (c *Collector) Rate(typ string) float64 {
+	c.mu.RLock()
+	ts := c.types[typ]
+	c.mu.RUnlock()
+	if ts == nil {
+		return 0
+	}
+	windowSec := float64(c.window) / float64(event.Second)
+	nowEp := c.lastTS.Load() / c.epochLen
+	total := int64(0)
+	for i := 0; i < rateBuckets; i++ {
+		ep := ts.epochs[i].Load()
+		if ep > nowEp-rateBuckets && ep <= nowEp {
+			total += ts.counts[i].Load()
+		}
+	}
+	if total == 0 {
+		if ts.total.Load() > 0 {
+			return 0.5 / windowSec
+		}
+		return 0
+	}
+	return float64(total) / windowSec
+}
+
+// reservoir returns a snapshot copy of the type's sampled events.
+func (c *Collector) reservoir(typ string) []*event.Event {
+	c.mu.RLock()
+	ts := c.types[typ]
+	c.mu.RUnlock()
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	out := append([]*event.Event(nil), ts.res...)
+	ts.mu.Unlock()
+	return out
+}
+
+// Selectivity estimates the condition's selectivity from the per-type
+// reservoirs, exactly like the single-runtime online estimator but with
+// the pair budget capped for the drift-check hot path. The boolean result
+// reports whether enough data was available.
+func (c *Collector) Selectivity(cond pattern.Condition, aliasTypes map[string]string) (float64, bool) {
+	return stats.SampleSelectivity(cond, func(alias string) []*event.Event {
+		return c.reservoir(aliasTypes[alias])
+	}, maxSelPairs)
+}
+
+// Snapshot freezes the current estimates into a Stats usable by plan
+// generation: rates for every observed type, selectivities for the given
+// conditions (aliases resolved through aliasTypes). It satisfies the
+// adaptive-controller Source contract, so a private runtime's
+// re-optimization loop can draw from the same collector as the shared DAGs.
+func (c *Collector) Snapshot(conds []pattern.Condition, aliasTypes map[string]string) *stats.Stats {
+	s := stats.New()
+	c.mu.RLock()
+	names := make([]string, 0, len(c.types))
+	for typ := range c.types {
+		names = append(names, typ)
+	}
+	c.mu.RUnlock()
+	for _, typ := range names {
+		if r := c.Rate(typ); r > 0 {
+			s.SetRate(typ, r)
+		}
+	}
+	for _, cond := range conds {
+		if sel, ok := c.Selectivity(cond, aliasTypes); ok {
+			s.SetSelectivity(cond, sel)
+		}
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+func TestCollectorRatesAndReadiness(t *testing.T) {
+	c := NewCollector(4*event.Second, 10)
+	sc := event.NewSchema("A", "x")
+	if c.Ready() {
+		t.Fatal("empty collector reports ready")
+	}
+	// 10 events/second for 8 seconds.
+	for ts := event.Time(0); ts < 8*event.Second; ts += 100 {
+		c.Observe(event.New(sc, ts, 1))
+	}
+	if !c.Ready() {
+		t.Fatal("collector not ready after 8s of data")
+	}
+	if got := c.Rate("A"); math.Abs(got-10) > 2 {
+		t.Fatalf("Rate(A) = %.2f, want ~10", got)
+	}
+	if got := c.Rate("B"); got != 0 {
+		t.Fatalf("Rate(B) = %.2f for unseen type", got)
+	}
+	if got := c.Events(); got != 80 {
+		t.Fatalf("Events = %d, want 80", got)
+	}
+}
+
+func TestCollectorQuietTypeFloor(t *testing.T) {
+	c := NewCollector(2*event.Second, 0)
+	sa := event.NewSchema("A", "x")
+	sb := event.NewSchema("B", "x")
+	// B is active early, then goes silent while A keeps arriving far past
+	// the window.
+	for ts := event.Time(0); ts < 1*event.Second; ts += 50 {
+		c.Observe(event.New(sb, ts, 1))
+	}
+	for ts := event.Time(0); ts < 20*event.Second; ts += 100 {
+		c.Observe(event.New(sa, ts, 1))
+	}
+	got := c.Rate("B")
+	if got <= 0 {
+		t.Fatalf("Rate(B) = %.3f: a previously active type must keep a positive floor", got)
+	}
+	if got > 1 {
+		t.Fatalf("Rate(B) = %.3f: silent type should be near zero, not %v", got, got)
+	}
+}
+
+func TestCollectorSnapshotSelectivity(t *testing.T) {
+	c := NewCollector(10*event.Second, 0)
+	sa := event.NewSchema("A", "x")
+	sb := event.NewSchema("B", "x")
+	// A.x alternates 0/1 on a period coprime with the reservoir sampling
+	// stride; B.x always 5. a.x < b.x always holds; the unary a.x > 0 holds
+	// half the time.
+	for i := 0; i < 400; i++ {
+		c.Observe(event.New(sa, event.Time(i*10), float64(i/4%2)))
+		c.Observe(event.New(sb, event.Time(i*10), 5))
+	}
+	alias := map[string]string{"a": "A", "b": "B"}
+	unary := pattern.Cmp(pattern.Ref("a", "x"), pattern.Gt, pattern.Const(0))
+	pair := pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+	st := c.Snapshot([]pattern.Condition{unary, pair}, alias)
+	if got := st.Selectivity(unary); math.Abs(got-0.5) > 0.15 {
+		t.Fatalf("unary selectivity = %.2f, want ~0.5", got)
+	}
+	if got := st.Selectivity(pair); got != 1 {
+		t.Fatalf("pair selectivity = %.2f, want 1", got)
+	}
+	if st.Rate("A") <= 0 || st.Rate("B") <= 0 {
+		t.Fatalf("snapshot rates missing: A=%.2f B=%.2f", st.Rate("A"), st.Rate("B"))
+	}
+}
+
+// TestCollectorConcurrentLanes drives the collector from many goroutines at
+// once — the shape of a session whose shared and private lanes (and the
+// submit path) all touch the collector — and checks the totals against
+// per-goroutine ground truth, with concurrent snapshot readers racing the
+// writers. Run with -race.
+func TestCollectorConcurrentLanes(t *testing.T) {
+	const lanes = 8
+	const perLane = 5000
+	c := NewCollector(4*event.Second, 0)
+	schemas := make([]*event.Schema, lanes)
+	for i := range schemas {
+		schemas[i] = event.NewSchema(fmt.Sprintf("T%d", i), "x")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := schemas[i]
+			for k := 0; k < perLane; k++ {
+				c.Observe(event.New(sc, event.Time(k), float64(k)))
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Snapshot(nil, nil)
+				c.Rate("T0")
+				c.Ready()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	for i := 0; i < lanes; i++ {
+		typ := fmt.Sprintf("T%d", i)
+		if got := c.TypeTotal(typ); got != perLane {
+			t.Fatalf("TypeTotal(%s) = %d, want %d", typ, got, perLane)
+		}
+	}
+	if got := c.Events(); got != lanes*perLane {
+		t.Fatalf("Events = %d, want %d", got, lanes*perLane)
+	}
+}

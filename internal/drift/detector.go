@@ -1,0 +1,159 @@
+package drift
+
+import "repro/internal/cost"
+
+// Config tunes the drift detector. The zero value selects the defaults.
+type Config struct {
+	// Threshold is the minimum drift score (staleCost/freshCost − 1) a check
+	// must report before it counts toward a trigger; default 0.25.
+	Threshold float64
+	// Hysteresis is the number of consecutive over-threshold checks required
+	// to trigger a re-optimization; default 2. One noisy check never flips a
+	// plan.
+	Hysteresis int
+	// MinInterval is the minimum stream distance (in the caller's position
+	// units, typically events) between re-optimizations of one component
+	// lineage; default 0 (hysteresis is the only spacing).
+	MinInterval int64
+	// Warmup suppresses triggers below this stream position; default 0.
+	Warmup int64
+	// Budget caps the total number of re-optimizations the detector will
+	// ever trigger; 0 means unlimited.
+	Budget int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.25
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2
+	}
+	return c
+}
+
+// Decision is the outcome of one drift check.
+type Decision struct {
+	// Score is staleCost/freshCost − 1: how much cheaper (relatively) a
+	// fresh plan is modeled to be than the running one under current
+	// measurements. 0 when either cost is non-positive.
+	Score float64
+	// Consecutive counts the over-threshold checks in a row, this one
+	// included.
+	Consecutive int
+	// Trigger reports that a re-optimization should be performed now.
+	Trigger bool
+}
+
+// State is a reporting snapshot of one component's drift bookkeeping.
+type State struct {
+	Score        float64
+	StaleCost    float64
+	FreshCost    float64
+	Consecutive  int
+	Reopts       int
+	LastReoptPos int64
+}
+
+// Detector applies the cost-ratio drift test per component. It is a pure
+// bookkeeping machine — the caller measures statistics, prices plans and
+// performs the actual re-optimization — and is not safe for concurrent use
+// (the session drives it under its own lock).
+type Detector struct {
+	cfg   Config
+	total int64
+	comps map[int]*compState
+}
+
+type compState struct {
+	State
+	fired bool // LastReoptPos is meaningful
+}
+
+// NewDetector builds a detector.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), comps: make(map[int]*compState)}
+}
+
+// Reopts returns the total number of re-optimizations triggered so far.
+func (d *Detector) Reopts() int64 { return d.total }
+
+// Score computes the drift score of a stale/fresh cost pair — an alias of
+// cost.DriftScore, re-exported so detector callers need not import the cost
+// model.
+func Score(stale, fresh float64) float64 { return cost.DriftScore(stale, fresh) }
+
+// Check records one measurement for a component: the modeled cost of its
+// running plans re-priced under fresh statistics (stale) and the modeled
+// cost of freshly generated plans (fresh), at stream position pos. It
+// returns the decision; when Trigger is true the caller is expected to
+// re-optimize and then call Spliced with the successor component ids.
+func (d *Detector) Check(comp int, stale, fresh float64, pos int64) Decision {
+	st := d.comps[comp]
+	if st == nil {
+		st = &compState{}
+		d.comps[comp] = st
+	}
+	st.StaleCost, st.FreshCost = stale, fresh
+	st.Score = Score(stale, fresh)
+	if st.Score > d.cfg.Threshold && pos >= d.cfg.Warmup {
+		st.Consecutive++
+	} else {
+		st.Consecutive = 0
+	}
+	dec := Decision{Score: st.Score, Consecutive: st.Consecutive}
+	if st.Consecutive < d.cfg.Hysteresis {
+		return dec
+	}
+	if st.fired && pos-st.LastReoptPos < d.cfg.MinInterval {
+		return dec
+	}
+	if d.cfg.Budget > 0 && d.total >= d.cfg.Budget {
+		return dec
+	}
+	dec.Trigger = true
+	return dec
+}
+
+// Spliced records that the components in old were re-optimized at stream
+// position pos into the successor components in newIDs. The successors
+// inherit the lineage's re-optimization count (plus one) and the splice
+// position, so MinInterval keeps suppressing immediate re-triggers across
+// the id change; the predecessors' states are dropped.
+func (d *Detector) Spliced(old []int, newIDs []int, pos int64) {
+	reopts := 0
+	for _, id := range old {
+		if st := d.comps[id]; st != nil {
+			if st.Reopts > reopts {
+				reopts = st.Reopts
+			}
+			delete(d.comps, id)
+		}
+	}
+	d.total++
+	for _, id := range newIDs {
+		d.comps[id] = &compState{
+			State: State{Reopts: reopts + 1, LastReoptPos: pos},
+			fired: true,
+		}
+	}
+}
+
+// Peek returns the reporting snapshot of one component.
+func (d *Detector) Peek(comp int) (State, bool) {
+	st := d.comps[comp]
+	if st == nil {
+		return State{}, false
+	}
+	return st.State, true
+}
+
+// Retain drops the bookkeeping of every component not in live — the ids
+// retired by non-drift splices (query churn) whose successors start fresh.
+func (d *Detector) Retain(live map[int]bool) {
+	for id := range d.comps {
+		if !live[id] {
+			delete(d.comps, id)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package drift
+
+import "testing"
+
+func TestDetectorHysteresisNoFlapOnNoise(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.25, Hysteresis: 2})
+	// A noisy but stationary stream: the score pops over the threshold on
+	// isolated checks but never twice in a row — no trigger, ever.
+	scores := []float64{0.1, 0.4, 0.1, 0.5, 0.0, 0.3, 0.2, 0.6, 0.1}
+	for i, s := range scores {
+		dec := d.Check(1, 1+s, 1, int64(i*100))
+		if dec.Trigger {
+			t.Fatalf("check %d (score %.2f) triggered despite hysteresis", i, s)
+		}
+	}
+	if d.Reopts() != 0 {
+		t.Fatalf("reopts = %d on a non-triggering sequence", d.Reopts())
+	}
+}
+
+func TestDetectorTriggersOnSustainedDrift(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.25, Hysteresis: 2})
+	if dec := d.Check(1, 2, 1, 0); dec.Trigger {
+		t.Fatal("first over-threshold check must not trigger (hysteresis 2)")
+	}
+	dec := d.Check(1, 2, 1, 100)
+	if !dec.Trigger {
+		t.Fatal("second consecutive over-threshold check must trigger")
+	}
+	if dec.Score != 1 || dec.Consecutive != 2 {
+		t.Fatalf("decision = %+v, want score 1 consecutive 2", dec)
+	}
+}
+
+func TestDetectorWarmupSuppression(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.25, Hysteresis: 1, Warmup: 1000})
+	for pos := int64(0); pos < 1000; pos += 100 {
+		if dec := d.Check(1, 10, 1, pos); dec.Trigger {
+			t.Fatalf("trigger at pos %d during warmup", pos)
+		}
+	}
+	if dec := d.Check(1, 10, 1, 1000); !dec.Trigger {
+		t.Fatal("no trigger after warmup despite sustained drift")
+	}
+}
+
+func TestDetectorMinIntervalAcrossSplice(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.25, Hysteresis: 1, MinInterval: 500})
+	if dec := d.Check(1, 2, 1, 100); !dec.Trigger {
+		t.Fatal("expected initial trigger")
+	}
+	// The re-optimization replaced component 1 with components 7 and 8.
+	d.Spliced([]int{1}, []int{7, 8}, 100)
+	if d.Reopts() != 1 {
+		t.Fatalf("reopts = %d, want 1", d.Reopts())
+	}
+	// Successors inherit the splice position: still inside MinInterval.
+	if dec := d.Check(7, 2, 1, 300); dec.Trigger {
+		t.Fatal("successor re-triggered inside MinInterval")
+	}
+	if dec := d.Check(7, 2, 1, 700); !dec.Trigger {
+		t.Fatal("successor did not trigger after MinInterval elapsed")
+	}
+	st, ok := d.Peek(8)
+	if !ok || st.Reopts != 1 {
+		t.Fatalf("successor state = %+v ok=%v, want inherited reopts 1", st, ok)
+	}
+}
+
+func TestDetectorBudget(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.25, Hysteresis: 1, Budget: 1})
+	if dec := d.Check(1, 2, 1, 0); !dec.Trigger {
+		t.Fatal("expected first trigger")
+	}
+	d.Spliced([]int{1}, []int{2}, 0)
+	for pos := int64(100); pos < 1000; pos += 100 {
+		if dec := d.Check(2, 5, 1, pos); dec.Trigger {
+			t.Fatalf("trigger at pos %d beyond budget", pos)
+		}
+	}
+}
+
+func TestDetectorScoreGuards(t *testing.T) {
+	if s := Score(0, 1); s != 0 {
+		t.Fatalf("Score(0,1) = %v", s)
+	}
+	if s := Score(1, 0); s != 0 {
+		t.Fatalf("Score(1,0) = %v", s)
+	}
+	if s := Score(3, 2); s != 0.5 {
+		t.Fatalf("Score(3,2) = %v", s)
+	}
+}
+
+func TestDetectorRetain(t *testing.T) {
+	d := NewDetector(Config{Hysteresis: 1})
+	d.Check(1, 2, 1, 0)
+	d.Check(2, 2, 1, 0)
+	d.Retain(map[int]bool{2: true})
+	if _, ok := d.Peek(1); ok {
+		t.Fatal("retired component state survived Retain")
+	}
+	if _, ok := d.Peek(2); !ok {
+		t.Fatal("live component state dropped by Retain")
+	}
+}

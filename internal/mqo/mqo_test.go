@@ -178,6 +178,17 @@ func TestOptimizeSharesIdenticalQueries(t *testing.T) {
 		t.Fatalf("shared objective %.2f not below unshared %.2f",
 			res.Report.SharedCost, res.Report.UnsharedCost)
 	}
+	// Trees snapshots the evaluated structure per member: one tree per
+	// member, spanning the query's two planning positions.
+	for _, name := range g.Members {
+		tr := g.Trees[name]
+		if tr == nil {
+			t.Fatalf("no final tree for member %s", name)
+		}
+		if got := len(tr.Leaves()); got != 2 {
+			t.Fatalf("tree for %s spans %d leaves, want 2", name, got)
+		}
+	}
 }
 
 // TestOptimizeLeavesDisjointQueriesPrivate checks the selector's win test:
@@ -329,6 +340,38 @@ func TestContractReproducesSubjoinPM(t *testing.T) {
 	gotResidual := cost.Tree(cp, contracted) - gotPM // subtract the virtual leaf itself
 	if diff := gotResidual - wantResidual; diff > 1e-6 || diff < -1e-6 {
 		t.Fatalf("residual cost %.6f, want %.6f", gotResidual, wantResidual)
+	}
+}
+
+// TestSharedTreeCost checks the share-aware tree pricing a session's drift
+// check runs on: a single tree prices exactly like cost.Tree, two
+// identical trees dedupe onto one set of nodes (strictly cheaper than
+// twice the private cost), and disjoint trees do not share.
+func TestSharedTreeCost(t *testing.T) {
+	st := stats.New()
+	st.SetRate("A", 5)
+	st.SetRate("B", 3)
+	mk := func(p *pattern.Pattern) TreePrice {
+		sp := planSimple(t, p, st, core.AlgZStream)
+		return TreePrice{Sigs: NewSigs(sp.Compiled, sp.Stats.TermIndex), PS: sp.Stats, Tree: sp.Tree}
+	}
+	one := mk(seqAB(20, "a", "b"))
+	private := cost.Tree(one.PS, one.Tree)
+	if got := SharedTreeCost([]TreePrice{one}, 0); got != private {
+		t.Fatalf("single tree: SharedTreeCost %.4f != cost.Tree %.4f", got, private)
+	}
+	// Two alias-renamed copies of the same query: every node shared, so the
+	// cost is private·(1+φ) — strictly below 2·private.
+	two := SharedTreeCost([]TreePrice{one, mk(seqAB(20, "u", "v"))}, 0.25)
+	if want := private * 1.25; two < want-1e-9 || two > want+1e-9 {
+		t.Fatalf("identical trees: SharedTreeCost %.4f, want %.4f", two, want)
+	}
+	// Disjoint queries share nothing: the costs just add.
+	p2 := pattern.Seq(20, pattern.E("C", "c"), pattern.E("D", "d"))
+	other := mk(p2)
+	sum := SharedTreeCost([]TreePrice{one, other}, 0.25)
+	if want := private + cost.Tree(other.PS, other.Tree); sum < want-1e-9 || sum > want+1e-9 {
+		t.Fatalf("disjoint trees: SharedTreeCost %.4f, want %.4f", sum, want)
 	}
 }
 

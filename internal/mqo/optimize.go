@@ -71,6 +71,13 @@ type Group struct {
 	Engine  *Engine
 	Members []string
 
+	// Trees holds each member's final evaluated tree (private-optimal or
+	// restructured toward a common sub-join), in planning-position space —
+	// the structure a drift check must re-price under fresh statistics,
+	// which the member's private plan no longer describes once the
+	// optimizer has bent it.
+	Trees map[string]*plan.TreeNode
+
 	Component    int
 	Restructured int
 	Nodes        int
@@ -289,9 +296,10 @@ func Optimize(queries []Query, opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			g := Group{Engine: eng, Component: compID}
+			g := Group{Engine: eng, Component: compID, Trees: make(map[string]*plan.TreeNode, len(group))}
 			for _, q := range group {
 				g.Members = append(g.Members, q.name)
+				g.Trees[q.name] = q.tree.Clone()
 				g.UnsharedCost += q.baseCost
 				if restructured[q.name] {
 					g.Restructured++
@@ -324,6 +332,7 @@ func Single(q Query) (Group, error) {
 	return Group{
 		Engine:       eng,
 		Members:      []string{st.name},
+		Trees:        map[string]*plan.TreeNode{st.name: st.tree.Clone()},
 		Component:    -1,
 		Nodes:        eng.st.Nodes,
 		SharedNodes:  eng.st.SharedNodes,
@@ -668,6 +677,71 @@ func overlapsLocked(q *qstate, subset []int) bool {
 		}
 	}
 	return false
+}
+
+// Sigs is a reusable canonical-signature cache for one compiled pattern —
+// the handle callers hold across repeated SharedTreeCost pricings, because
+// building the cache compiles alias-rewriting regexps and is far too
+// expensive to redo per drift check.
+type Sigs struct {
+	sc *sigCache
+}
+
+// NewSigs builds the signature cache for a compiled pattern over its
+// planning positions (stats.TermIndex).
+func NewSigs(c *predicate.Compiled, termIndex []int) *Sigs {
+	return &Sigs{sc: newSigCache(c, termIndex)}
+}
+
+// TreePrice is one query's contribution to SharedTreeCost: its canonical
+// signatures, the statistics to price under, and the tree actually
+// evaluated.
+type TreePrice struct {
+	Sigs *Sigs
+	PS   *stats.PatternStats
+	Tree *plan.TreeNode
+}
+
+// SharedTreeCost prices a set of running trees as the shared evaluation
+// DAG they induce: distinct sub-joins (by canonical key) are paid once
+// plus the fan-out term per extra consumer — the same objective the
+// optimizer minimizes, re-evaluated under the caller's (typically freshly
+// measured) statistics. A session's drift check prices both the running
+// structure and a candidate replan this way, so the restructure inflation
+// the optimizer accepted for a sharing win never reads as drift. fanout
+// outside (0,1) selects cost.DefaultFanoutFactor.
+func SharedTreeCost(items []TreePrice, fanout float64) float64 {
+	if fanout <= 0 || fanout >= 1 {
+		fanout = cost.DefaultFanoutFactor
+	}
+	type entry struct {
+		pm        float64
+		consumers int
+	}
+	nodes := map[string]*entry{}
+	for _, it := range items {
+		sc := it.Sigs.sc
+		var rec func(t *plan.TreeNode)
+		rec = func(t *plan.TreeNode) {
+			key, _ := subsetKey(sc, t.Leaves())
+			en := nodes[key]
+			if en == nil {
+				en = &entry{pm: cost.TreePM(it.PS, t)}
+				nodes[key] = en
+			}
+			en.consumers++
+			if !t.IsLeaf() {
+				rec(t.Left)
+				rec(t.Right)
+			}
+		}
+		rec(it.Tree)
+	}
+	list := make([]cost.SharedNode, 0, len(nodes))
+	for _, en := range nodes {
+		list = append(list, cost.SharedNode{PM: en.pm, Consumers: en.consumers})
+	}
+	return cost.Shared(list, fanout)
 }
 
 // sharedObjective evaluates cost.Shared over the final DAG nodes of one

@@ -370,6 +370,30 @@ func (p *Pool[T]) Drain() error {
 	return nil
 }
 
+// DrainLanes is Drain restricted to the given lane indices: it blocks until
+// every item enqueued on those lanes before the call has been consumed by
+// their workers, leaving the other lanes untouched. A live re-optimization
+// uses it to quiesce just the lanes it is about to splice instead of
+// stalling the whole pool. Retired and out-of-range indices are skipped.
+func (p *Pool[T]) DrainLanes(idxs []int) error {
+	p.mu.RLock()
+	if err := p.openLocked(); err != nil {
+		p.mu.RUnlock()
+		return err
+	}
+	var barrier sync.WaitGroup
+	for _, i := range idxs {
+		if i < 0 || i >= len(p.lanes) || p.lanes[i].retired {
+			continue
+		}
+		barrier.Add(1)
+		p.lanes[i].ch <- msg[T]{drain: &barrier}
+	}
+	p.mu.RUnlock()
+	barrier.Wait()
+	return nil
+}
+
 // Shutdown flips closed, closes the queues and joins the workers exactly
 // once; a second call returns ErrClosed immediately (without waiting for
 // the first to finish joining). Shutting down a never-started pool just

@@ -130,6 +130,53 @@ func TestDrainBarrier(t *testing.T) {
 	}
 }
 
+func TestDrainLanesSubset(t *testing.T) {
+	// Lane 1's worker is blocked; DrainLanes on lane 0 alone must complete
+	// anyway, and count only lane 0's items.
+	release := make(chan struct{})
+	var lane0 atomic.Int64
+	p := New(Hooks[int]{Work: func(lane, _ int) {
+		if lane == 1 {
+			<-release
+			return
+		}
+		lane0.Add(1)
+	}})
+	p.AddLane(64)
+	p.AddLane(64)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := p.Send(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Send(1, 0); err != nil { // parks lane 1's worker
+		t.Fatal(err)
+	}
+	if err := p.DrainLanes([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := lane0.Load(); got != 50 {
+		t.Fatalf("DrainLanes returned with %d lane-0 items processed, want 50", got)
+	}
+	// Out-of-range and retired indices are skipped, not an error.
+	if err := p.CloseLane(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DrainLanes([]int{-1, 0, 7}); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := p.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DrainLanes([]int{0}); err != ErrClosed {
+		t.Fatalf("DrainLanes on closed pool: %v, want ErrClosed", err)
+	}
+}
+
 func TestStallHookAndBackPressure(t *testing.T) {
 	release := make(chan struct{})
 	var stalls atomic.Int64

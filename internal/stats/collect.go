@@ -66,46 +66,7 @@ func AliasTypes(p *pattern.Pattern) map[string]string {
 }
 
 func measureCond(c pattern.Condition, byType map[string][]*event.Event, aliasTypes map[string]string) (float64, bool) {
-	als := c.Aliases()
-	switch len(als) {
-	case 1:
-		evs := byType[aliasTypes[als[0]]]
-		if len(evs) == 0 {
-			return 0, false
-		}
-		pass := 0
-		for _, e := range evs {
-			if c.EvalUnary(e) {
-				pass++
-			}
-		}
-		return float64(pass) / float64(len(evs)), true
-	case 2:
-		evsA := byType[aliasTypes[als[0]]]
-		evsB := byType[aliasTypes[als[1]]]
-		if len(evsA) == 0 || len(evsB) == 0 {
-			return 0, false
-		}
-		total := len(evsA) * len(evsB)
-		// Deterministic strided sampling keeps the measurement reproducible
-		// while bounding work on large streams.
-		stride := 1
-		if total > MaxSamplePairs {
-			stride = total/MaxSamplePairs + 1
-		}
-		pass, tried := 0, 0
-		for k := 0; k < total; k += stride {
-			a := evsA[k/len(evsB)]
-			b := evsB[k%len(evsB)]
-			tried++
-			if c.EvalPair(a, b) {
-				pass++
-			}
-		}
-		if tried == 0 {
-			return 0, false
-		}
-		return float64(pass) / float64(tried), true
-	}
-	return 0, false
+	return SampleSelectivity(c, func(alias string) []*event.Event {
+		return byType[aliasTypes[alias]]
+	}, MaxSamplePairs)
 }

@@ -76,38 +76,13 @@ func (o *Online) Rate(typ string) float64 {
 // Selectivity estimates the condition's selectivity from the per-type
 // reservoirs. The boolean result reports whether enough data was available.
 func (o *Online) Selectivity(c pattern.Condition, aliasTypes map[string]string) (float64, bool) {
-	als := c.Aliases()
-	switch len(als) {
-	case 1:
-		tw := o.types[aliasTypes[als[0]]]
-		if tw == nil || len(tw.reservoir) == 0 {
-			return 0, false
+	return SampleSelectivity(c, func(alias string) []*event.Event {
+		tw := o.types[aliasTypes[alias]]
+		if tw == nil {
+			return nil
 		}
-		pass := 0
-		for _, e := range tw.reservoir {
-			if c.EvalUnary(e) {
-				pass++
-			}
-		}
-		return float64(pass) / float64(len(tw.reservoir)), true
-	case 2:
-		ta := o.types[aliasTypes[als[0]]]
-		tb := o.types[aliasTypes[als[1]]]
-		if ta == nil || tb == nil || len(ta.reservoir) == 0 || len(tb.reservoir) == 0 {
-			return 0, false
-		}
-		pass, total := 0, 0
-		for _, a := range ta.reservoir {
-			for _, b := range tb.reservoir {
-				total++
-				if c.EvalPair(a, b) {
-					pass++
-				}
-			}
-		}
-		return float64(pass) / float64(total), true
-	}
-	return 0, false
+		return tw.reservoir
+	}, 0)
 }
 
 // Snapshot freezes the current estimates into a Stats usable by plan

@@ -36,6 +36,32 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMergeOverlay(t *testing.T) {
+	seed := New()
+	seed.SetRate("A", 1)
+	seed.SetRate("B", 2)
+	ca := pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+	cb := pattern.AttrCmp("a", "y", pattern.Gt, "b", "y")
+	seed.SetSelectivity(ca, 0.5)
+
+	fresh := New()
+	fresh.SetRate("A", 10) // re-measured: replaces
+	fresh.SetRate("C", 3)  // new type: added
+	fresh.SetSelectivity(cb, 0.25)
+
+	seed.Merge(fresh)
+	if seed.Rate("A") != 10 || seed.Rate("B") != 2 || seed.Rate("C") != 3 {
+		t.Fatalf("merged rates wrong: %v", seed.Rates)
+	}
+	if seed.Selectivity(ca) != 0.5 || seed.Selectivity(cb) != 0.25 {
+		t.Fatalf("merged selectivities wrong: %v", seed.Sel)
+	}
+	seed.Merge(nil) // nil overlay is a no-op
+	if seed.Rate("A") != 10 {
+		t.Fatal("nil merge mutated stats")
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("{nope")); err == nil {
 		t.Fatal("garbage accepted")

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// SampleSelectivity estimates a condition's selectivity from per-alias
+// event samples: the pass fraction over the sample for a unary condition,
+// over the (optionally strided) cross product for a pairwise one. samples
+// maps a condition alias to its event sample (a full per-type slice, a
+// sliding-window reservoir — whatever the caller measures over); maxPairs
+// bounds the pairs examined (0 means unbounded), using the same
+// deterministic strided sampling as the offline collector so estimates are
+// reproducible. The boolean result reports whether enough data was
+// available. Every reservoir-based estimator in the tree — the offline
+// collector, the single-runtime online estimator and the session drift
+// collector — funnels through this one implementation.
+func SampleSelectivity(c pattern.Condition, samples func(alias string) []*event.Event, maxPairs int) (float64, bool) {
+	als := c.Aliases()
+	switch len(als) {
+	case 1:
+		evs := samples(als[0])
+		if len(evs) == 0 {
+			return 0, false
+		}
+		pass := 0
+		for _, e := range evs {
+			if c.EvalUnary(e) {
+				pass++
+			}
+		}
+		return float64(pass) / float64(len(evs)), true
+	case 2:
+		evsA := samples(als[0])
+		evsB := samples(als[1])
+		if len(evsA) == 0 || len(evsB) == 0 {
+			return 0, false
+		}
+		total := len(evsA) * len(evsB)
+		stride := 1
+		if maxPairs > 0 && total > maxPairs {
+			stride = total/maxPairs + 1
+		}
+		pass, tried := 0, 0
+		for k := 0; k < total; k += stride {
+			tried++
+			if c.EvalPair(evsA[k/len(evsB)], evsB[k%len(evsB)]) {
+				pass++
+			}
+		}
+		if tried == 0 {
+			return 0, false
+		}
+		return float64(pass) / float64(tried), true
+	}
+	return 0, false
+}

@@ -74,6 +74,23 @@ func (s *Stats) SetSelectivity(c pattern.Condition, sel float64) {
 	s.Sel[c.String()] = sel
 }
 
+// Merge overlays the other statistics onto s: rates and selectivities
+// present in o replace the corresponding entries of s, entries only s has
+// survive. A session uses it to fold freshly measured statistics over a
+// persisted seed before saving, so one quiet restart never erases the
+// measurements of types that happened not to arrive.
+func (s *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	for typ, r := range o.Rates {
+		s.Rates[typ] = r
+	}
+	for cond, sel := range o.Sel {
+		s.Sel[cond] = sel
+	}
+}
+
 // PatternStats is the per-pattern statistics bundle consumed by the cost
 // models of Section 4: one planning position per positive primitive event,
 // an arrival rate per position (Kleene-adjusted per Theorem 4), and the

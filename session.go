@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mqo"
+	"repro/internal/plan"
 	"repro/internal/pool"
 )
 
@@ -157,6 +158,20 @@ type SessionConfig struct {
 	// lanes are evaluated once per lane — the split trades some
 	// recomputation for parallelism. 0 or 1 keeps one lane per component.
 	SharedWorkers int
+	// Adaptive enables statistics-drift monitoring and live re-optimization:
+	// an online collector shadows the feed, and components whose running
+	// plans drift too far from what fresh measurements would choose are
+	// re-planned and spliced without dropping or duplicating matches. See
+	// AdaptiveSessionConfig; nil disables adaptivity.
+	Adaptive *AdaptiveSessionConfig
+	// StatsPath, when non-empty, wires statistics persistence into the
+	// session lifecycle: measured statistics are loaded from the file at
+	// construction and seed the planning of every query registered without
+	// its own QueryConfig.Stats, and the statistics measured during the run
+	// are saved back on Flush/Close — a restarted session plans from
+	// yesterday's measurements instead of neutral priors. A missing file is
+	// not an error (first run); an unreadable one surfaces at registration.
+	StatsPath string
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -234,6 +249,11 @@ type Session struct {
 	// sharing-component ids.
 	reoptGen int
 	nextComp int
+
+	// adapt is the adaptivity state (statistics collector, drift detector,
+	// persistence seed); nil when neither SessionConfig.Adaptive nor
+	// StatsPath is configured. See session_adaptive.go.
+	adapt *sessionAdapt
 }
 
 // sessionQuery is one registered query. Before Start it is only a
@@ -256,11 +276,25 @@ type sessionQuery struct {
 	// under — the index AddQuery/RemoveQuery consult to find the affected
 	// sharing component.
 	shareKeys []string
+	// sigs lazily caches the canonical-signature tables the drift check
+	// prices trees with; invalidated when a re-optimization swaps rt.
+	sigs *mqo.Sigs
+}
+
+// mqoSigs returns (building on first use) the query's canonical-signature
+// cache for shared-cost pricing.
+func (q *sessionQuery) mqoSigs() *mqo.Sigs {
+	if q.sigs == nil {
+		sp := q.rt.plan.Simple[0]
+		q.sigs = mqo.NewSigs(sp.Compiled, sp.Stats.TermIndex)
+	}
+	return q.sigs
 }
 
 // NewSession builds an empty session.
 func NewSession(cfg SessionConfig) *Session {
 	s := &Session{cfg: cfg.withDefaults(), byName: make(map[string]*sessionQuery)}
+	s.adapt = newSessionAdapt(s.cfg)
 	empty := []*sessionLane{}
 	s.laneTab.Store(&empty)
 	s.pool = pool.New(pool.Hooks[sessionItem]{
@@ -334,10 +368,19 @@ func (s *Session) AddQuery(qc QueryConfig) error {
 
 // planQuery builds the runtime for a config, with delivery stripped:
 // delivery is the session's job, so the engine callback and the session
-// sink never double-deliver.
+// sink never double-deliver. Queries without statistics of their own plan
+// from the persisted StatsPath seed when one is available.
 func (s *Session) planQuery(qc QueryConfig) (*sessionQuery, error) {
 	rtCfg := qc
 	rtCfg.OnMatch = nil
+	if s.adapt != nil {
+		if s.adapt.loadErr != nil {
+			return nil, s.adapt.loadErr
+		}
+		if rtCfg.Stats == nil && s.adapt.seed != nil {
+			rtCfg.Stats = s.adapt.seed
+		}
+	}
 	rt, err := NewFromConfig(rtCfg)
 	if err != nil {
 		return nil, err
@@ -468,6 +511,7 @@ func (s *Session) startLocked(explicit bool) error {
 	if len(s.queries) == 0 {
 		return fmt.Errorf("cep: session has no registered queries")
 	}
+	s.initAdaptLocked()
 	if err := s.buildLanes(); err != nil {
 		return err
 	}
@@ -501,14 +545,21 @@ func (s *Session) Submit(e *Event) error {
 
 // submit broadcasts under the intake read lock (so a lane splice never
 // interleaves a broadcast) and the pool's read lock; a non-nil ctx makes
-// each blocking queue send cancellable.
+// each blocking queue send cancellable. After the broadcast — outside every
+// lock — the event feeds the adaptivity collector, which may run a drift
+// check (and a re-optimization splice) on this goroutine.
 func (s *Session) submit(ctx context.Context, e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
 	s.intakeMu.RLock()
-	defer s.intakeMu.RUnlock()
-	return sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1)}))
+	err := sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1)}))
+	s.intakeMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	s.observeAdapt(e)
+	return nil
 }
 
 // Run streams an event source through the session until the source is
@@ -624,7 +675,13 @@ func (s *Session) shutdown() error {
 		}
 		return nil
 	}
-	return sessErr(s.pool.Shutdown())
+	err := sessErr(s.pool.Shutdown())
+	// Persist the measured statistics (StatsPath) now that intake stopped;
+	// a save failure is a session error, not a shutdown failure.
+	if serr := s.saveStats(); serr != nil {
+		s.pool.RecordErr(serr)
+	}
+	return err
 }
 
 // Results returns the accumulated matches per query (queries with a sink
@@ -692,9 +749,12 @@ func (s *Session) emitOne(q *sessionQuery, m *Match) {
 	}
 }
 
-// laneShare carries a shared lane's optimizer decision for ShareReport.
+// laneShare carries a shared lane's optimizer decision for ShareReport,
+// plus the members' final evaluated trees — the structure a drift check
+// re-prices under fresh measurements.
 type laneShare struct {
 	members      []string
+	trees        map[string]*plan.TreeNode
 	restructured int
 	nodes        int
 	sharedNodes  int
@@ -808,11 +868,16 @@ type ShareReport struct {
 // ComponentReport describes one connected sharing component: its member
 // query names (sorted), the number of worker lanes serving it (more than
 // one when SessionConfig.SharedWorkers split its root fan-out), and the
-// re-optimization generation that last rebuilt it.
+// re-optimization generation that last rebuilt it. On an adaptive session
+// (SessionConfig.Adaptive), DriftScore is the component's drift score at
+// the last check and Reopts counts the drift re-optimizations of its
+// lineage; see Session.DriftReport for the full drift state.
 type ComponentReport struct {
 	Members    []string
 	Lanes      int
 	Generation int
+	DriftScore float64
+	Reopts     int
 }
 
 // ShareReport returns a snapshot of the optimizer's current decisions, or
@@ -864,9 +929,14 @@ func (s *Session) ShareReport() *ShareReport {
 		}
 		members := append([]string(nil), ca.members...)
 		sort.Strings(members)
-		rep.Components = append(rep.Components, ComponentReport{
-			Members: members, Lanes: ca.lanes, Generation: ca.gen,
-		})
+		cr := ComponentReport{Members: members, Lanes: ca.lanes, Generation: ca.gen}
+		if s.adapt != nil && s.adapt.det != nil {
+			if st, ok := s.adapt.det.Peek(id); ok {
+				cr.DriftScore = st.Score
+				cr.Reopts = st.Reopts
+			}
+		}
+		rep.Components = append(rep.Components, cr)
 		rep.Shared += len(ca.members)
 	}
 	for _, l := range *s.laneTab.Load() {
@@ -922,6 +992,7 @@ func (s *Session) engineLane(g mqo.Group, comp int) *sessionLane {
 		comp: comp, gen: s.reoptGen,
 		info: laneShare{
 			members:      append([]string(nil), g.Members...),
+			trees:        g.Trees,
 			restructured: g.Restructured,
 			nodes:        g.Nodes,
 			sharedNodes:  g.SharedNodes,
@@ -1007,6 +1078,9 @@ func (s *Session) buildLanes() error {
 		if onShared[q.name] {
 			continue
 		}
+		if err := s.wrapPrivateAdaptive(q); err != nil {
+			return err
+		}
 		lane := &sessionLane{s: s, q: q}
 		q.lane = lane
 		lanes = append(lanes, lane)
@@ -1029,6 +1103,9 @@ func (s *Session) spliceAddLocked(q *sessionQuery) error {
 		mqo.Eligible(q.rt.plan, q.qc.Strategy)
 
 	if !q.eligible {
+		if err := s.wrapPrivateAdaptive(q); err != nil {
+			return err
+		}
 		lane := &sessionLane{s: s, q: q}
 		q.lane = lane
 		if err := s.addLaneLocked(lane); err != nil {

@@ -1,0 +1,426 @@
+package cep
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// driftSchema caches one-attribute schemas for the drift workloads.
+var driftSchemas = map[string]*Schema{}
+
+func driftSchema(name string) *Schema {
+	if s, ok := driftSchemas[name]; ok {
+		return s
+	}
+	s := NewSchema(name, "x")
+	driftSchemas[name] = s
+	return s
+}
+
+// phaseStream generates deterministic periodic arrivals for each type at
+// its phase rate (events/second) over [from, to), with x drawn uniformly
+// from 0..9. Types are staggered so merged timestamps rarely tie.
+func phaseStream(rng *rand.Rand, rates map[string]float64, from, to Time) []*Event {
+	var out []*Event
+	names := make([]string, 0, len(rates))
+	for name := range rates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		rate := rates[name]
+		if rate <= 0 {
+			continue
+		}
+		step := Time(float64(Second) / rate)
+		if step < 1 {
+			step = 1
+		}
+		for ts := from + Time(i+1); ts < to; ts += step {
+			out = append(out, NewEvent(driftSchema(name), ts, float64(rng.Intn(10))))
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].TS < out[b].TS })
+	return out
+}
+
+// regimeShiftStream is phase-1 rates for dur1, then phase-2 rates for dur2.
+func regimeShiftStream(seed int64, rates1, rates2 map[string]float64, dur1, dur2 Time) []*Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := phaseStream(rng, rates1, 0, dur1)
+	evs = append(evs, phaseStream(rng, rates2, dur1, dur1+dur2)...)
+	return evs
+}
+
+// headPairQueries builds n queries SEQ(A a, B b, T<i> c) sharing the (A,B)
+// head pair, with a selective equality on the pair and an order predicate
+// to the tail.
+func headPairQueries(t *testing.T, history []*Event, n int) []QueryConfig {
+	t.Helper()
+	out := make([]QueryConfig, 0, n)
+	for i := 0; i < n; i++ {
+		tail := []string{"T1", "T2", "T3", "T4"}[i]
+		p := Seq(2*Second,
+			E("A", "a"), E("B", "b"), E(tail, "c"),
+		).Where(
+			AttrCmp("a", "x", Eq, "b", "x"),
+			AttrCmp("b", "x", Lt, "c", "x"),
+		)
+		out = append(out, QueryConfig{
+			Name:    []string{"q1", "q2", "q3", "q4"}[i],
+			Pattern: p,
+			Stats:   Measure(history, p),
+		})
+	}
+	return out
+}
+
+// runAdaptiveSession feeds the stream through a session built from cfg with
+// the queries registered, flushes, and returns the session for inspection.
+func runAdaptiveSession(t *testing.T, cfg SessionConfig, queries []QueryConfig, stream []*Event) *Session {
+	t.Helper()
+	s := NewSession(cfg)
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(context.Background(), NewStream(stream)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// crossCheck compares every query's session matches against a private
+// runtime over the same stream.
+func crossCheck(t *testing.T, s *Session, queries []QueryConfig, stream []*Event) int {
+	t.Helper()
+	total := 0
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rt.ProcessAll(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(s.Matches(qc.Name)); got != len(want) {
+			t.Fatalf("query %s: session %d matches, private runtime %d", qc.Name, got, len(want))
+		}
+		total += len(want)
+	}
+	return total
+}
+
+func adaptiveCfg() *AdaptiveSessionConfig {
+	return &AdaptiveSessionConfig{
+		CheckEvery:   500,
+		WarmupEvents: 1000,
+		MinInterval:  1000,
+		Hysteresis:   2,
+	}
+}
+
+// TestSessionDriftDissolvesStaleSharing inverts the stream's rate profile
+// mid-feed: the shared (A,B) head pair, cheap at planning time, becomes the
+// hottest join in phase 2 while the tails go quiet. The adaptive session
+// must detect the drift, re-optimize the component (dissolving the sharing
+// that stopped winning), and still produce exactly the private runtimes'
+// matches across the splice.
+func TestSessionDriftDissolvesStaleSharing(t *testing.T) {
+	rates1 := map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20}
+	rates2 := map[string]float64{"A": 25, "B": 25, "T1": 0.5, "T2": 0.5}
+	stream := regimeShiftStream(11, rates1, rates2, 120*Second, 120*Second)
+	history := regimeShiftStream(11, rates1, nil, 120*Second, 0)
+	queries := headPairQueries(t, history, 2)
+
+	// Static control: the same queries share the head pair for the whole
+	// stream.
+	static := runAdaptiveSession(t, SessionConfig{QueueLen: 1024, ShareSubplans: true}, queries,
+		regimeShiftStream(11, rates1, rates2, 120*Second, 120*Second))
+	if rep := static.ShareReport(); rep.Shared != 2 {
+		t.Fatalf("static session did not share the head pair: %+v", rep)
+	}
+
+	s := runAdaptiveSession(t, SessionConfig{
+		QueueLen: 1024, ShareSubplans: true, Adaptive: adaptiveCfg(),
+	}, queries, stream)
+
+	drep := s.DriftReport()
+	if drep == nil {
+		t.Fatal("DriftReport is nil on an adaptive session")
+	}
+	if drep.Events != int64(len(stream)) {
+		t.Fatalf("collector observed %d events, stream has %d", drep.Events, len(stream))
+	}
+	if drep.Checks == 0 {
+		t.Fatal("no drift checks performed")
+	}
+	if drep.Reopts == 0 {
+		t.Fatal("regime shift did not trigger a re-optimization")
+	}
+	if rep := s.ShareReport(); rep.Shared != 0 {
+		t.Fatalf("stale sharing survived the drift re-opt: %+v", rep)
+	}
+	if total := crossCheck(t, s, queries, stream); total == 0 {
+		t.Fatal("cross-check was vacuous (no matches)")
+	}
+}
+
+// TestSessionDriftFormsNewSharing is the mirror image: two queries whose
+// common (C,D) sub-join is too hot to share at planning time; after the
+// shift it becomes cheap and the drift re-opt must form the shared group
+// across what were singleton lanes — again match-exactly.
+func TestSessionDriftFormsNewSharing(t *testing.T) {
+	rates1 := map[string]float64{"U1": 2, "U2": 2, "C": 30, "D": 30}
+	rates2 := map[string]float64{"U1": 20, "U2": 20, "C": 1, "D": 1}
+	stream := regimeShiftStream(13, rates1, rates2, 120*Second, 120*Second)
+	history := regimeShiftStream(13, rates1, nil, 120*Second, 0)
+	var queries []QueryConfig
+	for i, head := range []string{"U1", "U2"} {
+		p := Seq(2*Second,
+			E(head, "u"), E("C", "b"), E("D", "c"),
+		).Where(
+			AttrCmp("u", "x", Lt, "b", "x"),
+			AttrCmp("b", "x", Eq, "c", "x"),
+		)
+		queries = append(queries, QueryConfig{
+			Name:    []string{"f1", "f2"}[i],
+			Pattern: p,
+			Stats:   Measure(history, p),
+		})
+	}
+
+	s := runAdaptiveSession(t, SessionConfig{
+		QueueLen: 1024, ShareSubplans: true, Adaptive: adaptiveCfg(),
+	}, queries, stream)
+
+	drep := s.DriftReport()
+	if drep == nil || drep.Reopts == 0 {
+		t.Fatalf("regime shift did not trigger a re-optimization: %+v", drep)
+	}
+	rep := s.ShareReport()
+	found := false
+	for _, comp := range rep.Components {
+		if len(comp.Members) == 2 && comp.Members[0] == "f1" && comp.Members[1] == "f2" {
+			found = true
+			if comp.Reopts == 0 {
+				t.Fatalf("formed component does not record its drift re-opt: %+v", comp)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("drift re-opt did not form the (C,D) sharing group: %+v", rep)
+	}
+	if total := crossCheck(t, s, queries, stream); total == 0 {
+		t.Fatal("cross-check was vacuous (no matches)")
+	}
+}
+
+// TestSessionAdaptiveStationaryNoFlap runs the adaptive session on a
+// stationary (noisy but rate-stable) stream: checks happen, but no
+// re-optimization may fire.
+func TestSessionAdaptiveStationaryNoFlap(t *testing.T) {
+	rates := map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20}
+	stream := regimeShiftStream(17, rates, nil, 240*Second, 0)
+	queries := headPairQueries(t, stream, 2)
+
+	s := runAdaptiveSession(t, SessionConfig{
+		QueueLen: 1024, ShareSubplans: true, Adaptive: adaptiveCfg(),
+	}, queries, stream)
+
+	drep := s.DriftReport()
+	if drep == nil || drep.Checks == 0 {
+		t.Fatalf("no drift checks performed: %+v", drep)
+	}
+	if drep.Reopts != 0 {
+		t.Fatalf("stationary stream triggered %d re-optimizations (flapping)", drep.Reopts)
+	}
+	if rep := s.ShareReport(); rep.Shared != 2 {
+		t.Fatalf("stationary session lost its sharing: %+v", rep)
+	}
+	crossCheck(t, s, queries, stream)
+}
+
+// TestSessionPrivateLanesAdapt runs an adaptive session without subplan
+// sharing: every query sits on a private lane, which the session wraps in a
+// re-optimizing controller fed from the shared collector. The rate flip
+// must produce at least one private replan.
+func TestSessionPrivateLanesAdapt(t *testing.T) {
+	rates1 := map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20}
+	rates2 := map[string]float64{"A": 25, "B": 25, "T1": 0.5, "T2": 0.5}
+	stream := regimeShiftStream(19, rates1, rates2, 120*Second, 120*Second)
+	history := regimeShiftStream(19, rates1, nil, 120*Second, 0)
+	queries := headPairQueries(t, history, 2)
+
+	s := runAdaptiveSession(t, SessionConfig{
+		QueueLen: 1024, Adaptive: adaptiveCfg(),
+	}, queries, stream)
+
+	drep := s.DriftReport()
+	if drep == nil {
+		t.Fatal("DriftReport is nil")
+	}
+	if len(drep.Private) != 2 {
+		t.Fatalf("private adaptive lanes reported: %+v, want 2", drep.Private)
+	}
+	replans := int64(0)
+	for _, pr := range drep.Private {
+		if pr.Checks == 0 {
+			t.Fatalf("private lane %s performed no checks", pr.Query)
+		}
+		replans += pr.Replans
+	}
+	if replans == 0 {
+		t.Fatal("rate flip did not trigger any private-lane replan")
+	}
+}
+
+// TestSessionStatsPathPersistence closes the loop of the ROADMAP item: a
+// session measures statistics while serving, persists them on Close, and a
+// restarted session seeds planning from the file.
+func TestSessionStatsPathPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	rates := map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20}
+	stream := regimeShiftStream(23, rates, nil, 120*Second, 0)
+	queries := headPairQueries(t, stream, 2)
+
+	// First run: StatsPath only (no Adaptive) still collects and saves.
+	s1 := runAdaptiveSession(t, SessionConfig{QueueLen: 1024, StatsPath: path}, queries, stream)
+	if s1.DriftReport() != nil {
+		t.Fatal("StatsPath alone must not enable drift adaptivity")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("statistics not persisted: %v", err)
+	}
+	saved, err := LoadStats(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := saved.Rate("T1"); r < 10 || r > 30 {
+		t.Fatalf("persisted rate for T1 = %.2f, want ~20", r)
+	}
+	if r := saved.Rate("A"); r < 0.5 || r > 5 {
+		t.Fatalf("persisted rate for A = %.2f, want ~2", r)
+	}
+
+	// Second run: queries registered without Stats plan from the seed.
+	s2 := NewSession(SessionConfig{QueueLen: 1024, StatsPath: path})
+	if s2.adapt == nil || s2.adapt.seed == nil {
+		t.Fatal("restarted session did not load the persisted seed")
+	}
+	qc := queries[0]
+	qc.Stats = nil
+	if err := s2.Register(qc); err != nil {
+		t.Fatal(err)
+	}
+	q := s2.byName[qc.Name]
+	if q.qc.Stats != s2.adapt.seed {
+		t.Fatal("seed statistics not wired into planning")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupt statistics file surfaces at registration.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewSession(SessionConfig{StatsPath: bad})
+	if err := s3.Register(queries[0]); err == nil {
+		t.Fatal("corrupt statistics file not reported")
+	}
+}
+
+// TestSessionStatsSnapshotLive reads measured statistics from a running
+// adaptive session.
+func TestSessionStatsSnapshotLive(t *testing.T) {
+	rates := map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20}
+	stream := regimeShiftStream(29, rates, nil, 60*Second, 0)
+	queries := headPairQueries(t, stream, 2)
+	s := NewSession(SessionConfig{QueueLen: 1024, ShareSubplans: true, Adaptive: adaptiveCfg()})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.StatsSnapshot() != nil {
+		t.Fatal("StatsSnapshot before Start must be nil")
+	}
+	if err := s.Run(context.Background(), NewStream(stream)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.StatsSnapshot()
+	if snap == nil {
+		t.Fatal("StatsSnapshot nil on a running adaptive session")
+	}
+	if r := snap.Rate("T1"); r < 10 || r > 30 {
+		t.Fatalf("measured rate for T1 = %.2f, want ~20", r)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionAdaptiveConcurrentReaders races report readers against the
+// feed (run with -race): reports must stay consistent while the collector
+// observes and drift checks splice lanes.
+func TestSessionAdaptiveConcurrentReaders(t *testing.T) {
+	rates1 := map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20}
+	rates2 := map[string]float64{"A": 25, "B": 25, "T1": 0.5, "T2": 0.5}
+	stream := regimeShiftStream(31, rates1, rates2, 100*Second, 100*Second)
+	history := regimeShiftStream(31, rates1, nil, 100*Second, 0)
+	queries := headPairQueries(t, history, 2)
+
+	s := NewSession(SessionConfig{QueueLen: 1024, ShareSubplans: true, Adaptive: adaptiveCfg()})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.ShareReport()
+				s.DriftReport()
+				s.StatsSnapshot()
+			}
+		}
+	}()
+	for _, ev := range stream {
+		if err := s.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if drep := s.DriftReport(); drep == nil || drep.Events != int64(len(stream)) {
+		t.Fatalf("DriftReport after concurrent feed: %+v", drep)
+	}
+	crossCheck(t, s, queries, stream)
+}
