@@ -1,0 +1,128 @@
+package cep
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSessionBatchRaceStress hammers the batched intake from concurrent
+// producers while a churn goroutine adds and removes queries and an
+// aggressive adaptive config forces drift re-optimizations (lane splices)
+// mid-stream. Run under -race (CI does), this is the pinning test for the
+// SubmitBatch locking discipline: the batch slice is copied once and shared
+// read-only across lanes, seq reservation is atomic under the intake lock,
+// and splices drain lanes before swapping engines.
+//
+// Every event carries the same timestamp: any interleaving of producers is
+// a valid non-decreasing stream, and since SEQ semantics require strictly
+// increasing timestamps inside a match, the expected match set is exactly
+// empty regardless of interleaving — which keeps the assertion exact and
+// the partial-match state bounded.
+func TestSessionBatchRaceStress(t *testing.T) {
+	// Registration-time stats from a skewed synthetic history (tails hot,
+	// head pair quiet); the live stream is uniform, so the drift monitor
+	// sees a rate inversion and the adaptive loop re-optimizes.
+	history := regimeShiftStream(3, map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20},
+		nil, 120*Second, 0)
+	queries := headPairQueries(t, history, 4)
+
+	s := NewSession(SessionConfig{
+		ShareSubplans: true,
+		QueueLen:      64,
+		Adaptive: &AdaptiveSessionConfig{
+			CheckEvery:   64,
+			WarmupEvents: 64,
+			MinInterval:  64,
+			Hysteresis:   1,
+			Threshold:    0.01,
+		},
+	})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const nProducers = 4
+	const perProducer = 4096
+	const batch = 32
+
+	// Event slices are built up-front: the lazily-populated schema cache in
+	// driftSchema is not goroutine-safe, and the producers should spend
+	// their time in SubmitBatch, not generation.
+	streams := make([][]*Event, nProducers)
+	for pr := range streams {
+		streams[pr] = makeConstantTSEvents(pr, perProducer)
+	}
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < nProducers; pr++ {
+		evs := streams[pr]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < len(evs); i += batch {
+				if err := s.SubmitBatch(evs[i : i+batch]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Query churn concurrent with the producers: register a fresh shared
+	// query, remove it, repeat — every add/remove re-optimizes the shared
+	// component while batches are in flight.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("churn-%d", i)
+			p := Seq(2*Second, E("A", "a"), E("B", "b")).
+				Where(AttrCmp("a", "x", Eq, "b", "x"))
+			if err := s.AddQuery(QueryConfig{Name: name, Pattern: p, Stats: Measure(history, p)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.RemoveQuery(name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for name, ms := range s.Results() {
+		if len(ms) != 0 {
+			t.Fatalf("query %s matched %d times on a constant-timestamp stream", name, len(ms))
+		}
+	}
+}
+
+// makeConstantTSEvents builds a uniform A/B/T1/T2 mix where every event
+// shares one timestamp, stamped with producer-local serials.
+func makeConstantTSEvents(producer, n int) []*Event {
+	types := []string{"A", "B", "T1", "T2"}
+	evs := make([]*Event, n)
+	for i := range evs {
+		s := driftSchema(types[(producer+i)%len(types)])
+		evs[i] = NewEvent(s, Second, float64(i%13))
+	}
+	return Stamp(evs)
+}

@@ -1,0 +1,224 @@
+// Command benchdiff gates CI on the committed cepbench measurements. It
+// reads the JSON row files written by `cepbench -fig batch -batch-json`
+// (any row set keyed by fig/queries/batch with an events_per_sec field)
+// and runs one or both of two checks:
+//
+//	benchdiff -old BENCH_baseline.json -new BENCH_batch.json -max-regress 0.10
+//
+// compares rows present in both files by their (fig, queries, batch) key
+// and fails when any new throughput drops more than the allowed fraction
+// below the old one — the regression gate.
+//
+//	benchdiff -new BENCH_batch.json -min-speedup 1.5 -at queries=16,batch=256 -vs batch=1
+//
+// selects the row matching the -at fields inside the new file, divides its
+// throughput by the row that agrees on every other key field but carries
+// the -vs fields, and fails below the minimum — the batching-speedup gate.
+//
+// Exit status: 0 when every requested check holds, 1 on a violated gate,
+// 2 on bad input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// row is the subset of a cepbench JSON row that benchdiff keys and
+// compares on; unknown fields are ignored.
+type row struct {
+	Fig          string  `json:"fig"`
+	Queries      int     `json:"queries"`
+	Batch        int     `json:"batch"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func (r row) key() string { return fmt.Sprintf("%s/queries=%d/batch=%d", r.Fig, r.Queries, r.Batch) }
+
+func readRows(path string) ([]row, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(blob, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return rows, nil
+}
+
+// selector is a parsed "-at"/"-vs" expression: field names mapped to the
+// required values.
+type selector map[string]string
+
+func parseSelector(flagName, s string) (selector, error) {
+	if s == "" {
+		return nil, nil
+	}
+	sel := selector{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("invalid %s %q: want field=value[,field=value...]", flagName, s)
+		}
+		switch k {
+		case "fig", "queries", "batch":
+			sel[k] = v
+		default:
+			return nil, fmt.Errorf("invalid %s field %q: want fig, queries or batch", flagName, k)
+		}
+	}
+	return sel, nil
+}
+
+func (sel selector) matches(r row) bool {
+	for k, v := range sel {
+		switch k {
+		case "fig":
+			if r.Fig != v {
+				return false
+			}
+		case "queries":
+			if strconv.Itoa(r.Queries) != v {
+				return false
+			}
+		case "batch":
+			if strconv.Itoa(r.Batch) != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applied returns r with the selector's fields substituted in — the
+// baseline key a -vs expression derives from an -at row.
+func (sel selector) applied(r row) (row, error) {
+	for k, v := range sel {
+		switch k {
+		case "fig":
+			r.Fig = v
+		case "queries":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return r, fmt.Errorf("invalid queries value %q", v)
+			}
+			r.Queries = n
+		case "batch":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return r, fmt.Errorf("invalid batch value %q", v)
+			}
+			r.Batch = n
+		}
+	}
+	return r, nil
+}
+
+func fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "baseline JSON rows (regression gate)")
+		newPath    = flag.String("new", "", "candidate JSON rows")
+		maxRegress = flag.Float64("max-regress", 0.10, "maximum allowed fractional throughput drop old→new")
+		minSpeedup = flag.Float64("min-speedup", 0, "minimum required speedup of the -at row over the -vs row (0 disables)")
+		atExpr     = flag.String("at", "", "row selector for the speedup numerator, e.g. queries=16,batch=256")
+		vsExpr     = flag.String("vs", "", "field overrides locating the speedup denominator, e.g. batch=1")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fatal(2, "-new is required")
+	}
+	newRows, err := readRows(*newPath)
+	if err != nil {
+		fatal(2, "%v", err)
+	}
+	byKey := make(map[string]row, len(newRows))
+	for _, r := range newRows {
+		byKey[r.key()] = r
+	}
+	failed := false
+
+	if *oldPath != "" {
+		oldRows, err := readRows(*oldPath)
+		if err != nil {
+			fatal(2, "%v", err)
+		}
+		compared := 0
+		for _, o := range oldRows {
+			n, ok := byKey[o.key()]
+			if !ok {
+				continue
+			}
+			compared++
+			delta := n.EventsPerSec/o.EventsPerSec - 1
+			status := "ok"
+			if n.EventsPerSec < o.EventsPerSec*(1-*maxRegress) {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-40s %12.0f -> %12.0f ev/s  %+6.1f%%  %s\n",
+				o.key(), o.EventsPerSec, n.EventsPerSec, 100*delta, status)
+		}
+		if compared == 0 {
+			fatal(2, "no common (fig, queries, batch) rows between %s and %s", *oldPath, *newPath)
+		}
+	}
+
+	if *minSpeedup > 0 {
+		at, err := parseSelector("-at", *atExpr)
+		if err != nil {
+			fatal(2, "%v", err)
+		}
+		vs, err := parseSelector("-vs", *vsExpr)
+		if err != nil {
+			fatal(2, "%v", err)
+		}
+		if len(at) == 0 || len(vs) == 0 {
+			fatal(2, "-min-speedup needs both -at and -vs")
+		}
+		checked := 0
+		for _, r := range newRows {
+			if !at.matches(r) {
+				continue
+			}
+			base, err := vs.applied(r)
+			if err != nil {
+				fatal(2, "%v", err)
+			}
+			b, ok := byKey[base.key()]
+			if !ok {
+				fatal(2, "speedup baseline %s not in %s", base.key(), *newPath)
+			}
+			checked++
+			speedup := r.EventsPerSec / b.EventsPerSec
+			status := "ok"
+			if speedup < *minSpeedup {
+				status = fmt.Sprintf("BELOW MINIMUM %.2f", *minSpeedup)
+				failed = true
+			}
+			fmt.Printf("%-40s %.2fx over %s  %s\n", r.key(), speedup, b.key(), status)
+		}
+		if checked == 0 {
+			fatal(2, "no row in %s matches -at %s", *newPath, *atExpr)
+		}
+	}
+
+	if *oldPath == "" && *minSpeedup == 0 {
+		fatal(2, "nothing to check: give -old (regression gate) and/or -min-speedup (speedup gate)")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

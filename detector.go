@@ -38,6 +38,21 @@ type Detector interface {
 	Close() error
 }
 
+// BatchDetector is the batched extension of the Detector contract: a
+// detector that can consume a whole timestamp-ordered batch in one call,
+// amortizing per-event dispatch (queue sends, lock rounds, worker
+// wake-ups) across the batch. ProcessBatch is semantically identical to
+// calling Process per event in order — same matches, same errors — and the
+// usual slice-validity rule applies: the returned matches are only valid
+// until the next call. Consumers should type-assert and fall back to
+// per-event Process when the assertion fails.
+type BatchDetector interface {
+	Detector
+	// ProcessBatch consumes a timestamp-ordered batch and returns the
+	// matches completed by the whole batch, in stream order.
+	ProcessBatch(events []*Event) ([]*Match, error)
+}
+
 // Sentinel errors of the Detector contract. Implementations wrap them with
 // context; match with errors.Is.
 var (
@@ -59,4 +74,12 @@ var (
 	_ Detector = (*ShardedRuntime)(nil)
 	_ Detector = (*Fleet)(nil)
 	_ Detector = (*Session)(nil)
+)
+
+// Compile-time checks: the batch-capable flavors extend it to
+// BatchDetector.
+var (
+	_ BatchDetector = (*Runtime)(nil)
+	_ BatchDetector = (*ShardedRuntime)(nil)
+	_ BatchDetector = (*Session)(nil)
 )

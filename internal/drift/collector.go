@@ -161,7 +161,49 @@ func (c *Collector) Observe(e *event.Event) {
 			break
 		}
 	}
-	ts := c.state(e.Type)
+	c.observeTyped(c.state(e.Type), e)
+}
+
+// ObserveBatch feeds a timestamp-ordered batch of events, equivalent to
+// calling Observe on each but amortizing the shared bookkeeping: the event
+// counter and last-timestamp watermark advance once per batch, and the
+// per-type state lookup (a read-locked map access) is reused across runs of
+// same-type events. This is the SubmitBatch companion — with batched intake
+// the collector's per-event cost is mostly these shared updates.
+func (c *Collector) ObserveBatch(evs []*event.Event) {
+	n := len(evs)
+	if n == 0 {
+		return
+	}
+	c.events.Add(int64(n))
+	if c.hasFirst.CompareAndSwap(false, true) {
+		c.firstTS.Store(evs[0].TS)
+	}
+	maxTS := evs[n-1].TS
+	for _, e := range evs {
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+	}
+	for {
+		last := c.lastTS.Load()
+		if maxTS <= last || c.lastTS.CompareAndSwap(last, maxTS) {
+			break
+		}
+	}
+	var runType string
+	var run *typeState
+	for _, e := range evs {
+		if run == nil || e.Type != runType {
+			run, runType = c.state(e.Type), e.Type
+		}
+		c.observeTyped(run, e)
+	}
+}
+
+// observeTyped is the per-event, per-type half of Observe: lifetime total,
+// windowed epoch counter and the strided reservoir write.
+func (c *Collector) observeTyped(ts *typeState, e *event.Event) {
 	n := ts.total.Add(1)
 
 	ep := e.TS / c.epochLen
@@ -186,6 +228,27 @@ func (c *Collector) Observe(e *event.Event) {
 		}
 		ts.mu.Unlock()
 	}
+}
+
+// Rates fills dst (allocating if nil) with the current Rate of every type
+// the collector has ever seen and returns it. Entries for types absent from
+// the collector are not removed from dst; callers reuse one map across
+// calls precisely so that comparison against the previous snapshot is a
+// single pass.
+func (c *Collector) Rates(dst map[string]float64) map[string]float64 {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.types))
+	for typ := range c.types {
+		names = append(names, typ)
+	}
+	c.mu.RUnlock()
+	if dst == nil {
+		dst = make(map[string]float64, len(names))
+	}
+	for _, typ := range names {
+		dst[typ] = c.Rate(typ)
+	}
+	return dst
 }
 
 // Rate returns the current arrival-rate estimate for the type in

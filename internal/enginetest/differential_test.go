@@ -1,0 +1,165 @@
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cep "repro"
+	"repro/internal/event"
+	"repro/internal/match"
+)
+
+// The differential harness is the safety net for hot-path surgery: it feeds
+// one identical randomized workload (random query set, random stream)
+// through independently planned per-query runtimes (the reference) and
+// through Session configurations that exercise the batched and pooled code
+// paths, and requires identical per-query match sets everywhere. Everything
+// runs under skip-till-any-match — the strategy whose match sets are
+// provably plan-independent (Section 3), and the only one whose global
+// consumption marks cannot leak state between the engine configurations
+// under comparison.
+
+// diffQuery is one randomized query of a differential workload.
+type diffQuery struct {
+	name string
+	p    *cep.Pattern
+}
+
+// buildDifferentialQueries draws nQueries random patterns with varied
+// windows; a quarter carry negation, an eighth Kleene closure (those stay
+// on private lanes — sharing eligibility excludes Kleene — which is exactly
+// the point: the same session mixes shared-DAG and private-detector paths).
+func buildDifferentialQueries(rng *rand.Rand, nQueries int) []diffQuery {
+	qs := make([]diffQuery, nQueries)
+	for i := range qs {
+		window := event.Time(4 + rng.Int63n(13))
+		negation := rng.Intn(4) == 0
+		kleene := rng.Intn(8) == 0
+		qs[i] = diffQuery{
+			name: fmt.Sprintf("q%02d", i),
+			p:    RandomPattern(rng, window, negation, kleene),
+		}
+	}
+	return qs
+}
+
+// referenceMatches runs every query on its own independently planned
+// Runtime, per event — the unbatched, unshared ground truth.
+func referenceMatches(qs []diffQuery, events []*event.Event) (map[string][]*match.Match, error) {
+	out := make(map[string][]*match.Match, len(qs))
+	for _, q := range qs {
+		rt, err := cep.New(q.p, cep.Measure(events, q.p), cep.WithStrategy(cep.SkipTillAnyMatch))
+		if err != nil {
+			return nil, fmt.Errorf("reference %s: %w", q.name, err)
+		}
+		ms, err := rt.ProcessAll(events)
+		if err != nil {
+			return nil, fmt.Errorf("reference %s: %w", q.name, err)
+		}
+		out[q.name] = ms
+	}
+	return out, nil
+}
+
+// runSessionDifferential feeds the workload through one Session
+// configuration: shared or private lanes, per-event Submit (batch <= 1) or
+// SubmitBatch in chunks of the given size.
+func runSessionDifferential(qs []diffQuery, events []*event.Event, share bool, batch int) (map[string][]*match.Match, error) {
+	s := cep.NewSession(cep.SessionConfig{ShareSubplans: share})
+	for _, q := range qs {
+		err := s.Register(cep.QueryConfig{
+			Name: q.name, Pattern: q.p, Strategy: cep.SkipTillAnyMatch,
+			Stats: cep.Measure(events, q.p),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("register %s: %w", q.name, err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	if batch <= 1 {
+		for _, ev := range events {
+			if err := s.Submit(ev); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := 0; i < len(events); i += batch {
+			end := i + batch
+			if end > len(events) {
+				end = len(events)
+			}
+			if err := s.SubmitBatch(events[i:end]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s.Results(), nil
+}
+
+// checkDifferential generates the workload for one seed and asserts that
+// every Session configuration reproduces the reference match set of every
+// query exactly.
+func checkDifferential(seed int64, nQueries, nEvents, batch int) error {
+	rng := rand.New(rand.NewSource(seed))
+	qs := buildDifferentialQueries(rng, nQueries)
+	events := Stream(rng, nEvents, TypeNames, 3)
+	want, err := referenceMatches(qs, events)
+	if err != nil {
+		return err
+	}
+	modes := []struct {
+		name  string
+		share bool
+		batch int
+	}{
+		{"shared/per-event", true, 0},
+		{fmt.Sprintf("shared/batch=%d", batch), true, batch},
+		{fmt.Sprintf("private/batch=%d", batch), false, batch},
+	}
+	for _, mode := range modes {
+		Reset(events)
+		got, err := runSessionDifferential(qs, events, mode.share, mode.batch)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode.name, err)
+		}
+		for _, q := range qs {
+			if extra, missing := match.Diff(got[q.name], want[q.name]); len(extra)+len(missing) > 0 {
+				return fmt.Errorf("seed %d, %s: %s", seed, mode.name,
+					DescribeDiff(q.name, got[q.name], want[q.name]))
+			}
+		}
+	}
+	return nil
+}
+
+// TestDifferentialSeeds pins a spread of fixed seeds so the harness runs on
+// every `go test`, not only under `go test -fuzz`.
+func TestDifferentialSeeds(t *testing.T) {
+	cases := []struct {
+		seed            int64
+		queries, events int
+		batch           int
+	}{
+		{1, 4, 400, 16},
+		{2, 1, 200, 1},
+		{3, 6, 500, 256},
+		{4, 3, 300, 7},
+		{5, 5, 450, 64},
+		{6, 2, 250, 32},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d/q=%d/n=%d/b=%d", tc.seed, tc.queries, tc.events, tc.batch), func(t *testing.T) {
+			t.Parallel()
+			if err := checkDifferential(tc.seed, tc.queries, tc.events, tc.batch); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,25 @@
+package enginetest
+
+import "testing"
+
+// FuzzDifferential drives the differential harness from fuzzed inputs:
+// the seed picks the random query set and stream, the remaining bytes pick
+// the workload shape. Any crash or match-set divergence between the
+// batched/pooled Session configurations and the per-query reference is a
+// finding. CI runs this as a short `-fuzztime` smoke; the committed corpus
+// under testdata/fuzz keeps the interesting shapes in every plain
+// `go test` run.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(200), uint8(16))
+	f.Add(int64(42), uint8(0), uint16(80), uint8(0))
+	f.Add(int64(7), uint8(5), uint16(400), uint8(63))
+	f.Add(int64(1234), uint8(2), uint16(300), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, nq uint8, ne uint16, batch uint8) {
+		nQueries := 1 + int(nq)%6
+		nEvents := 50 + int(ne)%600
+		b := 1 + int(batch)%64
+		if err := checkDifferential(seed, nQueries, nEvents, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package join
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/plan"
 )
@@ -56,6 +57,51 @@ type ExecResult struct {
 	Intermediate int
 }
 
+// arena recycles the executors' intermediate tuples: generation k's tuples
+// die as soon as generation k+1 is built (growing always copies, never
+// aliases), so whole generations return here instead of being discarded.
+// Arenas themselves cycle through a sync.Pool — executors may run
+// concurrently (the validation harness fans out plan candidates), so per-P
+// caching is the right ownership model at this boundary.
+type arena struct {
+	free []tuple
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// get returns a cleared tuple of the given width.
+func (a *arena) get(width int) tuple {
+	if n := len(a.free); n > 0 {
+		tp := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		if cap(tp) >= width {
+			tp = tp[:width]
+			for i := range tp {
+				tp[i] = nil
+			}
+			return tp
+		}
+	}
+	return make(tuple, width)
+}
+
+// put returns a whole dead generation at once.
+func (a *arena) put(tps []tuple) {
+	a.free = append(a.free, tps...)
+}
+
+// release parks the arena, dropping row references so pooled tuples never
+// pin table rows across runs.
+func (a *arena) release() {
+	for i := range a.free {
+		for j := range a.free[i] {
+			a.free[i][j] = nil
+		}
+	}
+	arenaPool.Put(a)
+}
+
 // ExecuteOrder runs a left-deep (order-based) nested-loop join and counts
 // intermediate results, including the initial selection, mirroring Cost_LDJ.
 func (in *Instance) ExecuteOrder(order []int) (ExecResult, error) {
@@ -65,6 +111,8 @@ func (in *Instance) ExecuteOrder(order []int) (ExecResult, error) {
 	if err := plan.CheckPermutation(order); err != nil {
 		return ExecResult{}, err
 	}
+	a := arenaPool.Get().(*arena)
+	defer a.release()
 	var res ExecResult
 	var current []tuple
 	for k, idx := range order {
@@ -72,7 +120,7 @@ func (in *Instance) ExecuteOrder(order []int) (ExecResult, error) {
 		var next []tuple
 		if k == 0 {
 			for _, row := range rows {
-				tp := make(tuple, len(in.Tables))
+				tp := a.get(len(in.Tables))
 				tp[idx] = row
 				next = append(next, tp)
 			}
@@ -80,18 +128,20 @@ func (in *Instance) ExecuteOrder(order []int) (ExecResult, error) {
 			for _, tp := range current {
 				for _, row := range rows {
 					if in.rowJoins(tp, idx, row) {
-						grown := make(tuple, len(tp))
+						grown := a.get(len(tp))
 						copy(grown, tp)
 						grown[idx] = row
 						next = append(next, grown)
 					}
 				}
 			}
+			a.put(current) // generation k-1 is dead: grown copies never alias
 		}
 		res.Intermediate += len(next)
 		current = next
 	}
 	res.ResultRows = len(current)
+	a.put(current)
 	return res, nil
 }
 
@@ -108,13 +158,15 @@ func (in *Instance) ExecuteTree(root *plan.TreeNode) (ExecResult, error) {
 	if root.Size() != len(in.Tables) {
 		return ExecResult{}, fmt.Errorf("join: tree covers %d of %d relations", root.Size(), len(in.Tables))
 	}
+	a := arenaPool.Get().(*arena)
+	defer a.release()
 	var res ExecResult
 	var rec func(n *plan.TreeNode) []tuple
 	rec = func(n *plan.TreeNode) []tuple {
 		var out []tuple
 		if n.IsLeaf() {
 			for _, row := range in.filteredRows(n.Leaf) {
-				tp := make(tuple, len(in.Tables))
+				tp := a.get(len(in.Tables))
 				tp[n.Leaf] = row
 				out = append(out, tp)
 			}
@@ -124,7 +176,7 @@ func (in *Instance) ExecuteTree(root *plan.TreeNode) (ExecResult, error) {
 			for _, lt := range left {
 				for _, rt := range right {
 					if in.tuplesJoin(lt, rt) {
-						merged := make(tuple, len(lt))
+						merged := a.get(len(lt))
 						copy(merged, lt)
 						for i, row := range rt {
 							if row != nil {
@@ -135,12 +187,16 @@ func (in *Instance) ExecuteTree(root *plan.TreeNode) (ExecResult, error) {
 					}
 				}
 			}
+			// Child generations are dead: merged tuples are copies.
+			a.put(left)
+			a.put(right)
 		}
 		res.Intermediate += len(out)
 		return out
 	}
 	final := rec(root)
 	res.ResultRows = len(final)
+	a.put(final)
 	return res, nil
 }
 

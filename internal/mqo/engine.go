@@ -13,6 +13,11 @@ import (
 
 const compactEvery = 64
 
+// maxBufCap bounds the cost model's buffer pre-size hints: a mis-estimated
+// (or drifted) rate must not translate into an arbitrarily large up-front
+// allocation.
+const maxBufCap = 4096
+
 // Tagged is one match produced by the shared DAG, tagged with the consuming
 // query's name.
 type Tagged struct {
@@ -84,11 +89,19 @@ type crossPred struct {
 // node is one DAG node: a leaf (event-type intake with unary filters) or a
 // join over two children. Its buffer holds the sub-join's live partial
 // matches — computed once however many parents and query roots consume
-// them.
+// them. Leaves are keyed without the window (the selection layer: one
+// filtered intake per distinct type+filter set, shared across queries with
+// different windows) and retain events to the widest consumer window; join
+// nodes re-check their own window at combine time.
 type node struct {
 	key    string
 	window event.Time
 	slots  int
+	// bufCap is the cost model's pre-size hint for the instance buffer: the
+	// expected partial-match volume PM(N) of Section 4.2, evaluated under
+	// the statistics the node was planned with (measured drift statistics on
+	// a re-optimization splice, registration-time statistics otherwise).
+	bufCap int
 
 	// leaf fields
 	leafType string
@@ -153,6 +166,59 @@ type Engine struct {
 	closed   bool
 	st       EngineStats
 	out      []Tagged
+
+	// free is the engine-local partial-match free list. The engine is a
+	// single-goroutine machine, so a plain slice beats sync.Pool here: no
+	// per-P shuttling, no GC-driven eviction, and the counters in pstats
+	// give exact leak accounting (Live()==0 after Close).
+	free   []*inst
+	pstats PoolStats
+}
+
+// PoolStats counts the engine's partial-match pool traffic. Gets is the
+// total number of instance acquisitions (News of them freshly allocated,
+// the rest recycled), Puts the returns. Live() is the number of instances
+// currently owned by node buffers — the leak tests assert it reaches zero
+// after Close.
+type PoolStats struct {
+	News, Gets, Puts int64
+}
+
+// Live returns the number of pool-owned instances not yet returned.
+func (ps PoolStats) Live() int64 { return ps.Gets - ps.Puts }
+
+// PoolStats returns a copy of the pool counters.
+func (e *Engine) PoolStats() PoolStats { return e.pstats }
+
+// getInst acquires an instance with its event slice sized to slots. Slice
+// entries beyond the previous length are always nil (putInst clears up to
+// the length in use), so no re-clearing is needed on reuse.
+func (e *Engine) getInst(slots int) *inst {
+	e.pstats.Gets++
+	if n := len(e.free); n > 0 {
+		in := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		if cap(in.ev) < slots {
+			in.ev = make([]*event.Event, slots)
+		} else {
+			in.ev = in.ev[:slots]
+		}
+		return in
+	}
+	e.pstats.News++
+	return &inst{ev: make([]*event.Event, slots)}
+}
+
+// putInst returns an instance to the free list. The caller must be the sole
+// owner; event references are dropped here so recycled instances never pin
+// expired events.
+func (e *Engine) putInst(in *inst) {
+	e.pstats.Puts++
+	for i := range in.ev {
+		in.ev[i] = nil
+	}
+	e.free = append(e.free, in)
 }
 
 // Names returns the member query names in registration order.
@@ -171,9 +237,28 @@ func (e *Engine) CurrentPartial() int { return e.nPartial + len(e.pendings) }
 // order); it seeds the instance watermarks the per-consumer Since filter
 // compares against. The returned slice is reused by the next call.
 func (e *Engine) Process(ev *event.Event, seq uint64) []Tagged {
+	e.out = e.out[:0]
+	e.processOne(ev, seq)
+	return e.out
+}
+
+// ProcessBatch consumes a timestamp-ordered batch in one wake-up and
+// returns the tagged matches of the whole batch, in stream order. seq0 is
+// the stream sequence number of the first event; the i-th event carries
+// seq0+i. Semantically identical to calling Process per event; the batch
+// form amortizes the output reset and lets one queue item carry many
+// events. The returned slice is reused by the next call.
+func (e *Engine) ProcessBatch(evs []*event.Event, seq0 uint64) []Tagged {
+	e.out = e.out[:0]
+	for i, ev := range evs {
+		e.processOne(ev, seq0+uint64(i))
+	}
+	return e.out
+}
+
+func (e *Engine) processOne(ev *event.Event, seq uint64) {
 	e.st.Processed++
 	e.now = ev.TS
-	e.out = e.out[:0]
 
 	e.expirePendings()
 	e.killPendings(ev)
@@ -201,13 +286,14 @@ func (e *Engine) Process(ev *event.Event, seq uint64) []Tagged {
 		if !ok {
 			continue
 		}
-		in := &inst{ev: []*event.Event{ev}, minTS: ev.TS, maxTS: ev.TS, minSeq: seq}
+		in := e.getInst(1)
+		in.ev[0] = ev
+		in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
 		e.insert(leaf, in)
 	}
 	if e.st.Processed%compactEvery == 0 {
 		e.compact()
 	}
-	return e.out
 }
 
 // insert registers an instance at a node: it emits at every query root
@@ -221,6 +307,9 @@ func (e *Engine) insert(n *node, in *inst) {
 		e.emit(&n.consumers[i], in)
 	}
 	if len(n.parents) == 0 {
+		// Pure root: nothing buffers the instance, so it dies here — emit
+		// copies the events out, the instance itself recycles.
+		e.putInst(in)
 		return
 	}
 	n.buffer = append(n.buffer, in)
@@ -283,7 +372,8 @@ func (e *Engine) combine(p *node, li, ri *inst) *inst {
 			return nil
 		}
 	}
-	merged := &inst{ev: make([]*event.Event, p.slots), minTS: min, maxTS: max, minSeq: li.minSeq}
+	merged := e.getInst(p.slots)
+	merged.minTS, merged.maxTS, merged.minSeq = min, max, li.minSeq
 	if ri.minSeq < merged.minSeq {
 		merged.minSeq = ri.minSeq
 	}
@@ -304,8 +394,13 @@ func (e *Engine) emit(cons *consumer, in *inst) {
 		return // predates the query's registration
 	}
 	m := match.New(cons.c.N)
+	// One flat backing array serves every position group: a single allocation
+	// instead of one per slot. The 3-arg slice caps each group at length 1 so
+	// a consumer appending to a group cannot clobber its neighbor's slot.
+	flat := make([]*event.Event, len(in.ev))
 	for slot, ev := range in.ev {
-		m.Positions[cons.termOf[slot]] = []*event.Event{ev}
+		flat[slot] = ev
+		m.Positions[cons.termOf[slot]] = flat[slot : slot+1 : slot+1]
 	}
 	for _, spec := range cons.negComplete {
 		if e.violated(cons, m, spec) {
@@ -397,6 +492,7 @@ func (e *Engine) compact() {
 		keep := n.buffer[:0]
 		for _, in := range n.buffer {
 			if e.now-in.minTS > n.window {
+				e.putInst(in)
 				continue
 			}
 			keep = append(keep, in)
@@ -434,10 +530,14 @@ func (e *Engine) Flush() []Tagged {
 	return e.out
 }
 
-// Close releases the engine's buffers.
+// Close releases the engine's buffers, returning every buffered instance to
+// the pool (leak tests assert PoolStats().Live() == 0 afterwards).
 func (e *Engine) Close() {
 	e.closed = true
 	for _, n := range e.nodes {
+		for _, in := range n.buffer {
+			e.putInst(in)
+		}
 		n.buffer = nil
 	}
 	e.pendings = nil
@@ -454,6 +554,11 @@ func (e *Engine) Close() {
 // accumulated. Consumers recover their negation buffers and pending
 // matches by query name. spliceSeq is the watermark stamped on nodes that
 // cannot be reconstructed (their sub-join was never live before).
+//
+// Adopted buffers are deep copies drawn from this engine's own instance
+// pool: several successors may adopt from the same predecessors, and a
+// predecessor's Close recycles its instances into its own free list — so
+// no instance may be shared across engines.
 //
 // The caller must guarantee quiescence: no Process call may be in flight on
 // any engine involved, and the predecessors are discarded afterwards.
@@ -498,12 +603,19 @@ func (e *Engine) AdoptFrom(olds []*Engine, spliceSeq uint64) {
 		}
 		if src, ok := best[n.key]; ok {
 			n.sinceSeq = src.sinceSeq
-			n.buffer = make([]*inst, 0, len(src.buffer))
+			capHint := len(src.buffer)
+			if n.bufCap > capHint {
+				capHint = n.bufCap
+			}
+			n.buffer = make([]*inst, 0, capHint)
 			for _, in := range src.buffer {
 				if e.now-in.minTS > n.window {
 					continue
 				}
-				n.buffer = append(n.buffer, in)
+				cp := e.getInst(len(in.ev))
+				copy(cp.ev, in.ev)
+				cp.minTS, cp.maxTS, cp.minSeq = in.minTS, in.maxTS, in.minSeq
+				n.buffer = append(n.buffer, cp)
 			}
 			continue
 		}

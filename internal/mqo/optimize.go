@@ -790,10 +790,33 @@ func buildEngine(group []*qstate) (*Engine, error) {
 	build = func(q *qstate, t *plan.TreeNode) (*node, []int, error) {
 		subset := t.Leaves()
 		key, ord := subsetKey(q.sigs, subset)
+		if t.IsLeaf() {
+			// Selection pushdown below shared sub-joins: leaves are keyed
+			// without the window, so one filtered intake per distinct
+			// type+unary-filter set serves every query, and each cheap
+			// single-event selection is evaluated once per event no matter
+			// how many plans consume it. The shared leaf retains events to
+			// the widest consumer window (max-updated below); join parents
+			// re-check their own window at combine time, and a single-event
+			// root emission is trivially in-window.
+			key = "L|" + q.sigs.leaf[t.Leaf]
+		}
+		// Pre-size hint: expected partial-match volume PM(N) under the
+		// statistics this query was planned with (Section 4.2).
+		bufCap := int(cost.TreePM(q.ps, t)) + 1
+		if bufCap > maxBufCap {
+			bufCap = maxBufCap
+		}
 		if n := byKey[key]; n != nil {
+			if q.c.Window > n.window {
+				n.window = q.c.Window
+			}
+			if bufCap > n.bufCap {
+				n.bufCap = bufCap
+			}
 			return n, ord, nil
 		}
-		n := &node{key: key, window: q.c.Window, slots: len(ord)}
+		n := &node{key: key, window: q.c.Window, slots: len(ord), bufCap: bufCap}
 		if t.IsLeaf() {
 			pos := q.term(t.Leaf)
 			n.leafType = q.c.Types[pos]
@@ -883,6 +906,11 @@ func buildEngine(group []*qstate) (*Engine, error) {
 	eng.st.Nodes = len(eng.nodes)
 	eng.st.Queries = len(group)
 	for _, n := range eng.nodes {
+		// Pre-allocate instance buffers to the cost model's expected volume
+		// (parents are final now, so buffering nodes are known).
+		if len(n.parents) > 0 {
+			n.buffer = make([]*inst, 0, n.bufCap)
+		}
 		if len(n.parents)+len(n.consumers) > 1 {
 			eng.st.SharedNodes++
 		}

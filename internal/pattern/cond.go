@@ -2,6 +2,7 @@ package pattern
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/event"
 )
@@ -180,12 +181,17 @@ func (c Condition) EvalUnary(e *event.Event) bool {
 // first alias and `b` to its second. It returns false if an attribute is
 // missing.
 func (c Condition) EvalPair(a, b *event.Event) bool {
+	// The first alias in Left→Right operand order — inlined rather than
+	// going through Aliases(), which would allocate its slice on every
+	// evaluation of the join engines' innermost loop.
+	var first string
+	if !c.Left.IsConst() {
+		first = c.Left.Alias
+	} else if !c.Right.IsConst() {
+		first = c.Right.Alias
+	}
 	bind := func(o Operand) *event.Event {
-		if o.IsConst() {
-			return nil
-		}
-		als := c.Aliases()
-		if o.Alias == als[0] {
+		if o.Alias == first {
 			return a
 		}
 		return b
@@ -203,6 +209,180 @@ func (c Condition) EvalPair(a, b *event.Event) bool {
 		return false
 	}
 	return c.Op.Apply(l, r)
+}
+
+// pairResolved caches the attribute positions of a PairFn closure for one
+// (left schema, right schema) combination, so steady-state evaluation reads
+// the attribute slices directly instead of going through the schema's
+// string-keyed index map on every candidate pair.
+type pairResolved struct {
+	ls, rs *event.Schema
+	li, ri int // attribute indices; -1 marks a missing attribute
+}
+
+// pseudoAccessor returns the direct reader for the event-header
+// pseudo-attributes Event.Attr resolves ahead of the schema (ts, serial,
+// pserial, partition), or nil for an ordinary schema attribute. The choice
+// is static per attribute name, so the specialized evaluators decide it
+// once at build time.
+func pseudoAccessor(attr string) func(*event.Event) float64 {
+	switch attr {
+	case "ts":
+		return func(e *event.Event) float64 { return float64(e.TS) }
+	case "serial":
+		return func(e *event.Event) float64 { return float64(e.Serial) }
+	case "pserial":
+		return func(e *event.Event) float64 { return float64(e.PSerial) }
+	case "partition":
+		return func(e *event.Event) float64 { return float64(e.Partition) }
+	}
+	return nil
+}
+
+// PairFn returns a specialized evaluator for a pairwise condition,
+// semantically identical to EvalPair: `a` is bound to the condition's first
+// alias, `b` to its second, and a missing attribute evaluates to false.
+// The alias binding of each operand is decided once here instead of per
+// call, and attribute positions are resolved once per schema pointer and
+// cached. The cache is an atomic pointer swap, so one closure may be
+// evaluated from many goroutines; each engine typically sees a single
+// schema per side and hits the cache on every call.
+func (c Condition) PairFn() func(a, b *event.Event) bool {
+	var first string
+	if !c.Left.IsConst() {
+		first = c.Left.Alias
+	} else if !c.Right.IsConst() {
+		first = c.Right.Alias
+	}
+	leftConst, rightConst := c.Left.IsConst(), c.Right.IsConst()
+	leftFromA := !leftConst && c.Left.Alias == first
+	rightFromA := !rightConst && c.Right.Alias == first
+	left, right, op := c.Left, c.Right, c.Op
+	var leftPseudo, rightPseudo func(*event.Event) float64
+	if !leftConst {
+		leftPseudo = pseudoAccessor(left.Attr)
+	}
+	if !rightConst {
+		rightPseudo = pseudoAccessor(right.Attr)
+	}
+	var cache atomic.Pointer[pairResolved]
+	return func(a, b *event.Event) bool {
+		var le, re *event.Event
+		if !leftConst {
+			if leftFromA {
+				le = a
+			} else {
+				le = b
+			}
+		}
+		if !rightConst {
+			if rightFromA {
+				re = a
+			} else {
+				re = b
+			}
+		}
+		res := cache.Load()
+		if res == nil ||
+			(le != nil && res.ls != le.Schema) ||
+			(re != nil && res.rs != re.Schema) {
+			nr := &pairResolved{li: -1, ri: -1}
+			if le != nil {
+				nr.ls = le.Schema
+				if le.Schema != nil {
+					if i, ok := le.Schema.Index(left.Attr); ok {
+						nr.li = i
+					}
+				}
+			}
+			if re != nil {
+				nr.rs = re.Schema
+				if re.Schema != nil {
+					if i, ok := re.Schema.Index(right.Attr); ok {
+						nr.ri = i
+					}
+				}
+			}
+			cache.Store(nr)
+			res = nr
+		}
+		l, r := left.Const, right.Const
+		switch {
+		case leftConst:
+		case leftPseudo != nil:
+			l = leftPseudo(le)
+		case res.li < 0:
+			return false
+		default:
+			l = le.Attrs[res.li]
+		}
+		switch {
+		case rightConst:
+		case rightPseudo != nil:
+			r = rightPseudo(re)
+		case res.ri < 0:
+			return false
+		default:
+			r = re.Attrs[res.ri]
+		}
+		return op.Apply(l, r)
+	}
+}
+
+// UnaryFn returns a specialized evaluator for a single-alias condition,
+// semantically identical to EvalUnary, with the same per-schema attribute
+// resolution cache as PairFn.
+func (c Condition) UnaryFn() func(e *event.Event) bool {
+	leftConst, rightConst := c.Left.IsConst(), c.Right.IsConst()
+	left, right, op := c.Left, c.Right, c.Op
+	var leftPseudo, rightPseudo func(*event.Event) float64
+	if !leftConst {
+		leftPseudo = pseudoAccessor(left.Attr)
+	}
+	if !rightConst {
+		rightPseudo = pseudoAccessor(right.Attr)
+	}
+	var cache atomic.Pointer[pairResolved]
+	return func(e *event.Event) bool {
+		res := cache.Load()
+		if res == nil || res.ls != e.Schema {
+			nr := &pairResolved{ls: e.Schema, li: -1, ri: -1}
+			if e.Schema != nil {
+				if !leftConst {
+					if i, ok := e.Schema.Index(left.Attr); ok {
+						nr.li = i
+					}
+				}
+				if !rightConst {
+					if i, ok := e.Schema.Index(right.Attr); ok {
+						nr.ri = i
+					}
+				}
+			}
+			cache.Store(nr)
+			res = nr
+		}
+		l, r := left.Const, right.Const
+		switch {
+		case leftConst:
+		case leftPseudo != nil:
+			l = leftPseudo(e)
+		case res.li < 0:
+			return false
+		default:
+			l = e.Attrs[res.li]
+		}
+		switch {
+		case rightConst:
+		case rightPseudo != nil:
+			r = rightPseudo(e)
+		case res.ri < 0:
+			return false
+		default:
+			r = e.Attrs[res.ri]
+		}
+		return op.Apply(l, r)
+	}
 }
 
 func (c Condition) validate(aliases map[string]bool, reg *event.Registry, p *Pattern) error {

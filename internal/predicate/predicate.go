@@ -249,13 +249,13 @@ func Compile(p *pattern.Pattern, strategy Strategy) (*Compiled, error) {
 			i := aliasIdx[als[0]]
 			c.Preds.AddUnary(Unary{
 				I: i, Desc: cond.String(),
-				Fn: func(e *event.Event) bool { return cond.EvalUnary(e) },
+				Fn: cond.UnaryFn(),
 			})
 		case 2:
 			i, j := aliasIdx[als[0]], aliasIdx[als[1]]
 			c.Preds.AddPair(Pair{
 				I: i, J: j, Desc: cond.String(),
-				Fn: func(a, b *event.Event) bool { return cond.EvalPair(a, b) },
+				Fn: cond.PairFn(),
 			})
 		default:
 			return nil, fmt.Errorf("predicate: condition %q is not at most pairwise", cond)

@@ -28,11 +28,20 @@ const DefaultMaxKleeneBase = 12
 
 const compactEvery = 64
 
+// maxBufCap bounds the buffer pre-size hints: a mis-estimated rate must not
+// translate into an arbitrarily large up-front allocation.
+const maxBufCap = 4096
+
 // Config tunes an Engine.
 type Config struct {
 	Strategy      predicate.Strategy
 	MaxKleeneBase int
 	OnMatch       func(*match.Match)
+	// BufferCap pre-sizes each node's instance buffer, keyed by the plan
+	// node it is built from. Values come from the cost model's expected
+	// partial-match volume PM(N) (Section 4.2) under measured or
+	// registration-time statistics; missing entries start empty and grow.
+	BufferCap map[*plan.TreeNode]int
 }
 
 // Stats exposes the engine's load counters.
@@ -95,6 +104,70 @@ type Engine struct {
 	nBuffered int
 	st        Stats
 	out       []*match.Match
+
+	// free is the engine-local partial-match free list. The engine is a
+	// single-goroutine machine, so a plain slice beats sync.Pool here: no
+	// per-P shuttling, no GC-driven eviction, and the counters in pstats
+	// give exact leak accounting (Live()==0 after Close).
+	free          []*inst
+	pstats        PoolStats
+	kleeneScratch []*event.Event
+}
+
+// PoolStats counts the engine's partial-match pool traffic. Gets is the
+// total number of instance acquisitions (News of them freshly allocated,
+// the rest recycled), Puts the returns. Live() is the number of instances
+// currently held in node buffers or the pending queue — the leak tests
+// assert it reaches zero after Close.
+type PoolStats struct {
+	News, Gets, Puts int64
+}
+
+// Live returns the number of pool-owned instances not yet returned.
+func (ps PoolStats) Live() int64 { return ps.Gets - ps.Puts }
+
+// PoolStats returns a copy of the pool counters.
+func (e *Engine) PoolStats() PoolStats { return e.pstats }
+
+// getInst acquires an instance with a clean positions table of the
+// pattern's width. Entries are always nil on return (putInst clears them),
+// so no re-clearing is needed here.
+func (e *Engine) getInst() *inst {
+	e.pstats.Gets++
+	if n := len(e.free); n > 0 {
+		in := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		if in.positions == nil {
+			in.positions = make([][]*event.Event, e.c.N)
+		}
+		in.dead = false
+		return in
+	}
+	e.pstats.News++
+	return &inst{positions: make([][]*event.Event, e.c.N)}
+}
+
+// putInst returns an instance whose positions table did NOT escape. The
+// caller must be the sole owner; position groups are dropped here so
+// recycled instances never pin expired events (the groups themselves may
+// still be shared read-only with other live instances — only the outer
+// table is reused).
+func (e *Engine) putInst(in *inst) {
+	e.pstats.Puts++
+	for i := range in.positions {
+		in.positions[i] = nil
+	}
+	e.free = append(e.free, in)
+}
+
+// putShell returns an instance whose positions table escaped into an
+// emitted Match: the match now owns the table, so only the shell recycles
+// (getInst re-creates the table on reuse).
+func (e *Engine) putShell(in *inst) {
+	e.pstats.Puts++
+	in.positions = nil
+	e.free = append(e.free, in)
 }
 
 // New builds a tree engine for the compiled pattern and plan tree, whose
@@ -137,6 +210,12 @@ func New(c *predicate.Compiled, planRoot *plan.TreeNode, cfg Config) (*Engine, e
 
 func (e *Engine) build(pn *plan.TreeNode, parent *node) *node {
 	n := &node{leafPos: -1, parent: parent}
+	if c := e.cfg.BufferCap[pn]; c > 0 {
+		if c > maxBufCap {
+			c = maxBufCap
+		}
+		n.buffer = make([]*inst, 0, c)
+	}
 	if pn.IsLeaf() {
 		n.leafPos = pn.Leaf
 		n.members = []int{pn.Leaf}
@@ -208,9 +287,27 @@ func (e *Engine) CurrentBuffered() int { return e.nBuffered }
 // Process consumes one event (timestamps non-decreasing) and returns the
 // matches it completed. The returned slice is reused by the next call.
 func (e *Engine) Process(ev *event.Event) []*match.Match {
+	e.out = e.out[:0]
+	e.processOne(ev)
+	return e.out
+}
+
+// ProcessBatch consumes a timestamp-ordered batch in one wake-up and
+// returns the matches of the whole batch, in stream order. Semantically
+// identical to calling Process per event; the batch form amortizes the
+// output reset and lets one queue item carry many events. The returned
+// slice is reused by the next call.
+func (e *Engine) ProcessBatch(evs []*event.Event) []*match.Match {
+	e.out = e.out[:0]
+	for _, ev := range evs {
+		e.processOne(ev)
+	}
+	return e.out
+}
+
+func (e *Engine) processOne(ev *event.Event) {
 	e.st.Processed++
 	e.now = ev.TS
-	e.out = e.out[:0]
 
 	e.expirePending()
 	if len(e.negPending) > 0 {
@@ -235,7 +332,8 @@ func (e *Engine) Process(ev *event.Event) []*match.Match {
 			e.processKleeneLeaf(leaf, pos, ev)
 			continue
 		}
-		in := &inst{positions: make([][]*event.Event, e.c.N), minTS: ev.TS, maxTS: ev.TS}
+		in := e.getInst()
+		in.minTS, in.maxTS = ev.TS, ev.TS
 		in.positions[pos] = []*event.Event{ev}
 		e.insert(leaf, in)
 	}
@@ -245,19 +343,22 @@ func (e *Engine) Process(ev *event.Event) []*match.Match {
 	if e.st.Processed%compactEvery == 0 {
 		e.compact()
 	}
-	return e.out
 }
 
 // processKleeneLeaf creates one instance per subset of earlier compatible
 // raw events, each completed with the arriving event (Theorem 4's power-set
 // groups, created exactly once).
 func (e *Engine) processKleeneLeaf(leaf *node, pos int, ev *event.Event) {
-	var base []*event.Event
+	// The in-window base set is assembled in a reusable scratch slice: it
+	// never escapes (groups copy out of it below), and the events it holds
+	// between calls are pinned by rawKleene anyway.
+	base := e.kleeneScratch[:0]
 	for _, b := range e.rawKleene[pos] {
 		if ev.TS-b.TS <= e.c.Window {
 			base = append(base, b)
 		}
 	}
+	e.kleeneScratch = base
 	if len(base) > e.cfg.MaxKleeneBase {
 		base = base[len(base)-e.cfg.MaxKleeneBase:]
 		e.st.KleeneCapped++
@@ -286,7 +387,8 @@ func (e *Engine) processKleeneLeaf(leaf *node, pos int, ev *event.Event) {
 			continue
 		}
 		group = append(group, ev)
-		in := &inst{positions: make([][]*event.Event, e.c.N), minTS: min, maxTS: max}
+		in := e.getInst()
+		in.minTS, in.maxTS = min, max
 		in.positions[pos] = group
 		e.insert(leaf, in)
 	}
@@ -301,6 +403,7 @@ func (e *Engine) insert(n *node, in *inst) {
 	e.st.Created++
 	for _, spec := range n.negSpecs {
 		if e.violated(in, spec) {
+			e.putInst(in) // rejected before buffering: sole owner
 			return
 		}
 	}
@@ -387,7 +490,8 @@ func (e *Engine) combine(ln *node, li *inst, rn *node, ri *inst, parent *node) *
 			return nil
 		}
 	}
-	merged := &inst{positions: make([][]*event.Event, e.c.N), minTS: min, maxTS: max}
+	merged := e.getInst()
+	merged.minTS, merged.maxTS = min, max
 	for pos := range merged.positions {
 		if li.positions[pos] != nil {
 			merged.positions[pos] = li.positions[pos]
@@ -398,19 +502,24 @@ func (e *Engine) combine(ln *node, li *inst, rn *node, ri *inst, parent *node) *
 	return merged
 }
 
-// complete handles a full match at the root.
+// complete handles a full match at the root. Root instances are never
+// buffered, so every path either hands the instance to the pending queue,
+// emits it (emit recycles the shell), or recycles it here.
 func (e *Engine) complete(in *inst) {
 	if e.cfg.Strategy == predicate.SkipTillNextMatch && e.anyConsumed(in) {
+		e.putInst(in)
 		return
 	}
 	for _, spec := range e.negComplete {
 		if e.violated(in, spec) {
+			e.putInst(in)
 			return
 		}
 	}
 	if len(e.negPending) > 0 {
 		for _, spec := range e.negPending {
 			if e.violated(in, spec) {
+				e.putInst(in)
 				return
 			}
 		}
@@ -450,6 +559,8 @@ func (e *Engine) emit(in *inst) {
 		e.cfg.OnMatch(m)
 	}
 	e.out = append(e.out, m)
+	// The positions table now belongs to the match; recycle the shell only.
+	e.putShell(in)
 }
 
 func (e *Engine) anyConsumed(in *inst) bool {
@@ -467,14 +578,36 @@ func (e *Engine) anyConsumed(in *inst) bool {
 func (e *Engine) Flush() []*match.Match {
 	e.out = e.out[:0]
 	for _, pd := range e.pending {
-		if !pd.in.dead {
-			if !(e.cfg.Strategy == predicate.SkipTillNextMatch && e.anyConsumed(pd.in)) {
-				e.emit(pd.in)
-			}
+		if pd.in.dead || (e.cfg.Strategy == predicate.SkipTillNextMatch && e.anyConsumed(pd.in)) {
+			e.putInst(pd.in)
+			continue
 		}
+		e.emit(pd.in)
 	}
 	e.pending = nil
 	return e.out
+}
+
+// Close releases the engine's buffers, returning every live instance to the
+// pool (leak tests assert PoolStats().Live() == 0 after Flush+Close).
+func (e *Engine) Close() {
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, in := range n.buffer {
+			e.putInst(in)
+		}
+		n.buffer = nil
+		if n.left != nil {
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	walk(e.root)
+	for _, pd := range e.pending {
+		e.putInst(pd.in)
+	}
+	e.pending = nil
+	e.nPartial = 0
 }
 
 func (e *Engine) expirePending() {
@@ -485,13 +618,19 @@ func (e *Engine) expirePending() {
 	for _, pd := range e.pending {
 		switch {
 		case pd.in.dead:
+			e.putInst(pd.in)
 		case pd.deadline < e.now:
-			if !(e.cfg.Strategy == predicate.SkipTillNextMatch && e.anyConsumed(pd.in)) {
+			if e.cfg.Strategy == predicate.SkipTillNextMatch && e.anyConsumed(pd.in) {
+				e.putInst(pd.in)
+			} else {
 				e.emit(pd.in)
 			}
 		default:
 			keep = append(keep, pd)
 		}
+	}
+	for i := len(keep); i < len(e.pending); i++ {
+		e.pending[i] = nil
 	}
 	e.pending = keep
 }
@@ -519,13 +658,15 @@ func (e *Engine) compact() {
 	walk = func(n *node) {
 		keep := n.buffer[:0]
 		for _, in := range n.buffer {
-			if in.dead || e.now-in.minTS > e.c.Window {
-				continue
-			}
-			if e.cfg.Strategy == predicate.SkipTillNextMatch && e.anyConsumed(in) {
+			if in.dead || e.now-in.minTS > e.c.Window ||
+				(e.cfg.Strategy == predicate.SkipTillNextMatch && e.anyConsumed(in)) {
+				e.putInst(in)
 				continue
 			}
 			keep = append(keep, in)
+		}
+		for i := len(keep); i < len(n.buffer); i++ {
+			n.buffer[i] = nil
 		}
 		n.buffer = keep
 		total += len(keep)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/metrics"
 	"repro/internal/nfa"
 	"repro/internal/plan"
@@ -108,10 +109,12 @@ func New(p *Pattern, st *Stats, opts ...Option) (*Runtime, error) {
 	rt := &Runtime{pattern: p, plan: pl}
 	for _, sp := range pl.Simple {
 		if sp.IsTree() {
-			e, err := tree.New(sp.Compiled, sp.TreeTerms(), tree.Config{
+			termRoot := sp.TreeTerms()
+			e, err := tree.New(sp.Compiled, termRoot, tree.Config{
 				Strategy:      o.strategy,
 				MaxKleeneBase: o.maxKleeneBase,
 				OnMatch:       o.onMatch,
+				BufferCap:     bufferHints(sp, termRoot),
 			})
 			if err != nil {
 				return nil, err
@@ -132,6 +135,38 @@ func New(p *Pattern, st *Stats, opts ...Option) (*Runtime, error) {
 	return rt, nil
 }
 
+// maxBufferHint bounds the cost-model buffer pre-size hints handed to the
+// engines; a mis-estimated rate must not become a huge up-front allocation.
+const maxBufferHint = 4096
+
+// bufferHints computes per-node instance-buffer pre-size hints for a tree
+// plan: the cost model's expected partial-match volume PM(N) of every
+// sub-join (Section 4.2), evaluated under the statistics the plan was built
+// with — measured drift statistics on a re-optimization, registration-time
+// statistics otherwise. sp.Tree is in planning positions (what the cost
+// model reads); execRoot is the same shape in term positions (what the
+// engine is built from), so the two trees are walked in lockstep.
+func bufferHints(sp *core.SimplePlan, execRoot *plan.TreeNode) map[*plan.TreeNode]int {
+	if sp.Tree == nil || sp.Stats == nil || execRoot == nil {
+		return nil
+	}
+	hints := make(map[*plan.TreeNode]int)
+	var walk func(pn, xn *plan.TreeNode)
+	walk = func(pn, xn *plan.TreeNode) {
+		c := int(cost.TreePM(sp.Stats, pn)) + 1
+		if c > maxBufferHint {
+			c = maxBufferHint
+		}
+		hints[xn] = c
+		if !pn.IsLeaf() && !xn.IsLeaf() {
+			walk(pn.Left, xn.Left)
+			walk(pn.Right, xn.Right)
+		}
+	}
+	walk(sp.Tree, execRoot)
+	return hints
+}
+
 // Process feeds one event (timestamps must be non-decreasing) and returns
 // the matches it completed. The returned slice is only valid until the next
 // call. A nil event returns ErrNilEvent; after Flush or Close it returns
@@ -146,6 +181,39 @@ func (rt *Runtime) Process(e *Event) ([]*Match, error) {
 	var out []*Match
 	for _, eng := range rt.engines {
 		out = append(out, eng.Process(e)...)
+	}
+	rt.matches += int64(len(out))
+	return out, nil
+}
+
+// ProcessBatch feeds a timestamp-ordered batch of events in one call and
+// returns the matches the whole batch completed, in stream order. It is
+// semantically identical to calling Process per event, but a single-engine
+// runtime hands the batch to the engine in one wake-up, amortizing the
+// per-event dispatch. The returned slice is only valid until the next call.
+func (rt *Runtime) ProcessBatch(events []*Event) ([]*Match, error) {
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	for _, e := range events {
+		if e == nil {
+			return nil, ErrNilEvent
+		}
+	}
+	if len(rt.engines) == 1 {
+		if be, ok := rt.engines[0].(interface {
+			ProcessBatch([]*Event) []*Match
+		}); ok {
+			out := be.ProcessBatch(events)
+			rt.matches += int64(len(out))
+			return out, nil
+		}
+	}
+	var out []*Match
+	for _, e := range events {
+		for _, eng := range rt.engines {
+			out = append(out, eng.Process(e)...)
+		}
 	}
 	rt.matches += int64(len(out))
 	return out, nil
@@ -217,9 +285,15 @@ func (rt *Runtime) Flush() ([]*Match, error) {
 }
 
 // Close releases the runtime without flushing: matches still held back by
-// trailing-negation windows are discarded. It is idempotent.
+// trailing-negation windows are discarded, and engines that pool partial
+// matches return them. It is idempotent.
 func (rt *Runtime) Close() error {
 	rt.closed = true
+	for _, eng := range rt.engines {
+		if c, ok := eng.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
 	return nil
 }
 

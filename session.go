@@ -181,12 +181,16 @@ func (c SessionConfig) withDefaults() SessionConfig {
 	return c
 }
 
-// sessionItem is one queue unit: the event plus its stream sequence number
-// — the watermark the shared lanes use so queries added mid-stream never
-// observe pre-registration events.
+// sessionItem is one queue unit: a single event or a whole batch, plus the
+// stream sequence number — the watermark the shared lanes use so queries
+// added mid-stream never observe pre-registration events. A batch item
+// carries the sequence number of its first event (the i-th event is
+// seq+i); the batch slice is owned by the session and shared read-only
+// across every lane.
 type sessionItem struct {
-	ev  *Event
-	seq uint64
+	ev    *Event
+	seq   uint64
+	batch []*Event // non-nil for SubmitBatch items; ev is nil then
 }
 
 // Session is the front door for serving: any number of named queries over
@@ -562,6 +566,44 @@ func (s *Session) submit(ctx context.Context, e *Event) error {
 	return nil
 }
 
+// SubmitBatch broadcasts a timestamp-ordered batch of events to every lane
+// as ONE queue item — one channel send, one worker wake-up and one lock
+// round per lane for the whole batch, instead of one per event. It is
+// semantically identical to submitting the events one by one: matches,
+// watermarks and adaptivity observations are per event. The same ordering
+// contract as Submit applies; the caller may reuse the slice as soon as the
+// call returns. An empty batch is a no-op.
+func (s *Session) SubmitBatch(events []*Event) error {
+	return s.submitBatch(nil, events)
+}
+
+// submitBatch is SubmitBatch with a cancellable context, mirroring submit:
+// sequence numbers are allocated and the broadcast happens under the intake
+// read lock, the adaptivity observations after it, outside every lock.
+func (s *Session) submitBatch(ctx context.Context, events []*Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	for _, e := range events {
+		if e == nil {
+			return ErrNilEvent
+		}
+	}
+	// One defensive copy, shared read-only by every lane: the caller may
+	// reuse its slice immediately, while workers are still processing.
+	batch := make([]*Event, len(events))
+	copy(batch, events)
+	s.intakeMu.RLock()
+	last := s.seq.Add(uint64(len(batch)))
+	err := sessErr(s.pool.Broadcast(ctx, sessionItem{batch: batch, seq: last - uint64(len(batch)) + 1}))
+	s.intakeMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	s.observeBatchAdapt(batch)
+	return nil
+}
+
 // Run streams an event source through the session until the source is
 // exhausted or the context is cancelled, starting the workers if needed.
 // On normal end of source it drains the queues (a barrier, not a flush —
@@ -621,6 +663,25 @@ func (s *Session) Process(e *Event) ([]*Match, error) {
 		return nil, err
 	}
 	return nil, s.Submit(e)
+}
+
+// ProcessBatch submits a whole batch — the BatchDetector view of the
+// session. As with Process, matches are delivered asynchronously through
+// the sinks, so the returned slice is always nil. The session starts
+// implicitly on the first call.
+func (s *Session) ProcessBatch(events []*Event) ([]*Match, error) {
+	for _, e := range events {
+		if e == nil {
+			return nil, ErrNilEvent
+		}
+	}
+	if len(events) == 0 {
+		return nil, nil
+	}
+	if err := s.ensureStarted(); err != nil {
+		return nil, err
+	}
+	return nil, s.SubmitBatch(events)
 }
 
 // Flush ends the stream: it stops intake, waits for every queued event,
@@ -792,6 +853,10 @@ type sessionLane struct {
 // dropped (the error is reported through Flush/Close/Err); the other lanes
 // keep running.
 func (l *sessionLane) work(it sessionItem) {
+	if it.batch != nil {
+		l.workBatch(it)
+		return
+	}
 	if l.eng != nil {
 		for _, tm := range l.eng.Process(it.ev, it.seq) {
 			l.s.emitOne(l.members[tm.Query], tm.M)
@@ -809,6 +874,43 @@ func (l *sessionLane) work(it sessionItem) {
 		return
 	}
 	l.s.emit(q, ms)
+}
+
+// workBatch processes one batch item in a single wake-up. Shared lanes hand
+// the whole batch to the DAG engine; private lanes use the detector's batch
+// entry point when it has one, else fall back to per-event processing. The
+// first error kills the query mid-batch, dropping its remainder — the same
+// at-first-error semantics as the per-event path.
+func (l *sessionLane) workBatch(it sessionItem) {
+	if l.eng != nil {
+		for _, tm := range l.eng.ProcessBatch(it.batch, it.seq) {
+			l.s.emitOne(l.members[tm.Query], tm.M)
+		}
+		return
+	}
+	q := l.q
+	if q.dead {
+		return
+	}
+	if bd, ok := q.det.(BatchDetector); ok {
+		ms, err := bd.ProcessBatch(it.batch)
+		if err != nil {
+			l.s.recordErr(q, err)
+			q.dead = true
+			return
+		}
+		l.s.emit(q, ms)
+		return
+	}
+	for _, ev := range it.batch {
+		ms, err := q.det.Process(ev)
+		if err != nil {
+			l.s.recordErr(q, err)
+			q.dead = true
+			return
+		}
+		l.s.emit(q, ms)
+	}
 }
 
 // finish runs after the lane's queue closed: flush and close the engines.

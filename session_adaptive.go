@@ -115,6 +115,15 @@ type sessionAdapt struct {
 	// selCache carries selectivity estimates across checks, refreshed every
 	// selRefreshEvery checks (under mu).
 	selCache map[string]selEstimate
+
+	// Rate-screen state, touched only by the goroutine that currently owns
+	// `checking` (at most one check in flight), so it needs no lock.
+	// lastRates is the per-type rate snapshot taken at the most recent full
+	// check; curRates is the reused scratch map for the comparison.
+	lastRates   map[string]float64
+	curRates    map[string]float64
+	screenTick  int64
+	screenArmed bool // a component was over threshold at the last full check
 }
 
 // newSessionAdapt builds the adaptivity state at NewSession time: the
@@ -207,6 +216,57 @@ func (s *Session) observeAdapt(e *Event) {
 	s.adaptCheck(n)
 }
 
+// rateScreenBand is the per-type rate ratio beyond which the cheap drift
+// screen escalates to a full check. Windowed rate estimates on a stationary
+// stream wobble by a few percent; a 1.2x move is far outside that noise yet
+// far inside any shift worth re-planning for (the scenario shifts are 10x+).
+const rateScreenBand = 1.2
+
+// ratesMoved reports whether any type's rate moved beyond rateScreenBand
+// between the two snapshots. A type present only in cur (first arrivals of
+// a new type) always counts as moved; the collector's type set never
+// shrinks, so cur covers every key of old.
+func ratesMoved(old, cur map[string]float64) bool {
+	for typ, r := range cur {
+		o := old[typ]
+		if o == 0 || r == 0 {
+			if o != r {
+				return true
+			}
+			continue
+		}
+		if ratio := r / o; ratio > rateScreenBand || ratio*rateScreenBand < 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// observeBatchAdapt is observeAdapt for a whole submitted batch: one
+// ObserveBatch call into the collector and one counter advance, with at
+// most one drift check per batch however many CheckEvery boundaries the
+// batch crossed.
+func (s *Session) observeBatchAdapt(evs []*Event) {
+	a := s.adapt
+	if a == nil || a.col == nil || len(evs) == 0 {
+		return
+	}
+	a.col.ObserveBatch(evs)
+	if !a.enabled {
+		return
+	}
+	n := a.counter.Add(int64(len(evs)))
+	every := int64(a.cfg.CheckEvery)
+	if n/every == (n-int64(len(evs)))/every {
+		return
+	}
+	if !a.checking.CompareAndSwap(false, true) {
+		return
+	}
+	defer a.checking.Store(false)
+	s.adaptCheck(n)
+}
+
 // adaptCheck is one drift check: every live sharing component's running
 // trees are re-priced under the collector's current measurements and
 // compared against a fresh replan; components whose drift score clears the
@@ -217,6 +277,31 @@ func (s *Session) adaptCheck(pos int64) {
 	if !a.col.Ready() {
 		return
 	}
+	// Rate screen: a full check re-prices every live component's trees and
+	// generates a fresh candidate plan — planner work that is pure waste on
+	// a stationary stream. The detector's score is driven entirely by the
+	// collector's measurements, so when no type's windowed rate has moved
+	// beyond rateScreenBand since the last full check the answer is known
+	// cheaply. Every selRefreshEvery-th check runs in full regardless (so
+	// drift visible only in selectivities — steady rates, changed
+	// correlations — is still caught, at a coarser cadence), and screening
+	// disengages entirely while any component sits over threshold, so the
+	// hysteresis count never stalls between a shift and its splice.
+	a.screenTick++
+	full := a.screenArmed || a.lastRates == nil || (a.screenTick-1)%selRefreshEvery == 0
+	if !full {
+		a.curRates = a.col.Rates(a.curRates)
+		full = ratesMoved(a.lastRates, a.curRates)
+	}
+	if !full {
+		s.mu.Lock()
+		if s.started && !s.closed {
+			a.checks++
+		}
+		s.mu.Unlock()
+		return
+	}
+	a.lastRates = a.col.Rates(a.lastRates)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.started || s.closed {
@@ -236,19 +321,23 @@ func (s *Session) adaptCheck(pos int64) {
 		score float64
 	}
 	var cands []candidate
-	if a.selCache == nil || (a.checks-1)%selRefreshEvery == 0 {
+	if a.selCache == nil || (a.screenTick-1)%selRefreshEvery == 0 {
 		a.selCache = map[string]selEstimate{}
 	}
 	snap := newSnapCache(a.col, a.selCache)
+	armed := false
 	for _, id := range order {
 		stale, freshCost, ok := s.compCostsLocked(comps[id], snap)
 		if !ok {
 			continue
 		}
-		if dec := a.det.Check(id, stale, freshCost, pos); dec.Trigger {
+		dec := a.det.Check(id, stale, freshCost, pos)
+		armed = armed || dec.Consecutive > 0
+		if dec.Trigger {
 			cands = append(cands, candidate{comp: id, score: dec.Score})
 		}
 	}
+	a.screenArmed = armed
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score

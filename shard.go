@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/pool"
@@ -97,10 +98,85 @@ func shardErr(err error) error {
 // recordErr keeps the first worker error for Close to report.
 func (sr *ShardedRuntime) recordErr(err error) { sr.pool.RecordErr(err) }
 
-// shardMsg is one unit on a worker queue: a single event or a batch.
+// shardMsg is one unit on a worker queue: a single event or a whole
+// per-shard sub-batch.
 type shardMsg struct {
-	ev    *Event
-	batch []*Event
+	ev  *Event
+	sub *subBatch
+}
+
+// subBatch is one shard's slice of a SubmitBatch call. Sub-batches cycle
+// through a sync.Pool — they cross goroutines (producer fills, worker
+// drains), so per-P caching is the right ownership model. The producer owns
+// a sub-batch until SendGrouped succeeds; then the worker owns it and
+// releases it after processing.
+type subBatch struct {
+	evs []*Event
+}
+
+var subBatchPool = sync.Pool{New: func() any { return new(subBatch) }}
+
+func getSubBatch() *subBatch { return subBatchPool.Get().(*subBatch) }
+
+// release drops the event references (pooled sub-batches must not pin
+// events) and parks the sub-batch.
+func (b *subBatch) release() {
+	for i := range b.evs {
+		b.evs[i] = nil
+	}
+	b.evs = b.evs[:0]
+	subBatchPool.Put(b)
+}
+
+// batchScratch is the per-SubmitBatch regrouping workspace, recycled via
+// its own sync.Pool: the groups table and the send list persist across
+// calls, while the sub-batches they point at are pooled separately because
+// their ownership moves to the workers on a successful send.
+type batchScratch struct {
+	groups []*subBatch
+	pairs  []pool.Grouped[shardMsg]
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getBatchScratch(lanes int) *batchScratch {
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.groups) < lanes {
+		sc.groups = make([]*subBatch, lanes)
+	} else {
+		sc.groups = sc.groups[:lanes]
+		for i := range sc.groups {
+			sc.groups[i] = nil
+		}
+	}
+	sc.pairs = sc.pairs[:0]
+	return sc
+}
+
+// abort reclaims the sub-batches when nothing was enqueued: on a nil event,
+// or on a SendGrouped lifecycle error (the shard pool never retires lanes,
+// so a failed grouped send enqueued nothing).
+func (sc *batchScratch) abort() {
+	for i, g := range sc.groups {
+		if g != nil {
+			g.release()
+			sc.groups[i] = nil
+		}
+	}
+}
+
+// release parks the scratch: sub-batch pointers are dropped (the workers
+// own them now) and send-list entries cleared so pooled scratches never pin
+// event slices.
+func (sc *batchScratch) release() {
+	for i := range sc.groups {
+		sc.groups[i] = nil
+	}
+	for i := range sc.pairs {
+		sc.pairs[i] = pool.Grouped[shardMsg]{}
+	}
+	sc.pairs = sc.pairs[:0]
+	batchScratchPool.Put(sc)
 }
 
 type shardWorker struct {
@@ -199,23 +275,51 @@ func (sr *ShardedRuntime) SubmitBatch(events []*Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	groups := make([][]*Event, len(sr.workers))
+	sc := getBatchScratch(len(sr.workers))
+	defer sc.release()
 	for _, e := range events {
 		if e == nil {
+			sc.abort()
 			return fmt.Errorf("cep: nil event in batch: %w", ErrNilEvent)
 		}
 		i := sr.workerIndexFor(e.Partition)
-		groups[i] = append(groups[i], e)
+		g := sc.groups[i]
+		if g == nil {
+			g = getSubBatch()
+			sc.groups[i] = g
+		}
+		g.evs = append(g.evs, e)
 	}
-	pairs := make([]pool.Grouped[shardMsg], 0, len(sr.workers))
-	for i, g := range groups {
-		if len(g) > 0 {
-			pairs = append(pairs, pool.Grouped[shardMsg]{Lane: i, Item: shardMsg{batch: g}})
+	for i, g := range sc.groups {
+		if g != nil {
+			sc.pairs = append(sc.pairs, pool.Grouped[shardMsg]{Lane: i, Item: shardMsg{sub: g}})
 		}
 	}
 	// One lifecycle check covers the whole batch: a concurrent Close cannot
 	// interleave mid-batch.
-	return shardErr(sr.pool.SendGrouped(pairs))
+	if err := sr.pool.SendGrouped(sc.pairs); err != nil {
+		sc.abort()
+		return shardErr(err)
+	}
+	return nil
+}
+
+// ProcessBatch lazily starts the workers and submits the whole batch — the
+// BatchDetector view of the sharded runtime. As with Process, matches are
+// delivered asynchronously, so the returned slice is always nil.
+func (sr *ShardedRuntime) ProcessBatch(events []*Event) ([]*Match, error) {
+	for _, e := range events {
+		if e == nil {
+			return nil, ErrNilEvent
+		}
+	}
+	if len(events) == 0 {
+		return nil, nil
+	}
+	if err := sr.pool.EnsureStarted(); err != nil {
+		return nil, shardErr(err)
+	}
+	return nil, sr.SubmitBatch(events)
 }
 
 // Drain is a mid-stream barrier: it blocks until every event submitted
@@ -292,11 +396,12 @@ func (sr *ShardedRuntime) Stats() []ShardStats {
 // touched by two goroutines.
 func (sr *ShardedRuntime) work(lane int, msg shardMsg) {
 	w := sr.workers[lane]
-	if msg.batch != nil {
+	if msg.sub != nil {
 		w.counters.AddBatch()
-		for _, e := range msg.batch {
+		for _, e := range msg.sub.evs {
 			w.process(e)
 		}
+		msg.sub.release()
 		return
 	}
 	w.process(msg.ev)

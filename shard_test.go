@@ -144,6 +144,115 @@ func TestShardedSubmitBatch(t *testing.T) {
 	}
 }
 
+// TestShardedSubBatchQueueItems pins the queue-item contract of
+// SubmitBatch: one call enqueues exactly one item per destination shard
+// (the per-shard sub-batch), never one per event.
+func TestShardedSubBatchQueueItems(t *testing.T) {
+	events, p, st := shardWorkload(t, 512, 16)
+	sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	evs := workload.ResetStream(events)
+	shards := map[int]bool{}
+	for _, ev := range evs {
+		shards[sr.workerIndexFor(ev.Partition)] = true
+	}
+	if err := sr.SubmitBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var batches, evCount int64
+	for _, s := range sr.Stats() {
+		batches += s.Batches
+		evCount += s.Events
+	}
+	if batches != int64(len(shards)) {
+		t.Fatalf("one SubmitBatch enqueued %d queue items, want %d (one per destination shard)",
+			batches, len(shards))
+	}
+	if evCount != int64(len(evs)) {
+		t.Fatalf("shards processed %d events, want %d", evCount, len(evs))
+	}
+	if _, err := sr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedBatchFlushDeterministic runs the same batched feed twice and
+// requires Flush to return the matches in the same order both times: shard
+// routing is a pure function of the partition id, sub-batches preserve
+// per-partition order, and Flush concatenates shard by shard.
+func TestShardedBatchFlushDeterministic(t *testing.T) {
+	events, p, st := shardWorkload(t, 4000, 16)
+	run := func() []string {
+		evs := workload.ResetStream(events)
+		sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		const batch = 128
+		for i := 0; i < len(evs); i += batch {
+			end := i + batch
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if err := sr.SubmitBatch(evs[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := sr.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(got))
+		for i, m := range got {
+			keys[i] = m.Key()
+		}
+		return keys
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("no matches; workload too sparse to test ordering")
+	}
+	second := run()
+	if !equalStrings(first, second) {
+		t.Fatalf("two identical batched runs flushed different match orders (%d vs %d matches)",
+			len(first), len(second))
+	}
+}
+
+// TestShardedProcessBatch checks the BatchDetector entry point: lazy start,
+// nil-event refusal, and ErrClosed after Flush.
+func TestShardedProcessBatch(t *testing.T) {
+	events, p, st := shardWorkload(t, 512, 8)
+	sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := workload.ResetStream(events)
+	if _, err := sr.ProcessBatch([]*Event{evs[0], nil}); !errors.Is(err, ErrNilEvent) {
+		t.Fatalf("nil event in batch: got %v, want ErrNilEvent", err)
+	}
+	if ms, err := sr.ProcessBatch(evs); err != nil || ms != nil {
+		t.Fatalf("ProcessBatch = (%v, %v), want (nil, nil)", ms, err)
+	}
+	if _, err := sr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.ProcessBatch(evs[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ProcessBatch after Flush: got %v, want ErrClosed", err)
+	}
+}
+
 // TestShardedLifecycle exercises the Start/Drain/Close state machine and
 // the counter snapshots.
 func TestShardedLifecycle(t *testing.T) {
