@@ -3,6 +3,7 @@ package cep
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -20,14 +21,7 @@ import (
 // empty regardless of interleaving — which keeps the assertion exact and
 // the partial-match state bounded.
 func TestSessionBatchRaceStress(t *testing.T) {
-	// Registration-time stats from a skewed synthetic history (tails hot,
-	// head pair quiet); the live stream is uniform, so the drift monitor
-	// sees a rate inversion and the adaptive loop re-optimizes.
-	history := regimeShiftStream(3, map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20},
-		nil, 120*Second, 0)
-	queries := headPairQueries(t, history, 4)
-
-	s := NewSession(SessionConfig{
+	runSessionBatchRaceStress(t, SessionConfig{
 		ShareSubplans: true,
 		QueueLen:      64,
 		Adaptive: &AdaptiveSessionConfig{
@@ -38,10 +32,53 @@ func TestSessionBatchRaceStress(t *testing.T) {
 			Threshold:    0.01,
 		},
 	})
+}
+
+// TestSessionBatchRaceStressFilterIndex repeats the stress with the ingress
+// filter index on: every SubmitBatch now routes through the RCU-published
+// index while the churn goroutine's add/remove cycle rebuilds it under the
+// intake write lock. The counting query (every A event is a match) turns
+// the assertion into exact delivery accounting — a routed event dropped by
+// a stale index, or delivered twice across a swap, changes the count.
+func TestSessionBatchRaceStressFilterIndex(t *testing.T) {
+	runSessionBatchRaceStress(t, SessionConfig{
+		ShareSubplans: true,
+		FilterIndex:   true,
+		QueueLen:      64,
+		Adaptive: &AdaptiveSessionConfig{
+			CheckEvery:   64,
+			WarmupEvents: 64,
+			MinInterval:  64,
+			Hysteresis:   1,
+			Threshold:    0.01,
+		},
+	})
+}
+
+func runSessionBatchRaceStress(t *testing.T, cfg SessionConfig) {
+	// Registration-time stats from a skewed synthetic history (tails hot,
+	// head pair quiet); the live stream is uniform, so the drift monitor
+	// sees a rate inversion and the adaptive loop re-optimizes.
+	history := regimeShiftStream(3, map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20},
+		nil, 120*Second, 0)
+	queries := headPairQueries(t, history, 4)
+
+	s := NewSession(cfg)
 	for _, qc := range queries {
 		if err := s.Register(qc); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// The counting lane: a single-position pattern whose filter every A
+	// event satisfies, so its match count must equal the exact number of A
+	// events submitted — drops and double-deliveries both break equality.
+	var counted atomic.Int64
+	countP := Seq(Second, E("A", "a")).Where(Cmp(Ref("a", "x"), Ge, Const(0)))
+	if err := s.Register(QueryConfig{
+		Name: "count-a", Pattern: countP, Stats: Measure(history, countP),
+		OnMatch: func(*Match) { counted.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
 	}
 	if err := s.Start(); err != nil {
 		t.Fatal(err)
@@ -55,8 +92,14 @@ func TestSessionBatchRaceStress(t *testing.T) {
 	// driftSchema is not goroutine-safe, and the producers should spend
 	// their time in SubmitBatch, not generation.
 	streams := make([][]*Event, nProducers)
+	wantA := int64(0)
 	for pr := range streams {
 		streams[pr] = makeConstantTSEvents(pr, perProducer)
+		for _, e := range streams[pr] {
+			if e.Type == "A" {
+				wantA++
+			}
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -76,7 +119,8 @@ func TestSessionBatchRaceStress(t *testing.T) {
 
 	// Query churn concurrent with the producers: register a fresh shared
 	// query, remove it, repeat — every add/remove re-optimizes the shared
-	// component while batches are in flight.
+	// component (and, with FilterIndex, rebuilds the ingress index) while
+	// batches are in flight.
 	stop := make(chan struct{})
 	var churn sync.WaitGroup
 	churn.Add(1)
@@ -109,9 +153,15 @@ func TestSessionBatchRaceStress(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, ms := range s.Results() {
+		if name == "count-a" {
+			continue
+		}
 		if len(ms) != 0 {
 			t.Fatalf("query %s matched %d times on a constant-timestamp stream", name, len(ms))
 		}
+	}
+	if got := counted.Load(); got != wantA {
+		t.Fatalf("counting lane saw %d A events, submitted %d (dropped or double-delivered)", got, wantA)
 	}
 }
 

@@ -45,6 +45,16 @@
 // between all batch sizes. `-batch-json FILE` also writes the rows as a
 // JSON file; cmd/benchdiff compares two such files (regression gate) or
 // asserts a minimum intra-file speedup (batching gate) in CI.
+//
+// `cepbench -fig index` measures the ingress filter index
+// (SessionConfig.FilterIndex): many selectively-filtered two-symbol
+// queries (constant equality and range predicates) served by one session
+// with the index on versus off — broadcast fan-out versus two-stage
+// discrimination — at 64, 1000 and 10000 registered queries, with a
+// per-query match cross-check at the smallest count. Rows carry fig
+// "index-on"/"index-off" so cmd/benchdiff's speedup gate can divide the
+// 1000-query pair. `-index-json FILE` writes the rows for CI
+// (BENCH_index.json is the committed snapshot).
 package main
 
 import (
@@ -58,6 +68,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -92,6 +103,9 @@ func main() {
 		batchQs  = flag.String("batch-queries", "1,16,64", "overlapping query counts (-fig batch)")
 		batchSz  = flag.String("batch-sizes", "1,16,256", "SubmitBatch sizes; first is the cross-check reference (-fig batch)")
 		batchOut = flag.String("batch-json", "", "also write the batch rows as a JSON file (-fig batch)")
+		indexGen = flag.Int("index-events", 40000, "events in the filter-index stream (-fig index)")
+		indexQs  = flag.String("index-queries", "64,1000,10000", "registered query counts; matches cross-checked at the first (-fig index)")
+		indexOut = flag.String("index-json", "", "also write the index rows as a JSON file (-fig index)")
 	)
 	flag.Parse()
 
@@ -137,6 +151,13 @@ func main() {
 		}
 		return
 	}
+	if *fig == "index" {
+		if err := runIndexScenario(*indexGen, *indexQs, event.Time(*windowMS), *seed, *indexOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: index scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := make([]int, 0, *maxSize-2)
 	for s := 3; s <= *maxSize; s++ {
@@ -173,7 +194,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift' or 'batch')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift', 'batch' or 'index')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}
@@ -693,6 +714,224 @@ func runBatchScenario(symbols, events int, queryCounts, batchSizes string, windo
 		if !row.MatchesOK {
 			return fmt.Errorf("match-count mismatch at %d queries, batch %d", row.Queries, row.Batch)
 		}
+	}
+	return nil
+}
+
+// indexRow is one (index on/off, query count) measurement of the ingress
+// filter-index scenario. The index state is encoded in Fig ("index-on" /
+// "index-off") so the row keeps the fig/queries/batch key cmd/benchdiff
+// understands: its -min-speedup gate divides the events_per_sec of the two
+// rows sharing a query count. Events is recorded per row because the off
+// runs at high query counts process a reduced stream (broadcast fan-out is
+// too slow to feed the full one); rates are per-second either way, so the
+// pairs stay comparable.
+type indexRow struct {
+	Fig          string  `json:"fig"`
+	Queries      int     `json:"queries"`
+	Batch        int     `json:"batch"`
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_off"`
+	Matches      int64   `json:"matches"`
+	MatchesOK    bool    `json:"matches_ok"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+}
+
+// runIndexScenario measures the ingress filter index
+// (SessionConfig.FilterIndex) on a workload built for discrimination
+// rather than joins: 16 event types carrying one attribute v in 0..399, and
+// n two-term SEQ queries whose constant predicates (equality on both
+// positions; every fourth query a ten-wide range band on the first) make
+// each query care about a tiny slice of the stream. A broadcast session
+// pays one queue handoff per registered lane per event; the filter index
+// pays one type dispatch plus a hash/bound-list probe and hands the event
+// only to the lanes whose subscription it satisfies. Each configured query
+// count runs index-off then index-on over the same stream; per-query match
+// counts are cross-checked at the first (smallest) count, where the off
+// run still covers the full stream. Rows go to stdout as a table and JSON,
+// and to jsonPath when set — the input of cmd/benchdiff's speedup gate.
+func runIndexScenario(events int, queryCounts string, window event.Time, seed int64, jsonPath string) error {
+	var counts []int
+	for _, part := range strings.Split(queryCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("invalid -index-queries %q", queryCounts)
+		}
+		counts = append(counts, n)
+	}
+
+	const nTypes = 16
+	const vCard = 400
+	const feedBatch = 256
+	schemas := make([]*event.Schema, nTypes)
+	typeNames := make([]string, nTypes)
+	for i := range schemas {
+		typeNames[i] = fmt.Sprintf("T%02d", i)
+		schemas[i] = event.NewSchema(typeNames[i], "v")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stream := make([]*event.Event, events)
+	for i := range stream {
+		stream[i] = event.New(schemas[rng.Intn(nTypes)], event.Time(i+1), float64(rng.Intn(vCard)))
+	}
+	cep.Stamp(stream)
+
+	// The query generator restarts from the same seed for every run, so the
+	// on and off sessions of a count register identical query sets.
+	makeQueries := func(n int) []cep.QueryConfig {
+		qrng := rand.New(rand.NewSource(seed + 1))
+		out := make([]cep.QueryConfig, n)
+		for i := range out {
+			ta := typeNames[qrng.Intn(nTypes)]
+			tb := typeNames[qrng.Intn(nTypes)]
+			p := cep.Seq(window, cep.E(ta, "a"), cep.E(tb, "b"))
+			if i%4 == 3 {
+				lo := float64(qrng.Intn(vCard - 10))
+				p = p.Where(
+					cep.Cmp(cep.Ref("a", "v"), cep.Ge, cep.Const(lo)),
+					cep.Cmp(cep.Ref("a", "v"), cep.Lt, cep.Const(lo+10)),
+					cep.Cmp(cep.Ref("b", "v"), cep.Eq, cep.Const(float64(qrng.Intn(vCard)))),
+				)
+			} else {
+				p = p.Where(
+					cep.Cmp(cep.Ref("a", "v"), cep.Eq, cep.Const(float64(qrng.Intn(vCard)))),
+					cep.Cmp(cep.Ref("b", "v"), cep.Eq, cep.Const(float64(qrng.Intn(vCard)))),
+				)
+			}
+			out[i] = cep.QueryConfig{Name: fmt.Sprintf("q%05d", i), Pattern: p}
+		}
+		return out
+	}
+
+	// Matches are counted through OnMatch (and the sessions closed) so a
+	// 10000-query run neither retains every match nor leaks 10000 workers.
+	// Stats stay nil: Measure over 10000 patterns would dominate the run,
+	// and two-term plans have only one shape anyway.
+	run := func(n, nEvents int, filterIndex bool) (time.Duration, []int64, *cep.IndexReport, error) {
+		queries := makeQueries(n)
+		matched := make([]atomic.Int64, n)
+		s := cep.NewSession(cep.SessionConfig{QueueLen: 64, FilterIndex: filterIndex})
+		for i, qc := range queries {
+			c := &matched[i]
+			qc.OnMatch = func(*cep.Match) { c.Add(1) }
+			if err := s.Register(qc); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if err := s.Start(); err != nil {
+			return 0, nil, nil, err
+		}
+		evs := workload.ResetStream(stream[:nEvents])
+		start := time.Now()
+		for i := 0; i < len(evs); i += feedBatch {
+			end := min(i+feedBatch, len(evs))
+			if err := s.SubmitBatch(evs[i:end]); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if _, err := s.Flush(); err != nil {
+			return 0, nil, nil, err
+		}
+		elapsed := time.Since(start)
+		rep := s.IndexReport()
+		if err := s.Close(); err != nil {
+			return 0, nil, nil, err
+		}
+		perQuery := make([]int64, n)
+		for i := range matched {
+			perQuery[i] = matched[i].Load()
+		}
+		return elapsed, perQuery, rep, nil
+	}
+
+	fmt.Printf("index scenario: %d events over %d types, window %dms, feed batch %d; index-off runs a reduced stream at high query counts\n\n",
+		events, nTypes, window, feedBatch)
+	table := harness.Table{
+		Title:   "Ingress filter index: feed throughput (events/s), index on vs off",
+		Columns: []string{"queries", "index", "events", "ev/s", "speedup vs off", "matches", "elapsed"},
+	}
+	var rows []indexRow
+	crossChecked := true
+	for ci, n := range counts {
+		// Broadcast cost grows linearly with the lane count, so the off run
+		// gets a budget of ~4M lane handoffs: full stream at 64 queries,
+		// 4000 events at 1000, 400 at 10000.
+		offEvents := min(events, max(250, 4_000_000/n))
+		offElapsed, offCounts, _, err := run(n, offEvents, false)
+		if err != nil {
+			return fmt.Errorf("queries=%d index-off: %w", n, err)
+		}
+		onElapsed, onCounts, rep, err := run(n, events, true)
+		if err != nil {
+			return fmt.Errorf("queries=%d index-on: %w", n, err)
+		}
+		matchesOK := true
+		if ci == 0 && offEvents == events {
+			for i := range onCounts {
+				if onCounts[i] != offCounts[i] {
+					matchesOK = false
+					crossChecked = false
+				}
+			}
+		}
+		offRate := float64(offEvents) / offElapsed.Seconds()
+		onRate := float64(events) / onElapsed.Seconds()
+		var offTotal, onTotal int64
+		for _, c := range offCounts {
+			offTotal += c
+		}
+		for _, c := range onCounts {
+			onTotal += c
+		}
+		pair := []indexRow{
+			{Fig: "index-off", Queries: n, Batch: feedBatch, Events: offEvents,
+				EventsPerSec: offRate, Speedup: 1, Matches: offTotal, MatchesOK: matchesOK,
+				ElapsedMS: offElapsed.Milliseconds()},
+			{Fig: "index-on", Queries: n, Batch: feedBatch, Events: events,
+				EventsPerSec: onRate, Speedup: onRate / offRate, Matches: onTotal, MatchesOK: matchesOK,
+				ElapsedMS: onElapsed.Milliseconds()},
+		}
+		rows = append(rows, pair...)
+		for _, row := range pair {
+			matchCell := fmt.Sprint(row.Matches)
+			if !row.MatchesOK {
+				matchCell += " (MISMATCH on vs off!)"
+			}
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprint(n), strings.TrimPrefix(row.Fig, "index-"), fmt.Sprint(row.Events),
+				fmt.Sprintf("%.0f", row.EventsPerSec), fmt.Sprintf("%.2f", row.Speedup),
+				matchCell, (time.Duration(row.ElapsedMS) * time.Millisecond).String(),
+			})
+		}
+		if rep != nil {
+			var evN, hits int64
+			var constraints int
+			for _, tr := range rep.Types {
+				evN += tr.Events
+				hits += tr.Hits
+				constraints += tr.IndexedConstraints
+			}
+			fmt.Printf("queries=%d index-on: %d subscriptions over %d lanes, %d indexed constraints, avg %.2f routed lanes/event (broadcast would pay %d)\n",
+				n, rep.Subscriptions, rep.Lanes, constraints,
+				float64(hits)/float64(max(evN, 1)), rep.Lanes+rep.AlwaysLanes)
+		}
+	}
+	fmt.Println()
+	table.Fprint(os.Stdout)
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJSON: %s\n", blob)
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(rows written to %s)\n", jsonPath)
+	}
+	if !crossChecked {
+		return fmt.Errorf("per-query match mismatch between index on and off at %d queries", counts[0])
 	}
 	return nil
 }

@@ -73,6 +73,50 @@ func ExampleQueryConfig() {
 	// Output: 1 match
 }
 
+// ExampleSession_IndexReport enables the ingress filter index and reads
+// its per-type statistics back: each event is classified once at Submit —
+// exact type dispatch, then constant-predicate tables — and routed only to
+// the queries it can advance, so the report's hit rates are the post-index
+// fan-out the broadcast path would have paid in full.
+func ExampleSession_IndexReport() {
+	trade := cep.NewSchema("Trade", "sym")
+	fill := cep.NewSchema("Fill", "sym")
+	s := cep.NewSession(cep.SessionConfig{FilterIndex: true})
+	for i, src := range []string{
+		`PATTERN SEQ(Trade t, Fill f) WHERE t.sym = 1 WITHIN 5 s`,
+		`PATTERN SEQ(Trade t, Fill f) WHERE t.sym = 2 WITHIN 5 s`,
+	} {
+		if err := s.Register(cep.QueryConfig{Name: fmt.Sprintf("q%d", i), Query: src}); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		panic(err)
+	}
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(trade, 1000, 1), // routes to q0 only
+		cep.NewEvent(trade, 2000, 2), // routes to q1 only
+		cep.NewEvent(trade, 3000, 9), // routes nowhere
+		cep.NewEvent(fill, 4000, 1),  // Fill positions are unfiltered: both queries
+	})
+	for _, ev := range events {
+		if err := s.Submit(ev); err != nil {
+			panic(err)
+		}
+	}
+	rep := s.IndexReport()
+	for _, tr := range rep.Types {
+		fmt.Printf("%s: subs=%d constraints=%d events=%d hits=%d hitRate=%.2f\n",
+			tr.Type, tr.Subscriptions, tr.IndexedConstraints, tr.Events, tr.Hits, tr.HitRate)
+	}
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Fill: subs=2 constraints=0 events=1 hits=2 hitRate=1.00
+	// Trade: subs=2 constraints=2 events=3 hits=2 hitRate=0.33
+}
+
 // ExampleSession_RegisterDetector composes the Session with a sharded
 // multi-core runtime: the query is itself a Detector, so one session can
 // mix plain, adaptive and sharded queries under one lifecycle.

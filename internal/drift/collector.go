@@ -64,8 +64,9 @@ type Collector struct {
 	epochLen event.Time
 	warmup   int64
 
-	mu    sync.RWMutex // guards the types map (growth only)
-	types map[string]*typeState
+	mu       sync.RWMutex // guards the types map (growth only) and unarySrc
+	types    map[string]*typeState
+	unarySrc UnarySource
 
 	events   atomic.Int64
 	firstTS  atomic.Int64
@@ -295,11 +296,38 @@ func (c *Collector) reservoir(typ string) []*event.Event {
 	return out
 }
 
-// Selectivity estimates the condition's selectivity from the per-type
-// reservoirs, exactly like the single-runtime online estimator but with
-// the pair budget capped for the drift-check hot path. The boolean result
-// reports whether enough data was available.
+// UnarySource supplies measured selectivities for unary conditions,
+// typically the ingress filter index's own hit counters. When set, unary
+// estimates price the *post-index* stream the lanes actually see, not the
+// sampled pre-filter reservoir.
+type UnarySource func(typ string, cond pattern.Condition) (float64, bool)
+
+// SetUnarySource installs (or clears, with nil) the measured unary source
+// consulted by Selectivity ahead of reservoir sampling.
+func (c *Collector) SetUnarySource(src UnarySource) {
+	c.mu.Lock()
+	c.unarySrc = src
+	c.mu.Unlock()
+}
+
+// Selectivity estimates the condition's selectivity. Unary conditions are
+// answered by the measured UnarySource when one is installed and has seen
+// enough data — so re-planning prices post-index rates — otherwise (and
+// for all pairwise conditions) the per-type reservoirs are sampled,
+// exactly like the single-runtime online estimator but with the pair
+// budget capped for the drift-check hot path. The boolean result reports
+// whether enough data was available.
 func (c *Collector) Selectivity(cond pattern.Condition, aliasTypes map[string]string) (float64, bool) {
+	if als := cond.Aliases(); len(als) == 1 {
+		c.mu.RLock()
+		src := c.unarySrc
+		c.mu.RUnlock()
+		if src != nil {
+			if sel, ok := src(aliasTypes[als[0]], cond); ok {
+				return sel, true
+			}
+		}
+	}
 	return stats.SampleSelectivity(cond, func(alias string) []*event.Event {
 		return c.reservoir(aliasTypes[alias])
 	}, maxSelPairs)

@@ -81,6 +81,57 @@ func TestCollectorSnapshotSelectivity(t *testing.T) {
 	}
 }
 
+// TestCollectorUnarySource pins the acceptance contract of the ingress
+// filter index integration: when a measured unary source is installed,
+// re-planning consumes the post-index rate it reports — the reservoir
+// sample is only a fallback — while pairwise conditions and unary
+// conditions the source declines stay on sampling.
+func TestCollectorUnarySource(t *testing.T) {
+	c := NewCollector(10*event.Second, 0)
+	sa := event.NewSchema("A", "x")
+	sb := event.NewSchema("B", "x")
+	// The sampled stream says a.x > 0 half the time; the measured source
+	// will contradict it, and must win.
+	for i := 0; i < 400; i++ {
+		c.Observe(event.New(sa, event.Time(i*10), float64(i/4%2)))
+		c.Observe(event.New(sb, event.Time(i*10), 5))
+	}
+	alias := map[string]string{"a": "A", "b": "B"}
+	unary := pattern.Cmp(pattern.Ref("a", "x"), pattern.Gt, pattern.Const(0))
+	pair := pattern.AttrCmp("a", "x", pattern.Lt, "b", "x")
+
+	var askedTyp string
+	c.SetUnarySource(func(typ string, cond pattern.Condition) (float64, bool) {
+		askedTyp = typ
+		return 0.125, true
+	})
+	if got, ok := c.Selectivity(unary, alias); !ok || got != 0.125 {
+		t.Fatalf("Selectivity(unary) = %v, %v; want measured 0.125", got, ok)
+	}
+	if askedTyp != "A" {
+		t.Fatalf("source asked for type %q, want the alias's type A", askedTyp)
+	}
+	// Snapshot (the re-planning entry point) must carry the measured value.
+	st := c.Snapshot([]pattern.Condition{unary, pair}, alias)
+	if got := st.Selectivity(unary); got != 0.125 {
+		t.Fatalf("Snapshot unary selectivity = %v, want measured 0.125", got)
+	}
+	if got := st.Selectivity(pair); got != 1 {
+		t.Fatalf("Snapshot pair selectivity = %v, want sampled 1 (source must not be consulted)", got)
+	}
+
+	// A declining source falls back to the sampled estimate.
+	c.SetUnarySource(func(string, pattern.Condition) (float64, bool) { return 0, false })
+	if got, ok := c.Selectivity(unary, alias); !ok || math.Abs(got-0.5) > 0.15 {
+		t.Fatalf("declined source: Selectivity = %v, %v; want sampled ~0.5", got, ok)
+	}
+	// And clearing it restores pure sampling.
+	c.SetUnarySource(nil)
+	if got, ok := c.Selectivity(unary, alias); !ok || math.Abs(got-0.5) > 0.15 {
+		t.Fatalf("cleared source: Selectivity = %v, %v; want sampled ~0.5", got, ok)
+	}
+}
+
 // TestCollectorConcurrentLanes drives the collector from many goroutines at
 // once — the shape of a session whose shared and private lanes (and the
 // submit path) all touch the collector — and checks the totals against

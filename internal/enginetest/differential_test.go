@@ -64,9 +64,10 @@ func referenceMatches(qs []diffQuery, events []*event.Event) (map[string][]*matc
 
 // runSessionDifferential feeds the workload through one Session
 // configuration: shared or private lanes, per-event Submit (batch <= 1) or
-// SubmitBatch in chunks of the given size.
-func runSessionDifferential(qs []diffQuery, events []*event.Event, share bool, batch int) (map[string][]*match.Match, error) {
-	s := cep.NewSession(cep.SessionConfig{ShareSubplans: share})
+// SubmitBatch in chunks of the given size, broadcast feed or the ingress
+// filter index.
+func runSessionDifferential(qs []diffQuery, events []*event.Event, share, filterIndex bool, batch int) (map[string][]*match.Match, error) {
+	s := cep.NewSession(cep.SessionConfig{ShareSubplans: share, FilterIndex: filterIndex})
 	for _, q := range qs {
 		err := s.Register(cep.QueryConfig{
 			Name: q.name, Pattern: q.p, Strategy: cep.SkipTillAnyMatch,
@@ -116,15 +117,19 @@ func checkDifferential(seed int64, nQueries, nEvents, batch int) error {
 	modes := []struct {
 		name  string
 		share bool
+		fidx  bool
 		batch int
 	}{
-		{"shared/per-event", true, 0},
-		{fmt.Sprintf("shared/batch=%d", batch), true, batch},
-		{fmt.Sprintf("private/batch=%d", batch), false, batch},
+		{"shared/per-event", true, false, 0},
+		{fmt.Sprintf("shared/batch=%d", batch), true, false, batch},
+		{fmt.Sprintf("private/batch=%d", batch), false, false, batch},
+		{"indexed/shared/per-event", true, true, 0},
+		{fmt.Sprintf("indexed/shared/batch=%d", batch), true, true, batch},
+		{fmt.Sprintf("indexed/private/batch=%d", batch), false, true, batch},
 	}
 	for _, mode := range modes {
 		Reset(events)
-		got, err := runSessionDifferential(qs, events, mode.share, mode.batch)
+		got, err := runSessionDifferential(qs, events, mode.share, mode.fidx, mode.batch)
 		if err != nil {
 			return fmt.Errorf("%s: %w", mode.name, err)
 		}

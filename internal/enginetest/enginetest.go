@@ -166,5 +166,32 @@ func RandomPattern(rng *rand.Rand, window event.Time, negation, kleene bool) *pa
 		op := []pattern.CmpOp{pattern.Lt, pattern.Le, pattern.Ne}[rng.Intn(3)]
 		p.Conds = append(p.Conds, pattern.AttrCmp(aliases[i], "x", op, aliases[j], "x"))
 	}
+	// Random constant unary predicates — equality and ranges on x, in both
+	// spellings, on any term including negated ones. These are exactly the
+	// forms the ingress filter index compiles into its hash and bound
+	// tables, so the differential exercises indexed routing against the
+	// broadcast reference whenever the session enables FilterIndex.
+	var unaryAliases []string
+	for _, t := range terms {
+		unaryAliases = append(unaryAliases, t.Event.Alias)
+	}
+	nUnary := rng.Intn(3)
+	for k := 0; k < nUnary; k++ {
+		alias := unaryAliases[rng.Intn(len(unaryAliases))]
+		v := pattern.Const(float64(rng.Intn(10)))
+		x := pattern.Ref(alias, "x")
+		switch rng.Intn(5) {
+		case 0:
+			p.Conds = append(p.Conds, pattern.Cmp(x, pattern.Eq, v))
+		case 1:
+			p.Conds = append(p.Conds, pattern.Cmp(x, pattern.Ge, v))
+		case 2:
+			p.Conds = append(p.Conds, pattern.Cmp(x, pattern.Lt, v))
+		case 3:
+			p.Conds = append(p.Conds, pattern.Cmp(v, pattern.Gt, x)) // flipped spelling of x < v
+		case 4:
+			p.Conds = append(p.Conds, pattern.Cmp(x, pattern.Ne, v)) // not indexable: residual scan
+		}
+	}
 	return p
 }

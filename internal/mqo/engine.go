@@ -8,6 +8,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/match"
 	"repro/internal/oracle"
+	"repro/internal/pattern"
 	"repro/internal/predicate"
 )
 
@@ -106,6 +107,12 @@ type node struct {
 	// leaf fields
 	leafType string
 	unary    []predicate.UnaryFn
+	// leafConds/leafResidual split the leaf's unary filters for the ingress
+	// filter index: declarative conditions it can classify, plus opaque
+	// closures it must scan. Together they cover exactly `unary`, so an
+	// index verdict substitutes for running the filters.
+	leafConds    []pattern.Condition
+	leafResidual []predicate.UnaryFn
 
 	// join fields
 	left, right       *node
@@ -159,6 +166,13 @@ type Engine struct {
 	byType  map[string][]*node
 	names   []string    // member query names, registration order
 	negCons []*consumer // consumers carrying negation state, cached off the hot path
+
+	// Subscription slot tables for masked (index-routed) processing.
+	// Slots 0..len(negSlots)-1 address negation-buffer intakes, the rest
+	// leaf intakes — so a sorted hit-slot list reproduces processOne's
+	// negation-before-leaf order by construction.
+	negSlots  []negSlot
+	leafSlots []*node
 
 	now      event.Time
 	nPartial int
@@ -286,6 +300,102 @@ func (e *Engine) processOne(ev *event.Event, seq uint64) {
 		if !ok {
 			continue
 		}
+		in := e.getInst(1)
+		in.ev[0] = ev
+		in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
+		e.insert(leaf, in)
+	}
+	if e.st.Processed%compactEvery == 0 {
+		e.compact()
+	}
+}
+
+// negSlot is one negation-buffer intake: events of the negated position's
+// type passing its unary filters are buffered on the consumer.
+type negSlot struct {
+	cons *consumer
+	pos  int
+}
+
+// Sub describes one event intake of the DAG for registration with the
+// ingress filter index: an event of Type satisfying every condition in
+// Conds and every opaque filter in Residual belongs to the intake
+// addressed by Slot.
+type Sub struct {
+	Slot     int
+	Type     string
+	Conds    []pattern.Condition
+	Residual []predicate.UnaryFn
+}
+
+// Subscriptions enumerates the engine's event intakes — negation buffers
+// first, then leaves, matching the slot tables masked processing consumes.
+func (e *Engine) Subscriptions() []Sub {
+	out := make([]Sub, 0, len(e.negSlots)+len(e.leafSlots))
+	for i, ns := range e.negSlots {
+		var conds []pattern.Condition
+		var res []predicate.UnaryFn
+		for _, u := range ns.cons.c.Preds.Unaries(ns.pos) {
+			if u.HasCond {
+				conds = append(conds, u.Cond)
+			} else {
+				res = append(res, u.Fn)
+			}
+		}
+		out = append(out, Sub{Slot: i, Type: ns.cons.c.Types[ns.pos], Conds: conds, Residual: res})
+	}
+	for j, leaf := range e.leafSlots {
+		out = append(out, Sub{
+			Slot: len(e.negSlots) + j, Type: leaf.leafType,
+			Conds: leaf.leafConds, Residual: leaf.leafResidual,
+		})
+	}
+	return out
+}
+
+// ProcessSelected consumes one event the ingress filter index already
+// matched against this engine's subscriptions. slots is the sorted
+// ascending list of hit subscription slots; type dispatch and unary
+// filtering are NOT re-run — the verdict stands in for them. Semantically
+// identical to Process for any event whose slot list is exact. The
+// returned slice is reused by the next call.
+func (e *Engine) ProcessSelected(ev *event.Event, seq uint64, slots []int32) []Tagged {
+	e.out = e.out[:0]
+	e.processSelected(ev, seq, slots)
+	return e.out
+}
+
+// ProcessBatchSelected is the batched form of ProcessSelected: sel lists
+// the matched events' indices within evs (ascending), and the k-th
+// selected event's slot list is slots[slotOff[k]:slotOff[k+1]]. The i-th
+// event of evs carries sequence number seq0+i, exactly as in ProcessBatch.
+func (e *Engine) ProcessBatchSelected(evs []*event.Event, seq0 uint64, sel, slotOff, slots []int32) []Tagged {
+	e.out = e.out[:0]
+	for k, i := range sel {
+		e.processSelected(evs[i], seq0+uint64(i), slots[slotOff[k]:slotOff[k+1]])
+	}
+	return e.out
+}
+
+func (e *Engine) processSelected(ev *event.Event, seq uint64, slots []int32) {
+	e.st.Processed++
+	e.now = ev.TS
+
+	e.expirePendings()
+	nneg := len(e.negSlots)
+	k := 0
+	if k < len(slots) && int(slots[k]) < nneg {
+		// Only an event satisfying some negated position's type+filters can
+		// violate a pending match (oracle.Violates re-checks both), and any
+		// such event hits that position's negation slot.
+		e.killPendings(ev)
+		for ; k < len(slots) && int(slots[k]) < nneg; k++ {
+			ns := e.negSlots[slots[k]]
+			ns.cons.negBufs[ns.pos] = append(ns.cons.negBufs[ns.pos], ev)
+		}
+	}
+	for ; k < len(slots); k++ {
+		leaf := e.leafSlots[int(slots[k])-nneg]
 		in := e.getInst(1)
 		in.ev[0] = ev
 		in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq

@@ -822,6 +822,11 @@ func buildEngine(group []*qstate) (*Engine, error) {
 			n.leafType = q.c.Types[pos]
 			for _, u := range q.c.Preds.Unaries(pos) {
 				n.unary = append(n.unary, u.Fn)
+				if u.HasCond {
+					n.leafConds = append(n.leafConds, u.Cond)
+				} else {
+					n.leafResidual = append(n.leafResidual, u.Fn)
+				}
 			}
 			eng.byType[n.leafType] = append(eng.byType[n.leafType], n)
 		} else {
@@ -918,6 +923,19 @@ func buildEngine(group []*qstate) (*Engine, error) {
 			if n.consumers[ci].hasNegs() {
 				eng.negCons = append(eng.negCons, &n.consumers[ci])
 			}
+		}
+	}
+	// Subscription slot tables for masked (index-routed) processing:
+	// negation-buffer intakes first, then leaves, so sorted slot lists
+	// process negations before leaf insertions exactly like processOne.
+	for _, cons := range eng.negCons {
+		for _, spec := range cons.c.Negs {
+			eng.negSlots = append(eng.negSlots, negSlot{cons: cons, pos: spec.Pos})
+		}
+	}
+	for _, n := range eng.nodes {
+		if n.isLeaf() {
+			eng.leafSlots = append(eng.leafSlots, n)
 		}
 	}
 	if eng.st.Nodes == 0 {

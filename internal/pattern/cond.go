@@ -163,6 +163,32 @@ func (c Condition) IsTSOrder() bool {
 	return c.Op == Lt || c.Op == Le || c.Op == Gt || c.Op == Ge
 }
 
+// IndexableUnary reports whether the condition is a constant unary
+// constraint an ingress filter index can compile into its per-type tables,
+// and if so returns the normalized `attr OP const` form: the constant side
+// is folded to the right, flipping the operator when the constant was on
+// the left (5 < a.x  ⇒  a.x > 5). Equality constraints hash into buckets;
+// ordered comparisons become sorted bound lists. Ne (a scan is as cheap as
+// the index) and attr-vs-attr conditions over one alias (a.x < a.y) are not
+// indexable — they stay on the index's residual scan path.
+func (c Condition) IndexableUnary() (attr string, op CmpOp, con float64, ok bool) {
+	if !c.IsUnary() {
+		return "", 0, 0, false
+	}
+	switch {
+	case c.Right.IsConst() && !c.Left.IsConst():
+		attr, op, con = c.Left.Attr, c.Op, c.Right.Const
+	case c.Left.IsConst() && !c.Right.IsConst():
+		attr, op, con = c.Right.Attr, c.Op.Flip(), c.Left.Const
+	default:
+		return "", 0, 0, false
+	}
+	if op == Ne {
+		return "", 0, 0, false
+	}
+	return attr, op, con, true
+}
+
 // EvalUnary evaluates a unary condition against the event bound to its
 // single alias. It returns false if a referenced attribute is missing.
 func (c Condition) EvalUnary(e *event.Event) bool {

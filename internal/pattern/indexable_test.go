@@ -1,0 +1,34 @@
+package pattern
+
+import "testing"
+
+func TestIndexableUnary(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Condition
+		attr string
+		op   CmpOp
+		val  float64
+		ok   bool
+	}{
+		{"attr op const", Cmp(Ref("a", "x"), Ge, Const(5)), "x", Ge, 5, true},
+		{"const op attr flips", Cmp(Const(5), Le, Ref("a", "x")), "x", Ge, 5, true},
+		{"equality", Cmp(Ref("a", "x"), Eq, Const(1)), "x", Eq, 1, true},
+		{"flipped equality", Cmp(Const(1), Eq, Ref("a", "x")), "x", Eq, 1, true},
+		{"ne not indexable", Cmp(Ref("a", "x"), Ne, Const(1)), "", 0, 0, false},
+		{"attr vs attr same alias", Cmp(Ref("a", "x"), Lt, Ref("a", "y")), "", 0, 0, false},
+		{"pairwise", Cmp(Ref("a", "x"), Lt, Ref("b", "x")), "", 0, 0, false},
+		{"const vs const", Cmp(Const(1), Lt, Const(2)), "", 0, 0, false},
+	}
+	for _, tc := range cases {
+		attr, op, val, ok := tc.c.IndexableUnary()
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if ok && (attr != tc.attr || op != tc.op || val != tc.val) {
+			t.Errorf("%s: = (%q, %v, %v), want (%q, %v, %v)",
+				tc.name, attr, op, val, tc.attr, tc.op, tc.val)
+		}
+	}
+}

@@ -320,6 +320,31 @@ func (p *Pool[T]) SendGrouped(pairs []Grouped[T]) error {
 	return nil
 }
 
+// SendGroupedCtx is SendGrouped with a cancellable blocking phase: a
+// non-nil ctx makes each back-pressured send abortable, in which case the
+// group may have reached only a prefix of its lanes (the same partial
+// delivery contract as a cancelled Broadcast).
+func (p *Pool[T]) SendGroupedCtx(ctx context.Context, pairs []Grouped[T]) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.openLocked(); err != nil {
+		return err
+	}
+	for _, g := range pairs {
+		if p.lanes[g.Lane].retired {
+			return ErrClosed
+		}
+		if ctx == nil {
+			p.send(g.Lane, msg[T]{item: g.Item})
+			continue
+		}
+		if err := p.sendCtx(ctx, g.Lane, msg[T]{item: g.Item}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Broadcast enqueues the item on every live lane, in lane order (retired
 // lanes are skipped). A non-nil ctx makes each blocking send cancellable;
 // on cancellation the item may have reached only a prefix of the lanes.

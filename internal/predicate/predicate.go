@@ -27,11 +27,17 @@ type Pair struct {
 	Fn   PairFn
 }
 
-// Unary is a compiled filter predicate on term position I.
+// Unary is a compiled filter predicate on term position I. Cond retains the
+// declarative condition the closure was compiled from (HasCond reports
+// whether one exists): the ingress filter index classifies it into its
+// constant-constraint tables, and falls back to scanning Fn when it is
+// absent or not indexable.
 type Unary struct {
-	I    int
-	Desc string
-	Fn   UnaryFn
+	I       int
+	Desc    string
+	Fn      UnaryFn
+	Cond    pattern.Condition
+	HasCond bool
 }
 
 // Set holds the compiled predicates of one simple pattern, indexed by term
@@ -249,7 +255,7 @@ func Compile(p *pattern.Pattern, strategy Strategy) (*Compiled, error) {
 			i := aliasIdx[als[0]]
 			c.Preds.AddUnary(Unary{
 				I: i, Desc: cond.String(),
-				Fn: cond.UnaryFn(),
+				Fn: cond.UnaryFn(), Cond: cond, HasCond: true,
 			})
 		case 2:
 			i, j := aliasIdx[als[0]], aliasIdx[als[1]]

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/filterindex"
 	"repro/internal/mqo"
 	"repro/internal/plan"
 	"repro/internal/pool"
@@ -172,6 +173,25 @@ type SessionConfig struct {
 	// yesterday's measurements instead of neutral priors. A missing file is
 	// not an error (first run); an unreadable one surfaces at registration.
 	StatsPath string
+	// FilterIndex enables the ingress discrimination network
+	// (internal/filterindex): every lane registers its event intakes — type
+	// plus constant unary predicates — and each submitted event (or batch)
+	// is evaluated ONCE against the two-stage index (type dispatch, then
+	// hashed equality / sorted range constraint tables), then routed only
+	// to the lanes it can possibly feed, instead of being broadcast to all
+	// of them and re-filtered per lane. Shared DAG lanes additionally skip
+	// re-running their leaf unary filters: the index verdict addresses the
+	// exact leaf and negation intakes the event belongs to. Match sets are
+	// identical to broadcast evaluation. The index survives query churn
+	// (AddQuery/RemoveQuery rebuild only the affected types' shards behind
+	// an atomic pointer, so the feed path stays lock-free) and feeds
+	// measured per-constraint hit rates to the adaptivity collector, so
+	// drift re-planning prices post-index rates. See Session.IndexReport.
+	//
+	// Even with FilterIndex off, private (non-shared) query lanes get the
+	// stage-1 fast path: events whose type appears nowhere in a lane's
+	// pattern are not enqueued to it.
+	FilterIndex bool
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -187,10 +207,22 @@ func (c SessionConfig) withDefaults() SessionConfig {
 // carries the sequence number of its first event (the i-th event is
 // seq+i); the batch slice is owned by the session and shared read-only
 // across every lane.
+//
+// When the ingress filter index routed the item, the selection fields
+// carry the per-lane verdict: evSlots (single event) or slots/slotOff
+// (batch) list the hit subscription slots of a shared DAG lane, sorted
+// ascending, and sel lists the matched events' indices within the shared
+// batch. Private lanes get sel only — being routed at all is their
+// verdict. Nil selection fields mean "everything", the broadcast shape.
 type sessionItem struct {
 	ev    *Event
 	seq   uint64
 	batch []*Event // non-nil for SubmitBatch items; ev is nil then
+
+	evSlots []int32 // single event, shared lane: hit subscription slots
+	sel     []int32 // batch: matched event indices, ascending
+	slots   []int32 // batch, shared lane: flattened per-event slot lists
+	slotOff []int32 // batch, shared lane: slots[slotOff[k]:slotOff[k+1]] is sel[k]'s list
 }
 
 // Session is the front door for serving: any number of named queries over
@@ -248,6 +280,13 @@ type Session struct {
 	intakeMu sync.RWMutex
 	// seq numbers submitted events (1, 2, ...), in submission order.
 	seq atomic.Uint64
+
+	// fidx is the ingress filter index (RCU): the feed path loads it
+	// lock-free under intakeMu's read side, and every lane-set mutation
+	// rebuilds the affected type shards and swaps the pointer under the
+	// write side — so an index never references a retired lane. Nil until
+	// the lanes are built; an Empty index falls back to broadcast.
+	fidx atomic.Pointer[filterindex.Index]
 
 	// reoptGen counts completed re-optimizations; nextComp allocates global
 	// sharing-component ids.
@@ -519,6 +558,7 @@ func (s *Session) startLocked(explicit bool) error {
 	if err := s.buildLanes(); err != nil {
 		return err
 	}
+	s.wireIndexStats()
 	if err := sessErr(s.pool.Start()); err != nil {
 		return err
 	}
@@ -538,26 +578,34 @@ func (s *Session) ensureStarted() error {
 	return s.startLocked(false)
 }
 
-// Submit broadcasts one event to every lane, blocking on a full queue
-// (back-pressure). All events must be submitted in timestamp order by a
-// single goroutine (or with external ordering); queries consume them
-// concurrently with each other, never with the submitter's next Submit of
-// the same queue slot.
+// Submit feeds one event to the lanes that can use it, blocking on a full
+// queue (back-pressure). The ingress filter index routes the event to the
+// lanes whose patterns can consume its type (and, with
+// SessionConfig.FilterIndex, whose constant unary predicates it
+// satisfies); lanes with opaque detectors receive everything. All events
+// must be submitted in timestamp order by a single goroutine (or with
+// external ordering); queries consume them concurrently with each other,
+// never with the submitter's next Submit of the same queue slot.
 func (s *Session) Submit(e *Event) error {
 	return s.submit(nil, e)
 }
 
-// submit broadcasts under the intake read lock (so a lane splice never
-// interleaves a broadcast) and the pool's read lock; a non-nil ctx makes
-// each blocking queue send cancellable. After the broadcast — outside every
-// lock — the event feeds the adaptivity collector, which may run a drift
-// check (and a re-optimization splice) on this goroutine.
+// submit routes under the intake read lock (so a lane splice never
+// interleaves a send) and the pool's read lock; a non-nil ctx makes each
+// blocking queue send cancellable. After the sends — outside every lock —
+// the event feeds the adaptivity collector, which may run a drift check
+// (and a re-optimization splice) on this goroutine.
 func (s *Session) submit(ctx context.Context, e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
 	s.intakeMu.RLock()
-	err := sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1)}))
+	var err error
+	if fi := s.fidx.Load(); fi != nil && !fi.Empty() {
+		err = s.routeOne(ctx, fi, e, s.seq.Add(1))
+	} else {
+		err = sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1)}))
+	}
 	s.intakeMu.RUnlock()
 	if err != nil {
 		return err
@@ -595,7 +643,13 @@ func (s *Session) submitBatch(ctx context.Context, events []*Event) error {
 	copy(batch, events)
 	s.intakeMu.RLock()
 	last := s.seq.Add(uint64(len(batch)))
-	err := sessErr(s.pool.Broadcast(ctx, sessionItem{batch: batch, seq: last - uint64(len(batch)) + 1}))
+	seq0 := last - uint64(len(batch)) + 1
+	var err error
+	if fi := s.fidx.Load(); fi != nil && !fi.Empty() {
+		err = s.routeBatch(ctx, fi, batch, seq0)
+	} else {
+		err = sessErr(s.pool.Broadcast(ctx, sessionItem{batch: batch, seq: seq0}))
+	}
 	s.intakeMu.RUnlock()
 	if err != nil {
 		return err
@@ -846,6 +900,10 @@ type sessionLane struct {
 	// lane's queue closes, so the worker observes them.
 	retired bool
 	discard bool
+
+	// selScratch is the worker-owned gather buffer for index-routed
+	// batches on private lanes.
+	selScratch []*Event
 }
 
 // work processes one event on the lane's worker goroutine. On the first
@@ -858,7 +916,13 @@ func (l *sessionLane) work(it sessionItem) {
 		return
 	}
 	if l.eng != nil {
-		for _, tm := range l.eng.Process(it.ev, it.seq) {
+		var tms []mqo.Tagged
+		if it.evSlots != nil {
+			tms = l.eng.ProcessSelected(it.ev, it.seq, it.evSlots)
+		} else {
+			tms = l.eng.Process(it.ev, it.seq)
+		}
+		for _, tm := range tms {
 			l.s.emitOne(l.members[tm.Query], tm.M)
 		}
 		return
@@ -883,7 +947,13 @@ func (l *sessionLane) work(it sessionItem) {
 // at-first-error semantics as the per-event path.
 func (l *sessionLane) workBatch(it sessionItem) {
 	if l.eng != nil {
-		for _, tm := range l.eng.ProcessBatch(it.batch, it.seq) {
+		var tms []mqo.Tagged
+		if it.sel != nil {
+			tms = l.eng.ProcessBatchSelected(it.batch, it.seq, it.sel, it.slotOff, it.slots)
+		} else {
+			tms = l.eng.ProcessBatch(it.batch, it.seq)
+		}
+		for _, tm := range tms {
 			l.s.emitOne(l.members[tm.Query], tm.M)
 		}
 		return
@@ -892,8 +962,18 @@ func (l *sessionLane) workBatch(it sessionItem) {
 	if q.dead {
 		return
 	}
+	evs := it.batch
+	if it.sel != nil {
+		// Index-routed batch: gather the lane's selected events into the
+		// worker-owned scratch (detectors must not retain the slice).
+		evs = l.selScratch[:0]
+		for _, i := range it.sel {
+			evs = append(evs, it.batch[i])
+		}
+		l.selScratch = evs
+	}
 	if bd, ok := q.det.(BatchDetector); ok {
-		ms, err := bd.ProcessBatch(it.batch)
+		ms, err := bd.ProcessBatch(evs)
 		if err != nil {
 			l.s.recordErr(q, err)
 			q.dead = true
@@ -902,7 +982,7 @@ func (l *sessionLane) workBatch(it sessionItem) {
 		l.s.emit(q, ms)
 		return
 	}
-	for _, ev := range it.batch {
+	for _, ev := range evs {
 		ms, err := q.det.Process(ev)
 		if err != nil {
 			l.s.recordErr(q, err)
@@ -1192,6 +1272,7 @@ func (s *Session) buildLanes() error {
 		s.pool.AddLane(s.cfg.QueueLen)
 	}
 	s.laneTab.Store(&lanes)
+	s.rebuildIndexLocked(nil)
 	return nil
 }
 
@@ -1215,6 +1296,9 @@ func (s *Session) spliceAddLocked(q *sessionQuery) error {
 		}
 		s.queries = append(s.queries, q)
 		s.byName[q.name] = q
+		dirty := map[string]bool{}
+		s.laneDirtyTypes(dirty, lane)
+		s.rebuildIndexLocked(dirty)
 		return nil
 	}
 
@@ -1234,7 +1318,13 @@ func (s *Session) spliceAddLocked(q *sessionQuery) error {
 		s.byName[q.name] = q
 		lane := s.engineLane(g, s.nextComp)
 		s.nextComp++
-		return s.addLaneLocked(lane)
+		if err := s.addLaneLocked(lane); err != nil {
+			return err
+		}
+		dirty := map[string]bool{}
+		s.laneDirtyTypes(dirty, lane)
+		s.rebuildIndexLocked(dirty)
+		return nil
 	}
 
 	// Re-optimize the affected component together with the new query,
@@ -1272,16 +1362,21 @@ func (s *Session) spliceRemoveLocked(q *sessionQuery) error {
 	case lane.eng == nil:
 		// Private lane: retire it; the worker closes the detector without
 		// flushing.
+		dirty := map[string]bool{}
+		s.laneDirtyTypes(dirty, lane)
 		lane.discard = true
 		if err := sessErr(s.pool.CloseLane(lane.idx)); err != nil {
 			return err
 		}
 		s.dropQueryLocked(q)
+		s.rebuildIndexLocked(dirty)
 		return nil
 	case len(lane.members) == 1:
 		// Singleton DAG lane: discard the engine state, close the runtime
 		// inline (the lane worker never drives member detectors except at
 		// finish, which retirement skips).
+		dirty := map[string]bool{}
+		s.laneDirtyTypes(dirty, lane)
 		lane.retired = true
 		if err := sessErr(s.pool.CloseLane(lane.idx)); err != nil {
 			return err
@@ -1290,6 +1385,7 @@ func (s *Session) spliceRemoveLocked(q *sessionQuery) error {
 		lane.eng = nil
 		lane.members = nil
 		s.dropQueryLocked(q)
+		s.rebuildIndexLocked(dirty)
 		if err := q.det.Close(); err != nil {
 			s.recordErr(q, err)
 		}
@@ -1403,8 +1499,10 @@ func (s *Session) applySpliceLocked(affected []*sessionLane, input []mqo.Query) 
 
 	spliceSeq := s.seq.Load() + 1
 	olds := make([]*mqo.Engine, len(affected))
+	dirty := map[string]bool{}
 	for i, l := range affected {
 		olds[i] = l.eng
+		s.laneDirtyTypes(dirty, l)
 	}
 	s.reoptGen++
 	for _, l := range affected {
@@ -1431,7 +1529,9 @@ func (s *Session) applySpliceLocked(affected []*sessionLane, input []mqo.Query) 
 		if err := s.addLaneLocked(lane); err != nil {
 			return err
 		}
+		s.laneDirtyTypes(dirty, lane)
 	}
+	s.rebuildIndexLocked(dirty)
 	// The successors own the state now: release the predecessor engines so
 	// the retired tombstone lanes stop holding a generation of buffered
 	// partial matches alive. (The retired workers never touch l.eng — their

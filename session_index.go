@@ -1,0 +1,357 @@
+package cep
+
+// The Session side of the ingress discrimination network
+// (internal/filterindex): subscription declaration per lane, index
+// rebuilds on lane-set mutations, the routed feed path, and the
+// IndexReport observability surface. See SessionConfig.FilterIndex.
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/filterindex"
+	"repro/internal/pattern"
+	"repro/internal/pool"
+)
+
+// rebuildIndexLocked recomputes the lane subscriptions and swaps in a
+// successor index, reusing the shards (and hit counters) of every type
+// outside dirty. nil dirty rebuilds everything. The caller holds mu and —
+// on a running session — intakeMu's write side, so the swap is atomic with
+// respect to the feed and the index never references a retired lane.
+//
+// Subscription policy per lane kind:
+//   - shared DAG lanes: with FilterIndex, one subscription per engine
+//     intake (negation buffers and leaves, slot-addressed) so the verdict
+//     substitutes for the engine's own type dispatch and unary filtering;
+//     without it they are always-lanes (broadcast members);
+//   - private Register/AddQuery lanes: one subscription per pattern
+//     position — including negated and Kleene positions, so any event the
+//     pattern could consume reaches the lane. The engine re-runs its own
+//     checks (routing is a superset filter here); without FilterIndex the
+//     subscriptions are type-only, the stage-1 fast path;
+//   - RegisterDetector lanes: the plan is opaque — always-lanes.
+func (s *Session) rebuildIndexLocked(dirty map[string]bool) {
+	var subs []filterindex.Sub
+	var always []int
+	for _, l := range *s.laneTab.Load() {
+		if l.retired || l.discard {
+			continue
+		}
+		switch {
+		case l.eng != nil:
+			if !s.cfg.FilterIndex {
+				always = append(always, l.idx)
+				continue
+			}
+			for _, es := range l.eng.Subscriptions() {
+				subs = append(subs, filterindex.Sub{
+					Lane: l.idx, Slot: es.Slot, Type: es.Type,
+					Conds: es.Conds, Residual: es.Residual,
+				})
+			}
+		case l.q != nil && l.q.rt != nil:
+			subs = appendRuntimeSubs(subs, l.idx, l.q.rt, s.cfg.FilterIndex)
+		default:
+			always = append(always, l.idx)
+		}
+	}
+	s.fidx.Store(filterindex.Update(s.fidx.Load(), subs, always, dirty))
+}
+
+// appendRuntimeSubs declares a private lane's intakes from its compiled
+// plan: one subscription per position of every disjunct. With the full
+// index the position's unary filters join the subscription; otherwise
+// type-only.
+func appendRuntimeSubs(subs []filterindex.Sub, lane int, rt *Runtime, full bool) []filterindex.Sub {
+	for _, sp := range rt.plan.Simple {
+		c := sp.Compiled
+		for pos := 0; pos < c.N; pos++ {
+			sub := filterindex.Sub{Lane: lane, Slot: -1, Type: c.Types[pos]}
+			if full {
+				for _, u := range c.Preds.Unaries(pos) {
+					if u.HasCond {
+						sub.Conds = append(sub.Conds, u.Cond)
+					} else {
+						sub.Residual = append(sub.Residual, u.Fn)
+					}
+				}
+			}
+			subs = append(subs, sub)
+		}
+	}
+	return subs
+}
+
+// laneDirtyTypes accumulates the event types the lane subscribes to — the
+// shards an index rebuild must reconstruct when this lane changes.
+func (s *Session) laneDirtyTypes(dst map[string]bool, l *sessionLane) {
+	switch {
+	case l.eng != nil:
+		for _, es := range l.eng.Subscriptions() {
+			dst[es.Type] = true
+		}
+	case l.q != nil && l.q.rt != nil:
+		for _, sp := range l.q.rt.plan.Simple {
+			for _, t := range sp.Compiled.Types {
+				dst[t] = true
+			}
+		}
+	}
+}
+
+// wireIndexStats points the adaptivity collector's unary-selectivity
+// source at the live index, so drift re-planning prices the post-index
+// rates the lanes actually see. The closure follows RCU swaps by loading
+// the current index per query.
+func (s *Session) wireIndexStats() {
+	if !s.cfg.FilterIndex || s.adapt == nil || s.adapt.col == nil {
+		return
+	}
+	s.adapt.col.SetUnarySource(func(typ string, cond pattern.Condition) (float64, bool) {
+		fi := s.fidx.Load()
+		if fi == nil {
+			return 0, false
+		}
+		return fi.UnarySelectivity(typ, cond)
+	})
+}
+
+// routeScratch is the pooled per-call workspace of the routed feed path.
+// The hits/pairs/perLane/touched slices are reused across calls; the
+// selection slices handed to lanes inside sessionItems are freshly
+// allocated per call — their ownership moves to the workers.
+type routeScratch struct {
+	hits    []filterindex.Hit
+	pairs   []pool.Grouped[sessionItem]
+	perLane []laneRoute
+	touched []int32
+}
+
+type laneRoute struct {
+	sel      []int32
+	slots    []int32
+	slotOff  []int32
+	hasSlots bool
+}
+
+var routePool = sync.Pool{New: func() any { return &routeScratch{} }}
+
+func putRouteScratch(sc *routeScratch) {
+	for i := range sc.pairs {
+		sc.pairs[i] = pool.Grouped[sessionItem]{}
+	}
+	sc.pairs = sc.pairs[:0]
+	sc.hits = sc.hits[:0]
+	sc.touched = sc.touched[:0]
+	routePool.Put(sc)
+}
+
+// sortHits orders hits by (lane, slot): lane grouping for the routing
+// loop, ascending slots for the engines' masked processing (negation
+// intakes numbered below leaves). Hit lists are post-filter and typically
+// tiny, so insertion sort; large lists fall back to sort.Slice.
+func sortHits(h []filterindex.Hit) {
+	if len(h) > 64 {
+		sort.Slice(h, func(i, j int) bool {
+			if h[i].Lane != h[j].Lane {
+				return h[i].Lane < h[j].Lane
+			}
+			return h[i].Slot < h[j].Slot
+		})
+		return
+	}
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0 && (h[j].Lane < h[j-1].Lane ||
+			(h[j].Lane == h[j-1].Lane && h[j].Slot < h[j-1].Slot)); j-- {
+			h[j], h[j-1] = h[j-1], h[j]
+		}
+	}
+}
+
+// routeOne evaluates one event against the index and sends it to the
+// always-lanes plus every lane with at least one subscription hit. Called
+// under intakeMu's read side.
+func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event, seq uint64) error {
+	sc := routePool.Get().(*routeScratch)
+	sc.hits = fi.AppendHits(e, sc.hits[:0])
+	sortHits(sc.hits)
+	pairs := sc.pairs[:0]
+	for _, lane := range fi.Always() {
+		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{ev: e, seq: seq}})
+	}
+	for i := 0; i < len(sc.hits); {
+		lane := sc.hits[i].Lane
+		j := i + 1
+		for j < len(sc.hits) && sc.hits[j].Lane == lane {
+			j++
+		}
+		it := sessionItem{ev: e, seq: seq}
+		if sc.hits[i].Slot >= 0 {
+			slots := make([]int32, 0, j-i)
+			for k := i; k < j; k++ {
+				slots = append(slots, sc.hits[k].Slot)
+			}
+			it.evSlots = slots
+		}
+		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: it})
+		i = j
+	}
+	sc.pairs = pairs
+	err := sessErr(s.pool.SendGroupedCtx(ctx, pairs))
+	putRouteScratch(sc)
+	return err
+}
+
+// routeBatch evaluates each batch event against the index and sends at
+// most ONE item per lane: the whole batch to always-lanes, and the batch
+// plus a per-lane selection (event indices and, for shared DAG lanes,
+// flattened slot lists) to lanes with hits. Per-event sequence numbers are
+// reconstructed from the item seq plus the selected index, exactly as in
+// the broadcast batch path. Called under intakeMu's read side.
+func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch []*Event, seq0 uint64) error {
+	sc := routePool.Get().(*routeScratch)
+	nl := len(*s.laneTab.Load())
+	if cap(sc.perLane) < nl {
+		sc.perLane = make([]laneRoute, nl)
+	}
+	sc.perLane = sc.perLane[:nl]
+	touched := sc.touched[:0]
+	for bi, e := range batch {
+		sc.hits = fi.AppendHits(e, sc.hits[:0])
+		if len(sc.hits) == 0 {
+			continue
+		}
+		sortHits(sc.hits)
+		for i := 0; i < len(sc.hits); {
+			lane := sc.hits[i].Lane
+			j := i + 1
+			for j < len(sc.hits) && sc.hits[j].Lane == lane {
+				j++
+			}
+			lr := &sc.perLane[lane]
+			if lr.sel == nil {
+				touched = append(touched, lane)
+				lr.hasSlots = sc.hits[i].Slot >= 0
+			}
+			lr.sel = append(lr.sel, int32(bi))
+			if lr.hasSlots {
+				lr.slotOff = append(lr.slotOff, int32(len(lr.slots)))
+				for k := i; k < j; k++ {
+					lr.slots = append(lr.slots, sc.hits[k].Slot)
+				}
+			}
+			i = j
+		}
+	}
+	pairs := sc.pairs[:0]
+	for _, lane := range fi.Always() {
+		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{batch: batch, seq: seq0}})
+	}
+	for _, lane := range touched {
+		lr := &sc.perLane[lane]
+		it := sessionItem{batch: batch, seq: seq0, sel: lr.sel}
+		if lr.hasSlots {
+			lr.slotOff = append(lr.slotOff, int32(len(lr.slots)))
+			it.slots = lr.slots
+			it.slotOff = lr.slotOff
+		}
+		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: it})
+		sc.perLane[lane] = laneRoute{} // slices moved into the item
+	}
+	sc.pairs = pairs
+	sc.touched = touched
+	err := sessErr(s.pool.SendGroupedCtx(ctx, pairs))
+	putRouteScratch(sc)
+	return err
+}
+
+// IndexTypeReport is the per-event-type slice of IndexReport.
+type IndexTypeReport struct {
+	// Type is the event type this shard dispatches.
+	Type string
+	// Subscriptions counts the intakes registered for the type — the
+	// candidate set stage-1 dispatch narrows an event to.
+	Subscriptions int
+	// ScanSubscriptions counts the subscriptions with no indexable
+	// constraint: stage 2 scans their residual filters on every event of
+	// the type.
+	ScanSubscriptions int
+	// IndexedConstraints counts the distinct constant constraints compiled
+	// into the type's hash/range tables.
+	IndexedConstraints int
+	// Events is the number of events of this type evaluated.
+	Events int64
+	// Hits is the number of subscription hits those events produced.
+	Hits int64
+	// HitRate is Hits / (Events × Subscriptions): the average fraction of
+	// the type's candidate set an event actually matches — the post-index
+	// fan-out the broadcast path would have paid in full.
+	HitRate float64
+	// ResidualFraction is ScanSubscriptions / Subscriptions: how much of
+	// the type's candidate set the constraint tables cannot discriminate.
+	ResidualFraction float64
+}
+
+// IndexReport describes the ingress filter index: per-type candidate
+// counts, measured hit rates and residual-scan fractions.
+type IndexReport struct {
+	// FullIndex reports whether SessionConfig.FilterIndex enabled the
+	// constant-predicate tables; false means only the type-dispatch fast
+	// path for private lanes is active.
+	FullIndex bool
+	// Lanes is the number of live lanes fed through the index;
+	// AlwaysLanes the number bypassing it (opaque detectors, and shared
+	// DAG lanes when FullIndex is false).
+	Lanes       int
+	AlwaysLanes int
+	// Subscriptions is the total registered intake count.
+	Subscriptions int
+	Types         []IndexTypeReport
+}
+
+// IndexReport returns a snapshot of the ingress filter index, or nil
+// before the session started. The snapshot is immutable; counters are
+// cumulative over each type shard's lifetime (shards survive churn of
+// unrelated types).
+func (s *Session) IndexReport() *IndexReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return nil
+	}
+	fi := s.fidx.Load()
+	if fi == nil {
+		return nil
+	}
+	rep := &IndexReport{
+		FullIndex:     s.cfg.FilterIndex,
+		AlwaysLanes:   len(fi.Always()),
+		Subscriptions: fi.Subs(),
+	}
+	for _, l := range *s.laneTab.Load() {
+		if !l.retired && !l.discard {
+			rep.Lanes++
+		}
+	}
+	rep.Lanes -= rep.AlwaysLanes
+	for _, tr := range fi.Report() {
+		itr := IndexTypeReport{
+			Type:               tr.Type,
+			Subscriptions:      tr.Subs,
+			ScanSubscriptions:  tr.ScanSubs,
+			IndexedConstraints: tr.IndexedConstraints,
+			Events:             tr.Events,
+			Hits:               tr.Hits,
+		}
+		if tr.Events > 0 && tr.Subs > 0 {
+			itr.HitRate = float64(tr.Hits) / (float64(tr.Events) * float64(tr.Subs))
+		}
+		if tr.Subs > 0 {
+			itr.ResidualFraction = float64(tr.ScanSubs) / float64(tr.Subs)
+		}
+		rep.Types = append(rep.Types, itr)
+	}
+	return rep
+}

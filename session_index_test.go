@@ -1,0 +1,266 @@
+package cep
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFilterIndexEquivalence is the routed-feed correctness property: a
+// Session with the ingress filter index enabled must produce, per query,
+// byte-identical ordered match sets to independent Runtime.ProcessAll runs
+// — with private lanes and with shared DAG lanes.
+func TestFilterIndexEquivalence(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 4000, Seed: 11, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	queries := stockQueries(t, stocks.Registry, events)
+
+	want := make(map[string]string, len(queries))
+	total := 0
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := processAll(t, rt, workload.ResetStream(events))
+		want[qc.Name] = orderedKeys(ms)
+		total += len(ms)
+	}
+	if total == 0 {
+		t.Fatal("workload produced no matches; equivalence test is vacuous")
+	}
+
+	for _, share := range []bool{false, true} {
+		s := NewSession(SessionConfig{QueueLen: 32, FilterIndex: true, ShareSubplans: share})
+		for _, qc := range queries {
+			if err := s.Register(qc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Run(context.Background(), NewStream(workload.ResetStream(events))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		results := s.Results()
+		for _, qc := range queries {
+			if got := orderedKeys(results[qc.Name]); got != want[qc.Name] {
+				t.Errorf("share=%v query %q: indexed session diverges from independent runtime (%d vs reference matches)",
+					share, qc.Name, len(results[qc.Name]))
+			}
+		}
+	}
+}
+
+// TestFilterIndexEquivalenceBatch repeats the property over SubmitBatch —
+// the selection-routed batch path — including an always-lane (an opaque
+// detector) sharing the session.
+func TestFilterIndexEquivalenceBatch(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 4000, Seed: 7, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	queries := stockQueries(t, stocks.Registry, events)
+
+	want := make(map[string]string, len(queries))
+	for _, qc := range queries {
+		rt, err := NewFromConfig(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qc.Name] = orderedKeys(processAll(t, rt, workload.ResetStream(events)))
+	}
+	detRT, err := NewFromConfig(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(SessionConfig{QueueLen: 32, FilterIndex: true})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var detMatches []*Match
+	if err := s.RegisterDetector("opaque", detRT, func(m *Match) { detMatches = append(detMatches, m) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.ResetStream(events)
+	for len(stream) > 0 {
+		n := 97
+		if n > len(stream) {
+			n = len(stream)
+		}
+		if err := s.SubmitBatch(stream[:n]); err != nil {
+			t.Fatal(err)
+		}
+		stream = stream[n:]
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	results := s.Results()
+	for _, qc := range queries {
+		if got := orderedKeys(results[qc.Name]); got != want[qc.Name] {
+			t.Errorf("query %q: batched indexed session diverges from reference (%d matches)",
+				qc.Name, len(results[qc.Name]))
+		}
+	}
+	// The always-lane detector saw the full broadcast stream.
+	if got := orderedKeys(detMatches); got != want[queries[0].Name] {
+		t.Errorf("opaque detector lane diverges from reference (%d matches)", len(detMatches))
+	}
+}
+
+// indexReportSession builds the hand-pinned two-type setup: two private
+// queries over A and B where only the A position carries constant filters.
+func indexReportSession(t *testing.T, filterIndex bool) *Session {
+	t.Helper()
+	reg := NewRegistry(NewSchema("A", "x"), NewSchema("B", "x"))
+	s := NewSession(SessionConfig{QueueLen: 8, FilterIndex: filterIndex})
+	for _, qc := range []QueryConfig{
+		{Name: "eq", Query: `PATTERN SEQ(A a, B b) WHERE a.x = 1 WITHIN 10 s`, Registry: reg},
+		{Name: "ge", Query: `PATTERN SEQ(A a, B b) WHERE a.x >= 5 WITHIN 10 s`, Registry: reg},
+	} {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSessionIndexReport pins every IndexReport field on a hand-built
+// two-type query set.
+func TestSessionIndexReport(t *testing.T) {
+	s := indexReportSession(t, true)
+	defer s.Close()
+
+	sa := NewSchema("A", "x")
+	sb := NewSchema("B", "x")
+	evs := Stamp([]*Event{
+		NewEvent(sa, 1, 1), // hits eq only
+		NewEvent(sa, 2, 5), // hits ge only
+		NewEvent(sa, 3, 7), // hits ge only
+		NewEvent(sb, 4, 0), // B positions are unconstrained: hits both
+	})
+	for _, e := range evs {
+		if err := s.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := s.IndexReport()
+	if rep == nil {
+		t.Fatal("IndexReport nil on a started session")
+	}
+	if !rep.FullIndex || rep.Lanes != 2 || rep.AlwaysLanes != 0 || rep.Subscriptions != 4 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if len(rep.Types) != 2 || rep.Types[0].Type != "A" || rep.Types[1].Type != "B" {
+		t.Fatalf("types = %+v", rep.Types)
+	}
+	a, b := rep.Types[0], rep.Types[1]
+	if a.Subscriptions != 2 || a.ScanSubscriptions != 0 || a.IndexedConstraints != 2 {
+		t.Fatalf("A shape = %+v", a)
+	}
+	if a.Events != 3 || a.Hits != 3 {
+		t.Fatalf("A counters = %+v", a)
+	}
+	if math.Abs(a.HitRate-0.5) > 1e-9 || a.ResidualFraction != 0 {
+		t.Fatalf("A rates = %+v", a)
+	}
+	if b.Subscriptions != 2 || b.ScanSubscriptions != 2 || b.IndexedConstraints != 0 {
+		t.Fatalf("B shape = %+v", b)
+	}
+	if b.Events != 1 || b.Hits != 2 || b.HitRate != 1 || b.ResidualFraction != 1 {
+		t.Fatalf("B counters = %+v", b)
+	}
+}
+
+// TestSessionIndexReportTypeOnly pins the degenerate FilterIndex=false
+// shape: private lanes still register type-only subscriptions (the stage-1
+// fast path), every subscription is a scan entry.
+func TestSessionIndexReportTypeOnly(t *testing.T) {
+	s := indexReportSession(t, false)
+	defer s.Close()
+	if err := s.Submit(Stamp([]*Event{NewEvent(NewSchema("A", "x"), 1, 1)})[0]); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.IndexReport()
+	if rep == nil {
+		t.Fatal("IndexReport nil with FilterIndex off: type dispatch should still be active")
+	}
+	if rep.FullIndex || rep.Subscriptions != 4 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	a := rep.Types[0]
+	if a.Type != "A" || a.ScanSubscriptions != 2 || a.IndexedConstraints != 0 || a.Hits != 2 {
+		t.Fatalf("A = %+v", a)
+	}
+}
+
+// TestFilterIndexChurn exercises the rebuild path: queries added and
+// removed on a running indexed session route exactly the events registered
+// at the time of submission.
+func TestFilterIndexChurn(t *testing.T) {
+	reg := NewRegistry(NewSchema("A", "x"))
+	s := NewSession(SessionConfig{QueueLen: 8, FilterIndex: true})
+	var posMatches atomic.Int64 // counted via callback: removal drops a query's accumulated results
+	if err := s.Register(QueryConfig{
+		Name: "pos", Query: `PATTERN SEQ(A a) WHERE a.x > 0 WITHIN 1 s`, Registry: reg,
+		OnMatch: func(*Match) { posMatches.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sa := NewSchema("A", "x")
+	ts := Time(0)
+	send := func(n int) {
+		t.Helper()
+		batch := make([]*Event, 0, n)
+		for i := 1; i <= n; i++ {
+			ts += Time(1)
+			batch = append(batch, NewEvent(sa, ts, float64(i)))
+		}
+		for _, e := range Stamp(batch) {
+			if err := s.Submit(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	send(10) // pos only: 10 matches
+	if err := s.AddQuery(QueryConfig{Name: "five", Query: `PATTERN SEQ(A a) WHERE a.x = 5 WITHIN 1 s`, Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	send(10) // pos +10, five +1
+	if err := s.RemoveQuery("pos"); err != nil {
+		t.Fatal(err)
+	}
+	send(10) // five +1
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Matches("five")); got != 2 {
+		t.Fatalf("five matched %d events, want 2", got)
+	}
+	if got := posMatches.Load(); got != 20 {
+		t.Fatalf("pos matched %d events, want 20", got)
+	}
+	rep := s.IndexReport()
+	if rep == nil || rep.Subscriptions != 1 {
+		t.Fatalf("post-churn report = %+v", rep)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/filterindex"
 	"repro/internal/metrics"
 	"repro/internal/pool"
 )
@@ -36,6 +37,15 @@ type ShardConfig struct {
 	// Close): the worker is blocked inside the callback, so waiting on its
 	// own queue deadlocks.
 	OnMatch func(*Match)
+	// FilterIndex, when true, compiles the pattern's per-position type and
+	// constant unary filters into an ingress index (internal/filterindex)
+	// consulted before hash routing: events no position could ever consume
+	// are dropped at Submit/SubmitBatch instead of occupying queue slots and
+	// worker time. Dropping such events never changes the match set — every
+	// position, including negated and Kleene ones, keeps a subscription —
+	// though negation-held matches may be released slightly later (at the
+	// next surviving event or at Flush).
+	FilterIndex bool
 }
 
 func (c ShardConfig) withDefaults() ShardConfig {
@@ -76,6 +86,10 @@ type ShardedRuntime struct {
 	cfg     ShardConfig
 	workers []*shardWorker
 	pool    *pool.Pool[shardMsg]
+	// ingress is the pre-routing filter index (nil unless
+	// cfg.FilterIndex); it is built once at construction and read-only
+	// afterwards, so concurrent submitters share it without coordination.
+	ingress *filterindex.Index
 }
 
 // shardErr translates pool lifecycle sentinels into the runtime's error
@@ -211,8 +225,17 @@ func NewSharded(p *Pattern, defaults *Stats, perPartition map[int]*Stats, cfg Sh
 	}
 	// Validate eagerly (once, not per worker) so that configuration errors
 	// surface at construction, not at the first event.
-	if _, err := New(p, sr.workers[0].pr.defaults, opts...); err != nil {
+	vrt, err := New(p, sr.workers[0].pr.defaults, opts...)
+	if err != nil {
 		return nil, err
+	}
+	if cfg.FilterIndex {
+		// The per-partition plans may order joins differently, but every
+		// plan consumes the same positions with the same unary filters, so
+		// the validation runtime's compiled pattern declares the
+		// subscriptions for all of them.
+		subs := appendRuntimeSubs(nil, 0, vrt, true)
+		sr.ingress = filterindex.Build(subs, nil)
 	}
 	return sr, nil
 }
@@ -261,6 +284,9 @@ func (sr *ShardedRuntime) Submit(e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
+	if sr.ingress != nil && !sr.ingress.Matches(e) {
+		return nil
+	}
 	return shardErr(sr.pool.Send(sr.workerIndexFor(e.Partition), shardMsg{ev: e}))
 }
 
@@ -281,6 +307,9 @@ func (sr *ShardedRuntime) SubmitBatch(events []*Event) error {
 		if e == nil {
 			sc.abort()
 			return fmt.Errorf("cep: nil event in batch: %w", ErrNilEvent)
+		}
+		if sr.ingress != nil && !sr.ingress.Matches(e) {
+			continue
 		}
 		i := sr.workerIndexFor(e.Partition)
 		g := sc.groups[i]
