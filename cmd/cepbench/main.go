@@ -55,6 +55,16 @@
 // "index-on"/"index-off" so cmd/benchdiff's speedup gate can divide the
 // 1000-query pair. `-index-json FILE` writes the rows for CI
 // (BENCH_index.json is the committed snapshot).
+//
+// `cepbench -fig telemetry` measures the overhead of the always-on
+// telemetry layer (Session.Metrics): the mqo workload fed with telemetry
+// at its defaults versus TelemetryConfig{Disabled: true}, best of three
+// repetitions each, with an on-vs-off match cross-check and a dump of the
+// final unified metrics snapshot. Rows carry fig
+// "telemetry-on"/"telemetry-off" so cmd/benchdiff's speedup gate
+// (`-min-speedup 0.95 -at fig=telemetry-on -vs fig=telemetry-off`) can
+// assert the instrumentation costs at most ~5%. `-telemetry-json FILE`
+// writes the rows for CI.
 package main
 
 import (
@@ -106,6 +116,9 @@ func main() {
 		indexGen = flag.Int("index-events", 40000, "events in the filter-index stream (-fig index)")
 		indexQs  = flag.String("index-queries", "64,1000,10000", "registered query counts; matches cross-checked at the first (-fig index)")
 		indexOut = flag.String("index-json", "", "also write the index rows as a JSON file (-fig index)")
+		telGen   = flag.Int("telemetry-events", 50000, "events in the telemetry-overhead stream (-fig telemetry)")
+		telQs    = flag.String("telemetry-queries", "16,64", "overlapping query counts (-fig telemetry)")
+		telOut   = flag.String("telemetry-json", "", "also write the telemetry rows as a JSON file (-fig telemetry)")
 	)
 	flag.Parse()
 
@@ -158,6 +171,13 @@ func main() {
 		}
 		return
 	}
+	if *fig == "telemetry" {
+		if err := runTelemetryScenario(*symbols, *telGen, *telQs, event.Time(*windowMS), *seed, *telOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: telemetry scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := make([]int, 0, *maxSize-2)
 	for s := 3; s <= *maxSize; s++ {
@@ -194,7 +214,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift', 'batch' or 'index')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift', 'batch', 'index' or 'telemetry')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	cep "repro"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// telemetryRow is one (telemetry on/off, query count) measurement. The
+// telemetry state is encoded in Fig ("telemetry-on" / "telemetry-off") so
+// cmd/benchdiff's -min-speedup gate can divide the pair sharing a query
+// count: `-min-speedup 0.95 -at fig=telemetry-on -vs fig=telemetry-off`
+// asserts the always-on instrumentation costs at most ~5% throughput.
+type telemetryRow struct {
+	Fig          string  `json:"fig"`
+	Queries      int     `json:"queries"`
+	Batch        int     `json:"batch"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_off"`
+	Matches      int     `json:"matches"`
+	MatchesOK    bool    `json:"matches_ok"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+}
+
+// runTelemetryScenario measures the overhead of the always-on telemetry
+// layer: the mqo workload (hot-pair sharing families, every fourth query a
+// negation) fed through SubmitBatch on a ShareSubplans+FilterIndex session,
+// once with telemetry at its defaults and once with
+// TelemetryConfig{Disabled: true} — the only difference between the runs.
+// Each configuration takes the best of three repetitions so a GC cycle or
+// scheduling burst cannot masquerade as instrumentation cost. Per-query
+// match counts must agree between the two modes (counting must never change
+// detection), and the on-run's unified metrics snapshot is dumped after the
+// table — the live view cmd/cepdemo serves over HTTP. Rows go to stdout as
+// a table and JSON, and to jsonPath when set — the input of cmd/benchdiff's
+// overhead gate.
+func runTelemetryScenario(symbols, events int, queryCounts string, window event.Time, seed int64, jsonPath string) error {
+	if symbols < 4 {
+		return fmt.Errorf("-symbols must be at least 4 (hot pair + tails), got %d", symbols)
+	}
+	var counts []int
+	for _, part := range strings.Split(queryCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("invalid -telemetry-queries %q", queryCounts)
+		}
+		counts = append(counts, n)
+	}
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: symbols, Events: events, Seed: seed, MinRate: 1, MaxRate: 20,
+	})
+	stream := stocks.Generate()
+	type symRate struct {
+		name string
+		rate float64
+	}
+	bySpeed := make([]symRate, 0, len(stocks.Symbols))
+	for _, s := range stocks.Symbols {
+		bySpeed = append(bySpeed, symRate{s, stocks.Rates[s]})
+	}
+	sort.Slice(bySpeed, func(i, j int) bool { return bySpeed[i].rate > bySpeed[j].rate })
+	hotA, hotB := bySpeed[0].name, bySpeed[1].name
+	tails := bySpeed[2:]
+	const feedBatch = 256
+	fmt.Printf("telemetry scenario: %d events over %d symbols, window %dms, feed batch %d, hot pair %s⋈%s\n\n",
+		len(stream), symbols, window, feedBatch, hotA, hotB)
+
+	makeQueries := func(n int) ([]cep.QueryConfig, error) {
+		out := make([]cep.QueryConfig, 0, n)
+		for i := 0; i < n; i++ {
+			tail := tails[i%len(tails)].name
+			var src string
+			if i%4 == 3 {
+				neg := tails[(i+1)%len(tails)].name
+				src = fmt.Sprintf(
+					`PATTERN SEQ(%s a, %s b, NOT(%s n), %s c)
+					 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+					 WITHIN %d ms`,
+					hotA, hotB, neg, tail, window)
+			} else {
+				src = fmt.Sprintf(
+					`PATTERN SEQ(%s a, %s b, %s c)
+					 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+					 WITHIN %d ms`,
+					hotA, hotB, tail, window)
+			}
+			p, err := cep.ParsePatternWith(src, stocks.Registry)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cep.QueryConfig{
+				Name:    fmt.Sprintf("q%02d", i),
+				Pattern: p,
+				Stats:   cep.Measure(stream, p),
+			})
+		}
+		return out, nil
+	}
+
+	run := func(queries []cep.QueryConfig, tc *cep.TelemetryConfig) (time.Duration, map[string]int, *cep.SessionMetrics, error) {
+		s := cep.NewSession(cep.SessionConfig{
+			QueueLen: 1024, ShareSubplans: true, FilterIndex: true, Telemetry: tc,
+		})
+		for _, qc := range queries {
+			if err := s.Register(qc); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if err := s.Start(); err != nil {
+			return 0, nil, nil, err
+		}
+		evs := workload.ResetStream(stream)
+		start := time.Now()
+		for i := 0; i < len(evs); i += feedBatch {
+			end := min(i+feedBatch, len(evs))
+			if err := s.SubmitBatch(evs[i:end]); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if _, err := s.Flush(); err != nil {
+			return 0, nil, nil, err
+		}
+		elapsed := time.Since(start)
+		perQuery := make(map[string]int, len(queries))
+		for _, qc := range queries {
+			perQuery[qc.Name] = len(s.Matches(qc.Name))
+		}
+		return elapsed, perQuery, s.Metrics(), nil
+	}
+	// Best of three repetitions per mode: the gate divides the two numbers,
+	// so one GC pause landing inside a single repetition must not decide it.
+	const reps = 3
+	best := func(queries []cep.QueryConfig, tc *cep.TelemetryConfig) (time.Duration, map[string]int, *cep.SessionMetrics, error) {
+		var bestElapsed time.Duration
+		var bestCounts map[string]int
+		var bestMetrics *cep.SessionMetrics
+		for r := 0; r < reps; r++ {
+			elapsed, perQuery, m, err := run(queries, tc)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if bestCounts == nil || elapsed < bestElapsed {
+				bestElapsed, bestMetrics = elapsed, m
+			}
+			if bestCounts == nil {
+				bestCounts = perQuery
+			} else {
+				for name, want := range bestCounts {
+					if perQuery[name] != want {
+						return 0, nil, nil, fmt.Errorf("repetition mismatch for %s: %d vs %d", name, perQuery[name], want)
+					}
+				}
+			}
+		}
+		return bestElapsed, bestCounts, bestMetrics, nil
+	}
+
+	table := harness.Table{
+		Title:   "Telemetry overhead: feed throughput (events/s), instrumentation on vs off",
+		Columns: []string{"queries", "telemetry", "ev/s", "on/off", "matches", "elapsed"},
+	}
+	var rows []telemetryRow
+	var lastOn *cep.SessionMetrics
+	for _, n := range counts {
+		queries, err := makeQueries(n)
+		if err != nil {
+			return err
+		}
+		offElapsed, offCounts, _, err := best(queries, &cep.TelemetryConfig{Disabled: true})
+		if err != nil {
+			return fmt.Errorf("queries=%d telemetry-off: %w", n, err)
+		}
+		onElapsed, onCounts, m, err := best(queries, nil)
+		if err != nil {
+			return fmt.Errorf("queries=%d telemetry-on: %w", n, err)
+		}
+		lastOn = m
+		matchesOK := true
+		total := 0
+		for name, want := range offCounts {
+			total += want
+			if onCounts[name] != want {
+				matchesOK = false
+			}
+		}
+		offRate := float64(len(stream)) / offElapsed.Seconds()
+		onRate := float64(len(stream)) / onElapsed.Seconds()
+		pair := []telemetryRow{
+			{Fig: "telemetry-off", Queries: n, Batch: feedBatch,
+				EventsPerSec: offRate, Speedup: 1, Matches: total, MatchesOK: matchesOK,
+				ElapsedMS: offElapsed.Milliseconds()},
+			{Fig: "telemetry-on", Queries: n, Batch: feedBatch,
+				EventsPerSec: onRate, Speedup: onRate / offRate, Matches: total, MatchesOK: matchesOK,
+				ElapsedMS: onElapsed.Milliseconds()},
+		}
+		rows = append(rows, pair...)
+		for _, row := range pair {
+			matchCell := fmt.Sprint(row.Matches)
+			if !row.MatchesOK {
+				matchCell += " (MISMATCH on vs off!)"
+			}
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprint(n), strings.TrimPrefix(row.Fig, "telemetry-"),
+				fmt.Sprintf("%.0f", row.EventsPerSec), fmt.Sprintf("%.2f", row.Speedup),
+				matchCell, (time.Duration(row.ElapsedMS) * time.Millisecond).String(),
+			})
+		}
+	}
+	table.Fprint(os.Stdout)
+	if lastOn != nil {
+		fmt.Printf("\nmetrics snapshot (last telemetry-on run, %d queries):\n", lastOn.Queries)
+		fmt.Printf("  submitted=%d batches=%d routed=%d dropped=%d\n",
+			lastOn.EventsSubmitted, lastOn.BatchesSubmitted, lastOn.EventsRouted, lastOn.EventsDropped)
+		fmt.Printf("  items=%d events=%d matches=%d stalls=%d lanes=%d\n",
+			lastOn.ItemsProcessed, lastOn.EventsProcessed, lastOn.MatchesEmitted, lastOn.Stalls, lastOn.Lanes)
+		fmt.Printf("  latency: samples=%d mean=%v p50=%v p99=%v\n",
+			lastOn.Latency.Count, time.Duration(lastOn.MeanNS),
+			time.Duration(lastOn.P50NS), time.Duration(lastOn.P99NS))
+		fmt.Printf("  journal: %d recorded, %d retained\n", lastOn.JournalRecorded, len(lastOn.Journal))
+	}
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJSON: %s\n", blob)
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(rows written to %s)\n", jsonPath)
+	}
+	for _, row := range rows {
+		if !row.MatchesOK {
+			return fmt.Errorf("match-count mismatch at %d queries", row.Queries)
+		}
+	}
+	return nil
+}

@@ -7,11 +7,21 @@
 //
 // Event types are the generated symbols S000..Snnn with attributes price,
 // difference and bucket.
+//
+// With `-metrics ADDR` the pattern runs inside a Session instead and the
+// unified telemetry endpoint (Prometheus text format on /metrics, JSON on
+// /metrics.json, expvar on /debug/vars, pprof under /debug/pprof/) is
+// served on ADDR; after the feed the process keeps serving until
+// interrupted, so the final counters can be scraped:
+//
+//	cepdemo -metrics :9090 &
+//	curl -s localhost:9090/metrics | grep cep_events_submitted_total
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	cep "repro"
@@ -31,6 +41,7 @@ func main() {
 		alpha   = flag.Float64("alpha", 0, "latency weight of the hybrid cost model")
 		show    = flag.Int("show", 3, "matches to print")
 		jsonl   = flag.String("jsonl", "", "read events from this JSON Lines file instead of generating")
+		metrics = flag.String("metrics", "", "serve the telemetry endpoint on this address (e.g. :9090) and keep serving after the feed")
 	)
 	flag.Parse()
 
@@ -66,6 +77,13 @@ func main() {
 	}[*strat]
 
 	st := cep.Measure(ticks, p)
+	if *metrics != "" {
+		if err := serveMetrics(*metrics, p, st, *alg, strategy, *alpha, ticks); err != nil {
+			fmt.Fprintln(os.Stderr, "cepdemo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rt, err := cep.New(p, st,
 		cep.WithAlgorithm(*alg),
 		cep.WithStrategy(strategy),
@@ -93,4 +111,37 @@ func main() {
 			fmt.Printf("  %s\n", e)
 		}
 	}
+}
+
+// serveMetrics runs the pattern inside a Session with the telemetry layer
+// on, serves Session.MetricsHandler on addr, feeds the stream, and then
+// blocks serving scrapes until the process is interrupted.
+func serveMetrics(addr string, p *cep.Pattern, st *cep.Stats, alg string, strategy cep.Strategy, alpha float64, ticks []*cep.Event) error {
+	s := cep.NewSession(cep.SessionConfig{QueueLen: 1024, FilterIndex: true})
+	if err := s.Register(cep.QueryConfig{
+		Name: "demo", Pattern: p, Stats: st,
+		Algorithm: alg, Strategy: strategy, LatencyWeight: alpha,
+	}); err != nil {
+		return err
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: s.MetricsHandler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	const feedBatch = 256
+	for i := 0; i < len(ticks); i += feedBatch {
+		end := min(i+feedBatch, len(ticks))
+		if err := s.SubmitBatch(ticks[i:end]); err != nil {
+			return err
+		}
+	}
+	if err := s.Drain(); err != nil {
+		return err
+	}
+	m := s.Metrics()
+	fmt.Printf("%d events → %d matches; serving metrics on %s (/metrics, /metrics.json, /debug/vars, /debug/pprof/) — Ctrl-C to exit\n",
+		m.EventsSubmitted, m.MatchesEmitted, addr)
+	return <-errc
 }

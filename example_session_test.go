@@ -117,6 +117,52 @@ func ExampleSession_IndexReport() {
 	// Trade: subs=2 constraints=2 events=3 hits=2 hitRate=0.33
 }
 
+// ExampleSession_Metrics reads the always-on telemetry back: hot-path
+// counters (events submitted, routed, dropped; matches emitted), the
+// sampled detection-latency histogram, per-lane queue gauges and the
+// journal of control-plane transitions — one coherent snapshot, safe to
+// take from any goroutine while the stream is live.
+func ExampleSession_Metrics() {
+	trade := cep.NewSchema("Trade", "sym")
+	fill := cep.NewSchema("Fill", "sym")
+	s := cep.NewSession(cep.SessionConfig{
+		FilterIndex: true,
+		Telemetry:   &cep.TelemetryConfig{LatencySampleEvery: 1},
+	})
+	if err := s.Register(cep.QueryConfig{
+		Name:  "fills",
+		Query: `PATTERN SEQ(Trade t, Fill f) WITHIN 5 s`,
+	}); err != nil {
+		panic(err)
+	}
+	if err := s.Start(); err != nil {
+		panic(err)
+	}
+	events := cep.Stamp([]*cep.Event{
+		cep.NewEvent(trade, 1000, 1),
+		cep.NewEvent(fill, 2000, 1),
+	})
+	if err := s.SubmitBatch(events); err != nil {
+		panic(err)
+	}
+	if err := s.Drain(); err != nil {
+		panic(err)
+	}
+	m := s.Metrics()
+	fmt.Println("queries:", m.Queries)
+	fmt.Println("submitted:", m.EventsSubmitted, "routed:", m.EventsRouted, "dropped:", m.EventsDropped)
+	fmt.Println("matches:", m.MatchesEmitted, "latency samples:", m.Latency.Count)
+	fmt.Println("journal[0]:", m.Journal[0].Kind)
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// queries: 1
+	// submitted: 2 routed: 2 dropped: 0
+	// matches: 1 latency samples: 1
+	// journal[0]: index_rebuild
+}
+
 // ExampleSession_RegisterDetector composes the Session with a sharded
 // multi-core runtime: the query is itself a Detector, so one session can
 // mix plain, adaptive and sharded queries under one lifecycle.

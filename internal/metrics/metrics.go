@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/match"
+	"repro/internal/telemetry"
 )
 
 // Engine abstracts the two evaluation engines for measurement.
@@ -37,9 +38,11 @@ type Result struct {
 	// partial-match count exceeded the configured limit — the fate of a
 	// catastrophically bad plan. Throughput then reflects the processed
 	// prefix, which is the honest signal (the plan is slow).
-	Truncated  bool
-	latencySum time.Duration
-	latencyN   int64
+	Truncated bool
+	// Latency is the full per-match latency distribution behind AvgLatency
+	// (nanosecond samples, log-bucketed, mergeable across runs) — the same
+	// histogram primitive the live telemetry layer exposes.
+	Latency telemetry.HistSnapshot
 }
 
 // Memory-estimate coefficients: a partial match holds a position table and
@@ -68,6 +71,11 @@ func RunAll(engines []Engine, events []*event.Event, nPositions int) Result {
 // marked Truncated.
 func RunLimit(engines []Engine, events []*event.Event, nPositions int, maxPartial int) Result {
 	res := Result{Events: len(events)}
+	var (
+		latency      telemetry.Histogram
+		peakPartial  telemetry.Peak
+		peakBuffered telemetry.Peak
+	)
 	start := time.Now()
 	processed := 0
 	for _, ev := range events {
@@ -77,22 +85,16 @@ func RunLimit(engines []Engine, events []*event.Event, nPositions int, maxPartia
 			emitted += len(e.Process(ev))
 		}
 		if emitted > 0 {
-			lat := time.Since(t0)
 			res.Matches += int64(emitted)
-			res.latencySum += lat * time.Duration(emitted)
-			res.latencyN += int64(emitted)
+			latency.ObserveN(time.Since(t0).Nanoseconds(), int64(emitted))
 		}
 		partial, buffered := 0, 0
 		for _, e := range engines {
 			partial += e.CurrentPartial()
 			buffered += e.CurrentBuffered()
 		}
-		if partial > res.PeakPartial {
-			res.PeakPartial = partial
-		}
-		if buffered > res.PeakBuffered {
-			res.PeakBuffered = buffered
-		}
+		peakPartial.Observe(int64(partial))
+		peakBuffered.Observe(int64(buffered))
 		processed++
 		if maxPartial > 0 && partial > maxPartial {
 			res.Truncated = true
@@ -107,9 +109,10 @@ func RunLimit(engines []Engine, events []*event.Event, nPositions int, maxPartia
 	if res.Elapsed > 0 {
 		res.Throughput = float64(processed) / res.Elapsed.Seconds()
 	}
-	if res.latencyN > 0 {
-		res.AvgLatency = res.latencySum / time.Duration(res.latencyN)
-	}
+	res.PeakPartial = int(peakPartial.Load())
+	res.PeakBuffered = int(peakBuffered.Load())
+	res.Latency = latency.Snapshot()
+	res.AvgLatency = res.Latency.MeanDuration()
 	res.EstBytes = int64(res.PeakPartial)*int64(bytesPerPartialBase+bytesPerPosition*nPositions) +
 		int64(res.PeakBuffered)*bytesPerBuffered
 	return res

@@ -1,31 +1,31 @@
 package metrics
 
-import "sync/atomic"
+import "repro/internal/telemetry"
 
-// ShardCounters instruments one shard (worker) of a sharded runtime. All
-// fields are atomics: the owning worker goroutine increments them while any
-// other goroutine snapshots them, so a live dashboard never blocks the hot
-// path.
+// ShardCounters instruments one shard (worker) of a sharded runtime, built
+// on the telemetry counter primitives: the owning worker goroutine
+// increments them while any other goroutine snapshots them through atomic
+// loads, so a live dashboard never blocks the hot path.
 type ShardCounters struct {
-	events     atomic.Int64
-	batches    atomic.Int64
-	matches    atomic.Int64
-	stalls     atomic.Int64
-	partitions atomic.Int64
+	events     telemetry.Counter
+	batches    telemetry.Counter
+	matches    telemetry.Counter
+	stalls     telemetry.Counter
+	partitions telemetry.Gauge
 }
 
 // AddEvents records n events routed to the shard.
 func (c *ShardCounters) AddEvents(n int) { c.events.Add(int64(n)) }
 
 // AddBatch records one batch submission to the shard.
-func (c *ShardCounters) AddBatch() { c.batches.Add(1) }
+func (c *ShardCounters) AddBatch() { c.batches.Inc() }
 
 // AddMatches records n matches emitted by the shard.
 func (c *ShardCounters) AddMatches(n int) { c.matches.Add(int64(n)) }
 
 // AddStall records one back-pressure stall: a submission that found the
 // shard's queue full and had to block.
-func (c *ShardCounters) AddStall() { c.stalls.Add(1) }
+func (c *ShardCounters) AddStall() { c.stalls.Inc() }
 
 // SetPartitions records the number of partitions the shard currently owns.
 func (c *ShardCounters) SetPartitions(n int) { c.partitions.Store(int64(n)) }
@@ -46,6 +46,10 @@ type ShardSnapshot struct {
 	Stalls int64
 	// Partitions is the number of distinct partitions routed to the shard.
 	Partitions int64
+	// QueueDepth and QueueCap are the shard queue's instantaneous fill and
+	// capacity at snapshot time (a momentary gauge, not a counter).
+	QueueDepth int
+	QueueCap   int
 }
 
 // Snapshot copies the counters.

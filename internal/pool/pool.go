@@ -185,6 +185,21 @@ func (p *Pool[T]) LiveLanes() int {
 	return n
 }
 
+// QueueStats reports the instantaneous depth and capacity of lane i's
+// queue (drain barrier tokens count toward depth). Reading a channel's
+// length concurrently with sends and receives is safe; the result is a
+// momentary observation, suitable for gauges. Retired or out-of-range
+// lanes report 0, 0.
+func (p *Pool[T]) QueueStats(i int) (depth, capacity int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if i < 0 || i >= len(p.lanes) || p.lanes[i].retired {
+		return 0, 0
+	}
+	ch := p.lanes[i].ch
+	return len(ch), cap(ch)
+}
+
 // Start launches the worker goroutines. It errors on a closed, running or
 // empty pool.
 func (p *Pool[T]) Start() error {

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of the log2 histogram: bucket b holds
+// values whose bit length is b, i.e. the range [2^(b-1), 2^b). Bucket 0
+// holds zero (and negative clock skew, clamped). 64 buckets cover the full
+// int64 nanosecond range — ~292 years — so no overflow bucket is needed.
+const histBuckets = 64
+
+// Histogram is a lock-free log2-bucketed histogram of non-negative int64
+// samples (by convention nanoseconds). Observations are one atomic add on
+// the bucket plus one on the sum; snapshots are consistent enough for
+// monitoring (buckets are loaded one by one while writers may continue).
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) { h.ObserveN(v, 1) }
+
+// ObserveN records n samples of value v (e.g. n matches sharing one
+// submit→emission latency).
+func (h *Histogram) ObserveN(v int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot copies the histogram into a mergeable value.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Snapshots merge by
+// addition, so per-lane histograms roll up into a session-wide one and
+// per-process ones into a fleet-wide one.
+type HistSnapshot struct {
+	// Buckets[b] counts samples with bit length b: value range
+	// [2^(b-1), 2^b), bucket 0 holding zero.
+	Buckets [histBuckets]int64 `json:"-"`
+	// Count is the total number of samples; Sum their exact total, so
+	// Sum/Count is the exact mean (not a bucket approximation).
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+}
+
+// Merge folds another snapshot into this one.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Mean returns the exact mean sample, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// MeanDuration is Mean as a time.Duration (for nanosecond histograms).
+func (s HistSnapshot) MeanDuration() time.Duration { return time.Duration(s.Mean()) }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank; the true value is within a
+// factor of 2. Returns 0 when empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for b, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo, hi := bucketBounds(b)
+			frac := (rank - cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	// Unreachable unless counts changed mid-iteration; return the top
+	// non-empty bucket's upper bound.
+	for b := histBuckets - 1; b >= 0; b-- {
+		if s.Buckets[b] > 0 {
+			_, hi := bucketBounds(b)
+			return hi
+		}
+	}
+	return 0
+}
+
+// bucketBounds returns the [lo, hi) value range of bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 1
+	}
+	lo = int64(1) << (b - 1)
+	if b >= 63 {
+		return lo, int64(^uint64(0) >> 1) // clamp hi to MaxInt64
+	}
+	return lo, int64(1) << b
+}
+
+// UpperBounds returns the bucket upper bounds in seconds for the non-empty
+// prefix of the histogram plus one empty guard bucket — the `le` series of
+// a Prometheus histogram exposition. The counts slice is cumulative,
+// aligned with the returned bounds.
+func (s HistSnapshot) UpperBounds() (les []float64, cum []int64) {
+	top := 0
+	for b, n := range s.Buckets {
+		if n > 0 {
+			top = b
+		}
+	}
+	var c int64
+	for b := 0; b <= top+1 && b < histBuckets; b++ {
+		c += s.Buckets[b]
+		_, hi := bucketBounds(b)
+		les = append(les, float64(hi)/1e9)
+		cum = append(cum, c)
+	}
+	return les, cum
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one control-plane transition: a query added or removed, a drift
+// re-optimization, a splice, an index rebuild. Entries carry both a journal
+// sequence number (Seq, dense, assigned at Record time) and the stream
+// epoch the session had reached (StreamSeq — events submitted so far), so a
+// transition can be placed on the event timeline as well as the wall clock.
+type Entry struct {
+	Seq       int64     `json:"seq"`
+	Wall      time.Time `json:"wall"`
+	StreamSeq int64     `json:"stream_seq"`
+	Kind      string    `json:"kind"`
+	Detail    string    `json:"detail"`
+}
+
+// Journal is a bounded ring of control-plane Entries. Recording is
+// mutex-protected — transitions are rare (churn, splices, rebuilds), never
+// per-event — and once the ring is full the oldest entries are overwritten.
+// The zero value must not be used; call NewJournal.
+type Journal struct {
+	mu   sync.Mutex
+	ring []Entry
+	next int64 // total entries ever recorded; also the next Seq
+}
+
+// NewJournal returns a journal keeping the most recent cap entries
+// (minimum 1).
+func NewJournal(cap int) *Journal {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Journal{ring: make([]Entry, cap)}
+}
+
+// Record appends a transition. streamSeq is the session's event sequence at
+// the time of the transition; kind is a stable small-vocabulary tag
+// ("add_query", "splice", "index_rebuild", ...); detail is free-form.
+func (j *Journal) Record(streamSeq int64, kind, detail string) {
+	if j == nil {
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	seq := j.next
+	j.next++
+	j.ring[seq%int64(len(j.ring))] = Entry{
+		Seq: seq, Wall: now, StreamSeq: streamSeq, Kind: kind, Detail: detail,
+	}
+	j.mu.Unlock()
+}
+
+// Len returns the number of entries currently retained.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.next < int64(len(j.ring)) {
+		return int(j.next)
+	}
+	return len(j.ring)
+}
+
+// Recorded returns the total number of entries ever recorded, including
+// ones already overwritten.
+func (j *Journal) Recorded() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Snapshot returns the retained entries oldest-first.
+func (j *Journal) Snapshot() []Entry {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := int64(len(j.ring))
+	start := j.next - n
+	if start < 0 {
+		start = 0
+	}
+	out := make([]Entry, 0, j.next-start)
+	for s := start; s < j.next; s++ {
+		out = append(out, j.ring[s%n])
+	}
+	return out
+}

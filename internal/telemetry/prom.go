@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4) to an
+// underlying io.Writer, stdlib only. It is a formatting helper, not a
+// registry: callers walk their own snapshot and emit families in order.
+// Write errors are sticky; check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP and # TYPE lines for a family. typ is "counter",
+// "gauge", or "histogram".
+func (p *PromWriter) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Labels is one sample's label set. Emission order is sorted by key so
+// output is deterministic and diff-friendly.
+type Labels map[string]string
+
+func (l Labels) render(extra ...string) string {
+	if len(l) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslashes, quotes, and newlines — exactly the
+		// Prometheus label escaping rules.
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	// extra is pre-rendered key=value pairs (the histogram `le` label),
+	// appended last.
+	for i, kv := range extra {
+		if i > 0 || len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Int emits one integer sample.
+func (p *PromWriter) Int(name string, labels Labels, v int64) {
+	p.printf("%s%s %d\n", name, labels.render(), v)
+}
+
+// Float emits one float sample.
+func (p *PromWriter) Float(name string, labels Labels, v float64) {
+	p.printf("%s%s %g\n", name, labels.render(), v)
+}
+
+// Histogram emits a full histogram family body (buckets, sum, count) from a
+// snapshot, treating sample values as nanoseconds and exposing seconds, the
+// Prometheus convention for durations. Call Header(name, "histogram", ...)
+// first.
+func (p *PromWriter) Histogram(name string, labels Labels, s HistSnapshot) {
+	les, cum := s.UpperBounds()
+	for i, le := range les {
+		p.printf("%s_bucket%s %d\n", name, labels.render(fmt.Sprintf("le=%q", trimFloat(le))), cum[i])
+	}
+	p.printf("%s_bucket%s %d\n", name, labels.render(`le="+Inf"`), s.Count)
+	p.printf("%s_sum%s %g\n", name, labels.render(), float64(s.Sum)/1e9)
+	p.printf("%s_count%s %d\n", name, labels.render(), s.Count)
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", f), "0"), ".")
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

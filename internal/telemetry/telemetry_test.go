@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugePeak(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Store(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	var p Peak
+	for _, v := range []int64{3, 9, 1, 9, 4} {
+		p.Observe(v)
+	}
+	if got := p.Load(); got != 9 {
+		t.Fatalf("peak = %d, want 9", got)
+	}
+}
+
+func TestPeakConcurrent(t *testing.T) {
+	var p Peak
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := p.Load(); got != 7999 {
+		t.Fatalf("peak = %d, want 7999", got)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(4)
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 25 {
+		t.Fatalf("sampler(4): %d hits in 100, want 25", hits)
+	}
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Fatal("nil sampler fired")
+	}
+	if NewSampler(0).Sample() {
+		t.Fatal("sampler(0) fired")
+	}
+	one := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !one.Sample() {
+			t.Fatal("sampler(1) missed")
+		}
+	}
+}
+
+func TestHistogramBucketsAndMean(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1) // bucket 1
+	h.Observe(5) // bucket 3: [4,8)
+	h.ObserveN(6, 3)
+	h.Observe(-7) // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1+5+3*6 {
+		t.Fatalf("sum = %d, want 24", s.Sum)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[3] != 4 {
+		t.Fatalf("buckets = %v", s.Buckets[:5])
+	}
+	if got, want := s.Mean(), 24.0/7.0; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("live count = %d", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10)
+	a.Observe(100)
+	b.Observe(1000)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 || sa.Sum != 1110 {
+		t.Fatalf("merged count=%d sum=%d", sa.Count, sa.Sum)
+	}
+	var total int64
+	for _, n := range sa.Buckets {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("merged bucket total = %d", total)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d", q)
+	}
+	// 1000 samples all in bucket [64,128).
+	h.ObserveN(100, 1000)
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 64 || p50 >= 128 {
+		t.Fatalf("p50 = %d, want within [64,128)", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %d < p50 %d", p99, p50)
+	}
+	// Two well-separated bucket groups: median must land in the low one,
+	// p99 in the high one.
+	var h2 Histogram
+	h2.ObserveN(10, 90)
+	h2.ObserveN(1<<20, 10)
+	s2 := h2.Snapshot()
+	if q := s2.Quantile(0.5); q >= 16 {
+		t.Fatalf("bimodal p50 = %d, want < 16", q)
+	}
+	if q := s2.Quantile(0.99); q < 1<<19 {
+		t.Fatalf("bimodal p99 = %d, want >= 2^19", q)
+	}
+}
+
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(3)
+	if j.Len() != 0 || j.Recorded() != 0 {
+		t.Fatal("fresh journal not empty")
+	}
+	for i := 0; i < 5; i++ {
+		j.Record(int64(i*10), "kind", "d")
+	}
+	if j.Recorded() != 5 || j.Len() != 3 {
+		t.Fatalf("recorded=%d len=%d", j.Recorded(), j.Len())
+	}
+	snap := j.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, e := range snap {
+		wantSeq := int64(2 + i)
+		if e.Seq != wantSeq || e.StreamSeq != wantSeq*10 {
+			t.Fatalf("entry %d = %+v, want seq %d", i, e, wantSeq)
+		}
+		if e.Wall.IsZero() {
+			t.Fatalf("entry %d has zero wall time", i)
+		}
+	}
+	var nilJ *Journal
+	nilJ.Record(0, "x", "y") // must not panic
+	if nilJ.Snapshot() != nil || nilJ.Len() != 0 || nilJ.Recorded() != 0 {
+		t.Fatal("nil journal not inert")
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Record(int64(i), "churn", "q")
+				j.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Recorded() != 800 {
+		t.Fatalf("recorded = %d, want 800", j.Recorded())
+	}
+	snap := j.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("non-dense seqs: %d then %d", snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+func TestPromWriterFormat(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Header("cep_events_total", "counter", "Events submitted.")
+	p.Int("cep_events_total", nil, 42)
+	p.Header("cep_queue_depth", "gauge", "Queue depth per lane.")
+	p.Int("cep_queue_depth", Labels{"lane": "0", "kind": "shared"}, 7)
+	p.Float("cep_ratio", nil, 0.5)
+	var h Histogram
+	h.Observe(100) // bucket 7: (64,128] upper bound 128ns
+	p.Header("cep_latency_seconds", "histogram", "Detection latency.")
+	p.Histogram("cep_latency_seconds", nil, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP cep_events_total Events submitted.\n",
+		"# TYPE cep_events_total counter\n",
+		"cep_events_total 42\n",
+		`cep_queue_depth{kind="shared",lane="0"} 7` + "\n", // sorted keys
+		"cep_ratio 0.5\n",
+		`cep_latency_seconds_bucket{le="+Inf"} 1` + "\n",
+		"cep_latency_seconds_count 1\n",
+		"cep_latency_seconds_sum 1e-07\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The bucket holding the sample must appear with a cumulative count.
+	if !strings.Contains(out, `le="0.000000128"} 1`) {
+		t.Fatalf("expected 128ns bucket boundary:\n%s", out)
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/filterindex"
 	"repro/internal/mqo"
 	"repro/internal/plan"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
 
 // QueryConfig declares one named query — pattern, statistics and tuning —
@@ -192,6 +194,11 @@ type SessionConfig struct {
 	// stage-1 fast path: events whose type appears nowhere in a lane's
 	// pattern are not enqueued to it.
 	FilterIndex bool
+	// Telemetry tunes the built-in instrumentation (hot-path counters,
+	// sampled detection-latency histograms, back-pressure gauges, the
+	// control-plane journal) behind Session.Metrics and MetricsHandler.
+	// nil enables telemetry with defaults; see TelemetryConfig.
+	Telemetry *TelemetryConfig
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -218,6 +225,10 @@ type sessionItem struct {
 	ev    *Event
 	seq   uint64
 	batch []*Event // non-nil for SubmitBatch items; ev is nil then
+	// t0 is the UnixNano submission stamp of a latency-sampled item (0 on
+	// the unsampled fast path): matches this item completes observe
+	// submit→emission detection latency on the lane's histogram.
+	t0 int64
 
 	evSlots []int32 // single event, shared lane: hit subscription slots
 	sel     []int32 // batch: matched event indices, ascending
@@ -297,6 +308,12 @@ type Session struct {
 	// persistence seed); nil when neither SessionConfig.Adaptive nor
 	// StatsPath is configured. See session_adaptive.go.
 	adapt *sessionAdapt
+
+	// tel is the telemetry state (feed counters, latency sampler,
+	// control-plane journal); nil when TelemetryConfig.Disabled — hot-path
+	// instrumentation sites guard on that one nil check. See telemetry.go
+	// and session_metrics.go.
+	tel *sessionTelemetry
 }
 
 // sessionQuery is one registered query. Before Start it is only a
@@ -311,6 +328,11 @@ type sessionQuery struct {
 	onMatch func(*Match)
 	dead    bool     // stop processing after the first error
 	matches []*Match // accumulated when no sink applies
+	// nmatches counts the query's emitted matches (telemetry): bumped by
+	// whichever worker delivers for the query, read by Metrics snapshots.
+	// It survives lane splices — the counter belongs to the query, not the
+	// lane.
+	nmatches telemetry.Counter
 
 	lane     *sessionLane // current lane, set once started
 	eligible bool         // may participate in subplan sharing
@@ -338,12 +360,20 @@ func (q *sessionQuery) mqoSigs() *mqo.Sigs {
 func NewSession(cfg SessionConfig) *Session {
 	s := &Session{cfg: cfg.withDefaults(), byName: make(map[string]*sessionQuery)}
 	s.adapt = newSessionAdapt(s.cfg)
+	s.tel = newSessionTelemetry(s.cfg.Telemetry)
 	empty := []*sessionLane{}
 	s.laneTab.Store(&empty)
-	s.pool = pool.New(pool.Hooks[sessionItem]{
+	hooks := pool.Hooks[sessionItem]{
 		Work:   func(lane int, it sessionItem) { (*s.laneTab.Load())[lane].work(it) },
 		Finish: func(lane int) { (*s.laneTab.Load())[lane].finish() },
-	})
+	}
+	if s.tel != nil {
+		// Back-pressure stalls are bumped on the *sender* goroutine the
+		// moment a send finds a lane queue full; the counter is the lane's,
+		// so a snapshot reads stalls next to the queue they describe.
+		hooks.OnStall = func(lane int) { (*s.laneTab.Load())[lane].tc.Stalls.Inc() }
+	}
+	s.pool = pool.New(hooks)
 	return s
 }
 
@@ -406,7 +436,11 @@ func (s *Session) AddQuery(qc QueryConfig) error {
 	if err := s.checkNameLocked(q.name); err != nil {
 		return err
 	}
-	return s.spliceAddLocked(q)
+	if err := s.spliceAddLocked(q); err != nil {
+		return err
+	}
+	s.tel.record(s.seq.Load(), "add_query", q.name)
+	return nil
 }
 
 // planQuery builds the runtime for a config, with delivery stripped:
@@ -499,7 +533,11 @@ func (s *Session) RemoveQuery(name string) error {
 		}
 		return nil
 	}
-	return s.spliceRemoveLocked(q)
+	if err := s.spliceRemoveLocked(q); err != nil {
+		return err
+	}
+	s.tel.record(s.seq.Load(), "remove_query", name)
+	return nil
 }
 
 // dropQueryLocked removes the query from the registration bookkeeping.
@@ -563,6 +601,7 @@ func (s *Session) startLocked(explicit bool) error {
 		return err
 	}
 	s.started = true
+	s.tel.recordf(0, "start", "queries=%d lanes=%d", len(s.queries), len(*s.laneTab.Load()))
 	return nil
 }
 
@@ -599,12 +638,19 @@ func (s *Session) submit(ctx context.Context, e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
+	var t0 int64
+	if s.tel != nil {
+		s.tel.eventsSubmitted.Inc()
+		if s.tel.sampler.Sample() {
+			t0 = time.Now().UnixNano()
+		}
+	}
 	s.intakeMu.RLock()
 	var err error
 	if fi := s.fidx.Load(); fi != nil && !fi.Empty() {
-		err = s.routeOne(ctx, fi, e, s.seq.Add(1))
+		err = s.routeOne(ctx, fi, e, s.seq.Add(1), t0)
 	} else {
-		err = sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1)}))
+		err = sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1), t0: t0}))
 	}
 	s.intakeMu.RUnlock()
 	if err != nil {
@@ -641,14 +687,22 @@ func (s *Session) submitBatch(ctx context.Context, events []*Event) error {
 	// reuse its slice immediately, while workers are still processing.
 	batch := make([]*Event, len(events))
 	copy(batch, events)
+	var t0 int64
+	if s.tel != nil {
+		s.tel.eventsSubmitted.Add(int64(len(batch)))
+		s.tel.batchesSubmitted.Inc()
+		if s.tel.sampler.Sample() {
+			t0 = time.Now().UnixNano()
+		}
+	}
 	s.intakeMu.RLock()
 	last := s.seq.Add(uint64(len(batch)))
 	seq0 := last - uint64(len(batch)) + 1
 	var err error
 	if fi := s.fidx.Load(); fi != nil && !fi.Empty() {
-		err = s.routeBatch(ctx, fi, batch, seq0)
+		err = s.routeBatch(ctx, fi, batch, seq0, t0)
 	} else {
-		err = sessErr(s.pool.Broadcast(ctx, sessionItem{batch: batch, seq: seq0}))
+		err = sessErr(s.pool.Broadcast(ctx, sessionItem{batch: batch, seq: seq0, t0: t0}))
 	}
 	s.intakeMu.RUnlock()
 	if err != nil {
@@ -791,6 +845,7 @@ func (s *Session) shutdown() error {
 		return nil
 	}
 	err := sessErr(s.pool.Shutdown())
+	s.tel.record(s.seq.Load(), "shutdown", "")
 	// Persist the measured statistics (StatsPath) now that intake stopped;
 	// a save failure is a session error, not a shutdown failure.
 	if serr := s.saveStats(); serr != nil {
@@ -838,6 +893,9 @@ func (s *Session) emit(q *sessionQuery, ms []*Match) {
 	if len(ms) == 0 {
 		return
 	}
+	if s.tel != nil {
+		q.nmatches.Add(int64(len(ms)))
+	}
 	switch {
 	case q.onMatch != nil:
 		for _, m := range ms {
@@ -854,6 +912,9 @@ func (s *Session) emit(q *sessionQuery, ms []*Match) {
 
 // emitOne routes a single match.
 func (s *Session) emitOne(q *sessionQuery, m *Match) {
+	if s.tel != nil {
+		q.nmatches.Inc()
+	}
 	switch {
 	case q.onMatch != nil:
 		q.onMatch(m)
@@ -904,6 +965,30 @@ type sessionLane struct {
 	// selScratch is the worker-owned gather buffer for index-routed
 	// batches on private lanes.
 	selScratch []*Event
+
+	// tc is the lane's telemetry block: the worker (and, for Stalls, the
+	// stalled sender) increments, Metrics snapshots load. Counters stay
+	// readable after the lane retires — tombstone lanes keep their totals,
+	// which is what keeps the session-wide aggregates monotonic across
+	// splices. Untouched when telemetry is disabled.
+	tc telemetry.LaneCounters
+}
+
+// observe folds one processed item into the lane's telemetry: item/event/
+// batch/match counts, plus the sampled detection latency when the item
+// carried a submission stamp and completed matches.
+func (l *sessionLane) observe(it sessionItem, events, matches int) {
+	l.tc.Items.Inc()
+	l.tc.Events.Add(int64(events))
+	if it.batch != nil {
+		l.tc.Batches.Inc()
+	}
+	if matches > 0 {
+		l.tc.Matches.Add(int64(matches))
+		if it.t0 != 0 {
+			l.tc.Latency.ObserveN(time.Now().UnixNano()-it.t0, int64(matches))
+		}
+	}
 }
 
 // work processes one event on the lane's worker goroutine. On the first
@@ -925,6 +1010,9 @@ func (l *sessionLane) work(it sessionItem) {
 		for _, tm := range tms {
 			l.s.emitOne(l.members[tm.Query], tm.M)
 		}
+		if l.s.tel != nil {
+			l.observe(it, 1, len(tms))
+		}
 		return
 	}
 	q := l.q
@@ -938,6 +1026,9 @@ func (l *sessionLane) work(it sessionItem) {
 		return
 	}
 	l.s.emit(q, ms)
+	if l.s.tel != nil {
+		l.observe(it, 1, len(ms))
+	}
 }
 
 // workBatch processes one batch item in a single wake-up. Shared lanes hand
@@ -955,6 +1046,13 @@ func (l *sessionLane) workBatch(it sessionItem) {
 		}
 		for _, tm := range tms {
 			l.s.emitOne(l.members[tm.Query], tm.M)
+		}
+		if l.s.tel != nil {
+			n := len(it.batch)
+			if it.sel != nil {
+				n = len(it.sel)
+			}
+			l.observe(it, n, len(tms))
 		}
 		return
 	}
@@ -980,8 +1078,12 @@ func (l *sessionLane) workBatch(it sessionItem) {
 			return
 		}
 		l.s.emit(q, ms)
+		if l.s.tel != nil {
+			l.observe(it, len(evs), len(ms))
+		}
 		return
 	}
+	matches := 0
 	for _, ev := range evs {
 		ms, err := q.det.Process(ev)
 		if err != nil {
@@ -990,6 +1092,10 @@ func (l *sessionLane) workBatch(it sessionItem) {
 			return
 		}
 		l.s.emit(q, ms)
+		matches += len(ms)
+	}
+	if l.s.tel != nil {
+		l.observe(it, len(evs), matches)
 	}
 }
 
@@ -1541,5 +1647,7 @@ func (s *Session) applySpliceLocked(affected []*sessionLane, input []mqo.Query) 
 		l.eng = nil
 		l.members = nil
 	}
+	s.tel.recordf(spliceSeq-1, "splice",
+		"gen=%d lanes=%d->%d queries=%d", s.reoptGen, len(affected), len(groups), len(input))
 	return nil
 }

@@ -583,6 +583,8 @@ func (s *Session) driftReoptLocked(comp int, snap *snapCache, pos int64) error {
 	}
 	a.det.Spliced(old, fresh, pos)
 	a.reopts++
+	s.tel.recordf(s.seq.Load(), "drift_reopt",
+		"comp=%d lanes=%d pos=%d", comp, len(affected), pos)
 	return nil
 }
 

@@ -58,6 +58,8 @@ func (s *Session) rebuildIndexLocked(dirty map[string]bool) {
 		}
 	}
 	s.fidx.Store(filterindex.Update(s.fidx.Load(), subs, always, dirty))
+	s.tel.recordf(s.seq.Load(), "index_rebuild",
+		"subs=%d always=%d dirty=%d", len(subs), len(always), len(dirty))
 }
 
 // appendRuntimeSubs declares a private lane's intakes from its compiled
@@ -173,13 +175,13 @@ func sortHits(h []filterindex.Hit) {
 // routeOne evaluates one event against the index and sends it to the
 // always-lanes plus every lane with at least one subscription hit. Called
 // under intakeMu's read side.
-func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event, seq uint64) error {
+func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event, seq uint64, t0 int64) error {
 	sc := routePool.Get().(*routeScratch)
 	sc.hits = fi.AppendHits(e, sc.hits[:0])
 	sortHits(sc.hits)
 	pairs := sc.pairs[:0]
 	for _, lane := range fi.Always() {
-		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{ev: e, seq: seq}})
+		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{ev: e, seq: seq, t0: t0}})
 	}
 	for i := 0; i < len(sc.hits); {
 		lane := sc.hits[i].Lane
@@ -187,7 +189,7 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 		for j < len(sc.hits) && sc.hits[j].Lane == lane {
 			j++
 		}
-		it := sessionItem{ev: e, seq: seq}
+		it := sessionItem{ev: e, seq: seq, t0: t0}
 		if sc.hits[i].Slot >= 0 {
 			slots := make([]int32, 0, j-i)
 			for k := i; k < j; k++ {
@@ -197,6 +199,13 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 		}
 		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: it})
 		i = j
+	}
+	if t := s.tel; t != nil {
+		if len(pairs) == 0 {
+			t.eventsDropped.Inc() // the index proved no lane can use it
+		} else {
+			t.eventsRouted.Add(int64(len(pairs)))
+		}
 	}
 	sc.pairs = pairs
 	err := sessErr(s.pool.SendGroupedCtx(ctx, pairs))
@@ -210,7 +219,7 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 // flattened slot lists) to lanes with hits. Per-event sequence numbers are
 // reconstructed from the item seq plus the selected index, exactly as in
 // the broadcast batch path. Called under intakeMu's read side.
-func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch []*Event, seq0 uint64) error {
+func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch []*Event, seq0 uint64, t0 int64) error {
 	sc := routePool.Get().(*routeScratch)
 	nl := len(*s.laneTab.Load())
 	if cap(sc.perLane) < nl {
@@ -218,9 +227,12 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 	}
 	sc.perLane = sc.perLane[:nl]
 	touched := sc.touched[:0]
+	nohit := 0
+	routed := 0
 	for bi, e := range batch {
 		sc.hits = fi.AppendHits(e, sc.hits[:0])
 		if len(sc.hits) == 0 {
+			nohit++
 			continue
 		}
 		sortHits(sc.hits)
@@ -236,6 +248,7 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 				lr.hasSlots = sc.hits[i].Slot >= 0
 			}
 			lr.sel = append(lr.sel, int32(bi))
+			routed++
 			if lr.hasSlots {
 				lr.slotOff = append(lr.slotOff, int32(len(lr.slots)))
 				for k := i; k < j; k++ {
@@ -247,11 +260,11 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 	}
 	pairs := sc.pairs[:0]
 	for _, lane := range fi.Always() {
-		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{batch: batch, seq: seq0}})
+		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{batch: batch, seq: seq0, t0: t0}})
 	}
 	for _, lane := range touched {
 		lr := &sc.perLane[lane]
-		it := sessionItem{batch: batch, seq: seq0, sel: lr.sel}
+		it := sessionItem{batch: batch, seq: seq0, t0: t0, sel: lr.sel}
 		if lr.hasSlots {
 			lr.slotOff = append(lr.slotOff, int32(len(lr.slots)))
 			it.slots = lr.slots
@@ -259,6 +272,16 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 		}
 		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: it})
 		sc.perLane[lane] = laneRoute{} // slices moved into the item
+	}
+	if t := s.tel; t != nil {
+		// Count event→lane deliveries (matching routeOne's accounting):
+		// every selected event per touched lane, plus the whole batch for
+		// each always-lane.
+		t.eventsRouted.Add(int64(routed) + int64(len(fi.Always()))*int64(len(batch)))
+		if len(fi.Always()) == 0 {
+			// With no always-lanes, a no-hit event reached nothing at all.
+			t.eventsDropped.Add(int64(nohit))
+		}
 	}
 	sc.pairs = pairs
 	sc.touched = touched

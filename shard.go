@@ -411,11 +411,13 @@ func (sr *ShardedRuntime) Matches() int64 {
 
 // Stats snapshots the per-shard counters. It is safe to call concurrently
 // with submission, so a monitoring loop can watch queue stalls and match
-// rates live.
+// rates live. QueueDepth/QueueCap are read from the live queues at
+// snapshot time.
 func (sr *ShardedRuntime) Stats() []ShardStats {
 	out := make([]ShardStats, len(sr.workers))
 	for i, w := range sr.workers {
 		out[i] = w.counters.Snapshot(i)
+		out[i].QueueDepth, out[i].QueueCap = sr.pool.QueueStats(i)
 	}
 	return out
 }

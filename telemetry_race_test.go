@@ -1,0 +1,212 @@
+package cep
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestMetricsConcurrentReaders hammers every report surface from reader
+// goroutines while a writer feeds batches and a third goroutine churns
+// queries (AddQuery/RemoveQuery splices). Run under -race this pins the
+// snapshot paths as data-race free; the assertions pin the monotonicity
+// and generation-consistency contracts of Session.Metrics.
+func TestMetricsConcurrentReaders(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 6000, Seed: 29, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+
+	s := NewSession(SessionConfig{
+		QueueLen: 64, ShareSubplans: true, FilterIndex: true,
+		Telemetry: &TelemetryConfig{LatencySampleEvery: 8},
+	})
+	for _, qc := range pool[:4] {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var pending atomic.Int32 // writer + churner still running
+	pending.Store(2)
+	var wg sync.WaitGroup
+
+	// Writer: feed the whole stream in batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if pending.Add(-1) == 0 {
+				stop.Store(true)
+			}
+		}()
+		const batch = 200
+		for i := 0; i < len(events); i += batch {
+			end := i + batch
+			if end > len(events) {
+				end = len(events)
+			}
+			if err := s.SubmitBatch(events[i:end]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Churner: add/remove overlapping queries, forcing splices and index
+	// rebuilds mid-stream. Fixed iteration count so splices are guaranteed
+	// even when the writer outruns it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if pending.Add(-1) == 0 {
+				stop.Store(true)
+			}
+		}()
+		for i := 0; i < 6; i++ {
+			extra := pool[4+(i%(len(pool)-4))]
+			if err := s.AddQuery(extra); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.RemoveQuery(extra.Name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: each asserts its own observations are monotonic.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := &SessionMetrics{}
+			for !stop.Load() {
+				m := s.Metrics()
+				if m.EventsSubmitted < last.EventsSubmitted {
+					t.Errorf("events_submitted went backwards: %d -> %d", last.EventsSubmitted, m.EventsSubmitted)
+					return
+				}
+				if m.ItemsProcessed < last.ItemsProcessed {
+					t.Errorf("items_processed went backwards: %d -> %d", last.ItemsProcessed, m.ItemsProcessed)
+					return
+				}
+				if m.MatchesEmitted < last.MatchesEmitted {
+					t.Errorf("matches_emitted went backwards: %d -> %d", last.MatchesEmitted, m.MatchesEmitted)
+					return
+				}
+				if m.Latency.Count < last.Latency.Count {
+					t.Errorf("latency count went backwards: %d -> %d", last.Latency.Count, m.Latency.Count)
+					return
+				}
+				if m.Generation < last.Generation {
+					t.Errorf("generation went backwards: %d -> %d", last.Generation, m.Generation)
+					return
+				}
+				if m.JournalRecorded < last.JournalRecorded {
+					t.Errorf("journal recorded went backwards: %d -> %d", last.JournalRecorded, m.JournalRecorded)
+					return
+				}
+				if m.Share != nil && m.Generation < m.Share.Generation {
+					t.Errorf("snapshot generation %d < share generation %d", m.Generation, m.Share.Generation)
+					return
+				}
+				// The other report surfaces must stay callable concurrently.
+				_ = s.ShareReport()
+				_ = s.DriftReport()
+				_ = s.IndexReport()
+				last = m
+			}
+		}()
+	}
+
+	wg.Wait()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.EventsSubmitted != int64(len(events)) {
+		t.Fatalf("events_submitted = %d, want %d", m.EventsSubmitted, len(events))
+	}
+	if m.Generation == 0 {
+		t.Fatal("no splices happened; churn goroutine never ran")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-close snapshots still work and report the terminal state.
+	final := s.Metrics()
+	if !final.Closed {
+		t.Fatal("post-close snapshot not marked closed")
+	}
+}
+
+// TestShardStatsConcurrentReaders feeds a sharded runtime while readers
+// poll Stats(), asserting per-shard event counters never move backwards.
+func TestShardStatsConcurrentReaders(t *testing.T) {
+	events, p, st := shardWorkload(t, 4000, 8)
+	sr, err := NewSharded(p, st, nil, ShardConfig{Workers: 3, QueueLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for _, ev := range events {
+			if err := sr.Submit(ev); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := map[int]int64{}
+			for !stop.Load() {
+				for _, sn := range sr.Stats() {
+					if sn.Events < last[sn.Shard] {
+						t.Errorf("shard %d events went backwards: %d -> %d", sn.Shard, last[sn.Shard], sn.Events)
+						return
+					}
+					last[sn.Shard] = sn.Events
+					if sn.QueueDepth < 0 || sn.QueueDepth > sn.QueueCap {
+						t.Errorf("shard %d queue depth %d outside [0,%d]", sn.Shard, sn.QueueDepth, sn.QueueCap)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := sr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, sn := range sr.Stats() {
+		total += sn.Events
+	}
+	if total != int64(len(events)) {
+		t.Fatalf("shard events = %d, want %d", total, len(events))
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
