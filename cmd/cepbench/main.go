@@ -65,6 +65,19 @@
 // (`-min-speedup 0.95 -at fig=telemetry-on -vs fig=telemetry-off`) can
 // assert the instrumentation costs at most ~5%. `-telemetry-json FILE`
 // writes the rows for CI.
+//
+// `cepbench -fig partition` measures key-partitioned shared evaluation
+// (SessionConfig.PartitionWorkers): overlapping fully keyed queries — every
+// positive position chained by k-equality, all sharing one hot (A ⋈ B)
+// sub-join — served by the same sharing session at 1, 2 and 4 partition
+// lanes per component. The quadratic nested-loop combine work divides by
+// the lane count even on one core (each lane probes only its hash bucket's
+// buffer slice), so the speedup is algorithmic, not parallel. Per-query
+// match counts are cross-checked across every lane count. Rows carry fig
+// "partition-p1"/"partition-p2"/"partition-p4" so cmd/benchdiff's speedup
+// gate (`-min-speedup 1.5 -at fig=partition-p4 -vs fig=partition-p1`) can
+// hold the committed ratio. `-partition-json FILE` writes the rows for CI
+// (BENCH_partition.json is the committed snapshot).
 package main
 
 import (
@@ -119,6 +132,11 @@ func main() {
 		telGen   = flag.Int("telemetry-events", 50000, "events in the telemetry-overhead stream (-fig telemetry)")
 		telQs    = flag.String("telemetry-queries", "16,64", "overlapping query counts (-fig telemetry)")
 		telOut   = flag.String("telemetry-json", "", "also write the telemetry rows as a JSON file (-fig telemetry)")
+		partGen  = flag.Int("partition-events", 60000, "events in the partitioned-evaluation stream (-fig partition)")
+		partQs   = flag.String("partition-queries", "16,64", "overlapping keyed query counts (-fig partition)")
+		partPs   = flag.String("partition-workers", "1,2,4", "partition lane counts; the first is the cross-check reference (-fig partition)")
+		partWin  = flag.Int64("partition-window", 3000, "keyed-query window in milliseconds (-fig partition)")
+		partOut  = flag.String("partition-json", "", "also write the partition rows as a JSON file (-fig partition)")
 	)
 	flag.Parse()
 
@@ -178,6 +196,13 @@ func main() {
 		}
 		return
 	}
+	if *fig == "partition" {
+		if err := runPartitionScenario(*partGen, *partQs, *partPs, event.Time(*partWin), *seed, *partOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: partition scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := make([]int, 0, *maxSize-2)
 	for s := 3; s <= *maxSize; s++ {
@@ -214,7 +239,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift', 'batch', 'index' or 'telemetry')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift', 'batch', 'index', 'telemetry' or 'partition')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}
@@ -952,6 +977,226 @@ func runIndexScenario(events int, queryCounts string, window event.Time, seed in
 	}
 	if !crossChecked {
 		return fmt.Errorf("per-query match mismatch between index on and off at %d queries", counts[0])
+	}
+	return nil
+}
+
+// partitionRow is one (lane count, query count) measurement of the
+// key-partitioned evaluation scenario. The lane count is encoded in Fig
+// ("partition-p1" / "partition-p2" / "partition-p4") so the row keeps the
+// fig/queries/batch key cmd/benchdiff understands: its -min-speedup gate
+// divides the events_per_sec of two rows sharing a query count.
+type partitionRow struct {
+	Fig          string  `json:"fig"`
+	Queries      int     `json:"queries"`
+	Batch        int     `json:"batch"`
+	Partitions   int     `json:"partitions"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_p1"`
+	Matches      int64   `json:"matches"`
+	MatchesOK    bool    `json:"matches_ok"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+}
+
+// runPartitionScenario measures key-partitioned shared evaluation on a
+// workload built so the keyed nested-loop combine dominates: a quiet A/B
+// head pair (5% of the stream each) joins first in every plan — cheap and
+// selective, so the optimizer shares one (A ⋈ B) sub-join across all n
+// queries — and each query extends it to one of eight hot tail symbols
+// (70% of the stream together), every position chained by k-equality. The
+// expensive work is the roots probing the hot tail buffers and the fat
+// shared-instance buffer, and all of it is keyed, so every lane owns ~1/P
+// of each buffer and ~1/P of the arrivals. Timestamps advance 1ms per
+// event, so the window measures the join buffers directly. Each query
+// count runs at every configured lane count over the same stream; the
+// first lane count (normally 1) is the reference whose per-query match
+// counts every other run must reproduce exactly. The host may have a
+// single core — the expected speedup is algorithmic (N²/P probe work), not
+// parallel. Rows go to stdout as a table and JSON, and to jsonPath when
+// set — the input of cmd/benchdiff's speedup gate.
+func runPartitionScenario(events int, queryCounts, laneCounts string, window event.Time, seed int64, jsonPath string) error {
+	parseInts := func(flagName, s string) ([]int, error) {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("invalid %s %q", flagName, s)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	counts, err := parseInts("-partition-queries", queryCounts)
+	if err != nil {
+		return err
+	}
+	parts, err := parseInts("-partition-workers", laneCounts)
+	if err != nil {
+		return err
+	}
+
+	const nTails = 8
+	const kCard = 64 // join-key cardinality: ~1/64 of probes pair up
+	const vCard = 10
+	const feedBatch = 256
+	schemaA := event.NewSchema("A", "k", "v")
+	schemaB := event.NewSchema("B", "k", "v")
+	tailSchemas := make([]*event.Schema, nTails)
+	tailNames := make([]string, nTails)
+	for i := range tailSchemas {
+		tailNames[i] = fmt.Sprintf("T%d", i)
+		tailSchemas[i] = event.NewSchema(tailNames[i], "k", "v")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stream := make([]*event.Event, events)
+	for i := range stream {
+		var s *event.Schema
+		switch r := rng.Float64(); {
+		case r < 0.05:
+			s = schemaA
+		case r < 0.10:
+			s = schemaB
+		default:
+			s = tailSchemas[rng.Intn(nTails)]
+		}
+		stream[i] = event.New(s, event.Time(i+1),
+			float64(rng.Intn(kCard)), float64(rng.Intn(vCard)))
+	}
+	cep.Stamp(stream)
+
+	makeQueries := func(n int) []cep.QueryConfig {
+		out := make([]cep.QueryConfig, n)
+		for i := range out {
+			tail := tailNames[i%nTails]
+			p := cep.Seq(window,
+				cep.E("A", "a"), cep.E("B", "b"), cep.E(tail, "c"),
+			).Where(
+				cep.AttrCmp("a", "k", cep.Eq, "b", "k"),
+				cep.AttrCmp("b", "k", cep.Eq, "c", "k"),
+				cep.AttrCmp("a", "v", cep.Lt, "b", "v"),
+				cep.AttrCmp("b", "v", cep.Lt, "c", "v"),
+				// A per-query constant bound keeps the cycled tails distinct
+				// and completion rare relative to the probe work.
+				cep.Cmp(cep.Ref("c", "v"), cep.Ge, cep.Const(float64(6+(i/nTails)%3))),
+			)
+			out[i] = cep.QueryConfig{
+				Name: fmt.Sprintf("q%02d", i), Pattern: p,
+				Stats: cep.Measure(stream, p),
+			}
+		}
+		return out
+	}
+
+	run := func(queries []cep.QueryConfig, p int) (time.Duration, []int64, *cep.ShareReport, error) {
+		matched := make([]atomic.Int64, len(queries))
+		s := cep.NewSession(cep.SessionConfig{
+			QueueLen: 1024, ShareSubplans: true, FilterIndex: true, PartitionWorkers: p,
+		})
+		for i, qc := range queries {
+			c := &matched[i]
+			qc.OnMatch = func(*cep.Match) { c.Add(1) }
+			if err := s.Register(qc); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if err := s.Start(); err != nil {
+			return 0, nil, nil, err
+		}
+		rep := s.ShareReport()
+		evs := workload.ResetStream(stream)
+		start := time.Now()
+		for i := 0; i < len(evs); i += feedBatch {
+			end := min(i+feedBatch, len(evs))
+			if err := s.SubmitBatch(evs[i:end]); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if _, err := s.Flush(); err != nil {
+			return 0, nil, nil, err
+		}
+		elapsed := time.Since(start)
+		if err := s.Close(); err != nil {
+			return 0, nil, nil, err
+		}
+		perQuery := make([]int64, len(queries))
+		for i := range matched {
+			perQuery[i] = matched[i].Load()
+		}
+		return elapsed, perQuery, rep, nil
+	}
+
+	fmt.Printf("partition scenario: %d events (5%%/5%% head A/B, %d hot tails), key cardinality %d, window %dms, lanes %v\n\n",
+		events, nTails, kCard, window, parts)
+	table := harness.Table{
+		Title:   "Key-partitioned shared evaluation: feed throughput (events/s) vs partition lanes",
+		Columns: []string{"queries", "lanes", "ev/s", "speedup vs p1", "matches", "elapsed"},
+	}
+	var rows []partitionRow
+	allOK := true
+	for _, n := range counts {
+		queries := makeQueries(n)
+		var refRate float64
+		var refCounts []int64
+		for pi, p := range parts {
+			elapsed, perQuery, rep, err := run(queries, p)
+			if err != nil {
+				return fmt.Errorf("queries=%d lanes=%d: %w", n, p, err)
+			}
+			if rep != nil {
+				for _, comp := range rep.Components {
+					fmt.Printf("queries=%d lanes=%d: component of %d queries on %d lanes, partitions=%d attr=%q\n",
+						n, p, len(comp.Members), comp.Lanes, comp.Partitions, comp.PartitionAttr)
+				}
+				if len(rep.Components) == 0 {
+					fmt.Printf("queries=%d lanes=%d: NO sharing component formed\n", n, p)
+				}
+			}
+			row := partitionRow{
+				Fig:          fmt.Sprintf("partition-p%d", p),
+				Queries:      n,
+				Batch:        feedBatch,
+				Partitions:   p,
+				EventsPerSec: float64(len(stream)) / elapsed.Seconds(),
+				MatchesOK:    true,
+				ElapsedMS:    elapsed.Milliseconds(),
+			}
+			if pi == 0 {
+				refRate, refCounts = row.EventsPerSec, perQuery
+			}
+			row.Speedup = row.EventsPerSec / refRate
+			for i, c := range perQuery {
+				row.Matches += c
+				if c != refCounts[i] {
+					row.MatchesOK = false
+					allOK = false
+				}
+			}
+			rows = append(rows, row)
+			matchCell := fmt.Sprint(row.Matches)
+			if !row.MatchesOK {
+				matchCell += " (MISMATCH vs reference lane count!)"
+			}
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprint(n), fmt.Sprint(p), fmt.Sprintf("%.0f", row.EventsPerSec),
+				fmt.Sprintf("%.2f", row.Speedup), matchCell,
+				(time.Duration(row.ElapsedMS) * time.Millisecond).String(),
+			})
+		}
+	}
+	table.Fprint(os.Stdout)
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJSON: %s\n", blob)
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(rows written to %s)\n", jsonPath)
+	}
+	if !allOK {
+		return fmt.Errorf("per-query match mismatch across partition lane counts")
 	}
 	return nil
 }

@@ -49,6 +49,19 @@ func Shared(nodes []SharedNode, fanout float64) float64 {
 	return total
 }
 
+// PartitionedShared prices one partition lane of a key-partitioned shared
+// DAG: under a uniform key distribution each of the `parts` lanes owns
+// ~1/parts of every node's buffered events, so its partial-match volume —
+// and with it the Section 4 node cost — shrinks by the same factor. The
+// session charges each lane this per-lane share; the whole component still
+// costs parts × PartitionedShared = Shared, the work is just spread out.
+func PartitionedShared(nodes []SharedNode, fanout float64, parts int) float64 {
+	if parts < 1 {
+		parts = 1
+	}
+	return Shared(nodes, fanout) / float64(parts)
+}
+
 // SharedSaving models the objective reduction from evaluating the subtree
 // once for `consumers` plans instead of once per plan:
 //

@@ -65,9 +65,11 @@ func referenceMatches(qs []diffQuery, events []*event.Event) (map[string][]*matc
 // runSessionDifferential feeds the workload through one Session
 // configuration: shared or private lanes, per-event Submit (batch <= 1) or
 // SubmitBatch in chunks of the given size, broadcast feed or the ingress
-// filter index.
-func runSessionDifferential(qs []diffQuery, events []*event.Event, share, filterIndex bool, batch int) (map[string][]*match.Match, error) {
-	s := cep.NewSession(cep.SessionConfig{ShareSubplans: share, FilterIndex: filterIndex})
+// filter index, key-partitioned shared evaluation when partitions >= 2.
+func runSessionDifferential(qs []diffQuery, events []*event.Event, share, filterIndex bool, batch, partitions int) (map[string][]*match.Match, error) {
+	s := cep.NewSession(cep.SessionConfig{
+		ShareSubplans: share, FilterIndex: filterIndex, PartitionWorkers: partitions,
+	})
 	for _, q := range qs {
 		err := s.Register(cep.QueryConfig{
 			Name: q.name, Pattern: q.p, Strategy: cep.SkipTillAnyMatch,
@@ -129,7 +131,74 @@ func checkDifferential(seed int64, nQueries, nEvents, batch int) error {
 	}
 	for _, mode := range modes {
 		Reset(events)
-		got, err := runSessionDifferential(qs, events, mode.share, mode.fidx, mode.batch)
+		got, err := runSessionDifferential(qs, events, mode.share, mode.fidx, mode.batch, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode.name, err)
+		}
+		for _, q := range qs {
+			if extra, missing := match.Diff(got[q.name], want[q.name]); len(extra)+len(missing) > 0 {
+				return fmt.Errorf("seed %d, %s: %s", seed, mode.name,
+					DescribeDiff(q.name, got[q.name], want[q.name]))
+			}
+		}
+	}
+	return nil
+}
+
+// buildKeyedDifferentialQueries draws a workload slanted toward the
+// key-partitionable fragment: roughly half the queries chain their positive
+// positions with x-equality joins (RandomKeyedPattern — these land on
+// hash-partitioned shared lanes), the rest are unconstrained RandomPattern
+// draws whose components have no equi-join key and must take the broadcast
+// fallback. Mixing both in one session is the point: partitioned families,
+// keyless shared lanes and private lanes coexist behind one feed.
+func buildKeyedDifferentialQueries(rng *rand.Rand, nQueries int) []diffQuery {
+	qs := make([]diffQuery, nQueries)
+	for i := range qs {
+		window := event.Time(4 + rng.Int63n(13))
+		negation := rng.Intn(4) == 0
+		if i%2 == 0 {
+			qs[i] = diffQuery{
+				name: fmt.Sprintf("kq%02d", i),
+				p:    RandomKeyedPattern(rng, window, negation),
+			}
+			continue
+		}
+		qs[i] = diffQuery{
+			name: fmt.Sprintf("kq%02d", i),
+			p:    RandomPattern(rng, window, negation, rng.Intn(8) == 0),
+		}
+	}
+	return qs
+}
+
+// checkPartitionDifferential asserts exact per-query match-set equality
+// between the reference, the single-lane shared session and the
+// key-partitioned shared session (P = parts lanes per keyed component), per
+// event and batched, broadcast and index-routed.
+func checkPartitionDifferential(seed int64, nQueries, nEvents, batch, parts int) error {
+	rng := rand.New(rand.NewSource(seed))
+	qs := buildKeyedDifferentialQueries(rng, nQueries)
+	events := Stream(rng, nEvents, TypeNames, 3)
+	want, err := referenceMatches(qs, events)
+	if err != nil {
+		return err
+	}
+	modes := []struct {
+		name  string
+		fidx  bool
+		batch int
+		parts int
+	}{
+		{"shared/single-lane", false, batch, 0},
+		{fmt.Sprintf("partitioned=%d/per-event", parts), false, 0, parts},
+		{fmt.Sprintf("partitioned=%d/batch=%d", parts, batch), false, batch, parts},
+		{fmt.Sprintf("indexed/partitioned=%d/per-event", parts), true, 0, parts},
+		{fmt.Sprintf("indexed/partitioned=%d/batch=%d", parts, batch), true, batch, parts},
+	}
+	for _, mode := range modes {
+		Reset(events)
+		got, err := runSessionDifferential(qs, events, true, mode.fidx, mode.batch, mode.parts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", mode.name, err)
 		}
@@ -166,5 +235,90 @@ func TestDifferentialSeeds(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestPartitionDifferentialSeeds pins the partitioned axis of the harness:
+// fixed seeds across P ∈ {2, 4, 7} lanes per keyed component, including a
+// prime lane count so no hash bucket pattern lines up with the power-of-two
+// mixing steps.
+func TestPartitionDifferentialSeeds(t *testing.T) {
+	cases := []struct {
+		seed            int64
+		queries, events int
+		batch, parts    int
+	}{
+		{11, 4, 400, 16, 2},
+		{12, 6, 500, 64, 4},
+		{13, 3, 300, 1, 4},
+		{14, 5, 450, 7, 7},
+		{15, 2, 250, 32, 2},
+		{16, 6, 350, 128, 7},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d/q=%d/n=%d/b=%d/p=%d", tc.seed, tc.queries, tc.events, tc.batch, tc.parts), func(t *testing.T) {
+			t.Parallel()
+			if err := checkPartitionDifferential(tc.seed, tc.queries, tc.events, tc.batch, tc.parts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPartitionDifferentialSkewedKey routes a fully skewed stream — every
+// event carries the same x — through a partitioned session. All keyed work
+// lands on one hash bucket; the other lanes stay idle but the match sets
+// must still be exact.
+func TestPartitionDifferentialSkewedKey(t *testing.T) {
+	for _, key := range []float64{5, 0} {
+		key := key
+		t.Run(fmt.Sprintf("key=%v", key), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(21))
+			qs := buildKeyedDifferentialQueries(rng, 4)
+			events := KeyedStream(rng, 300, TypeNames, 3, key)
+			want, err := referenceMatches(qs, events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parts := range []int{2, 4} {
+				Reset(events)
+				got, err := runSessionDifferential(qs, events, true, false, 16, parts)
+				if err != nil {
+					t.Fatalf("parts=%d: %v", parts, err)
+				}
+				for _, q := range qs {
+					if extra, missing := match.Diff(got[q.name], want[q.name]); len(extra)+len(missing) > 0 {
+						t.Fatalf("parts=%d: %s", parts, DescribeDiff(q.name, got[q.name], want[q.name]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionDifferentialKeylessFallback asks for partitioned evaluation
+// over a workload with no equi-join keys at all (RandomPattern never emits
+// Eq pair predicates), so every sharing component must take the broadcast
+// fallback — PartitionWorkers degrades to plain shared evaluation with no
+// correctness impact.
+func TestPartitionDifferentialKeylessFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	qs := buildDifferentialQueries(rng, 5)
+	events := Stream(rng, 400, TypeNames, 3)
+	want, err := referenceMatches(qs, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Reset(events)
+	got, err := runSessionDifferential(qs, events, true, true, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if extra, missing := match.Diff(got[q.name], want[q.name]); len(extra)+len(missing) > 0 {
+			t.Fatal(DescribeDiff(q.name, got[q.name], want[q.name]))
+		}
 	}
 }

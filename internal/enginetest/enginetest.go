@@ -124,6 +124,63 @@ func DescribeDiff(label string, got, want []*match.Match) string {
 		label, len(got), len(want), extra, missing)
 }
 
+// RandomKeyedPattern builds a random simple pattern over 2..4 positive
+// events whose positions are chained together by equality predicates on x
+// (`e0.x = e1.x AND e1.x = e2.x ...`) — the shape the session's
+// key-partitioned shared evaluation derives its hash-partition attribute
+// from. Optionally one negated event is inserted; an extra constant unary
+// sometimes narrows one position so overlapping keyed queries still differ.
+// No Kleene (keyed queries must stay sharing-eligible).
+func RandomKeyedPattern(rng *rand.Rand, window event.Time, negation bool) *pattern.Pattern {
+	n := 2 + rng.Intn(3)
+	var terms []pattern.Term
+	for i := 0; i < n; i++ {
+		typ := TypeNames[rng.Intn(len(TypeNames))]
+		terms = append(terms, pattern.E(typ, fmt.Sprintf("k%d", i)))
+	}
+	if negation {
+		typ := TypeNames[rng.Intn(len(TypeNames))]
+		neg := pattern.Not(typ, "neg")
+		at := rng.Intn(len(terms) + 1)
+		terms = append(terms[:at], append([]pattern.Term{neg}, terms[at:]...)...)
+	}
+	var p *pattern.Pattern
+	if rng.Intn(2) == 0 {
+		p = pattern.Seq(window, terms...)
+	} else {
+		p = pattern.And(window, terms...)
+	}
+	var aliases []string
+	for _, t := range terms {
+		if !t.Event.Negated {
+			aliases = append(aliases, t.Event.Alias)
+		}
+	}
+	for k := 0; k+1 < len(aliases); k++ {
+		p.Conds = append(p.Conds, pattern.AttrCmp(aliases[k], "x", pattern.Eq, aliases[k+1], "x"))
+	}
+	if rng.Intn(2) == 0 {
+		alias := aliases[rng.Intn(len(aliases))]
+		p.Conds = append(p.Conds, pattern.Cmp(pattern.Ref(alias, "x"), pattern.Le, pattern.Const(float64(3+rng.Intn(7)))))
+	}
+	return p
+}
+
+// KeyedStream generates n events like Stream but with every x pinned to the
+// same key value — the fully skewed distribution under which a
+// key-partitioned session routes everything onto one lane.
+func KeyedStream(rng *rand.Rand, n int, types []string, maxGap int64, key float64) []*event.Event {
+	events := make([]*event.Event, 0, n)
+	ts := event.Time(0)
+	for i := 0; i < n; i++ {
+		ts += event.Time(1 + rng.Int63n(maxGap))
+		typ := types[rng.Intn(len(types))]
+		events = append(events, event.New(Schemas[typ], ts, key))
+	}
+	stream := event.NewSliceStream(events)
+	return event.Drain(stream)
+}
+
 // RandomPattern builds a random simple pattern over 2..4 positive events
 // with 0..2 attribute predicates, optionally with negation or Kleene.
 func RandomPattern(rng *rand.Rand, window event.Time, negation, kleene bool) *pattern.Pattern {

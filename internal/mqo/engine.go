@@ -174,6 +174,18 @@ type Engine struct {
 	negSlots  []negSlot
 	leafSlots []*node
 
+	// Key-partitioned lanes (see partition.go): when partTotal > 1 this
+	// engine owns only events whose partAttr value hashes into bucket
+	// partIdx — leaf insertions of other buckets are skipped (negation
+	// buffering is NOT gated: a violator must be visible to all siblings,
+	// whichever lane their matches live on). family is the identity token
+	// shared by the component's sibling engines; AdoptFrom unions a family's
+	// buffers instead of choosing between them.
+	partAttr  string
+	partIdx   int
+	partTotal int
+	family    *partFamily
+
 	now      event.Time
 	nPartial int
 	pendings []*pending
@@ -238,6 +250,25 @@ func (e *Engine) putInst(in *inst) {
 // Names returns the member query names in registration order.
 func (e *Engine) Names() []string { return append([]string(nil), e.names...) }
 
+// Partition describes the engine's key-partition assignment: lane idx of
+// total hash buckets over the equi-join attribute attr. total <= 1 means
+// the engine is unpartitioned (attr is then empty).
+func (e *Engine) Partition() (idx, total int, attr string) {
+	return e.partIdx, e.partTotal, e.partAttr
+}
+
+// NegSlotCount returns the number of negation-buffer subscription slots —
+// the boundary below which Subscriptions' slot numbers address negation
+// intakes. A partition-aware router must not key-filter hits at negation
+// slots: violators belong to every sibling lane.
+func (e *Engine) NegSlotCount() int { return len(e.negSlots) }
+
+// ownsEvent reports whether a partitioned engine's leaf intakes own the
+// event; an unpartitioned engine owns everything.
+func (e *Engine) ownsEvent(ev *event.Event) bool {
+	return e.partTotal <= 1 || PartitionBucket(ev, e.partAttr, e.partTotal) == e.partIdx
+}
+
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() EngineStats { return e.st }
 
@@ -289,21 +320,23 @@ func (e *Engine) processOne(ev *event.Event, seq uint64) {
 		}
 	}
 
-	for _, leaf := range e.byType[ev.Type] {
-		ok := true
-		for _, fn := range leaf.unary {
-			if !fn(ev) {
-				ok = false
-				break
+	if e.ownsEvent(ev) {
+		for _, leaf := range e.byType[ev.Type] {
+			ok := true
+			for _, fn := range leaf.unary {
+				if !fn(ev) {
+					ok = false
+					break
+				}
 			}
+			if !ok {
+				continue
+			}
+			in := e.getInst(1)
+			in.ev[0] = ev
+			in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
+			e.insert(leaf, in)
 		}
-		if !ok {
-			continue
-		}
-		in := e.getInst(1)
-		in.ev[0] = ev
-		in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
-		e.insert(leaf, in)
 	}
 	if e.st.Processed%compactEvery == 0 {
 		e.compact()
@@ -394,12 +427,18 @@ func (e *Engine) processSelected(ev *event.Event, seq uint64, slots []int32) {
 			ns.cons.negBufs[ns.pos] = append(ns.cons.negBufs[ns.pos], ev)
 		}
 	}
-	for ; k < len(slots); k++ {
-		leaf := e.leafSlots[int(slots[k])-nneg]
-		in := e.getInst(1)
-		in.ev[0] = ev
-		in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
-		e.insert(leaf, in)
+	// The engine-side ownership gate backstops the router: an index-routed
+	// hit list may include leaf slots of events another sibling owns (the
+	// router filters them too, but the double check keeps correctness
+	// independent of the routing path).
+	if k < len(slots) && e.ownsEvent(ev) {
+		for ; k < len(slots); k++ {
+			leaf := e.leafSlots[int(slots[k])-nneg]
+			in := e.getInst(1)
+			in.ev[0] = ev
+			in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
+			e.insert(leaf, in)
+		}
 	}
 	if e.st.Processed%compactEvery == 0 {
 		e.compact()
@@ -688,14 +727,53 @@ func (e *Engine) AdoptFrom(olds []*Engine, spliceSeq uint64) {
 	}
 
 	// Index predecessor nodes by key, keeping the most complete source.
-	best := map[string]*node{}
+	// Partition siblings (engines sharing a family token) are slices of one
+	// logical buffer: each family contributes ONE candidate per key whose
+	// buffer is the union of the siblings' buffers — disjoint by
+	// construction, so concatenation never duplicates — and whose watermark
+	// is the max (most conservative) sinceSeq across the members holding the
+	// node. Unrelated predecessors remain independent alternatives, compared
+	// by earliest watermark as before.
+	type source struct {
+		sinceSeq uint64
+		bufs     [][]*inst
+		n        int
+	}
+	grouped := map[*partFamily][]*Engine{}
+	var order []*partFamily // deterministic group iteration, olds order
 	for _, old := range olds {
-		for _, n := range old.nodes {
-			if len(n.parents) == 0 {
-				continue // never buffered: not a usable source
+		fam := old.family
+		if fam == nil {
+			fam = &partFamily{} // singleton group
+		}
+		if _, ok := grouped[fam]; !ok {
+			order = append(order, fam)
+		}
+		grouped[fam] = append(grouped[fam], old)
+	}
+	best := map[string]*source{}
+	for _, fam := range order {
+		cands := map[string]*source{}
+		for _, old := range grouped[fam] {
+			for _, n := range old.nodes {
+				if len(n.parents) == 0 {
+					continue // never buffered: not a usable source
+				}
+				c := cands[n.key]
+				if c == nil {
+					c = &source{sinceSeq: n.sinceSeq}
+					cands[n.key] = c
+				}
+				if n.sinceSeq > c.sinceSeq {
+					c.sinceSeq = n.sinceSeq
+				}
+				c.bufs = append(c.bufs, n.buffer)
+				c.n += len(n.buffer)
 			}
-			if cur, ok := best[n.key]; !ok || n.sinceSeq < cur.sinceSeq {
-				best[n.key] = n
+		}
+		for key, c := range cands {
+			if cur, ok := best[key]; !ok || c.sinceSeq < cur.sinceSeq {
+				best[key] = c
 			}
 		}
 	}
@@ -713,19 +791,28 @@ func (e *Engine) AdoptFrom(olds []*Engine, spliceSeq uint64) {
 		}
 		if src, ok := best[n.key]; ok {
 			n.sinceSeq = src.sinceSeq
-			capHint := len(src.buffer)
+			capHint := src.n
 			if n.bufCap > capHint {
 				capHint = n.bufCap
 			}
 			n.buffer = make([]*inst, 0, capHint)
-			for _, in := range src.buffer {
-				if e.now-in.minTS > n.window {
-					continue
+			for _, buf := range src.bufs {
+				for _, in := range buf {
+					if e.now-in.minTS > n.window {
+						continue
+					}
+					// A partitioned adopter keeps only instances it owns:
+					// every constituent in its bucket. Mixed-bucket
+					// instances are dropped by all siblings — they can
+					// never complete (see adoptKeep).
+					if !e.adoptKeep(in) {
+						continue
+					}
+					cp := e.getInst(len(in.ev))
+					copy(cp.ev, in.ev)
+					cp.minTS, cp.maxTS, cp.minSeq = in.minTS, in.maxTS, in.minSeq
+					n.buffer = append(n.buffer, cp)
 				}
-				cp := e.getInst(len(in.ev))
-				copy(cp.ev, in.ev)
-				cp.minTS, cp.maxTS, cp.minSeq = in.minTS, in.maxTS, in.minSeq
-				n.buffer = append(n.buffer, cp)
 			}
 			continue
 		}
@@ -783,11 +870,49 @@ func (e *Engine) AdoptFrom(olds []*Engine, spliceSeq uint64) {
 			if pd.dead {
 				continue
 			}
-			if nc := byName[pd.cons.name]; nc != nil {
-				e.pendings = append(e.pendings, &pending{
-					cons: nc, m: pd.m, deadline: pd.deadline,
-				})
+			nc := byName[pd.cons.name]
+			if nc == nil {
+				continue
 			}
+			if e.partTotal > 1 {
+				// A pending match migrates to the one sibling that owns its
+				// key: a keyed member's complete match is key-uniform, so
+				// the first positive event's bucket decides ownership.
+				evs := pd.m.Positions[nc.c.Positives[0]]
+				if len(evs) == 0 ||
+					PartitionBucket(evs[0], e.partAttr, e.partTotal) != e.partIdx {
+					continue
+				}
+			}
+			e.pendings = append(e.pendings, &pending{
+				cons: nc, m: pd.m, deadline: pd.deadline,
+			})
+		}
+	}
+
+	// Partition siblings buffer negation events ungated (a violator must be
+	// visible on every lane), so a family's members carry identical negation
+	// buffers and the concatenation above duplicates them. Dedupe by event
+	// pointer, preserving first-seen (arrival) order — compact() expires a
+	// sorted prefix and relies on it.
+	for _, nc := range byName {
+		if !nc.hasNegs() {
+			continue
+		}
+		for pos, buf := range nc.negBufs {
+			if len(buf) < 2 {
+				continue
+			}
+			seen := make(map[*event.Event]bool, len(buf))
+			keep := buf[:0]
+			for _, ev := range buf {
+				if seen[ev] {
+					continue
+				}
+				seen[ev] = true
+				keep = append(keep, ev)
+			}
+			nc.negBufs[pos] = keep
 		}
 	}
 }

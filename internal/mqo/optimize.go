@@ -43,6 +43,14 @@ type Options struct {
 	// lane always holds at least two members (components too small to split
 	// stay whole).
 	GroupWorkers int
+	// Partitions hash-partitions each sharing component that carries an
+	// equi-join key (see partitionKey) across this many lanes: every lane
+	// gets a full copy of the component's DAG serving ALL members, but owns
+	// only the events whose key hashes into its bucket — shared nodes are
+	// computed once per partition with no cross-lane recomputation, which is
+	// what GroupWorkers cannot offer. Components without a key fall back to
+	// the GroupWorkers split. 0 or 1 disables partitioning.
+	Partitions int
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +65,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GroupWorkers <= 0 {
 		o.GroupWorkers = 1
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 1
 	}
 	return o
 }
@@ -84,6 +95,17 @@ type Group struct {
 	SharedNodes  int
 	UnsharedCost float64
 	SharedCost   float64
+
+	// Partition/Partitions/PartitionAttr describe key-partitioned lanes:
+	// this lane owns partition index Partition of Partitions hash buckets
+	// of the component's PartitionAttr equi-join key. Partitions <= 1 means
+	// the lane is unpartitioned (Single, splitComponent and unkeyed
+	// components leave the zero values). The Partitions sibling lanes of one
+	// component serve identical member sets; SharedCost is per lane (the
+	// whole component costs Partitions times as much).
+	Partition     int
+	Partitions    int
+	PartitionAttr string
 }
 
 // Report summarizes what the optimizer decided, in cost-model terms.
@@ -287,6 +309,18 @@ func Optimize(queries []Query, opt Options) (*Result, error) {
 	for compID, r := range roots {
 		members := comps[r]
 		sort.Ints(members)
+		if opt.Partitions > 1 {
+			whole := make([]*qstate, len(members))
+			for i, qi := range members {
+				whole[i] = qs[qi]
+			}
+			if attr, ok := partitionKey(whole); ok {
+				if err := buildPartitioned(res, whole, compID, attr, restructured, opt); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
 		for _, bin := range splitComponent(qs, members, opt.GroupWorkers) {
 			group := make([]*qstate, len(bin))
 			for i, qi := range bin {
@@ -317,6 +351,51 @@ func Optimize(queries []Query, opt Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// buildPartitioned appends the Partitions sibling lanes of one keyed
+// component to the result: each lane gets its own engine over the same
+// member trees (buildEngine reads the qstates without mutating them),
+// stamped with the partition identity and a shared family token so a later
+// AdoptFrom recognizes the lanes as slices of one buffer. Report totals are
+// added once (at partition 0): the members are shared once, the DAG exists
+// logically once, and the component's total shared cost is Partitions times
+// the per-lane share.
+func buildPartitioned(res *Result, group []*qstate, compID int, attr string, restructured map[string]bool, opt Options) error {
+	fam := &partFamily{}
+	laneCost := cost.PartitionedShared(sharedNodeList(group), opt.FanoutFactor, opt.Partitions)
+	for p := 0; p < opt.Partitions; p++ {
+		eng, err := buildEngine(group)
+		if err != nil {
+			return err
+		}
+		eng.partAttr, eng.partIdx, eng.partTotal, eng.family = attr, p, opt.Partitions, fam
+		g := Group{
+			Engine: eng, Component: compID,
+			Trees:     make(map[string]*plan.TreeNode, len(group)),
+			Partition: p, Partitions: opt.Partitions, PartitionAttr: attr,
+		}
+		for _, q := range group {
+			g.Members = append(g.Members, q.name)
+			g.Trees[q.name] = q.tree.Clone()
+			g.UnsharedCost += q.baseCost
+			if restructured[q.name] {
+				g.Restructured++
+			}
+		}
+		g.Nodes = eng.st.Nodes
+		g.SharedNodes = eng.st.SharedNodes
+		g.SharedCost = laneCost
+		res.Groups = append(res.Groups, g)
+		if p == 0 {
+			res.Report.Shared += len(group)
+			res.Report.Nodes += g.Nodes
+			res.Report.SharedNodes += g.SharedNodes
+			res.Report.UnsharedCost += g.UnsharedCost
+			res.Report.SharedCost += laneCost * float64(opt.Partitions)
+		}
+	}
+	return nil
 }
 
 // Single builds a one-member evaluation lane for an eligible query — the
@@ -747,6 +826,14 @@ func SharedTreeCost(items []TreePrice, fanout float64) float64 {
 // sharedObjective evaluates cost.Shared over the final DAG nodes of one
 // component.
 func sharedObjective(group []*qstate, fanout float64) float64 {
+	return cost.Shared(sharedNodeList(group), fanout)
+}
+
+// sharedNodeList collects the deduplicated DAG nodes (by canonical key) of
+// the group's final trees with their modeled partial-match volumes and
+// consumer counts — the input of both the flat and the partitioned shared
+// objective.
+func sharedNodeList(group []*qstate) []cost.SharedNode {
 	type entry struct {
 		pm        float64
 		consumers int
@@ -774,7 +861,7 @@ func sharedObjective(group []*qstate, fanout float64) float64 {
 	for _, en := range nodes {
 		list = append(list, cost.SharedNode{PM: en.pm, Consumers: en.consumers})
 	}
-	return cost.Shared(list, fanout)
+	return list
 }
 
 // buildEngine constructs the shared evaluation DAG for one component from

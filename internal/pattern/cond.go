@@ -189,6 +189,23 @@ func (c Condition) IndexableUnary() (attr string, op CmpOp, con float64, ok bool
 	return attr, op, con, true
 }
 
+// EqualityJoin reports whether the condition is an equi-join on one shared
+// attribute between two distinct aliases (`a.k = b.k`), and if so returns
+// that attribute. This is the form the multi-query optimizer can hash-
+// partition shared join state on: every complete match binds the same k
+// value on both sides, so routing events by hash(k) keeps each partition's
+// matches entirely local. Cross-attribute equalities (a.x = b.y) are not
+// partitionable by a single ingress hash and are rejected.
+func (c Condition) EqualityJoin() (attr string, ok bool) {
+	if c.Op != Eq || c.Left.IsConst() || c.Right.IsConst() {
+		return "", false
+	}
+	if c.Left.Alias == c.Right.Alias || c.Left.Attr != c.Right.Attr {
+		return "", false
+	}
+	return c.Left.Attr, true
+}
+
 // EvalUnary evaluates a unary condition against the event bound to its
 // single alias. It returns false if a referenced attribute is missing.
 func (c Condition) EvalUnary(e *event.Event) bool {

@@ -20,11 +20,17 @@ type PairFn func(a, b *event.Event) bool
 // UnaryFn evaluates a filter predicate on a single event.
 type UnaryFn func(e *event.Event) bool
 
-// Pair is a compiled pairwise predicate between term positions I < J.
+// Pair is a compiled pairwise predicate between term positions I < J. Cond
+// retains the declarative condition the closure was compiled from (HasCond
+// reports whether one exists): the multi-query optimizer inspects it for
+// equi-join attributes when deriving a partition key. Sequence-order and
+// contiguity predicates are synthesized without a Cond.
 type Pair struct {
-	I, J int
-	Desc string
-	Fn   PairFn
+	I, J    int
+	Desc    string
+	Fn      PairFn
+	Cond    pattern.Condition
+	HasCond bool
 }
 
 // Unary is a compiled filter predicate on term position I. Cond retains the
@@ -261,7 +267,7 @@ func Compile(p *pattern.Pattern, strategy Strategy) (*Compiled, error) {
 			i, j := aliasIdx[als[0]], aliasIdx[als[1]]
 			c.Preds.AddPair(Pair{
 				I: i, J: j, Desc: cond.String(),
-				Fn: cond.PairFn(),
+				Fn: cond.PairFn(), Cond: cond, HasCond: true,
 			})
 		default:
 			return nil, fmt.Errorf("predicate: condition %q is not at most pairwise", cond)

@@ -1,0 +1,190 @@
+package cep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSessionPartitionChurnRaceStress is the partitioned sibling of the
+// batch race stress: concurrent SubmitBatch producers feed a session whose
+// shared component is key-partitioned across 4 lanes, while a churn
+// goroutine adds and removes a keyed query (each cycle re-optimizes and
+// splices all partition siblings of the family) and an aggressive adaptive
+// config forces drift re-optimizations on top. Run under -race (CI does),
+// this pins the partition-specific discipline: the per-query emit mutex
+// serializing sibling lanes into one match slice, the partition-0-only
+// ownership of splice targeting and detector close, and the family-aware
+// AdoptFrom that migrates per-partition buffers without loss or
+// duplication.
+//
+// Every event carries the same timestamp, so every multi-positive SEQ match
+// set is provably empty under any producer interleaving; the single-positive
+// counting query turns the assertion into exact delivery accounting across
+// all partition lanes — a drop on one lane or a double delivery across a
+// splice changes the count.
+func TestSessionPartitionChurnRaceStress(t *testing.T) {
+	runSessionPartitionChurnStress(t, SessionConfig{
+		ShareSubplans:    true,
+		PartitionWorkers: 4,
+		QueueLen:         64,
+		Adaptive: &AdaptiveSessionConfig{
+			CheckEvery:   64,
+			WarmupEvents: 64,
+			MinInterval:  64,
+			Hysteresis:   1,
+			Threshold:    0.01,
+		},
+	})
+}
+
+// TestSessionPartitionChurnRaceStressFilterIndex repeats the partitioned
+// stress with the ingress filter index on, so the router's per-lane
+// partition filter (dropping leaf-slot hits for non-owned hash buckets)
+// runs against concurrent index rebuilds from the churn cycle.
+func TestSessionPartitionChurnRaceStressFilterIndex(t *testing.T) {
+	runSessionPartitionChurnStress(t, SessionConfig{
+		ShareSubplans:    true,
+		PartitionWorkers: 4,
+		FilterIndex:      true,
+		QueueLen:         64,
+		Adaptive: &AdaptiveSessionConfig{
+			CheckEvery:   64,
+			WarmupEvents: 64,
+			MinInterval:  64,
+			Hysteresis:   1,
+			Threshold:    0.01,
+		},
+	})
+}
+
+// keyedTailQueries builds n queries SEQ(A a, B b, T<i> c) whose positive
+// positions are chained by x-equality — the fully keyed shape that the
+// optimizer hash-partitions — sharing the (A, B) head pair, each narrowed
+// by a distinct constant bound so the query set stays distinguishable.
+func keyedTailQueries(t *testing.T, history []*Event, n int) []QueryConfig {
+	t.Helper()
+	out := make([]QueryConfig, 0, n)
+	for i := 0; i < n; i++ {
+		tail := []string{"T1", "T2"}[i%2]
+		p := Seq(2*Second,
+			E("A", "a"), E("B", "b"), E(tail, "c"),
+		).Where(
+			AttrCmp("a", "x", Eq, "b", "x"),
+			AttrCmp("b", "x", Eq, "c", "x"),
+			Cmp(Ref("c", "x"), Le, Const(float64(6+i))),
+		)
+		out = append(out, QueryConfig{
+			Name:    fmt.Sprintf("kq%d", i),
+			Pattern: p,
+			Stats:   Measure(history, p),
+		})
+	}
+	return out
+}
+
+func runSessionPartitionChurnStress(t *testing.T, cfg SessionConfig) {
+	// Skewed registration-time stats versus a uniform live stream, so the
+	// drift monitor re-optimizes (and re-splices the partition family)
+	// mid-flight.
+	history := regimeShiftStream(3, map[string]float64{"A": 2, "B": 2, "T1": 20, "T2": 20},
+		nil, 120*Second, 0)
+	queries := keyedTailQueries(t, history, 4)
+
+	s := NewSession(cfg)
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exact delivery accounting: every A event is a match for the counting
+	// lane, so its match count must equal the number of A events submitted.
+	var counted atomic.Int64
+	countP := Seq(Second, E("A", "a")).Where(Cmp(Ref("a", "x"), Ge, Const(0)))
+	if err := s.Register(QueryConfig{
+		Name: "count-a", Pattern: countP, Stats: Measure(history, countP),
+		OnMatch: func(*Match) { counted.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const nProducers = 4
+	const perProducer = 4096
+	const batch = 32
+
+	streams := make([][]*Event, nProducers)
+	wantA := int64(0)
+	for pr := range streams {
+		streams[pr] = makeConstantTSEvents(pr, perProducer)
+		for _, e := range streams[pr] {
+			if e.Type == "A" {
+				wantA++
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < nProducers; pr++ {
+		evs := streams[pr]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < len(evs); i += batch {
+				if err := s.SubmitBatch(evs[i : i+batch]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Churn a keyed query in and out: each AddQuery re-optimizes the shared
+	// component into a fresh P-engine family and AdoptFrom migrates every
+	// lane's buffers; each RemoveQuery splices back down.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("churn-%d", i)
+			p := Seq(2*Second, E("A", "a"), E("B", "b")).
+				Where(AttrCmp("a", "x", Eq, "b", "x"))
+			if err := s.AddQuery(QueryConfig{Name: name, Pattern: p, Stats: Measure(history, p)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.RemoveQuery(name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for name, ms := range s.Results() {
+		if name == "count-a" {
+			continue
+		}
+		if len(ms) != 0 {
+			t.Fatalf("query %s matched %d times on a constant-timestamp stream", name, len(ms))
+		}
+	}
+	if got := counted.Load(); got != wantA {
+		t.Fatalf("counting lane saw %d A events, submitted %d (dropped or double-delivered)", got, wantA)
+	}
+}

@@ -161,6 +161,22 @@ type SessionConfig struct {
 	// lanes are evaluated once per lane — the split trades some
 	// recomputation for parallelism. 0 or 1 keeps one lane per component.
 	SharedWorkers int
+	// PartitionWorkers hash-partitions each sharing component that carries
+	// an equi-join key across this many worker lanes: when every member of a
+	// component chains its positive positions together with equality
+	// predicates on one attribute (`a.k = b.k AND b.k = c.k`), events are
+	// hash-routed by that attribute's value so each lane owns a disjoint
+	// slice of every shared sub-join's buffers. Each shared node is computed
+	// once per partition — unlike the SharedWorkers split there is no
+	// cross-lane recomputation — and each lane's join probing shrinks with
+	// its buffer share, so the component's total work drops toward 1/P of
+	// the single-lane cost on top of the parallelism. Match sets are
+	// identical to single-lane evaluation; the arrival ORDER of one query's
+	// matches across partition lanes is unspecified (match sets, not match
+	// sequences, are the invariant). Components with no qualifying key fall
+	// back to the SharedWorkers split. PartitionWorkers supersedes
+	// SharedWorkers for keyed components. 0 or 1 disables partitioning.
+	PartitionWorkers int
 	// Adaptive enables statistics-drift monitoring and live re-optimization:
 	// an online collector shadows the feed, and components whose running
 	// plans drift too far from what fresh measurements would choose are
@@ -333,6 +349,11 @@ type sessionQuery struct {
 	// It survives lane splices — the counter belongs to the query, not the
 	// lane.
 	nmatches telemetry.Counter
+	// emitMu serializes deliveries when the query's component is key-
+	// partitioned: the P sibling lanes serve the same members concurrently,
+	// so accumulation (and a user sink) must be mutually excluded per query.
+	// Unpartitioned lanes never take it — one worker owns each query there.
+	emitMu sync.Mutex
 
 	lane     *sessionLane // current lane, set once started
 	eligible bool         // may participate in subplan sharing
@@ -955,6 +976,16 @@ type sessionLane struct {
 	gen     int       // re-optimization generation that built this lane
 	info    laneShare // optimizer decision snapshot for ShareReport
 
+	// Key-partitioned lane identity (parts <= 1 on unpartitioned lanes):
+	// this lane owns partition index part of parts hash buckets over the
+	// component's partAttr equi-join key; negSlots is the engine's
+	// negation-intake slot boundary the router needs (negation hits must
+	// never be partition-filtered).
+	part     int
+	parts    int
+	partAttr string
+	negSlots int
+
 	// retired marks a lane spliced away (state adopted elsewhere): finish
 	// is a no-op. discard marks a removed private query: finish closes the
 	// detector without flushing. Both are written strictly before the
@@ -972,6 +1003,18 @@ type sessionLane struct {
 	// which is what keeps the session-wide aggregates monotonic across
 	// splices. Untouched when telemetry is disabled.
 	tc telemetry.LaneCounters
+}
+
+// emitShared delivers one shared-lane match, serializing per query when the
+// lane has partition siblings concurrently serving the same members.
+func (l *sessionLane) emitShared(q *sessionQuery, m *Match) {
+	if l.parts > 1 {
+		q.emitMu.Lock()
+		l.s.emitOne(q, m)
+		q.emitMu.Unlock()
+		return
+	}
+	l.s.emitOne(q, m)
 }
 
 // observe folds one processed item into the lane's telemetry: item/event/
@@ -1008,7 +1051,7 @@ func (l *sessionLane) work(it sessionItem) {
 			tms = l.eng.Process(it.ev, it.seq)
 		}
 		for _, tm := range tms {
-			l.s.emitOne(l.members[tm.Query], tm.M)
+			l.emitShared(l.members[tm.Query], tm.M)
 		}
 		if l.s.tel != nil {
 			l.observe(it, 1, len(tms))
@@ -1045,7 +1088,7 @@ func (l *sessionLane) workBatch(it sessionItem) {
 			tms = l.eng.ProcessBatch(it.batch, it.seq)
 		}
 		for _, tm := range tms {
-			l.s.emitOne(l.members[tm.Query], tm.M)
+			l.emitShared(l.members[tm.Query], tm.M)
 		}
 		if l.s.tel != nil {
 			n := len(it.batch)
@@ -1106,12 +1149,17 @@ func (l *sessionLane) finish() {
 	}
 	if l.eng != nil {
 		for _, tm := range l.eng.Flush() {
-			l.s.emitOne(l.members[tm.Query], tm.M)
+			l.emitShared(l.members[tm.Query], tm.M)
 		}
 		l.eng.Close()
 		for _, q := range l.members {
 			// The members' private runtimes never ran; release them anyway —
-			// the session took ownership at registration.
+			// the session took ownership at registration. Partition siblings
+			// all run this hook; only the member's owning lane (q.lane, the
+			// partition-0 sibling) closes, so the runtime is closed once.
+			if q.lane != l {
+				continue
+			}
 			if err := q.det.Close(); err != nil {
 				l.s.recordErr(q, err)
 			}
@@ -1155,7 +1203,8 @@ type ShareReport struct {
 
 // ComponentReport describes one connected sharing component: its member
 // query names (sorted), the number of worker lanes serving it (more than
-// one when SessionConfig.SharedWorkers split its root fan-out), and the
+// one when SessionConfig.SharedWorkers split its root fan-out or
+// SessionConfig.PartitionWorkers hash-partitioned it), and the
 // re-optimization generation that last rebuilt it. On an adaptive session
 // (SessionConfig.Adaptive), DriftScore is the component's drift score at
 // the last check and Reopts counts the drift re-optimizations of its
@@ -1166,6 +1215,27 @@ type ComponentReport struct {
 	Generation int
 	DriftScore float64
 	Reopts     int
+	// Partitions and PartitionAttr describe a key-partitioned component:
+	// its lanes each own one hash bucket of the PartitionAttr equi-join
+	// key. 0 (and "") on unpartitioned components.
+	Partitions    int
+	PartitionAttr string
+	// LaneQueues has one row per worker lane serving the component, in pool
+	// lane order: the lane's partition id (-1 on unpartitioned lanes) and
+	// its instantaneous queue depth and capacity.
+	LaneQueues []ComponentLane
+}
+
+// ComponentLane is one worker lane row of a ComponentReport.
+type ComponentLane struct {
+	// Lane is the stable pool lane index.
+	Lane int
+	// Partition is the hash bucket this lane owns, -1 when the component is
+	// not key-partitioned.
+	Partition int
+	// Depth and Capacity are the lane queue's instantaneous fill and size.
+	Depth    int
+	Capacity int
 }
 
 // ShareReport returns a snapshot of the optimizer's current decisions, or
@@ -1190,6 +1260,9 @@ func (s *Session) ShareReport() *ShareReport {
 		members []string
 		lanes   int
 		gen     int
+		parts   int
+		attr    string
+		rows    []ComponentLane
 	}
 	comps := map[int]*compAgg{}
 	var compOrder []int
@@ -1203,11 +1276,24 @@ func (s *Session) ShareReport() *ShareReport {
 			comps[l.comp] = ca
 			compOrder = append(compOrder, l.comp)
 		}
-		ca.members = append(ca.members, l.info.members...)
+		// Partition siblings serve identical member sets; count the members
+		// once (the partition-0 sibling speaks for the family).
+		if l.parts <= 1 || l.part == 0 {
+			ca.members = append(ca.members, l.info.members...)
+		}
 		ca.lanes++
 		if l.gen > ca.gen {
 			ca.gen = l.gen
 		}
+		if l.parts > 1 {
+			ca.parts, ca.attr = l.parts, l.partAttr
+		}
+		row := ComponentLane{Lane: l.idx, Partition: -1}
+		if l.parts > 1 {
+			row.Partition = l.part
+		}
+		row.Depth, row.Capacity = s.pool.QueueStats(l.idx)
+		ca.rows = append(ca.rows, row)
 	}
 	sort.Ints(compOrder)
 	for _, id := range compOrder {
@@ -1217,7 +1303,10 @@ func (s *Session) ShareReport() *ShareReport {
 		}
 		members := append([]string(nil), ca.members...)
 		sort.Strings(members)
-		cr := ComponentReport{Members: members, Lanes: ca.lanes, Generation: ca.gen}
+		cr := ComponentReport{
+			Members: members, Lanes: ca.lanes, Generation: ca.gen,
+			Partitions: ca.parts, PartitionAttr: ca.attr, LaneQueues: ca.rows,
+		}
 		if s.adapt != nil && s.adapt.det != nil {
 			if st, ok := s.adapt.det.Peek(id); ok {
 				cr.DriftScore = st.Score
@@ -1234,19 +1323,28 @@ func (s *Session) ShareReport() *ShareReport {
 		if ca := comps[l.comp]; ca == nil || len(ca.members) < 2 {
 			continue
 		}
+		if l.parts > 1 && l.part != 0 {
+			continue // cost/structure totals are per family, not per sibling
+		}
 		rep.Groups = append(rep.Groups, append([]string(nil), l.info.members...))
 		rep.Restructured += l.info.restructured
 		rep.Nodes += l.info.nodes
 		rep.SharedNodes += l.info.sharedNodes
 		rep.UnsharedCost += l.info.unshared
-		rep.SharedCost += l.info.shared
+		// A partitioned lane's SharedCost is its per-lane share; the family
+		// (reported once, via partition 0) costs parts times that.
+		if l.parts > 1 {
+			rep.SharedCost += l.info.shared * float64(l.parts)
+		} else {
+			rep.SharedCost += l.info.shared
+		}
 	}
 	return rep
 }
 
 // mqoOpts returns the optimizer options the session runs under.
 func (s *Session) mqoOpts() mqo.Options {
-	return mqo.Options{GroupWorkers: s.cfg.SharedWorkers}
+	return mqo.Options{GroupWorkers: s.cfg.SharedWorkers, Partitions: s.cfg.PartitionWorkers}
 }
 
 // mqoQuery lowers a registered query into the optimizer's input form.
@@ -1273,11 +1371,16 @@ func (s *Session) addLaneLocked(l *sessionLane) error {
 	return nil
 }
 
-// engineLane wires a shared-group lane and points its members at it.
+// engineLane wires a shared-group lane and points its members at it. For a
+// key-partitioned group only the partition-0 sibling becomes the members'
+// q.lane — the one lane per query that owns splice targeting and detector
+// close; its component id still reaches every sibling via lane.comp.
 func (s *Session) engineLane(g mqo.Group, comp int) *sessionLane {
 	lane := &sessionLane{
 		s: s, eng: g.Engine, members: map[string]*sessionQuery{},
 		comp: comp, gen: s.reoptGen,
+		part: g.Partition, parts: g.Partitions, partAttr: g.PartitionAttr,
+		negSlots: g.Engine.NegSlotCount(),
 		info: laneShare{
 			members:      append([]string(nil), g.Members...),
 			trees:        g.Trees,
@@ -1291,7 +1394,9 @@ func (s *Session) engineLane(g mqo.Group, comp int) *sessionLane {
 	for _, name := range g.Members {
 		q := s.byName[name]
 		lane.members[name] = q
-		q.lane = lane
+		if g.Partitions <= 1 || g.Partition == 0 {
+			q.lane = lane
+		}
 	}
 	return lane
 }
@@ -1439,9 +1544,15 @@ func (s *Session) spliceAddLocked(q *sessionQuery) error {
 		return err
 	}
 	input := []mqo.Query{mq}
+	seen := map[string]bool{q.name: true}
 	for _, lane := range affected {
 		for _, m := range lane.members {
-			input = append(input, mqoQuery(m))
+			// Partition siblings repeat the component's members; each query
+			// enters the re-optimization once.
+			if !seen[m.name] {
+				seen[m.name] = true
+				input = append(input, mqoQuery(m))
+			}
 		}
 	}
 	s.queries = append(s.queries, q)
@@ -1500,9 +1611,11 @@ func (s *Session) spliceRemoveLocked(q *sessionQuery) error {
 		// Shared member: re-optimize the component without it.
 		affected := s.componentLanesLocked(lane.comp)
 		var input []mqo.Query
+		seen := map[string]bool{}
 		for _, al := range affected {
 			for _, m := range al.members {
-				if m != q {
+				if m != q && !seen[m.name] {
+					seen[m.name] = true
 					input = append(input, mqoQuery(m))
 				}
 			}

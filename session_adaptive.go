@@ -449,8 +449,13 @@ func (sc *snapCache) statsFor(q *sessionQuery) *Stats {
 // pattern's statistics shape changed).
 func (s *Session) compCostsLocked(lanes []*sessionLane, snap *snapCache) (stale, fresh float64, ok bool) {
 	var staleItems, freshItems []mqo.TreePrice
+	priced := map[string]bool{}
 	for _, l := range lanes {
 		for name, q := range l.members {
+			if priced[name] {
+				continue // partition siblings repeat the member set
+			}
+			priced[name] = true
 			if q.rt == nil || q.qc == nil {
 				return 0, 0, false
 			}
@@ -528,8 +533,13 @@ func (s *Session) driftReoptLocked(comp int, snap *snapCache, pos int64) error {
 		qc *QueryConfig
 	}
 	var swaps []swapIn
+	planned := map[string]bool{}
 	for _, l := range affected {
 		for _, q := range l.members {
+			if planned[q.name] {
+				continue // partition siblings repeat the member set
+			}
+			planned[q.name] = true
 			if q.qc == nil {
 				return fmt.Errorf("query %q: no declarative config", q.name)
 			}
@@ -565,9 +575,13 @@ func (s *Session) driftReoptLocked(comp int, snap *snapCache, pos int64) error {
 		sw.q.sigs = nil // fresh plan, fresh canonical-signature cache
 	}
 	var input []mqo.Query
+	inInput := map[string]bool{}
 	for _, l := range affected {
 		for _, m := range l.members {
-			input = append(input, mqoQuery(m))
+			if !inInput[m.name] {
+				inInput[m.name] = true
+				input = append(input, mqoQuery(m))
+			}
 		}
 	}
 	nextBefore := s.nextComp

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/filterindex"
+	"repro/internal/mqo"
 	"repro/internal/pattern"
 	"repro/internal/pool"
 )
@@ -179,6 +180,7 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 	sc := routePool.Get().(*routeScratch)
 	sc.hits = fi.AppendHits(e, sc.hits[:0])
 	sortHits(sc.hits)
+	lanes := *s.laneTab.Load()
 	pairs := sc.pairs[:0]
 	for _, lane := range fi.Always() {
 		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{ev: e, seq: seq, t0: t0}})
@@ -189,10 +191,25 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 		for j < len(sc.hits) && sc.hits[j].Lane == lane {
 			j++
 		}
+		hi := j
+		if ln := lanes[int(lane)]; ln.parts > 1 && sc.hits[i].Slot >= 0 &&
+			mqo.PartitionBucket(e, ln.partAttr, ln.parts) != ln.part {
+			// Key-partitioned lane that does not own the event's hash
+			// bucket: only its negation intakes (the sorted slot prefix
+			// below negSlots) may see the event — leaf insertions belong to
+			// the owning sibling. (The engine gates leaves itself too; the
+			// router filter is what keeps non-owned traffic off the lane.)
+			for hi = i; hi < j && int(sc.hits[hi].Slot) < ln.negSlots; hi++ {
+			}
+			if hi == i {
+				i = j
+				continue
+			}
+		}
 		it := sessionItem{ev: e, seq: seq, t0: t0}
 		if sc.hits[i].Slot >= 0 {
-			slots := make([]int32, 0, j-i)
-			for k := i; k < j; k++ {
+			slots := make([]int32, 0, hi-i)
+			for k := i; k < hi; k++ {
 				slots = append(slots, sc.hits[k].Slot)
 			}
 			it.evSlots = slots
@@ -221,7 +238,8 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 // the broadcast batch path. Called under intakeMu's read side.
 func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch []*Event, seq0 uint64, t0 int64) error {
 	sc := routePool.Get().(*routeScratch)
-	nl := len(*s.laneTab.Load())
+	lanes := *s.laneTab.Load()
+	nl := len(lanes)
 	if cap(sc.perLane) < nl {
 		sc.perLane = make([]laneRoute, nl)
 	}
@@ -242,6 +260,18 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 			for j < len(sc.hits) && sc.hits[j].Lane == lane {
 				j++
 			}
+			hi := j
+			if ln := lanes[int(lane)]; ln.parts > 1 && sc.hits[i].Slot >= 0 &&
+				mqo.PartitionBucket(e, ln.partAttr, ln.parts) != ln.part {
+				// Non-owned bucket on a key-partitioned lane: keep only the
+				// negation-intake prefix of the slot hits (see routeOne).
+				for hi = i; hi < j && int(sc.hits[hi].Slot) < ln.negSlots; hi++ {
+				}
+				if hi == i {
+					i = j
+					continue
+				}
+			}
 			lr := &sc.perLane[lane]
 			if lr.sel == nil {
 				touched = append(touched, lane)
@@ -251,7 +281,7 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 			routed++
 			if lr.hasSlots {
 				lr.slotOff = append(lr.slotOff, int32(len(lr.slots)))
-				for k := i; k < j; k++ {
+				for k := i; k < hi; k++ {
 					lr.slots = append(lr.slots, sc.hits[k].Slot)
 				}
 			}

@@ -32,6 +32,11 @@ type QueueMetrics struct {
 	Members []string `json:"members,omitempty"`
 	// Component is the sharing-component id of a shared lane, -1 otherwise.
 	Component int `json:"component"`
+	// Partition is the hash bucket a key-partitioned shared lane owns
+	// (SessionConfig.PartitionWorkers), -1 on unpartitioned lanes;
+	// Partitions is the sibling count of its family (0 when unpartitioned).
+	Partition  int `json:"partition"`
+	Partitions int `json:"partitions,omitempty"`
 	// Generation is the re-optimization generation that built the lane.
 	Generation int `json:"generation"`
 	// Retired marks a tombstone lane whose state was spliced elsewhere.
@@ -189,6 +194,7 @@ func (s *Session) Metrics() *SessionMetrics {
 		qm := QueueMetrics{
 			Lane:       l.idx,
 			Component:  -1,
+			Partition:  -1,
 			Generation: l.gen,
 			Retired:    l.retired || l.discard,
 			Items:      l.tc.Items.Load(),
@@ -203,6 +209,9 @@ func (s *Session) Metrics() *SessionMetrics {
 			qm.Members = append([]string(nil), l.info.members...)
 			if l.eng != nil {
 				qm.Component = l.comp
+			}
+			if l.parts > 1 {
+				qm.Partition, qm.Partitions = l.part, l.parts
 			}
 		case l.q != nil && l.q.rt != nil:
 			qm.Kind = "private"
@@ -414,7 +423,11 @@ func (s *Session) writeProm(w http.ResponseWriter) {
 }
 
 func laneLabels(q QueueMetrics) telemetry.Labels {
-	return telemetry.Labels{"lane": fmt.Sprint(q.Lane), "kind": q.Kind}
+	l := telemetry.Labels{"lane": fmt.Sprint(q.Lane), "kind": q.Kind}
+	if q.Partitions > 0 {
+		l["partition"] = fmt.Sprint(q.Partition)
+	}
+	return l
 }
 
 func shardLabels(query string, sh ShardStats) telemetry.Labels {

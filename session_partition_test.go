@@ -1,0 +1,111 @@
+package cep
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPartitionReportShape pins the observable shape of a key-partitioned
+// session: ShareReport's component rows must carry the partition count, the
+// derived key attribute and one LaneQueues row per hash bucket, and
+// Session.Metrics() must label every shared lane with its partition id
+// while private lanes stay at -1. The report is API surface — dashboards
+// key off these fields — so the shape is asserted exactly, not loosely.
+func TestPartitionReportShape(t *testing.T) {
+	history := regimeShiftStream(3, map[string]float64{"A": 2, "B": 2, "T1": 4, "T2": 4},
+		nil, 120*Second, 0)
+	queries := keyedTailQueries(t, history, 2)
+
+	s := NewSession(SessionConfig{ShareSubplans: true, PartitionWorkers: 3})
+	for _, qc := range queries {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A lone single-positive query shares with nobody: it lands on a
+	// singleton shared lane that must stay unpartitioned (-1/0).
+	soloP := Seq(Second, E("A", "a")).Where(Cmp(Ref("a", "x"), Ge, Const(0)))
+	if err := s.Register(QueryConfig{Name: "solo", Pattern: soloP, Stats: Measure(history, soloP)}); err != nil {
+		t.Fatal(err)
+	}
+	// A Kleene query is sharing-ineligible: it runs on a private lane,
+	// which must also report Partition -1.
+	pvtP := Seq(2*Second, E("A", "a"), KL("B", "b"))
+	if err := s.Register(QueryConfig{Name: "pvt", Pattern: pvtP, Stats: Measure(history, pvtP)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rep := s.ShareReport()
+	if rep == nil {
+		t.Fatal("nil ShareReport on a started sharing session")
+	}
+	if len(rep.Components) != 1 {
+		t.Fatalf("want 1 sharing component, got %d", len(rep.Components))
+	}
+	comp := rep.Components[0]
+	if got, want := comp.Members, []string{"kq0", "kq1"}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("component members = %v, want %v", got, want)
+	}
+	if comp.Partitions != 3 {
+		t.Fatalf("component Partitions = %d, want 3", comp.Partitions)
+	}
+	if comp.PartitionAttr != "x" {
+		t.Fatalf("component PartitionAttr = %q, want \"x\"", comp.PartitionAttr)
+	}
+	if comp.Lanes != 3 {
+		t.Fatalf("component Lanes = %d, want 3", comp.Lanes)
+	}
+	if len(comp.LaneQueues) != 3 {
+		t.Fatalf("component LaneQueues has %d rows, want 3", len(comp.LaneQueues))
+	}
+	parts := make([]int, 0, 3)
+	for _, lq := range comp.LaneQueues {
+		parts = append(parts, lq.Partition)
+		if lq.Capacity <= 0 {
+			t.Fatalf("lane %d reports capacity %d, want > 0", lq.Lane, lq.Capacity)
+		}
+		if lq.Depth < 0 || lq.Depth > lq.Capacity {
+			t.Fatalf("lane %d reports depth %d outside [0, %d]", lq.Lane, lq.Depth, lq.Capacity)
+		}
+	}
+	sort.Ints(parts)
+	for i, p := range parts {
+		if p != i {
+			t.Fatalf("LaneQueues partitions = %v, want {0, 1, 2}", parts)
+		}
+	}
+
+	m := s.Metrics()
+	sharedParts := make([]int, 0, 3)
+	sawPrivate := false
+	for _, q := range m.Queues {
+		if q.Kind == "shared" && len(q.Members) == 2 {
+			// A lane of the partitioned kq0+kq1 family.
+			if q.Partitions != 3 {
+				t.Fatalf("family lane %d: Partitions = %d, want 3", q.Lane, q.Partitions)
+			}
+			sharedParts = append(sharedParts, q.Partition)
+			continue
+		}
+		// Singleton shared lane (solo) and private lane (pvt) alike must
+		// stay unpartitioned.
+		if q.Partition != -1 || q.Partitions != 0 {
+			t.Fatalf("%s lane %d (%v): Partition/Partitions = %d/%d, want -1/0",
+				q.Kind, q.Lane, q.Members, q.Partition, q.Partitions)
+		}
+		if q.Kind == "private" {
+			sawPrivate = true
+		}
+	}
+	sort.Ints(sharedParts)
+	if len(sharedParts) != 3 || sharedParts[0] != 0 || sharedParts[1] != 1 || sharedParts[2] != 2 {
+		t.Fatalf("Metrics family-lane partitions = %v, want {0, 1, 2}", sharedParts)
+	}
+	if !sawPrivate {
+		t.Fatal("expected the Kleene query to occupy a private lane")
+	}
+}
