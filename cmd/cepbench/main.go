@@ -66,6 +66,17 @@
 // assert the instrumentation costs at most ~5%. `-telemetry-json FILE`
 // writes the rows for CI.
 //
+// `cepbench -fig trace` measures the overhead of the event-tracing and
+// match-provenance layer (SessionConfig.Trace): the mqo workload fed with
+// tracing off, with 1-in-64 sampled span traces, and with sampling plus
+// per-match provenance, best of three repetitions each, with a match
+// cross-check across all three modes and a span walk of one retained
+// trace. Rows carry fig "trace-off"/"trace-on"/"trace-prov" so
+// cmd/benchdiff's speedup gate (`-min-speedup 0.95 -at fig=trace-on -vs
+// fig=trace-off`) can assert the sampled instrumentation costs at most
+// ~5%. `-trace-json FILE` writes the rows for CI (BENCH_trace.json is the
+// committed snapshot).
+//
 // `cepbench -fig partition` measures key-partitioned shared evaluation
 // (SessionConfig.PartitionWorkers): overlapping fully keyed queries — every
 // positive position chained by k-equality, all sharing one hot (A ⋈ B)
@@ -132,6 +143,9 @@ func main() {
 		telGen   = flag.Int("telemetry-events", 50000, "events in the telemetry-overhead stream (-fig telemetry)")
 		telQs    = flag.String("telemetry-queries", "16,64", "overlapping query counts (-fig telemetry)")
 		telOut   = flag.String("telemetry-json", "", "also write the telemetry rows as a JSON file (-fig telemetry)")
+		traceGen = flag.Int("trace-events", 50000, "events in the tracing-overhead stream (-fig trace)")
+		traceQs  = flag.String("trace-queries", "16,64", "overlapping query counts (-fig trace)")
+		traceOut = flag.String("trace-json", "", "also write the trace rows as a JSON file (-fig trace)")
 		partGen  = flag.Int("partition-events", 60000, "events in the partitioned-evaluation stream (-fig partition)")
 		partQs   = flag.String("partition-queries", "16,64", "overlapping keyed query counts (-fig partition)")
 		partPs   = flag.String("partition-workers", "1,2,4", "partition lane counts; the first is the cross-check reference (-fig partition)")
@@ -196,6 +210,13 @@ func main() {
 		}
 		return
 	}
+	if *fig == "trace" {
+		if err := runTraceScenario(*symbols, *traceGen, *traceQs, event.Time(*windowMS), *seed, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: trace scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "partition" {
 		if err := runPartitionScenario(*partGen, *partQs, *partPs, event.Time(*partWin), *seed, *partOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cepbench: partition scenario: %v\n", err)
@@ -239,7 +260,7 @@ func main() {
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift', 'batch', 'index', 'telemetry' or 'partition')\n", *fig)
+			fmt.Fprintf(os.Stderr, "cepbench: invalid -fig %q (4-19, 'all', 'ext', 'shard', 'session', 'mqo', 'churn', 'drift', 'batch', 'index', 'telemetry', 'trace' or 'partition')\n", *fig)
 			os.Exit(2)
 		}
 		figures = []int{n}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	cep "repro"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// traceRow is one (trace mode, query count) measurement. The mode is
+// encoded in Fig ("trace-off" / "trace-on" / "trace-prov") so
+// cmd/benchdiff's -min-speedup gate can divide the pair sharing a query
+// count: `-min-speedup 0.95 -at fig=trace-on -vs fig=trace-off` asserts
+// that sampled tracing costs at most ~5% throughput.
+type traceRow struct {
+	Fig          string  `json:"fig"`
+	Queries      int     `json:"queries"`
+	Batch        int     `json:"batch"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_off"`
+	Matches      int     `json:"matches"`
+	MatchesOK    bool    `json:"matches_ok"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+}
+
+// runTraceScenario measures the overhead of the event-tracing and match-
+// provenance layer: the mqo workload (hot-pair sharing families, every
+// fourth query a negation) fed through SubmitBatch on a
+// ShareSubplans+FilterIndex session under three trace configurations —
+// tracing off (Trace: nil), 1-in-64 sampled span traces, and sampled
+// traces plus per-match provenance. Each configuration takes the best of
+// three repetitions so a GC cycle cannot masquerade as instrumentation
+// cost, per-query match counts must agree across all three modes (tracing
+// must never change detection), and the last trace-on run dumps one
+// retained trace's span walk — the same record /debug/traces.json serves.
+// Rows go to stdout as a table and JSON, and to jsonPath when set — the
+// input of cmd/benchdiff's overhead gate.
+func runTraceScenario(symbols, events int, queryCounts string, window event.Time, seed int64, jsonPath string) error {
+	if symbols < 4 {
+		return fmt.Errorf("-symbols must be at least 4 (hot pair + tails), got %d", symbols)
+	}
+	var counts []int
+	for _, part := range strings.Split(queryCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("invalid -trace-queries %q", queryCounts)
+		}
+		counts = append(counts, n)
+	}
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: symbols, Events: events, Seed: seed, MinRate: 1, MaxRate: 20,
+	})
+	stream := stocks.Generate()
+	type symRate struct {
+		name string
+		rate float64
+	}
+	bySpeed := make([]symRate, 0, len(stocks.Symbols))
+	for _, s := range stocks.Symbols {
+		bySpeed = append(bySpeed, symRate{s, stocks.Rates[s]})
+	}
+	sort.Slice(bySpeed, func(i, j int) bool { return bySpeed[i].rate > bySpeed[j].rate })
+	hotA, hotB := bySpeed[0].name, bySpeed[1].name
+	tails := bySpeed[2:]
+	const feedBatch = 256
+	fmt.Printf("trace scenario: %d events over %d symbols, window %dms, feed batch %d, hot pair %s⋈%s\n\n",
+		len(stream), symbols, window, feedBatch, hotA, hotB)
+
+	makeQueries := func(n int) ([]cep.QueryConfig, error) {
+		out := make([]cep.QueryConfig, 0, n)
+		for i := 0; i < n; i++ {
+			tail := tails[i%len(tails)].name
+			var src string
+			if i%4 == 3 {
+				neg := tails[(i+1)%len(tails)].name
+				src = fmt.Sprintf(
+					`PATTERN SEQ(%s a, %s b, NOT(%s n), %s c)
+					 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+					 WITHIN %d ms`,
+					hotA, hotB, neg, tail, window)
+			} else {
+				src = fmt.Sprintf(
+					`PATTERN SEQ(%s a, %s b, %s c)
+					 WHERE a.bucket = b.bucket AND a.difference < b.difference AND b.difference < c.difference
+					 WITHIN %d ms`,
+					hotA, hotB, tail, window)
+			}
+			p, err := cep.ParsePatternWith(src, stocks.Registry)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cep.QueryConfig{
+				Name:    fmt.Sprintf("q%02d", i),
+				Pattern: p,
+				Stats:   cep.Measure(stream, p),
+			})
+		}
+		return out, nil
+	}
+
+	run := func(queries []cep.QueryConfig, tc *cep.TraceConfig) (time.Duration, map[string]int, []trace.Trace, error) {
+		s := cep.NewSession(cep.SessionConfig{
+			QueueLen: 1024, ShareSubplans: true, FilterIndex: true, Trace: tc,
+		})
+		for _, qc := range queries {
+			if err := s.Register(qc); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if err := s.Start(); err != nil {
+			return 0, nil, nil, err
+		}
+		evs := workload.ResetStream(stream)
+		start := time.Now()
+		for i := 0; i < len(evs); i += feedBatch {
+			end := min(i+feedBatch, len(evs))
+			if err := s.SubmitBatch(evs[i:end]); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if _, err := s.Flush(); err != nil {
+			return 0, nil, nil, err
+		}
+		elapsed := time.Since(start)
+		perQuery := make(map[string]int, len(queries))
+		for _, qc := range queries {
+			perQuery[qc.Name] = len(s.Matches(qc.Name))
+		}
+		return elapsed, perQuery, s.Traces(), nil
+	}
+	// Best of three repetitions per mode: the gate divides two of the
+	// numbers, so one GC pause inside a single repetition must not decide it.
+	const reps = 3
+	best := func(queries []cep.QueryConfig, tc *cep.TraceConfig) (time.Duration, map[string]int, []trace.Trace, error) {
+		var bestElapsed time.Duration
+		var bestCounts map[string]int
+		var bestTraces []trace.Trace
+		for r := 0; r < reps; r++ {
+			elapsed, perQuery, trs, err := run(queries, tc)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if bestCounts == nil || elapsed < bestElapsed {
+				bestElapsed, bestTraces = elapsed, trs
+			}
+			if bestCounts == nil {
+				bestCounts = perQuery
+			} else {
+				for name, want := range bestCounts {
+					if perQuery[name] != want {
+						return 0, nil, nil, fmt.Errorf("repetition mismatch for %s: %d vs %d", name, perQuery[name], want)
+					}
+				}
+			}
+		}
+		return bestElapsed, bestCounts, bestTraces, nil
+	}
+
+	modes := []struct {
+		fig string
+		tc  *cep.TraceConfig
+	}{
+		{"trace-off", nil},
+		{"trace-on", &cep.TraceConfig{SampleEvery: 64, RingCap: 64}},
+		{"trace-prov", &cep.TraceConfig{SampleEvery: 64, RingCap: 64, Provenance: true}},
+	}
+	table := harness.Table{
+		Title:   "Tracing overhead: feed throughput (events/s), off vs sampled spans vs spans+provenance",
+		Columns: []string{"queries", "trace", "ev/s", "vs off", "matches", "elapsed"},
+	}
+	var rows []traceRow
+	var lastTraces []trace.Trace
+	for _, n := range counts {
+		queries, err := makeQueries(n)
+		if err != nil {
+			return err
+		}
+		var offRate float64
+		var offCounts map[string]int
+		for mi, mode := range modes {
+			elapsed, perQuery, trs, err := best(queries, mode.tc)
+			if err != nil {
+				return fmt.Errorf("queries=%d %s: %w", n, mode.fig, err)
+			}
+			if mi == 0 {
+				offRate, offCounts = float64(len(stream))/elapsed.Seconds(), perQuery
+			}
+			if len(trs) > 0 {
+				lastTraces = trs
+			}
+			row := traceRow{
+				Fig: mode.fig, Queries: n, Batch: feedBatch,
+				EventsPerSec: float64(len(stream)) / elapsed.Seconds(),
+				MatchesOK:    true,
+				ElapsedMS:    elapsed.Milliseconds(),
+			}
+			row.Speedup = row.EventsPerSec / offRate
+			for name, want := range offCounts {
+				row.Matches += perQuery[name]
+				if perQuery[name] != want {
+					row.MatchesOK = false
+				}
+			}
+			rows = append(rows, row)
+			matchCell := fmt.Sprint(row.Matches)
+			if !row.MatchesOK {
+				matchCell += " (MISMATCH vs trace-off!)"
+			}
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprint(n), strings.TrimPrefix(mode.fig, "trace-"),
+				fmt.Sprintf("%.0f", row.EventsPerSec), fmt.Sprintf("%.2f", row.Speedup),
+				matchCell, (time.Duration(row.ElapsedMS) * time.Millisecond).String(),
+			})
+		}
+	}
+	table.Fprint(os.Stdout)
+	if len(lastTraces) > 0 {
+		tr := lastTraces[len(lastTraces)-1]
+		fmt.Printf("\nsample trace (seq %d, batch %d, %d retained):\n", tr.Seq, tr.Batch, len(lastTraces))
+		for _, sp := range tr.Spans {
+			fmt.Printf("  %8.1fµs  %-9s lane=%-3d %s\n",
+				float64(sp.AtNS)/1e3, sp.Stage, sp.Lane, sp.Detail)
+		}
+	}
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJSON: %s\n", blob)
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(rows written to %s)\n", jsonPath)
+	}
+	for _, row := range rows {
+		if !row.MatchesOK {
+			return fmt.Errorf("match-count mismatch at %d queries", row.Queries)
+		}
+	}
+	return nil
+}

@@ -10,7 +10,8 @@
 //
 // With `-metrics ADDR` the pattern runs inside a Session instead and the
 // unified telemetry endpoint (Prometheus text format on /metrics, JSON on
-// /metrics.json, expvar on /debug/vars, pprof under /debug/pprof/) is
+// /metrics.json, sampled event traces on /debug/traces.json, expvar on
+// /debug/vars, pprof under /debug/pprof/) is
 // served on ADDR; after the feed the process keeps serving until
 // interrupted, so the final counters can be scraped:
 //
@@ -115,9 +116,15 @@ func main() {
 
 // serveMetrics runs the pattern inside a Session with the telemetry layer
 // on, serves Session.MetricsHandler on addr, feeds the stream, and then
-// blocks serving scrapes until the process is interrupted.
+// blocks serving scrapes until the process is interrupted. Tracing is on
+// (1-in-8 sampled submissions plus match provenance — a demo rate; a batch
+// feed makes one submission per 256 events) so /debug/traces.json serves a
+// live span ring alongside the metrics endpoints.
 func serveMetrics(addr string, p *cep.Pattern, st *cep.Stats, alg string, strategy cep.Strategy, alpha float64, ticks []*cep.Event) error {
-	s := cep.NewSession(cep.SessionConfig{QueueLen: 1024, FilterIndex: true})
+	s := cep.NewSession(cep.SessionConfig{
+		QueueLen: 1024, FilterIndex: true,
+		Trace: &cep.TraceConfig{SampleEvery: 8, Provenance: true},
+	})
 	if err := s.Register(cep.QueryConfig{
 		Name: "demo", Pattern: p, Stats: st,
 		Algorithm: alg, Strategy: strategy, LatencyWeight: alpha,
@@ -141,7 +148,7 @@ func serveMetrics(addr string, p *cep.Pattern, st *cep.Stats, alg string, strate
 		return err
 	}
 	m := s.Metrics()
-	fmt.Printf("%d events → %d matches; serving metrics on %s (/metrics, /metrics.json, /debug/vars, /debug/pprof/) — Ctrl-C to exit\n",
+	fmt.Printf("%d events → %d matches; serving metrics on %s (/metrics, /metrics.json, /debug/traces.json, /debug/vars, /debug/pprof/) — Ctrl-C to exit\n",
 		m.EventsSubmitted, m.MatchesEmitted, addr)
 	return <-errc
 }

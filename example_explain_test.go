@@ -1,0 +1,48 @@
+package cep_test
+
+// Runnable example for the decision-explain surface: Session.Explain
+// narrates why a query shares an evaluation lane (or stays private), which
+// canonical sub-join key it shares under, the cost-model terms behind the
+// decision, and how the component is (or is not) key-partitioned.
+
+import (
+	"fmt"
+
+	cep "repro"
+)
+
+// ExampleSession_Explain registers two identical keyed queries on a
+// sharing, partitioning session and asks why the first one landed where it
+// did: the optimizer shared their common (A ⋈ B) sub-join and
+// hash-partitioned the component on the chaining attribute k.
+func ExampleSession_Explain() {
+	s := cep.NewSession(cep.SessionConfig{
+		ShareSubplans:    true,
+		PartitionWorkers: 2,
+	})
+	for _, name := range []string{"twin-1", "twin-2"} {
+		if err := s.Register(cep.QueryConfig{
+			Name:  name,
+			Query: `PATTERN SEQ(A a, B b) WHERE a.k = b.k WITHIN 10 s`,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		panic(err)
+	}
+	defer s.Close()
+
+	ex, err := s.Explain("twin-1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(ex)
+	// Output:
+	// query "twin-1" [shared]
+	//   eligible: true
+	//   canonical keys: w10000|A{},B{}|(0,1)>$x.k = $y.k&$x.ts < $y.ts;
+	//   component 0 (generation 0), members: twin-1, twin-2
+	//   cost: private=140 shared=43.75 (nodes=3 shared=1 restructured=0)
+	//   partitions: 2 on attribute "k"
+}

@@ -20,10 +20,13 @@ import (
 // consumption marks cannot leak state between the engine configurations
 // under comparison.
 
-// diffQuery is one randomized query of a differential workload.
+// diffQuery is one randomized query of a differential workload. kleene
+// marks draws that are ineligible for sharing and therefore run on private
+// detector lanes, whose provenance records carry no per-event seqs.
 type diffQuery struct {
-	name string
-	p    *cep.Pattern
+	name   string
+	p      *cep.Pattern
+	kleene bool
 }
 
 // buildDifferentialQueries draws nQueries random patterns with varied
@@ -37,8 +40,9 @@ func buildDifferentialQueries(rng *rand.Rand, nQueries int) []diffQuery {
 		negation := rng.Intn(4) == 0
 		kleene := rng.Intn(8) == 0
 		qs[i] = diffQuery{
-			name: fmt.Sprintf("q%02d", i),
-			p:    RandomPattern(rng, window, negation, kleene),
+			name:   fmt.Sprintf("q%02d", i),
+			p:      RandomPattern(rng, window, negation, kleene),
+			kleene: kleene,
 		}
 	}
 	return qs
@@ -69,6 +73,7 @@ func referenceMatches(qs []diffQuery, events []*event.Event) (map[string][]*matc
 func runSessionDifferential(qs []diffQuery, events []*event.Event, share, filterIndex bool, batch, partitions int) (map[string][]*match.Match, error) {
 	s := cep.NewSession(cep.SessionConfig{
 		ShareSubplans: share, FilterIndex: filterIndex, PartitionWorkers: partitions,
+		Trace: &cep.TraceConfig{Provenance: true},
 	})
 	for _, q := range qs {
 		err := s.Register(cep.QueryConfig{
@@ -103,6 +108,48 @@ func runSessionDifferential(qs []diffQuery, events []*event.Event, share, filter
 		return nil, err
 	}
 	return s.Results(), nil
+}
+
+// checkProvenance cross-checks the match provenance layer against the
+// differential ground truth: every match must carry a record, and on shared
+// engine lanes (everything except Kleene draws when sharing is on, and all
+// lanes when it is off) the per-event seqs must equal the submission-order
+// seq of each bound event, index-aligned with Events(). Private detector
+// lanes report lane and latency only — nil Seqs is their documented
+// contract — so they are checked for presence, not alignment.
+func checkProvenance(mode string, qs []diffQuery, events []*event.Event, got map[string][]*match.Match, shared bool) error {
+	seqOf := make(map[*event.Event]uint64, len(events))
+	for i, ev := range events {
+		seqOf[ev] = uint64(i + 1)
+	}
+	for _, q := range qs {
+		for _, m := range got[q.name] {
+			p := m.Prov
+			if p == nil {
+				return fmt.Errorf("%s: %s: match without provenance", mode, q.name)
+			}
+			if p.Lane < 0 || p.LatencyNS < 0 {
+				return fmt.Errorf("%s: %s: malformed provenance %+v", mode, q.name, p)
+			}
+			if p.Seqs == nil {
+				if shared && !q.kleene {
+					return fmt.Errorf("%s: %s: shared-lane match lost its event seqs", mode, q.name)
+				}
+				continue
+			}
+			evs := m.Events()
+			if len(p.Seqs) != len(evs) {
+				return fmt.Errorf("%s: %s: %d seqs for %d events", mode, q.name, len(p.Seqs), len(evs))
+			}
+			for i, ev := range evs {
+				if p.Seqs[i] != seqOf[ev] {
+					return fmt.Errorf("%s: %s: seq[%d] = %d, want %d (%v)",
+						mode, q.name, i, p.Seqs[i], seqOf[ev], p.Seqs)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // checkDifferential generates the workload for one seed and asserts that
@@ -141,6 +188,9 @@ func checkDifferential(seed int64, nQueries, nEvents, batch int) error {
 					DescribeDiff(q.name, got[q.name], want[q.name]))
 			}
 		}
+		if err := checkProvenance(mode.name, qs, events, got, mode.share); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
 	}
 	return nil
 }
@@ -164,9 +214,11 @@ func buildKeyedDifferentialQueries(rng *rand.Rand, nQueries int) []diffQuery {
 			}
 			continue
 		}
+		kleene := rng.Intn(8) == 0
 		qs[i] = diffQuery{
-			name: fmt.Sprintf("kq%02d", i),
-			p:    RandomPattern(rng, window, negation, rng.Intn(8) == 0),
+			name:   fmt.Sprintf("kq%02d", i),
+			p:      RandomPattern(rng, window, negation, kleene),
+			kleene: kleene,
 		}
 	}
 	return qs
@@ -207,6 +259,9 @@ func checkPartitionDifferential(seed int64, nQueries, nEvents, batch, parts int)
 				return fmt.Errorf("seed %d, %s: %s", seed, mode.name,
 					DescribeDiff(q.name, got[q.name], want[q.name]))
 			}
+		}
+		if err := checkProvenance(mode.name, qs, events, got, true); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 	}
 	return nil

@@ -315,6 +315,27 @@ type TypeReport struct {
 	ResidualChecks     int64 // residual filter evaluations
 }
 
+// TypeInfo returns the TypeReport of a single event type — the tracing
+// layer calls it around a sampled event's AppendHits to describe the
+// routing surface it crossed (subscription count, indexed constraints,
+// residual-check counter deltas). ok is false when no subscription names
+// the type.
+func (x *Index) TypeInfo(typ string) (TypeReport, bool) {
+	sh := x.shards[typ]
+	if sh == nil {
+		return TypeReport{}, false
+	}
+	return TypeReport{
+		Type:               typ,
+		Subs:               len(sh.subs),
+		ScanSubs:           len(sh.scan),
+		IndexedConstraints: sh.nIndexed,
+		Events:             sh.evals.Load(),
+		Hits:               sh.hits.Load(),
+		ResidualChecks:     sh.resCheck.Load(),
+	}, true
+}
+
 // Report snapshots per-type counters, sorted by type name.
 func (x *Index) Report() []TypeReport {
 	out := make([]TypeReport, 0, len(x.shards))

@@ -12,9 +12,27 @@ import (
 
 // Match is one full pattern match: the events bound to each term position of
 // the compiled pattern. Negated positions are nil; Kleene positions may hold
-// more than one event; ordinary positions hold exactly one.
+// more than one event; ordinary positions hold exactly one. Prov is nil
+// unless the emitting engine runs with provenance enabled.
 type Match struct {
 	Positions [][]*event.Event
+	Prov      *Prov
+}
+
+// Prov is the provenance record attached to an emitted match when tracing
+// provenance is enabled: which stream sequence numbers composed the match
+// (aligned index-for-index with Events()), which lane/partition/component
+// emitted it and under which splice generation, and the submit→emit
+// latency of the event that completed it. Seqs is nil for engines that do
+// not thread sequence numbers (opaque detectors); LatencyNS is 0 for
+// matches released by a window flush rather than by a live event.
+type Prov struct {
+	Seqs       []uint64 `json:"seqs,omitempty"`
+	Lane       int      `json:"lane"`
+	Partition  int      `json:"partition"`
+	Component  int      `json:"component"`
+	Generation int      `json:"generation"`
+	LatencyNS  int64    `json:"latency_ns"`
 }
 
 // New builds a match over n term positions.

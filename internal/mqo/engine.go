@@ -36,6 +36,8 @@ type EngineStats struct {
 	Matches     int64
 	Created     int64 // instances created across all nodes
 	Backfilled  int64 // instances recomputed bottom-up during AdoptFrom
+	Probes      int64 // join combine attempts (pairings tested at join nodes)
+	NegKilled   int64 // matches suppressed by negation checks
 	PeakPartial int   // peak buffered instances
 	Nodes       int   // distinct DAG nodes
 	SharedNodes int   // nodes with more than one consuming parent or query
@@ -137,9 +139,13 @@ func (n *node) isLeaf() bool { return n.left == nil }
 // inst is one partial match of a node's sub-join: exactly one event per
 // slot (Kleene closure is outside the shareable fragment). minSeq is the
 // smallest stream sequence number among the constituents — the value the
-// per-consumer Since watermark filters on.
+// per-consumer Since watermark filters on. seq holds the per-slot stream
+// sequence numbers when the engine runs with provenance enabled, and is
+// nil otherwise — the invariant is engine-wide, so no per-instance check
+// is needed on the hot path.
 type inst struct {
 	ev     []*event.Event
+	seq    []uint64
 	minTS  event.Time
 	maxTS  event.Time
 	minSeq uint64
@@ -186,6 +192,11 @@ type Engine struct {
 	partTotal int
 	family    *partFamily
 
+	// prov enables match provenance: instances carry per-slot stream
+	// sequence numbers and every emitted match gets a Prov record whose
+	// Seqs align with Events(). Set once, before the first event.
+	prov bool
+
 	now      event.Time
 	nPartial int
 	pendings []*pending
@@ -230,10 +241,21 @@ func (e *Engine) getInst(slots int) *inst {
 		} else {
 			in.ev = in.ev[:slots]
 		}
+		if e.prov {
+			if cap(in.seq) < slots {
+				in.seq = make([]uint64, slots)
+			} else {
+				in.seq = in.seq[:slots]
+			}
+		}
 		return in
 	}
 	e.pstats.News++
-	return &inst{ev: make([]*event.Event, slots)}
+	in := &inst{ev: make([]*event.Event, slots)}
+	if e.prov {
+		in.seq = make([]uint64, slots)
+	}
+	return in
 }
 
 // putInst returns an instance to the free list. The caller must be the sole
@@ -271,6 +293,14 @@ func (e *Engine) ownsEvent(ev *event.Event) bool {
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() EngineStats { return e.st }
+
+// EnableProvenance switches the engine into provenance mode: instances
+// thread per-slot stream sequence numbers and emitted matches carry a
+// match.Prov whose Seqs exactly mirror Events(). Must be called before the
+// first event is processed; a splice adopting from predecessors without
+// provenance yields zero seqs for the adopted constituents, so callers
+// should enable it uniformly across generations.
+func (e *Engine) EnableProvenance() { e.prov = true }
 
 // CurrentPartial returns the number of live buffered instances plus pending
 // matches.
@@ -334,6 +364,9 @@ func (e *Engine) processOne(ev *event.Event, seq uint64) {
 			}
 			in := e.getInst(1)
 			in.ev[0] = ev
+			if e.prov {
+				in.seq[0] = seq
+			}
 			in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
 			e.insert(leaf, in)
 		}
@@ -436,6 +469,9 @@ func (e *Engine) processSelected(ev *event.Event, seq uint64, slots []int32) {
 			leaf := e.leafSlots[int(slots[k])-nneg]
 			in := e.getInst(1)
 			in.ev[0] = ev
+			if e.prov {
+				in.seq[0] = seq
+			}
 			in.minTS, in.maxTS, in.minSeq = ev.TS, ev.TS, seq
 			e.insert(leaf, in)
 		}
@@ -492,6 +528,7 @@ func (e *Engine) insert(n *node, in *inst) {
 // combine merges a left and right child instance at a join node if window,
 // event-disjointness and the node's pairwise predicates allow.
 func (e *Engine) combine(p *node, li, ri *inst) *inst {
+	e.st.Probes++
 	min, max := li.minTS, li.maxTS
 	if ri.minTS < min {
 		min = ri.minTS
@@ -532,6 +569,14 @@ func (e *Engine) combine(p *node, li, ri *inst) *inst {
 	for i, s := range p.rightMap {
 		merged.ev[s] = ri.ev[i]
 	}
+	if e.prov {
+		for i, s := range p.leftMap {
+			merged.seq[s] = li.seq[i]
+		}
+		for i, s := range p.rightMap {
+			merged.seq[s] = ri.seq[i]
+		}
+	}
 	return merged
 }
 
@@ -551,14 +596,32 @@ func (e *Engine) emit(cons *consumer, in *inst) {
 		flat[slot] = ev
 		m.Positions[cons.termOf[slot]] = flat[slot : slot+1 : slot+1]
 	}
+	if e.prov {
+		// Seqs mirror Events(): events flatten in term-position order, so
+		// each slot's seq lands at the rank of its term position among the
+		// instance's slots. The quadratic scan is over ≤ a handful of slots.
+		seqs := make([]uint64, len(in.ev))
+		for slot := range in.ev {
+			rank := 0
+			for other := range in.ev {
+				if cons.termOf[other] < cons.termOf[slot] {
+					rank++
+				}
+			}
+			seqs[rank] = in.seq[slot]
+		}
+		m.Prov = &match.Prov{Seqs: seqs}
+	}
 	for _, spec := range cons.negComplete {
 		if e.violated(cons, m, spec) {
+			e.st.NegKilled++
 			return
 		}
 	}
 	if len(cons.negPending) > 0 {
 		for _, spec := range cons.negPending {
 			if e.violated(cons, m, spec) {
+				e.st.NegKilled++
 				return
 			}
 		}
@@ -624,6 +687,7 @@ func (e *Engine) killPendings(ev *event.Event) {
 		for _, spec := range pd.cons.negPending {
 			if oracle.Violates(pd.cons.c, pd.m, spec, ev) {
 				pd.dead = true
+				e.st.NegKilled++
 				break
 			}
 		}
@@ -810,6 +874,9 @@ func (e *Engine) AdoptFrom(olds []*Engine, spliceSeq uint64) {
 					}
 					cp := e.getInst(len(in.ev))
 					copy(cp.ev, in.ev)
+					if e.prov && len(in.seq) == len(in.ev) {
+						copy(cp.seq, in.seq)
+					}
 					cp.minTS, cp.maxTS, cp.minSeq = in.minTS, in.maxTS, in.minSeq
 					n.buffer = append(n.buffer, cp)
 				}

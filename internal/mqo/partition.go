@@ -1,6 +1,7 @@
 package mqo
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -87,6 +88,54 @@ func partitionKey(group []*qstate) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// ExplainPartitionKey re-derives a component's hash-partition attribute for
+// the explain layer and, when none qualifies, renders a human-readable
+// reason — the same derivation as partitionKey, narrated. attr is empty iff
+// reason is non-empty.
+func ExplainPartitionKey(queries []Query) (attr string, reason string) {
+	group := make([]*qstate, len(queries))
+	for i, q := range queries {
+		group[i] = newQState(q)
+	}
+	if a, ok := partitionKey(group); ok {
+		return a, ""
+	}
+	cands := map[string]bool{}
+	for _, q := range group {
+		eachEqJoin(q, func(_, _ int, a string) { cands[a] = true })
+	}
+	if len(cands) == 0 {
+		return "", "no member carries an explicit equi-join between positive positions"
+	}
+	attrs := make([]string, 0, len(cands))
+	for a := range cands {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	multi := false
+	for _, q := range group {
+		if q.ps.N() >= 2 {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return "", "every member is single-positive; partitioning would buy nothing"
+	}
+	// Some member's positive positions are not fully connected by any
+	// single candidate attribute's equality graph.
+	for _, a := range attrs {
+		for _, q := range group {
+			if q.ps.N() >= 2 && !keyedOn(q, a) {
+				return "", fmt.Sprintf(
+					"candidate attribute %q does not chain all positive positions of member %q (no attribute keys every member)",
+					a, q.name)
+			}
+		}
+	}
+	return "", "no candidate attribute keys every multi-positive member"
 }
 
 // eachEqJoin visits every explicit equi-join predicate between two positive

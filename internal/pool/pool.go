@@ -40,6 +40,14 @@ var (
 // Hooks configures the per-lane behavior of a Pool.
 type Hooks[T any] struct {
 	// Work processes one item on the lane's worker goroutine. Required.
+	//
+	// Queue-wait measurement contract: the pool adds no timestamps of its
+	// own, so a caller measuring enqueue→dequeue wait must stamp the item
+	// at send time (before Send/SendGrouped returns it to the queue) and
+	// read the stamp first thing inside Work — everything between the two
+	// is queue residency plus the worker's backlog, which is exactly the
+	// wait the session's trace layer reports between its enqueue and
+	// dequeue spans.
 	Work func(lane int, item T)
 	// Finish runs on the worker goroutine after the lane's queue is closed
 	// and drained — the place to flush per-lane state. Optional.

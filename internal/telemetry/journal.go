@@ -16,6 +16,16 @@ type Entry struct {
 	StreamSeq int64     `json:"stream_seq"`
 	Kind      string    `json:"kind"`
 	Detail    string    `json:"detail"`
+	// Fields is the machine-parseable form of Detail: ordered key/value
+	// pairs populated by the splice/drift/rebuild sites. Nil for kinds
+	// that carry no structure.
+	Fields []KV `json:"fields,omitempty"`
+}
+
+// KV is one ordered journal field.
+type KV struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
 }
 
 // Journal is a bounded ring of control-plane Entries. Recording is
@@ -41,6 +51,13 @@ func NewJournal(cap int) *Journal {
 // the time of the transition; kind is a stable small-vocabulary tag
 // ("add_query", "splice", "index_rebuild", ...); detail is free-form.
 func (j *Journal) Record(streamSeq int64, kind, detail string) {
+	j.RecordFields(streamSeq, kind, detail, nil)
+}
+
+// RecordFields appends a transition carrying ordered structured fields
+// alongside the free-form detail. The journal takes ownership of fields;
+// the caller must not mutate it afterwards.
+func (j *Journal) RecordFields(streamSeq int64, kind, detail string, fields []KV) {
 	if j == nil {
 		return
 	}
@@ -50,6 +67,7 @@ func (j *Journal) Record(streamSeq int64, kind, detail string) {
 	j.next++
 	j.ring[seq%int64(len(j.ring))] = Entry{
 		Seq: seq, Wall: now, StreamSeq: streamSeq, Kind: kind, Detail: detail,
+		Fields: fields,
 	}
 	j.mu.Unlock()
 }
@@ -76,6 +94,22 @@ func (j *Journal) Recorded() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.next
+}
+
+// Dropped returns how many entries the ring has overwritten —
+// Recorded() minus the retained count. A non-zero value tells operators
+// the ring wrapped and the journal endpoint shows a truncated history.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.next
+	if n <= int64(len(j.ring)) {
+		return 0
+	}
+	return n - int64(len(j.ring))
 }
 
 // Snapshot returns the retained entries oldest-first.

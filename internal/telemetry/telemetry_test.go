@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -174,6 +175,49 @@ func TestJournalRing(t *testing.T) {
 	nilJ.Record(0, "x", "y") // must not panic
 	if nilJ.Snapshot() != nil || nilJ.Len() != 0 || nilJ.Recorded() != 0 {
 		t.Fatal("nil journal not inert")
+	}
+}
+
+func TestJournalFieldsAndDropped(t *testing.T) {
+	j := NewJournal(3)
+	if j.Dropped() != 0 {
+		t.Fatal("fresh journal reports drops")
+	}
+	j.RecordFields(5, "splice", "gen=1 lanes=2", []KV{
+		{Key: "gen", Value: "1"}, {Key: "lanes", Value: "2"},
+	})
+	j.Record(6, "add_query", "q")
+	snap := j.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	if got := snap[0].Fields; len(got) != 2 || got[0] != (KV{"gen", "1"}) || got[1] != (KV{"lanes", "2"}) {
+		t.Fatalf("fields = %+v", got)
+	}
+	if snap[1].Fields != nil {
+		t.Fatalf("plain Record grew fields: %+v", snap[1].Fields)
+	}
+	// JSON keeps the ordered pairs and omits them when absent.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"fields":[{"k":"gen","v":"1"},{"k":"lanes","v":"2"}]`) {
+		t.Fatalf("fields JSON: %s", b)
+	}
+	if strings.Count(string(b), `"fields"`) != 1 {
+		t.Fatalf("fields not omitted when nil: %s", b)
+	}
+	// Fill past capacity: dropped = recorded - retained.
+	for i := 0; i < 4; i++ {
+		j.Record(int64(10+i), "churn", "")
+	}
+	if j.Recorded() != 6 || j.Len() != 3 || j.Dropped() != 3 {
+		t.Fatalf("recorded=%d len=%d dropped=%d", j.Recorded(), j.Len(), j.Dropped())
+	}
+	var nilJ *Journal
+	if nilJ.Dropped() != 0 {
+		t.Fatal("nil journal reports drops")
 	}
 }
 

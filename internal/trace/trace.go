@@ -1,0 +1,172 @@
+// Package trace implements the sampled, bounded event-tracing layer: a
+// 1-in-N sampled event carries an Active trace context from Submit through
+// ingress routing, queueing, engine processing and emission, and every
+// stage appends a Span with a monotonic timestamp. Traces live in a fixed
+// ring; readers snapshot them concurrently with the writers still
+// appending, so the Active type owns a mutex and snapshots deep-copy the
+// span slice. The unsampled hot path never sees any of this: a nil *Active
+// makes every method a no-op, mirroring the nil-gated discipline of
+// internal/telemetry.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Span stages, in pipeline order. A trace usually records them in this
+// order too, but per-lane stages (enqueue onward) interleave when an event
+// fans out to several lanes.
+const (
+	StageSubmit    = "submit"    // trace created at Submit/SubmitBatch
+	StageFilter    = "filter"    // ingress filter-index verdict
+	StagePartition = "partition" // partition bucket + owning lane
+	StageEnqueue   = "enqueue"   // handed to a lane queue
+	StageDequeue   = "dequeue"   // picked up by the lane worker
+	StageEngine    = "engine"    // engine processing deltas
+	StageEmit      = "emit"      // matches delivered
+)
+
+// Span is one recorded stage crossing. AtNS is the monotonic offset from
+// the trace's Start; Lane is the lane index the stage ran on, or -1 for
+// stages on the submitter side (submit, filter) and for broadcast
+// enqueues that target every lane at once.
+type Span struct {
+	Stage  string `json:"stage"`
+	Lane   int    `json:"lane"`
+	AtNS   int64  `json:"at_ns"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is the immutable snapshot form of one traced submission: the
+// stream sequence number of the (first) event, the batch size (1 for
+// per-event Submit), the wall-clock start, and the recorded spans.
+type Trace struct {
+	Seq   uint64    `json:"seq"`
+	Batch int       `json:"batch"`
+	Start time.Time `json:"start"`
+	Spans []Span    `json:"spans"`
+}
+
+// Active is a live trace context threaded through the pipeline alongside
+// its event. Span appends are mutex-guarded because the submitter and
+// several lane workers write concurrently; traced events are sampled, so
+// the lock and the fmt formatting are off the common path entirely.
+type Active struct {
+	mu sync.Mutex
+	t  Trace
+	t0 time.Time // monotonic anchor for span offsets
+}
+
+// Start opens a trace for a submission of batch events beginning at
+// stream sequence seq and records the initial submit span.
+func Start(seq uint64, batch int) *Active {
+	now := time.Now()
+	a := &Active{t: Trace{Seq: seq, Batch: batch, Start: now}, t0: now}
+	a.t.Spans = append(a.t.Spans, Span{Stage: StageSubmit, Lane: -1, Detail: fmt.Sprintf("batch=%d", batch)})
+	return a
+}
+
+// Span records one stage crossing. Safe on a nil receiver (no-op) and
+// safe for concurrent use.
+func (a *Active) Span(stage string, lane int, detail string) {
+	if a == nil {
+		return
+	}
+	at := int64(time.Since(a.t0))
+	a.mu.Lock()
+	a.t.Spans = append(a.t.Spans, Span{Stage: stage, Lane: lane, AtNS: at, Detail: detail})
+	a.mu.Unlock()
+}
+
+// Spanf records one stage crossing with a formatted detail string.
+func (a *Active) Spanf(stage string, lane int, format string, args ...any) {
+	if a == nil {
+		return
+	}
+	a.Span(stage, lane, fmt.Sprintf(format, args...))
+}
+
+// snapshot deep-copies the trace so the caller can read it while lane
+// workers keep appending spans.
+func (a *Active) snapshot() Trace {
+	a.mu.Lock()
+	t := a.t
+	t.Spans = append([]Span(nil), a.t.Spans...)
+	a.mu.Unlock()
+	return t
+}
+
+// Ring is the bounded store of recent traces. A trace is added at submit
+// time — before its spans are complete — so the ring always shows the
+// freshest submissions, and Snapshot sees however far each has progressed.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Active
+	next  int
+	added int64
+}
+
+// NewRing builds a ring holding at most capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]*Active, 0, capacity)}
+}
+
+// Add records a trace, evicting the oldest when full. Nil-safe.
+func (r *Ring) Add(a *Active) {
+	if r == nil || a == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, a)
+	} else {
+		r.buf[r.next] = a
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.added++
+	r.mu.Unlock()
+}
+
+// Len reports how many traces the ring currently holds. Nil-safe.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Added reports how many traces were ever recorded. Nil-safe.
+func (r *Ring) Added() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}
+
+// Snapshot returns the retained traces oldest-first, deep-copying each so
+// the result is stable while workers append further spans. Nil-safe:
+// returns an empty (non-nil) slice so JSON encodes "[]", not "null".
+func (r *Ring) Snapshot() []Trace {
+	if r == nil {
+		return []Trace{}
+	}
+	r.mu.Lock()
+	acts := make([]*Active, 0, len(r.buf))
+	acts = append(acts, r.buf[r.next:]...)
+	acts = append(acts, r.buf[:r.next]...)
+	r.mu.Unlock()
+	out := make([]Trace, 0, len(acts))
+	for _, a := range acts {
+		out = append(out, a.snapshot())
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var a *Active
+	a.Span(StageEnqueue, 0, "")
+	a.Spanf(StageEngine, 1, "n=%d", 3)
+	var r *Ring
+	r.Add(nil)
+	if r.Len() != 0 || r.Added() != 0 {
+		t.Fatal("nil ring reported contents")
+	}
+	snap := r.Snapshot()
+	if snap == nil || len(snap) != 0 {
+		t.Fatalf("nil ring snapshot = %v, want empty non-nil", snap)
+	}
+	b, err := json.Marshal(snap)
+	if err != nil || string(b) != "[]" {
+		t.Fatalf("nil ring JSON = %s, %v; want []", b, err)
+	}
+}
+
+func TestSpanOrderAndOffsets(t *testing.T) {
+	a := Start(7, 1)
+	a.Span(StageFilter, -1, "lanes=2")
+	a.Spanf(StageEnqueue, 0, "")
+	a.Span(StageDequeue, 0, "")
+	r := NewRing(4)
+	r.Add(a)
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	tr := snap[0]
+	if tr.Seq != 7 || tr.Batch != 1 {
+		t.Fatalf("trace header = %+v", tr)
+	}
+	stages := []string{StageSubmit, StageFilter, StageEnqueue, StageDequeue}
+	if len(tr.Spans) != len(stages) {
+		t.Fatalf("spans = %+v", tr.Spans)
+	}
+	var prev int64 = -1
+	for i, sp := range tr.Spans {
+		if sp.Stage != stages[i] {
+			t.Fatalf("span %d stage = %q, want %q", i, sp.Stage, stages[i])
+		}
+		if sp.AtNS < prev {
+			t.Fatalf("span offsets not monotonic: %+v", tr.Spans)
+		}
+		prev = sp.AtNS
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for seq := uint64(1); seq <= 5; seq++ {
+		r.Add(Start(seq, 1))
+	}
+	if r.Len() != 3 || r.Added() != 5 {
+		t.Fatalf("len = %d added = %d", r.Len(), r.Added())
+	}
+	snap := r.Snapshot()
+	want := []uint64{3, 4, 5}
+	for i, tr := range snap {
+		if tr.Seq != want[i] {
+			t.Fatalf("snapshot seqs = %v, want oldest-first %v", snap, want)
+		}
+	}
+}
+
+// TestConcurrentAppendAndSnapshot exercises the writer/reader race the
+// session creates: lane workers appending spans while Traces() snapshots.
+func TestConcurrentAppendAndSnapshot(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := Start(uint64(i), 1)
+				r.Add(a)
+				a.Spanf(StageEngine, w, "i=%d", i)
+				a.Span(StageEmit, w, "")
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		for _, tr := range r.Snapshot() {
+			if len(tr.Spans) == 0 || tr.Spans[0].Stage != StageSubmit {
+				t.Errorf("bad snapshot trace: %+v", tr)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/pool"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // QueryConfig declares one named query — pattern, statistics and tuning —
@@ -215,6 +216,11 @@ type SessionConfig struct {
 	// control-plane journal) behind Session.Metrics and MetricsHandler.
 	// nil enables telemetry with defaults; see TelemetryConfig.
 	Telemetry *TelemetryConfig
+	// Trace enables the sampled end-to-end event-tracing and
+	// match-provenance layer behind Session.Traces, match.Prov and
+	// /debug/traces.json. nil (the default) disables it entirely; see
+	// TraceConfig.
+	Trace *TraceConfig
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -243,8 +249,13 @@ type sessionItem struct {
 	batch []*Event // non-nil for SubmitBatch items; ev is nil then
 	// t0 is the UnixNano submission stamp of a latency-sampled item (0 on
 	// the unsampled fast path): matches this item completes observe
-	// submit→emission detection latency on the lane's histogram.
+	// submit→emission detection latency on the lane's histogram. With
+	// TraceConfig.Provenance every item is stamped, so every match's Prov
+	// carries its latency.
 	t0 int64
+	// tr is the trace context of a sampled submission (nil on the
+	// untraced path): lane workers append dequeue/engine/emit spans to it.
+	tr *trace.Active
 
 	evSlots []int32 // single event, shared lane: hit subscription slots
 	sel     []int32 // batch: matched event indices, ascending
@@ -330,6 +341,11 @@ type Session struct {
 	// instrumentation sites guard on that one nil check. See telemetry.go
 	// and session_metrics.go.
 	tel *sessionTelemetry
+
+	// tr is the tracing state (trace sampler, bounded trace ring,
+	// provenance flag); nil unless SessionConfig.Trace enables it. See
+	// session_trace.go.
+	tr *sessionTracer
 }
 
 // sessionQuery is one registered query. Before Start it is only a
@@ -382,6 +398,7 @@ func NewSession(cfg SessionConfig) *Session {
 	s := &Session{cfg: cfg.withDefaults(), byName: make(map[string]*sessionQuery)}
 	s.adapt = newSessionAdapt(s.cfg)
 	s.tel = newSessionTelemetry(s.cfg.Telemetry)
+	s.tr = newSessionTracer(s.cfg.Trace)
 	empty := []*sessionLane{}
 	s.laneTab.Store(&empty)
 	hooks := pool.Hooks[sessionItem]{
@@ -622,7 +639,8 @@ func (s *Session) startLocked(explicit bool) error {
 		return err
 	}
 	s.started = true
-	s.tel.recordf(0, "start", "queries=%d lanes=%d", len(s.queries), len(*s.laneTab.Load()))
+	s.tel.recordKV(0, "start",
+		kv("queries", len(s.queries)), kv("lanes", len(*s.laneTab.Load())))
 	return nil
 }
 
@@ -666,12 +684,22 @@ func (s *Session) submit(ctx context.Context, e *Event) error {
 			t0 = time.Now().UnixNano()
 		}
 	}
+	if s.tr != nil && s.tr.prov && t0 == 0 {
+		// Provenance stamps every item so every match reports its latency.
+		t0 = time.Now().UnixNano()
+	}
 	s.intakeMu.RLock()
+	seq := s.seq.Add(1)
+	var tr *trace.Active
+	if s.tr != nil {
+		tr = s.tr.startTrace(seq, 1)
+	}
 	var err error
 	if fi := s.fidx.Load(); fi != nil && !fi.Empty() {
-		err = s.routeOne(ctx, fi, e, s.seq.Add(1), t0)
+		err = s.routeOne(ctx, fi, e, seq, t0, tr)
 	} else {
-		err = sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: s.seq.Add(1), t0: t0}))
+		tr.Span(trace.StageEnqueue, -1, "broadcast")
+		err = sessErr(s.pool.Broadcast(ctx, sessionItem{ev: e, seq: seq, t0: t0, tr: tr}))
 	}
 	s.intakeMu.RUnlock()
 	if err != nil {
@@ -716,14 +744,22 @@ func (s *Session) submitBatch(ctx context.Context, events []*Event) error {
 			t0 = time.Now().UnixNano()
 		}
 	}
+	if s.tr != nil && s.tr.prov && t0 == 0 {
+		t0 = time.Now().UnixNano()
+	}
 	s.intakeMu.RLock()
 	last := s.seq.Add(uint64(len(batch)))
 	seq0 := last - uint64(len(batch)) + 1
+	var tr *trace.Active
+	if s.tr != nil {
+		tr = s.tr.startTrace(seq0, len(batch))
+	}
 	var err error
 	if fi := s.fidx.Load(); fi != nil && !fi.Empty() {
-		err = s.routeBatch(ctx, fi, batch, seq0, t0)
+		err = s.routeBatch(ctx, fi, batch, seq0, t0, tr)
 	} else {
-		err = sessErr(s.pool.Broadcast(ctx, sessionItem{batch: batch, seq: seq0, t0: t0}))
+		tr.Span(trace.StageEnqueue, -1, "broadcast")
+		err = sessErr(s.pool.Broadcast(ctx, sessionItem{batch: batch, seq: seq0, t0: t0, tr: tr}))
 	}
 	s.intakeMu.RUnlock()
 	if err != nil {
@@ -1043,16 +1079,26 @@ func (l *sessionLane) work(it sessionItem) {
 		l.workBatch(it)
 		return
 	}
+	it.tr.Span(trace.StageDequeue, l.idx, "")
 	if l.eng != nil {
+		var st0 mqo.EngineStats
+		if it.tr != nil {
+			st0 = l.eng.Stats()
+		}
 		var tms []mqo.Tagged
 		if it.evSlots != nil {
 			tms = l.eng.ProcessSelected(it.ev, it.seq, it.evSlots)
 		} else {
 			tms = l.eng.Process(it.ev, it.seq)
 		}
+		if it.tr != nil {
+			l.engineSpan(it.tr, st0)
+		}
 		for _, tm := range tms {
+			l.finishProv(tm.M, it.t0)
 			l.emitShared(l.members[tm.Query], tm.M)
 		}
+		it.tr.Spanf(trace.StageEmit, l.idx, "matches=%d", len(tms))
 		if l.s.tel != nil {
 			l.observe(it, 1, len(tms))
 		}
@@ -1068,7 +1114,11 @@ func (l *sessionLane) work(it sessionItem) {
 		q.dead = true
 		return
 	}
+	if l.s.tr != nil && l.s.tr.prov {
+		l.attachProv(ms, it.t0)
+	}
 	l.s.emit(q, ms)
+	it.tr.Spanf(trace.StageEmit, l.idx, "matches=%d", len(ms))
 	if l.s.tel != nil {
 		l.observe(it, 1, len(ms))
 	}
@@ -1080,16 +1130,26 @@ func (l *sessionLane) work(it sessionItem) {
 // first error kills the query mid-batch, dropping its remainder — the same
 // at-first-error semantics as the per-event path.
 func (l *sessionLane) workBatch(it sessionItem) {
+	it.tr.Span(trace.StageDequeue, l.idx, "")
 	if l.eng != nil {
+		var st0 mqo.EngineStats
+		if it.tr != nil {
+			st0 = l.eng.Stats()
+		}
 		var tms []mqo.Tagged
 		if it.sel != nil {
 			tms = l.eng.ProcessBatchSelected(it.batch, it.seq, it.sel, it.slotOff, it.slots)
 		} else {
 			tms = l.eng.ProcessBatch(it.batch, it.seq)
 		}
+		if it.tr != nil {
+			l.engineSpan(it.tr, st0)
+		}
 		for _, tm := range tms {
+			l.finishProv(tm.M, it.t0)
 			l.emitShared(l.members[tm.Query], tm.M)
 		}
+		it.tr.Spanf(trace.StageEmit, l.idx, "matches=%d", len(tms))
 		if l.s.tel != nil {
 			n := len(it.batch)
 			if it.sel != nil {
@@ -1103,6 +1163,7 @@ func (l *sessionLane) workBatch(it sessionItem) {
 	if q.dead {
 		return
 	}
+	prov := l.s.tr != nil && l.s.tr.prov
 	evs := it.batch
 	if it.sel != nil {
 		// Index-routed batch: gather the lane's selected events into the
@@ -1120,7 +1181,11 @@ func (l *sessionLane) workBatch(it sessionItem) {
 			q.dead = true
 			return
 		}
+		if prov {
+			l.attachProv(ms, it.t0)
+		}
 		l.s.emit(q, ms)
+		it.tr.Spanf(trace.StageEmit, l.idx, "matches=%d", len(ms))
 		if l.s.tel != nil {
 			l.observe(it, len(evs), len(ms))
 		}
@@ -1134,9 +1199,13 @@ func (l *sessionLane) workBatch(it sessionItem) {
 			q.dead = true
 			return
 		}
+		if prov {
+			l.attachProv(ms, it.t0)
+		}
 		l.s.emit(q, ms)
 		matches += len(ms)
 	}
+	it.tr.Spanf(trace.StageEmit, l.idx, "matches=%d", matches)
 	if l.s.tel != nil {
 		l.observe(it, len(evs), matches)
 	}
@@ -1149,6 +1218,9 @@ func (l *sessionLane) finish() {
 	}
 	if l.eng != nil {
 		for _, tm := range l.eng.Flush() {
+			// Flush-released pendings carry no submission stamp: their Prov
+			// latency stays 0, mirroring the latency histogram's semantics.
+			l.finishProv(tm.M, 0)
 			l.emitShared(l.members[tm.Query], tm.M)
 		}
 		l.eng.Close()
@@ -1171,6 +1243,9 @@ func (l *sessionLane) finish() {
 		ms, err := q.det.Flush()
 		if err != nil {
 			l.s.recordErr(q, err)
+		}
+		if l.s.tr != nil && l.s.tr.prov {
+			l.attachProv(ms, 0)
 		}
 		l.s.emit(q, ms)
 	}
@@ -1376,6 +1451,9 @@ func (s *Session) addLaneLocked(l *sessionLane) error {
 // q.lane — the one lane per query that owns splice targeting and detector
 // close; its component id still reaches every sibling via lane.comp.
 func (s *Session) engineLane(g mqo.Group, comp int) *sessionLane {
+	if s.tr != nil && s.tr.prov {
+		g.Engine.EnableProvenance()
+	}
 	lane := &sessionLane{
 		s: s, eng: g.Engine, members: map[string]*sessionQuery{},
 		comp: comp, gen: s.reoptGen,
@@ -1732,6 +1810,11 @@ func (s *Session) applySpliceLocked(affected []*sessionLane, input []mqo.Query) 
 	}
 	compOf := map[int]int{}
 	for _, g := range groups {
+		if s.tr != nil && s.tr.prov {
+			// Must precede AdoptFrom: adoption copies per-instance seq
+			// arrays only into engines that already track provenance.
+			g.Engine.EnableProvenance()
+		}
 		g.Engine.AdoptFrom(olds, spliceSeq)
 		comp := s.nextComp
 		if g.Component >= 0 {
@@ -1760,7 +1843,8 @@ func (s *Session) applySpliceLocked(affected []*sessionLane, input []mqo.Query) 
 		l.eng = nil
 		l.members = nil
 	}
-	s.tel.recordf(spliceSeq-1, "splice",
-		"gen=%d lanes=%d->%d queries=%d", s.reoptGen, len(affected), len(groups), len(input))
+	s.tel.recordKV(spliceSeq-1, "splice",
+		kv("gen", s.reoptGen), kv("lanes_before", len(affected)),
+		kv("lanes_after", len(groups)), kv("queries", len(input)))
 	return nil
 }

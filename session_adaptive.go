@@ -356,7 +356,7 @@ func (s *Session) adaptCheck(pos int64) {
 		if len(s.componentLanesLocked(cd.comp)) == 0 {
 			continue // pulled in (and retired) by an earlier re-opt of this check
 		}
-		if err := s.driftReoptLocked(cd.comp, snap, pos); err != nil {
+		if err := s.driftReoptLocked(cd.comp, snap, pos, cd.score); err != nil {
 			s.pool.RecordErr(fmt.Errorf("cep: drift re-optimization: %w", err))
 			return
 		}
@@ -498,8 +498,10 @@ func (s *Session) compCostsLocked(lanes []*sessionLane, snap *snapCache) (stale,
 // re-optimization, so the sharing decision never prices one side of a
 // candidate sub-join at registration-time rates — and the standard churn
 // splice rebuilds the sharing structure with full state adoption. The
-// caller holds mu.
-func (s *Session) driftReoptLocked(comp int, snap *snapCache, pos int64) error {
+// caller holds mu. score is the measured drift score that triggered the
+// re-optimization; it lands in the journal entry so operators can audit how
+// far past Threshold each splice actually was.
+func (s *Session) driftReoptLocked(comp int, snap *snapCache, pos int64, score float64) error {
 	a := s.adapt
 	lanes := s.componentLanesLocked(comp)
 	if len(lanes) == 0 {
@@ -597,8 +599,9 @@ func (s *Session) driftReoptLocked(comp int, snap *snapCache, pos int64) error {
 	}
 	a.det.Spliced(old, fresh, pos)
 	a.reopts++
-	s.tel.recordf(s.seq.Load(), "drift_reopt",
-		"comp=%d lanes=%d pos=%d", comp, len(affected), pos)
+	s.tel.recordKV(s.seq.Load(), "drift_reopt",
+		kv("comp", comp), kv("lanes", len(affected)), kv("pos", pos),
+		kv("score", fmt.Sprintf("%.4f", score)))
 	return nil
 }
 

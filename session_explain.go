@@ -1,0 +1,178 @@
+package cep
+
+// Session.Explain — the decision-explain surface of the observability
+// layer: for one registered query, why it shares an evaluation lane (or
+// doesn't), under which canonical sub-join keys, what the cost model
+// measured for and against sharing, and how (or why not) its component is
+// key-partitioned. Everything reported here re-states decisions the
+// optimizer already took; Explain never re-plans.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mqo"
+)
+
+// QueryExplain narrates the placement decisions behind one registered
+// query. Render it with String, or consume the fields directly.
+type QueryExplain struct {
+	// Query is the query name; Since its registration watermark (stream
+	// sequence of the first event it could observe).
+	Query string `json:"query"`
+	Since uint64 `json:"since"`
+	// Kind is the lane placement: "shared" (multi-member DAG lane),
+	// "singleton-dag" (own DAG lane, adoptable by future sharing),
+	// "private" (own detector, outside the sharing fragment) or "pending"
+	// (session not started; no lane exists yet).
+	Kind string `json:"kind"`
+	// Detector marks an opaque RegisterDetector query.
+	Detector bool `json:"detector,omitempty"`
+	// Eligible reports whether the query may participate in subplan
+	// sharing; when false, Reason says why (sharing disabled, opaque
+	// detector, multiple disjuncts, non-skip-till-any-match strategy, or a
+	// Kleene closure). An eligible query on a singleton lane gets the
+	// reason no sharing partner was found.
+	Eligible bool   `json:"eligible"`
+	Reason   string `json:"reason,omitempty"`
+	// ShareKeys are the canonical sub-join keys the query could share
+	// under — what AddQuery/RemoveQuery consult to find overlap.
+	ShareKeys []string `json:"share_keys,omitempty"`
+
+	// DAG-lane placement (Kind "shared"/"singleton-dag"): the sharing
+	// component id and its re-optimization generation, the member set, and
+	// the optimizer's decision snapshot — summed private-optimal cost
+	// (UnsharedCost) vs the chosen shared plan's cost (SharedCost), plan
+	// node counts, and how many members run restructured (non-private-
+	// optimal) trees for the sharing win.
+	Members      []string `json:"members,omitempty"`
+	Component    int      `json:"component"`
+	Generation   int      `json:"generation"`
+	Nodes        int      `json:"nodes,omitempty"`
+	SharedNodes  int      `json:"shared_nodes,omitempty"`
+	Restructured int      `json:"restructured,omitempty"`
+	UnsharedCost float64  `json:"unshared_cost,omitempty"`
+	SharedCost   float64  `json:"shared_cost,omitempty"`
+
+	// Key partitioning: Partitions/PartitionAttr when the component is
+	// hash-partitioned; otherwise PartitionReason says why not (derivation
+	// narrated by mqo.ExplainPartitionKey, or partitioning disabled).
+	Partitions      int    `json:"partitions,omitempty"`
+	PartitionAttr   string `json:"partition_attr,omitempty"`
+	PartitionReason string `json:"partition_reason,omitempty"`
+}
+
+// String renders the explanation as a short human-readable block.
+func (ex *QueryExplain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %q [%s]\n", ex.Query, ex.Kind)
+	fmt.Fprintf(&b, "  eligible: %t", ex.Eligible)
+	if ex.Reason != "" {
+		fmt.Fprintf(&b, " — %s", ex.Reason)
+	}
+	b.WriteByte('\n')
+	if len(ex.ShareKeys) > 0 {
+		fmt.Fprintf(&b, "  canonical keys: %s\n", strings.Join(ex.ShareKeys, ", "))
+	}
+	if ex.Kind == "shared" || ex.Kind == "singleton-dag" {
+		fmt.Fprintf(&b, "  component %d (generation %d), members: %s\n",
+			ex.Component, ex.Generation, strings.Join(ex.Members, ", "))
+		fmt.Fprintf(&b, "  cost: private=%.4g shared=%.4g (nodes=%d shared=%d restructured=%d)\n",
+			ex.UnsharedCost, ex.SharedCost, ex.Nodes, ex.SharedNodes, ex.Restructured)
+	}
+	switch {
+	case ex.Partitions > 1:
+		fmt.Fprintf(&b, "  partitions: %d on attribute %q\n", ex.Partitions, ex.PartitionAttr)
+	case ex.PartitionReason != "":
+		fmt.Fprintf(&b, "  partitions: none — %s\n", ex.PartitionReason)
+	}
+	return b.String()
+}
+
+// Explain reports why the named query shares an evaluation lane or stays
+// private: its sharing eligibility (with the disqualifying condition when
+// ineligible), the canonical keys it could share under, the cost terms the
+// optimizer weighed, and the component's partition-key derivation (or the
+// reason none was found). Safe to call concurrently with the feed and with
+// churn; it takes the session lock briefly and never re-plans.
+func (s *Session) Explain(query string) (*QueryExplain, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.byName[query]
+	if !ok {
+		return nil, fmt.Errorf("cep: explain: unknown query %q", query)
+	}
+	ex := &QueryExplain{Query: q.name, Since: q.since, Component: -1}
+	ex.ShareKeys = append([]string(nil), q.shareKeys...)
+
+	// Eligibility, with the first disqualifying condition narrated. The
+	// conditions mirror mqo.Eligible exactly.
+	switch {
+	case q.rt == nil:
+		ex.Detector = true
+		ex.Reason = "opaque detector (RegisterDetector); no plan to share"
+	case !s.cfg.ShareSubplans:
+		ex.Reason = "subplan sharing disabled (SessionConfig.ShareSubplans off)"
+	case len(q.rt.plan.Simple) != 1:
+		ex.Reason = fmt.Sprintf("pattern compiles to %d disjuncts; sharing requires exactly one",
+			len(q.rt.plan.Simple))
+	case q.qc != nil && q.qc.Strategy != SkipTillAnyMatch:
+		ex.Reason = fmt.Sprintf("event selection strategy %v is not skip-till-any-match", q.qc.Strategy)
+	case hasKleene(q):
+		ex.Reason = "pattern contains a Kleene closure"
+	default:
+		ex.Eligible = true
+	}
+
+	if !s.started {
+		ex.Kind = "pending"
+		return ex, nil
+	}
+	l := q.lane
+	if l == nil || l.eng == nil {
+		ex.Kind = "private"
+		return ex, nil
+	}
+
+	ex.Kind = "singleton-dag"
+	if len(l.info.members) > 1 {
+		ex.Kind = "shared"
+	} else if ex.Eligible {
+		ex.Reason = "no profitable sharing partner found by the cost model"
+	}
+	ex.Members = append([]string(nil), l.info.members...)
+	sort.Strings(ex.Members)
+	ex.Component, ex.Generation = l.comp, l.gen
+	ex.Nodes, ex.SharedNodes = l.info.nodes, l.info.sharedNodes
+	ex.Restructured = l.info.restructured
+	ex.UnsharedCost, ex.SharedCost = l.info.unshared, l.info.shared
+
+	switch {
+	case l.parts > 1:
+		ex.Partitions, ex.PartitionAttr = l.parts, l.partAttr
+	case s.cfg.PartitionWorkers <= 1:
+		ex.PartitionReason = "partitioning disabled (SessionConfig.PartitionWorkers <= 1)"
+	default:
+		// Re-derive the key the optimizer looked for and narrate why none
+		// qualified for this component's member set.
+		var members []mqo.Query
+		for _, m := range l.members {
+			members = append(members, mqoQuery(m))
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+		_, ex.PartitionReason = mqo.ExplainPartitionKey(members)
+	}
+	return ex, nil
+}
+
+// hasKleene reports whether the query's (single-disjunct) compiled pattern
+// contains a Kleene-closure position.
+func hasKleene(q *sessionQuery) bool {
+	for _, k := range q.rt.plan.Simple[0].Compiled.Kleene {
+		if k {
+			return true
+		}
+	}
+	return false
+}

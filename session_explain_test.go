@@ -1,0 +1,173 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+)
+
+// explainSession registers the given queries on a fresh session and starts
+// it.
+func explainSession(t *testing.T, cfg SessionConfig, qcs ...QueryConfig) *Session {
+	t.Helper()
+	s := NewSession(cfg)
+	for _, qc := range qcs {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func explainString(t *testing.T, s *Session, query string) string {
+	t.Helper()
+	ex, err := s.Explain(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex.String()
+}
+
+// TestExplainShared pins the rendering for a query sharing a multi-member
+// DAG lane: eligibility, the canonical sub-join key, the member set and the
+// cost-model terms that justified sharing.
+func TestExplainShared(t *testing.T) {
+	s := explainSession(t, SessionConfig{ShareSubplans: true},
+		QueryConfig{Name: "twin-1", Query: `PATTERN SEQ(A a, B b) WHERE a.k = b.k WITHIN 10 s`},
+		QueryConfig{Name: "twin-2", Query: `PATTERN SEQ(A a, B b) WHERE a.k = b.k WITHIN 10 s`},
+	)
+	defer s.Close()
+	want := `query "twin-1" [shared]
+  eligible: true
+  canonical keys: w10000|A{},B{}|(0,1)>$x.k = $y.k&$x.ts < $y.ts;
+  component 0 (generation 0), members: twin-1, twin-2
+  cost: private=140 shared=87.5 (nodes=3 shared=1 restructured=0)
+  partitions: none — partitioning disabled (SessionConfig.PartitionWorkers <= 1)
+`
+	if got := explainString(t, s, "twin-1"); got != want {
+		t.Fatalf("explain mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	ex, err := s.Explain("twin-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Eligible || ex.Kind != "shared" || ex.SharedCost >= ex.UnsharedCost {
+		t.Fatalf("fields: %+v", ex)
+	}
+}
+
+// TestExplainPrivate pins the rendering for an ineligible query (a
+// non-skip-till-any-match strategy) and for an eligible query left on a
+// singleton DAG lane for want of a sharing partner.
+func TestExplainPrivate(t *testing.T) {
+	s := explainSession(t, SessionConfig{ShareSubplans: true},
+		QueryConfig{Name: "nm", Query: `PATTERN SEQ(A a, B b) WITHIN 10 s`, Strategy: SkipTillNextMatch},
+		QueryConfig{Name: "twin", Query: `PATTERN SEQ(A a, B b) WHERE a.k = b.k WITHIN 10 s`},
+	)
+	defer s.Close()
+	wantNM := `query "nm" [private]
+  eligible: false — event selection strategy skip-till-next-match is not skip-till-any-match
+`
+	if got := explainString(t, s, "nm"); got != wantNM {
+		t.Fatalf("explain mismatch:\n got: %q\nwant: %q", got, wantNM)
+	}
+	wantTwin := `query "twin" [singleton-dag]
+  eligible: true — no profitable sharing partner found by the cost model
+  canonical keys: w10000|A{},B{}|(0,1)>$x.k = $y.k&$x.ts < $y.ts;
+  component 0 (generation 0), members: twin
+  cost: private=70 shared=70 (nodes=3 shared=0 restructured=0)
+  partitions: none — partitioning disabled (SessionConfig.PartitionWorkers <= 1)
+`
+	if got := explainString(t, s, "twin"); got != wantTwin {
+		t.Fatalf("explain mismatch:\n got: %q\nwant: %q", got, wantTwin)
+	}
+}
+
+// TestExplainPartitioned pins the rendering for a key-partitioned
+// component: every member's positive positions chained by k-equality, so
+// the component hash-partitions on "k".
+func TestExplainPartitioned(t *testing.T) {
+	s := explainSession(t, SessionConfig{ShareSubplans: true, PartitionWorkers: 2},
+		QueryConfig{Name: "keyed-1", Query: `PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 10 s`},
+		QueryConfig{Name: "keyed-2", Query: `PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 10 s`},
+	)
+	defer s.Close()
+	ex, err := s.Explain("keyed-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Kind != "shared" || ex.Partitions != 2 || ex.PartitionAttr != "k" || ex.PartitionReason != "" {
+		t.Fatalf("partition fields: %+v", ex)
+	}
+	if got := ex.String(); !strings.Contains(got, "partitions: 2 on attribute \"k\"\n") {
+		t.Fatalf("missing partition line:\n%s", got)
+	}
+}
+
+// TestExplainKeylessFallback pins the narrated reason when partitioning is
+// requested but no attribute keys the component: the members join on an
+// inequality, so no equi-join chain exists.
+func TestExplainKeylessFallback(t *testing.T) {
+	s := explainSession(t, SessionConfig{ShareSubplans: true, PartitionWorkers: 2},
+		QueryConfig{Name: "loose-1", Query: `PATTERN SEQ(A a, B b) WHERE a.k < b.k WITHIN 10 s`},
+		QueryConfig{Name: "loose-2", Query: `PATTERN SEQ(A a, B b) WHERE a.k < b.k WITHIN 10 s`},
+	)
+	defer s.Close()
+	ex, err := s.Explain("loose-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Partitions != 0 ||
+		ex.PartitionReason != "no member carries an explicit equi-join between positive positions" {
+		t.Fatalf("partition fields: %+v", ex)
+	}
+	if got := ex.String(); !strings.Contains(got,
+		"partitions: none — no member carries an explicit equi-join between positive positions\n") {
+		t.Fatalf("missing fallback line:\n%s", got)
+	}
+}
+
+// TestExplainLifecycle covers the non-lane answers: unknown queries error,
+// unstarted sessions report "pending", opaque detectors report why they
+// cannot share.
+func TestExplainLifecycle(t *testing.T) {
+	s := NewSession(SessionConfig{ShareSubplans: true})
+	if err := s.Register(QueryConfig{Name: "q", Query: `PATTERN SEQ(A a, B b) WITHIN 10 s`}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Explain("nope"); err == nil {
+		t.Fatal("Explain of unknown query did not error")
+	}
+	ex, err := s.Explain("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Kind != "pending" || !ex.Eligible {
+		t.Fatalf("pre-start explain: %+v", ex)
+	}
+	p, err := ParsePattern(`PATTERN SEQ(A a, B b) WITHIN 10 s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterDetector("det", rt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ex, err = s.Explain("det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Kind != "private" || ex.Eligible || !ex.Detector ||
+		!strings.Contains(ex.Reason, "opaque detector") {
+		t.Fatalf("detector explain: %+v", ex)
+	}
+}

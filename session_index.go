@@ -14,6 +14,7 @@ import (
 	"repro/internal/mqo"
 	"repro/internal/pattern"
 	"repro/internal/pool"
+	"repro/internal/trace"
 )
 
 // rebuildIndexLocked recomputes the lane subscriptions and swaps in a
@@ -59,8 +60,8 @@ func (s *Session) rebuildIndexLocked(dirty map[string]bool) {
 		}
 	}
 	s.fidx.Store(filterindex.Update(s.fidx.Load(), subs, always, dirty))
-	s.tel.recordf(s.seq.Load(), "index_rebuild",
-		"subs=%d always=%d dirty=%d", len(subs), len(always), len(dirty))
+	s.tel.recordKV(s.seq.Load(), "index_rebuild",
+		kv("subs", len(subs)), kv("always", len(always)), kv("dirty", len(dirty)))
 }
 
 // appendRuntimeSubs declares a private lane's intakes from its compiled
@@ -176,10 +177,24 @@ func sortHits(h []filterindex.Hit) {
 // routeOne evaluates one event against the index and sends it to the
 // always-lanes plus every lane with at least one subscription hit. Called
 // under intakeMu's read side.
-func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event, seq uint64, t0 int64) error {
+func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event, seq uint64, t0 int64, tr *trace.Active) error {
 	sc := routePool.Get().(*routeScratch)
+	var ti0 filterindex.TypeReport
+	if tr != nil {
+		ti0, _ = fi.TypeInfo(e.Type)
+	}
 	sc.hits = fi.AppendHits(e, sc.hits[:0])
 	sortHits(sc.hits)
+	if tr != nil {
+		// Residual-check count is a delta of the shard's lifetime counter:
+		// exact with a single submitter, approximate under concurrent feeds
+		// (another event of the same type may land between the snapshots).
+		ti1, _ := fi.TypeInfo(e.Type)
+		tr.Spanf(trace.StageFilter, -1,
+			"type=%s subs=%d indexed=%d hits=%d residual_checks=%d always=%d",
+			e.Type, ti1.Subs, ti1.IndexedConstraints, len(sc.hits),
+			ti1.ResidualChecks-ti0.ResidualChecks, len(fi.Always()))
+	}
 	lanes := *s.laneTab.Load()
 	pairs := sc.pairs[:0]
 	for _, lane := range fi.Always() {
@@ -192,18 +207,25 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 			j++
 		}
 		hi := j
-		if ln := lanes[int(lane)]; ln.parts > 1 && sc.hits[i].Slot >= 0 &&
-			mqo.PartitionBucket(e, ln.partAttr, ln.parts) != ln.part {
-			// Key-partitioned lane that does not own the event's hash
-			// bucket: only its negation intakes (the sorted slot prefix
-			// below negSlots) may see the event — leaf insertions belong to
-			// the owning sibling. (The engine gates leaves itself too; the
-			// router filter is what keeps non-owned traffic off the lane.)
-			for hi = i; hi < j && int(sc.hits[hi].Slot) < ln.negSlots; hi++ {
+		ln := lanes[int(lane)]
+		if ln.parts > 1 && sc.hits[i].Slot >= 0 {
+			b := mqo.PartitionBucket(e, ln.partAttr, ln.parts)
+			if tr != nil {
+				tr.Spanf(trace.StagePartition, int(lane), "bucket=%d parts=%d attr=%s owned=%t",
+					b, ln.parts, ln.partAttr, b == ln.part)
 			}
-			if hi == i {
-				i = j
-				continue
+			if b != ln.part {
+				// Key-partitioned lane that does not own the event's hash
+				// bucket: only its negation intakes (the sorted slot prefix
+				// below negSlots) may see the event — leaf insertions belong to
+				// the owning sibling. (The engine gates leaves itself too; the
+				// router filter is what keeps non-owned traffic off the lane.)
+				for hi = i; hi < j && int(sc.hits[hi].Slot) < ln.negSlots; hi++ {
+				}
+				if hi == i {
+					i = j
+					continue
+				}
 			}
 		}
 		it := sessionItem{ev: e, seq: seq, t0: t0}
@@ -216,6 +238,15 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 		}
 		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: it})
 		i = j
+	}
+	if tr != nil {
+		for i := range pairs {
+			pairs[i].Item.tr = tr
+			tr.Span(trace.StageEnqueue, pairs[i].Lane, "")
+		}
+		if len(pairs) == 0 {
+			tr.Span(trace.StageEnqueue, -1, "dropped")
+		}
 	}
 	if t := s.tel; t != nil {
 		if len(pairs) == 0 {
@@ -236,7 +267,7 @@ func (s *Session) routeOne(ctx context.Context, fi *filterindex.Index, e *Event,
 // flattened slot lists) to lanes with hits. Per-event sequence numbers are
 // reconstructed from the item seq plus the selected index, exactly as in
 // the broadcast batch path. Called under intakeMu's read side.
-func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch []*Event, seq0 uint64, t0 int64) error {
+func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch []*Event, seq0 uint64, t0 int64, tr *trace.Active) error {
 	sc := routePool.Get().(*routeScratch)
 	lanes := *s.laneTab.Load()
 	nl := len(lanes)
@@ -288,12 +319,25 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 			i = j
 		}
 	}
+	if tr != nil {
+		// One coarse filter span for the whole sampled batch: per-event
+		// verdicts would swamp the trace at batch sizes, so the span carries
+		// the aggregate — event→lane deliveries and events no lane wanted.
+		tr.Spanf(trace.StageFilter, -1, "events=%d routed=%d nohit=%d always=%d",
+			len(batch), routed, nohit, len(fi.Always()))
+	}
 	pairs := sc.pairs[:0]
 	for _, lane := range fi.Always() {
 		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: sessionItem{batch: batch, seq: seq0, t0: t0}})
 	}
 	for _, lane := range touched {
 		lr := &sc.perLane[lane]
+		if tr != nil {
+			if ln := lanes[int(lane)]; ln.parts > 1 {
+				tr.Spanf(trace.StagePartition, int(lane), "parts=%d attr=%s sel=%d",
+					ln.parts, ln.partAttr, len(lr.sel))
+			}
+		}
 		it := sessionItem{batch: batch, seq: seq0, t0: t0, sel: lr.sel}
 		if lr.hasSlots {
 			lr.slotOff = append(lr.slotOff, int32(len(lr.slots)))
@@ -302,6 +346,15 @@ func (s *Session) routeBatch(ctx context.Context, fi *filterindex.Index, batch [
 		}
 		pairs = append(pairs, pool.Grouped[sessionItem]{Lane: int(lane), Item: it})
 		sc.perLane[lane] = laneRoute{} // slices moved into the item
+	}
+	if tr != nil {
+		for i := range pairs {
+			pairs[i].Item.tr = tr
+			tr.Span(trace.StageEnqueue, pairs[i].Lane, "")
+		}
+		if len(pairs) == 0 {
+			tr.Span(trace.StageEnqueue, -1, "dropped")
+		}
 	}
 	if t := s.tel; t != nil {
 		// Count event→lane deliveries (matching routeOne's accounting):

@@ -135,9 +135,17 @@ type SessionMetrics struct {
 
 	// Journal is the retained control-plane history (oldest first);
 	// JournalRecorded the total ever recorded, overwritten entries
-	// included.
+	// included; JournalDropped how many of those the bounded ring has
+	// overwritten (non-zero means the retained history is truncated).
 	Journal         []telemetry.Entry `json:"journal,omitempty"`
 	JournalRecorded int64             `json:"journal_recorded"`
+	JournalDropped  int64             `json:"journal_dropped"`
+
+	// TracesSampled counts the event traces ever captured by the tracing
+	// layer (SessionConfig.Trace.SampleEvery); TracesRetained how many the
+	// bounded ring currently holds. Both zero when tracing is off.
+	TracesSampled  int64 `json:"traces_sampled,omitempty"`
+	TracesRetained int   `json:"traces_retained,omitempty"`
 
 	// Shards surfaces registered ShardedRuntime detectors' per-shard
 	// counters and queue gauges.
@@ -186,6 +194,11 @@ func (s *Session) Metrics() *SessionMetrics {
 		m.EventsDropped = t.eventsDropped.Load()
 		m.Journal = t.journal.Snapshot()
 		m.JournalRecorded = t.journal.Recorded()
+		m.JournalDropped = t.journal.Dropped()
+	}
+	if tr := s.tr; tr != nil && tr.ring != nil {
+		m.TracesSampled = tr.ring.Added()
+		m.TracesRetained = tr.ring.Len()
 	}
 
 	lanes := *s.laneTab.Load()
@@ -259,10 +272,11 @@ const promMaxSeries = 64
 
 // MetricsHandler returns an http.Handler exposing the session's telemetry:
 //
-//	/metrics          Prometheus text exposition format
-//	/metrics.json     the full Metrics() snapshot as JSON
-//	/debug/vars       expvar-style JSON (published vars + "cep" snapshot)
-//	/debug/pprof/...  the standard pprof profiles
+//	/metrics            Prometheus text exposition format
+//	/metrics.json       the full Metrics() snapshot as JSON
+//	/debug/traces.json  the sampled event traces (Session.Traces) as JSON
+//	/debug/vars         expvar-style JSON (published vars + "cep" snapshot)
+//	/debug/pprof/...    the standard pprof profiles
 //
 // Serving is opt-in and caller-owned: mount the handler on any mux or
 // server (`http.ListenAndServe(addr, s.MetricsHandler())`). Handlers
@@ -278,6 +292,12 @@ func (s *Session) MetricsHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Metrics())
+	})
+	mux.HandleFunc("/debug/traces.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Traces())
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -309,7 +329,7 @@ func (s *Session) MetricsHandler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "cep session telemetry\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "cep session telemetry\n\n/metrics\n/metrics.json\n/debug/traces.json\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -351,6 +371,10 @@ func (s *Session) writeProm(w http.ResponseWriter) {
 	p.Int("cep_stream_seq", nil, int64(m.Seq))
 	p.Header("cep_journal_records_total", "counter", "Control-plane journal entries ever recorded.")
 	p.Int("cep_journal_records_total", nil, m.JournalRecorded)
+	p.Header("cep_journal_dropped_total", "counter", "Journal entries overwritten by the bounded ring.")
+	p.Int("cep_journal_dropped_total", nil, m.JournalDropped)
+	p.Header("cep_traces_sampled_total", "counter", "Event traces captured by the sampling tracer.")
+	p.Int("cep_traces_sampled_total", nil, m.TracesSampled)
 
 	p.Header("cep_detection_latency_seconds", "histogram", "Sampled submit-to-match-emission latency.")
 	p.Histogram("cep_detection_latency_seconds", nil, m.Latency)

@@ -1,0 +1,369 @@
+package cep
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// traceSession builds a started sharing+indexed session over the stock
+// workload with the given trace configuration.
+func traceSession(t *testing.T, tc *TraceConfig, cfg ...func(*SessionConfig)) (*Session, []*Event) {
+	t.Helper()
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 2000, Seed: 7, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	sc := SessionConfig{QueueLen: 64, ShareSubplans: true, FilterIndex: true, Trace: tc}
+	for _, f := range cfg {
+		f(&sc)
+	}
+	s := NewSession(sc)
+	for _, qc := range stockQueries(t, stocks.Registry, events) {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s, events
+}
+
+func TestSessionTracesSampled(t *testing.T) {
+	s, events := traceSession(t, &TraceConfig{SampleEvery: 4, RingCap: 8})
+	defer s.Close()
+
+	half := len(events) / 2
+	for _, ev := range events[:half] {
+		if err := s.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SubmitBatch(events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	trs := s.Traces()
+	if len(trs) == 0 {
+		t.Fatal("no traces sampled at SampleEvery=4")
+	}
+	if len(trs) > 8 {
+		t.Fatalf("ring holds %d traces, cap 8", len(trs))
+	}
+	stages := map[string]int{}
+	for _, tr := range trs {
+		if len(tr.Spans) == 0 {
+			t.Fatalf("trace seq=%d has no spans", tr.Seq)
+		}
+		if tr.Spans[0].Stage != trace.StageSubmit {
+			t.Fatalf("trace seq=%d first span = %q, want %q", tr.Seq, tr.Spans[0].Stage, trace.StageSubmit)
+		}
+		last := int64(-1)
+		for _, sp := range tr.Spans {
+			if sp.AtNS < last {
+				t.Fatalf("trace seq=%d span offsets not monotone: %d after %d", tr.Seq, sp.AtNS, last)
+			}
+			last = sp.AtNS
+			stages[sp.Stage]++
+		}
+	}
+	// A drained, indexed, shared session must have crossed every stage in
+	// the retained traces: filter verdict, enqueue, dequeue, engine, emit.
+	for _, want := range []string{
+		trace.StageSubmit, trace.StageFilter, trace.StageEnqueue,
+		trace.StageDequeue, trace.StageEngine, trace.StageEmit,
+	} {
+		if stages[want] == 0 {
+			t.Fatalf("no %q span in any retained trace; stages = %v", want, stages)
+		}
+	}
+
+	m := s.Metrics()
+	if m.TracesSampled == 0 {
+		t.Fatal("metrics report zero traces sampled")
+	}
+	if m.TracesRetained != len(trs) {
+		t.Fatalf("traces retained %d != Traces() length %d", m.TracesRetained, len(trs))
+	}
+}
+
+func TestSessionTraceDisabled(t *testing.T) {
+	s, events := traceSession(t, nil)
+	defer s.Close()
+	if err := s.SubmitBatch(events[:500]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	trs := s.Traces()
+	if trs == nil || len(trs) != 0 {
+		t.Fatalf("Traces() = %v with tracing off, want empty non-nil", trs)
+	}
+	m := s.Metrics()
+	if m.TracesSampled != 0 || m.TracesRetained != 0 {
+		t.Fatalf("trace counters nonzero with tracing off: %d/%d", m.TracesSampled, m.TracesRetained)
+	}
+}
+
+func TestTracesJSONEndpoint(t *testing.T) {
+	s, events := traceSession(t, &TraceConfig{SampleEvery: 1})
+	defer s.Close()
+	if err := s.SubmitBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/traces.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d err %v", resp.StatusCode, err)
+	}
+	var trs []trace.Trace
+	if err := json.Unmarshal(body, &trs); err != nil {
+		t.Fatalf("/debug/traces.json not a trace array: %v\n%s", err, body)
+	}
+	if len(trs) == 0 {
+		t.Fatal("/debug/traces.json empty after a sampled run")
+	}
+	if trs[0].Spans[0].Stage != trace.StageSubmit {
+		t.Fatalf("first span stage = %q", trs[0].Spans[0].Stage)
+	}
+}
+
+// provCheck asserts every accumulated match of every query carries an
+// exact provenance record: Seqs aligned index-for-index with Events(),
+// mapped through the submission-order seq assignment.
+func provCheck(t *testing.T, s *Session, queries []string, seqOf map[*Event]uint64) {
+	t.Helper()
+	total := 0
+	for _, name := range queries {
+		for _, m := range s.Matches(name) {
+			total++
+			p := m.Prov
+			if p == nil {
+				t.Fatalf("query %q: match without provenance", name)
+			}
+			evs := m.Events()
+			if len(p.Seqs) != len(evs) {
+				t.Fatalf("query %q: %d seqs for %d events", name, len(p.Seqs), len(evs))
+			}
+			for i, ev := range evs {
+				want, ok := seqOf[ev]
+				if !ok {
+					t.Fatalf("query %q: match binds an unknown event", name)
+				}
+				if p.Seqs[i] != want {
+					t.Fatalf("query %q: seq[%d] = %d, want %d (%v)", name, i, p.Seqs[i], want, p.Seqs)
+				}
+			}
+			if p.Lane < 0 {
+				t.Fatalf("query %q: provenance lane = %d", name, p.Lane)
+			}
+			if p.LatencyNS < 0 {
+				t.Fatalf("query %q: negative latency %d", name, p.LatencyNS)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no matches accumulated; provenance assertions are vacuous")
+	}
+}
+
+func TestSessionMatchProvenanceExact(t *testing.T) {
+	s, events := traceSession(t, &TraceConfig{Provenance: true})
+	seqOf := make(map[*Event]uint64, len(events))
+	// Per-event for the first half, batches for the rest: both submission
+	// paths assign seqs in submission order.
+	half := len(events) / 2
+	for i, ev := range events {
+		seqOf[ev] = uint64(i + 1)
+	}
+	for _, ev := range events[:half] {
+		if err := s.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SubmitBatch(events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	provCheck(t, s, []string{"pairs", "bucket-conj", "negation", "chain"}, seqOf)
+
+	// In-stream matches carry a live submit→emit latency; only window-flush
+	// releases may report 0.
+	sawLatency := false
+	for _, m := range s.Matches("pairs") {
+		if m.Prov.LatencyNS > 0 {
+			sawLatency = true
+		}
+	}
+	if !sawLatency {
+		t.Fatal("no match observed a positive provenance latency")
+	}
+}
+
+// TestSessionProvenanceAcrossSplice pins the AdoptFrom invariant: partial
+// matches built before a live re-optimization splice keep their per-event
+// sequence numbers, so matches completed AFTER the splice still report
+// exact provenance for events submitted BEFORE it.
+func TestSessionProvenanceAcrossSplice(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 3000, Seed: 13, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+	s := NewSession(SessionConfig{
+		QueueLen: 64, ShareSubplans: true, FilterIndex: true,
+		Trace: &TraceConfig{Provenance: true},
+	})
+	for _, qc := range pool[:3] {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	seqOf := make(map[*Event]uint64, len(events))
+	for i, ev := range events {
+		seqOf[ev] = uint64(i + 1)
+	}
+	third := len(events) / 3
+	if err := s.SubmitBatch(events[:third]); err != nil {
+		t.Fatal(err)
+	}
+	// Splice 1: an overlapping prefix query joins the shared component
+	// mid-stream (the same churn the journal test shows splicing).
+	if err := s.AddQuery(pool[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitBatch(events[third : 2*third]); err != nil {
+		t.Fatal(err)
+	}
+	// Splice 2: removal re-optimizes the survivors again.
+	if err := s.RemoveQuery(pool[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitBatch(events[2*third:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	names := []string{pool[1].Name, pool[2].Name, pool[3].Name}
+	provCheck(t, s, names, seqOf)
+	// The splices bumped generations; post-splice emissions must carry them.
+	maxGen := 0
+	for _, name := range names {
+		for _, m := range s.Matches(name) {
+			if m.Prov.Generation > maxGen {
+				maxGen = m.Prov.Generation
+			}
+		}
+	}
+	if maxGen == 0 {
+		t.Fatal("no match emitted from a post-splice generation")
+	}
+}
+
+// TestTraceChurnRace hammers Traces/Explain/Metrics from reader goroutines
+// while a writer feeds batches and a churner splices queries in and out —
+// under -race this pins the tracing and explain surfaces as data-race free
+// against the feed and adaptive restructuring.
+func TestTraceChurnRace(t *testing.T) {
+	stocks := workload.NewStocks(workload.StockConfig{
+		Symbols: 6, Events: 6000, Seed: 31, MinRate: 1, MaxRate: 5,
+	})
+	events := stocks.Generate()
+	pool := churnPool(t, stocks.Registry, events)
+	s := NewSession(SessionConfig{
+		QueueLen: 64, ShareSubplans: true, FilterIndex: true,
+		Trace: &TraceConfig{SampleEvery: 16, RingCap: 32, Provenance: true},
+	})
+	for _, qc := range pool[:4] {
+		if err := s.Register(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	churned := make(chan struct{})
+	go func() {
+		defer close(churned)
+		for i := 0; i < 6; i++ {
+			extra := pool[4+(i%(len(pool)-4))]
+			if err := s.AddQuery(extra); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.RemoveQuery(extra.Name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, tr := range s.Traces() {
+					for _, sp := range tr.Spans {
+						_ = sp.Stage
+					}
+				}
+				if _, err := s.Explain(pool[0].Name); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.Metrics()
+			}
+		}()
+	}
+	const batch = 200
+	for i := 0; i < len(events); i += batch {
+		end := i + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := s.SubmitBatch(events[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-churned
+	close(done)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+}

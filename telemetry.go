@@ -8,6 +8,7 @@ package cep
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/telemetry"
 )
@@ -91,4 +92,28 @@ func (t *sessionTelemetry) recordf(streamSeq uint64, kind, format string, args .
 		return
 	}
 	t.journal.Record(int64(streamSeq), kind, fmt.Sprintf(format, args...))
+}
+
+// recordKV journals a transition carrying ordered structured fields; the
+// free-form Detail is rendered from the same pairs ("k=v k=v ...") so the
+// two views never diverge. Nil-safe like record/recordf.
+func (t *sessionTelemetry) recordKV(streamSeq uint64, kind string, fields ...telemetry.KV) {
+	if t == nil {
+		return
+	}
+	var b strings.Builder
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(f.Value)
+	}
+	t.journal.RecordFields(int64(streamSeq), kind, b.String(), fields)
+}
+
+// kv builds one journal field.
+func kv(key string, value any) telemetry.KV {
+	return telemetry.KV{Key: key, Value: fmt.Sprint(value)}
 }
